@@ -1,0 +1,368 @@
+// Benchmarks regenerating every figure of the paper's evaluation
+// (Section 6), plus micro-benchmarks of the reasoning algorithms and the
+// ablations called out in DESIGN.md §5. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure-level benches use reduced dataset scales so the whole suite
+// finishes in minutes; cmd/matchbench -scale paper runs the full
+// Section 6 parameters and EXPERIMENTS.md records the outcomes.
+package mdmatch
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mdmatch/internal/core"
+	"mdmatch/internal/experiments"
+	"mdmatch/internal/gen"
+	"mdmatch/internal/matching"
+	"mdmatch/internal/neighborhood"
+	"mdmatch/internal/similarity"
+)
+
+// --- Figure 8(a): findRCKs runtime vs card(Σ) ---
+
+func BenchmarkFig8a_FindRCKs(b *testing.B) {
+	for _, card := range []int{200, 600, 1000, 2000} {
+		for _, yLen := range []int{6, 12} {
+			b.Run(fmt.Sprintf("MDs%d_Y%d", card, yLen), func(b *testing.B) {
+				ctx, target := gen.ScalabilitySchemas(yLen, 6)
+				sigma := gen.RandomMDs(ctx, target, gen.MDGenConfig{Seed: 1, Count: card})
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.FindRCKs(ctx, sigma, target, 20, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- Figure 8(b): findRCKs runtime vs m ---
+
+func BenchmarkFig8b_FindRCKs(b *testing.B) {
+	ctx, target := gen.ScalabilitySchemas(10, 6)
+	sigma := gen.RandomMDs(ctx, target, gen.MDGenConfig{Seed: 1, Count: 2000})
+	for _, m := range []int{5, 20, 50} {
+		b.Run(fmt.Sprintf("m%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.FindRCKs(ctx, sigma, target, m, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSummary_RCK50From2000MDs is the paper's headline scalability
+// claim: "it takes less than 100 seconds to deduce 50 quality RCKs from
+// a set of 2000 MDs" (Section 1 and 6.3).
+func BenchmarkSummary_RCK50From2000MDs(b *testing.B) {
+	ctx, target := gen.ScalabilitySchemas(12, 6)
+	sigma := gen.RandomMDs(ctx, target, gen.MDGenConfig{Seed: 1, Count: 2000})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		keys, err := core.FindRCKs(ctx, sigma, target, 50, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(keys) == 0 {
+			b.Fatal("no keys")
+		}
+	}
+}
+
+// --- Figure 8(c): exhaustive RCK enumeration from small Σ ---
+
+func BenchmarkFig8c_AllRCKs(b *testing.B) {
+	for _, card := range []int{10, 40} {
+		b.Run(fmt.Sprintf("MDs%d", card), func(b *testing.B) {
+			ctx, target := gen.ScalabilitySchemas(8, 6)
+			// Same calibrated generator shape as experiments.Fig8c (see
+			// the EXPERIMENTS.md calibration note): uncalibrated rule
+			// sets compose combinatorially and exhaustive enumeration
+			// explodes.
+			sigma := gen.RandomMDs(ctx, target, gen.MDGenConfig{
+				Seed: 1, Count: card, TargetBias: 0.10, MaxLHS: 2,
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.AllRCKs(ctx, sigma, target, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- MDClosure micro-benchmarks and the propagation ablation ---
+
+func closureInput(card int) (Pair, []MD, []Conjunct) {
+	ctx, target := gen.ScalabilitySchemas(10, 6)
+	sigma := gen.RandomMDs(ctx, target, gen.MDGenConfig{Seed: 1, Count: card})
+	lhs := []Conjunct{
+		core.Eq(ctx.Left.Attr(0).Name, ctx.Right.Attr(0).Name),
+		core.C(ctx.Left.Attr(1).Name, similarity.DL(0.8), ctx.Right.Attr(1).Name),
+	}
+	return ctx, sigma, lhs
+}
+
+func BenchmarkMDClosure(b *testing.B) {
+	for _, card := range []int{200, 1000, 2000} {
+		ctx, sigma, lhs := closureInput(card)
+		b.Run(fmt.Sprintf("event_driven_MDs%d", card), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.MDClosure(ctx, sigma, lhs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		// Ablation: the paper-literal repeat-scan main loop with the
+		// Figure 6 Propagate cases.
+		b.Run(fmt.Sprintf("literal_MDs%d", card), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.MDClosureLiteral(ctx, sigma, lhs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Shared dataset setups for the matching figures ---
+
+var (
+	setupMu    sync.Mutex
+	setupCache = map[int]*experiments.Setup{}
+)
+
+func cachedSetup(b *testing.B, k int) *experiments.Setup {
+	b.Helper()
+	setupMu.Lock()
+	defer setupMu.Unlock()
+	if s, ok := setupCache[k]; ok {
+		return s
+	}
+	s, err := experiments.NewSetup(k, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	setupCache[k] = s
+	return s
+}
+
+// --- Figure 9(a-c): Fellegi–Sunter, FS vs FSrck ---
+
+func BenchmarkFig9_FellegiSunter(b *testing.B) {
+	for _, k := range []int{1000, 4000} {
+		for _, method := range []string{"FS", "FSrck"} {
+			b.Run(fmt.Sprintf("%s_K%d", method, k), func(b *testing.B) {
+				s := cachedSetup(b, k)
+				fields := s.FSFields()
+				if method == "FSrck" {
+					fields = s.FSrckFields()
+				}
+				b.ResetTimer()
+				var lastP, lastR float64
+				for i := 0; i < b.N; i++ {
+					row, err := s.RunFS(method, fields)
+					if err != nil {
+						b.Fatal(err)
+					}
+					lastP, lastR = row.Precision, row.Recall
+				}
+				b.ReportMetric(lastP, "precision")
+				b.ReportMetric(lastR, "recall")
+			})
+		}
+	}
+}
+
+// --- Figure 10(a-c): Sorted Neighborhood, SN vs SNrck ---
+
+func BenchmarkFig10_SortedNeighborhood(b *testing.B) {
+	for _, k := range []int{1000, 4000} {
+		for _, method := range []string{"SN", "SNrck"} {
+			b.Run(fmt.Sprintf("%s_K%d", method, k), func(b *testing.B) {
+				s := cachedSetup(b, k)
+				var rules *matching.RuleSet
+				if method == "SN" {
+					rules = matching.NewRuleSet(neighborhood.BaselineRules(s.Dataset.Ctx, s.Target)...)
+				} else {
+					rules = matching.NewRuleSet(s.RCKs...)
+				}
+				b.ResetTimer()
+				var lastP, lastR float64
+				for i := 0; i < b.N; i++ {
+					row, err := s.RunSN(method, rules)
+					if err != nil {
+						b.Fatal(err)
+					}
+					lastP, lastR = row.Precision, row.Recall
+				}
+				b.ReportMetric(lastP, "precision")
+				b.ReportMetric(lastR, "recall")
+			})
+		}
+	}
+}
+
+// --- Figures 9(d)/10(d): blocking PC and RR ---
+
+func BenchmarkFigBlocking(b *testing.B) {
+	for _, key := range []string{"RCK", "manual"} {
+		b.Run(fmt.Sprintf("%s_K2000", key), func(b *testing.B) {
+			s := cachedSetup(b, 2000)
+			spec := experiments.ManualBlockingKey()
+			if key == "RCK" {
+				spec = s.RCKBlockingKey()
+			}
+			b.ResetTimer()
+			var lastPC, lastRR float64
+			for i := 0; i < b.N; i++ {
+				cands, err := Block(s.D, spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bq := EvaluateBlocking(cands, s.Truth, s.Dataset.TotalPairs())
+				lastPC, lastRR = bq.PC(), bq.RR()
+			}
+			b.ReportMetric(lastPC, "PC")
+			b.ReportMetric(lastRR, "RR")
+		})
+	}
+}
+
+// BenchmarkFigWindowing covers the windowing variant of Exp-4 (reported
+// in the text of Section 6.2).
+func BenchmarkFigWindowing(b *testing.B) {
+	for _, key := range []string{"RCK", "manual"} {
+		b.Run(fmt.Sprintf("%s_K2000", key), func(b *testing.B) {
+			s := cachedSetup(b, 2000)
+			spec := experiments.ManualBlockingKey()
+			if key == "RCK" {
+				spec = s.RCKBlockingKey()
+			}
+			b.ResetTimer()
+			var lastPC, lastRR float64
+			for i := 0; i < b.N; i++ {
+				cands, err := Window(s.D, spec, 10)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bq := EvaluateBlocking(cands, s.Truth, s.Dataset.TotalPairs())
+				lastPC, lastRR = bq.PC(), bq.RR()
+			}
+			b.ReportMetric(lastPC, "PC")
+			b.ReportMetric(lastRR, "RR")
+		})
+	}
+}
+
+// --- Ablation: single RCK vs union of top-5 (Section 6.2 observes that
+// a single RCK lowers recall; the union mediates it) ---
+
+func BenchmarkAblation_SingleVsUnionRCK(b *testing.B) {
+	s := cachedSetup(b, 1000)
+	configs := map[string][]Key{
+		"single": s.RCKs[:1],
+		"union5": s.RCKs,
+	}
+	for name, keys := range configs {
+		b.Run(name, func(b *testing.B) {
+			rules := matching.NewRuleSet(keys...)
+			b.ResetTimer()
+			var lastR float64
+			for i := 0; i < b.N; i++ {
+				row, err := s.RunSN("SN-"+name, rules)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lastR = row.Recall
+			}
+			b.ReportMetric(lastR, "recall")
+		})
+	}
+}
+
+// --- Ablation: cost-ordered vs unordered findRCKs (the quality model's
+// job is diversity; runtime should be comparable) ---
+
+func BenchmarkAblation_CostModel(b *testing.B) {
+	ctx, target := gen.ScalabilitySchemas(10, 6)
+	sigma := gen.RandomMDs(ctx, target, gen.MDGenConfig{Seed: 1, Count: 1000})
+	b.Run("diversity_weighted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cm := core.DefaultCostModel() // w1=1: counters steer selection
+			if _, err := core.FindRCKs(ctx, sigma, target, 20, cm); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("unweighted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cm := &core.CostModel{W1: 0, W2: 0, W3: 0} // cost ≡ 0: no steering
+			if _, err := core.FindRCKs(ctx, sigma, target, 20, cm); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Enforcement chase ---
+
+func BenchmarkEnforceChase(b *testing.B) {
+	ds, err := gen.Generate(gen.DefaultConfig(60))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sigma := gen.HolderMDs(ds.Ctx)
+	d := ds.Pair()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Enforce(d, sigma); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Similarity micro-benchmarks ---
+
+func BenchmarkSimilarity(b *testing.B) {
+	a, c := "10 Oak Street, MH, NJ 07974", "10 Oak Street, MH, NJ 07976"
+	b.Run("DamerauLevenshtein", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			similarity.DamerauLevenshtein(a, c)
+		}
+	})
+	b.Run("Jaro", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			similarity.Jaro(a, c)
+		}
+	})
+	b.Run("JaccardQGram", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			similarity.JaccardQGram(a, c, 2)
+		}
+	})
+	b.Run("Soundex", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			similarity.Soundex("Clifford")
+		}
+	})
+}
+
+// --- Data generator throughput ---
+
+func BenchmarkGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := gen.DefaultConfig(1000)
+		cfg.Seed = int64(i + 1)
+		if _, err := gen.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

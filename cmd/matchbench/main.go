@@ -1,0 +1,148 @@
+// Command matchbench regenerates the tables behind every figure of the
+// paper's evaluation (Section 6). Each figure prints the same series the
+// paper plots; see EXPERIMENTS.md for the paper-vs-measured record.
+//
+//	matchbench -fig 8a          # findRCKs runtime vs card(Σ)
+//	matchbench -fig 8b          # findRCKs runtime vs m
+//	matchbench -fig 8c          # total number of RCKs
+//	matchbench -fig 9           # FS vs FSrck (accuracy + time)
+//	matchbench -fig 10          # SN vs SNrck (accuracy + time)
+//	matchbench -fig 9d          # blocking PC/RR (covers 10d)
+//	matchbench -fig win         # windowing PC/RR
+//	matchbench -fig all         # everything
+//
+// -scale bench (default) uses sizes that finish in minutes; -scale paper
+// uses the paper's full parameters (card(Σ) to 2000, K to 80k).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mdmatch/internal/experiments"
+)
+
+type scaleParams struct {
+	cards   []int // Fig 8(a)
+	ms      []int // Fig 8(b)
+	card8b  int
+	cards8c []int
+	yLens   []int
+	ks      []int // Figs 9/10
+	blockKs []int // Fig 9d / windowing
+}
+
+func benchScale() scaleParams {
+	return scaleParams{
+		cards:   seq(200, 1000, 200),
+		ms:      seq(5, 25, 5),
+		card8b:  1000,
+		cards8c: seq(10, 40, 10),
+		yLens:   []int{6, 8, 10, 12},
+		ks:      []int{1000, 2000, 4000, 8000},
+		blockKs: []int{1000, 2000, 4000, 8000},
+	}
+}
+
+func paperScale() scaleParams {
+	return scaleParams{
+		cards:   seq(200, 2000, 200),
+		ms:      seq(5, 50, 5),
+		card8b:  2000,
+		cards8c: seq(10, 40, 10),
+		yLens:   []int{6, 8, 10, 12},
+		ks:      []int{10000, 20000, 30000, 40000, 50000, 60000, 70000, 80000},
+		blockKs: []int{10000, 20000, 40000, 80000},
+	}
+}
+
+func seq(from, to, step int) []int {
+	var out []int
+	for v := from; v <= to; v += step {
+		out = append(out, v)
+	}
+	return out
+}
+
+func main() {
+	var (
+		fig   = flag.String("fig", "all", "figure to regenerate: 8a, 8b, 8c, 9, 10, 9d, win, all")
+		scale = flag.String("scale", "bench", "bench (minutes) or paper (full Section 6 parameters)")
+		seed  = flag.Int64("seed", 1, "experiment seed")
+	)
+	flag.Parse()
+	var p scaleParams
+	switch *scale {
+	case "bench":
+		p = benchScale()
+	case "paper":
+		p = paperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "matchbench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, *fig, p, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "matchbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, fig string, p scaleParams, seed int64) error {
+	all := fig == "all"
+	did := false
+	if all || fig == "8a" {
+		did = true
+		if _, err := experiments.Fig8a(w, p.cards, p.yLens, 20, seed); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if all || fig == "8b" {
+		did = true
+		if _, err := experiments.Fig8b(w, p.ms, p.yLens, p.card8b, seed); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if all || fig == "8c" {
+		did = true
+		if _, err := experiments.Fig8c(w, p.cards8c, p.yLens, seed); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if all || fig == "9" {
+		did = true
+		if _, err := experiments.Fig9(w, p.ks, seed); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if all || fig == "10" {
+		did = true
+		if _, err := experiments.Fig10(w, p.ks, seed); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if all || fig == "9d" || fig == "10d" {
+		did = true
+		if _, err := experiments.Fig9d(w, p.blockKs, seed); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if all || fig == "win" {
+		did = true
+		if _, err := experiments.Windowing(w, p.blockKs, seed); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if !did {
+		return fmt.Errorf("unknown figure %q (want 8a, 8b, 8c, 9, 10, 9d, win, all)", fig)
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+func TestSeq(t *testing.T) {
+	got := seq(200, 1000, 200)
+	want := []int{200, 400, 600, 800, 1000}
+	if len(got) != len(want) {
+		t.Fatalf("seq = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("seq = %v", got)
+		}
+	}
+	if len(seq(10, 5, 1)) != 0 {
+		t.Error("empty range must produce nothing")
+	}
+}
+
+func TestScales(t *testing.T) {
+	b := benchScale()
+	p := paperScale()
+	if b.cards[len(b.cards)-1] >= p.cards[len(p.cards)-1] {
+		t.Error("bench scale must be smaller than paper scale")
+	}
+	if p.cards[len(p.cards)-1] != 2000 {
+		t.Errorf("paper scale card max = %d, want 2000 (Section 6.1)", p.cards[len(p.cards)-1])
+	}
+	if p.ms[len(p.ms)-1] != 50 {
+		t.Errorf("paper scale m max = %d, want 50", p.ms[len(p.ms)-1])
+	}
+	if p.ks[len(p.ks)-1] != 80000 {
+		t.Errorf("paper scale K max = %d, want 80000 (Section 6.2)", p.ks[len(p.ks)-1])
+	}
+	if len(b.yLens) != 4 || b.yLens[0] != 6 || b.yLens[3] != 12 {
+		t.Errorf("yLens = %v, want {6,8,10,12}", b.yLens)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run(io.Discard, "nope", benchScale(), 1); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestRunSingleFigureSmoke(t *testing.T) {
+	// A tiny custom scale keeps this fast while exercising the wiring.
+	p := scaleParams{
+		cards:   []int{50},
+		ms:      []int{5},
+		card8b:  50,
+		cards8c: []int{10},
+		yLens:   []int{6},
+		ks:      []int{60},
+		blockKs: []int{60},
+	}
+	for _, fig := range []string{"8a", "8b", "8c", "9", "10", "9d", "win"} {
+		if err := run(io.Discard, fig, p, 1); err != nil {
+			t.Errorf("fig %s: %v", fig, err)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mdmatch/internal/gen"
+	"mdmatch/internal/record"
+)
+
+func TestRunWritesDataset(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(50, 1, 0.8, 0.8, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"credit.csv", "billing.csv", "truth.csv"} {
+		info, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s missing: %v", name, err)
+		}
+		if info.Size() == 0 {
+			t.Fatalf("%s empty", name)
+		}
+	}
+	// The written credit CSV round-trips through record.ReadCSV.
+	f, err := os.Open(filepath.Join(dir, "credit.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	in, err := record.ReadCSV(gen.CreditSchema(), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Len() < 50 {
+		t.Fatalf("credit rows = %d, want >= 50", in.Len())
+	}
+	// Truth references ids that exist.
+	truth, err := os.ReadFile(filepath.Join(dir, "truth.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(truth)), "\n")
+	if lines[0] != "credit_id,billing_id" {
+		t.Fatalf("truth header = %q", lines[0])
+	}
+	if len(lines) < 2 {
+		t.Fatal("truth has no pairs")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(0, 1, 0.8, 0.8, t.TempDir()); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if err := run(10, 1, 0.8, 0.8, "/dev/null/impossible"); err == nil {
+		t.Error("unwritable output dir accepted")
+	}
+}

@@ -1,0 +1,154 @@
+// Command mdreason is the compile-time reasoning tool: it reads a rule
+// file (schemas, MDs, targets in the mdmatch rule language), and can
+//
+//   - validate and echo the rule set (default);
+//   - derive quality RCKs for each target (-rck m);
+//   - decide whether Σ deduces a given MD (-deduce "md ...");
+//   - print the closure of Σ and a hypothesis LHS (-closure "md ...").
+//
+// Examples:
+//
+//	mdreason -rules rules.md
+//	mdreason -rules rules.md -rck 5
+//	mdreason -rules rules.md -deduce 'md credit[email] = billing[email] && credit[tel] = billing[phn] -> credit[fn] <=> billing[fn]'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mdmatch/internal/core"
+	"mdmatch/internal/mdlang"
+	"mdmatch/internal/schema"
+)
+
+func main() {
+	var (
+		rulesPath = flag.String("rules", "", "path to the rule file (required)")
+		rck       = flag.Int("rck", 0, "derive up to this many RCKs per target")
+		deduce    = flag.String("deduce", "", "an 'md ...' statement to test for deduction from Σ")
+		explain   = flag.String("explain", "", "an 'md ...' statement whose full derivation should be printed")
+		closure   = flag.String("closure", "", "an 'md ...' statement whose LHS seeds a closure dump")
+		prune     = flag.Bool("prune", false, "prune operator-subsumed RCKs before printing")
+	)
+	flag.Parse()
+	if *rulesPath == "" {
+		fmt.Fprintln(os.Stderr, "mdreason: -rules is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*rulesPath, *rck, *deduce, *explain, *closure, *prune); err != nil {
+		fmt.Fprintln(os.Stderr, "mdreason:", err)
+		os.Exit(1)
+	}
+}
+
+func run(rulesPath string, rck int, deduceStmt, explainStmt, closureStmt string, prune bool) error {
+	text, err := os.ReadFile(rulesPath)
+	if err != nil {
+		return err
+	}
+	doc, err := mdlang.Parse(string(text), nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("parsed %d schemas, %d MDs, %d negative MDs, %d targets over %s\n",
+		len(doc.Schemas), len(doc.MDs), len(doc.Negatives), len(doc.Targets), doc.Ctx)
+
+	// Consistency: a negative rule that Σ's deductions would force to
+	// fire is a specification bug; report it up front.
+	for i, n := range doc.Negatives {
+		conflict, err := n.ConflictsWith(doc.MDs)
+		if err != nil {
+			return err
+		}
+		if conflict {
+			fmt.Printf("WARNING: negative rule %d conflicts with Σ: %s\n", i+1, n)
+		}
+	}
+
+	if deduceStmt != "" {
+		phi, err := parseStatementMD(doc, deduceStmt)
+		if err != nil {
+			return err
+		}
+		ok, err := core.Deduce(doc.MDs, phi)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nϕ: %s\nΣ ⊨m ϕ: %v\n", phi, ok)
+	}
+
+	if explainStmt != "" {
+		phi, err := parseStatementMD(doc, explainStmt)
+		if err != nil {
+			return err
+		}
+		exp, err := core.Explain(doc.MDs, phi)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%s", exp.Render(doc.MDs))
+	}
+
+	if closureStmt != "" {
+		phi, err := parseStatementMD(doc, closureStmt)
+		if err != nil {
+			return err
+		}
+		cl, err := core.MDClosure(doc.Ctx, doc.MDs, phi.LHS)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nclosure of Σ and LHS(ϕ) — identified cross pairs:\n")
+		for _, p := range cl.IdentifiedPairs() {
+			fmt.Printf("  %s[%s] ⇌ %s[%s]\n", doc.Ctx.Left.Name(), p.Left, doc.Ctx.Right.Name(), p.Right)
+		}
+	}
+
+	if rck > 0 {
+		if len(doc.Targets) == 0 {
+			return fmt.Errorf("rule file declares no target; add a 'target' statement")
+		}
+		for i, target := range doc.Targets {
+			keys, err := core.FindRCKs(doc.Ctx, doc.MDs, target, rck, nil)
+			if err != nil {
+				return err
+			}
+			if prune {
+				keys = core.PruneSubsumed(keys)
+			}
+			fmt.Printf("\ntarget %d: %s[%s] <=> %s[%s]\n", i+1,
+				doc.Ctx.Left.Name(), strings.Join(target.Y1, ", "),
+				doc.Ctx.Right.Name(), strings.Join(target.Y2, ", "))
+			for j, k := range keys {
+				fmt.Printf("  rck%d: %s\n", j+1, k)
+			}
+		}
+	}
+	return nil
+}
+
+// parseStatementMD parses a single "md ..." statement in the context of
+// an already-parsed document.
+func parseStatementMD(doc *mdlang.Document, stmt string) (core.MD, error) {
+	var b strings.Builder
+	writeSchema := func(r *schema.Relation) {
+		fmt.Fprintf(&b, "schema %s(%s)\n", r.Name(), strings.Join(r.AttrNames(), ", "))
+	}
+	writeSchema(doc.Ctx.Left)
+	if doc.Ctx.Right != doc.Ctx.Left {
+		writeSchema(doc.Ctx.Right)
+	}
+	fmt.Fprintf(&b, "pair %s %s\n%s\n", doc.Ctx.Left.Name(), doc.Ctx.Right.Name(), stmt)
+	sub, err := mdlang.Parse(b.String(), nil)
+	if err != nil {
+		return core.MD{}, fmt.Errorf("parsing statement: %w", err)
+	}
+	if len(sub.MDs) != 1 {
+		return core.MD{}, fmt.Errorf("expected exactly one md statement, got %d", len(sub.MDs))
+	}
+	return sub.MDs[0], nil
+}

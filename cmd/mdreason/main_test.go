@@ -1,0 +1,150 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mdmatch/internal/mdlang"
+)
+
+const testRules = `
+schema credit(cno, ssn, fn, ln, addr, tel, email, gender, type)
+schema billing(cno, fn, ln, post, phn, email, gender, item, price)
+pair credit billing
+md credit[ln] = billing[ln] && credit[addr] = billing[post] && credit[fn] ~dl(0.75) billing[fn] -> credit[fn, ln, addr, tel, gender] <=> billing[fn, ln, post, phn, gender]
+md credit[tel] = billing[phn] -> credit[addr] <=> billing[post]
+md credit[email] = billing[email] -> credit[fn, ln] <=> billing[fn, ln]
+target credit[fn, ln, addr, tel, gender] <=> billing[fn, ln, post, phn, gender]
+`
+
+func writeRules(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "rules.md")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// capture redirects stdout around f.
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	out, err := os.ReadFile("/dev/stdin")
+	_ = out
+	_ = err
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	// Drain any remainder.
+	for {
+		m, err := r.Read(buf[n:])
+		n += m
+		if err != nil || n == len(buf) {
+			break
+		}
+	}
+	return string(buf[:n]), ferr
+}
+
+func TestRunRCKDerivation(t *testing.T) {
+	path := writeRules(t, testRules)
+	out, err := capture(t, func() error { return run(path, 6, "", "", "", false) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"parsed 2 schemas, 3 MDs", "target 1:", "rck1:", "rck5:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunDeduce(t *testing.T) {
+	path := writeRules(t, testRules)
+	stmt := "md credit[email] = billing[email] && credit[tel] = billing[phn] -> credit[fn, ln, addr, tel, gender] <=> billing[fn, ln, post, phn, gender]"
+	out, err := capture(t, func() error { return run(path, 0, stmt, "", "", false) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Σ ⊨m ϕ: true") {
+		t.Errorf("deduction verdict missing:\n%s", out)
+	}
+	// A non-deducible statement reports false.
+	weak := "md credit[gender] = billing[gender] -> credit[fn] <=> billing[fn]"
+	out, err = capture(t, func() error { return run(path, 0, weak, "", "", false) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Σ ⊨m ϕ: false") {
+		t.Errorf("negative verdict missing:\n%s", out)
+	}
+}
+
+func TestRunExplainAndClosure(t *testing.T) {
+	path := writeRules(t, testRules)
+	stmt := "md credit[email] = billing[email] && credit[tel] = billing[phn] -> credit[fn] <=> billing[fn]"
+	out, err := capture(t, func() error { return run(path, 0, "", stmt, stmt, false) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"[hypothesis]", "∴ deduced", "identified cross pairs", "credit[addr] ⇌ billing[post]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunNegativeConflictWarning(t *testing.T) {
+	path := writeRules(t, testRules+"\nmd credit[email] = billing[email] && credit[tel] = billing[phn] -> credit[fn, ln, addr, tel, gender] <!> billing[fn, ln, post, phn, gender]\n")
+	out, err := capture(t, func() error { return run(path, 0, "", "", "", false) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "WARNING: negative rule 1 conflicts") {
+		t.Errorf("conflict warning missing:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "missing.md"), 0, "", "", "", false); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := writeRules(t, "frobnicate")
+	if err := run(bad, 0, "", "", "", false); err == nil {
+		t.Error("unparsable file accepted")
+	}
+	// RCK derivation without a target errors.
+	noTarget := writeRules(t, "schema a(x)\nschema b(y)\npair a b\nmd a[x] = b[y] -> a[x] <=> b[y]\n")
+	if _, err := capture(t, func() error { return run(noTarget, 3, "", "", "", false) }); err == nil {
+		t.Error("rck derivation without target accepted")
+	}
+	// Malformed statements error.
+	ok := writeRules(t, testRules)
+	if _, err := capture(t, func() error { return run(ok, 0, "md ((", "", "", false) }); err == nil {
+		t.Error("malformed -deduce statement accepted")
+	}
+}
+
+func TestParseStatementMDSelfMatch(t *testing.T) {
+	doc, err := mdlang.Parse("schema p(a, b)\npair p p\nmd p[a] = p[a] -> p[b] <=> p[b]\n", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, err := parseStatementMD(doc, "md p[b] = p[b] -> p[a] <=> p[a]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(md.LHS) != 1 {
+		t.Fatalf("parsed MD = %s", md)
+	}
+}

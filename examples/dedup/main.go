@@ -1,0 +1,127 @@
+// Merge/purge deduplication within a single relation: the classic
+// mailing-list scenario of Hernández & Stolfo [20]. Matching
+// dependencies handle this as the self-match context (R, R) — the left
+// and right copies of the relation are matched against each other.
+//
+// Run with: go run ./examples/dedup
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mdmatch"
+)
+
+func main() {
+	// Build a person list with duplicates from the credit side of the
+	// generator (each holder appears once clean and possibly once dirty).
+	ds, err := mdmatch.GenerateDataset(mdmatch.DefaultGenConfig(1500))
+	if err != nil {
+		log.Fatal(err)
+	}
+	people := ds.Credit
+	ctx, err := mdmatch.NewPair(people.Rel, people.Rel) // self-match (R, R)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := mdmatch.NewPairInstance(ctx, people, people)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("person list: %d records (duplicates to purge: %d)\n",
+		people.Len(), people.Len()-1500)
+
+	// Self-match MDs: same email -> same name; same phone -> same street;
+	// name+street+city similar -> same person.
+	dl := mdmatch.DL(0.8)
+	target, err := mdmatch.NewTarget(ctx,
+		mdmatch.AttrList{"fn", "ln", "street", "city", "zip", "tel", "email", "dob"},
+		mdmatch.AttrList{"fn", "ln", "street", "city", "zip", "tel", "email", "dob"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mkMD := func(lhs []mdmatch.Conjunct, rhs []mdmatch.AttrPair) mdmatch.MD {
+		md, err := mdmatch.NewMD(ctx, lhs, rhs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return md
+	}
+	sigma := []mdmatch.MD{
+		mkMD([]mdmatch.Conjunct{mdmatch.C("email", dl, "email")},
+			[]mdmatch.AttrPair{mdmatch.P("fn", "fn"), mdmatch.P("ln", "ln")}),
+		mkMD([]mdmatch.Conjunct{mdmatch.C("tel", dl, "tel")},
+			[]mdmatch.AttrPair{mdmatch.P("street", "street"), mdmatch.P("city", "city"), mdmatch.P("zip", "zip")}),
+		mkMD([]mdmatch.Conjunct{mdmatch.C("ln", dl, "ln"), mdmatch.C("fn", dl, "fn"),
+			mdmatch.C("street", dl, "street"), mdmatch.C("city", dl, "city")},
+			target.Pairs()),
+		mkMD([]mdmatch.Conjunct{mdmatch.C("dob", dl, "dob"), mdmatch.C("ln", dl, "ln"), mdmatch.C("fn", dl, "fn")},
+			target.Pairs()),
+		mkMD([]mdmatch.Conjunct{mdmatch.C("cno", dl, "cno")},
+			target.Pairs()),
+	}
+	keys, err := mdmatch.FindRCKs(ctx, sigma, target, 6, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	keys = mdmatch.PruneSubsumed(keys)
+	fmt.Println("\ndeduced dedup keys:")
+	for i, k := range keys {
+		fmt.Printf("  rck%d: %s\n", i+1, k)
+	}
+
+	// Multi-pass sorted neighborhood over the self-match pair.
+	passes := []mdmatch.KeySpec{
+		mdmatch.NewKeySpec(mdmatch.P("ln", "ln"), mdmatch.P("zip", "zip")),
+		mdmatch.NewKeySpec(mdmatch.P("tel", "tel")),
+		mdmatch.NewKeySpec(mdmatch.P("dob", "dob"), mdmatch.P("fn", "fn")),
+	}
+	candidates := mdmatch.NewPairSet()
+	for _, ks := range passes {
+		cands, err := mdmatch.Window(d, ks, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range cands.Pairs() {
+			candidates.Add(p)
+		}
+	}
+	// Self-match hygiene: drop (t, t) pairs, count each unordered pair once.
+	candidates = mdmatch.OrientSelfMatch(candidates)
+
+	rules := mdmatch.NewRuleSet(keys...)
+	matches, err := rules.MatchCandidates(d, candidates)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oriented := mdmatch.OrientSelfMatch(mdmatch.TransitiveClosure(matches))
+
+	// Ground truth: same-holder pairs, oriented.
+	truth := mdmatch.NewPairSet()
+	byHolder := map[int][]int{}
+	for id, h := range ds.CreditHolder {
+		byHolder[h] = append(byHolder[h], id)
+	}
+	for _, ids := range byHolder {
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				a, b := ids[i], ids[j]
+				if a > b {
+					a, b = b, a
+				}
+				truth.Add(mdmatch.PairRef{Left: a, Right: b})
+			}
+		}
+	}
+	q := mdmatch.Evaluate(oriented, truth)
+	fmt.Printf("\nmerge/purge over %d candidates:\n  %s\n", candidates.Len(), q)
+
+	// Purge: keep one record per matched cluster.
+	drop := map[int]bool{}
+	for _, p := range oriented.Pairs() {
+		drop[p.Right] = true // keep the smaller id
+	}
+	fmt.Printf("\npurged list: %d records (removed %d duplicates)\n",
+		people.Len()-len(drop), len(drop))
+}

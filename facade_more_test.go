@@ -1,0 +1,180 @@
+package mdmatch
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeSchemaBuilders(t *testing.T) {
+	r, err := NewRelation("r", Attribute{Name: "a"}, Attribute{Name: "n", Domain: Domain("int")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Arity() != 2 {
+		t.Fatal("NewRelation broken")
+	}
+	r2, err := StringsRelation("s", "x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPair(r2, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.SelfMatch() {
+		t.Fatal("self-match pair broken")
+	}
+	if Left.Other() != Right {
+		t.Fatal("side constants broken")
+	}
+}
+
+func TestFacadeReasoning(t *testing.T) {
+	doc, err := ParseRules(paperRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MDClosure through the facade.
+	cl, err := MDClosure(doc.Ctx, doc.MDs, []Conjunct{EqC("email", "email"), EqC("tel", "phn")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := cl.Identified("addr", "post")
+	if err != nil || !ok {
+		t.Fatalf("closure through facade: %v %v", ok, err)
+	}
+	// Deduce + Explain.
+	phi, err := NewMD(doc.Ctx,
+		[]Conjunct{EqC("email", "email"), EqC("tel", "phn")},
+		[]AttrPair{P("fn", "fn")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	yes, err := Deduce(doc.MDs, phi)
+	if err != nil || !yes {
+		t.Fatalf("Deduce through facade: %v %v", yes, err)
+	}
+	exp, err := Explain(doc.MDs, phi)
+	if err != nil || !exp.Deduced {
+		t.Fatalf("Explain through facade: %v %v", exp, err)
+	}
+	if !strings.Contains(exp.Render(doc.MDs), "hypothesis") {
+		t.Error("explanation rendering broken")
+	}
+	// AllRCKs + cost model + target/key construction.
+	cm := DefaultCostModel()
+	keys, err := AllRCKs(doc.Ctx, doc.MDs, doc.Targets[0], cm)
+	if err != nil || len(keys) != 5 {
+		t.Fatalf("AllRCKs through facade: %d keys, %v", len(keys), err)
+	}
+	tg, err := NewTarget(doc.Ctx, AttrList{"fn"}, AttrList{"fn"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewKey(doc.Ctx, tg, []Conjunct{C("fn", DL(0.8), "fn")}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeParseWith(t *testing.T) {
+	reg := DefaultRegistry()
+	doc, err := ParseRulesWith("schema a(x)\nschema b(y)\npair a b\nmd a[x] ~jw(0.9) b[y] -> a[x] <=> b[y]\n", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.MDs[0].LHS[0].OpName() != "jw(0.90)" {
+		t.Fatalf("op = %s", doc.MDs[0].LHS[0].OpName())
+	}
+}
+
+func TestFacadeDiscoverPipeline(t *testing.T) {
+	ds, err := GenerateDataset(DefaultGenConfig(120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := CreditBillingTarget(ds.Ctx)
+	d := ds.Pair()
+	truth := ds.Truth()
+	sample := DiscoverSample{D: d, Pairs: truth.Pairs(), Truth: truth}
+	// Add non-matching pairs.
+	for i, ct := range ds.Credit.Tuples {
+		bt := ds.Billing.Tuples[(i*11+5)%ds.Billing.Len()]
+		p := PairRef{Left: ct.ID, Right: bt.ID}
+		if !truth.Has(p) {
+			sample.Pairs = append(sample.Pairs, p)
+		}
+	}
+	dl := DL(0.8)
+	cands, err := MineMDs(sample, DiscoverConfig{
+		Fields: []Field{
+			{Pair: P("email", "email"), Op: dl},
+			{Pair: P("tel", "phn"), Op: dl},
+			{Pair: P("ln", "ln"), Op: dl},
+			{Pair: P("dob", "dob"), Op: dl},
+		},
+		MinSupport: 5, MinConfidence: 0.9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("nothing mined through facade")
+	}
+	mds, err := DiscoveredToMDs(ds.Ctx, target, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := FindRCKs(ds.Ctx, mds, target, 3, nil)
+	if err != nil || len(keys) == 0 {
+		t.Fatalf("discover->deduce pipeline: %d keys, %v", len(keys), err)
+	}
+}
+
+func TestFacadeBlockingHelpers(t *testing.T) {
+	ds, err := GenerateDataset(DefaultGenConfig(80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ds.Pair()
+	keys, err := FindRCKs(ds.Ctx, CreditBillingMDs(ds.Ctx), CreditBillingTarget(ds.Ctx), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := KeySpecFromRCKs(keys, 3, "fn", "ln")
+	cands, err := Block(d, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bq := EvaluateBlocking(cands, ds.Truth(), ds.TotalPairs())
+	if bq.RR() <= 0 {
+		t.Error("blocking through facade did not reduce")
+	}
+	oriented := OrientSelfMatch(NewPairSet(PairRef{Left: 2, Right: 1}, PairRef{Left: 1, Right: 1}))
+	if oriented.Len() != 1 || !oriented.Has(PairRef{Left: 1, Right: 2}) {
+		t.Error("OrientSelfMatch through facade broken")
+	}
+}
+
+func TestFacadeNegativeAndSubsumption(t *testing.T) {
+	doc, err := ParseRules(paperRules + "\nmd credit[gender] = billing[gender] -> credit[fn] <!> billing[fn]\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Negatives) != 1 {
+		t.Fatalf("negatives = %d", len(doc.Negatives))
+	}
+	conflict, err := doc.Negatives[0].ConflictsWith(doc.MDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conflict {
+		t.Error("gender veto must not conflict with Σc")
+	}
+	keys, err := FindRCKs(doc.Ctx, doc.MDs, doc.Targets[0], 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := PruneSubsumed(keys); len(got) > len(keys) {
+		t.Error("PruneSubsumed grew the key set")
+	}
+}

@@ -1,0 +1,264 @@
+// Package blocking implements the two candidate-space optimizations
+// evaluated in Exp-4 of the paper: blocking (partition by key, compare
+// within blocks) and windowing (sort by key, compare within a sliding
+// window [20]). Keys are built from attribute pairs with optional
+// per-field encoders (e.g. Soundex on names, "encoded by Sounex before
+// blocking", Section 6.2).
+package blocking
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mdmatch/internal/core"
+	"mdmatch/internal/metrics"
+	"mdmatch/internal/record"
+	"mdmatch/internal/similarity"
+)
+
+// Encoder transforms a field value before it enters a key.
+type Encoder func(string) string
+
+// Identity is the no-op encoder.
+func Identity(s string) string { return s }
+
+// SoundexEncode encodes with American Soundex.
+func SoundexEncode(s string) string { return similarity.Soundex(s) }
+
+// PrefixEncoder returns an encoder keeping the lowercase n-rune prefix.
+func PrefixEncoder(n int) Encoder {
+	return func(s string) string {
+		rs := []rune(strings.ToLower(s))
+		if len(rs) > n {
+			rs = rs[:n]
+		}
+		return string(rs)
+	}
+}
+
+// KeyField is one component of a blocking/sorting key: the attribute on
+// each side and the encoder applied to its value.
+type KeyField struct {
+	Pair   core.AttrPair
+	Encode Encoder
+}
+
+// KeySpec is an ordered list of key fields. Left and right tuples encode
+// to comparable key strings.
+type KeySpec struct {
+	Fields []KeyField
+}
+
+// NewKeySpec builds a key from attribute pairs with the identity encoder.
+func NewKeySpec(pairs ...core.AttrPair) KeySpec {
+	fields := make([]KeyField, len(pairs))
+	for i, p := range pairs {
+		fields[i] = KeyField{Pair: p, Encode: Identity}
+	}
+	return KeySpec{Fields: fields}
+}
+
+// WithEncoder returns a copy of the spec with the encoder of field i
+// replaced.
+func (ks KeySpec) WithEncoder(i int, enc Encoder) KeySpec {
+	fields := append([]KeyField(nil), ks.Fields...)
+	fields[i].Encode = enc
+	return KeySpec{Fields: fields}
+}
+
+// String names the key fields, for experiment reports.
+func (ks KeySpec) String() string {
+	parts := make([]string, len(ks.Fields))
+	for i, f := range ks.Fields {
+		parts[i] = f.Pair.String()
+	}
+	return strings.Join(parts, "+")
+}
+
+// LeftKey builds the key string of a left-side tuple.
+func (ks KeySpec) LeftKey(in *record.Instance, t *record.Tuple) (string, error) {
+	return ks.key(in, t, true)
+}
+
+// RightKey builds the key string of a right-side tuple.
+func (ks KeySpec) RightKey(in *record.Instance, t *record.Tuple) (string, error) {
+	return ks.key(in, t, false)
+}
+
+func (ks KeySpec) key(in *record.Instance, t *record.Tuple, left bool) (string, error) {
+	var b strings.Builder
+	for i, f := range ks.Fields {
+		attr := f.Pair.Left
+		if !left {
+			attr = f.Pair.Right
+		}
+		v, err := in.Get(t, attr)
+		if err != nil {
+			return "", err
+		}
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		enc := f.Encode
+		if enc == nil {
+			enc = Identity
+		}
+		b.WriteString(enc(v))
+	}
+	return b.String(), nil
+}
+
+// FromRCKs derives a blocking key from derived RCKs, as in Exp-4: take
+// the first maxFields distinct attribute pairs of the keys (in order),
+// Soundex-encoding the name-like fields listed in soundexAttrs.
+func FromRCKs(keys []core.Key, maxFields int, soundexAttrs ...string) KeySpec {
+	sdx := map[string]bool{}
+	for _, a := range soundexAttrs {
+		sdx[a] = true
+	}
+	seen := map[core.AttrPair]bool{}
+	var fields []KeyField
+	for _, k := range keys {
+		for _, c := range k.Conjuncts {
+			if seen[c.Pair] {
+				continue
+			}
+			seen[c.Pair] = true
+			enc := Identity
+			if sdx[c.Pair.Left] || sdx[c.Pair.Right] {
+				enc = SoundexEncode
+			}
+			fields = append(fields, KeyField{Pair: c.Pair, Encode: enc})
+			if len(fields) == maxFields {
+				return KeySpec{Fields: fields}
+			}
+		}
+	}
+	return KeySpec{Fields: fields}
+}
+
+// Block partitions both sides by key value and returns all cross-side
+// pairs within each block as candidates.
+func Block(d *record.PairInstance, ks KeySpec) (*metrics.PairSet, error) {
+	if len(ks.Fields) == 0 {
+		return nil, fmt.Errorf("blocking: empty key")
+	}
+	left := map[string][]int{}
+	for _, t := range d.Left.Tuples {
+		k, err := ks.LeftKey(d.Left, t)
+		if err != nil {
+			return nil, err
+		}
+		left[k] = append(left[k], t.ID)
+	}
+	out := metrics.NewPairSet()
+	for _, t := range d.Right.Tuples {
+		k, err := ks.RightKey(d.Right, t)
+		if err != nil {
+			return nil, err
+		}
+		for _, lid := range left[k] {
+			out.Add(metrics.Pair{Left: lid, Right: t.ID})
+		}
+	}
+	return out, nil
+}
+
+// taggedRec is one record in the merged sort order of Window.
+type taggedRec struct {
+	key  string
+	left bool
+	id   int
+}
+
+// Window merges both sides, sorts by key, and slides a window of w
+// records over the sorted list; cross-side pairs co-occurring in a
+// window become candidates (the sorted-neighborhood candidate space
+// [20], fixed window size 10 in Exps 2-3).
+func Window(d *record.PairInstance, ks KeySpec, w int) (*metrics.PairSet, error) {
+	if len(ks.Fields) == 0 {
+		return nil, fmt.Errorf("blocking: empty key")
+	}
+	if w < 2 {
+		return nil, fmt.Errorf("blocking: window must be at least 2, got %d", w)
+	}
+	recs := make([]taggedRec, 0, d.Left.Len()+d.Right.Len())
+	for _, t := range d.Left.Tuples {
+		k, err := ks.LeftKey(d.Left, t)
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, taggedRec{key: k, left: true, id: t.ID})
+	}
+	for _, t := range d.Right.Tuples {
+		k, err := ks.RightKey(d.Right, t)
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, taggedRec{key: k, left: false, id: t.ID})
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].key != recs[j].key {
+			return recs[i].key < recs[j].key
+		}
+		// Stable tie-break keeps the order deterministic.
+		if recs[i].left != recs[j].left {
+			return recs[i].left
+		}
+		return recs[i].id < recs[j].id
+	})
+	out := metrics.NewPairSet()
+	for i := range recs {
+		hi := i + w
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		for j := i + 1; j < hi; j++ {
+			a, b := recs[i], recs[j]
+			switch {
+			case a.left && !b.left:
+				out.Add(metrics.Pair{Left: a.id, Right: b.id})
+			case !a.left && b.left:
+				out.Add(metrics.Pair{Left: b.id, Right: a.id})
+			}
+		}
+	}
+	return out, nil
+}
+
+// MultiPass unions the candidate sets of several windowing passes, each
+// with its own key ("this process is often repeated multiple times...
+// each using a different blocking key", Section 1).
+func MultiPass(d *record.PairInstance, keys []KeySpec, w int) (*metrics.PairSet, error) {
+	out := metrics.NewPairSet()
+	for _, ks := range keys {
+		cands, err := Window(d, ks, w)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range cands.Pairs() {
+			out.Add(p)
+		}
+	}
+	return out, nil
+}
+
+// OrientSelfMatch normalizes a candidate or match set over a self-match
+// context (both sides the same instance): identity pairs (t, t) are
+// dropped and each unordered pair is kept once, oriented Left < Right.
+// Use after Window/Block/MultiPass when deduplicating a single relation
+// against itself.
+func OrientSelfMatch(ps *metrics.PairSet) *metrics.PairSet {
+	out := metrics.NewPairSet()
+	for _, p := range ps.Pairs() {
+		if p.Left == p.Right {
+			continue
+		}
+		if p.Left > p.Right {
+			p.Left, p.Right = p.Right, p.Left
+		}
+		out.Add(p)
+	}
+	return out
+}

@@ -1,0 +1,254 @@
+package blocking
+
+import (
+	"testing"
+
+	"mdmatch/internal/core"
+	"mdmatch/internal/gen"
+	"mdmatch/internal/metrics"
+	"mdmatch/internal/record"
+	"mdmatch/internal/schema"
+	"mdmatch/internal/similarity"
+)
+
+func pairFixture(t testing.TB) *record.PairInstance {
+	t.Helper()
+	l := schema.MustStrings("l", "name", "zip")
+	r := schema.MustStrings("r", "name", "zip")
+	ctx := schema.MustPair(l, r)
+	li := record.NewInstance(l)
+	li.MustAppend("Clifford", "07974") // 0
+	li.MustAppend("Smith", "07974")    // 1
+	li.MustAppend("Jones", "10001")    // 2
+	ri := record.NewInstance(r)
+	ri.MustAppend("Clivord", "07974") // 0: same soundex as Clifford
+	ri.MustAppend("Smith", "07974")   // 1
+	ri.MustAppend("Brown", "99999")   // 2
+	d, err := record.NewPairInstance(ctx, li, ri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestEncoders(t *testing.T) {
+	if Identity("x Y") != "x Y" {
+		t.Error("Identity broken")
+	}
+	if SoundexEncode("Clifford") != SoundexEncode("Clivord") {
+		t.Error("SoundexEncode must conflate Clifford/Clivord")
+	}
+	p3 := PrefixEncoder(3)
+	if p3("Clifford") != "cli" || p3("ab") != "ab" {
+		t.Errorf("PrefixEncoder: %q %q", p3("Clifford"), p3("ab"))
+	}
+}
+
+func TestBlockExactKey(t *testing.T) {
+	d := pairFixture(t)
+	ks := NewKeySpec(core.P("zip", "zip"))
+	cands, err := Block(d, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// zip 07974: lefts {0,1} × rights {0,1} = 4 pairs; others isolated.
+	if cands.Len() != 4 {
+		t.Fatalf("candidates = %v", cands.Pairs())
+	}
+	for _, p := range []metrics.Pair{{Left: 0, Right: 0}, {Left: 0, Right: 1}, {Left: 1, Right: 0}, {Left: 1, Right: 1}} {
+		if !cands.Has(p) {
+			t.Errorf("missing %v", p)
+		}
+	}
+}
+
+func TestBlockSoundexKey(t *testing.T) {
+	d := pairFixture(t)
+	ks := NewKeySpec(core.P("name", "name")).WithEncoder(0, SoundexEncode)
+	cands, err := Block(d, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cands.Has(metrics.Pair{Left: 0, Right: 0}) {
+		t.Error("soundex blocking must co-block Clifford/Clivord")
+	}
+	if !cands.Has(metrics.Pair{Left: 1, Right: 1}) {
+		t.Error("identical names must co-block")
+	}
+	if cands.Has(metrics.Pair{Left: 2, Right: 2}) {
+		t.Error("Jones/Brown must not co-block")
+	}
+}
+
+func TestBlockErrors(t *testing.T) {
+	d := pairFixture(t)
+	if _, err := Block(d, KeySpec{}); err == nil {
+		t.Error("empty key accepted")
+	}
+	if _, err := Block(d, NewKeySpec(core.P("zz", "zip"))); err == nil {
+		t.Error("bad attribute accepted")
+	}
+	if _, err := Block(d, NewKeySpec(core.P("zip", "zz"))); err == nil {
+		t.Error("bad right attribute accepted")
+	}
+}
+
+func TestWindow(t *testing.T) {
+	d := pairFixture(t)
+	ks := NewKeySpec(core.P("zip", "zip"))
+	// Window covering everything yields all cross pairs.
+	all, err := Window(d, ks, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Len() != 9 {
+		t.Fatalf("full window candidates = %d, want 9", all.Len())
+	}
+	// Window of 2 only pairs adjacent records in sort order.
+	w2, err := Window(d, ks, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.Len() >= all.Len() {
+		t.Fatalf("w=2 candidates (%d) must be fewer than full (%d)", w2.Len(), all.Len())
+	}
+	// Same-zip tuples sort together, so the 07974 block contributes.
+	found := false
+	for _, p := range w2.Pairs() {
+		if p.Left <= 1 && p.Right <= 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("w=2 lost all same-zip pairs")
+	}
+	// Errors.
+	if _, err := Window(d, ks, 1); err == nil {
+		t.Error("window < 2 accepted")
+	}
+	if _, err := Window(d, KeySpec{}, 5); err == nil {
+		t.Error("empty key accepted")
+	}
+	if _, err := Window(d, NewKeySpec(core.P("zz", "zip")), 5); err == nil {
+		t.Error("bad attribute accepted")
+	}
+}
+
+func TestWindowDeterministic(t *testing.T) {
+	d := pairFixture(t)
+	ks := NewKeySpec(core.P("zip", "zip"), core.P("name", "name"))
+	a, err := Window(d, ks, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Window(d, ks, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatal("windowing not deterministic")
+	}
+	for _, p := range a.Pairs() {
+		if !b.Has(p) {
+			t.Fatal("windowing not deterministic")
+		}
+	}
+}
+
+func TestMultiPass(t *testing.T) {
+	d := pairFixture(t)
+	k1 := NewKeySpec(core.P("zip", "zip"))
+	k2 := NewKeySpec(core.P("name", "name")).WithEncoder(0, SoundexEncode)
+	multi, err := MultiPass(d, []KeySpec{k1, k2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := Window(d, k1, 2)
+	b, _ := Window(d, k2, 2)
+	if multi.Len() < a.Len() || multi.Len() < b.Len() {
+		t.Error("multi-pass must be a superset of each pass")
+	}
+	for _, p := range a.Pairs() {
+		if !multi.Has(p) {
+			t.Error("multi-pass lost a pass-1 candidate")
+		}
+	}
+	if _, err := MultiPass(d, []KeySpec{{}}, 2); err == nil {
+		t.Error("bad pass accepted")
+	}
+}
+
+func TestFromRCKs(t *testing.T) {
+	ds, err := gen.Generate(gen.DefaultConfig(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := gen.Target(ds.Ctx)
+	keys, err := core.FindRCKs(ds.Ctx, gen.HolderMDs(ds.Ctx), target, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := FromRCKs(keys, 3, "fn", "ln")
+	if len(ks.Fields) != 3 {
+		t.Fatalf("FromRCKs produced %d fields, want 3 (key=%s)", len(ks.Fields), ks)
+	}
+	// Name fields must be soundex-encoded.
+	for _, f := range ks.Fields {
+		if f.Pair.Left == "fn" || f.Pair.Left == "ln" {
+			if f.Encode("Clifford") != similarity.Soundex("Clifford") {
+				t.Error("name field not soundex-encoded")
+			}
+		}
+	}
+	// Keys must produce valid key strings on the data.
+	if _, err := Block(ds.Pair(), ks); err != nil {
+		t.Fatalf("RCK-derived key unusable: %v", err)
+	}
+	// maxFields larger than available pairs: returns what exists.
+	wide := FromRCKs(keys[:1], 99)
+	if len(wide.Fields) != keys[0].Length() {
+		t.Errorf("FromRCKs wide = %d fields, want %d", len(wide.Fields), keys[0].Length())
+	}
+}
+
+func TestOrientSelfMatch(t *testing.T) {
+	in := metrics.NewPairSet(
+		metrics.Pair{Left: 3, Right: 3}, // identity: dropped
+		metrics.Pair{Left: 5, Right: 2}, // reversed: oriented
+		metrics.Pair{Left: 2, Right: 5}, // duplicate of the above
+		metrics.Pair{Left: 1, Right: 4},
+	)
+	out := OrientSelfMatch(in)
+	if out.Len() != 2 {
+		t.Fatalf("oriented set = %v", out.Pairs())
+	}
+	if !out.Has(metrics.Pair{Left: 2, Right: 5}) || !out.Has(metrics.Pair{Left: 1, Right: 4}) {
+		t.Fatalf("oriented set = %v", out.Pairs())
+	}
+	if out.Has(metrics.Pair{Left: 3, Right: 3}) {
+		t.Fatal("identity pair survived")
+	}
+}
+
+func TestBlockingBeatsNothingOnTruth(t *testing.T) {
+	// End-to-end sanity: on a generated dataset, zip+soundex(name)
+	// blocking keeps a decent share of true matches while cutting the
+	// space by a lot.
+	ds, err := gen.Generate(gen.DefaultConfig(150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ds.Pair()
+	ks := NewKeySpec(core.P("ln", "ln"), core.P("zip", "zip")).WithEncoder(0, SoundexEncode)
+	cands, err := Block(d, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bq := metrics.EvaluateBlocking(cands, ds.Truth(), ds.TotalPairs())
+	if bq.RR() < 0.9 {
+		t.Errorf("reduction ratio = %.3f, expected > 0.9", bq.RR())
+	}
+	if bq.PC() < 0.15 {
+		t.Errorf("pairs completeness = %.3f, expected some true matches to survive", bq.PC())
+	}
+}

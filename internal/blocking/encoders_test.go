@@ -1,0 +1,95 @@
+package blocking
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mdmatch/internal/core"
+	"mdmatch/internal/record"
+	"mdmatch/internal/schema"
+)
+
+func TestPrefixEncoderProperties(t *testing.T) {
+	p4 := PrefixEncoder(4)
+	// Always lowercase, never longer than n runes.
+	f := func(s string) bool {
+		out := p4(s)
+		rs := []rune(out)
+		if len(rs) > 4 {
+			return false
+		}
+		for _, r := range rs {
+			if r >= 'A' && r <= 'Z' {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Equal inputs encode equally (key stability).
+	g := func(s string) bool { return p4(s) == p4(s) }
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeySpecNilEncoder(t *testing.T) {
+	// A zero-valued KeyField (nil encoder) must behave as identity.
+	l := schema.MustStrings("l", "a")
+	r := schema.MustStrings("r", "a")
+	ctx := schema.MustPair(l, r)
+	li := record.NewInstance(l)
+	tl := li.MustAppend("Value")
+	ri := record.NewInstance(r)
+	ri.MustAppend("Value")
+	_ = ctx
+	ks := KeySpec{Fields: []KeyField{{Pair: core.P("a", "a")}}}
+	k, err := ks.LeftKey(li, tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != "Value" {
+		t.Fatalf("nil encoder key = %q", k)
+	}
+}
+
+func TestKeySpecSeparator(t *testing.T) {
+	// Multi-field keys must not collide across field boundaries:
+	// ("ab", "c") vs ("a", "bc").
+	l := schema.MustStrings("l", "x", "y")
+	li := record.NewInstance(l)
+	t1 := li.MustAppend("ab", "c")
+	t2 := li.MustAppend("a", "bc")
+	ks := NewKeySpec(core.P("x", "x"), core.P("y", "y"))
+	k1, err := ks.LeftKey(li, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := ks.LeftKey(li, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k2 {
+		t.Fatalf("field-boundary collision: %q", k1)
+	}
+}
+
+func TestKeySpecString(t *testing.T) {
+	ks := NewKeySpec(core.P("a", "b"), core.P("c", "d"))
+	if ks.String() != "a|b+c|d" {
+		t.Fatalf("String() = %q", ks.String())
+	}
+}
+
+func TestWithEncoderDoesNotMutate(t *testing.T) {
+	ks := NewKeySpec(core.P("a", "b"))
+	ks2 := ks.WithEncoder(0, SoundexEncode)
+	if ks.Fields[0].Encode("Smith") != "Smith" {
+		t.Fatal("WithEncoder mutated the original spec")
+	}
+	if ks2.Fields[0].Encode("Smith") == "Smith" {
+		t.Fatal("WithEncoder did not set the new encoder")
+	}
+}

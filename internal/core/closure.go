@@ -1,0 +1,384 @@
+package core
+
+import (
+	"fmt"
+
+	"mdmatch/internal/schema"
+	"mdmatch/internal/similarity"
+)
+
+// Closure is the array M of algorithm MDClosure (Figure 5): an h×h×p
+// boolean array where h is the total number of columns of the two
+// relations and p the number of distinct similarity operators (equality
+// first). M(a, b, op) = 1 means that Σ ⊨m LHS(ϕ) → R[A] ≈op R'[B]: the
+// two columns are provably similar (for op "=", provably identified) in
+// every stable instance reached by enforcing Σ from an instance whose
+// tuples match LHS(ϕ).
+//
+// Columns are dense ids from schema.Pair.Col: left-relation attributes
+// first, then right-relation attributes; a and b may belong to the same
+// relation (intra-relation facts arise from the interaction of the
+// matching operator with equality and similarity, Lemma 3.4).
+type Closure struct {
+	ctx     schema.Pair
+	h       int
+	ops     []similarity.Operator // ops[0] is equality
+	opIndex map[string]int
+	m       []bool // (a*h + b)*p + op
+}
+
+const eqIdx = 0
+
+func (c *Closure) at(a, b, op int) bool { return c.m[(a*c.h+b)*len(c.ops)+op] }
+func (c *Closure) set(a, b, op int)     { c.m[(a*c.h+b)*len(c.ops)+op] = true }
+
+// Ops returns the operator universe of the closure (equality first).
+func (c *Closure) Ops() []similarity.Operator { return c.ops }
+
+// Ctx returns the schema context.
+func (c *Closure) Ctx() schema.Pair { return c.ctx }
+
+// Similar reports whether M records R[a] ≈op R'[b] (directly or via the
+// subsuming equality entry). Side/attr pairs may be on any side.
+func (c *Closure) Similar(sa schema.Side, a string, sb schema.Side, b string, opName string) (bool, error) {
+	ca, err := c.ctx.Col(sa, a)
+	if err != nil {
+		return false, err
+	}
+	cb, err := c.ctx.Col(sb, b)
+	if err != nil {
+		return false, err
+	}
+	op, ok := c.opIndex[opName]
+	if !ok {
+		return false, fmt.Errorf("core: operator %q not in closure universe", opName)
+	}
+	if c.at(ca, cb, eqIdx) {
+		return true, nil
+	}
+	if op == eqIdx {
+		return false, nil
+	}
+	return c.at(ca, cb, op), nil
+}
+
+// Identified reports whether M records R1[a] ⇌ R2[b] (i.e. the equality
+// entry for the cross pair is set).
+func (c *Closure) Identified(a, b string) (bool, error) {
+	return c.Similar(schema.Left, a, schema.Right, b, similarity.EqName)
+}
+
+// IdentifiedPairs enumerates all cross-relation attribute pairs recorded
+// as identified.
+func (c *Closure) IdentifiedPairs() []AttrPair {
+	var out []AttrPair
+	nl := c.ctx.Left.Arity()
+	for i := 0; i < nl; i++ {
+		for j := nl; j < c.h; j++ {
+			if c.at(i, j, eqIdx) {
+				_, la := c.ctx.ColRef(i)
+				_, ra := c.ctx.ColRef(j)
+				out = append(out, P(la, ra))
+			}
+		}
+	}
+	return out
+}
+
+// FactCount returns the number of true entries in M (counting each
+// symmetric pair twice), used by tests and ablation benchmarks.
+func (c *Closure) FactCount() int {
+	n := 0
+	for _, v := range c.m {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// fact is a queued similarity fact for Propagate.
+type fact struct{ a, b, op int }
+
+// watcher records that conjunct conj of MD md waits on an attribute pair.
+type watcher struct{ md, conj int }
+
+// traceSource records why a fact was assigned, for Explain.
+type traceSource struct {
+	kind traceKind
+	md   int // fired MD index, for traceMD
+	via  int // pivot column, for tracePivot
+}
+
+type traceKind int
+
+const (
+	traceSeed traceKind = iota
+	traceMD
+	tracePivot
+)
+
+// closureRun carries the mutable state of one MDClosure execution.
+type closureRun struct {
+	*Closure
+	sigma   []MD
+	queue   []fact
+	watch   map[[2]int][]watcher // keyed by (leftCol, rightCol) of LHS conjuncts
+	conjOp  [][]int              // operator index per MD conjunct
+	conjMet [][]bool
+	unmet   []int
+	applied []bool
+	fires   []int // MDs whose LHS became fully matched
+
+	// observe, when non-nil, receives every newly assigned fact together
+	// with its justification (set by Explain; nil on the Deduce path).
+	observe func(a, b, op int, src traceSource)
+	source  traceSource
+}
+
+// MDClosure computes the closure of Σ and LHS(ϕ) (Figure 5). It returns
+// the array M such that M(R[A], R'[B], ≈) = 1 iff Σ ⊨m LHS(ϕ) → R[A] ≈
+// R'[B]. Σ ⊨m ϕ then holds iff M(C1, C2, =) = 1 for every RHS pair
+// (C1, C2) of ϕ (checked by Deduce).
+//
+// The deliberate strengthening over the paper's Figure 6 (documented in
+// DESIGN.md §2.1): Propagate scans equality partners of both endpoints in
+// both relations, closing M under the full set of generic axioms. The
+// complexity bound O(n² + h³) of Theorem 4.1 is preserved (p constant);
+// the MD main loop is driven by a watch index so each MD is inspected
+// O(|LHS|) times rather than O(n) times.
+func MDClosure(ctx schema.Pair, sigma []MD, lhs []Conjunct) (*Closure, error) {
+	// Collect the operator universe: equality plus every distinct
+	// operator in Σ or LHS(ϕ).
+	opIndex := map[string]int{similarity.EqName: eqIdx}
+	ops := []similarity.Operator{similarity.Eq()}
+	addOp := func(op similarity.Operator) {
+		if op == nil {
+			return
+		}
+		if _, ok := opIndex[op.Name()]; !ok {
+			opIndex[op.Name()] = len(ops)
+			ops = append(ops, op)
+		}
+	}
+	for _, md := range sigma {
+		for _, c := range md.LHS {
+			addOp(c.Op)
+		}
+	}
+	for _, c := range lhs {
+		addOp(c.Op)
+	}
+
+	h := ctx.TotalColumns()
+	cl := &Closure{
+		ctx:     ctx,
+		h:       h,
+		ops:     ops,
+		opIndex: opIndex,
+		m:       make([]bool, h*h*len(ops)),
+	}
+	run := &closureRun{
+		Closure: cl,
+		sigma:   sigma,
+		watch:   make(map[[2]int][]watcher),
+		conjOp:  make([][]int, len(sigma)),
+		conjMet: make([][]bool, len(sigma)),
+		unmet:   make([]int, len(sigma)),
+		applied: make([]bool, len(sigma)),
+	}
+
+	// Build the watch index over Σ's LHS conjuncts.
+	for i, md := range sigma {
+		if err := md.Validate(); err != nil {
+			return nil, fmt.Errorf("core: Σ[%d]: %w", i, err)
+		}
+		run.conjOp[i] = make([]int, len(md.LHS))
+		run.conjMet[i] = make([]bool, len(md.LHS))
+		run.unmet[i] = len(md.LHS)
+		for j, c := range md.LHS {
+			ca, err := ctx.Col(schema.Left, c.Pair.Left)
+			if err != nil {
+				return nil, fmt.Errorf("core: Σ[%d]: %w", i, err)
+			}
+			cb, err := ctx.Col(schema.Right, c.Pair.Right)
+			if err != nil {
+				return nil, fmt.Errorf("core: Σ[%d]: %w", i, err)
+			}
+			run.conjOp[i][j] = opIndex[c.OpName()]
+			run.watch[[2]int{ca, cb}] = append(run.watch[[2]int{ca, cb}], watcher{md: i, conj: j})
+		}
+	}
+
+	// Lines 2-4 of Figure 5: seed M with the conjuncts of LHS(ϕ).
+	for i, c := range lhs {
+		if c.Op == nil {
+			return nil, fmt.Errorf("core: ϕ LHS conjunct %d has nil operator", i)
+		}
+		ca, err := ctx.Col(schema.Left, c.Pair.Left)
+		if err != nil {
+			return nil, fmt.Errorf("core: ϕ LHS conjunct %d: %w", i, err)
+		}
+		cb, err := ctx.Col(schema.Right, c.Pair.Right)
+		if err != nil {
+			return nil, fmt.Errorf("core: ϕ LHS conjunct %d: %w", i, err)
+		}
+		if run.assign(ca, cb, opIndex[c.OpName()]) {
+			run.propagate()
+		}
+		run.drainFires()
+	}
+	// Lines 5-11: apply MDs until no further change. The watch index
+	// makes the repeat loop event-driven: drainFires applies every MD
+	// whose LHS has become fully matched, which may enqueue more.
+	run.drainFires()
+	return cl, nil
+}
+
+// assign is procedure AssignVal (Figure 5): record R[A] ≈op R'[B] and its
+// symmetric entry unless already subsumed; returns whether M changed.
+// New facts are pushed on the propagation queue and LHS watchers are
+// notified.
+func (r *closureRun) assign(a, b, op int) bool {
+	if r.at(a, b, eqIdx) || r.at(a, b, op) {
+		return false
+	}
+	r.set(a, b, op)
+	r.set(b, a, op)
+	if r.observe != nil {
+		r.observe(a, b, op, r.source)
+	}
+	r.queue = append(r.queue, fact{a, b, op})
+	r.notify(a, b, op)
+	if a != b {
+		r.notify(b, a, op)
+	}
+	return true
+}
+
+// notify wakes LHS conjuncts waiting on the pair (a, b). A conjunct with
+// operator ≈ is met by a fact with the same operator or by equality
+// (which subsumes every similarity operator, line 7 of Figure 5).
+func (r *closureRun) notify(a, b, op int) {
+	for _, w := range r.watch[[2]int{a, b}] {
+		if r.conjMet[w.md][w.conj] {
+			continue
+		}
+		if op != eqIdx && r.conjOp[w.md][w.conj] != op {
+			continue
+		}
+		r.conjMet[w.md][w.conj] = true
+		r.unmet[w.md]--
+		if r.unmet[w.md] == 0 {
+			r.fires = append(r.fires, w.md)
+		}
+	}
+}
+
+// drainFires applies every MD whose LHS is fully matched (lines 9-11 of
+// Figure 5): its RHS pairs are recorded as identified and propagated,
+// which may fire further MDs.
+func (r *closureRun) drainFires() {
+	for len(r.fires) > 0 {
+		md := r.fires[len(r.fires)-1]
+		r.fires = r.fires[:len(r.fires)-1]
+		if r.applied[md] {
+			continue
+		}
+		r.applied[md] = true // line 9: Σ := Σ \ {φ}
+		if r.observe != nil {
+			r.source = traceSource{kind: traceMD, md: md}
+		}
+		for _, p := range r.sigma[md].RHS {
+			ca, _ := r.ctx.Col(schema.Left, p.Left)
+			cb, _ := r.ctx.Col(schema.Right, p.Right)
+			if r.observe != nil {
+				r.source = traceSource{kind: traceMD, md: md}
+			}
+			if r.assign(ca, cb, eqIdx) {
+				r.propagate()
+			}
+		}
+	}
+}
+
+// propagate is procedure Propagate (Figure 6), strengthened to scan both
+// relations for both endpoints: for each popped fact x ≈ y it applies
+// the generic axioms
+//
+//	x ≈ y ∧ x = c  ⇒  y ≈ c
+//	x ≈ y ∧ y = c  ⇒  x ≈ c
+//
+// and, when the popped fact is an equality x = y, additionally inherits
+// every similarity relation across it:
+//
+//	x = y ∧ x ≈d c  ⇒  y ≈d c
+//	x = y ∧ y ≈d c  ⇒  x ≈d c
+//
+// (procedure Infer, Figure 6, both cases).
+func (r *closureRun) propagate() {
+	for len(r.queue) > 0 {
+		f := r.queue[len(r.queue)-1]
+		r.queue = r.queue[:len(r.queue)-1]
+		p := len(r.ops)
+		for c := 0; c < r.h; c++ {
+			if c != f.b && r.at(f.a, c, eqIdx) {
+				if r.observe != nil {
+					r.source = traceSource{kind: tracePivot, via: f.a}
+				}
+				r.assign(f.b, c, f.op)
+			}
+			if c != f.a && r.at(f.b, c, eqIdx) {
+				if r.observe != nil {
+					r.source = traceSource{kind: tracePivot, via: f.b}
+				}
+				r.assign(f.a, c, f.op)
+			}
+			if f.op == eqIdx {
+				for d := 1; d < p; d++ {
+					if c != f.b && r.at(f.a, c, d) {
+						if r.observe != nil {
+							r.source = traceSource{kind: tracePivot, via: f.a}
+						}
+						r.assign(f.b, c, d)
+					}
+					if c != f.a && r.at(f.b, c, d) {
+						if r.observe != nil {
+							r.source = traceSource{kind: tracePivot, via: f.b}
+						}
+						r.assign(f.a, c, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Deduce decides the deduction problem (Section 3.1): whether Σ ⊨m ϕ,
+// i.e. whether for every instance D and every stable instance D' for Σ,
+// (D, D') ⊨ Σ implies (D, D') ⊨ ϕ. By Theorem 4.1 this holds iff every
+// RHS pair of ϕ is identified in the closure of Σ and LHS(ϕ).
+func Deduce(sigma []MD, phi MD) (bool, error) {
+	if err := phi.Validate(); err != nil {
+		return false, err
+	}
+	cl, err := MDClosure(phi.Ctx, sigma, phi.LHS)
+	if err != nil {
+		return false, err
+	}
+	for _, p := range phi.RHS {
+		ok, err := cl.Identified(p.Left, p.Right)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// DeduceKey decides Σ ⊨m ψ for a relative key ψ.
+func DeduceKey(sigma []MD, key Key) (bool, error) {
+	return Deduce(sigma, key.AsMD())
+}

@@ -1,0 +1,340 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mdmatch/internal/schema"
+	"mdmatch/internal/similarity"
+)
+
+func twoSchemas(t testing.TB, n int) schema.Pair {
+	t.Helper()
+	names := func(prefix string) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = prefix + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		}
+		return out
+	}
+	l := schema.MustStrings("L", names("l")...)
+	r := schema.MustStrings("R", names("r")...)
+	return schema.MustPair(l, r)
+}
+
+func TestMDValidation(t *testing.T) {
+	ctx := twoSchemas(t, 3)
+	la, ra := ctx.Left.Attr(0).Name, ctx.Right.Attr(0).Name
+	good := MD{Ctx: ctx, LHS: []Conjunct{Eq(la, ra)}, RHS: []AttrPair{P(la, ra)}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid MD rejected: %v", err)
+	}
+	bad := []MD{
+		{},
+		{Ctx: ctx},
+		{Ctx: ctx, LHS: []Conjunct{Eq(la, ra)}}, // empty RHS
+		{Ctx: ctx, RHS: []AttrPair{P(la, ra)}},  // empty LHS
+		{Ctx: ctx, LHS: []Conjunct{{Pair: P(la, ra)}}, RHS: []AttrPair{P(la, ra)}}, // nil op
+		{Ctx: ctx, LHS: []Conjunct{Eq("missing", ra)}, RHS: []AttrPair{P(la, ra)}}, // bad attr
+		{Ctx: ctx, LHS: []Conjunct{Eq(la, ra)}, RHS: []AttrPair{P(la, "missing")}}, // bad attr
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("invalid MD %d accepted", i)
+		}
+	}
+	// Domain mismatch.
+	l := schema.MustRelation("L2", schema.Attribute{Name: "a", Domain: schema.Int})
+	r := schema.MustRelation("R2", schema.Attribute{Name: "b", Domain: schema.String})
+	ctx2 := schema.MustPair(l, r)
+	dm := MD{Ctx: ctx2, LHS: []Conjunct{Eq("a", "b")}, RHS: []AttrPair{P("a", "b")}}
+	if err := dm.Validate(); err == nil {
+		t.Error("domain-mismatched MD accepted")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	ctx := twoSchemas(t, 4)
+	names := ctx.Left.AttrNames()
+	rnames := ctx.Right.AttrNames()
+	md := MustMD(ctx,
+		[]Conjunct{Eq(names[0], rnames[0])},
+		[]AttrPair{P(names[1], rnames[1]), P(names[2], rnames[2]), P(names[3], rnames[3])})
+	norm := md.Normalize()
+	if len(norm) != 3 {
+		t.Fatalf("Normalize produced %d MDs, want 3", len(norm))
+	}
+	for i, n := range norm {
+		if len(n.RHS) != 1 {
+			t.Errorf("normal form %d has %d RHS pairs", i, len(n.RHS))
+		}
+		if len(n.LHS) != len(md.LHS) {
+			t.Errorf("normal form %d lost LHS conjuncts", i)
+		}
+	}
+	// Deduction is invariant under normalization, in both directions.
+	if ok, err := Deduce(norm, md); err != nil || !ok {
+		t.Errorf("normal form must deduce the general form: ok=%v err=%v", ok, err)
+	}
+	for i, n := range norm {
+		if ok, err := Deduce([]MD{md}, n); err != nil || !ok {
+			t.Errorf("general form must deduce normal form %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+}
+
+func TestMDString(t *testing.T) {
+	ctx, sigma, _, _ := creditBilling(t)
+	s := sigma[0].String()
+	want := "credit[ln] = billing[ln] && credit[addr] = billing[post] && credit[fn] ~dl(0.75) billing[fn] -> credit[fn, ln, addr, tel, gender] <=> billing[fn, ln, post, phn, gender]"
+	if s != want {
+		t.Errorf("MD.String()\n got %q\nwant %q", s, want)
+	}
+	_ = ctx
+}
+
+func TestClosureReflexiveSeeds(t *testing.T) {
+	// Deducing an MD that is literally in Σ always succeeds.
+	_, sigma, _, _ := creditBilling(t)
+	for i, md := range sigma {
+		ok, err := Deduce(sigma, md)
+		if err != nil || !ok {
+			t.Errorf("Σ must deduce its own member ϕ%d: ok=%v err=%v", i+1, ok, err)
+		}
+	}
+}
+
+func TestClosureSymmetry(t *testing.T) {
+	ctx, sigma, _, _ := creditBilling(t)
+	cl, err := MDClosure(ctx, sigma, []Conjunct{Eq("email", "email"), Eq("tel", "phn")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every recorded fact must have its symmetric counterpart.
+	h := ctx.TotalColumns()
+	for a := 0; a < h; a++ {
+		for b := 0; b < h; b++ {
+			for op := range cl.Ops() {
+				if cl.at(a, b, op) != cl.at(b, a, op) {
+					t.Fatalf("asymmetric M entry at (%d,%d,op%d)", a, b, op)
+				}
+			}
+		}
+	}
+}
+
+func TestClosureEqSubsumesSimilarityQueries(t *testing.T) {
+	ctx, sigma, _, d := creditBilling(t)
+	cl, err := MDClosure(ctx, sigma, []Conjunct{Eq("email", "email"), Eq("tel", "phn")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fn⇌fn is identified; querying it under ≈d must also return true.
+	ok, err := cl.Similar(schema.Left, "fn", schema.Right, "fn", d.Name())
+	if err != nil || !ok {
+		t.Errorf("equality fact must satisfy similarity query: ok=%v err=%v", ok, err)
+	}
+	// Unknown operator names error out.
+	if _, err := cl.Similar(schema.Left, "fn", schema.Right, "fn", "nosuch(0.5)"); err == nil {
+		t.Error("unknown operator must be an error")
+	}
+	// Unknown attributes error out.
+	if _, err := cl.Identified("nosuch", "fn"); err == nil {
+		t.Error("unknown attribute must be an error")
+	}
+}
+
+func TestIdentifiedPairs(t *testing.T) {
+	ctx, sigma, target, _ := creditBilling(t)
+	cl, err := MDClosure(ctx, sigma, []Conjunct{Eq("email", "email"), Eq("tel", "phn")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[AttrPair]bool)
+	for _, p := range cl.IdentifiedPairs() {
+		got[p] = true
+	}
+	for _, p := range target.Pairs() {
+		if !got[p] {
+			t.Errorf("IdentifiedPairs missing %v", p)
+		}
+	}
+	if !got[P("email", "email")] || !got[P("tel", "phn")] {
+		t.Error("IdentifiedPairs missing seed pairs")
+	}
+}
+
+// TestDeductionMonotone: adding MDs to Σ never invalidates a deduction.
+func TestDeductionMonotone(t *testing.T) {
+	ctx, sigma, target, d := creditBilling(t)
+	rck := paperRCKs(ctx, target, d)[3]
+	extra := MustMD(ctx, []Conjunct{Eq("ssn", "item")}, []AttrPair{P("gender", "gender")})
+	for i := range sigma {
+		sub := sigma[:i+1]
+		okSub, err := DeduceKey(sub, rck)
+		if err != nil {
+			t.Fatal(err)
+		}
+		okAll, err := DeduceKey(append(append([]MD{}, sigma...), extra), rck)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if okSub && !okAll {
+			t.Errorf("deduction lost after adding MDs (prefix %d)", i+1)
+		}
+	}
+}
+
+// TestDeductionLHSMonotone: strengthening the LHS preserves deduction
+// (augmentation), randomized.
+func TestDeductionLHSMonotone(t *testing.T) {
+	ctx, sigma, target, d := creditBilling(t)
+	rnd := rand.New(rand.NewSource(7))
+	base := paperRCKs(ctx, target, d)[2] // email & addr
+	lAttrs := ctx.Left.AttrNames()
+	rAttrs := ctx.Right.AttrNames()
+	for trial := 0; trial < 50; trial++ {
+		extra := Eq(lAttrs[rnd.Intn(len(lAttrs))], rAttrs[rnd.Intn(len(rAttrs))])
+		aug := Key{Ctx: ctx, Target: target,
+			Conjuncts: append(append([]Conjunct{}, base.Conjuncts...), extra)}
+		ok, err := DeduceKey(sigma, aug)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("augmented key not deducible: %s", aug)
+		}
+	}
+}
+
+// TestClosureFactsMonotoneInSigma: the closure fact set grows (never
+// shrinks) as MDs are added, randomized over generated rule sets.
+func TestClosureFactsMonotoneInSigma(t *testing.T) {
+	ctx := twoSchemas(t, 8)
+	rnd := rand.New(rand.NewSource(42))
+	ops := []similarity.Operator{similarity.Eq(), similarity.DL(0.8), similarity.JaroOp(0.85)}
+	randMD := func() MD {
+		lhs := make([]Conjunct, 1+rnd.Intn(3))
+		for i := range lhs {
+			lhs[i] = Conjunct{
+				Pair: P(ctx.Left.Attr(rnd.Intn(8)).Name, ctx.Right.Attr(rnd.Intn(8)).Name),
+				Op:   ops[rnd.Intn(len(ops))],
+			}
+		}
+		rhs := []AttrPair{P(ctx.Left.Attr(rnd.Intn(8)).Name, ctx.Right.Attr(rnd.Intn(8)).Name)}
+		return MD{Ctx: ctx, LHS: lhs, RHS: rhs}
+	}
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rnd.Intn(8)
+		sigma := make([]MD, n)
+		for i := range sigma {
+			sigma[i] = randMD()
+		}
+		seed := []Conjunct{randMD().LHS[0]}
+		prev := 0
+		for i := 1; i <= n; i++ {
+			cl, err := MDClosure(ctx, sigma[:i], seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cl.FactCount() < prev {
+				t.Fatalf("fact count shrank: %d -> %d at prefix %d", prev, cl.FactCount(), i)
+			}
+			prev = cl.FactCount()
+		}
+	}
+}
+
+// TestClosureIdempotent: running the closure twice with the same inputs
+// yields identical fact sets (determinism).
+func TestClosureIdempotent(t *testing.T) {
+	ctx, sigma, _, _ := creditBilling(t)
+	seed := []Conjunct{Eq("email", "email"), Eq("tel", "phn")}
+	a, err := MDClosure(ctx, sigma, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MDClosure(ctx, sigma, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FactCount() != b.FactCount() {
+		t.Fatalf("non-deterministic closure: %d vs %d facts", a.FactCount(), b.FactCount())
+	}
+	for i := range a.m {
+		if a.m[i] != b.m[i] {
+			t.Fatal("non-deterministic closure entries")
+		}
+	}
+}
+
+// TestClosureOrderInvariant: the closure must not depend on the order of
+// MDs in Σ.
+func TestClosureOrderInvariant(t *testing.T) {
+	ctx, sigma, _, _ := creditBilling(t)
+	seed := []Conjunct{Eq("email", "email"), Eq("tel", "phn")}
+	a, err := MDClosure(ctx, sigma, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev := []MD{sigma[2], sigma[0], sigma[1]}
+	b, err := MDClosure(ctx, rev, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.m {
+		if a.m[i] != b.m[i] {
+			t.Fatal("closure depends on Σ order")
+		}
+	}
+}
+
+// TestDeduceErrors checks error paths.
+func TestDeduceErrors(t *testing.T) {
+	ctx := twoSchemas(t, 2)
+	la, ra := ctx.Left.Attr(0).Name, ctx.Right.Attr(0).Name
+	invalid := MD{Ctx: ctx} // empty LHS/RHS
+	if _, err := Deduce(nil, invalid); err == nil {
+		t.Error("Deduce must reject an invalid ϕ")
+	}
+	valid := MustMD(ctx, []Conjunct{Eq(la, ra)}, []AttrPair{P(la, ra)})
+	badSigma := []MD{{Ctx: ctx}}
+	if _, err := Deduce(badSigma, valid); err == nil {
+		t.Error("Deduce must reject an invalid Σ member")
+	}
+	// ϕ deducible from its own LHS (RHS pair seeded with equality).
+	ok, err := Deduce(nil, valid)
+	if err != nil || !ok {
+		t.Errorf("trivial self-deduction failed: ok=%v err=%v", ok, err)
+	}
+	// But a similarity seed does not identify the pair.
+	sim := MD{Ctx: ctx, LHS: []Conjunct{C(la, similarity.DL(0.8), ra)}, RHS: []AttrPair{P(la, ra)}}
+	ok, err = Deduce(nil, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("similarity on a pair must not identify the pair")
+	}
+}
+
+// TestSelfMatchClosureSides verifies that the left and right copies of
+// the same schema are kept apart: A=A on one pair does not leak to other
+// attributes without an MD saying so.
+func TestSelfMatchClosureSides(t *testing.T) {
+	r := schema.MustStrings("R", "A", "B")
+	ctx := schema.MustPair(r, r)
+	cl, err := MDClosure(ctx, nil, []Conjunct{Eq("A", "A")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := cl.Identified("B", "B"); ok {
+		t.Error("B⇌B must not follow from A=A with empty Σ")
+	}
+	if ok, _ := cl.Identified("A", "A"); !ok {
+		t.Error("seeded A=A missing")
+	}
+	if ok, _ := cl.Similar(schema.Left, "A", schema.Left, "B", "="); ok {
+		t.Error("intra-relation A=B must not appear")
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestExplainRCK4 reproduces the derivation narrative of Example 3.5 /
+// 4.1: hypothesis facts, ϕ2 and ϕ3 firing, then ϕ1.
+func TestExplainRCK4(t *testing.T) {
+	ctx, sigma, target, d := creditBilling(t)
+	rck4 := paperRCKs(ctx, target, d)[3]
+	exp, err := Explain(sigma, rck4.AsMD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exp.Deduced {
+		t.Fatal("Σc must deduce rck4")
+	}
+	// The derivation must contain: 2 hypothesis steps, and the firing of
+	// all three MDs.
+	hyp, applied := 0, map[int]bool{}
+	for _, s := range exp.Steps {
+		switch s.Kind {
+		case StepHypothesis:
+			hyp++
+		case StepApplyMD:
+			applied[s.MDIndex] = true
+		}
+	}
+	if hyp != 2 {
+		t.Errorf("hypothesis steps = %d, want 2 (email, tel)", hyp)
+	}
+	for i := 0; i < 3; i++ {
+		if !applied[i] {
+			t.Errorf("ϕ%d never fired in the derivation", i+1)
+		}
+	}
+	// Render mentions the hypotheses and the conclusion.
+	text := exp.Render(sigma)
+	for _, want := range []string{"[hypothesis]", "[apply ϕ1", "[apply ϕ2", "[apply ϕ3", "∴ deduced"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered proof missing %q:\n%s", want, text)
+		}
+	}
+	// String() (without Σ) also renders.
+	if !strings.Contains(exp.String(), "∴ deduced") {
+		t.Error("String() missing verdict")
+	}
+}
+
+// TestExplainNegativeVerdict: a failed deduction renders the negative
+// verdict and still lists the facts that were derivable.
+func TestExplainNegativeVerdict(t *testing.T) {
+	ctx, sigma, target, _ := creditBilling(t)
+	weak := MD{Ctx: ctx, LHS: []Conjunct{Eq("email", "email")}, RHS: target.Pairs()}
+	exp, err := Explain(sigma, weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Deduced {
+		t.Fatal("email alone must not deduce the full target")
+	}
+	if !strings.Contains(exp.Render(sigma), "∴ NOT deduced") {
+		t.Error("negative verdict missing")
+	}
+	// ϕ3 still fires (email -> fn, ln), so the trace is non-trivial.
+	fired := false
+	for _, s := range exp.Steps {
+		if s.Kind == StepApplyMD && s.MDIndex == 2 {
+			fired = true
+		}
+	}
+	if !fired {
+		t.Error("ϕ3 should fire in the partial derivation")
+	}
+}
+
+// TestExplainAgreesWithDeduce: the instrumented run must reach exactly
+// the verdict of the production Deduce on random inputs.
+func TestExplainAgreesWithDeduce(t *testing.T) {
+	ctx := twoSchemas(t, 6)
+	rnd := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 150; trial++ {
+		sigma, lhs := randomReasoningInput(rnd, ctx)
+		phi := MD{Ctx: ctx, LHS: lhs,
+			RHS: []AttrPair{P(ctx.Left.Attr(rnd.Intn(6)).Name, ctx.Right.Attr(rnd.Intn(6)).Name)}}
+		want, err := Deduce(sigma, phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exp, err := Explain(sigma, phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exp.Deduced != want {
+			t.Fatalf("trial %d: Explain verdict %v, Deduce %v", trial, exp.Deduced, want)
+		}
+		// Every step kind must render.
+		for _, s := range exp.Steps {
+			if s.Kind.String() == "unknown" {
+				t.Fatalf("trial %d: unknown step kind", trial)
+			}
+		}
+	}
+}
+
+// TestExplainValidation: invalid inputs error out.
+func TestExplainValidation(t *testing.T) {
+	ctx, sigma, _, _ := creditBilling(t)
+	if _, err := Explain(sigma, MD{Ctx: ctx}); err == nil {
+		t.Error("invalid goal accepted")
+	}
+	valid := sigma[1]
+	if _, err := Explain([]MD{{Ctx: ctx}}, valid); err == nil {
+		t.Error("invalid Σ member accepted")
+	}
+}
+
+// TestExplainFirstStepsAreHypotheses: the derivation starts from the
+// hypothesis facts.
+func TestExplainFirstStepsAreHypotheses(t *testing.T) {
+	ctx, sigma, target, d := creditBilling(t)
+	rck1 := paperRCKs(ctx, target, d)[0]
+	exp, err := Explain(sigma, rck1.AsMD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Steps) == 0 || exp.Steps[0].Kind != StepHypothesis {
+		t.Fatal("derivation must start with a hypothesis step")
+	}
+	if exp.Steps[0].Op == "" {
+		t.Fatal("steps must carry operator names")
+	}
+}

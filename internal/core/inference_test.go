@@ -1,0 +1,236 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mdmatch/internal/schema"
+	"mdmatch/internal/similarity"
+)
+
+// This file checks structural properties of the deduction relation that
+// the paper's inference system I (Section 3.2, eleven axioms) implies.
+// The axioms themselves are not printed in the paper; these tests pin
+// the behaviours its lemmas guarantee plus the obvious meta-properties.
+
+// TestDeductionInvariantUnderLHSReordering: conjunction is commutative.
+func TestDeductionInvariantUnderLHSReordering(t *testing.T) {
+	ctx, sigma, target, d := creditBilling(t)
+	rck := paperRCKs(ctx, target, d)[0]
+	md := rck.AsMD()
+	perm := MD{Ctx: ctx, LHS: []Conjunct{md.LHS[2], md.LHS[0], md.LHS[1]}, RHS: md.RHS}
+	a, err := Deduce(sigma, md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Deduce(sigma, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("deduction must be invariant under LHS reordering")
+	}
+}
+
+// TestDeductionInvariantUnderDuplicateConjuncts: idempotence of ∧.
+func TestDeductionInvariantUnderDuplicateConjuncts(t *testing.T) {
+	ctx, sigma, target, d := creditBilling(t)
+	rck := paperRCKs(ctx, target, d)[3]
+	md := rck.AsMD()
+	dup := MD{Ctx: ctx, LHS: append(append([]Conjunct{}, md.LHS...), md.LHS...), RHS: md.RHS}
+	a, _ := Deduce(sigma, md)
+	b, err := Deduce(sigma, dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("duplicated conjuncts must not change deduction")
+	}
+}
+
+// TestRHSSplitting: Σ ⊨m (L → Z1Z2) iff Σ ⊨m (L → Z1) and Σ ⊨m (L → Z2)
+// (the normal-form equivalence used throughout Section 4).
+func TestRHSSplitting(t *testing.T) {
+	ctx, sigma, target, d := creditBilling(t)
+	rck := paperRCKs(ctx, target, d)[1]
+	md := rck.AsMD() // RHS is the 5 target pairs
+	whole, err := Deduce(sigma, md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	each := true
+	for _, p := range md.RHS {
+		ok, err := Deduce(sigma, MD{Ctx: ctx, LHS: md.LHS, RHS: []AttrPair{p}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		each = each && ok
+	}
+	if whole != each {
+		t.Errorf("RHS splitting mismatch: whole=%v each=%v", whole, each)
+	}
+	_ = target
+}
+
+// TestDeductionReflexivityOnLHSEqualities: L → A ⇌ B is deducible from
+// the empty Σ whenever (A, B) appears in L with equality (a seed fact),
+// and not when it appears with mere similarity.
+func TestDeductionReflexivityOnLHSEqualities(t *testing.T) {
+	ctx, _, _, d := creditBilling(t)
+	lhs := []Conjunct{Eq("ln", "ln"), C("fn", d, "fn")}
+	okEq, err := Deduce(nil, MD{Ctx: ctx, LHS: lhs, RHS: []AttrPair{P("ln", "ln")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !okEq {
+		t.Error("equality conjunct must be deducible as RHS")
+	}
+	okSim, err := Deduce(nil, MD{Ctx: ctx, LHS: lhs, RHS: []AttrPair{P("fn", "fn")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if okSim {
+		t.Error("similarity conjunct must NOT identify the pair")
+	}
+}
+
+// TestDeductionCut: if Σ ⊨m ϕ and Σ ∪ {ϕ} ⊨m ψ then Σ ⊨m ψ — deduced
+// rules add no new consequences (the closure is a consequence operator).
+func TestDeductionCut(t *testing.T) {
+	ctx := twoSchemas(t, 6)
+	rnd := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 120; trial++ {
+		sigma, lhs := randomReasoningInput(rnd, ctx)
+		phi := MD{Ctx: ctx, LHS: lhs,
+			RHS: []AttrPair{P(ctx.Left.Attr(rnd.Intn(6)).Name, ctx.Right.Attr(rnd.Intn(6)).Name)}}
+		okPhi, err := Deduce(sigma, phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !okPhi {
+			continue
+		}
+		// ψ: random hypothesis.
+		lhs2 := []Conjunct{{
+			Pair: P(ctx.Left.Attr(rnd.Intn(6)).Name, ctx.Right.Attr(rnd.Intn(6)).Name),
+			Op:   similarity.Eq(),
+		}}
+		psi := MD{Ctx: ctx, LHS: lhs2,
+			RHS: []AttrPair{P(ctx.Left.Attr(rnd.Intn(6)).Name, ctx.Right.Attr(rnd.Intn(6)).Name)}}
+		withPhi, err := Deduce(append(append([]MD{}, sigma...), phi), psi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		without, err := Deduce(sigma, psi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withPhi != without {
+			t.Fatalf("trial %d: cut violated — adding a deduced MD changed consequences (with=%v without=%v)",
+				trial, withPhi, without)
+		}
+	}
+}
+
+// TestOperatorIdentityMatters: two similarity operators with different
+// names are distinct elements of Θ: a fact under one does not discharge
+// a conjunct under the other (similarity is not transitive and operators
+// are not comparable in general).
+func TestOperatorIdentityMatters(t *testing.T) {
+	ctx := twoSchemas(t, 3)
+	la, ra := ctx.Left.Attr(0).Name, ctx.Right.Attr(0).Name
+	lb, rb := ctx.Left.Attr(1).Name, ctx.Right.Attr(1).Name
+	dl := similarity.DL(0.8)
+	jaro := similarity.JaroOp(0.85)
+	sigma := []MD{{Ctx: ctx,
+		LHS: []Conjunct{C(la, dl, ra)},
+		RHS: []AttrPair{P(lb, rb)}}}
+	// Hypothesis supplies the pair under jaro, not dl: must not fire.
+	ok, err := Deduce(sigma, MD{Ctx: ctx,
+		LHS: []Conjunct{C(la, jaro, ra)},
+		RHS: []AttrPair{P(lb, rb)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("jaro fact must not discharge a dl conjunct")
+	}
+	// But equality discharges any operator.
+	ok, err = Deduce(sigma, MD{Ctx: ctx,
+		LHS: []Conjunct{Eq(la, ra)},
+		RHS: []AttrPair{P(lb, rb)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("equality must discharge the dl conjunct")
+	}
+	// Different thresholds of the same family are also distinct.
+	dl9 := similarity.DL(0.9)
+	ok, err = Deduce(sigma, MD{Ctx: ctx,
+		LHS: []Conjunct{C(la, dl9, ra)},
+		RHS: []AttrPair{P(lb, rb)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("dl(0.90) must not discharge a dl(0.80) conjunct (generic reasoning is threshold-agnostic)")
+	}
+}
+
+// TestSelfMatchTransitiveChain: a chain A→B→C→D of self-match MDs closes
+// end to end (iterated Lemma 3.3).
+func TestSelfMatchTransitiveChain(t *testing.T) {
+	r := schema.MustStrings("R", "A", "B", "Cc", "D", "E")
+	ctx := schema.MustPair(r, r)
+	mk := func(from, to string) MD {
+		return MustMD(ctx, []Conjunct{Eq(from, from)}, []AttrPair{P(to, to)})
+	}
+	sigma := []MD{mk("A", "B"), mk("B", "Cc"), mk("Cc", "D")}
+	ok, err := Deduce(sigma, mk("A", "D"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("three-step chain must close")
+	}
+	// E is not reachable.
+	ok, err = Deduce(sigma, mk("A", "E"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("E must not be deducible")
+	}
+	// And the chain does not run backwards.
+	ok, err = Deduce(sigma, mk("D", "A"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("chains must not reverse")
+	}
+}
+
+// TestClosureHypothesisMonotone: adding conjuncts to the hypothesis LHS
+// only grows the fact set (augmentation at the closure level).
+func TestClosureHypothesisMonotone(t *testing.T) {
+	ctx, sigma, _, _ := creditBilling(t)
+	small, err := MDClosure(ctx, sigma, []Conjunct{Eq("email", "email")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := MDClosure(ctx, sigma, []Conjunct{Eq("email", "email"), Eq("tel", "phn")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.FactCount() > big.FactCount() {
+		t.Fatal("larger hypothesis produced fewer facts")
+	}
+	for _, p := range small.IdentifiedPairs() {
+		ok, err := big.Identified(p.Left, p.Right)
+		if err != nil || !ok {
+			t.Fatalf("fact %v lost under a larger hypothesis", p)
+		}
+	}
+}

@@ -1,0 +1,288 @@
+// Package core implements the paper's primary contribution: matching
+// dependencies (MDs, Section 2.1), relative candidate keys (RCKs,
+// Section 2.2), the generic deduction mechanism and the MDClosure
+// algorithm (Sections 3–4, Figures 5–6), and the findRCKs algorithm with
+// its quality model (Section 5, Figure 7).
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"mdmatch/internal/schema"
+	"mdmatch/internal/similarity"
+)
+
+// AttrPair is a pair of comparable attributes (R1[A], R2[B]): A is an
+// attribute of the left relation, B of the right relation of the context.
+type AttrPair struct {
+	Left  string
+	Right string
+}
+
+// P is shorthand for constructing an AttrPair.
+func P(left, right string) AttrPair { return AttrPair{Left: left, Right: right} }
+
+// String renders the pair as "A|B".
+func (p AttrPair) String() string { return p.Left + "|" + p.Right }
+
+// Conjunct is one similarity test R1[A] ≈ R2[B] in the LHS of an MD.
+type Conjunct struct {
+	Pair AttrPair
+	Op   similarity.Operator
+}
+
+// C is shorthand for constructing a Conjunct.
+func C(left string, op similarity.Operator, right string) Conjunct {
+	return Conjunct{Pair: P(left, right), Op: op}
+}
+
+// Eq is shorthand for an equality conjunct R1[A] = R2[B].
+func Eq(left, right string) Conjunct {
+	return Conjunct{Pair: P(left, right), Op: similarity.Eq()}
+}
+
+// OpName returns the canonical operator name of the conjunct.
+func (c Conjunct) OpName() string { return c.Op.Name() }
+
+// Same reports whether two conjuncts test the same attribute pair with
+// the same operator.
+func (c Conjunct) Same(d Conjunct) bool {
+	return c.Pair == d.Pair && c.OpName() == d.OpName()
+}
+
+// MD is a matching dependency over a context (R1, R2):
+//
+//	⋀_j R1[X1[j]] ≈j R2[X2[j]]  →  R1[Z1] ⇌ R2[Z2]
+//
+// LHS is the list of similarity conjuncts; RHS is the list of attribute
+// pairs to be identified (the ⇌ "matching" operator).
+type MD struct {
+	Ctx schema.Pair
+	LHS []Conjunct
+	RHS []AttrPair
+}
+
+// NewMD validates and builds an MD over the context: the LHS and RHS must
+// be non-empty, every referenced attribute must exist on its side, every
+// conjunct must have a non-nil operator, and each pair must be comparable
+// (same domain on both sides).
+func NewMD(ctx schema.Pair, lhs []Conjunct, rhs []AttrPair) (MD, error) {
+	md := MD{Ctx: ctx, LHS: lhs, RHS: rhs}
+	if err := md.Validate(); err != nil {
+		return MD{}, err
+	}
+	return md, nil
+}
+
+// MustMD is NewMD that panics on error; for tests and examples.
+func MustMD(ctx schema.Pair, lhs []Conjunct, rhs []AttrPair) MD {
+	md, err := NewMD(ctx, lhs, rhs)
+	if err != nil {
+		panic(err)
+	}
+	return md
+}
+
+// Validate checks the well-formedness conditions of Section 2.1.
+func (m MD) Validate() error {
+	if m.Ctx.Left == nil || m.Ctx.Right == nil {
+		return fmt.Errorf("core: MD has no schema context")
+	}
+	if len(m.LHS) == 0 {
+		return fmt.Errorf("core: MD must have a non-empty LHS")
+	}
+	if len(m.RHS) == 0 {
+		return fmt.Errorf("core: MD must have a non-empty RHS")
+	}
+	for i, c := range m.LHS {
+		if c.Op == nil {
+			return fmt.Errorf("core: LHS conjunct %d has nil operator", i)
+		}
+		if err := m.checkPair(c.Pair); err != nil {
+			return fmt.Errorf("core: LHS conjunct %d: %w", i, err)
+		}
+	}
+	for i, p := range m.RHS {
+		if err := m.checkPair(p); err != nil {
+			return fmt.Errorf("core: RHS pair %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (m MD) checkPair(p AttrPair) error {
+	d1, err := m.Ctx.Left.DomainOf(p.Left)
+	if err != nil {
+		return err
+	}
+	d2, err := m.Ctx.Right.DomainOf(p.Right)
+	if err != nil {
+		return err
+	}
+	if d1 != d2 {
+		return fmt.Errorf("pair (%s, %s) not comparable: domains %s vs %s", p.Left, p.Right, d1, d2)
+	}
+	return nil
+}
+
+// Normalize returns the equivalent set of normal-form MDs, one per RHS
+// pair (Section 4: "an MD ψ of the general form ... is equivalent to a set
+// of MDs in the normal form, one for each pair of attributes in (Z1,Z2),
+// by Lemmas 3.1 and 3.3").
+func (m MD) Normalize() []MD {
+	out := make([]MD, 0, len(m.RHS))
+	for _, p := range m.RHS {
+		out = append(out, MD{Ctx: m.Ctx, LHS: m.LHS, RHS: []AttrPair{p}})
+	}
+	return out
+}
+
+// LHSPairs returns the attribute pairs of the LHS (without operators).
+func (m MD) LHSPairs() []AttrPair {
+	out := make([]AttrPair, len(m.LHS))
+	for i, c := range m.LHS {
+		out[i] = c.Pair
+	}
+	return out
+}
+
+// String renders the MD in the rule-language syntax.
+func (m MD) String() string {
+	var b strings.Builder
+	l, r := m.Ctx.Left.Name(), m.Ctx.Right.Name()
+	for i, c := range m.LHS {
+		if i > 0 {
+			b.WriteString(" && ")
+		}
+		op := c.OpName()
+		if op == similarity.EqName {
+			fmt.Fprintf(&b, "%s[%s] = %s[%s]", l, c.Pair.Left, r, c.Pair.Right)
+		} else {
+			fmt.Fprintf(&b, "%s[%s] ~%s %s[%s]", l, c.Pair.Left, op, r, c.Pair.Right)
+		}
+	}
+	b.WriteString(" -> ")
+	lefts := make([]string, len(m.RHS))
+	rights := make([]string, len(m.RHS))
+	for i, p := range m.RHS {
+		lefts[i], rights[i] = p.Left, p.Right
+	}
+	fmt.Fprintf(&b, "%s[%s] <=> %s[%s]", l, strings.Join(lefts, ", "), r, strings.Join(rights, ", "))
+	return b.String()
+}
+
+// Target is the pair of comparable attribute lists (Y1, Y2) that record
+// matching aims to identify (the RHS fixed by a relative key).
+type Target struct {
+	Y1 schema.AttrList
+	Y2 schema.AttrList
+}
+
+// NewTarget validates a target over a context.
+func NewTarget(ctx schema.Pair, y1, y2 schema.AttrList) (Target, error) {
+	if err := ctx.Comparable(y1, y2); err != nil {
+		return Target{}, fmt.Errorf("core: invalid target: %w", err)
+	}
+	return Target{Y1: y1, Y2: y2}, nil
+}
+
+// Pairs returns the target as a list of attribute pairs.
+func (t Target) Pairs() []AttrPair {
+	out := make([]AttrPair, len(t.Y1))
+	for j := range t.Y1 {
+		out[j] = P(t.Y1[j], t.Y2[j])
+	}
+	return out
+}
+
+// Key is a key relative to a target (Y1, Y2) (Section 2.2): an MD whose
+// RHS is fixed to (Y1, Y2), written (X1, X2 ‖ C). Its Conjuncts are the
+// (X1[i], X2[i], ≈i) triples.
+type Key struct {
+	Ctx       schema.Pair
+	Target    Target
+	Conjuncts []Conjunct
+}
+
+// NewKey validates and builds a relative key.
+func NewKey(ctx schema.Pair, target Target, conjuncts []Conjunct) (Key, error) {
+	k := Key{Ctx: ctx, Target: target, Conjuncts: conjuncts}
+	if _, err := NewMD(ctx, conjuncts, target.Pairs()); err != nil {
+		return Key{}, fmt.Errorf("core: invalid relative key: %w", err)
+	}
+	return k, nil
+}
+
+// AsMD views the key as the MD it abbreviates.
+func (k Key) AsMD() MD {
+	return MD{Ctx: k.Ctx, LHS: k.Conjuncts, RHS: k.Target.Pairs()}
+}
+
+// Length returns the number of conjuncts (the key length k of §2.2).
+func (k Key) Length() int { return len(k.Conjuncts) }
+
+// ComparisonVector returns the operator list C of the key.
+func (k Key) ComparisonVector() []similarity.Operator {
+	out := make([]similarity.Operator, len(k.Conjuncts))
+	for i, c := range k.Conjuncts {
+		out[i] = c.Op
+	}
+	return out
+}
+
+// HasConjunct reports whether the key contains the given conjunct
+// (same pair and operator).
+func (k Key) HasConjunct(c Conjunct) bool {
+	for _, d := range k.Conjuncts {
+		if d.Same(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// Covers implements the (non-strict) domination order on relative keys:
+// k covers other if every conjunct of k appears in other and k is no
+// longer than other. This is the paper's ψ′ ⪯ ψ relation (conditions (1)
+// and (2) of Section 2.2) relaxed from strictly-shorter to
+// no-longer-than, so that syntactically identical keys cover each other.
+func (k Key) Covers(other Key) bool {
+	if len(k.Conjuncts) > len(other.Conjuncts) {
+		return false
+	}
+	for _, c := range k.Conjuncts {
+		if !other.HasConjunct(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// StrictlyShorterThan implements the paper's literal ψ′ ≺ ψ: k's
+// conjuncts all occur in other and k is strictly shorter.
+func (k Key) StrictlyShorterThan(other Key) bool {
+	return len(k.Conjuncts) < len(other.Conjuncts) && k.Covers(other)
+}
+
+// String renders the key in the (X1, X2 ‖ C) notation of the paper.
+func (k Key) String() string {
+	lefts := make([]string, len(k.Conjuncts))
+	rights := make([]string, len(k.Conjuncts))
+	ops := make([]string, len(k.Conjuncts))
+	for i, c := range k.Conjuncts {
+		lefts[i], rights[i], ops[i] = c.Pair.Left, c.Pair.Right, c.OpName()
+	}
+	return fmt.Sprintf("([%s], [%s] ‖ [%s])",
+		strings.Join(lefts, ", "), strings.Join(rights, ", "), strings.Join(ops, ", "))
+}
+
+// IdentityKey returns the trivial key (Y1, Y2 ‖ [=,...,=]) that compares
+// the entire target with equality (line 3 of findRCKs, Figure 7).
+func IdentityKey(ctx schema.Pair, target Target) Key {
+	cs := make([]Conjunct, len(target.Y1))
+	for j := range target.Y1 {
+		cs[j] = Eq(target.Y1[j], target.Y2[j])
+	}
+	return Key{Ctx: ctx, Target: target, Conjuncts: cs}
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"mdmatch/internal/schema"
+)
+
+// NegativeMD is the "negation" extension sketched in Section 8: a rule
+// specifying when records must NOT be matched. Syntactically like an MD,
+// but its semantics is a veto:
+//
+//	⋀_j R1[X1[j]] ≈j R2[X2[j]]  →  R1[Z1] ⇎ R2[Z2]
+//
+// i.e. a tuple pair matching the LHS must not have its RHS attributes
+// identified. Rule engines apply negative MDs as vetoes after the
+// positive rules (matching.RuleSet), and the schema-level consistency
+// check ConflictsWith detects rule sets that force a forbidden
+// identification.
+type NegativeMD struct {
+	Ctx schema.Pair
+	LHS []Conjunct
+	RHS []AttrPair
+}
+
+// NewNegativeMD validates and builds a negative MD.
+func NewNegativeMD(ctx schema.Pair, lhs []Conjunct, rhs []AttrPair) (NegativeMD, error) {
+	n := NegativeMD{Ctx: ctx, LHS: lhs, RHS: rhs}
+	if err := n.Validate(); err != nil {
+		return NegativeMD{}, err
+	}
+	return n, nil
+}
+
+// Validate checks well-formedness (same conditions as a positive MD).
+func (n NegativeMD) Validate() error {
+	if _, err := NewMD(n.Ctx, n.LHS, n.RHS); err != nil {
+		return fmt.Errorf("core: invalid negative MD: %w", err)
+	}
+	return nil
+}
+
+// ConflictsWith reports whether Σ deduces the identification the
+// negative rule forbids: Σ ⊨m (LHS(n) → R1[Z1] ⇌ R2[Z2]). When true,
+// any pair matching LHS(n) would be forced into the forbidden match by
+// enforcing Σ — the rule set is inconsistent with the veto.
+func (n NegativeMD) ConflictsWith(sigma []MD) (bool, error) {
+	if err := n.Validate(); err != nil {
+		return false, err
+	}
+	return Deduce(sigma, MD{Ctx: n.Ctx, LHS: n.LHS, RHS: n.RHS})
+}
+
+// String renders the negative MD with the must-not-identify arrow
+// spelled "<!>" in rule-language style.
+func (n NegativeMD) String() string {
+	pos := MD{Ctx: n.Ctx, LHS: n.LHS, RHS: n.RHS}
+	return strings.Replace(pos.String(), "<=>", "<!>", 1)
+}

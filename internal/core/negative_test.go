@@ -1,0 +1,138 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNegativeMDValidation(t *testing.T) {
+	ctx, _, target, _ := creditBilling(t)
+	good, err := NewNegativeMD(ctx,
+		[]Conjunct{Eq("gender", "gender")}, target.Pairs())
+	if err != nil {
+		t.Fatalf("valid negative MD rejected: %v", err)
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewNegativeMD(ctx, nil, target.Pairs()); err == nil {
+		t.Error("empty LHS accepted")
+	}
+	if _, err := NewNegativeMD(ctx, []Conjunct{Eq("nosuch", "gender")}, target.Pairs()); err == nil {
+		t.Error("bad attribute accepted")
+	}
+}
+
+func TestNegativeMDConflict(t *testing.T) {
+	ctx, sigma, target, _ := creditBilling(t)
+	// Forbidding exactly what Σ deduces is a conflict: rck4's LHS forces
+	// the identification of (Yc, Yb).
+	conflicting, err := NewNegativeMD(ctx,
+		[]Conjunct{Eq("email", "email"), Eq("tel", "phn")}, target.Pairs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	yes, err := conflicting.ConflictsWith(sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !yes {
+		t.Error("Σc forces the identification this veto forbids; conflict expected")
+	}
+	// A veto on something Σ cannot force is consistent.
+	consistent, err := NewNegativeMD(ctx,
+		[]Conjunct{Eq("gender", "gender")}, target.Pairs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	yes, err = consistent.ConflictsWith(sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if yes {
+		t.Error("gender alone cannot force a match; no conflict expected")
+	}
+	// Invalid negative MD errors out.
+	bad := NegativeMD{Ctx: ctx}
+	if _, err := bad.ConflictsWith(sigma); err == nil {
+		t.Error("invalid negative MD accepted by ConflictsWith")
+	}
+}
+
+func TestNegativeMDString(t *testing.T) {
+	ctx, _, target, _ := creditBilling(t)
+	n, err := NewNegativeMD(ctx, []Conjunct{Eq("gender", "gender")}, target.Pairs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := n.String()
+	if !strings.Contains(s, "<!>") || strings.Contains(s, "<=>") {
+		t.Errorf("negative MD must render with <!>: %q", s)
+	}
+}
+
+func TestSubsumes(t *testing.T) {
+	ctx, _, target, d := creditBilling(t)
+	eqKey := Key{Ctx: ctx, Target: target, Conjuncts: []Conjunct{
+		Eq("fn", "fn"), Eq("ln", "ln")}}
+	simKey := Key{Ctx: ctx, Target: target, Conjuncts: []Conjunct{
+		C("fn", d, "fn"), C("ln", d, "ln")}}
+	// The similarity key subsumes the equality key (equality entails
+	// similarity), not vice versa.
+	if !simKey.Subsumes(eqKey) {
+		t.Error("similarity key must subsume the equality key")
+	}
+	if eqKey.Subsumes(simKey) {
+		t.Error("equality key must not subsume the similarity key")
+	}
+	// Shorter more-general key subsumes a longer one.
+	short := Key{Ctx: ctx, Target: target, Conjuncts: []Conjunct{C("fn", d, "fn")}}
+	if !short.Subsumes(eqKey) {
+		t.Error("shorter, weaker key must subsume")
+	}
+	if eqKey.Subsumes(short) {
+		t.Error("longer key must not subsume a shorter one")
+	}
+	// Disjoint attributes never subsume.
+	other := Key{Ctx: ctx, Target: target, Conjuncts: []Conjunct{Eq("tel", "phn")}}
+	if other.Subsumes(eqKey) || eqKey.Subsumes(other) {
+		t.Error("disjoint keys must not subsume each other")
+	}
+	// Self-subsumption holds (used for dedup).
+	if !eqKey.Subsumes(eqKey) {
+		t.Error("Subsumes must be reflexive")
+	}
+}
+
+func TestPruneSubsumed(t *testing.T) {
+	ctx, _, target, d := creditBilling(t)
+	eqKey := Key{Ctx: ctx, Target: target, Conjuncts: []Conjunct{
+		Eq("fn", "fn"), Eq("ln", "ln")}}
+	simKey := Key{Ctx: ctx, Target: target, Conjuncts: []Conjunct{
+		C("fn", d, "fn"), C("ln", d, "ln")}}
+	other := Key{Ctx: ctx, Target: target, Conjuncts: []Conjunct{Eq("tel", "phn")}}
+
+	pruned := PruneSubsumed([]Key{eqKey, simKey, other})
+	if len(pruned) != 2 {
+		t.Fatalf("pruned to %d keys, want 2: %v", len(pruned), pruned)
+	}
+	// The equality key must be the one removed; order preserved.
+	if pruned[0].Conjuncts[0].OpName() != d.Name() {
+		t.Errorf("survivor 0 = %s, want the similarity key", pruned[0])
+	}
+	if pruned[1].Length() != 1 {
+		t.Errorf("survivor 1 = %s, want the tel key", pruned[1])
+	}
+	// Duplicate keys collapse to one (earlier wins).
+	dups := PruneSubsumed([]Key{other, other, other})
+	if len(dups) != 1 {
+		t.Fatalf("duplicates pruned to %d, want 1", len(dups))
+	}
+	// Empty and singleton inputs pass through.
+	if got := PruneSubsumed(nil); len(got) != 0 {
+		t.Error("nil input must prune to empty")
+	}
+	if got := PruneSubsumed([]Key{eqKey}); len(got) != 1 {
+		t.Error("singleton must survive")
+	}
+}

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mdmatch/internal/schema"
+	"mdmatch/internal/similarity"
+)
+
+func TestCostModel(t *testing.T) {
+	cm := DefaultCostModel()
+	cm.resetCt()
+	p := P("a", "b")
+	// Default: ct=0, lt=0, ac=1 -> cost = w3/1 = 1.
+	if got := cm.Cost(p); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("default cost = %v, want 1", got)
+	}
+	cm.ct[p] = 3
+	if got := cm.Cost(p); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("cost with ct=3 = %v, want 4", got)
+	}
+	cm.Lt = func(AttrPair) float64 { return 2.5 }
+	cm.Ac = func(AttrPair) float64 { return 0.5 }
+	// 1*3 + 1*2.5 + 1/0.5 = 7.5
+	if got := cm.Cost(p); math.Abs(got-7.5) > 1e-12 {
+		t.Fatalf("full cost = %v, want 7.5", got)
+	}
+	// Zero accuracy is guarded, not a division blow-up to Inf/NaN.
+	cm.Ac = func(AttrPair) float64 { return 0 }
+	if got := cm.Cost(p); math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("zero-accuracy cost = %v, want finite", got)
+	}
+}
+
+func TestPairing(t *testing.T) {
+	ctx, sigma, target, _ := creditBilling(t)
+	s := Pairing(sigma, target)
+	// Must include every target pair, every LHS pair and every RHS pair.
+	for _, p := range target.Pairs() {
+		if _, ok := s[p]; !ok {
+			t.Errorf("pairing missing target pair %v", p)
+		}
+	}
+	if _, ok := s[P("email", "email")]; !ok {
+		t.Error("pairing missing LHS pair email|email")
+	}
+	if _, ok := s[P("addr", "post")]; !ok {
+		t.Error("pairing missing pair addr|post")
+	}
+	// Exactly: 5 target pairs + {tel|phn overlaps? tel|phn IS a target
+	// pair} + email|email. LHS pairs of ϕ1 are target pairs except none;
+	// ln|ln, addr|post, fn|fn are all target pairs. So 5 + 1 = 6.
+	if len(s) != 6 {
+		t.Errorf("pairing size = %d, want 6 (%v)", len(s), s)
+	}
+	_ = ctx
+}
+
+func TestApply(t *testing.T) {
+	ctx, sigma, target, d := creditBilling(t)
+	phi1, phi2, phi3 := sigma[0], sigma[1], sigma[2]
+
+	// apply(identity, ϕ1) = rck1 (remove all Y pairs, add LHS(ϕ1)).
+	id := IdentityKey(ctx, target)
+	got := Apply(id, phi1)
+	want := paperRCKs(ctx, target, d)[0]
+	if !got.Covers(want) || !want.Covers(got) {
+		t.Errorf("apply(id, ϕ1) = %s, want %s", got, want)
+	}
+
+	// apply(rck1, ϕ2) = rck2.
+	got = Apply(want, phi2)
+	want2 := paperRCKs(ctx, target, d)[1]
+	if !got.Covers(want2) || !want2.Covers(got) {
+		t.Errorf("apply(rck1, ϕ2) = %s, want %s", got, want2)
+	}
+
+	// apply(rck1, ϕ3) = rck3.
+	got = Apply(paperRCKs(ctx, target, d)[0], phi3)
+	want3 := paperRCKs(ctx, target, d)[2]
+	if !got.Covers(want3) || !want3.Covers(got) {
+		t.Errorf("apply(rck1, ϕ3) = %s, want %s", got, want3)
+	}
+
+	// apply(rck3, ϕ2) = rck4.
+	got = Apply(want3, phi2)
+	want4 := paperRCKs(ctx, target, d)[3]
+	if !got.Covers(want4) || !want4.Covers(got) {
+		t.Errorf("apply(rck3, ϕ2) = %s, want %s", got, want4)
+	}
+}
+
+func TestUnionConjunctSubsumption(t *testing.T) {
+	d := similarity.DL(0.8)
+	// Existing equality absorbs an incoming similarity conjunct.
+	cs := []Conjunct{Eq("a", "b")}
+	cs = unionConjunct(cs, C("a", d, "b"))
+	if len(cs) != 1 || cs[0].OpName() != "=" {
+		t.Fatalf("equality must absorb similarity: %v", cs)
+	}
+	// Incoming equality replaces an existing similarity conjunct.
+	cs = []Conjunct{C("a", d, "b")}
+	cs = unionConjunct(cs, Eq("a", "b"))
+	if len(cs) != 1 || cs[0].OpName() != "=" {
+		t.Fatalf("equality must replace similarity: %v", cs)
+	}
+	// Incoming equality sweeps multiple similarity conjuncts on the pair.
+	j := similarity.JaroOp(0.9)
+	cs = []Conjunct{C("a", d, "b"), C("x", d, "y"), C("a", j, "b")}
+	cs = unionConjunct(cs, Eq("a", "b"))
+	if len(cs) != 2 {
+		t.Fatalf("sweep failed: %v", cs)
+	}
+	for _, c := range cs {
+		if c.Pair == P("a", "b") && c.OpName() != "=" {
+			t.Fatalf("leftover similarity conjunct: %v", cs)
+		}
+	}
+	// Distinct similarity ops on the same pair both stay.
+	cs = []Conjunct{C("a", d, "b")}
+	cs = unionConjunct(cs, C("a", j, "b"))
+	if len(cs) != 2 {
+		t.Fatalf("distinct similarity ops must both stay: %v", cs)
+	}
+	// Exact duplicate dropped.
+	cs = unionConjunct(cs, C("a", d, "b"))
+	if len(cs) != 2 {
+		t.Fatalf("duplicate not dropped: %v", cs)
+	}
+}
+
+func TestMinimizeDropsRedundant(t *testing.T) {
+	ctx, sigma, target, d := creditBilling(t)
+	// rck1 plus junk conjuncts minimizes back to something no larger
+	// than rck1 (cost model drives which redundancies go first).
+	rck1 := paperRCKs(ctx, target, d)[0]
+	fat := Key{Ctx: ctx, Target: target, Conjuncts: append(
+		[]Conjunct{Eq("gender", "gender"), Eq("cno", "cno")}, rck1.Conjuncts...)}
+	minimized, err := Minimize(fat, sigma, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minimized.Length() > rck1.Length() {
+		t.Errorf("Minimize(%s) = %s, longer than rck1", fat, minimized)
+	}
+	ok, err := DeduceKey(sigma, minimized)
+	if err != nil || !ok {
+		t.Errorf("minimized key not deducible: ok=%v err=%v", ok, err)
+	}
+	// Minimality: no single conjunct removable.
+	for j := range minimized.Conjuncts {
+		rest := append(append([]Conjunct{}, minimized.Conjuncts[:j]...), minimized.Conjuncts[j+1:]...)
+		if len(rest) == 0 {
+			continue
+		}
+		if ok, _ := DeduceKey(sigma, Key{Ctx: ctx, Target: target, Conjuncts: rest}); ok {
+			t.Errorf("minimized key still reducible at conjunct %d: %s", j, minimized)
+		}
+	}
+}
+
+func TestMinimizeCostOrder(t *testing.T) {
+	// When two conjuncts are individually redundant but not jointly, the
+	// higher-cost one must be the one removed.
+	ctx, sigma, target, _ := creditBilling(t)
+	// addr and tel are interchangeable given ϕ2 (tel=phn -> addr⇌post):
+	// {ln, fn=, addr, tel} can lose either addr or tel but not both.
+	key := Key{Ctx: ctx, Target: target, Conjuncts: []Conjunct{
+		Eq("ln", "ln"), Eq("fn", "fn"), Eq("addr", "post"), Eq("tel", "phn"),
+	}}
+	mk := func(costlyPair AttrPair) Key {
+		cm := DefaultCostModel()
+		cm.resetCt()
+		cm.Lt = func(p AttrPair) float64 {
+			if p == costlyPair {
+				return 10
+			}
+			return 0
+		}
+		got, err := Minimize(key, sigma, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	if got := mk(P("addr", "post")); got.HasConjunct(Eq("addr", "post")) || !got.HasConjunct(Eq("tel", "phn")) {
+		t.Errorf("costly addr should be dropped first: %s", got)
+	}
+	if got := mk(P("tel", "phn")); got.HasConjunct(Eq("tel", "phn")) || !got.HasConjunct(Eq("addr", "post")) {
+		t.Errorf("costly tel should be dropped first: %s", got)
+	}
+}
+
+func TestCoversAndStrictOrder(t *testing.T) {
+	ctx, _, target, d := creditBilling(t)
+	rcks := paperRCKs(ctx, target, d)
+	short := Key{Ctx: ctx, Target: target, Conjuncts: rcks[0].Conjuncts[:2]}
+	if !short.Covers(rcks[0]) {
+		t.Error("prefix key must cover the longer key")
+	}
+	if !short.StrictlyShorterThan(rcks[0]) {
+		t.Error("strict order must hold for proper sub-key")
+	}
+	if rcks[0].Covers(short) {
+		t.Error("longer key must not cover a proper sub-key")
+	}
+	if rcks[0].StrictlyShorterThan(rcks[0]) {
+		t.Error("strict order must be irreflexive")
+	}
+	if !rcks[0].Covers(rcks[0]) {
+		t.Error("Covers must be reflexive")
+	}
+	// Operator mismatch blocks coverage.
+	eqVersion := Key{Ctx: ctx, Target: target, Conjuncts: []Conjunct{
+		Eq("ln", "ln"), Eq("addr", "post"), Eq("fn", "fn")}}
+	if eqVersion.Covers(rcks[0]) || rcks[0].Covers(eqVersion) {
+		t.Error("keys differing in operators must not cover each other")
+	}
+}
+
+func TestFindRCKsValidation(t *testing.T) {
+	ctx, sigma, target, _ := creditBilling(t)
+	if _, err := FindRCKs(ctx, sigma, target, 0, nil); err == nil {
+		t.Error("m=0 must be rejected")
+	}
+	badTarget := Target{Y1: schema.AttrList{"fn"}, Y2: schema.AttrList{"fn", "ln"}}
+	if _, err := FindRCKs(ctx, sigma, badTarget, 5, nil); err == nil {
+		t.Error("mismatched target must be rejected")
+	}
+	badSigma := append(append([]MD{}, sigma...), MD{Ctx: ctx})
+	if _, err := FindRCKs(ctx, badSigma, target, 5, nil); err == nil {
+		t.Error("invalid Σ member must be rejected")
+	}
+}
+
+func TestFindRCKsWithEmptySigma(t *testing.T) {
+	ctx, _, target, _ := creditBilling(t)
+	keys, err := FindRCKs(ctx, nil, target, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the identity key exists (nothing to apply).
+	if len(keys) != 1 {
+		t.Fatalf("got %d keys, want 1", len(keys))
+	}
+	if keys[0].Length() != len(target.Y1) {
+		t.Errorf("identity key wrong length: %s", keys[0])
+	}
+}
+
+func TestFindRCKsDiversity(t *testing.T) {
+	// With w1 > 0 the counters steer later keys away from reused pairs;
+	// check the counters are maintained.
+	ctx, sigma, target, _ := creditBilling(t)
+	cm := DefaultCostModel()
+	keys, err := FindRCKs(ctx, sigma, target, 10, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, k := range keys {
+		total += k.Length()
+	}
+	counted := 0
+	for _, p := range []AttrPair{
+		P("fn", "fn"), P("ln", "ln"), P("addr", "post"),
+		P("tel", "phn"), P("gender", "gender"), P("email", "email"),
+	} {
+		counted += cm.Ct(p)
+	}
+	if counted != total {
+		t.Errorf("diversity counters = %d, want total conjunct count %d", counted, total)
+	}
+}
+
+func TestAllRCKs(t *testing.T) {
+	ctx, sigma, target, _ := creditBilling(t)
+	keys, err := AllRCKs(ctx, sigma, target, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 5 {
+		t.Fatalf("AllRCKs found %d keys, want 5", len(keys))
+	}
+}
+
+func TestIdentityKey(t *testing.T) {
+	ctx, _, target, _ := creditBilling(t)
+	id := IdentityKey(ctx, target)
+	if id.Length() != 5 {
+		t.Fatalf("identity key length = %d, want 5", id.Length())
+	}
+	for _, c := range id.Conjuncts {
+		if c.OpName() != similarity.EqName {
+			t.Errorf("identity key conjunct %v not equality", c)
+		}
+	}
+	// The identity key is always deducible, even from empty Σ.
+	ok, err := DeduceKey(nil, id)
+	if err != nil || !ok {
+		t.Errorf("identity key must be self-deducible: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	ctx, _, target, d := creditBilling(t)
+	k := paperRCKs(ctx, target, d)[3]
+	want := "([email, tel], [email, phn] ‖ [=, =])"
+	if got := k.String(); got != want {
+		t.Errorf("Key.String() = %q, want %q", got, want)
+	}
+}

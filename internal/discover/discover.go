@@ -1,0 +1,207 @@
+// Package discover mines candidate matching dependencies from sample
+// data — the extension sketched in Sections 7-8 of the paper ("one can
+// first discover a small set of MDs via sampling and learning, and then
+// leverage the reasoning techniques to deduce RCKs"; "an important topic
+// is to develop algorithms for discovering MDs from sample data, along
+// the same lines as discovery of FDs").
+//
+// The miner is levelwise, in the style of FD-discovery algorithms like
+// TANE: it enumerates candidate LHSs over a field universe by growing
+// conjunct sets, scores each against a labeled sample of tuple pairs,
+// and keeps the minimal LHSs whose confidence and support clear the
+// configured thresholds. A discovered LHS L yields the MD
+// L → R1[Y1] ⇌ R2[Y2] for the supplied target.
+package discover
+
+import (
+	"fmt"
+	"sort"
+
+	"mdmatch/internal/core"
+	"mdmatch/internal/matching"
+	"mdmatch/internal/metrics"
+	"mdmatch/internal/record"
+	"mdmatch/internal/schema"
+)
+
+// Sample is a labeled set of tuple pairs: candidates plus the subset
+// known to be true matches (from manual review or a generator's truth).
+type Sample struct {
+	D     *record.PairInstance
+	Pairs []metrics.Pair
+	Truth *metrics.PairSet
+}
+
+// Config controls mining.
+type Config struct {
+	// Fields is the universe of (attribute pair, operator) tests the
+	// miner may combine into LHSs.
+	Fields []matching.Field
+	// MaxLHS bounds the conjunct count of a candidate LHS (default 3).
+	MaxLHS int
+	// MinSupport is the minimum number of *matching* sample pairs an LHS
+	// must cover (default 5).
+	MinSupport int
+	// MinConfidence is the minimum fraction of LHS-covered pairs that
+	// are true matches (default 0.95).
+	MinConfidence float64
+}
+
+func (c *Config) defaults() {
+	if c.MaxLHS <= 0 {
+		c.MaxLHS = 3
+	}
+	if c.MinSupport <= 0 {
+		c.MinSupport = 5
+	}
+	if c.MinConfidence <= 0 {
+		c.MinConfidence = 0.95
+	}
+}
+
+// Candidate is a mined LHS with its sample statistics.
+type Candidate struct {
+	Conjuncts  []core.Conjunct
+	Support    int     // matching pairs covered
+	Covered    int     // all pairs covered
+	Confidence float64 // Support / Covered
+}
+
+// String renders the candidate with its statistics.
+func (c Candidate) String() string {
+	md := core.MD{LHS: c.Conjuncts}
+	parts := make([]string, len(md.LHS))
+	for i, cj := range md.LHS {
+		parts[i] = fmt.Sprintf("%s %s %s", cj.Pair.Left, cj.OpName(), cj.Pair.Right)
+	}
+	return fmt.Sprintf("%v (support=%d, confidence=%.3f)", parts, c.Support, c.Confidence)
+}
+
+// Mine discovers minimal high-confidence LHSs from the sample. The
+// result is sorted by descending support, then ascending length.
+func Mine(sample Sample, cfg Config) ([]Candidate, error) {
+	cfg.defaults()
+	if sample.D == nil || len(sample.Pairs) == 0 || sample.Truth == nil {
+		return nil, fmt.Errorf("discover: sample needs an instance pair, pairs and truth")
+	}
+	if len(cfg.Fields) == 0 {
+		return nil, fmt.Errorf("discover: no fields to mine over")
+	}
+
+	// Precompute the agreement bitmap: for each field, which sample
+	// pairs satisfy it.
+	n := len(sample.Pairs)
+	agree := make([][]bool, len(cfg.Fields))
+	isMatch := make([]bool, n)
+	for j, p := range sample.Pairs {
+		t1, ok := sample.D.Left.ByID(p.Left)
+		if !ok {
+			return nil, fmt.Errorf("discover: sample pair references missing left tuple %d", p.Left)
+		}
+		t2, ok := sample.D.Right.ByID(p.Right)
+		if !ok {
+			return nil, fmt.Errorf("discover: sample pair references missing right tuple %d", p.Right)
+		}
+		vec, err := matching.Compare(sample.D, cfg.Fields, t1, t2)
+		if err != nil {
+			return nil, err
+		}
+		for i, a := range vec {
+			if agree[i] == nil {
+				agree[i] = make([]bool, n)
+			}
+			agree[i][j] = a
+		}
+		isMatch[j] = sample.Truth.Has(p)
+	}
+
+	// Levelwise search. A node is a sorted set of field indices; its
+	// cover is the AND of the fields' agreement bitmaps. Nodes whose
+	// cover already satisfies the thresholds are emitted and not grown
+	// further (minimality); nodes whose support fell below MinSupport
+	// are pruned (support is antitone in the conjunct set).
+	type node struct {
+		fields []int
+		cover  []bool
+	}
+	var out []Candidate
+	level := make([]node, 0, len(cfg.Fields))
+	full := make([]bool, n)
+	for i := range full {
+		full[i] = true
+	}
+	emitted := map[string]bool{}
+	grow := func(parent node, f int) (node, bool) {
+		cover := make([]bool, n)
+		support := 0
+		covered := 0
+		for j := range cover {
+			cover[j] = parent.cover[j] && agree[f][j]
+			if cover[j] {
+				covered++
+				if isMatch[j] {
+					support++
+				}
+			}
+		}
+		if support < cfg.MinSupport {
+			return node{}, false
+		}
+		child := node{fields: append(append([]int{}, parent.fields...), f), cover: cover}
+		conf := float64(support) / float64(covered)
+		if conf >= cfg.MinConfidence {
+			key := fmt.Sprint(child.fields)
+			if !emitted[key] {
+				emitted[key] = true
+				cs := make([]core.Conjunct, len(child.fields))
+				for i, fi := range child.fields {
+					cs[i] = core.Conjunct{Pair: cfg.Fields[fi].Pair, Op: cfg.Fields[fi].Op}
+				}
+				out = append(out, Candidate{
+					Conjuncts: cs, Support: support, Covered: covered, Confidence: conf,
+				})
+			}
+			return node{}, false // minimal: do not grow further
+		}
+		return child, true
+	}
+	root := node{cover: full}
+	for f := range cfg.Fields {
+		if child, ok := grow(root, f); ok {
+			level = append(level, child)
+		}
+	}
+	for depth := 1; depth < cfg.MaxLHS && len(level) > 0; depth++ {
+		var next []node
+		for _, nd := range level {
+			last := nd.fields[len(nd.fields)-1]
+			for f := last + 1; f < len(cfg.Fields); f++ {
+				if child, ok := grow(nd, f); ok {
+					next = append(next, child)
+				}
+			}
+		}
+		level = next
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		return len(out[i].Conjuncts) < len(out[j].Conjuncts)
+	})
+	return out, nil
+}
+
+// ToMDs converts mined candidates into MDs for the given target,
+// validating each against the context.
+func ToMDs(ctx schema.Pair, target core.Target, candidates []Candidate) ([]core.MD, error) {
+	out := make([]core.MD, 0, len(candidates))
+	for i, c := range candidates {
+		md, err := core.NewMD(ctx, c.Conjuncts, target.Pairs())
+		if err != nil {
+			return nil, fmt.Errorf("discover: candidate %d: %w", i, err)
+		}
+		out = append(out, md)
+	}
+	return out, nil
+}

@@ -1,0 +1,176 @@
+package discover
+
+import (
+	"testing"
+
+	"mdmatch/internal/core"
+	"mdmatch/internal/gen"
+	"mdmatch/internal/matching"
+	"mdmatch/internal/metrics"
+	"mdmatch/internal/similarity"
+)
+
+// makeSample builds a labeled sample from a generated dataset: all
+// same-holder pairs plus windows of random non-matching pairs.
+func makeSample(t testing.TB, k int) (Sample, *gen.Dataset) {
+	t.Helper()
+	ds, err := gen.Generate(gen.DefaultConfig(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ds.Pair()
+	truth := ds.Truth()
+	var pairs []metrics.Pair
+	// All true matches...
+	pairs = append(pairs, truth.Pairs()...)
+	// ...plus systematic non-matches (shifted holders).
+	for i, ct := range ds.Credit.Tuples {
+		bt := ds.Billing.Tuples[(i*7+3)%ds.Billing.Len()]
+		p := metrics.Pair{Left: ct.ID, Right: bt.ID}
+		if !truth.Has(p) {
+			pairs = append(pairs, p)
+		}
+	}
+	return Sample{D: d, Pairs: pairs, Truth: truth}, ds
+}
+
+func fieldUniverse() []matching.Field {
+	d := similarity.DL(0.8)
+	mk := func(l, r string) matching.Field {
+		return matching.Field{Pair: core.P(l, r), Op: d}
+	}
+	return []matching.Field{
+		mk("fn", "fn"), mk("ln", "ln"), mk("street", "street"),
+		mk("city", "city"), mk("zip", "zip"), mk("tel", "phn"),
+		mk("email", "email"), mk("dob", "dob"), mk("cno", "cno"),
+		{Pair: core.P("gender", "gender"), Op: similarity.Eq()},
+	}
+}
+
+func TestMineFindsUsefulRules(t *testing.T) {
+	sample, ds := makeSample(t, 250)
+	cands, err := Mine(sample, Config{Fields: fieldUniverse(), MaxLHS: 3, MinSupport: 10, MinConfidence: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("nothing mined")
+	}
+	// Every candidate meets the thresholds and is within the size bound.
+	for _, c := range cands {
+		if c.Confidence < 0.95 {
+			t.Errorf("candidate %s below confidence threshold", c)
+		}
+		if c.Support < 10 {
+			t.Errorf("candidate %s below support threshold", c)
+		}
+		if len(c.Conjuncts) > 3 {
+			t.Errorf("candidate %s exceeds MaxLHS", c)
+		}
+	}
+	// Sorted by support descending.
+	for i := 1; i < len(cands); i++ {
+		if cands[i].Support > cands[i-1].Support {
+			t.Fatal("candidates not sorted by support")
+		}
+	}
+	// The discover->deduce pipeline of Section 7: mined MDs feed
+	// findRCKs.
+	target := gen.Target(ds.Ctx)
+	mds, err := ToMDs(ds.Ctx, target, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := core.FindRCKs(ds.Ctx, mds, target, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) == 0 {
+		t.Fatal("no RCKs from mined MDs")
+	}
+	t.Logf("mined %d candidate LHSs; top: %s", len(cands), cands[0])
+}
+
+func TestMineMinimality(t *testing.T) {
+	sample, _ := makeSample(t, 200)
+	cands, err := Mine(sample, Config{Fields: fieldUniverse(), MaxLHS: 3, MinSupport: 8, MinConfidence: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No emitted candidate is a superset of another emitted candidate.
+	sig := func(cs []core.Conjunct) map[string]bool {
+		m := map[string]bool{}
+		for _, c := range cs {
+			m[c.Pair.String()+c.OpName()] = true
+		}
+		return m
+	}
+	for i, a := range cands {
+		for j, b := range cands {
+			if i == j || len(a.Conjuncts) >= len(b.Conjuncts) {
+				continue
+			}
+			bs := sig(b.Conjuncts)
+			subset := true
+			for k := range sig(a.Conjuncts) {
+				if !bs[k] {
+					subset = false
+					break
+				}
+			}
+			if subset {
+				t.Fatalf("candidate %v subsumes emitted superset %v", a, b)
+			}
+		}
+	}
+}
+
+func TestMineValidation(t *testing.T) {
+	sample, _ := makeSample(t, 20)
+	if _, err := Mine(Sample{}, Config{Fields: fieldUniverse()}); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, err := Mine(sample, Config{}); err == nil {
+		t.Error("no fields accepted")
+	}
+	bad := sample
+	bad.Pairs = []metrics.Pair{{Left: -1, Right: -1}}
+	if _, err := Mine(bad, Config{Fields: fieldUniverse()}); err == nil {
+		t.Error("dangling pair accepted")
+	}
+}
+
+func TestMineSupportPruning(t *testing.T) {
+	sample, _ := makeSample(t, 100)
+	// Absurd support threshold: nothing survives.
+	cands, err := Mine(sample, Config{Fields: fieldUniverse(), MinSupport: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 0 {
+		t.Fatalf("expected nothing above support 2^30, got %d", len(cands))
+	}
+	// Trivial thresholds: single-field rules only (minimality stops
+	// growth as soon as confidence is met).
+	cands, err = Mine(sample, Config{Fields: fieldUniverse(), MinSupport: 1, MinConfidence: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cands {
+		if len(c.Conjuncts) != 1 {
+			t.Fatalf("with ~0 confidence threshold all rules must be single conjunct: %v", c)
+		}
+	}
+}
+
+func TestToMDsValidation(t *testing.T) {
+	_, ds := makeSample(t, 20)
+	target := gen.Target(ds.Ctx)
+	bad := []Candidate{{Conjuncts: []core.Conjunct{core.Eq("nosuch", "fn")}}}
+	if _, err := ToMDs(ds.Ctx, target, bad); err == nil {
+		t.Error("invalid candidate accepted")
+	}
+	if out, err := ToMDs(ds.Ctx, target, nil); err != nil || len(out) != 0 {
+		t.Error("empty candidate list must convert to empty MD list")
+	}
+}

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFig8aSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Fig8a(&buf, []int{100, 200}, []int{6}, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Keys == 0 {
+			t.Errorf("card=%d found no RCKs", r.Card)
+		}
+		if r.Seconds < 0 {
+			t.Errorf("negative time")
+		}
+	}
+	if !strings.Contains(buf.String(), "Fig 8(a)") {
+		t.Error("missing table header")
+	}
+}
+
+func TestFig8bSmoke(t *testing.T) {
+	rows, err := Fig8b(nil, []int{5, 10}, []int{6}, 150, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1].Keys < rows[0].Keys {
+		t.Errorf("larger m found fewer keys: %d vs %d", rows[1].Keys, rows[0].Keys)
+	}
+}
+
+func TestFig8cSmoke(t *testing.T) {
+	rows, err := Fig8c(nil, []int{10, 20}, []int{6}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Keys == 0 {
+			t.Errorf("card=%d: no RCKs at all", r.Card)
+		}
+	}
+}
+
+// TestFig8cCalibration guards the generator tuning: exhaustive RCK
+// counts from small Σ must stay in the general range the paper's
+// Figure 8(c) reports (a handful to a few dozen), not explode into the
+// thousands (see EXPERIMENTS.md calibration note).
+func TestFig8cCalibration(t *testing.T) {
+	rows, err := Fig8c(nil, []int{10, 40}, []int{6, 12}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Keys < 1 || r.Keys > 200 {
+			t.Errorf("card=%d |Y|=%d: %d RCKs, outside the calibrated range [1, 200]",
+				r.Card, r.YLen, r.Keys)
+		}
+		if r.Seconds > 5 {
+			t.Errorf("card=%d |Y|=%d: exhaustive enumeration took %.1fs", r.Card, r.YLen, r.Seconds)
+		}
+	}
+}
+
+// TestFig9Shape verifies the headline claims of Exp-2 at reduced scale:
+// FSrck precision is at least as good as FS (the paper reports up to 20%
+// better), recall comparable, runtime comparable.
+func TestFig9Shape(t *testing.T) {
+	rows, err := Fig9(nil, []int{400}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	fs, fsrck := rows[0], rows[1]
+	if fs.Method != "FS" || fsrck.Method != "FSrck" {
+		t.Fatalf("unexpected order: %v", rows)
+	}
+	if fsrck.Precision < fs.Precision {
+		t.Errorf("FSrck precision %.3f < FS %.3f — paper shape violated", fsrck.Precision, fs.Precision)
+	}
+	if fsrck.Recall < fs.Recall-0.10 {
+		t.Errorf("FSrck recall %.3f far below FS %.3f — paper says comparable", fsrck.Recall, fs.Recall)
+	}
+	if fsrck.Recall < 0.3 {
+		t.Errorf("FSrck recall %.3f unusably low", fsrck.Recall)
+	}
+	t.Logf("FS:    %+v", fs)
+	t.Logf("FSrck: %+v", fsrck)
+}
+
+// TestFig10Shape verifies the headline claims of Exp-3 at reduced scale:
+// SNrck beats SN on both precision and recall (paper: by around 20%).
+func TestFig10Shape(t *testing.T) {
+	rows, err := Fig10(nil, []int{400}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, snrck := rows[0], rows[1]
+	if snrck.Precision < sn.Precision {
+		t.Errorf("SNrck precision %.3f < SN %.3f — paper shape violated", snrck.Precision, sn.Precision)
+	}
+	if snrck.Recall < sn.Recall {
+		t.Errorf("SNrck recall %.3f < SN %.3f — paper shape violated", snrck.Recall, sn.Recall)
+	}
+	t.Logf("SN:    %+v", sn)
+	t.Logf("SNrck: %+v", snrck)
+}
+
+// TestFig9dShape verifies Exp-4: the RCK-derived blocking key yields
+// better pairs completeness than the manual key (paper: consistently
+// above 10% better) at comparable reduction ratio.
+func TestFig9dShape(t *testing.T) {
+	rows, err := Fig9d(nil, []int{400}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	rck, manual := rows[0], rows[1]
+	if rck.Key != "RCK" || manual.Key != "manual" {
+		t.Fatalf("unexpected order: %v", rows)
+	}
+	if rck.PC <= manual.PC {
+		t.Errorf("RCK blocking PC %.3f <= manual %.3f — paper shape violated", rck.PC, manual.PC)
+	}
+	if rck.RR < 0.9 {
+		t.Errorf("RCK blocking RR %.3f, want > 0.9 (paper: 95%%+)", rck.RR)
+	}
+	t.Logf("RCK:    %+v", rck)
+	t.Logf("manual: %+v", manual)
+}
+
+func TestWindowingSmoke(t *testing.T) {
+	rows, err := Windowing(nil, []int{200}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Mode != "windowing" {
+			t.Errorf("mode = %s", r.Mode)
+		}
+		if r.PC < 0 || r.PC > 1 || r.RR < 0 || r.RR > 1 {
+			t.Errorf("out-of-range PC/RR: %+v", r)
+		}
+	}
+}
+
+func TestSetupSharedCandidates(t *testing.T) {
+	s, err := NewSetup(150, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.RCKs) == 0 {
+		t.Fatal("no RCKs derived")
+	}
+	if s.Candidates.Len() == 0 {
+		t.Fatal("no shared candidates")
+	}
+	if len(s.FSrckFields()) == 0 || len(s.FSFields()) != 11 {
+		t.Fatalf("field vectors wrong: rck=%d fs=%d", len(s.FSrckFields()), len(s.FSFields()))
+	}
+}

@@ -1,0 +1,105 @@
+package fellegi
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEMAllAgree(t *testing.T) {
+	// Degenerate input: every vector agrees on every field. EM must not
+	// blow up (probabilities stay clamped inside (0,1)).
+	vectors := make([][]bool, 100)
+	for i := range vectors {
+		vectors[i] = []bool{true, true, true}
+	}
+	model, err := EstimateEM(vectors, 3, EMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if model.M[i] <= 0 || model.M[i] >= 1 || model.U[i] <= 0 || model.U[i] >= 1 {
+			t.Fatalf("unclamped parameters: m=%v u=%v", model.M, model.U)
+		}
+	}
+	if model.P <= 0 || model.P >= 1 {
+		t.Fatalf("unclamped prevalence: %v", model.P)
+	}
+	if math.IsNaN(model.Weight([]bool{true, false, true})) {
+		t.Fatal("NaN weight")
+	}
+}
+
+func TestEMAllDisagree(t *testing.T) {
+	vectors := make([][]bool, 100)
+	for i := range vectors {
+		vectors[i] = []bool{false, false}
+	}
+	model, err := EstimateEM(vectors, 2, EMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(model.P) || math.IsInf(model.MatchThreshold(), 0) {
+		t.Fatalf("degenerate model: p=%v thr=%v", model.P, model.MatchThreshold())
+	}
+}
+
+func TestEMSingleVector(t *testing.T) {
+	model, err := EstimateEM([][]bool{{true, false}}, 2, EMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(model.Weight([]bool{true, false})) {
+		t.Fatal("NaN weight on single-vector fit")
+	}
+}
+
+func TestEMConfigDefaults(t *testing.T) {
+	var cfg EMConfig
+	cfg.defaults()
+	if cfg.MaxIter != 100 || cfg.Tol != 1e-6 {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+	if cfg.InitM != 0.9 || cfg.InitU != 0.1 || cfg.InitP != 0.1 {
+		t.Fatalf("init defaults wrong: %+v", cfg)
+	}
+	// Out-of-range inits are replaced.
+	cfg = EMConfig{InitM: 2, InitU: -1, InitP: 1}
+	cfg.defaults()
+	if cfg.InitM != 0.9 || cfg.InitU != 0.1 || cfg.InitP != 0.1 {
+		t.Fatalf("bad inits not replaced: %+v", cfg)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if clamp(0) != probFloor || clamp(1) != 1-probFloor {
+		t.Fatal("clamp bounds wrong")
+	}
+	if clamp(0.5) != 0.5 {
+		t.Fatal("clamp must pass interior values")
+	}
+}
+
+func TestEMTwoCleanClusters(t *testing.T) {
+	// Perfectly separated clusters: EM finds prevalence ≈ cluster ratio.
+	var vectors [][]bool
+	for i := 0; i < 300; i++ {
+		vectors = append(vectors, []bool{true, true, true})
+	}
+	for i := 0; i < 700; i++ {
+		vectors = append(vectors, []bool{false, false, false})
+	}
+	model, err := EstimateEM(vectors, 3, EMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(model.P-0.3) > 0.02 {
+		t.Errorf("p = %v, want ≈0.3", model.P)
+	}
+	thr := model.MatchThreshold()
+	if !(model.Weight([]bool{true, true, true}) > thr) {
+		t.Error("all-agree must classify as match")
+	}
+	if model.Weight([]bool{false, false, false}) > thr {
+		t.Error("all-disagree must classify as non-match")
+	}
+}

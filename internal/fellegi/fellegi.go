@@ -1,0 +1,270 @@
+// Package fellegi implements the Fellegi–Sunter statistical record
+// matcher [17] with expectation-maximization parameter estimation [21],
+// the method of Exp-2 in Section 6: candidate pairs are reduced to
+// binary comparison vectors over a field set, the conditional agreement
+// probabilities m (among matches) and u (among non-matches) and the
+// match prevalence p are estimated by EM under the conditional-
+// independence model, and pairs are classified by their log-likelihood
+// agreement weight.
+package fellegi
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mdmatch/internal/matching"
+	"mdmatch/internal/metrics"
+	"mdmatch/internal/record"
+)
+
+// Model holds the fitted Fellegi–Sunter parameters for a field set.
+type Model struct {
+	Fields []matching.Field
+	// M[i] = P(agree on field i | pair is a match).
+	M []float64
+	// U[i] = P(agree on field i | pair is a non-match).
+	U []float64
+	// P = P(match) among candidate pairs.
+	P float64
+}
+
+// EMConfig controls estimation.
+type EMConfig struct {
+	// MaxIter bounds EM iterations (default 100).
+	MaxIter int
+	// Tol is the convergence tolerance on parameter change (default 1e-6).
+	Tol float64
+	// InitM, InitU, InitP seed the parameters (defaults 0.9, 0.1, 0.1).
+	InitM, InitU, InitP float64
+}
+
+func (c *EMConfig) defaults() {
+	if c.MaxIter <= 0 {
+		c.MaxIter = 100
+	}
+	if c.Tol <= 0 {
+		c.Tol = 1e-6
+	}
+	if c.InitM <= 0 || c.InitM >= 1 {
+		c.InitM = 0.9
+	}
+	if c.InitU <= 0 || c.InitU >= 1 {
+		c.InitU = 0.1
+	}
+	if c.InitP <= 0 || c.InitP >= 1 {
+		c.InitP = 0.1
+	}
+}
+
+const probFloor = 1e-5
+
+func clamp(x float64) float64 {
+	if x < probFloor {
+		return probFloor
+	}
+	if x > 1-probFloor {
+		return 1 - probFloor
+	}
+	return x
+}
+
+// EstimateEM fits m, u and p from unlabeled comparison vectors by EM
+// under conditional independence (the classic record-linkage EM of
+// Winkler/Jaro [21, 32]).
+func EstimateEM(vectors [][]bool, nFields int, cfg EMConfig) (*Model, error) {
+	if len(vectors) == 0 {
+		return nil, fmt.Errorf("fellegi: no vectors to fit")
+	}
+	if nFields == 0 {
+		return nil, fmt.Errorf("fellegi: no fields")
+	}
+	cfg.defaults()
+
+	// Aggregate identical vectors into patterns for speed.
+	type pattern struct {
+		vec   []bool
+		count float64
+	}
+	patIndex := map[string]int{}
+	var patterns []pattern
+	keyBuf := make([]byte, nFields)
+	for _, v := range vectors {
+		if len(v) != nFields {
+			return nil, fmt.Errorf("fellegi: vector arity %d, want %d", len(v), nFields)
+		}
+		for i, b := range v {
+			if b {
+				keyBuf[i] = '1'
+			} else {
+				keyBuf[i] = '0'
+			}
+		}
+		k := string(keyBuf)
+		if i, ok := patIndex[k]; ok {
+			patterns[i].count++
+		} else {
+			patIndex[k] = len(patterns)
+			patterns = append(patterns, pattern{vec: append([]bool(nil), v...), count: 1})
+		}
+	}
+
+	m := make([]float64, nFields)
+	u := make([]float64, nFields)
+	for i := range m {
+		m[i], u[i] = cfg.InitM, cfg.InitU
+	}
+	p := cfg.InitP
+	total := float64(len(vectors))
+
+	g := make([]float64, len(patterns))
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		// E-step: posterior match probability per pattern.
+		for j, pat := range patterns {
+			la, lb := math.Log(p), math.Log(1-p)
+			for i, agree := range pat.vec {
+				if agree {
+					la += math.Log(m[i])
+					lb += math.Log(u[i])
+				} else {
+					la += math.Log(1 - m[i])
+					lb += math.Log(1 - u[i])
+				}
+			}
+			// Stable posterior from log-likelihoods.
+			g[j] = 1 / (1 + math.Exp(lb-la))
+		}
+		// M-step.
+		var sumG float64
+		newM := make([]float64, nFields)
+		newU := make([]float64, nFields)
+		for j, pat := range patterns {
+			w := g[j] * pat.count
+			sumG += w
+			for i, agree := range pat.vec {
+				if agree {
+					newM[i] += w
+					newU[i] += (1 - g[j]) * pat.count
+				}
+			}
+		}
+		sumNotG := total - sumG
+		delta := 0.0
+		for i := range newM {
+			nm := clamp(newM[i] / math.Max(sumG, probFloor))
+			nu := clamp(newU[i] / math.Max(sumNotG, probFloor))
+			delta += math.Abs(nm-m[i]) + math.Abs(nu-u[i])
+			m[i], u[i] = nm, nu
+		}
+		np := clamp(sumG / total)
+		delta += math.Abs(np - p)
+		p = np
+		if delta < cfg.Tol {
+			break
+		}
+	}
+	return &Model{M: m, U: u, P: p}, nil
+}
+
+// Weight returns the log2 agreement weight of a comparison vector:
+// Σ log2(m/u) over agreeing fields plus Σ log2((1-m)/(1-u)) over
+// disagreeing fields.
+func (mod *Model) Weight(vec []bool) float64 {
+	w := 0.0
+	for i, agree := range vec {
+		if agree {
+			w += math.Log2(mod.M[i] / mod.U[i])
+		} else {
+			w += math.Log2((1 - mod.M[i]) / (1 - mod.U[i]))
+		}
+	}
+	return w
+}
+
+// MatchThreshold returns the weight above which the posterior match
+// probability exceeds 1/2: log2((1-p)/p).
+func (mod *Model) MatchThreshold() float64 {
+	return math.Log2((1 - mod.P) / mod.P)
+}
+
+// FieldWeight returns the full agreement weight log2(m/u) of field i,
+// the discriminating power EM assigns to it.
+func (mod *Model) FieldWeight(i int) float64 {
+	return math.Log2(mod.M[i] / mod.U[i])
+}
+
+// Matcher runs the full FS pipeline over candidate pairs.
+type Matcher struct {
+	// Fields is the comparison vector specification.
+	Fields []matching.Field
+	// SampleSize bounds the number of candidate pairs used to fit EM
+	// (the paper samples at most 30k tuples); 0 means fit on all.
+	SampleSize int
+	// Seed drives sampling.
+	Seed int64
+	// EM holds estimation knobs.
+	EM EMConfig
+	// ThresholdOffset shifts the classification threshold away from the
+	// posterior-1/2 point (positive = more conservative).
+	ThresholdOffset float64
+}
+
+// Result is the outcome of a Matcher run.
+type Result struct {
+	Matches *metrics.PairSet
+	Model   *Model
+	// Compared is the number of candidate pairs scored.
+	Compared int
+}
+
+// Run computes comparison vectors for every candidate pair, fits the
+// model on a sample, and classifies all candidates.
+func (ma *Matcher) Run(d *record.PairInstance, candidates *metrics.PairSet) (*Result, error) {
+	if len(ma.Fields) == 0 {
+		return nil, fmt.Errorf("fellegi: matcher has no fields")
+	}
+	pairs := candidates.Pairs()
+	if len(pairs) == 0 {
+		return &Result{Matches: metrics.NewPairSet(), Model: &Model{Fields: ma.Fields}}, nil
+	}
+	vectors := make([][]bool, len(pairs))
+	for i, p := range pairs {
+		t1, ok := d.Left.ByID(p.Left)
+		if !ok {
+			return nil, fmt.Errorf("fellegi: missing left tuple %d", p.Left)
+		}
+		t2, ok := d.Right.ByID(p.Right)
+		if !ok {
+			return nil, fmt.Errorf("fellegi: missing right tuple %d", p.Right)
+		}
+		vec, err := matching.Compare(d, ma.Fields, t1, t2)
+		if err != nil {
+			return nil, err
+		}
+		vectors[i] = vec
+	}
+
+	fit := vectors
+	if ma.SampleSize > 0 && len(vectors) > ma.SampleSize {
+		rnd := rand.New(rand.NewSource(ma.Seed + 1))
+		idx := rnd.Perm(len(vectors))[:ma.SampleSize]
+		fit = make([][]bool, len(idx))
+		for i, j := range idx {
+			fit[i] = vectors[j]
+		}
+	}
+	model, err := EstimateEM(fit, len(ma.Fields), ma.EM)
+	if err != nil {
+		return nil, err
+	}
+	model.Fields = ma.Fields
+
+	thr := model.MatchThreshold() + ma.ThresholdOffset
+	out := metrics.NewPairSet()
+	for i, p := range pairs {
+		if model.Weight(vectors[i]) > thr {
+			out.Add(p)
+		}
+	}
+	return &Result{Matches: out, Model: model, Compared: len(pairs)}, nil
+}

@@ -1,0 +1,174 @@
+package fellegi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mdmatch/internal/blocking"
+	"mdmatch/internal/core"
+	"mdmatch/internal/gen"
+	"mdmatch/internal/matching"
+	"mdmatch/internal/metrics"
+	"mdmatch/internal/similarity"
+)
+
+// synthVectors builds a mixture of match-like and unmatch-like binary
+// vectors with known parameters.
+func synthVectors(rnd *rand.Rand, n int, p float64, m, u []float64) ([][]bool, []bool) {
+	vectors := make([][]bool, n)
+	labels := make([]bool, n)
+	for i := range vectors {
+		isMatch := rnd.Float64() < p
+		labels[i] = isMatch
+		vec := make([]bool, len(m))
+		for f := range vec {
+			prob := u[f]
+			if isMatch {
+				prob = m[f]
+			}
+			vec[f] = rnd.Float64() < prob
+		}
+		vectors[i] = vec
+	}
+	return vectors, labels
+}
+
+func TestEstimateEMRecoversParameters(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	trueM := []float64{0.95, 0.9, 0.85, 0.9}
+	trueU := []float64{0.05, 0.1, 0.2, 0.02}
+	trueP := 0.2
+	vectors, _ := synthVectors(rnd, 20000, trueP, trueM, trueU)
+	model, err := EstimateEM(vectors, 4, EMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(model.P-trueP) > 0.05 {
+		t.Errorf("p = %.3f, want ≈%.2f", model.P, trueP)
+	}
+	for i := range trueM {
+		if math.Abs(model.M[i]-trueM[i]) > 0.07 {
+			t.Errorf("m[%d] = %.3f, want ≈%.2f", i, model.M[i], trueM[i])
+		}
+		if math.Abs(model.U[i]-trueU[i]) > 0.07 {
+			t.Errorf("u[%d] = %.3f, want ≈%.2f", i, model.U[i], trueU[i])
+		}
+	}
+}
+
+func TestEMClassificationAccuracy(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	trueM := []float64{0.9, 0.92, 0.88}
+	trueU := []float64{0.05, 0.08, 0.1}
+	vectors, labels := synthVectors(rnd, 10000, 0.15, trueM, trueU)
+	model, err := EstimateEM(vectors, 3, EMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr := model.MatchThreshold()
+	correct := 0
+	for i, v := range vectors {
+		if (model.Weight(v) > thr) == labels[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(vectors))
+	if acc < 0.9 {
+		t.Errorf("classification accuracy = %.3f, want > 0.9", acc)
+	}
+}
+
+func TestEstimateEMErrors(t *testing.T) {
+	if _, err := EstimateEM(nil, 3, EMConfig{}); err == nil {
+		t.Error("empty vectors accepted")
+	}
+	if _, err := EstimateEM([][]bool{{true}}, 0, EMConfig{}); err == nil {
+		t.Error("zero fields accepted")
+	}
+	if _, err := EstimateEM([][]bool{{true, false}}, 3, EMConfig{}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestWeightMonotone(t *testing.T) {
+	model := &Model{M: []float64{0.9, 0.9}, U: []float64{0.1, 0.1}, P: 0.2}
+	w00 := model.Weight([]bool{false, false})
+	w10 := model.Weight([]bool{true, false})
+	w11 := model.Weight([]bool{true, true})
+	if !(w00 < w10 && w10 < w11) {
+		t.Errorf("weights not monotone: %v %v %v", w00, w10, w11)
+	}
+	if model.FieldWeight(0) <= 0 {
+		t.Error("discriminating field must have positive weight")
+	}
+	// Threshold is the posterior-1/2 point: at p=0.5 it is 0.
+	half := &Model{M: model.M, U: model.U, P: 0.5}
+	if math.Abs(half.MatchThreshold()) > 1e-12 {
+		t.Errorf("threshold at p=0.5 = %v, want 0", half.MatchThreshold())
+	}
+}
+
+func TestMatcherOnGeneratedData(t *testing.T) {
+	ds, err := gen.Generate(gen.DefaultConfig(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ds.Pair()
+	target := gen.Target(ds.Ctx)
+	// Derive RCKs and use their union as the comparison vector (FSrck).
+	keys, err := core.FindRCKs(ds.Ctx, gen.HolderMDs(ds.Ctx), target, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields := matching.FieldsFromKeys(keys)
+	if len(fields) == 0 {
+		t.Fatal("no fields from RCKs")
+	}
+	// Windowed candidates as in Exp-2.
+	ks := blocking.NewKeySpec(core.P("ln", "ln"), core.P("zip", "zip")).
+		WithEncoder(0, blocking.SoundexEncode)
+	cands, err := blocking.Window(d, ks, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma := &Matcher{Fields: fields, SampleSize: 5000, Seed: 1}
+	res, err := ma.Run(d, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Compared != cands.Len() {
+		t.Errorf("compared %d of %d candidates", res.Compared, cands.Len())
+	}
+	q := metrics.Evaluate(res.Matches, ds.Truth())
+	if q.Precision() < 0.8 {
+		t.Errorf("FSrck precision = %.3f, want > 0.8 (%s)", q.Precision(), q)
+	}
+	if q.TruePositives == 0 {
+		t.Error("FSrck found no true matches at all")
+	}
+}
+
+func TestMatcherEdgeCases(t *testing.T) {
+	ds, err := gen.Generate(gen.DefaultConfig(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ds.Pair()
+	ma := &Matcher{}
+	if _, err := ma.Run(d, metrics.NewPairSet()); err == nil {
+		t.Error("matcher without fields accepted")
+	}
+	ma.Fields = []matching.Field{{Pair: core.P("email", "email"), Op: similarity.Eq()}}
+	res, err := ma.Run(d, metrics.NewPairSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches.Len() != 0 {
+		t.Error("no candidates must produce no matches")
+	}
+	// Missing tuples in candidates error out.
+	if _, err := ma.Run(d, metrics.NewPairSet(metrics.Pair{Left: -5, Right: 0})); err == nil {
+		t.Error("bad candidate accepted")
+	}
+}

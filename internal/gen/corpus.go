@@ -1,0 +1,152 @@
+// Package gen generates the synthetic datasets and rule sets of the
+// experimental study (Section 6).
+//
+// The paper populates its schemas with "real-life data scraped from the
+// Web" (US addresses, online-store items) and then dirties it with a
+// precisely specified protocol: 80% duplicates, and errors injected into
+// each duplicate attribute with probability 80%, "ranging from small
+// typographical changes to complete change of the attribute". The
+// experiments depend on that protocol — and on the generator holding the
+// ground truth — rather than on the particular clean strings, so this
+// package substitutes embedded corpora for the scraped data (DESIGN.md
+// §3) and implements the dirtying protocol faithfully.
+package gen
+
+// firstNames is the clean first-name corpus.
+var firstNames = []string{
+	"James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael", "Linda",
+	"David", "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph", "Jessica",
+	"Thomas", "Sarah", "Christopher", "Karen", "Charles", "Lisa", "Daniel", "Nancy",
+	"Matthew", "Betty", "Anthony", "Sandra", "Mark", "Margaret", "Donald", "Ashley",
+	"Steven", "Kimberly", "Andrew", "Emily", "Paul", "Donna", "Joshua", "Michelle",
+	"Kenneth", "Carol", "Kevin", "Amanda", "Brian", "Melissa", "George", "Deborah",
+	"Timothy", "Stephanie", "Ronald", "Rebecca", "Jason", "Sharon", "Edward", "Laura",
+	"Jeffrey", "Cynthia", "Ryan", "Dorothy", "Jacob", "Amy", "Gary", "Kathleen",
+	"Nicholas", "Angela", "Eric", "Shirley", "Jonathan", "Brenda", "Stephen", "Emma",
+	"Larry", "Anna", "Justin", "Pamela", "Scott", "Nicole", "Brandon", "Samantha",
+	"Benjamin", "Katherine", "Samuel", "Christine", "Gregory", "Helen", "Alexander", "Debra",
+	"Patrick", "Rachel", "Frank", "Carolyn", "Raymond", "Janet", "Jack", "Maria",
+	"Dennis", "Catherine", "Jerry", "Heather", "Tyler", "Diane", "Aaron", "Olivia",
+	"Jose", "Julie", "Adam", "Joyce", "Nathan", "Victoria", "Henry", "Ruth",
+	"Zachary", "Virginia", "Douglas", "Lauren", "Peter", "Kelly", "Kyle", "Christina",
+}
+
+// lastNames is the clean surname corpus.
+var lastNames = []string{
+	"Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis",
+	"Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas",
+	"Taylor", "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White",
+	"Harris", "Sanchez", "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young",
+	"Allen", "King", "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores",
+	"Green", "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+	"Carter", "Roberts", "Gomez", "Phillips", "Evans", "Turner", "Diaz", "Parker",
+	"Cruz", "Edwards", "Collins", "Reyes", "Stewart", "Morris", "Morales", "Murphy",
+	"Cook", "Rogers", "Gutierrez", "Ortiz", "Morgan", "Cooper", "Peterson", "Bailey",
+	"Reed", "Kelly", "Howard", "Ramos", "Kim", "Cox", "Ward", "Richardson",
+	"Watson", "Brooks", "Chavez", "Wood", "James", "Bennett", "Gray", "Mendoza",
+	"Ruiz", "Hughes", "Price", "Alvarez", "Castillo", "Sanders", "Patel", "Myers",
+	"Long", "Ross", "Foster", "Jimenez", "Clifford", "Stolfo", "Winkler", "Fellegi",
+}
+
+// streetNames combine with numbers and suffixes into street addresses.
+var streetNames = []string{
+	"Oak", "Elm", "Maple", "Cedar", "Pine", "Walnut", "Chestnut", "Spruce",
+	"Main", "Church", "High", "Park", "Washington", "Lake", "Hill", "River",
+	"Mill", "Spring", "Ridge", "Valley", "Forest", "Meadow", "Sunset", "Highland",
+	"Jackson", "Lincoln", "Jefferson", "Franklin", "Madison", "Monroe", "Adams", "Center",
+	"Prospect", "Pleasant", "Broad", "Market", "Union", "Water", "Bridge", "Grove",
+	"Willow", "Cherry", "Dogwood", "Magnolia", "Sycamore", "Locust", "Hickory", "Poplar",
+}
+
+var streetSuffixes = []string{"Street", "Avenue", "Road", "Lane", "Drive", "Court", "Boulevard", "Place"}
+
+// city holds a city with its county, state and ZIP prefix.
+type city struct {
+	Name   string
+	County string
+	State  string
+	Zip3   string // first three digits of the ZIP code
+}
+
+var cities = []city{
+	{"Murray Hill", "Union", "NJ", "079"},
+	{"Newark", "Essex", "NJ", "071"},
+	{"Jersey City", "Hudson", "NJ", "073"},
+	{"Trenton", "Mercer", "NJ", "086"},
+	{"Princeton", "Mercer", "NJ", "085"},
+	{"New York", "New York", "NY", "100"},
+	{"Brooklyn", "Kings", "NY", "112"},
+	{"Buffalo", "Erie", "NY", "142"},
+	{"Albany", "Albany", "NY", "122"},
+	{"Yonkers", "Westchester", "NY", "107"},
+	{"Philadelphia", "Philadelphia", "PA", "191"},
+	{"Pittsburgh", "Allegheny", "PA", "152"},
+	{"Allentown", "Lehigh", "PA", "181"},
+	{"Boston", "Suffolk", "MA", "021"},
+	{"Worcester", "Worcester", "MA", "016"},
+	{"Springfield", "Hampden", "MA", "011"},
+	{"Hartford", "Hartford", "CT", "061"},
+	{"New Haven", "New Haven", "CT", "065"},
+	{"Stamford", "Fairfield", "CT", "069"},
+	{"Baltimore", "Baltimore", "MD", "212"},
+	{"Annapolis", "Anne Arundel", "MD", "214"},
+	{"Richmond", "Richmond", "VA", "232"},
+	{"Norfolk", "Norfolk", "VA", "235"},
+	{"Arlington", "Arlington", "VA", "222"},
+	{"Chicago", "Cook", "IL", "606"},
+	{"Springfield", "Sangamon", "IL", "627"},
+	{"Peoria", "Peoria", "IL", "616"},
+	{"Columbus", "Franklin", "OH", "432"},
+	{"Cleveland", "Cuyahoga", "OH", "441"},
+	{"Cincinnati", "Hamilton", "OH", "452"},
+	{"Detroit", "Wayne", "MI", "482"},
+	{"Grand Rapids", "Kent", "MI", "495"},
+	{"Atlanta", "Fulton", "GA", "303"},
+	{"Savannah", "Chatham", "GA", "314"},
+	{"Miami", "Miami-Dade", "FL", "331"},
+	{"Orlando", "Orange", "FL", "328"},
+	{"Tampa", "Hillsborough", "FL", "336"},
+	{"Houston", "Harris", "TX", "770"},
+	{"Dallas", "Dallas", "TX", "752"},
+	{"Austin", "Travis", "TX", "787"},
+	{"San Antonio", "Bexar", "TX", "782"},
+	{"Phoenix", "Maricopa", "AZ", "850"},
+	{"Tucson", "Pima", "AZ", "857"},
+	{"Denver", "Denver", "CO", "802"},
+	{"Boulder", "Boulder", "CO", "803"},
+	{"Seattle", "King", "WA", "981"},
+	{"Spokane", "Spokane", "WA", "992"},
+	{"Portland", "Multnomah", "OR", "972"},
+	{"San Francisco", "San Francisco", "CA", "941"},
+	{"Los Angeles", "Los Angeles", "CA", "900"},
+	{"San Diego", "San Diego", "CA", "921"},
+	{"Sacramento", "Sacramento", "CA", "958"},
+	{"San Jose", "Santa Clara", "CA", "951"},
+	{"Las Vegas", "Clark", "NV", "891"},
+	{"Salt Lake City", "Salt Lake", "UT", "841"},
+	{"Minneapolis", "Hennepin", "MN", "554"},
+	{"St. Paul", "Ramsey", "MN", "551"},
+	{"Milwaukee", "Milwaukee", "WI", "532"},
+	{"Madison", "Dane", "WI", "537"},
+	{"Edinburgh", "Midlothian", "UK", "EH8"},
+}
+
+var emailDomains = []string{
+	"gm.com", "hm.com", "yh.com", "aol.com", "mail.com", "inbox.com",
+	"post.net", "web.org", "fastmail.net", "proton.me", "univ.edu", "corp.biz",
+}
+
+var items = []string{
+	"iPod", "PSP", "CD", "book", "DVD", "laptop", "camera", "headphones",
+	"keyboard", "monitor", "printer", "router", "tablet", "phone", "charger",
+	"speaker", "microphone", "webcam", "mouse", "desk", "chair", "lamp",
+	"backpack", "watch", "sunglasses", "jacket", "sneakers", "umbrella",
+	"blender", "toaster", "kettle", "vacuum", "heater", "fan", "drill",
+	"hammer", "ladder", "tent", "bicycle", "scooter",
+}
+
+var cardTypes = []string{"visa", "master", "amex", "discover"}
+
+var shipMethods = []string{"ground", "air", "express", "pickup"}
+
+var statuses = []string{"shipped", "pending", "delivered", "returned"}

@@ -1,0 +1,389 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mdmatch/internal/core"
+	"mdmatch/internal/metrics"
+	"mdmatch/internal/record"
+	"mdmatch/internal/schema"
+	"mdmatch/internal/similarity"
+)
+
+// CreditSchema returns the extended credit schema of Section 6.2
+// (13 attributes).
+func CreditSchema() *schema.Relation {
+	return schema.MustStrings("credit",
+		"cno", "ssn", "fn", "ln", "street", "city", "county", "zip",
+		"tel", "email", "gender", "dob", "type")
+}
+
+// BillingSchema returns the extended billing schema of Section 6.2
+// (21 attributes).
+func BillingSchema() *schema.Relation {
+	return schema.MustStrings("billing",
+		"cno", "fn", "ln", "street", "city", "county", "zip", "phn",
+		"email", "gender", "dob", "item", "brand", "category", "price",
+		"qty", "orderdate", "ship", "status", "coupon", "total")
+}
+
+// Target returns the 11-attribute card-holder identification target
+// (Y1, Y2) of Section 6.2 ("name, phone, street, city, county, zip,
+// etc.").
+func Target(ctx schema.Pair) core.Target {
+	t, err := core.NewTarget(ctx,
+		schema.AttrList{"fn", "ln", "street", "city", "county", "zip", "tel", "email", "gender", "dob", "cno"},
+		schema.AttrList{"fn", "ln", "street", "city", "county", "zip", "phn", "email", "gender", "dob", "cno"})
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// HolderMDs returns the "7 simple MDs over credit and billing, which
+// specify matching rules for card holders" of Section 6.2. Following the
+// paper's setup, similarity tests use the DL metric with θ=0.8; equality
+// is reserved for short fields where a single edit already destroys
+// identity (zip, gender) — on those dl(0.8) degenerates to equality
+// anyway.
+func HolderMDs(ctx schema.Pair) []core.MD {
+	d := similarity.DL(0.8)
+	target := Target(ctx)
+	return []core.MD{
+		// ϕ1: similar surname, street and city, similar first name: the
+		// extended analog of the paper's given key.
+		core.MustMD(ctx,
+			[]core.Conjunct{core.C("ln", d, "ln"), core.C("street", d, "street"),
+				core.C("city", d, "city"), core.C("fn", d, "fn")},
+			target.Pairs()),
+		// ϕ2: matching phone identifies the postal address block.
+		core.MustMD(ctx,
+			[]core.Conjunct{core.C("tel", d, "phn")},
+			[]core.AttrPair{core.P("street", "street"), core.P("city", "city"),
+				core.P("county", "county"), core.P("zip", "zip")}),
+		// ϕ3: matching email identifies the name.
+		core.MustMD(ctx,
+			[]core.Conjunct{core.C("email", d, "email")},
+			[]core.AttrPair{core.P("fn", "fn"), core.P("ln", "ln")}),
+		// ϕ4: matching card number and similar surname identify the
+		// person.
+		core.MustMD(ctx,
+			[]core.Conjunct{core.C("cno", d, "cno"), core.C("ln", d, "ln")},
+			[]core.AttrPair{core.P("fn", "fn"), core.P("ln", "ln"),
+				core.P("gender", "gender"), core.P("dob", "dob")}),
+		// ϕ5: same zip and similar street identify city and county.
+		core.MustMD(ctx,
+			[]core.Conjunct{core.Eq("zip", "zip"), core.C("street", d, "street")},
+			[]core.AttrPair{core.P("city", "city"), core.P("county", "county")}),
+		// ϕ6: matching birth date and name identify phone and email.
+		core.MustMD(ctx,
+			[]core.Conjunct{core.C("dob", d, "dob"), core.C("ln", d, "ln"), core.C("fn", d, "fn")},
+			[]core.AttrPair{core.P("tel", "phn"), core.P("email", "email")}),
+		// ϕ7: surname, similar first name, zip and birth date make a key.
+		core.MustMD(ctx,
+			[]core.Conjunct{core.C("ln", d, "ln"), core.C("fn", d, "fn"),
+				core.Eq("zip", "zip"), core.C("dob", d, "dob")},
+			target.Pairs()),
+	}
+}
+
+// Config controls dataset generation.
+type Config struct {
+	Seed int64
+	// NumCredit is K: the number of distinct card holders (each with one
+	// clean credit tuple).
+	NumCredit int
+	// BillingMin/Max bound the purchases per card holder.
+	BillingMin, BillingMax int
+	// DupRate is the fraction of tuples that receive a dirty duplicate
+	// (the paper's 80%).
+	DupRate float64
+	// ErrProb is the per-attribute error probability within a duplicate
+	// (the paper's 80%).
+	ErrProb float64
+}
+
+// DefaultConfig returns the paper's protocol for K holders.
+func DefaultConfig(k int) Config {
+	return Config{Seed: 1, NumCredit: k, BillingMin: 1, BillingMax: 2, DupRate: 0.8, ErrProb: 0.8}
+}
+
+// Dataset is a generated instance pair plus the generator-held truth.
+type Dataset struct {
+	Ctx     schema.Pair
+	Credit  *record.Instance
+	Billing *record.Instance
+	// CreditHolder / BillingHolder map tuple ids to holder entity ids.
+	CreditHolder  map[int]int
+	BillingHolder map[int]int
+}
+
+// holder is one clean card-holder entity.
+type holder struct {
+	cno, ssn, fn, ln, street, cty, county, zip, tel, email, gender, dob, typ string
+	city                                                                     city
+}
+
+// Generate builds a credit/billing dataset following the protocol of
+// Section 6.2: clean tuples from the corpora, DupRate duplicates, and
+// per-attribute errors with probability ErrProb inside duplicates.
+func Generate(cfg Config) (*Dataset, error) {
+	if cfg.NumCredit <= 0 {
+		return nil, fmt.Errorf("gen: NumCredit must be positive")
+	}
+	if cfg.BillingMin <= 0 || cfg.BillingMax < cfg.BillingMin {
+		return nil, fmt.Errorf("gen: bad billing bounds [%d, %d]", cfg.BillingMin, cfg.BillingMax)
+	}
+	if cfg.DupRate < 0 || cfg.DupRate > 1 || cfg.ErrProb < 0 || cfg.ErrProb > 1 {
+		return nil, fmt.Errorf("gen: rates must be in [0, 1]")
+	}
+	rnd := rand.New(rand.NewSource(cfg.Seed))
+	credit := CreditSchema()
+	billing := BillingSchema()
+	ctx := schema.MustPair(credit, billing)
+	ds := &Dataset{
+		Ctx:           ctx,
+		Credit:        record.NewInstance(credit),
+		Billing:       record.NewInstance(billing),
+		CreditHolder:  map[int]int{},
+		BillingHolder: map[int]int{},
+	}
+	noiser := newDomainNoiser(rnd)
+
+	// Clean population.
+	holders := make([]holder, cfg.NumCredit)
+	for h := range holders {
+		holders[h] = makeHolder(rnd, h)
+		ho := holders[h]
+		t := ds.Credit.MustAppend(ho.creditRow()...)
+		ds.CreditHolder[t.ID] = h
+		nb := cfg.BillingMin + rnd.Intn(cfg.BillingMax-cfg.BillingMin+1)
+		for b := 0; b < nb; b++ {
+			bt := ds.Billing.MustAppend(ho.billingRow(rnd)...)
+			ds.BillingHolder[bt.ID] = h
+		}
+	}
+
+	// Duplicates: copy, change non-target attributes, then corrupt each
+	// target attribute with probability ErrProb.
+	targetLeft := map[string]bool{}
+	targetRight := map[string]bool{}
+	tg := Target(ctx)
+	for i := range tg.Y1 {
+		targetLeft[tg.Y1[i]] = true
+		targetRight[tg.Y2[i]] = true
+	}
+	dupCredit := []*record.Tuple{}
+	for _, t := range ds.Credit.Tuples {
+		if rnd.Float64() < cfg.DupRate {
+			dupCredit = append(dupCredit, t)
+		}
+	}
+	for _, orig := range dupCredit {
+		vals := append([]string(nil), orig.Values...)
+		for i, a := range credit.AttrNames() {
+			switch {
+			case !targetLeft[a]:
+				// Non-target attributes change freely in copies.
+				vals[i] = noiser.Replace(a, vals[i])
+			case rnd.Float64() < cfg.ErrProb:
+				vals[i] = noiser.Corrupt(a, vals[i])
+			}
+		}
+		t := ds.Credit.MustAppend(vals...)
+		ds.CreditHolder[t.ID] = ds.CreditHolder[orig.ID]
+	}
+	dupBilling := []*record.Tuple{}
+	for _, t := range ds.Billing.Tuples {
+		if rnd.Float64() < cfg.DupRate {
+			dupBilling = append(dupBilling, t)
+		}
+	}
+	for _, orig := range dupBilling {
+		vals := append([]string(nil), orig.Values...)
+		for i, a := range billing.AttrNames() {
+			switch {
+			case !targetRight[a]:
+				vals[i] = noiser.Replace(a, vals[i])
+			case rnd.Float64() < cfg.ErrProb:
+				vals[i] = noiser.Corrupt(a, vals[i])
+			}
+		}
+		t := ds.Billing.MustAppend(vals...)
+		ds.BillingHolder[t.ID] = ds.BillingHolder[orig.ID]
+	}
+	return ds, nil
+}
+
+// Truth returns the set of true matches: all (credit, billing) tuple id
+// pairs referring to the same card holder.
+func (ds *Dataset) Truth() *metrics.PairSet {
+	byHolder := map[int][]int{}
+	for id, h := range ds.BillingHolder {
+		byHolder[h] = append(byHolder[h], id)
+	}
+	truth := metrics.NewPairSet()
+	for cid, h := range ds.CreditHolder {
+		for _, bid := range byHolder[h] {
+			truth.Add(metrics.Pair{Left: cid, Right: bid})
+		}
+	}
+	return truth
+}
+
+// TotalPairs returns the size of the unrestricted comparison space.
+func (ds *Dataset) TotalPairs() int { return ds.Credit.Len() * ds.Billing.Len() }
+
+// Pair returns the dataset as a record.PairInstance.
+func (ds *Dataset) Pair() *record.PairInstance {
+	d, err := record.NewPairInstance(ds.Ctx, ds.Credit, ds.Billing)
+	if err != nil {
+		panic(err) // construction invariant
+	}
+	return d
+}
+
+// LtStats computes the average value length of each attribute pair from
+// the data, for use as the lt statistic of the cost model (Section 5).
+func (ds *Dataset) LtStats() func(core.AttrPair) float64 {
+	avg := func(in *record.Instance, attr string) float64 {
+		i, ok := in.Rel.Index(attr)
+		if !ok || in.Len() == 0 {
+			return 0
+		}
+		total := 0
+		for _, t := range in.Tuples {
+			total += len(t.Values[i])
+		}
+		return float64(total) / float64(in.Len())
+	}
+	cache := map[core.AttrPair]float64{}
+	return func(p core.AttrPair) float64 {
+		if v, ok := cache[p]; ok {
+			return v
+		}
+		v := (avg(ds.Credit, p.Left) + avg(ds.Billing, p.Right)) / 2
+		cache[p] = v
+		return v
+	}
+}
+
+func makeHolder(rnd *rand.Rand, id int) holder {
+	ct := cities[rnd.Intn(len(cities))]
+	fn := firstNames[rnd.Intn(len(firstNames))]
+	ln := lastNames[rnd.Intn(len(lastNames))]
+	gender := "M"
+	if rnd.Intn(2) == 0 {
+		gender = "F"
+	}
+	return holder{
+		cno:    fmt.Sprintf("%012d", rnd.Int63n(1e12)),
+		ssn:    fmt.Sprintf("%09d", rnd.Int63n(1e9)),
+		fn:     fn,
+		ln:     ln,
+		street: randStreet(rnd),
+		city:   ct,
+		cty:    ct.Name,
+		county: ct.County,
+		zip:    ct.Zip3 + fmt.Sprintf("%02d", rnd.Intn(100)),
+		tel:    randPhone(rnd),
+		email:  randEmail(rnd, fn, ln, id),
+		gender: gender,
+		dob:    randDOB(rnd),
+		typ:    cardTypes[rnd.Intn(len(cardTypes))],
+	}
+}
+
+func (h holder) creditRow() []string {
+	return []string{h.cno, h.ssn, h.fn, h.ln, h.street, h.cty, h.county, h.zip,
+		h.tel, h.email, h.gender, h.dob, h.typ}
+}
+
+func (h holder) billingRow(rnd *rand.Rand) []string {
+	price := fmt.Sprintf("%d.%02d", 5+rnd.Intn(500), rnd.Intn(100))
+	qty := fmt.Sprint(1 + rnd.Intn(4))
+	return []string{h.cno, h.fn, h.ln, h.street, h.cty, h.county, h.zip, h.tel,
+		h.email, h.gender, h.dob,
+		items[rnd.Intn(len(items))],
+		brands[rnd.Intn(len(brands))],
+		categories[rnd.Intn(len(categories))],
+		price, qty,
+		randDate(rnd, 2005, 2008),
+		shipMethods[rnd.Intn(len(shipMethods))],
+		statuses[rnd.Intn(len(statuses))],
+		fmt.Sprintf("C%04d", rnd.Intn(10000)),
+		price,
+	}
+}
+
+var brands = []string{"Acme", "Globex", "Initech", "Umbrella", "Stark", "Wayne", "Wonka", "Tyrell"}
+
+var categories = []string{"electronics", "media", "home", "outdoors", "office", "apparel"}
+
+func randStreet(rnd *rand.Rand) string {
+	return fmt.Sprintf("%d %s %s", 1+rnd.Intn(999),
+		streetNames[rnd.Intn(len(streetNames))],
+		streetSuffixes[rnd.Intn(len(streetSuffixes))])
+}
+
+func randPhone(rnd *rand.Rand) string {
+	return fmt.Sprintf("%03d-%07d", 200+rnd.Intn(800), rnd.Intn(1e7))
+}
+
+func randEmail(rnd *rand.Rand, fn, ln string, id int) string {
+	return fmt.Sprintf("%s.%s%d@%s",
+		lower(fn), lower(ln), id%97, emailDomains[rnd.Intn(len(emailDomains))])
+}
+
+func randDOB(rnd *rand.Rand) string { return randDate(rnd, 1940, 1995) }
+
+func randDate(rnd *rand.Rand, fromYear, toYear int) string {
+	return fmt.Sprintf("%04d-%02d-%02d",
+		fromYear+rnd.Intn(toYear-fromYear+1), 1+rnd.Intn(12), 1+rnd.Intn(28))
+}
+
+func lower(s string) string {
+	out := []rune(s)
+	for i, r := range out {
+		if r >= 'A' && r <= 'Z' {
+			out[i] = r + ('a' - 'A')
+		}
+	}
+	return string(out)
+}
+
+// newDomainNoiser wires the domain-appropriate complete-replacement
+// functions for each attribute of the credit/billing schemas.
+func newDomainNoiser(rnd *rand.Rand) *Noiser {
+	n := NewNoiser(rnd)
+	n.Replacements = map[string]func(*rand.Rand) string{
+		"fn":     func(r *rand.Rand) string { return firstNames[r.Intn(len(firstNames))] },
+		"ln":     func(r *rand.Rand) string { return lastNames[r.Intn(len(lastNames))] },
+		"street": randStreet,
+		"city":   func(r *rand.Rand) string { return cities[r.Intn(len(cities))].Name },
+		"county": func(r *rand.Rand) string { return cities[r.Intn(len(cities))].County },
+		"zip":    func(r *rand.Rand) string { return fmt.Sprintf("%05d", r.Intn(1e5)) },
+		"tel":    randPhone,
+		"phn":    randPhone,
+		"email": func(r *rand.Rand) string {
+			return randEmail(r, firstNames[r.Intn(len(firstNames))], lastNames[r.Intn(len(lastNames))], r.Intn(97))
+		},
+		"gender":    func(r *rand.Rand) string { return []string{"M", "F", "null"}[r.Intn(3)] },
+		"dob":       randDOB,
+		"cno":       func(r *rand.Rand) string { return fmt.Sprintf("%012d", r.Int63n(1e12)) },
+		"ssn":       func(r *rand.Rand) string { return fmt.Sprintf("%09d", r.Int63n(1e9)) },
+		"type":      func(r *rand.Rand) string { return cardTypes[r.Intn(len(cardTypes))] },
+		"item":      func(r *rand.Rand) string { return items[r.Intn(len(items))] },
+		"brand":     func(r *rand.Rand) string { return brands[r.Intn(len(brands))] },
+		"category":  func(r *rand.Rand) string { return categories[r.Intn(len(categories))] },
+		"price":     func(r *rand.Rand) string { return fmt.Sprintf("%d.%02d", 5+r.Intn(500), r.Intn(100)) },
+		"qty":       func(r *rand.Rand) string { return fmt.Sprint(1 + r.Intn(4)) },
+		"orderdate": func(r *rand.Rand) string { return randDate(r, 2005, 2008) },
+		"ship":      func(r *rand.Rand) string { return shipMethods[r.Intn(len(shipMethods))] },
+		"status":    func(r *rand.Rand) string { return statuses[r.Intn(len(statuses))] },
+		"coupon":    func(r *rand.Rand) string { return fmt.Sprintf("C%04d", r.Intn(10000)) },
+		"total":     func(r *rand.Rand) string { return fmt.Sprintf("%d.%02d", 5+r.Intn(500), r.Intn(100)) },
+	}
+	return n
+}

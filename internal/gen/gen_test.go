@@ -1,0 +1,327 @@
+package gen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mdmatch/internal/core"
+	"mdmatch/internal/metrics"
+	"mdmatch/internal/schema"
+	"mdmatch/internal/similarity"
+)
+
+func TestSchemaShapes(t *testing.T) {
+	c, b := CreditSchema(), BillingSchema()
+	if c.Arity() != 13 {
+		t.Errorf("credit arity = %d, want 13 (Section 6.2)", c.Arity())
+	}
+	if b.Arity() != 21 {
+		t.Errorf("billing arity = %d, want 21 (Section 6.2)", b.Arity())
+	}
+	ctx := schema.MustPair(c, b)
+	tg := Target(ctx)
+	if len(tg.Y1) != 11 || len(tg.Y2) != 11 {
+		t.Errorf("target lengths = %d/%d, want 11 (Section 6.2)", len(tg.Y1), len(tg.Y2))
+	}
+}
+
+func TestHolderMDs(t *testing.T) {
+	ds, err := Generate(DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := HolderMDs(ds.Ctx)
+	if len(sigma) != 7 {
+		t.Fatalf("HolderMDs = %d rules, want 7 (Section 6.2)", len(sigma))
+	}
+	for i, md := range sigma {
+		if err := md.Validate(); err != nil {
+			t.Errorf("MD %d invalid: %v", i, err)
+		}
+	}
+	// The rule set supports a healthy set of RCKs for the target.
+	keys, err := core.FindRCKs(ds.Ctx, sigma, Target(ds.Ctx), 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) < 5 {
+		for _, k := range keys {
+			t.Logf("  %s", k)
+		}
+		t.Fatalf("only %d RCKs derivable from the holder MDs, want >= 5 for top-5 experiments", len(keys))
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []Config{
+		{NumCredit: 0, BillingMin: 1, BillingMax: 1},
+		{NumCredit: 5, BillingMin: 0, BillingMax: 1},
+		{NumCredit: 5, BillingMin: 2, BillingMax: 1},
+		{NumCredit: 5, BillingMin: 1, BillingMax: 1, DupRate: 1.5},
+		{NumCredit: 5, BillingMin: 1, BillingMax: 1, ErrProb: -0.1},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	k := 200
+	cfg := DefaultConfig(k)
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Credit: K clean + ~80% duplicates.
+	if ds.Credit.Len() < k || ds.Credit.Len() > 2*k {
+		t.Fatalf("credit size = %d for K=%d", ds.Credit.Len(), k)
+	}
+	dupFrac := float64(ds.Credit.Len()-k) / float64(k)
+	if dupFrac < 0.7 || dupFrac > 0.9 {
+		t.Errorf("credit duplicate fraction = %.2f, want ≈0.8", dupFrac)
+	}
+	// Billing: between K*min and K*max clean plus duplicates.
+	if ds.Billing.Len() < k || ds.Billing.Len() > 2*2*k {
+		t.Fatalf("billing size = %d for K=%d", ds.Billing.Len(), k)
+	}
+	// Every tuple has a holder.
+	if len(ds.CreditHolder) != ds.Credit.Len() {
+		t.Errorf("credit holder map size %d vs %d tuples", len(ds.CreditHolder), ds.Credit.Len())
+	}
+	if len(ds.BillingHolder) != ds.Billing.Len() {
+		t.Errorf("billing holder map size %d vs %d tuples", len(ds.BillingHolder), ds.Billing.Len())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(DefaultConfig(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(DefaultConfig(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Credit.Len() != b.Credit.Len() || a.Billing.Len() != b.Billing.Len() {
+		t.Fatal("same seed produced different sizes")
+	}
+	for i := range a.Credit.Tuples {
+		if strings.Join(a.Credit.Tuples[i].Values, "|") != strings.Join(b.Credit.Tuples[i].Values, "|") {
+			t.Fatal("same seed produced different credit tuples")
+		}
+	}
+	c, err := Generate(Config{Seed: 99, NumCredit: 50, BillingMin: 1, BillingMax: 2, DupRate: 0.8, ErrProb: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Credit.Tuples {
+		if i >= len(c.Credit.Tuples) || strings.Join(a.Credit.Tuples[i].Values, "|") != strings.Join(c.Credit.Tuples[i].Values, "|") {
+			same = false
+			break
+		}
+	}
+	if same && a.Credit.Len() == c.Credit.Len() {
+		t.Fatal("different seeds produced identical datasets")
+	}
+}
+
+func TestTruth(t *testing.T) {
+	ds, err := Generate(DefaultConfig(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := ds.Truth()
+	if truth.Len() == 0 {
+		t.Fatal("empty truth")
+	}
+	// Every truth pair shares a holder; every cross-holder pair is absent.
+	for _, p := range truth.Pairs() {
+		if ds.CreditHolder[p.Left] != ds.BillingHolder[p.Right] {
+			t.Fatalf("truth pair %v crosses holders", p)
+		}
+	}
+	// Spot-check completeness: pick holder 0's tuples.
+	var c0, b0 []int
+	for id, h := range ds.CreditHolder {
+		if h == 0 {
+			c0 = append(c0, id)
+		}
+	}
+	for id, h := range ds.BillingHolder {
+		if h == 0 {
+			b0 = append(b0, id)
+		}
+	}
+	for _, cid := range c0 {
+		for _, bid := range b0 {
+			if !truth.Has(metrics.Pair{Left: cid, Right: bid}) {
+				t.Fatalf("truth missing same-holder pair (%d, %d)", cid, bid)
+			}
+		}
+	}
+	if ds.TotalPairs() != ds.Credit.Len()*ds.Billing.Len() {
+		t.Error("TotalPairs wrong")
+	}
+}
+
+func TestDuplicatesKeepSomeSignal(t *testing.T) {
+	// With ErrProb 0.8 most duplicate attributes are corrupted but each
+	// duplicate should usually retain at least one clean target
+	// attribute (the basis for matching at all).
+	ds, err := Generate(DefaultConfig(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg := Target(ds.Ctx)
+	// Count agreement between originals and duplicates per holder.
+	type agg struct{ agree, total int }
+	var a agg
+	byHolder := map[int][]int{}
+	for id, h := range ds.CreditHolder {
+		byHolder[h] = append(byHolder[h], id)
+	}
+	for _, ids := range byHolder {
+		if len(ids) < 2 {
+			continue
+		}
+		t0, _ := ds.Credit.ByID(ids[0])
+		t1, _ := ds.Credit.ByID(ids[1])
+		for _, attr := range tg.Y1 {
+			if ds.Credit.MustGet(t0, attr) == ds.Credit.MustGet(t1, attr) {
+				a.agree++
+			}
+			a.total++
+		}
+	}
+	if a.total == 0 {
+		t.Fatal("no duplicates generated")
+	}
+	frac := float64(a.agree) / float64(a.total)
+	// ~20% attributes untouched plus occasional identity-preserving noise.
+	if frac < 0.10 || frac > 0.45 {
+		t.Errorf("duplicate agreement fraction = %.2f, want ≈0.2-0.35", frac)
+	}
+}
+
+func TestLtStats(t *testing.T) {
+	ds, err := Generate(DefaultConfig(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt := ds.LtStats()
+	street := lt(core.P("street", "street"))
+	gender := lt(core.P("gender", "gender"))
+	if street <= gender {
+		t.Errorf("lt(street)=%.1f should exceed lt(gender)=%.1f", street, gender)
+	}
+	if lt(core.P("nosuch", "nosuch")) != 0 {
+		t.Error("unknown attribute must have lt 0")
+	}
+	// Cached value stable.
+	if lt(core.P("street", "street")) != street {
+		t.Error("lt cache broken")
+	}
+}
+
+func TestNoiser(t *testing.T) {
+	rnd := rand.New(rand.NewSource(3))
+	n := NewNoiser(rnd)
+	// Typo changes the string by exactly one DL edit (usually).
+	for i := 0; i < 200; i++ {
+		s := "Clifford"
+		got := n.Typo(s)
+		if d := similarity.DamerauLevenshtein(s, got); d > 1 {
+			t.Fatalf("Typo(%q) = %q, DL distance %d > 1", s, got, d)
+		}
+	}
+	if n.Typo("") == "" {
+		t.Error("Typo on empty must produce a character")
+	}
+	if got := n.Initial("Mark"); got != "M." {
+		t.Errorf("Initial = %q", got)
+	}
+	if got := n.Initial(""); got != "" {
+		t.Errorf("Initial(empty) = %q", got)
+	}
+	if got := n.AbbrevStreet("10 Oak Street"); got != "10 Oak St" {
+		t.Errorf("AbbrevStreet = %q", got)
+	}
+	if got := n.Null("x"); got != "null" {
+		t.Errorf("Null = %q", got)
+	}
+	for i := 0; i < 50; i++ {
+		tr := n.Truncate("abcdef")
+		if len(tr) < 1 || len(tr) >= 6 {
+			t.Fatalf("Truncate length out of range: %q", tr)
+		}
+		if !strings.HasPrefix("abcdef", tr) {
+			t.Fatalf("Truncate not a prefix: %q", tr)
+		}
+	}
+	if got := n.Truncate("a"); got != "a" {
+		t.Errorf("Truncate single rune = %q", got)
+	}
+	// Scramble keeps approximate length.
+	if got := n.Scramble("abcdef"); len(got) != 6 {
+		t.Errorf("Scramble length = %d", len(got))
+	}
+	if got := n.Scramble(""); len(got) == 0 {
+		t.Error("Scramble of empty must be non-empty")
+	}
+	// Corrupt never panics and is registered-replacement aware.
+	n.Replacements["fn"] = func(r *rand.Rand) string { return "REPL" }
+	for i := 0; i < 500; i++ {
+		_ = n.Corrupt("fn", "Mark")
+		_ = n.Corrupt("street", "10 Oak Street")
+		_ = n.Corrupt("zip", "07974")
+	}
+}
+
+func TestScalabilitySchemas(t *testing.T) {
+	ctx, target := ScalabilitySchemas(8, 6)
+	if ctx.Left.Arity() != 14 || ctx.Right.Arity() != 14 {
+		t.Fatalf("arities = %d/%d", ctx.Left.Arity(), ctx.Right.Arity())
+	}
+	if len(target.Y1) != 8 {
+		t.Fatalf("target length = %d", len(target.Y1))
+	}
+	if err := ctx.Comparable(target.Y1, target.Y2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomMDs(t *testing.T) {
+	ctx, target := ScalabilitySchemas(6, 6)
+	mds := RandomMDs(ctx, target, MDGenConfig{Seed: 5, Count: 300})
+	if len(mds) != 300 {
+		t.Fatalf("generated %d MDs, want 300", len(mds))
+	}
+	for i, md := range mds {
+		if err := md.Validate(); err != nil {
+			t.Fatalf("MD %d invalid: %v", i, err)
+		}
+		if len(md.LHS) > 3 || len(md.RHS) > 2 {
+			t.Fatalf("MD %d out of shape: %s", i, md)
+		}
+	}
+	// Determinism.
+	mds2 := RandomMDs(ctx, target, MDGenConfig{Seed: 5, Count: 300})
+	for i := range mds {
+		if mds[i].String() != mds2[i].String() {
+			t.Fatal("RandomMDs not deterministic")
+		}
+	}
+	// findRCKs over generated MDs returns multiple keys (the sets are
+	// biased to be target-relevant).
+	keys, err := core.FindRCKs(ctx, mds, target, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) < 3 {
+		t.Errorf("only %d RCKs from 300 random MDs; generator bias too weak", len(keys))
+	}
+}

@@ -1,0 +1,160 @@
+package gen
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// Noiser injects the paper's error spectrum into attribute values:
+// "ranging from small typographical changes to complete change of the
+// attribute" (Section 6.2).
+type Noiser struct {
+	rnd *rand.Rand
+	// Replacements provides domain-appropriate complete replacements per
+	// attribute; when an attribute has no entry, a generic scramble is
+	// used for the "complete change" error class.
+	Replacements map[string]func(*rand.Rand) string
+}
+
+// NewNoiser builds a Noiser over the given source of randomness.
+func NewNoiser(rnd *rand.Rand) *Noiser {
+	return &Noiser{rnd: rnd, Replacements: map[string]func(*rand.Rand) string{}}
+}
+
+const typoAlphabet = "abcdefghijklmnopqrstuvwxyz"
+
+// Typo applies one random single-character edit: insertion, deletion,
+// substitution or adjacent transposition (the Damerau–Levenshtein edit
+// classes).
+func (n *Noiser) Typo(s string) string {
+	rs := []rune(s)
+	if len(rs) == 0 {
+		return string(typoAlphabet[n.rnd.Intn(len(typoAlphabet))])
+	}
+	switch n.rnd.Intn(4) {
+	case 0: // insert
+		pos := n.rnd.Intn(len(rs) + 1)
+		c := rune(typoAlphabet[n.rnd.Intn(len(typoAlphabet))])
+		rs = append(rs[:pos], append([]rune{c}, rs[pos:]...)...)
+	case 1: // delete
+		pos := n.rnd.Intn(len(rs))
+		rs = append(rs[:pos], rs[pos+1:]...)
+	case 2: // substitute
+		pos := n.rnd.Intn(len(rs))
+		rs[pos] = rune(typoAlphabet[n.rnd.Intn(len(typoAlphabet))])
+	default: // transpose
+		if len(rs) < 2 {
+			rs = append(rs, rune(typoAlphabet[n.rnd.Intn(len(typoAlphabet))]))
+		} else {
+			pos := n.rnd.Intn(len(rs) - 1)
+			rs[pos], rs[pos+1] = rs[pos+1], rs[pos]
+		}
+	}
+	return string(rs)
+}
+
+// Typos applies k independent typos.
+func (n *Noiser) Typos(s string, k int) string {
+	for i := 0; i < k; i++ {
+		s = n.Typo(s)
+	}
+	return s
+}
+
+// Initial abbreviates a name to its initial ("Mark" -> "M.").
+func (n *Noiser) Initial(s string) string {
+	rs := []rune(strings.TrimSpace(s))
+	if len(rs) == 0 {
+		return s
+	}
+	return string(rs[0]) + "."
+}
+
+// AbbrevStreet shortens street suffixes ("Street" -> "St").
+func (n *Noiser) AbbrevStreet(s string) string {
+	repl := strings.NewReplacer(
+		"Street", "St", "Avenue", "Ave", "Road", "Rd", "Lane", "Ln",
+		"Drive", "Dr", "Court", "Ct", "Boulevard", "Blvd", "Place", "Pl",
+	)
+	return repl.Replace(s)
+}
+
+// Truncate keeps a random-length prefix (at least one rune).
+func (n *Noiser) Truncate(s string) string {
+	rs := []rune(s)
+	if len(rs) <= 1 {
+		return s
+	}
+	keep := 1 + n.rnd.Intn(len(rs)-1)
+	return string(rs[:keep])
+}
+
+// CaseFlip changes the case of the whole value.
+func (n *Noiser) CaseFlip(s string) string {
+	if n.rnd.Intn(2) == 0 {
+		return strings.ToUpper(s)
+	}
+	return strings.ToLower(s)
+}
+
+// Null blanks the value the way the paper's Figure 1 billing tuples have
+// "null" genders.
+func (n *Noiser) Null(string) string { return "null" }
+
+// Scramble is the generic "complete change of the attribute": a fresh
+// random string with the same approximate length.
+func (n *Noiser) Scramble(s string) string {
+	ln := len([]rune(s))
+	if ln == 0 {
+		ln = 6
+	}
+	var b strings.Builder
+	for i := 0; i < ln; i++ {
+		b.WriteByte(typoAlphabet[n.rnd.Intn(len(typoAlphabet))])
+	}
+	return b.String()
+}
+
+// Replace applies the domain-appropriate complete replacement for the
+// attribute, or Scramble when none is registered.
+func (n *Noiser) Replace(attr, s string) string {
+	if f, ok := n.Replacements[attr]; ok {
+		return f(n.rnd)
+	}
+	return n.Scramble(s)
+}
+
+// Corrupt applies one error drawn from the paper's spectrum to the value
+// of the given attribute. The distribution leans towards small changes
+// (the realistic case) but includes nulling and complete replacement:
+//
+//	40%  one typo
+//	15%  two typos
+//	10%  truncation / initial (names) / suffix abbreviation (streets)
+//	10%  case change
+//	10%  null
+//	15%  complete change
+func (n *Noiser) Corrupt(attr, s string) string {
+	r := n.rnd.Float64()
+	switch {
+	case r < 0.40:
+		return n.Typo(s)
+	case r < 0.55:
+		return n.Typos(s, 2)
+	case r < 0.65:
+		switch attr {
+		case "fn", "ln":
+			return n.Initial(s)
+		case "street":
+			return n.AbbrevStreet(s)
+		default:
+			return n.Truncate(s)
+		}
+	case r < 0.75:
+		return n.CaseFlip(s)
+	case r < 0.85:
+		return n.Null(s)
+	default:
+		return n.Replace(attr, s)
+	}
+}

@@ -1,0 +1,113 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mdmatch/internal/core"
+	"mdmatch/internal/schema"
+	"mdmatch/internal/similarity"
+)
+
+// MDGenConfig configures the random-MD generator used by the scalability
+// experiments of Section 6.1 ("the MDs used in these experiments were
+// produced by a generator. Given schemas (R1, R2) and a number l, the
+// generator randomly produces a set Σ of l MDs over the schemas").
+type MDGenConfig struct {
+	Seed int64
+	// Count is the number of MDs to generate (card(Σ)).
+	Count int
+	// MaxLHS bounds the LHS length (1..MaxLHS conjuncts). Default 3.
+	MaxLHS int
+	// MaxRHS bounds the RHS length (1..MaxRHS pairs). Default 2.
+	MaxRHS int
+	// Ops is the similarity-operator pool for LHS conjuncts; equality is
+	// always included. Default: dl(0.80) and jaro(0.85).
+	Ops []similarity.Operator
+	// TargetBias is the probability that an RHS pair is drawn from the
+	// target (keeping Σ relevant to RCK derivation). Default 0.6; the
+	// exhaustive-enumeration experiment (Figure 8(c)) uses a lower bias
+	// so the total RCK count stays in the paper's 5-50 range.
+	TargetBias float64
+}
+
+// ScalabilitySchemas builds the synthetic schema pair used for Figure 8:
+// two relations whose first yLen attributes form the comparable target
+// (Y1, Y2), plus `extra` additional attributes each for MDs to roam over.
+func ScalabilitySchemas(yLen, extra int) (schema.Pair, core.Target) {
+	mk := func(name, prefix string) *schema.Relation {
+		attrs := make([]string, yLen+extra)
+		for i := range attrs {
+			attrs[i] = fmt.Sprintf("%s%02d", prefix, i)
+		}
+		return schema.MustStrings(name, attrs...)
+	}
+	left := mk("R1", "a")
+	right := mk("R2", "b")
+	ctx := schema.MustPair(left, right)
+	y1 := make(schema.AttrList, yLen)
+	y2 := make(schema.AttrList, yLen)
+	for i := 0; i < yLen; i++ {
+		y1[i] = left.Attr(i).Name
+		y2[i] = right.Attr(i).Name
+	}
+	target, err := core.NewTarget(ctx, y1, y2)
+	if err != nil {
+		panic(err)
+	}
+	return ctx, target
+}
+
+// RandomMDs generates cfg.Count random MDs over the context. The shape
+// follows the paper's generator: short similarity LHSs over random
+// attribute pairs, small RHSs. A bias towards target attributes on the
+// RHS keeps the generated Σ relevant to RCK derivation (an unbiased
+// generator produces rule sets whose closures never touch the target,
+// trivializing findRCKs).
+func RandomMDs(ctx schema.Pair, target core.Target, cfg MDGenConfig) []core.MD {
+	if cfg.MaxLHS <= 0 {
+		cfg.MaxLHS = 3
+	}
+	if cfg.MaxRHS <= 0 {
+		cfg.MaxRHS = 2
+	}
+	ops := cfg.Ops
+	if len(ops) == 0 {
+		ops = []similarity.Operator{similarity.DL(0.8), similarity.JaroOp(0.85)}
+	}
+	if cfg.TargetBias == 0 {
+		cfg.TargetBias = 0.6
+	}
+	ops = append([]similarity.Operator{similarity.Eq()}, ops...)
+	rnd := rand.New(rand.NewSource(cfg.Seed))
+	nl, nr := ctx.Left.Arity(), ctx.Right.Arity()
+
+	randPair := func() core.AttrPair {
+		return core.P(ctx.Left.Attr(rnd.Intn(nl)).Name, ctx.Right.Attr(rnd.Intn(nr)).Name)
+	}
+	targetPairs := target.Pairs()
+
+	out := make([]core.MD, 0, cfg.Count)
+	for len(out) < cfg.Count {
+		lhsLen := 1 + rnd.Intn(cfg.MaxLHS)
+		lhs := make([]core.Conjunct, lhsLen)
+		for i := range lhs {
+			lhs[i] = core.Conjunct{Pair: randPair(), Op: ops[rnd.Intn(len(ops))]}
+		}
+		rhsLen := 1 + rnd.Intn(cfg.MaxRHS)
+		rhs := make([]core.AttrPair, rhsLen)
+		for i := range rhs {
+			if rnd.Float64() < cfg.TargetBias && len(targetPairs) > 0 {
+				rhs[i] = targetPairs[rnd.Intn(len(targetPairs))]
+			} else {
+				rhs[i] = randPair()
+			}
+		}
+		md, err := core.NewMD(ctx, lhs, rhs)
+		if err != nil {
+			continue // e.g. duplicate-free constraints; retry
+		}
+		out = append(out, md)
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+// Package matching provides the shared machinery of the record matchers:
+// comparison fields and vectors, rule sets (relative keys applied as
+// matching rules), and candidate-pair handling.
+package matching
+
+import (
+	"fmt"
+
+	"mdmatch/internal/core"
+	"mdmatch/internal/metrics"
+	"mdmatch/internal/record"
+	"mdmatch/internal/similarity"
+)
+
+// Field is one comparison: an attribute pair and the operator used to
+// compare it (an entry of a comparison vector, Section 2.2).
+type Field struct {
+	Pair core.AttrPair
+	Op   similarity.Operator
+}
+
+// String renders the field as "left|right op".
+func (f Field) String() string {
+	return fmt.Sprintf("%s %s", f.Pair, f.Op.Name())
+}
+
+// FieldsFromKeys returns the union of the conjuncts of the given keys as
+// comparison fields, deduplicated by (pair, operator). This is the
+// "union of top five RCKs" comparison vector of Exp-2 (Section 6.2): the
+// union mediates the lower recall of any single RCK ("miss-matches by
+// some RCKs could be rectified by the others").
+func FieldsFromKeys(keys []core.Key) []Field {
+	seen := map[string]bool{}
+	var out []Field
+	for _, k := range keys {
+		for _, c := range k.Conjuncts {
+			id := c.Pair.String() + "\x00" + c.OpName()
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			out = append(out, Field{Pair: c.Pair, Op: c.Op})
+		}
+	}
+	return out
+}
+
+// FieldsFromTarget returns one equality field per target pair: the naive
+// all-attribute comparison vector used by the baselines.
+func FieldsFromTarget(target core.Target, op similarity.Operator) []Field {
+	pairs := target.Pairs()
+	out := make([]Field, len(pairs))
+	for i, p := range pairs {
+		out[i] = Field{Pair: p, Op: op}
+	}
+	return out
+}
+
+// Compare evaluates the fields on a tuple pair, yielding the binary
+// comparison vector γ.
+func Compare(d *record.PairInstance, fields []Field, t1, t2 *record.Tuple) ([]bool, error) {
+	vec := make([]bool, len(fields))
+	for i, f := range fields {
+		v1, err := d.Left.Get(t1, f.Pair.Left)
+		if err != nil {
+			return nil, err
+		}
+		v2, err := d.Right.Get(t2, f.Pair.Right)
+		if err != nil {
+			return nil, err
+		}
+		vec[i] = f.Op.Similar(v1, v2)
+	}
+	return vec, nil
+}
+
+// RuleSet applies a set of relative keys as matching rules: a pair
+// matches when it satisfies the LHS of at least one key, unless a
+// negative rule vetoes it (the Section 8 "negation" extension).
+type RuleSet struct {
+	Keys     []core.Key
+	Negative []core.NegativeMD
+}
+
+// NewRuleSet builds a rule set from keys.
+func NewRuleSet(keys ...core.Key) *RuleSet { return &RuleSet{Keys: keys} }
+
+// Match reports whether (t1, t2) match under the rule set.
+func (r *RuleSet) Match(d *record.PairInstance, t1, t2 *record.Tuple) (bool, error) {
+	matched := false
+	for _, k := range r.Keys {
+		ok, err := matchConjuncts(d, k.Conjuncts, t1, t2)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			matched = true
+			break
+		}
+	}
+	if !matched {
+		return false, nil
+	}
+	for _, n := range r.Negative {
+		veto, err := matchConjuncts(d, n.LHS, t1, t2)
+		if err != nil {
+			return false, err
+		}
+		if veto {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func matchConjuncts(d *record.PairInstance, cs []core.Conjunct, t1, t2 *record.Tuple) (bool, error) {
+	for _, c := range cs {
+		v1, err := d.Left.Get(t1, c.Pair.Left)
+		if err != nil {
+			return false, err
+		}
+		v2, err := d.Right.Get(t2, c.Pair.Right)
+		if err != nil {
+			return false, err
+		}
+		if !c.Op.Similar(v1, v2) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// MatchCandidates applies the rule set to every candidate pair and
+// returns the matched subset.
+func (r *RuleSet) MatchCandidates(d *record.PairInstance, candidates *metrics.PairSet) (*metrics.PairSet, error) {
+	out := metrics.NewPairSet()
+	for _, p := range candidates.Pairs() {
+		t1, ok := d.Left.ByID(p.Left)
+		if !ok {
+			return nil, fmt.Errorf("matching: candidate references missing left tuple %d", p.Left)
+		}
+		t2, ok := d.Right.ByID(p.Right)
+		if !ok {
+			return nil, fmt.Errorf("matching: candidate references missing right tuple %d", p.Right)
+		}
+		m, err := r.Match(d, t1, t2)
+		if err != nil {
+			return nil, err
+		}
+		if m {
+			out.Add(p)
+		}
+	}
+	return out, nil
+}
+
+// AllPairs enumerates the full comparison space as candidates. Intended
+// for small instances and for computing the no-blocking reference in
+// PC/RR; quadratic in data size.
+func AllPairs(d *record.PairInstance) *metrics.PairSet {
+	out := metrics.NewPairSet()
+	for _, t1 := range d.Left.Tuples {
+		for _, t2 := range d.Right.Tuples {
+			out.Add(metrics.Pair{Left: t1.ID, Right: t2.ID})
+		}
+	}
+	return out
+}
+
+// TransitiveClosure expands a match set over the bipartite match graph:
+// tuples connected through chains of matches are all pairwise matched
+// (the merge phase of the sorted-neighborhood method [20], which treats
+// "is the same entity" as an equivalence).
+func TransitiveClosure(ms *metrics.PairSet) *metrics.PairSet {
+	// Union-find over (side, id) nodes.
+	parent := map[[2]int][2]int{}
+	var find func(x [2]int) [2]int
+	find = func(x [2]int) [2]int {
+		p, ok := parent[x]
+		if !ok || p == x {
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	union := func(a, b [2]int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, p := range ms.Pairs() {
+		union([2]int{0, p.Left}, [2]int{1, p.Right})
+	}
+	// Group members by root.
+	groups := map[[2]int][][2]int{}
+	seen := map[[2]int]bool{}
+	for _, p := range ms.Pairs() {
+		for _, node := range [][2]int{{0, p.Left}, {1, p.Right}} {
+			if !seen[node] {
+				seen[node] = true
+				root := find(node)
+				groups[root] = append(groups[root], node)
+			}
+		}
+	}
+	out := metrics.NewPairSet()
+	for _, members := range groups {
+		for _, a := range members {
+			if a[0] != 0 {
+				continue
+			}
+			for _, b := range members {
+				if b[0] == 1 {
+					out.Add(metrics.Pair{Left: a[1], Right: b[1]})
+				}
+			}
+		}
+	}
+	return out
+}

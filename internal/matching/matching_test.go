@@ -1,0 +1,222 @@
+package matching
+
+import (
+	"testing"
+
+	"mdmatch/internal/core"
+	"mdmatch/internal/metrics"
+	"mdmatch/internal/record"
+	"mdmatch/internal/schema"
+	"mdmatch/internal/similarity"
+)
+
+func smallPair(t testing.TB) (schema.Pair, *record.PairInstance, core.Target) {
+	t.Helper()
+	l := schema.MustStrings("l", "name", "phone", "email")
+	r := schema.MustStrings("r", "name", "phone", "email")
+	ctx := schema.MustPair(l, r)
+	li := record.NewInstance(l)
+	li.MustAppend("Mark Clifford", "908-1111111", "mc@gm.com") // 0
+	li.MustAppend("David Smith", "908-2222222", "ds@hm.com")   // 1
+	ri := record.NewInstance(r)
+	ri.MustAppend("Marx Clifford", "908-1111111", "mc@gm.com")  // 0
+	ri.MustAppend("Dave Smith", "908-3333333", "other@x.com")   // 1
+	ri.MustAppend("Unrelated Person", "111-0000000", "u@p.org") // 2
+	d, err := record.NewPairInstance(ctx, li, ri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := core.NewTarget(ctx,
+		schema.AttrList{"name", "phone", "email"},
+		schema.AttrList{"name", "phone", "email"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx, d, target
+}
+
+func TestCompare(t *testing.T) {
+	_, d, _ := smallPair(t)
+	fields := []Field{
+		{Pair: core.P("name", "name"), Op: similarity.DL(0.8)},
+		{Pair: core.P("phone", "phone"), Op: similarity.Eq()},
+		{Pair: core.P("email", "email"), Op: similarity.Eq()},
+	}
+	t1 := d.Left.Tuples[0]
+	t2 := d.Right.Tuples[0]
+	vec, err := Compare(d, fields, t1, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, true, true} // Mark/Marx is 1 edit over 13 runes
+	for i := range want {
+		if vec[i] != want[i] {
+			t.Errorf("vec[%d] = %v, want %v", i, vec[i], want[i])
+		}
+	}
+	vec, err = Compare(d, fields, t1, d.Right.Tuples[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vec[0] || vec[1] || vec[2] {
+		t.Errorf("unrelated pair compared as %v", vec)
+	}
+	// Error path.
+	if _, err := Compare(d, []Field{{Pair: core.P("zz", "name"), Op: similarity.Eq()}}, t1, t2); err == nil {
+		t.Error("bad field accepted")
+	}
+}
+
+func TestFieldsFromKeys(t *testing.T) {
+	ctx, _, target := smallPair(t)
+	d := similarity.DL(0.8)
+	k1 := core.Key{Ctx: ctx, Target: target, Conjuncts: []core.Conjunct{
+		core.Eq("phone", "phone"), core.C("name", d, "name")}}
+	k2 := core.Key{Ctx: ctx, Target: target, Conjuncts: []core.Conjunct{
+		core.Eq("phone", "phone"), core.Eq("email", "email")}}
+	fields := FieldsFromKeys([]core.Key{k1, k2})
+	if len(fields) != 3 {
+		t.Fatalf("fields = %v, want 3 deduplicated", fields)
+	}
+	// Same pair with different ops stays distinct.
+	k3 := core.Key{Ctx: ctx, Target: target, Conjuncts: []core.Conjunct{
+		core.Eq("name", "name")}}
+	fields = FieldsFromKeys([]core.Key{k1, k3})
+	if len(fields) != 3 {
+		t.Fatalf("pair with distinct ops must remain: %v", fields)
+	}
+}
+
+func TestFieldsFromTarget(t *testing.T) {
+	_, _, target := smallPair(t)
+	fields := FieldsFromTarget(target, similarity.Eq())
+	if len(fields) != 3 {
+		t.Fatalf("fields = %d", len(fields))
+	}
+	for _, f := range fields {
+		if !similarity.IsEq(f.Op) {
+			t.Errorf("field %v not equality", f)
+		}
+	}
+}
+
+func TestRuleSetMatch(t *testing.T) {
+	ctx, d, target := smallPair(t)
+	dl := similarity.DL(0.8)
+	rules := NewRuleSet(
+		core.Key{Ctx: ctx, Target: target, Conjuncts: []core.Conjunct{
+			core.Eq("phone", "phone"), core.C("name", dl, "name")}},
+		core.Key{Ctx: ctx, Target: target, Conjuncts: []core.Conjunct{
+			core.Eq("email", "email")}},
+	)
+	match := func(i, j int) bool {
+		t.Helper()
+		ok, err := rules.Match(d, d.Left.Tuples[i], d.Right.Tuples[j])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ok
+	}
+	if !match(0, 0) {
+		t.Error("(0,0) must match (phone+name rule and email rule)")
+	}
+	if match(1, 1) {
+		t.Error("(1,1) must not match (no rule satisfied)")
+	}
+	if match(0, 2) || match(1, 2) {
+		t.Error("unrelated tuple matched")
+	}
+}
+
+func TestRuleSetNegativeVeto(t *testing.T) {
+	ctx, d, target := smallPair(t)
+	rules := NewRuleSet(core.Key{Ctx: ctx, Target: target, Conjuncts: []core.Conjunct{
+		core.Eq("email", "email")}})
+	// Sanity: matches before the veto.
+	ok, err := rules.Match(d, d.Left.Tuples[0], d.Right.Tuples[0])
+	if err != nil || !ok {
+		t.Fatalf("precondition match failed: %v %v", ok, err)
+	}
+	// Veto: identical email but names not even similar -> suspicious.
+	neg, err := core.NewNegativeMD(ctx,
+		[]core.Conjunct{core.Eq("email", "email"), core.Eq("phone", "phone")},
+		target.Pairs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules.Negative = []core.NegativeMD{neg}
+	ok, err = rules.Match(d, d.Left.Tuples[0], d.Right.Tuples[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("negative rule must veto the match")
+	}
+}
+
+func TestMatchCandidates(t *testing.T) {
+	ctx, d, target := smallPair(t)
+	rules := NewRuleSet(core.Key{Ctx: ctx, Target: target, Conjuncts: []core.Conjunct{
+		core.Eq("email", "email")}})
+	cands := AllPairs(d)
+	if cands.Len() != 6 {
+		t.Fatalf("AllPairs = %d, want 6", cands.Len())
+	}
+	got, err := rules.MatchCandidates(d, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || !got.Has(metrics.Pair{Left: 0, Right: 0}) {
+		t.Fatalf("matches = %v", got.Pairs())
+	}
+	// Missing tuple id errors.
+	bad := metrics.NewPairSet(metrics.Pair{Left: 99, Right: 0})
+	if _, err := rules.MatchCandidates(d, bad); err == nil {
+		t.Error("missing left tuple accepted")
+	}
+	bad = metrics.NewPairSet(metrics.Pair{Left: 0, Right: 99})
+	if _, err := rules.MatchCandidates(d, bad); err == nil {
+		t.Error("missing right tuple accepted")
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	// l0-r0, l1-r0: closure adds l0-r... and pairs both lefts with all
+	// connected rights.
+	ms := metrics.NewPairSet(
+		metrics.Pair{Left: 0, Right: 0},
+		metrics.Pair{Left: 1, Right: 0},
+		metrics.Pair{Left: 1, Right: 1},
+		metrics.Pair{Left: 5, Right: 7},
+	)
+	closed := TransitiveClosure(ms)
+	want := []metrics.Pair{
+		{Left: 0, Right: 0}, {Left: 0, Right: 1},
+		{Left: 1, Right: 0}, {Left: 1, Right: 1},
+		{Left: 5, Right: 7},
+	}
+	if closed.Len() != len(want) {
+		t.Fatalf("closure = %v", closed.Pairs())
+	}
+	for _, p := range want {
+		if !closed.Has(p) {
+			t.Errorf("closure missing %v", p)
+		}
+	}
+	// Closure is idempotent.
+	again := TransitiveClosure(closed)
+	if again.Len() != closed.Len() {
+		t.Error("closure not idempotent")
+	}
+	// Empty in, empty out.
+	if TransitiveClosure(metrics.NewPairSet()).Len() != 0 {
+		t.Error("closure of empty set not empty")
+	}
+}
+
+func TestFieldString(t *testing.T) {
+	f := Field{Pair: core.P("a", "b"), Op: similarity.DL(0.8)}
+	if f.String() != "a|b dl(0.80)" {
+		t.Errorf("Field.String() = %q", f.String())
+	}
+}

@@ -1,0 +1,221 @@
+// Package mdlang implements the rule language of the reproduction: a
+// small text format for declaring relation schemas, matching
+// dependencies, and matching targets, so that MDs can be authored,
+// stored and reasoned about at compile time (the paper's usage model:
+// reasoning "at the schema level and at compile time", Section 1).
+//
+// Grammar (newline-insensitive; '#' starts a line comment):
+//
+//	doc      := stmt*
+//	stmt     := schema | pair | md | target
+//	schema   := "schema" ident "(" attr ("," attr)* ")"
+//	attr     := ident (":" ident)?
+//	pair     := "pair" ident ident
+//	md       := "md" conj ("&&" conj)* "->" ref ("<=>" | "<!>") ref
+//	target   := "target" ref "<=>" ref
+//	conj     := ident "[" ident "]" op ident "[" ident "]"
+//	op       := "=" | "~" opspec
+//	opspec   := ident ("(" number ")")?
+//	ref      := ident "[" ident ("," ident)* "]"
+//
+// Attribute names may contain letters, digits, '_', '#', '.' and '-'
+// (e.g. the paper's "c#").
+package mdlang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokComma
+	tokColon
+	tokEquals    // =
+	tokTilde     // ~
+	tokAnd       // &&
+	tokArrow     // ->
+	tokMatchOp   // <=>
+	tokNoMatchOp // <!> (negative rules, the Section 8 extension)
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokComma:
+		return "','"
+	case tokColon:
+		return "':'"
+	case tokEquals:
+		return "'='"
+	case tokTilde:
+		return "'~'"
+	case tokAnd:
+		return "'&&'"
+	case tokArrow:
+		return "'->'"
+	case tokMatchOp:
+		return "'<=>'"
+	case tokNoMatchOp:
+		return "'<!>'"
+	}
+	return "unknown token"
+}
+
+// token is one lexeme with its source position.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+// Error is a parse error with source position.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("mdlang: line %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errf(line, col int, format string, args ...any) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// isIdentRune reports whether r can appear inside an identifier. '#' is
+// allowed for attribute names like the paper's "c#"; '.' and '-' support
+// dotted and hyphenated attribute names from real datasets.
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) ||
+		r == '_' || r == '#' || r == '.' || r == '-'
+}
+
+// lex tokenizes the whole input.
+func lex(input string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	rs := []rune(input)
+	i := 0
+	advance := func(n int) {
+		for k := 0; k < n; k++ {
+			if rs[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+	for i < len(rs) {
+		r := rs[i]
+		switch {
+		case r == '#': // comment to end of line
+			for i < len(rs) && rs[i] != '\n' {
+				advance(1)
+			}
+		case unicode.IsSpace(r):
+			advance(1)
+		case r == '(':
+			toks = append(toks, token{tokLParen, "(", line, col})
+			advance(1)
+		case r == ')':
+			toks = append(toks, token{tokRParen, ")", line, col})
+			advance(1)
+		case r == '[':
+			toks = append(toks, token{tokLBracket, "[", line, col})
+			advance(1)
+		case r == ']':
+			toks = append(toks, token{tokRBracket, "]", line, col})
+			advance(1)
+		case r == ',':
+			toks = append(toks, token{tokComma, ",", line, col})
+			advance(1)
+		case r == ':':
+			toks = append(toks, token{tokColon, ":", line, col})
+			advance(1)
+		case r == '=':
+			toks = append(toks, token{tokEquals, "=", line, col})
+			advance(1)
+		case r == '~':
+			toks = append(toks, token{tokTilde, "~", line, col})
+			advance(1)
+		case r == '&':
+			if i+1 < len(rs) && rs[i+1] == '&' {
+				toks = append(toks, token{tokAnd, "&&", line, col})
+				advance(2)
+			} else {
+				return nil, errf(line, col, "unexpected '&' (did you mean '&&'?)")
+			}
+		case r == '-':
+			if i+1 < len(rs) && rs[i+1] == '>' {
+				toks = append(toks, token{tokArrow, "->", line, col})
+				advance(2)
+				continue
+			}
+			return nil, errf(line, col, "unexpected '-' (did you mean '->'?)")
+		case r == '<':
+			switch {
+			case i+2 < len(rs) && rs[i+1] == '=' && rs[i+2] == '>':
+				toks = append(toks, token{tokMatchOp, "<=>", line, col})
+				advance(3)
+			case i+2 < len(rs) && rs[i+1] == '!' && rs[i+2] == '>':
+				toks = append(toks, token{tokNoMatchOp, "<!>", line, col})
+				advance(3)
+			default:
+				return nil, errf(line, col, "unexpected '<' (did you mean '<=>' or '<!>'?)")
+			}
+		case unicode.IsDigit(r):
+			start := i
+			startCol := col
+			for i < len(rs) && (unicode.IsDigit(rs[i]) || rs[i] == '.' || isIdentRune(rs[i])) {
+				advance(1)
+			}
+			text := string(rs[start:i])
+			kind := tokNumber
+			if strings.IndexFunc(text, func(r rune) bool {
+				return !unicode.IsDigit(r) && r != '.'
+			}) >= 0 {
+				kind = tokIdent // e.g. "2grams" style identifiers
+			}
+			toks = append(toks, token{kind, text, line, startCol})
+		case isIdentRune(r):
+			start := i
+			startCol := col
+			for i < len(rs) && isIdentRune(rs[i]) {
+				advance(1)
+			}
+			toks = append(toks, token{tokIdent, string(rs[start:i]), line, startCol})
+		default:
+			return nil, errf(line, col, "unexpected character %q", string(r))
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line, col})
+	return toks, nil
+}

@@ -1,0 +1,119 @@
+package mdlang
+
+import "testing"
+
+func kinds(t *testing.T, input string) []tokenKind {
+	t.Helper()
+	toks, err := lex(input)
+	if err != nil {
+		t.Fatalf("lex(%q): %v", input, err)
+	}
+	out := make([]tokenKind, len(toks))
+	for i, tok := range toks {
+		out[i] = tok.kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	got := kinds(t, "a[b] = c[d]")
+	want := []tokenKind{tokIdent, tokLBracket, tokIdent, tokRBracket, tokEquals,
+		tokIdent, tokLBracket, tokIdent, tokRBracket, tokEOF}
+	if len(got) != len(want) {
+		t.Fatalf("kinds = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	got := kinds(t, "&& -> <=> ~ : , ( )")
+	want := []tokenKind{tokAnd, tokArrow, tokMatchOp, tokTilde, tokColon,
+		tokComma, tokLParen, tokRParen, tokEOF}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexNumbersAndIdents(t *testing.T) {
+	toks, err := lex("0.85 42 2grams c# a_b x.y z-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKinds := []tokenKind{tokNumber, tokNumber, tokIdent, tokIdent, tokIdent, tokIdent, tokIdent, tokEOF}
+	wantText := []string{"0.85", "42", "2grams", "c#", "a_b", "x.y", "z-1", ""}
+	for i := range wantKinds {
+		if toks[i].kind != wantKinds[i] {
+			t.Fatalf("token %d kind = %v (%q), want %v", i, toks[i].kind, toks[i].text, wantKinds[i])
+		}
+		if toks[i].text != wantText[i] {
+			t.Fatalf("token %d text = %q, want %q", i, toks[i].text, wantText[i])
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := lex("ab\n  cd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].line != 1 || toks[0].col != 1 {
+		t.Errorf("token 0 at %d:%d", toks[0].line, toks[0].col)
+	}
+	if toks[1].line != 2 || toks[1].col != 3 {
+		t.Errorf("token 1 at %d:%d, want 2:3", toks[1].line, toks[1].col)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := lex("a # everything ignored -> <=> $$\nb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 { // a, b, EOF
+		t.Fatalf("tokens = %d, want 3", len(toks))
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, bad := range []string{"$", "a & b", "a - b", "a < b", "?"} {
+		if _, err := lex(bad); err == nil {
+			t.Errorf("lex(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestTokenKindStrings(t *testing.T) {
+	all := []tokenKind{tokEOF, tokIdent, tokNumber, tokLParen, tokRParen,
+		tokLBracket, tokRBracket, tokComma, tokColon, tokEquals, tokTilde,
+		tokAnd, tokArrow, tokMatchOp}
+	seen := map[string]bool{}
+	for _, k := range all {
+		s := k.String()
+		if s == "" || s == "unknown token" {
+			t.Errorf("kind %d has no name", k)
+		}
+		if seen[s] {
+			t.Errorf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+	}
+	if tokenKind(99).String() != "unknown token" {
+		t.Error("out-of-range kind must stringify to unknown")
+	}
+}
+
+func TestErrorFormat(t *testing.T) {
+	e := errf(3, 7, "bad %s", "thing")
+	if e.Line != 3 || e.Col != 7 {
+		t.Fatalf("position = %d:%d", e.Line, e.Col)
+	}
+	if e.Error() != "mdlang: line 3:7: bad thing" {
+		t.Fatalf("Error() = %q", e.Error())
+	}
+}

@@ -1,0 +1,87 @@
+package mdlang
+
+import (
+	"strings"
+	"testing"
+)
+
+const negativeDoc = `
+schema credit(cno, fn, ln, dob)
+schema billing(cno, fn, ln, dob)
+pair credit billing
+
+md credit[cno] = billing[cno] -> credit[fn, ln] <=> billing[fn, ln]
+
+# Different birth dates: never the same person, whatever else agrees.
+md credit[fn] = billing[fn] && credit[ln] = billing[ln]
+   -> credit[dob] <!> billing[dob]
+`
+
+func TestParseNegativeMD(t *testing.T) {
+	doc, err := Parse(negativeDoc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.MDs) != 1 {
+		t.Fatalf("positive MDs = %d, want 1", len(doc.MDs))
+	}
+	if len(doc.Negatives) != 1 {
+		t.Fatalf("negative MDs = %d, want 1", len(doc.Negatives))
+	}
+	n := doc.Negatives[0]
+	if len(n.LHS) != 2 || len(n.RHS) != 1 {
+		t.Fatalf("negative MD shape wrong: %s", n)
+	}
+	if !strings.Contains(n.String(), "<!>") {
+		t.Errorf("negative MD renders as %q", n.String())
+	}
+}
+
+func TestNegativeArrowRejectedInTarget(t *testing.T) {
+	_, err := Parse(`
+schema a(x)
+schema b(y)
+pair a b
+target a[x] <!> b[y]
+`, nil)
+	if err == nil {
+		t.Fatal("'<!>' in target accepted")
+	}
+	if !strings.Contains(err.Error(), "only allowed in md statements") {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestNegativeRoundTrip(t *testing.T) {
+	doc, err := Parse(negativeDoc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(doc)
+	doc2, err := Parse(text, nil)
+	if err != nil {
+		t.Fatalf("formatted doc does not re-parse: %v\n%s", err, text)
+	}
+	if len(doc2.Negatives) != 1 {
+		t.Fatalf("round trip lost negative MDs:\n%s", text)
+	}
+	if doc2.Negatives[0].String() != doc.Negatives[0].String() {
+		t.Fatalf("negative MD round trip mismatch:\n got %s\nwant %s",
+			doc2.Negatives[0], doc.Negatives[0])
+	}
+}
+
+func TestBadNegativeArrow(t *testing.T) {
+	if _, err := Parse("schema a(x)\nschema b(y)\npair a b\nmd a[x] = b[y] -> a[x] <! b[y]", nil); err == nil {
+		t.Fatal("malformed '<!' accepted")
+	}
+}
+
+func TestInvalidNegativeBody(t *testing.T) {
+	// Negative MD with an unknown attribute must be rejected with a
+	// position-carrying error.
+	_, err := Parse("schema a(x)\nschema b(y)\npair a b\nmd a[x] = b[y] -> a[zz] <!> b[y]", nil)
+	if err == nil {
+		t.Fatal("invalid negative MD accepted")
+	}
+}

@@ -1,0 +1,472 @@
+package mdlang
+
+import (
+	"fmt"
+	"strings"
+
+	"mdmatch/internal/core"
+	"mdmatch/internal/schema"
+	"mdmatch/internal/similarity"
+)
+
+// Document is a parsed rule file: schemas, the matching context, the MD
+// set Σ, negative MDs (the "<!>" rules of the Section 8 extension), and
+// zero or more targets for RCK derivation.
+type Document struct {
+	Schemas   map[string]*schema.Relation
+	Ctx       schema.Pair
+	MDs       []core.MD
+	Negatives []core.NegativeMD
+	Targets   []core.Target
+}
+
+// Parse parses a rule document against the given operator registry
+// (nil means similarity.DefaultRegistry()).
+func Parse(input string, reg *similarity.Registry) (*Document, error) {
+	if reg == nil {
+		reg = similarity.DefaultRegistry()
+	}
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, reg: reg, doc: &Document{Schemas: map[string]*schema.Relation{}}}
+	if err := p.parseDoc(); err != nil {
+		return nil, err
+	}
+	if len(p.doc.MDs) == 0 && len(p.doc.Targets) == 0 && len(p.doc.Schemas) == 0 {
+		return nil, fmt.Errorf("mdlang: empty document")
+	}
+	return p.doc, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	reg  *similarity.Registry
+	doc  *Document
+	// pair declared?
+	havePair bool
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	t := p.cur()
+	if t.kind != kind {
+		return t, errf(t.line, t.col, "expected %s, found %s %q", kind, t.kind, t.text)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) parseDoc() error {
+	for p.cur().kind != tokEOF {
+		t := p.cur()
+		if t.kind != tokIdent {
+			return errf(t.line, t.col, "expected a statement keyword (schema, pair, md, target), found %s %q", t.kind, t.text)
+		}
+		switch t.text {
+		case "schema":
+			if err := p.parseSchema(); err != nil {
+				return err
+			}
+		case "pair":
+			if err := p.parsePair(); err != nil {
+				return err
+			}
+		case "md":
+			if err := p.parseMD(); err != nil {
+				return err
+			}
+		case "target":
+			if err := p.parseTarget(); err != nil {
+				return err
+			}
+		default:
+			return errf(t.line, t.col, "unknown statement %q (want schema, pair, md or target)", t.text)
+		}
+	}
+	return nil
+}
+
+// parseSchema := "schema" ident "(" attr ("," attr)* ")"
+func (p *parser) parseSchema() error {
+	kw := p.next() // "schema"
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	if _, dup := p.doc.Schemas[name.text]; dup {
+		return errf(name.line, name.col, "schema %q already declared", name.text)
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return err
+	}
+	var attrs []schema.Attribute
+	for {
+		a, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		attr := schema.Attribute{Name: a.text, Domain: schema.String}
+		if p.cur().kind == tokColon {
+			p.next()
+			d, err := p.expect(tokIdent)
+			if err != nil {
+				return err
+			}
+			attr.Domain = schema.Domain(d.text)
+		}
+		attrs = append(attrs, attr)
+		if p.cur().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return err
+	}
+	rel, err := schema.NewRelation(name.text, attrs...)
+	if err != nil {
+		return errf(kw.line, kw.col, "%v", err)
+	}
+	p.doc.Schemas[name.text] = rel
+	return nil
+}
+
+// parsePair := "pair" ident ident
+func (p *parser) parsePair() error {
+	kw := p.next() // "pair"
+	if p.havePair {
+		return errf(kw.line, kw.col, "pair already declared")
+	}
+	l, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	r, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	left, ok := p.doc.Schemas[l.text]
+	if !ok {
+		return errf(l.line, l.col, "unknown schema %q", l.text)
+	}
+	right, ok := p.doc.Schemas[r.text]
+	if !ok {
+		return errf(r.line, r.col, "unknown schema %q", r.text)
+	}
+	ctx, err := schema.NewPair(left, right)
+	if err != nil {
+		return errf(kw.line, kw.col, "%v", err)
+	}
+	p.doc.Ctx = ctx
+	p.havePair = true
+	return nil
+}
+
+func (p *parser) requirePair(at token) error {
+	if !p.havePair {
+		return errf(at.line, at.col, "no 'pair' declared before %q statement", at.text)
+	}
+	return nil
+}
+
+// sideOf maps a relation name to the side it plays in the context.
+// In self-matching contexts the same name serves both sides; the caller
+// disambiguates by position.
+func (p *parser) sideOf(t token, wantSide schema.Side) (schema.Side, error) {
+	name := t.text
+	leftName := p.doc.Ctx.Left.Name()
+	rightName := p.doc.Ctx.Right.Name()
+	switch {
+	case name == leftName && name == rightName:
+		return wantSide, nil // self-match: position decides
+	case name == leftName:
+		return schema.Left, nil
+	case name == rightName:
+		return schema.Right, nil
+	default:
+		return 0, errf(t.line, t.col, "relation %q is not part of the declared pair (%s, %s)", name, leftName, rightName)
+	}
+}
+
+// parseAttrRef := ident "[" ident "]"; returns relation token and attr.
+func (p *parser) parseAttrRef() (rel token, attr string, err error) {
+	rel, err = p.expect(tokIdent)
+	if err != nil {
+		return
+	}
+	if _, err = p.expect(tokLBracket); err != nil {
+		return
+	}
+	a, err2 := p.expect(tokIdent)
+	if err2 != nil {
+		err = err2
+		return
+	}
+	attr = a.text
+	_, err = p.expect(tokRBracket)
+	return
+}
+
+// parseListRef := ident "[" ident ("," ident)* "]"
+func (p *parser) parseListRef() (rel token, attrs []string, err error) {
+	rel, err = p.expect(tokIdent)
+	if err != nil {
+		return
+	}
+	if _, err = p.expect(tokLBracket); err != nil {
+		return
+	}
+	for {
+		a, err2 := p.expect(tokIdent)
+		if err2 != nil {
+			err = err2
+			return
+		}
+		attrs = append(attrs, a.text)
+		if p.cur().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	_, err = p.expect(tokRBracket)
+	return
+}
+
+// parseOp := "=" | "~" ident ("(" number ")")?
+func (p *parser) parseOp() (similarity.Operator, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokEquals:
+		p.next()
+		return similarity.Eq(), nil
+	case tokTilde:
+		p.next()
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		spec := name.text
+		if p.cur().kind == tokLParen {
+			p.next()
+			num, err := p.expect(tokNumber)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			spec = fmt.Sprintf("%s(%s)", name.text, num.text)
+		}
+		op, err := p.reg.Resolve(spec)
+		if err != nil {
+			return nil, errf(name.line, name.col, "%v", err)
+		}
+		return op, nil
+	default:
+		return nil, errf(t.line, t.col, "expected '=' or '~op', found %s %q", t.kind, t.text)
+	}
+}
+
+// parseMD := "md" conj ("&&" conj)* "->" listref "<=>" listref
+func (p *parser) parseMD() error {
+	kw := p.next() // "md"
+	if err := p.requirePair(kw); err != nil {
+		return err
+	}
+	var lhs []core.Conjunct
+	for {
+		lrel, lattr, err := p.parseAttrRef()
+		if err != nil {
+			return err
+		}
+		op, err := p.parseOp()
+		if err != nil {
+			return err
+		}
+		rrel, rattr, err := p.parseAttrRef()
+		if err != nil {
+			return err
+		}
+		ls, err := p.sideOf(lrel, schema.Left)
+		if err != nil {
+			return err
+		}
+		rs, err := p.sideOf(rrel, schema.Right)
+		if err != nil {
+			return err
+		}
+		if ls == rs && !p.doc.Ctx.SelfMatch() {
+			return errf(lrel.line, lrel.col, "conjunct must compare the two relations of the pair, got %q twice", lrel.text)
+		}
+		// Normalize orientation: left side of the pair first.
+		if ls == schema.Right && rs == schema.Left {
+			lattr, rattr = rattr, lattr
+		}
+		lhs = append(lhs, core.Conjunct{Pair: core.P(lattr, rattr), Op: op})
+		if p.cur().kind == tokAnd {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokArrow); err != nil {
+		return err
+	}
+	rhs, negative, err := p.parseMatchRef(true)
+	if err != nil {
+		return err
+	}
+	if negative {
+		n, err := core.NewNegativeMD(p.doc.Ctx, lhs, rhs)
+		if err != nil {
+			return errf(kw.line, kw.col, "%v", err)
+		}
+		p.doc.Negatives = append(p.doc.Negatives, n)
+		return nil
+	}
+	md, err := core.NewMD(p.doc.Ctx, lhs, rhs)
+	if err != nil {
+		return errf(kw.line, kw.col, "%v", err)
+	}
+	p.doc.MDs = append(p.doc.MDs, md)
+	return nil
+}
+
+// parseMatchRef := listref ("<=>" | "<!>") listref; returns RHS
+// attribute pairs and whether the arrow was the negative one (only
+// permitted when allowNegative is set).
+func (p *parser) parseMatchRef(allowNegative bool) ([]core.AttrPair, bool, error) {
+	lrel, lattrs, err := p.parseListRef()
+	if err != nil {
+		return nil, false, err
+	}
+	negative := false
+	switch p.cur().kind {
+	case tokMatchOp:
+		p.next()
+	case tokNoMatchOp:
+		if !allowNegative {
+			t := p.cur()
+			return nil, false, errf(t.line, t.col, "'<!>' is only allowed in md statements")
+		}
+		negative = true
+		p.next()
+	default:
+		t := p.cur()
+		return nil, false, errf(t.line, t.col, "expected '<=>'%s, found %s %q",
+			map[bool]string{true: " or '<!>'", false: ""}[allowNegative], t.kind, t.text)
+	}
+	rrel, rattrs, err := p.parseListRef()
+	if err != nil {
+		return nil, false, err
+	}
+	ls, err := p.sideOf(lrel, schema.Left)
+	if err != nil {
+		return nil, false, err
+	}
+	rs, err := p.sideOf(rrel, schema.Right)
+	if err != nil {
+		return nil, false, err
+	}
+	if ls == schema.Right && rs == schema.Left {
+		lattrs, rattrs = rattrs, lattrs
+	} else if ls == rs && !p.doc.Ctx.SelfMatch() {
+		return nil, false, errf(lrel.line, lrel.col, "match expression must relate the two relations of the pair")
+	}
+	if len(lattrs) != len(rattrs) {
+		return nil, false, errf(lrel.line, lrel.col, "attribute lists have different lengths (%d vs %d)", len(lattrs), len(rattrs))
+	}
+	pairs := make([]core.AttrPair, len(lattrs))
+	for i := range lattrs {
+		pairs[i] = core.P(lattrs[i], rattrs[i])
+	}
+	return pairs, negative, nil
+}
+
+// parseTarget := "target" listref "<=>" listref
+func (p *parser) parseTarget() error {
+	kw := p.next() // "target"
+	if err := p.requirePair(kw); err != nil {
+		return err
+	}
+	pairs, _, err := p.parseMatchRef(false)
+	if err != nil {
+		return err
+	}
+	y1 := make(schema.AttrList, len(pairs))
+	y2 := make(schema.AttrList, len(pairs))
+	for i, pr := range pairs {
+		y1[i], y2[i] = pr.Left, pr.Right
+	}
+	target, err := core.NewTarget(p.doc.Ctx, y1, y2)
+	if err != nil {
+		return errf(kw.line, kw.col, "%v", err)
+	}
+	p.doc.Targets = append(p.doc.Targets, target)
+	return nil
+}
+
+// Format renders a document back to rule-language text (round-trippable
+// through Parse).
+func Format(doc *Document) string {
+	var b strings.Builder
+	// Schemas in pair order first, then others sorted.
+	written := map[string]bool{}
+	writeSchema := func(r *schema.Relation) {
+		if r == nil || written[r.Name()] {
+			return
+		}
+		written[r.Name()] = true
+		fmt.Fprintf(&b, "schema %s(", r.Name())
+		for i, a := range r.Attrs() {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(a.Name)
+			if a.Domain != schema.String {
+				fmt.Fprintf(&b, ": %s", a.Domain)
+			}
+		}
+		b.WriteString(")\n")
+	}
+	writeSchema(doc.Ctx.Left)
+	writeSchema(doc.Ctx.Right)
+	for _, name := range sortedKeys(doc.Schemas) {
+		writeSchema(doc.Schemas[name])
+	}
+	if doc.Ctx.Left != nil && doc.Ctx.Right != nil {
+		fmt.Fprintf(&b, "\npair %s %s\n\n", doc.Ctx.Left.Name(), doc.Ctx.Right.Name())
+	}
+	for _, md := range doc.MDs {
+		fmt.Fprintf(&b, "md %s\n", md)
+	}
+	for _, n := range doc.Negatives {
+		fmt.Fprintf(&b, "md %s\n", n)
+	}
+	for _, tg := range doc.Targets {
+		fmt.Fprintf(&b, "\ntarget %s[%s] <=> %s[%s]\n",
+			doc.Ctx.Left.Name(), strings.Join(tg.Y1, ", "),
+			doc.Ctx.Right.Name(), strings.Join(tg.Y2, ", "))
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string]*schema.Relation) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}

@@ -1,0 +1,231 @@
+package mdlang
+
+import (
+	"strings"
+	"testing"
+
+	"mdmatch/internal/core"
+	"mdmatch/internal/schema"
+)
+
+// paperDoc is the running example of the paper in rule-language form.
+const paperDoc = `
+# Credit/billing fraud-detection rules (Examples 1.1, 2.1).
+schema credit(cno, ssn, fn, ln, addr, tel, email, gender, type)
+schema billing(cno, fn, ln, post, phn, email, gender, item, price)
+
+pair credit billing
+
+md credit[ln] = billing[ln]
+   && credit[addr] = billing[post]
+   && credit[fn] ~dl(0.75) billing[fn]
+   -> credit[fn, ln, addr, tel, gender] <=> billing[fn, ln, post, phn, gender]
+
+md credit[tel] = billing[phn] -> credit[addr] <=> billing[post]
+md credit[email] = billing[email] -> credit[fn, ln] <=> billing[fn, ln]
+
+target credit[fn, ln, addr, tel, gender] <=> billing[fn, ln, post, phn, gender]
+`
+
+func TestParsePaperDocument(t *testing.T) {
+	doc, err := Parse(paperDoc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Schemas) != 2 {
+		t.Fatalf("schemas = %d, want 2", len(doc.Schemas))
+	}
+	if doc.Ctx.Left.Name() != "credit" || doc.Ctx.Right.Name() != "billing" {
+		t.Fatalf("pair = %s", doc.Ctx)
+	}
+	if len(doc.MDs) != 3 {
+		t.Fatalf("MDs = %d, want 3", len(doc.MDs))
+	}
+	if len(doc.Targets) != 1 {
+		t.Fatalf("targets = %d, want 1", len(doc.Targets))
+	}
+	phi1 := doc.MDs[0]
+	if len(phi1.LHS) != 3 || len(phi1.RHS) != 5 {
+		t.Fatalf("ϕ1 shape wrong: %s", phi1)
+	}
+	if phi1.LHS[2].OpName() != "dl(0.75)" {
+		t.Fatalf("ϕ1 third conjunct op = %s", phi1.LHS[2].OpName())
+	}
+	// The parsed Σ must reproduce the paper's deduction (Example 3.5).
+	target := doc.Targets[0]
+	rck4 := core.Key{Ctx: doc.Ctx, Target: target, Conjuncts: []core.Conjunct{
+		core.Eq("email", "email"), core.Eq("tel", "phn"),
+	}}
+	ok, err := core.DeduceKey(doc.MDs, rck4)
+	if err != nil || !ok {
+		t.Fatalf("parsed Σ must deduce rck4: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestParseReversedConjunctOrientation(t *testing.T) {
+	// Conjuncts and match expressions may name the relations in either
+	// order; the parser normalizes to (left, right).
+	doc, err := Parse(`
+schema a(x, y)
+schema b(u, v)
+pair a b
+md b[u] = a[x] -> b[v] <=> a[y]
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := doc.MDs[0]
+	if md.LHS[0].Pair != core.P("x", "u") {
+		t.Errorf("conjunct not normalized: %v", md.LHS[0].Pair)
+	}
+	if md.RHS[0] != core.P("y", "v") {
+		t.Errorf("RHS not normalized: %v", md.RHS[0])
+	}
+}
+
+func TestParseSelfMatch(t *testing.T) {
+	doc, err := Parse(`
+schema person(name, addr, phone)
+pair person person
+md person[phone] = person[phone] -> person[addr] <=> person[addr]
+target person[name, addr] <=> person[name, addr]
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !doc.Ctx.SelfMatch() {
+		t.Fatal("self-match pair not recognized")
+	}
+	if len(doc.MDs) != 1 || doc.MDs[0].LHS[0].Pair != core.P("phone", "phone") {
+		t.Fatalf("self-match MD wrong: %v", doc.MDs)
+	}
+}
+
+func TestParseDomains(t *testing.T) {
+	doc, err := Parse(`
+schema orders(id: int, total: float, note)
+schema invoices(ref: int, amount: float, memo)
+pair orders invoices
+md orders[id] = invoices[ref] -> orders[total] <=> invoices[amount]
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := doc.Schemas["orders"].DomainOf("id")
+	if d != schema.Int {
+		t.Fatalf("domain = %s", d)
+	}
+	if d, _ := doc.Schemas["orders"].DomainOf("note"); d != schema.String {
+		t.Fatalf("default domain = %s", d)
+	}
+}
+
+func TestParseHashAttrNames(t *testing.T) {
+	// The paper's c# attribute.
+	doc, err := Parse(`
+schema credit(c#, fn)
+schema billing(c#, fn)
+pair credit billing
+md credit[c#] = billing[c#] -> credit[fn] <=> billing[fn]
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.MDs[0].LHS[0].Pair != core.P("c#", "c#") {
+		t.Fatalf("c# attribute mangled: %v", doc.MDs[0].LHS[0].Pair)
+	}
+}
+
+func TestParseOperatorDefaults(t *testing.T) {
+	doc, err := Parse(`
+schema a(x)
+schema b(y)
+pair a b
+md a[x] ~jaro b[y] -> a[x] <=> b[y]
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.MDs[0].LHS[0].OpName() != "jaro(0.85)" {
+		t.Fatalf("default-threshold op = %s", doc.MDs[0].LHS[0].OpName())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, input, wantSub string
+	}{
+		{"empty", "", "empty document"},
+		{"unknown stmt", "frobnicate a b", "unknown statement"},
+		{"md before pair", "schema a(x)\nmd a[x] = a[x] -> a[x] <=> a[x]", "no 'pair'"},
+		{"unknown schema in pair", "schema a(x)\npair a b", `unknown schema "b"`},
+		{"dup schema", "schema a(x)\nschema a(y)", "already declared"},
+		{"dup pair", "schema a(x)\nschema b(y)\npair a b\npair a b", "pair already declared"},
+		{"bad char", "schema a(x)\n schema b($)", "unexpected character"},
+		{"lone amp", "schema a(x&y)", "unexpected '&'"},
+		{"lone dash", "schema a(x) -", "unexpected '-'"},
+		{"lone lt", "schema a(x) <", "unexpected '<'"},
+		{"wrong rel in md", "schema a(x)\nschema b(y)\nschema c(z)\npair a b\nmd a[x] = c[z] -> a[x] <=> b[y]", "not part of the declared pair"},
+		{"same rel twice", "schema a(x, w)\nschema b(y)\npair a b\nmd a[x] = a[w] -> a[x] <=> b[y]", "compare the two relations"},
+		{"bad attr", "schema a(x)\nschema b(y)\npair a b\nmd a[zz] = b[y] -> a[x] <=> b[y]", "no attribute"},
+		{"list len mismatch", "schema a(x, w)\nschema b(y)\npair a b\nmd a[x] = b[y] -> a[x, w] <=> b[y]", "different lengths"},
+		{"unknown op", "schema a(x)\nschema b(y)\npair a b\nmd a[x] ~frob b[y] -> a[x] <=> b[y]", "unknown operator"},
+		{"missing arrow", "schema a(x)\nschema b(y)\npair a b\nmd a[x] = b[y] a[x] <=> b[y]", "expected '->'"},
+		{"target before pair", "schema a(x)\ntarget a[x] <=> a[x]", "no 'pair'"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.input, nil)
+			if err == nil {
+				t.Fatalf("input %q parsed without error", c.input)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("error %q does not contain %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestErrorPositions(t *testing.T) {
+	_, err := Parse("schema a(x)\nschema b(y)\npair a b\nmd a[x] ** b[y] -> a[x] <=> b[y]", nil)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	perr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T, want *Error", err)
+	}
+	if perr.Line != 4 {
+		t.Errorf("error line = %d, want 4", perr.Line)
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	doc, err := Parse(paperDoc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(doc)
+	doc2, err := Parse(text, nil)
+	if err != nil {
+		t.Fatalf("formatted document does not re-parse: %v\n%s", err, text)
+	}
+	if len(doc2.MDs) != len(doc.MDs) || len(doc2.Targets) != len(doc.Targets) {
+		t.Fatalf("round trip lost statements:\n%s", text)
+	}
+	for i := range doc.MDs {
+		if doc.MDs[i].String() != doc2.MDs[i].String() {
+			t.Errorf("MD %d round trip mismatch:\n got %s\nwant %s", i, doc2.MDs[i], doc.MDs[i])
+		}
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	doc, err := Parse("# leading comment\n\n  schema a(x) # trailing\n#only comment line\nschema b(y)\npair a b\n", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Schemas) != 2 {
+		t.Fatalf("schemas = %d", len(doc.Schemas))
+	}
+}

@@ -1,0 +1,162 @@
+// Package metrics implements the match-quality measures of Section 6:
+// precision, recall, F1, and the blocking/windowing measures pairs
+// completeness (PC) and reduction ratio (RR).
+package metrics
+
+import "fmt"
+
+// Pair identifies a candidate or matched record pair by the tuple ids of
+// the left and right relations.
+type Pair struct {
+	Left  int
+	Right int
+}
+
+// PairSet is a set of record pairs.
+type PairSet struct {
+	set map[Pair]struct{}
+}
+
+// NewPairSet builds a set from the given pairs.
+func NewPairSet(pairs ...Pair) *PairSet {
+	s := &PairSet{set: make(map[Pair]struct{}, len(pairs))}
+	for _, p := range pairs {
+		s.Add(p)
+	}
+	return s
+}
+
+// Add inserts a pair.
+func (s *PairSet) Add(p Pair) { s.set[p] = struct{}{} }
+
+// Has reports membership.
+func (s *PairSet) Has(p Pair) bool {
+	_, ok := s.set[p]
+	return ok
+}
+
+// Len returns the number of pairs.
+func (s *PairSet) Len() int { return len(s.set) }
+
+// Pairs returns all pairs (unspecified order).
+func (s *PairSet) Pairs() []Pair {
+	out := make([]Pair, 0, len(s.set))
+	for p := range s.set {
+		out = append(out, p)
+	}
+	return out
+}
+
+// IntersectCount returns |s ∩ t|.
+func (s *PairSet) IntersectCount(t *PairSet) int {
+	small, large := s, t
+	if small.Len() > large.Len() {
+		small, large = large, small
+	}
+	n := 0
+	for p := range small.set {
+		if large.Has(p) {
+			n++
+		}
+	}
+	return n
+}
+
+// Quality holds precision/recall/F1 of a match result against the truth.
+type Quality struct {
+	TruePositives  int
+	FalsePositives int
+	FalseNegatives int
+}
+
+// Evaluate compares found matches against true matches.
+func Evaluate(found, truth *PairSet) Quality {
+	tp := found.IntersectCount(truth)
+	return Quality{
+		TruePositives:  tp,
+		FalsePositives: found.Len() - tp,
+		FalseNegatives: truth.Len() - tp,
+	}
+}
+
+// Precision is the ratio of true matches correctly found to all matches
+// returned, true or false (Section 1). An empty result has precision 1.
+func (q Quality) Precision() float64 {
+	denom := q.TruePositives + q.FalsePositives
+	if denom == 0 {
+		return 1
+	}
+	return float64(q.TruePositives) / float64(denom)
+}
+
+// Recall is the ratio of true matches correctly found to all matches in
+// the data (Section 1). Empty truth has recall 1.
+func (q Quality) Recall() float64 {
+	denom := q.TruePositives + q.FalseNegatives
+	if denom == 0 {
+		return 1
+	}
+	return float64(q.TruePositives) / float64(denom)
+}
+
+// F1 is the harmonic mean of precision and recall.
+func (q Quality) F1() float64 {
+	p, r := q.Precision(), q.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+func (q Quality) String() string {
+	return fmt.Sprintf("precision=%.4f recall=%.4f f1=%.4f (tp=%d fp=%d fn=%d)",
+		q.Precision(), q.Recall(), q.F1(), q.TruePositives, q.FalsePositives, q.FalseNegatives)
+}
+
+// BlockingQuality holds the blocking/windowing measures of Exp-4.
+// With sM/sU the matched and non-matched candidate pairs under blocking
+// and nM/nU those without blocking:
+//
+//	PC = sM / nM          (pairs completeness)
+//	RR = 1 - (sM+sU)/(nM+nU)  (reduction ratio)
+type BlockingQuality struct {
+	SM, SU int // candidate pairs with blocking: true matches / non-matches
+	NM, NU int // all pairs: true matches / non-matches
+}
+
+// EvaluateBlocking computes PC/RR inputs for a candidate pair set against
+// the generator-held truth, with totalPairs the size of the unrestricted
+// comparison space (the paper computes these "by referencing the truth
+// held by the generator, without relying on any particular matching
+// method").
+func EvaluateBlocking(candidates, truth *PairSet, totalPairs int) BlockingQuality {
+	sm := candidates.IntersectCount(truth)
+	return BlockingQuality{
+		SM: sm,
+		SU: candidates.Len() - sm,
+		NM: truth.Len(),
+		NU: totalPairs - truth.Len(),
+	}
+}
+
+// PC returns pairs completeness; 1 if there are no true matches.
+func (b BlockingQuality) PC() float64 {
+	if b.NM == 0 {
+		return 1
+	}
+	return float64(b.SM) / float64(b.NM)
+}
+
+// RR returns the reduction ratio; 0 if the comparison space is empty.
+func (b BlockingQuality) RR() float64 {
+	total := b.NM + b.NU
+	if total == 0 {
+		return 0
+	}
+	return 1 - float64(b.SM+b.SU)/float64(total)
+}
+
+func (b BlockingQuality) String() string {
+	return fmt.Sprintf("PC=%.4f RR=%.4f (sM=%d sU=%d nM=%d nU=%d)",
+		b.PC(), b.RR(), b.SM, b.SU, b.NM, b.NU)
+}

@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPairSetBasics(t *testing.T) {
+	s := NewPairSet(Pair{1, 2}, Pair{3, 4}, Pair{1, 2})
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (duplicates collapse)", s.Len())
+	}
+	if !s.Has(Pair{1, 2}) || s.Has(Pair{2, 1}) {
+		t.Fatal("Has broken (pairs are ordered)")
+	}
+	s.Add(Pair{5, 6})
+	if s.Len() != 3 {
+		t.Fatal("Add broken")
+	}
+	if got := len(s.Pairs()); got != 3 {
+		t.Fatalf("Pairs() returned %d", got)
+	}
+}
+
+func TestIntersectCount(t *testing.T) {
+	a := NewPairSet(Pair{1, 1}, Pair{2, 2}, Pair{3, 3})
+	b := NewPairSet(Pair{2, 2}, Pair{3, 3}, Pair{4, 4})
+	if got := a.IntersectCount(b); got != 2 {
+		t.Fatalf("IntersectCount = %d, want 2", got)
+	}
+	if got := b.IntersectCount(a); got != 2 {
+		t.Fatal("IntersectCount not symmetric")
+	}
+	if got := a.IntersectCount(NewPairSet()); got != 0 {
+		t.Fatalf("intersection with empty = %d", got)
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	truth := NewPairSet(Pair{1, 1}, Pair{2, 2}, Pair{3, 3}, Pair{4, 4})
+	found := NewPairSet(Pair{1, 1}, Pair{2, 2}, Pair{9, 9})
+	q := Evaluate(found, truth)
+	if q.TruePositives != 2 || q.FalsePositives != 1 || q.FalseNegatives != 2 {
+		t.Fatalf("Evaluate = %+v", q)
+	}
+	if math.Abs(q.Precision()-2.0/3.0) > 1e-12 {
+		t.Errorf("precision = %v", q.Precision())
+	}
+	if math.Abs(q.Recall()-0.5) > 1e-12 {
+		t.Errorf("recall = %v", q.Recall())
+	}
+	wantF1 := 2 * (2.0 / 3.0) * 0.5 / (2.0/3.0 + 0.5)
+	if math.Abs(q.F1()-wantF1) > 1e-12 {
+		t.Errorf("f1 = %v, want %v", q.F1(), wantF1)
+	}
+	if !strings.Contains(q.String(), "precision=") {
+		t.Errorf("String() = %q", q.String())
+	}
+}
+
+func TestEvaluateEdgeCases(t *testing.T) {
+	empty := NewPairSet()
+	q := Evaluate(empty, empty)
+	if q.Precision() != 1 || q.Recall() != 1 {
+		t.Errorf("empty/empty: p=%v r=%v, want 1/1", q.Precision(), q.Recall())
+	}
+	if q.F1() != 1 {
+		t.Errorf("empty/empty f1 = %v", q.F1())
+	}
+	// No matches found, non-empty truth: recall 0, precision 1 by
+	// convention, F1 0.
+	q = Evaluate(empty, NewPairSet(Pair{1, 1}))
+	if q.Precision() != 1 || q.Recall() != 0 || q.F1() != 0 {
+		t.Errorf("empty found: %+v p=%v r=%v f1=%v", q, q.Precision(), q.Recall(), q.F1())
+	}
+}
+
+func TestQualityBounds(t *testing.T) {
+	f := func(tp, fp, fn uint8) bool {
+		q := Quality{TruePositives: int(tp), FalsePositives: int(fp), FalseNegatives: int(fn)}
+		p, r, f1 := q.Precision(), q.Recall(), q.F1()
+		return p >= 0 && p <= 1 && r >= 0 && r <= 1 && f1 >= 0 && f1 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvaluateBlocking(t *testing.T) {
+	truth := NewPairSet(Pair{1, 1}, Pair{2, 2}, Pair{3, 3}, Pair{4, 4})
+	candidates := NewPairSet(Pair{1, 1}, Pair{2, 2}, Pair{3, 3}, Pair{7, 7}, Pair{8, 8})
+	total := 100
+	b := EvaluateBlocking(candidates, truth, total)
+	if b.SM != 3 || b.SU != 2 || b.NM != 4 || b.NU != 96 {
+		t.Fatalf("EvaluateBlocking = %+v", b)
+	}
+	if math.Abs(b.PC()-0.75) > 1e-12 {
+		t.Errorf("PC = %v, want 0.75", b.PC())
+	}
+	if math.Abs(b.RR()-0.95) > 1e-12 {
+		t.Errorf("RR = %v, want 0.95", b.RR())
+	}
+	if !strings.Contains(b.String(), "PC=") {
+		t.Errorf("String() = %q", b.String())
+	}
+}
+
+func TestBlockingEdgeCases(t *testing.T) {
+	b := EvaluateBlocking(NewPairSet(), NewPairSet(), 0)
+	if b.PC() != 1 {
+		t.Errorf("PC with no truth = %v, want 1", b.PC())
+	}
+	if b.RR() != 0 {
+		t.Errorf("RR with empty space = %v, want 0", b.RR())
+	}
+	// Comparing everything: RR = 0; finding every match: PC = 1.
+	truth := NewPairSet(Pair{1, 1})
+	all := NewPairSet(Pair{1, 1}, Pair{1, 2}, Pair{2, 1}, Pair{2, 2})
+	b = EvaluateBlocking(all, truth, 4)
+	if b.PC() != 1 || b.RR() != 0 {
+		t.Errorf("full comparison: PC=%v RR=%v", b.PC(), b.RR())
+	}
+}
+
+func TestBlockingBounds(t *testing.T) {
+	f := func(smRaw, suRaw, nm, extra uint8) bool {
+		// Construct a consistent scenario: sm <= nm, candidates subset of
+		// total space.
+		sm := int(smRaw)
+		if int(nm) < sm {
+			sm = int(nm)
+		}
+		total := int(nm) + int(suRaw) + int(extra)
+		b := BlockingQuality{SM: sm, SU: int(suRaw), NM: int(nm), NU: total - int(nm)}
+		pc, rr := b.PC(), b.RR()
+		return pc >= 0 && pc <= 1 && rr >= 0 && rr <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

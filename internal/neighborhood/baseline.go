@@ -1,0 +1,62 @@
+package neighborhood
+
+import (
+	"mdmatch/internal/core"
+	"mdmatch/internal/schema"
+	"mdmatch/internal/similarity"
+)
+
+// BaselineRules returns a 25-rule hand-written equational theory over
+// the extended credit/billing schemas, standing in for the 25 rules of
+// [20] used by the paper's SN baseline (the original rules target [20]'s
+// own schema and are not reproduced in the 2009 paper either; DESIGN.md
+// §3). The set is written the way practitioner rule bases look: mostly
+// conservative multi-attribute equality rules (which miss dirty
+// duplicates), a few similarity-based ones, and a couple of over-eager
+// rules on weakly-identifying attributes (which admit false positives).
+// The comparison against the derived RCKs (Exp-3) measures exactly this
+// gap: hand-picked rules vs. systematically deduced keys.
+func BaselineRules(ctx schema.Pair, target core.Target) []core.Key {
+	d := similarity.DL(0.8)
+	sx := similarity.SoundexEq()
+	k := func(cs ...core.Conjunct) core.Key {
+		return core.Key{Ctx: ctx, Target: target, Conjuncts: cs}
+	}
+	eq := core.Eq
+	sim := func(l, r string) core.Conjunct { return core.C(l, d, r) }
+	return []core.Key{
+		// 1-8: near-full identity on contact data (conservative rules:
+		// high precision, poor recall on dirty duplicates).
+		k(eq("fn", "fn"), eq("ln", "ln"), eq("street", "street"), eq("city", "city"), eq("zip", "zip")),
+		k(eq("fn", "fn"), eq("ln", "ln"), eq("street", "street"), eq("city", "city")),
+		k(eq("fn", "fn"), eq("ln", "ln"), eq("street", "street"), eq("zip", "zip")),
+		k(eq("fn", "fn"), eq("ln", "ln"), eq("city", "city"), eq("county", "county"), eq("zip", "zip")),
+		k(eq("fn", "fn"), eq("ln", "ln"), eq("tel", "phn"), eq("street", "street")),
+		k(eq("fn", "fn"), eq("ln", "ln"), eq("email", "email"), eq("city", "city")),
+		k(eq("fn", "fn"), eq("ln", "ln"), eq("dob", "dob"), eq("zip", "zip")),
+		k(eq("fn", "fn"), eq("ln", "ln"), eq("cno", "cno")),
+		// 9-14: similarity-tolerant names with stricter address parts
+		// ([20]-style equational rules).
+		k(sim("fn", "fn"), sim("ln", "ln"), eq("street", "street"), eq("city", "city")),
+		k(sim("fn", "fn"), sim("ln", "ln"), eq("zip", "zip"), sim("street", "street")),
+		k(eq("fn", "fn"), sim("ln", "ln"), sim("street", "street"), eq("city", "city")),
+		k(sim("fn", "fn"), sim("ln", "ln"), sim("street", "street"), eq("zip", "zip"), eq("dob", "dob")),
+		k(sim("street", "street"), eq("zip", "zip"), sim("ln", "ln"), sim("fn", "fn")),
+		k(core.C("fn", sx, "fn"), core.C("ln", sx, "ln"), sim("street", "street"), eq("city", "city"), eq("dob", "dob")),
+		// 15-19: contact-channel rules.
+		k(sim("tel", "phn"), sim("ln", "ln"), sim("fn", "fn")),
+		k(sim("email", "email"), sim("ln", "ln"), sim("fn", "fn")),
+		k(sim("tel", "phn"), sim("email", "email"), eq("gender", "gender")),
+		k(sim("cno", "cno"), sim("ln", "ln"), eq("gender", "gender")),
+		k(sim("cno", "cno"), sim("dob", "dob"), sim("fn", "fn")),
+		// 20-22: demographic rules.
+		k(sim("dob", "dob"), sim("ln", "ln"), sim("fn", "fn"), eq("gender", "gender")),
+		k(sim("dob", "dob"), sim("ln", "ln"), eq("zip", "zip"), eq("gender", "gender")),
+		k(sim("dob", "dob"), sim("tel", "phn"), eq("gender", "gender")),
+		// 23-25: the over-eager tail every hand-written rule base grows
+		// (weakly identifying attributes: false-positive prone).
+		k(core.C("ln", sx, "ln"), eq("zip", "zip"), eq("gender", "gender")),
+		k(core.C("fn", sx, "fn"), core.C("ln", sx, "ln"), sim("city", "city")),
+		k(sim("ln", "ln"), sim("city", "city"), eq("gender", "gender")),
+	}
+}

@@ -1,0 +1,70 @@
+// Package neighborhood implements the sorted-neighborhood (merge/purge)
+// record matching method of Hernández and Stolfo [20], the rule-based
+// method of Exp-3 in Section 6: records of both relations are merged,
+// sorted by a key, and compared within a fixed-size sliding window using
+// rules of an equational theory; multiple passes with different keys are
+// unioned and optionally closed transitively.
+package neighborhood
+
+import (
+	"fmt"
+
+	"mdmatch/internal/blocking"
+	"mdmatch/internal/matching"
+	"mdmatch/internal/metrics"
+	"mdmatch/internal/record"
+)
+
+// Pass is one sort-and-window sweep.
+type Pass struct {
+	Key    blocking.KeySpec
+	Window int
+}
+
+// Config is a sorted-neighborhood run specification.
+type Config struct {
+	Passes []Pass
+	// Rules decide whether a candidate pair matches.
+	Rules *matching.RuleSet
+	// TransitiveClosure merges matches through chains, the merge phase
+	// of [20].
+	TransitiveClosure bool
+}
+
+// Result reports the matches and work done.
+type Result struct {
+	Matches  *metrics.PairSet
+	Compared int
+}
+
+// Run executes the configured passes over the instance pair.
+func Run(d *record.PairInstance, cfg Config) (*Result, error) {
+	if len(cfg.Passes) == 0 {
+		return nil, fmt.Errorf("neighborhood: no passes configured")
+	}
+	if cfg.Rules == nil || len(cfg.Rules.Keys) == 0 {
+		return nil, fmt.Errorf("neighborhood: no rules configured")
+	}
+	candidates := metrics.NewPairSet()
+	for i, pass := range cfg.Passes {
+		w := pass.Window
+		if w == 0 {
+			w = 10 // the paper's fixed window size
+		}
+		cands, err := blocking.Window(d, pass.Key, w)
+		if err != nil {
+			return nil, fmt.Errorf("neighborhood: pass %d: %w", i, err)
+		}
+		for _, p := range cands.Pairs() {
+			candidates.Add(p)
+		}
+	}
+	matches, err := cfg.Rules.MatchCandidates(d, candidates)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.TransitiveClosure {
+		matches = matching.TransitiveClosure(matches)
+	}
+	return &Result{Matches: matches, Compared: candidates.Len()}, nil
+}

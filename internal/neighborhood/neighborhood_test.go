@@ -1,0 +1,157 @@
+package neighborhood
+
+import (
+	"testing"
+
+	"mdmatch/internal/blocking"
+	"mdmatch/internal/core"
+	"mdmatch/internal/gen"
+	"mdmatch/internal/matching"
+	"mdmatch/internal/metrics"
+)
+
+func TestBaselineRulesShape(t *testing.T) {
+	ds, err := gen.Generate(gen.DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := gen.Target(ds.Ctx)
+	rules := BaselineRules(ds.Ctx, target)
+	if len(rules) != 25 {
+		t.Fatalf("baseline has %d rules, want 25 (as in [20])", len(rules))
+	}
+	for i, r := range rules {
+		if _, err := core.NewKey(r.Ctx, r.Target, r.Conjuncts); err != nil {
+			t.Errorf("rule %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	ds, err := gen.Generate(gen.DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ds.Pair()
+	target := gen.Target(ds.Ctx)
+	rules := matching.NewRuleSet(BaselineRules(ds.Ctx, target)...)
+	key := blocking.NewKeySpec(core.P("zip", "zip"))
+	if _, err := Run(d, Config{Rules: rules}); err == nil {
+		t.Error("no passes accepted")
+	}
+	if _, err := Run(d, Config{Passes: []Pass{{Key: key}}}); err == nil {
+		t.Error("no rules accepted")
+	}
+	if _, err := Run(d, Config{Passes: []Pass{{Key: blocking.KeySpec{}}}, Rules: rules}); err == nil {
+		t.Error("empty pass key accepted")
+	}
+}
+
+func TestRunFindsDuplicates(t *testing.T) {
+	ds, err := gen.Generate(gen.DefaultConfig(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ds.Pair()
+	target := gen.Target(ds.Ctx)
+	truth := ds.Truth()
+
+	// SNrck: top-5 derived RCKs as rules, two windowing passes.
+	keys, err := core.FindRCKs(ds.Ctx, gen.HolderMDs(ds.Ctx), target, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	passes := []Pass{
+		{Key: blocking.NewKeySpec(core.P("ln", "ln"), core.P("zip", "zip")).
+			WithEncoder(0, blocking.SoundexEncode), Window: 10},
+		{Key: blocking.NewKeySpec(core.P("tel", "phn")), Window: 10},
+	}
+	res, err := Run(d, Config{
+		Passes: passes,
+		Rules:  matching.NewRuleSet(keys...),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := metrics.Evaluate(res.Matches, truth)
+	if q.TruePositives == 0 {
+		t.Fatal("SNrck found nothing")
+	}
+	if q.Precision() < 0.85 {
+		t.Errorf("SNrck precision = %.3f, want > 0.85 (%s)", q.Precision(), q)
+	}
+	if res.Compared == 0 {
+		t.Error("no candidates compared")
+	}
+
+	// Baseline SN with the hand-written theory still works end to end.
+	resBase, err := Run(d, Config{
+		Passes: passes,
+		Rules:  matching.NewRuleSet(BaselineRules(ds.Ctx, target)...),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qBase := metrics.Evaluate(resBase.Matches, truth)
+	if qBase.TruePositives == 0 {
+		t.Error("baseline SN found nothing")
+	}
+}
+
+func TestTransitiveClosureExpandsMatches(t *testing.T) {
+	ds, err := gen.Generate(gen.DefaultConfig(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ds.Pair()
+	target := gen.Target(ds.Ctx)
+	keys, err := core.FindRCKs(ds.Ctx, gen.HolderMDs(ds.Ctx), target, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Passes: []Pass{{Key: blocking.NewKeySpec(core.P("tel", "phn")), Window: 10}},
+		Rules:  matching.NewRuleSet(keys...),
+	}
+	plain, err := Run(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.TransitiveClosure = true
+	closed, err := Run(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closed.Matches.Len() < plain.Matches.Len() {
+		t.Error("transitive closure lost matches")
+	}
+	for _, p := range plain.Matches.Pairs() {
+		if !closed.Matches.Has(p) {
+			t.Error("transitive closure dropped a direct match")
+		}
+	}
+}
+
+func TestDefaultWindowSize(t *testing.T) {
+	ds, err := gen.Generate(gen.DefaultConfig(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ds.Pair()
+	target := gen.Target(ds.Ctx)
+	keys, err := core.FindRCKs(ds.Ctx, gen.HolderMDs(ds.Ctx), target, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window 0 defaults to the paper's 10.
+	res, err := Run(d, Config{
+		Passes: []Pass{{Key: blocking.NewKeySpec(core.P("zip", "zip"))}},
+		Rules:  matching.NewRuleSet(keys...),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Compared == 0 {
+		t.Error("default window produced no candidates")
+	}
+}

@@ -1,0 +1,293 @@
+// Package record models tuples and relation instances: the data that
+// matching dependencies are enforced on. Tuples carry the temporary
+// unique tuple ids of Section 2.1 ("to keep track of tuples during a
+// matching process, we assume a temporary unique tuple id for each
+// tuple"), which define the extension order D ⊑ D′.
+package record
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	"mdmatch/internal/schema"
+)
+
+// Tuple is a row of an instance. ID is the temporary tuple id; Values is
+// positional, parallel to the relation's attributes.
+type Tuple struct {
+	ID     int
+	Values []string
+}
+
+// Clone deep-copies the tuple.
+func (t *Tuple) Clone() *Tuple {
+	v := make([]string, len(t.Values))
+	copy(v, t.Values)
+	return &Tuple{ID: t.ID, Values: v}
+}
+
+// Instance is a set of tuples over one relation schema.
+type Instance struct {
+	Rel    *schema.Relation
+	Tuples []*Tuple
+
+	byID map[int]*Tuple
+}
+
+// NewInstance creates an empty instance of the given relation.
+func NewInstance(rel *schema.Relation) *Instance {
+	return &Instance{Rel: rel, byID: make(map[int]*Tuple)}
+}
+
+// Append adds a tuple built from positional values, assigning the next
+// available id. It returns the new tuple.
+func (in *Instance) Append(values ...string) (*Tuple, error) {
+	if len(values) != in.Rel.Arity() {
+		return nil, fmt.Errorf("record: %s expects %d values, got %d", in.Rel.Name(), in.Rel.Arity(), len(values))
+	}
+	t := &Tuple{ID: in.nextID(), Values: append([]string(nil), values...)}
+	in.add(t)
+	return t, nil
+}
+
+// MustAppend is Append that panics on error.
+func (in *Instance) MustAppend(values ...string) *Tuple {
+	t, err := in.Append(values...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// AppendWithID adds a tuple with an explicit id (e.g. loaded from disk).
+func (in *Instance) AppendWithID(id int, values []string) (*Tuple, error) {
+	if len(values) != in.Rel.Arity() {
+		return nil, fmt.Errorf("record: %s expects %d values, got %d", in.Rel.Name(), in.Rel.Arity(), len(values))
+	}
+	if in.byID == nil {
+		in.reindex()
+	}
+	if _, dup := in.byID[id]; dup {
+		return nil, fmt.Errorf("record: duplicate tuple id %d in %s", id, in.Rel.Name())
+	}
+	t := &Tuple{ID: id, Values: append([]string(nil), values...)}
+	in.add(t)
+	return t, nil
+}
+
+func (in *Instance) add(t *Tuple) {
+	if in.byID == nil {
+		in.reindex()
+	}
+	in.Tuples = append(in.Tuples, t)
+	in.byID[t.ID] = t
+}
+
+func (in *Instance) reindex() {
+	in.byID = make(map[int]*Tuple, len(in.Tuples))
+	for _, t := range in.Tuples {
+		in.byID[t.ID] = t
+	}
+}
+
+func (in *Instance) nextID() int {
+	max := -1
+	for _, t := range in.Tuples {
+		if t.ID > max {
+			max = t.ID
+		}
+	}
+	return max + 1
+}
+
+// Len returns the number of tuples.
+func (in *Instance) Len() int { return len(in.Tuples) }
+
+// ByID returns the tuple with the given id.
+func (in *Instance) ByID(id int) (*Tuple, bool) {
+	if in.byID == nil {
+		in.reindex()
+	}
+	t, ok := in.byID[id]
+	return t, ok
+}
+
+// Get returns tuple t's value of the named attribute.
+func (in *Instance) Get(t *Tuple, attr string) (string, error) {
+	i, ok := in.Rel.Index(attr)
+	if !ok {
+		return "", fmt.Errorf("record: %s has no attribute %q", in.Rel.Name(), attr)
+	}
+	return t.Values[i], nil
+}
+
+// MustGet is Get that panics on error.
+func (in *Instance) MustGet(t *Tuple, attr string) string {
+	v, err := in.Get(t, attr)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Set updates tuple t's value of the named attribute.
+func (in *Instance) Set(t *Tuple, attr, value string) error {
+	i, ok := in.Rel.Index(attr)
+	if !ok {
+		return fmt.Errorf("record: %s has no attribute %q", in.Rel.Name(), attr)
+	}
+	t.Values[i] = value
+	return nil
+}
+
+// Clone deep-copies the instance (same tuple ids, fresh value storage).
+// Clones witness the extension order: in.Extends(clone) and vice versa.
+func (in *Instance) Clone() *Instance {
+	out := NewInstance(in.Rel)
+	for _, t := range in.Tuples {
+		out.add(t.Clone())
+	}
+	return out
+}
+
+// Extends reports whether other ⊑ in: every tuple id of other also
+// occurs in in (the updated version of the tuple; values may differ).
+func (in *Instance) Extends(other *Instance) bool {
+	if in.byID == nil {
+		in.reindex()
+	}
+	for _, t := range other.Tuples {
+		if _, ok := in.byID[t.ID]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Project returns the values of the given attributes for tuple t.
+func (in *Instance) Project(t *Tuple, attrs schema.AttrList) ([]string, error) {
+	out := make([]string, len(attrs))
+	for i, a := range attrs {
+		v, err := in.Get(t, a)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// String renders a small instance as a table (for debugging and example
+// output).
+func (in *Instance) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", in.Rel.String())
+	for _, t := range in.Tuples {
+		fmt.Fprintf(&b, "  t%d: %s\n", t.ID, strings.Join(t.Values, " | "))
+	}
+	return b.String()
+}
+
+// WriteCSV writes the instance as CSV: a header of "id" plus attribute
+// names, then one row per tuple.
+func (in *Instance) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"id"}, in.Rel.AttrNames()...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, t := range in.Tuples {
+		row := append([]string{fmt.Sprint(t.ID)}, t.Values...)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads an instance written by WriteCSV. The header must match
+// the relation's attribute names (after the leading "id" column).
+func ReadCSV(rel *schema.Relation, r io.Reader) (*Instance, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("record: reading CSV header: %w", err)
+	}
+	want := append([]string{"id"}, rel.AttrNames()...)
+	if len(header) != len(want) {
+		return nil, fmt.Errorf("record: CSV header has %d columns, want %d", len(header), len(want))
+	}
+	for i := range want {
+		if header[i] != want[i] {
+			return nil, fmt.Errorf("record: CSV header column %d is %q, want %q", i, header[i], want[i])
+		}
+	}
+	in := NewInstance(rel)
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("record: reading CSV line %d: %w", line, err)
+		}
+		var id int
+		if _, err := fmt.Sscanf(row[0], "%d", &id); err != nil {
+			return nil, fmt.Errorf("record: CSV line %d: bad id %q", line, row[0])
+		}
+		if _, err := in.AppendWithID(id, row[1:]); err != nil {
+			return nil, fmt.Errorf("record: CSV line %d: %w", line, err)
+		}
+	}
+	return in, nil
+}
+
+// PairInstance is an instance D = (I1, I2) of a matching context
+// (R1, R2). For self-matching (deduplicating one relation) Left and
+// Right may share the same underlying instance.
+type PairInstance struct {
+	Ctx   schema.Pair
+	Left  *Instance
+	Right *Instance
+}
+
+// NewPairInstance validates that the instances fit the context.
+func NewPairInstance(ctx schema.Pair, left, right *Instance) (*PairInstance, error) {
+	if left == nil || right == nil {
+		return nil, fmt.Errorf("record: pair instance requires two instances")
+	}
+	if left.Rel != ctx.Left || right.Rel != ctx.Right {
+		return nil, fmt.Errorf("record: instances do not match the context schemas")
+	}
+	return &PairInstance{Ctx: ctx, Left: left, Right: right}, nil
+}
+
+// Side returns the instance on the given side.
+func (d *PairInstance) Side(s schema.Side) *Instance {
+	if s == schema.Left {
+		return d.Left
+	}
+	return d.Right
+}
+
+// Clone deep-copies both sides. If both sides share one instance
+// (self-matching), the clone preserves the sharing.
+func (d *PairInstance) Clone() *PairInstance {
+	l := d.Left.Clone()
+	r := l
+	if d.Right != d.Left {
+		r = d.Right.Clone()
+	}
+	return &PairInstance{Ctx: d.Ctx, Left: l, Right: r}
+}
+
+// Extends reports D' ⊒ D component-wise.
+func (d *PairInstance) Extends(other *PairInstance) bool {
+	return d.Left.Extends(other.Left) && d.Right.Extends(other.Right)
+}
+
+// SelfMatch reports whether both sides share one underlying instance.
+func (d *PairInstance) SelfMatch() bool { return d.Left == d.Right }

@@ -1,0 +1,203 @@
+package record
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mdmatch/internal/schema"
+)
+
+func personRel() *schema.Relation {
+	return schema.MustStrings("person", "name", "addr", "phone")
+}
+
+func TestAppendAndLookup(t *testing.T) {
+	in := NewInstance(personRel())
+	t0 := in.MustAppend("Mark Clifford", "10 Oak St", "908-1111111")
+	t1 := in.MustAppend("David Smith", "620 Elm St", "908-2222222")
+	if t0.ID != 0 || t1.ID != 1 {
+		t.Fatalf("ids = %d, %d; want 0, 1", t0.ID, t1.ID)
+	}
+	if in.Len() != 2 {
+		t.Fatalf("Len = %d", in.Len())
+	}
+	got, ok := in.ByID(1)
+	if !ok || got != t1 {
+		t.Fatal("ByID failed")
+	}
+	if _, ok := in.ByID(99); ok {
+		t.Fatal("ByID found missing tuple")
+	}
+	if v := in.MustGet(t0, "name"); v != "Mark Clifford" {
+		t.Fatalf("Get = %q", v)
+	}
+	if _, err := in.Get(t0, "missing"); err == nil {
+		t.Fatal("Get missing attribute must error")
+	}
+	if _, err := in.Append("too", "few"); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestSetAndClone(t *testing.T) {
+	in := NewInstance(personRel())
+	t0 := in.MustAppend("a", "b", "c")
+	cl := in.Clone()
+	if err := in.Set(t0, "addr", "changed"); err != nil {
+		t.Fatal(err)
+	}
+	ct, _ := cl.ByID(0)
+	if cl.MustGet(ct, "addr") != "b" {
+		t.Fatal("Clone shares value storage with original")
+	}
+	if !in.Extends(cl) || !cl.Extends(in) {
+		t.Fatal("clone must extend and be extended by the original")
+	}
+	if err := in.Set(t0, "missing", "x"); err == nil {
+		t.Fatal("Set missing attribute must error")
+	}
+}
+
+func TestExtends(t *testing.T) {
+	in := NewInstance(personRel())
+	in.MustAppend("a", "b", "c")
+	bigger := in.Clone()
+	bigger.MustAppend("d", "e", "f")
+	if !bigger.Extends(in) {
+		t.Fatal("superset must extend subset")
+	}
+	if in.Extends(bigger) {
+		t.Fatal("subset must not extend superset")
+	}
+}
+
+func TestAppendWithID(t *testing.T) {
+	in := NewInstance(personRel())
+	if _, err := in.AppendWithID(7, []string{"a", "b", "c"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.AppendWithID(7, []string{"x", "y", "z"}); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	// nextID continues past explicit ids.
+	nt := in.MustAppend("p", "q", "r")
+	if nt.ID != 8 {
+		t.Fatalf("next id = %d, want 8", nt.ID)
+	}
+	if _, err := in.AppendWithID(9, []string{"short"}); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestProject(t *testing.T) {
+	in := NewInstance(personRel())
+	t0 := in.MustAppend("n", "a", "p")
+	vals, err := in.Project(t0, schema.AttrList{"phone", "name"})
+	if err != nil || len(vals) != 2 || vals[0] != "p" || vals[1] != "n" {
+		t.Fatalf("Project = %v, %v", vals, err)
+	}
+	if _, err := in.Project(t0, schema.AttrList{"zzz"}); err == nil {
+		t.Fatal("Project missing attribute must error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	in := NewInstance(personRel())
+	in.MustAppend("Mark, Jr.", "10 Oak \"St\"", "908")
+	in.MustAppend("", "line\nbreak", "x")
+	var buf bytes.Buffer
+	if err := in.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(personRel(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != in.Len() {
+		t.Fatalf("round trip lost tuples: %d vs %d", back.Len(), in.Len())
+	}
+	for i, orig := range in.Tuples {
+		got := back.Tuples[i]
+		if got.ID != orig.ID {
+			t.Fatalf("tuple %d id mismatch", i)
+		}
+		for j := range orig.Values {
+			if got.Values[j] != orig.Values[j] {
+				t.Fatalf("tuple %d value %d: %q vs %q", i, j, got.Values[j], orig.Values[j])
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	rel := personRel()
+	cases := []string{
+		"",                                       // no header
+		"id,wrong,addr,phone\n",                  // wrong header name
+		"id,name,addr\n",                         // short header
+		"id,name,addr,phone\nx,a,b,c\n",          // bad id
+		"id,name,addr,phone\n1,a,b,c\n1,d,e,f\n", // duplicate id
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(rel, strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: bad CSV accepted", i)
+		}
+	}
+}
+
+func TestPairInstance(t *testing.T) {
+	credit := schema.MustStrings("credit", "name", "tel")
+	billing := schema.MustStrings("billing", "name", "phn")
+	ctx := schema.MustPair(credit, billing)
+	ic := NewInstance(credit)
+	ib := NewInstance(billing)
+	d, err := NewPairInstance(ctx, ic, ib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Side(schema.Left) != ic || d.Side(schema.Right) != ib {
+		t.Fatal("Side lookup broken")
+	}
+	if d.SelfMatch() {
+		t.Fatal("distinct instances flagged as self-match")
+	}
+	if _, err := NewPairInstance(ctx, ib, ic); err == nil {
+		t.Fatal("swapped instances accepted")
+	}
+	if _, err := NewPairInstance(ctx, nil, ib); err == nil {
+		t.Fatal("nil instance accepted")
+	}
+	ic.MustAppend("a", "1")
+	d2 := d.Clone()
+	if !d2.Extends(d) || !d.Extends(d2) {
+		t.Fatal("pair clone must mutually extend")
+	}
+}
+
+func TestSelfMatchPairInstanceClone(t *testing.T) {
+	person := personRel()
+	ctx := schema.MustPair(person, person)
+	in := NewInstance(person)
+	in.MustAppend("a", "b", "c")
+	d, err := NewPairInstance(ctx, in, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.SelfMatch() {
+		t.Fatal("self-match not detected")
+	}
+	cl := d.Clone()
+	if !cl.SelfMatch() {
+		t.Fatal("clone must preserve instance sharing")
+	}
+}
+
+func TestInstanceString(t *testing.T) {
+	in := NewInstance(personRel())
+	in.MustAppend("a", "b", "c")
+	s := in.String()
+	if !strings.Contains(s, "person(") || !strings.Contains(s, "t0: a | b | c") {
+		t.Fatalf("String() = %q", s)
+	}
+}

@@ -1,0 +1,300 @@
+// Package schema models relation schemas, attributes and the comparable
+// attribute lists over which matching dependencies are defined
+// (Section 2.1 of the paper).
+//
+// A matching context always involves a pair of relations (R1, R2); R1 and
+// R2 may be the same schema (matching a relation against itself, as in
+// Example 2.3 of the paper). Attribute references therefore carry a Side:
+// the left copy of an attribute is a different column from the right copy.
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Domain is the value domain of an attribute. The reproduction keeps all
+// values as strings (the paper standardizes data before matching and all
+// its similarity operators are string metrics), but domains still matter:
+// two attributes are pairwise comparable only if their domains agree.
+type Domain string
+
+// Built-in domains. String is the default when none is declared.
+const (
+	String Domain = "string"
+	Int    Domain = "int"
+	Float  Domain = "float"
+	Bool   Domain = "bool"
+)
+
+// Attribute is a named, typed column of a relation.
+type Attribute struct {
+	Name   string
+	Domain Domain
+}
+
+// Relation is a named relation schema: an ordered list of attributes with
+// unique names.
+type Relation struct {
+	name  string
+	attrs []Attribute
+	index map[string]int
+}
+
+// NewRelation builds a relation schema. Attribute names must be non-empty
+// and unique; an empty relation name or zero attributes is an error.
+func NewRelation(name string, attrs ...Attribute) (*Relation, error) {
+	if name == "" {
+		return nil, fmt.Errorf("schema: relation name must be non-empty")
+	}
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("schema: relation %q must have at least one attribute", name)
+	}
+	r := &Relation{name: name, attrs: make([]Attribute, len(attrs)), index: make(map[string]int, len(attrs))}
+	for i, a := range attrs {
+		if a.Name == "" {
+			return nil, fmt.Errorf("schema: relation %q: attribute %d has empty name", name, i)
+		}
+		if a.Domain == "" {
+			a.Domain = String
+		}
+		if _, dup := r.index[a.Name]; dup {
+			return nil, fmt.Errorf("schema: relation %q: duplicate attribute %q", name, a.Name)
+		}
+		r.attrs[i] = a
+		r.index[a.Name] = i
+	}
+	return r, nil
+}
+
+// MustRelation is NewRelation that panics on error; intended for
+// package-level schema literals in examples and tests.
+func MustRelation(name string, attrs ...Attribute) *Relation {
+	r, err := NewRelation(name, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Strings builds a relation whose attributes all have the String domain.
+func Strings(name string, attrNames ...string) (*Relation, error) {
+	attrs := make([]Attribute, len(attrNames))
+	for i, n := range attrNames {
+		attrs[i] = Attribute{Name: n, Domain: String}
+	}
+	return NewRelation(name, attrs...)
+}
+
+// MustStrings is Strings that panics on error.
+func MustStrings(name string, attrNames ...string) *Relation {
+	r, err := Strings(name, attrNames...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.name }
+
+// Arity returns the number of attributes.
+func (r *Relation) Arity() int { return len(r.attrs) }
+
+// Attrs returns a copy of the attribute list.
+func (r *Relation) Attrs() []Attribute {
+	out := make([]Attribute, len(r.attrs))
+	copy(out, r.attrs)
+	return out
+}
+
+// Attr returns the i-th attribute.
+func (r *Relation) Attr(i int) Attribute { return r.attrs[i] }
+
+// AttrNames returns the attribute names in declaration order.
+func (r *Relation) AttrNames() []string {
+	out := make([]string, len(r.attrs))
+	for i, a := range r.attrs {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Index returns the position of the named attribute and whether it exists.
+func (r *Relation) Index(name string) (int, bool) {
+	i, ok := r.index[name]
+	return i, ok
+}
+
+// Has reports whether the relation has an attribute with the given name.
+func (r *Relation) Has(name string) bool {
+	_, ok := r.index[name]
+	return ok
+}
+
+// DomainOf returns the domain of the named attribute.
+func (r *Relation) DomainOf(name string) (Domain, error) {
+	i, ok := r.index[name]
+	if !ok {
+		return "", fmt.Errorf("schema: relation %q has no attribute %q", r.name, name)
+	}
+	return r.attrs[i].Domain, nil
+}
+
+// String renders the schema as name(a1, a2, ...).
+func (r *Relation) String() string {
+	var b strings.Builder
+	b.WriteString(r.name)
+	b.WriteByte('(')
+	for i, a := range r.attrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.Name)
+		if a.Domain != String {
+			b.WriteString(": ")
+			b.WriteString(string(a.Domain))
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Side identifies one of the two relations of a matching context.
+type Side uint8
+
+// The two sides of a matching context (R1, R2).
+const (
+	Left  Side = 0
+	Right Side = 1
+)
+
+// Other returns the opposite side.
+func (s Side) Other() Side { return 1 - s }
+
+// String returns "R1" for Left and "R2" for Right.
+func (s Side) String() string {
+	if s == Left {
+		return "R1"
+	}
+	return "R2"
+}
+
+// Pair is a matching context: an ordered pair of relation schemas over
+// which MDs, relative keys and instances-to-match are defined. Left and
+// Right may point to the same *Relation.
+type Pair struct {
+	Left  *Relation
+	Right *Relation
+}
+
+// NewPair validates and builds a matching context.
+func NewPair(left, right *Relation) (Pair, error) {
+	if left == nil || right == nil {
+		return Pair{}, fmt.Errorf("schema: pair requires two non-nil relations")
+	}
+	return Pair{Left: left, Right: right}, nil
+}
+
+// MustPair is NewPair that panics on error.
+func MustPair(left, right *Relation) Pair {
+	p, err := NewPair(left, right)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Rel returns the relation on the given side.
+func (p Pair) Rel(s Side) *Relation {
+	if s == Left {
+		return p.Left
+	}
+	return p.Right
+}
+
+// SelfMatch reports whether both sides are the same schema (deduplication
+// within a single relation).
+func (p Pair) SelfMatch() bool { return p.Left == p.Right }
+
+// TotalColumns returns the total number of columns across both sides
+// (the quantity h of Theorem 4.1). The left and right copies count
+// separately even when the schemas coincide.
+func (p Pair) TotalColumns() int { return p.Left.Arity() + p.Right.Arity() }
+
+// Col maps an attribute reference to a dense column id in
+// [0, TotalColumns()): left attributes first, then right attributes.
+func (p Pair) Col(s Side, attr string) (int, error) {
+	r := p.Rel(s)
+	i, ok := r.Index(attr)
+	if !ok {
+		return 0, fmt.Errorf("schema: %s (%s) has no attribute %q", s, r.Name(), attr)
+	}
+	if s == Left {
+		return i, nil
+	}
+	return p.Left.Arity() + i, nil
+}
+
+// ColRef is the inverse of Col: it maps a dense column id back to
+// (side, attribute name).
+func (p Pair) ColRef(col int) (Side, string) {
+	if col < p.Left.Arity() {
+		return Left, p.Left.Attr(col).Name
+	}
+	return Right, p.Right.Attr(col - p.Left.Arity()).Name
+}
+
+// String renders the context as "R1 ~ R2".
+func (p Pair) String() string {
+	return fmt.Sprintf("%s ~ %s", p.Left.Name(), p.Right.Name())
+}
+
+// AttrList is an ordered list of attribute names within one relation.
+type AttrList []string
+
+// Comparable reports whether (x1, x2) form a pair of comparable lists over
+// the context (Section 2.1): same length, every element exists on its
+// side, and element domains agree pairwise.
+func (p Pair) Comparable(x1, x2 AttrList) error {
+	if len(x1) != len(x2) {
+		return fmt.Errorf("schema: lists have different lengths (%d vs %d)", len(x1), len(x2))
+	}
+	if len(x1) == 0 {
+		return fmt.Errorf("schema: comparable lists must be non-empty")
+	}
+	for j := range x1 {
+		d1, err := p.Left.DomainOf(x1[j])
+		if err != nil {
+			return err
+		}
+		d2, err := p.Right.DomainOf(x2[j])
+		if err != nil {
+			return err
+		}
+		if d1 != d2 {
+			return fmt.Errorf("schema: element %d not comparable: dom(%s[%s])=%s, dom(%s[%s])=%s",
+				j, p.Left.Name(), x1[j], d1, p.Right.Name(), x2[j], d2)
+		}
+	}
+	return nil
+}
+
+// SortedUnion returns the sorted union of two attribute-name sets.
+// Utility used by reasoning code when assembling column universes.
+func SortedUnion(a, b []string) []string {
+	set := make(map[string]struct{}, len(a)+len(b))
+	for _, x := range a {
+		set[x] = struct{}{}
+	}
+	for _, x := range b {
+		set[x] = struct{}{}
+	}
+	out := make([]string, 0, len(set))
+	for x := range set {
+		out = append(out, x)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,170 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewRelationValidation(t *testing.T) {
+	if _, err := NewRelation(""); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := NewRelation("r"); err == nil {
+		t.Fatal("zero attributes accepted")
+	}
+	if _, err := NewRelation("r", Attribute{Name: ""}); err == nil {
+		t.Fatal("empty attribute name accepted")
+	}
+	if _, err := NewRelation("r", Attribute{Name: "a"}, Attribute{Name: "a"}); err == nil {
+		t.Fatal("duplicate attribute accepted")
+	}
+	r, err := NewRelation("r", Attribute{Name: "a"}, Attribute{Name: "b", Domain: Int})
+	if err != nil {
+		t.Fatalf("valid relation rejected: %v", err)
+	}
+	if r.Arity() != 2 {
+		t.Fatalf("arity = %d, want 2", r.Arity())
+	}
+	if d, _ := r.DomainOf("a"); d != String {
+		t.Fatalf("default domain = %s, want string", d)
+	}
+	if d, _ := r.DomainOf("b"); d != Int {
+		t.Fatalf("domain of b = %s, want int", d)
+	}
+}
+
+func TestRelationLookups(t *testing.T) {
+	r := MustStrings("credit", "cno", "ssn", "fn", "ln")
+	if r.Name() != "credit" {
+		t.Fatalf("name = %q", r.Name())
+	}
+	i, ok := r.Index("fn")
+	if !ok || i != 2 {
+		t.Fatalf("Index(fn) = %d,%v", i, ok)
+	}
+	if _, ok := r.Index("nope"); ok {
+		t.Fatal("Index found missing attribute")
+	}
+	if !r.Has("ssn") || r.Has("x") {
+		t.Fatal("Has misbehaves")
+	}
+	if _, err := r.DomainOf("zzz"); err == nil {
+		t.Fatal("DomainOf missing attribute must error")
+	}
+	names := r.AttrNames()
+	if len(names) != 4 || names[0] != "cno" || names[3] != "ln" {
+		t.Fatalf("AttrNames = %v", names)
+	}
+	// Attrs returns a copy: mutating it must not affect the schema.
+	attrs := r.Attrs()
+	attrs[0].Name = "mutated"
+	if r.Attr(0).Name != "cno" {
+		t.Fatal("Attrs exposed internal state")
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	r := MustRelation("r", Attribute{Name: "a"}, Attribute{Name: "n", Domain: Int})
+	s := r.String()
+	if !strings.Contains(s, "r(") || !strings.Contains(s, "n: int") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestMustPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustRelation did not panic on invalid input")
+		}
+	}()
+	MustRelation("")
+}
+
+func TestPairColumns(t *testing.T) {
+	left := MustStrings("credit", "cno", "fn", "ln")
+	right := MustStrings("billing", "cno", "fn", "ln", "post")
+	p := MustPair(left, right)
+
+	if p.SelfMatch() {
+		t.Fatal("distinct relations reported as self-match")
+	}
+	if p.TotalColumns() != 7 {
+		t.Fatalf("TotalColumns = %d, want 7", p.TotalColumns())
+	}
+	// Left columns come first.
+	c, err := p.Col(Left, "ln")
+	if err != nil || c != 2 {
+		t.Fatalf("Col(Left, ln) = %d, %v", c, err)
+	}
+	c, err = p.Col(Right, "cno")
+	if err != nil || c != 3 {
+		t.Fatalf("Col(Right, cno) = %d, %v", c, err)
+	}
+	if _, err := p.Col(Left, "post"); err == nil {
+		t.Fatal("Col accepted attribute from wrong side")
+	}
+	// Round trip through ColRef.
+	for col := 0; col < p.TotalColumns(); col++ {
+		s, a := p.ColRef(col)
+		back, err := p.Col(s, a)
+		if err != nil || back != col {
+			t.Fatalf("ColRef/Col round trip failed at %d: got %d (%v)", col, back, err)
+		}
+	}
+}
+
+func TestSelfMatchPair(t *testing.T) {
+	r := MustStrings("person", "name", "addr")
+	p := MustPair(r, r)
+	if !p.SelfMatch() {
+		t.Fatal("same relation not detected as self-match")
+	}
+	if p.TotalColumns() != 4 {
+		t.Fatalf("TotalColumns = %d, want 4 (left and right copies are distinct)", p.TotalColumns())
+	}
+	lc, _ := p.Col(Left, "name")
+	rc, _ := p.Col(Right, "name")
+	if lc == rc {
+		t.Fatal("left and right copies of the same attribute must be distinct columns")
+	}
+}
+
+func TestComparable(t *testing.T) {
+	left := MustRelation("l",
+		Attribute{Name: "a"}, Attribute{Name: "n", Domain: Int})
+	right := MustRelation("r",
+		Attribute{Name: "b"}, Attribute{Name: "m", Domain: Int})
+	p := MustPair(left, right)
+
+	if err := p.Comparable(AttrList{"a", "n"}, AttrList{"b", "m"}); err != nil {
+		t.Fatalf("comparable lists rejected: %v", err)
+	}
+	if err := p.Comparable(AttrList{"a"}, AttrList{"b", "m"}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if err := p.Comparable(AttrList{}, AttrList{}); err == nil {
+		t.Fatal("empty lists accepted")
+	}
+	if err := p.Comparable(AttrList{"a"}, AttrList{"m"}); err == nil {
+		t.Fatal("domain mismatch accepted")
+	}
+	if err := p.Comparable(AttrList{"zz"}, AttrList{"b"}); err == nil {
+		t.Fatal("missing attribute accepted")
+	}
+}
+
+func TestSideOther(t *testing.T) {
+	if Left.Other() != Right || Right.Other() != Left {
+		t.Fatal("Other is wrong")
+	}
+	if Left.String() != "R1" || Right.String() != "R2" {
+		t.Fatal("Side.String is wrong")
+	}
+}
+
+func TestSortedUnion(t *testing.T) {
+	u := SortedUnion([]string{"b", "a"}, []string{"c", "a"})
+	if len(u) != 3 || u[0] != "a" || u[1] != "b" || u[2] != "c" {
+		t.Fatalf("SortedUnion = %v", u)
+	}
+}

@@ -1,0 +1,93 @@
+package semantics
+
+import (
+	"testing"
+
+	"mdmatch/internal/core"
+	"mdmatch/internal/record"
+)
+
+// TestLiteralReadingCounterexample pins down a formal wrinkle in the
+// paper found during this reproduction (DESIGN.md §2.3).
+//
+// Section 2.1 defines (D, D′) ⊨ ϕ as: every pair matching LHS(ϕ) in D
+// must (a) have its RHS identified in D′ AND (b) still match LHS(ϕ) in
+// D′. Read literally, with clause (b) as an obligation, the deductions of
+// Example 3.5 admit instance-level counterexamples: a rule of Σ can
+// overwrite an LHS attribute of the deduced key on some pair, breaking
+// clause (b) while every rule of Σ stays satisfied and D′ stays stable.
+//
+// The instance below (found by randomized search, then minimized) does
+// exactly that for rck2 = (ln=, tel=, fn≈d ‖ → Y⇌Y), which Σc provably
+// deduces (TestExample35DeduceRCKs in internal/core): the pair
+// (c2, b2) matches LHS(rck2) in D, but enforcing ϕ3 on the *other* pair
+// (c2, b1) rewrites c2[ln] and c2[fn], so (c2, b2) no longer matches in
+// D′ — and its Y attributes are not identified there.
+//
+// The reading that makes the closure algorithm sound treats clause (b)
+// as a condition: obligations attach to pairs whose match persists
+// (SatisfiesPersistent); equivalently, every instance stable for Σ is
+// stable for each deduced MD.
+func TestLiteralReadingCounterexample(t *testing.T) {
+	ctx, sigma, target, _ := figure1(t)
+	_ = target
+
+	ic := record.NewInstance(ctx.Left)
+	// c1 shares email with b1; c2 shares email with b1 and tel/ln/fn with b2.
+	ic.MustAppend("0", "ssn", "Marx", "Clivord", "620 Elm Street", "908-1111111", "ds@hm.com", "M", "visa") // c1
+	ic.MustAppend("1", "ssn", "Mark", "Smith", "620 Elm Street", "908-2222222", "ds@hm.com", "M", "visa")   // c2
+	ib := record.NewInstance(ctx.Right)
+	ib.MustAppend("1", "David", "Clifford", "620 Elm Street", "908-1111111", "ds@hm.com", "null", "item", "9.99") // b1
+	ib.MustAppend("0", "Mark", "Smith", "10 Oak Street", "908-2222222", "mc@gm.com", "null", "item", "9.99")      // b2
+	d, err := record.NewPairInstance(ctx, ic, ib)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// rck2 as an MD; Σc deduces it at the schema level.
+	dl := sigma[0].LHS[2].Op // the ≈d operator of ϕ1
+	rck2 := core.MD{Ctx: ctx, LHS: []core.Conjunct{
+		core.Eq("ln", "ln"), core.Eq("tel", "phn"), core.C("fn", dl, "fn"),
+	}, RHS: sigma[0].RHS}
+	if ok, err := core.Deduce(sigma, rck2); err != nil || !ok {
+		t.Fatalf("precondition: Σc must deduce rck2 (ok=%v, err=%v)", ok, err)
+	}
+
+	// Chase D to a stable D′ with (D, D′) ⊨ Σ under the literal reading.
+	dPrime, pairSat, err := StableFor(d, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pairSat {
+		t.Fatal("precondition: (D, D′) must satisfy Σ under the literal reading")
+	}
+	if ok, err := IsStable(dPrime, sigma); err != nil || !ok {
+		t.Fatalf("precondition: D′ must be stable for Σ (ok=%v, err=%v)", ok, err)
+	}
+
+	// The wrinkle: the literal reading rejects rck2 on (D, D′)...
+	literal, err := Satisfies(d, dPrime, rck2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if literal {
+		t.Fatal("expected the literal (a)∧(b) reading to fail on this instance; " +
+			"if this now passes, the chase's value-resolution policy changed and " +
+			"the counterexample needs re-minimizing")
+	}
+	// ...while the persistent reading and stability preservation hold.
+	persistent, err := SatisfiesPersistent(d, dPrime, rck2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !persistent {
+		t.Error("persistent reading must hold for the deduced rck2")
+	}
+	stableForDeduced, err := IsStable(dPrime, []core.MD{rck2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stableForDeduced {
+		t.Error("an instance stable for Σ must be stable for every deduced MD")
+	}
+}

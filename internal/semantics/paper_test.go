@@ -1,0 +1,280 @@
+package semantics
+
+import (
+	"testing"
+
+	"mdmatch/internal/core"
+	"mdmatch/internal/record"
+	"mdmatch/internal/schema"
+	"mdmatch/internal/similarity"
+)
+
+// figure1 builds the credit/billing schemas, Σc and the instance of
+// Figure 1 (tuples t1, t2 in credit; t3..t6 in billing).
+func figure1(t testing.TB) (schema.Pair, []core.MD, core.Target, *record.PairInstance) {
+	t.Helper()
+	credit := schema.MustStrings("credit",
+		"cno", "ssn", "fn", "ln", "addr", "tel", "email", "gender", "type")
+	billing := schema.MustStrings("billing",
+		"cno", "fn", "ln", "post", "phn", "email", "gender", "item", "price")
+	ctx := schema.MustPair(credit, billing)
+	target, err := core.NewTarget(ctx,
+		schema.AttrList{"fn", "ln", "addr", "tel", "gender"},
+		schema.AttrList{"fn", "ln", "post", "phn", "gender"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := similarity.DL(0.75)
+	sigma := []core.MD{
+		core.MustMD(ctx,
+			[]core.Conjunct{core.Eq("ln", "ln"), core.Eq("addr", "post"), core.C("fn", d, "fn")},
+			target.Pairs()),
+		core.MustMD(ctx,
+			[]core.Conjunct{core.Eq("tel", "phn")},
+			[]core.AttrPair{core.P("addr", "post")}),
+		core.MustMD(ctx,
+			[]core.Conjunct{core.Eq("email", "email")},
+			[]core.AttrPair{core.P("fn", "fn"), core.P("ln", "ln")}),
+	}
+
+	ic := record.NewInstance(credit)
+	// t1, t2 (ids 1, 2 to mirror the paper's numbering)
+	if _, err := ic.AppendWithID(1, []string{"111", "079172485", "Mark", "Clifford", "10 Oak Street, MH, NJ 07974", "908-1111111", "mc@gm.com", "M", "master"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ic.AppendWithID(2, []string{"222", "191843658", "David", "Smith", "620 Elm Street, MH, NJ 07976", "908-2222222", "dsmith@hm.com", "M", "visa"}); err != nil {
+		t.Fatal(err)
+	}
+	ib := record.NewInstance(billing)
+	// t3..t6
+	rows := [][]string{
+		{"111", "Marx", "Clifford", "10 Oak Street, MH, NJ 07974", "908", "mc", "null", "iPod", "169.99"},
+		{"111", "Marx", "Clifford", "NJ", "908-1111111", "mc", "null", "book", "19.99"},
+		{"111", "M.", "Clivord", "10 Oak Street, MH, NJ 07974", "1111111", "mc@gm.com", "null", "PSP", "269.99"},
+		{"111", "M.", "Clivord", "NJ", "908-1111111", "mc@gm.com", "null", "CD", "14.99"},
+	}
+	for i, r := range rows {
+		if _, err := ib.AppendWithID(3+i, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pd, err := record.NewPairInstance(ctx, ic, ib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx, sigma, target, pd
+}
+
+// TestFigure1KeyMatching reproduces Example 1.1: the given matching key
+// (rck1) matches (t1, t3) but not (t1, t4..t6); the deduced keys rck2,
+// rck3, rck4 match (t1, t4), (t1, t5), (t1, t6) respectively.
+func TestFigure1KeyMatching(t *testing.T) {
+	ctx, _, target, d := figure1(t)
+	dl := similarity.DL(0.75)
+	rcks := []core.Key{
+		{Ctx: ctx, Target: target, Conjuncts: []core.Conjunct{core.Eq("ln", "ln"), core.Eq("addr", "post"), core.C("fn", dl, "fn")}},
+		{Ctx: ctx, Target: target, Conjuncts: []core.Conjunct{core.Eq("ln", "ln"), core.Eq("tel", "phn"), core.C("fn", dl, "fn")}},
+		{Ctx: ctx, Target: target, Conjuncts: []core.Conjunct{core.Eq("email", "email"), core.Eq("addr", "post")}},
+		{Ctx: ctx, Target: target, Conjuncts: []core.Conjunct{core.Eq("email", "email"), core.Eq("tel", "phn")}},
+	}
+	t1, _ := d.Left.ByID(1)
+	match := func(k core.Key, billingID int) bool {
+		t.Helper()
+		tb, ok := d.Right.ByID(billingID)
+		if !ok {
+			t.Fatalf("missing billing tuple %d", billingID)
+		}
+		m, err := MatchByKey(d, k, t1, tb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	// rck1 matches t3 only ("we can now match t1 and t3").
+	if !match(rcks[0], 3) {
+		t.Error("rck1 must match (t1, t3)")
+	}
+	for _, id := range []int{4, 5, 6} {
+		if match(rcks[0], id) {
+			t.Errorf("rck1 must not match (t1, t%d)", id)
+		}
+	}
+	// Deduced keys pick up the rest (Example 1.1: "we can match t1 and
+	// t4, and t1 and t5 using keys (1) and (2)... using key (3), we can
+	// now match t1 and t6").
+	if !match(rcks[1], 4) {
+		t.Error("rck2 must match (t1, t4)")
+	}
+	if !match(rcks[2], 5) {
+		t.Error("rck3 must match (t1, t5)")
+	}
+	if !match(rcks[3], 6) {
+		t.Error("rck4 must match (t1, t6)")
+	}
+	// And nothing matches the unrelated card holder t2.
+	t2, _ := d.Left.ByID(2)
+	for i, k := range rcks {
+		for _, tb := range d.Right.Tuples {
+			m, err := MatchByKey(d, k, t2, tb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m {
+				t.Errorf("rck%d wrongly matches (t2, t%d)", i+1, tb.ID)
+			}
+		}
+	}
+}
+
+// TestFigure2Enforcement reproduces Figure 2 / Example 2.2: enforcing ϕ2
+// on Dc identifies t1[addr] and t4[post].
+func TestFigure2Enforcement(t *testing.T) {
+	_, sigma, _, d := figure1(t)
+	phi2 := sigma[1]
+	res, err := Enforce(d, []core.MD{phi2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Instance
+	t1, _ := out.Left.ByID(1)
+	t4, _ := out.Right.ByID(4)
+	t6, _ := out.Right.ByID(6)
+	addr := out.Left.MustGet(t1, "addr")
+	if post := out.Right.MustGet(t4, "post"); post != addr {
+		t.Errorf("t1[addr]=%q and t4[post]=%q must be identified", addr, post)
+	}
+	if post := out.Right.MustGet(t6, "post"); post != addr {
+		t.Errorf("t1[addr]=%q and t6[post]=%q must be identified", addr, post)
+	}
+	// The original D is untouched ("no destructive impact on D").
+	origT4, _ := d.Right.ByID(4)
+	if got := d.Right.MustGet(origT4, "post"); got != "NJ" {
+		t.Errorf("original instance mutated: t4[post] = %q", got)
+	}
+	// (Dc, Dc') ⊨ ϕ2.
+	ok, err := Satisfies(d, out, phi2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("(Dc, Dc') must satisfy ϕ2")
+	}
+	// The longest-value policy keeps the informative address.
+	if addr != "10 Oak Street, MH, NJ 07974" {
+		t.Errorf("resolved address = %q", addr)
+	}
+}
+
+// figure3 builds R(A,B,C) with the instances I0 of Figure 3.
+func figure3(t testing.TB) (schema.Pair, []core.MD, *record.PairInstance) {
+	t.Helper()
+	r := schema.MustStrings("R", "A", "B", "C")
+	ctx := schema.MustPair(r, r)
+	psi1 := core.MustMD(ctx, []core.Conjunct{core.Eq("A", "A")}, []core.AttrPair{core.P("B", "B")})
+	psi2 := core.MustMD(ctx, []core.Conjunct{core.Eq("B", "B")}, []core.AttrPair{core.P("C", "C")})
+	i0 := record.NewInstance(r)
+	i0.MustAppend("a", "b1", "c1") // s1
+	i0.MustAppend("a", "b2", "c2") // s2
+	d, err := record.NewPairInstance(ctx, i0, i0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx, []core.MD{psi1, psi2}, d
+}
+
+// TestFigure3StableInstances reproduces Example 3.2: enforcing Σ0 on D0
+// yields a stable instance in which s1 and s2 agree on B and C.
+func TestFigure3StableInstances(t *testing.T) {
+	_, sigma0, d0 := figure3(t)
+	// D0 is not stable for Σ0 (ψ1 is violated by (s1, s2)).
+	stable, err := IsStable(d0, sigma0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stable {
+		t.Fatal("D0 must not be stable for Σ0")
+	}
+	vs, err := Violations(d0, sigma0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) == 0 {
+		t.Fatal("expected violations on D0")
+	}
+
+	res, err := Enforce(d0, sigma0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := res.Instance
+	stable, err = IsStable(d2, sigma0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stable {
+		t.Fatal("enforcement result must be stable for Σ0")
+	}
+	s1 := d2.Left.Tuples[0]
+	s2 := d2.Left.Tuples[1]
+	if d2.Left.MustGet(s1, "B") != d2.Left.MustGet(s2, "B") {
+		t.Error("s1[B] and s2[B] must be identified in D2")
+	}
+	if d2.Left.MustGet(s1, "C") != d2.Left.MustGet(s2, "C") {
+		t.Error("s1[C] and s2[C] must be identified in D2 (cascade through ψ2)")
+	}
+	// ψ3 = A=A -> C⇌C is satisfied by (D0, D2): Example 3.3.
+	ctx := d0.Ctx
+	psi3 := core.MustMD(ctx, []core.Conjunct{core.Eq("A", "A")}, []core.AttrPair{core.P("C", "C")})
+	ok, err := Satisfies(d0, d2, psi3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("(D0, D2) must satisfy ψ3")
+	}
+	// And (D0, D2) ⊨ Σ0.
+	ok, err = SatisfiesAll(d0, d2, sigma0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("(D0, D2) must satisfy Σ0")
+	}
+}
+
+// TestExample31NonImplication is the other half of Example 3.1: there
+// exists a pair (D0, D1) with (D0, D1) ⊨ Σ0 but (D0, D1) ⊭ ψ3 — i.e.
+// traditional implication fails, only the stable-instance deduction
+// holds. D1 enforces ψ1 only (B identified, C untouched).
+func TestExample31NonImplication(t *testing.T) {
+	ctx, sigma0, d0 := figure3(t)
+	res, err := Enforce(d0, sigma0[:1]) // enforce ψ1 only
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := res.Instance
+	// (D0, D1) ⊨ ψ1 and ⊨ ψ2 (ψ2 vacuous on D0: s1[B] ≠ s2[B] in D0).
+	ok, err := SatisfiesAll(d0, d1, sigma0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("(D0, D1) must satisfy Σ0")
+	}
+	psi3 := core.MustMD(ctx, []core.Conjunct{core.Eq("A", "A")}, []core.AttrPair{core.P("C", "C")})
+	ok, err = Satisfies(d0, d1, psi3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("(D0, D1) must NOT satisfy ψ3 — D1 is not stable for Σ0")
+	}
+	// Indeed D1 is not stable for Σ0 (ψ2 now fires on it).
+	stable, err := IsStable(d1, sigma0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stable {
+		t.Fatal("D1 must not be stable for Σ0")
+	}
+}

@@ -1,0 +1,161 @@
+package semantics
+
+import (
+	"testing"
+
+	"mdmatch/internal/core"
+	"mdmatch/internal/record"
+	"mdmatch/internal/schema"
+)
+
+// abPair builds a tiny two-attribute context and instance pair.
+func abPair(t testing.TB, leftRows, rightRows [][2]string) (*record.PairInstance, schema.Pair) {
+	t.Helper()
+	l := schema.MustStrings("l", "a", "b")
+	r := schema.MustStrings("r", "a", "b")
+	ctx := schema.MustPair(l, r)
+	li := record.NewInstance(l)
+	for _, row := range leftRows {
+		li.MustAppend(row[0], row[1])
+	}
+	ri := record.NewInstance(r)
+	for _, row := range rightRows {
+		ri.MustAppend(row[0], row[1])
+	}
+	d, err := record.NewPairInstance(ctx, li, ri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, ctx
+}
+
+func TestSatisfiesPersistentVacuous(t *testing.T) {
+	d, ctx := abPair(t, [][2]string{{"x", "1"}}, [][2]string{{"y", "2"}})
+	md := core.MustMD(ctx, []core.Conjunct{core.Eq("a", "a")}, []core.AttrPair{core.P("b", "b")})
+	// No pair matches the LHS: trivially satisfied in both readings.
+	ok, err := SatisfiesPersistent(d, d.Clone(), md)
+	if err != nil || !ok {
+		t.Fatalf("vacuous case = %v, %v", ok, err)
+	}
+	ok, err = Satisfies(d, d.Clone(), md)
+	if err != nil || !ok {
+		t.Fatalf("vacuous strict case = %v, %v", ok, err)
+	}
+}
+
+func TestSatisfiesPersistentVsStrict(t *testing.T) {
+	// D: pair matches LHS (a = a). D': LHS broken, RHS not identified.
+	// Strict reading fails (clause (b) broken); persistent reading holds
+	// (no obligation once the match is gone).
+	d, ctx := abPair(t, [][2]string{{"x", "1"}}, [][2]string{{"x", "2"}})
+	md := core.MustMD(ctx, []core.Conjunct{core.Eq("a", "a")}, []core.AttrPair{core.P("b", "b")})
+
+	dPrime := d.Clone()
+	lt, _ := dPrime.Left.ByID(0)
+	if err := dPrime.Left.Set(lt, "a", "changed"); err != nil {
+		t.Fatal(err)
+	}
+
+	strict, err := Satisfies(d, dPrime, md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict {
+		t.Error("strict reading must fail: LHS match broken, RHS unidentified")
+	}
+	persistent, err := SatisfiesPersistent(d, dPrime, md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !persistent {
+		t.Error("persistent reading must hold: the match did not persist")
+	}
+}
+
+func TestSatisfiesPersistentObligation(t *testing.T) {
+	// Match persists but RHS not identified: both readings fail.
+	d, ctx := abPair(t, [][2]string{{"x", "1"}}, [][2]string{{"x", "2"}})
+	md := core.MustMD(ctx, []core.Conjunct{core.Eq("a", "a")}, []core.AttrPair{core.P("b", "b")})
+	dPrime := d.Clone()
+	for _, f := range []func(*record.PairInstance) (bool, error){
+		func(dp *record.PairInstance) (bool, error) { return Satisfies(d, dp, md) },
+		func(dp *record.PairInstance) (bool, error) { return SatisfiesPersistent(d, dp, md) },
+	} {
+		ok, err := f(dPrime)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Error("unidentified RHS with persisting match must fail both readings")
+		}
+	}
+	// Identify the RHS: both readings hold.
+	lt, _ := dPrime.Left.ByID(0)
+	rt, _ := dPrime.Right.ByID(0)
+	if err := dPrime.Left.Set(lt, "b", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := dPrime.Right.Set(rt, "b", "v"); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := Satisfies(d, dPrime, md)
+	if err != nil || !ok {
+		t.Fatalf("strict after identification = %v, %v", ok, err)
+	}
+	ok, err = SatisfiesPersistent(d, dPrime, md)
+	if err != nil || !ok {
+		t.Fatalf("persistent after identification = %v, %v", ok, err)
+	}
+}
+
+func TestSatisfiesPersistentValidation(t *testing.T) {
+	d, ctx := abPair(t, [][2]string{{"x", "1"}}, [][2]string{{"x", "2"}})
+	bad := core.MD{Ctx: ctx}
+	if _, err := SatisfiesPersistent(d, d.Clone(), bad); err == nil {
+		t.Error("invalid MD accepted")
+	}
+	notExt := &record.PairInstance{Ctx: d.Ctx, Left: record.NewInstance(ctx.Left), Right: d.Right}
+	md := core.MustMD(ctx, []core.Conjunct{core.Eq("a", "a")}, []core.AttrPair{core.P("b", "b")})
+	if _, err := SatisfiesPersistent(d, notExt, md); err == nil {
+		t.Error("non-extension accepted")
+	}
+}
+
+// TestStrictImpliesPersistent: the strict reading implies the persistent
+// one on arbitrary instances (obligation (a)∧(b) is stronger than the
+// conditional obligation).
+func TestStrictImpliesPersistent(t *testing.T) {
+	cases := []struct {
+		left, right [][2]string
+		mutate      func(*record.PairInstance)
+	}{
+		{[][2]string{{"x", "1"}, {"y", "3"}}, [][2]string{{"x", "2"}}, func(dp *record.PairInstance) {}},
+		{[][2]string{{"x", "1"}}, [][2]string{{"x", "1"}}, func(dp *record.PairInstance) {
+			lt, _ := dp.Left.ByID(0)
+			dp.Left.Set(lt, "b", "zz")
+		}},
+		{[][2]string{{"x", "1"}}, [][2]string{{"x", "2"}}, func(dp *record.PairInstance) {
+			lt, _ := dp.Left.ByID(0)
+			rt, _ := dp.Right.ByID(0)
+			dp.Left.Set(lt, "b", "v")
+			dp.Right.Set(rt, "b", "v")
+		}},
+	}
+	for i, c := range cases {
+		d, ctx := abPair(t, c.left, c.right)
+		md := core.MustMD(ctx, []core.Conjunct{core.Eq("a", "a")}, []core.AttrPair{core.P("b", "b")})
+		dPrime := d.Clone()
+		c.mutate(dPrime)
+		strict, err := Satisfies(d, dPrime, md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		persistent, err := SatisfiesPersistent(d, dPrime, md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strict && !persistent {
+			t.Errorf("case %d: strict holds but persistent fails — implication violated", i)
+		}
+	}
+}

@@ -1,0 +1,409 @@
+// Package semantics gives matching dependencies their dynamic semantics
+// (Section 2.1) and implements enforcement: the chase that turns an
+// instance D into a stable instance D′ by repeatedly applying MDs as
+// matching rules (Section 3.1).
+//
+// The package is the operational counterpart of the schema-level
+// reasoning in internal/core: the property tests validate that whatever
+// core.Deduce proves at compile time actually holds on instances.
+package semantics
+
+import (
+	"fmt"
+
+	"mdmatch/internal/core"
+	"mdmatch/internal/record"
+)
+
+// MatchLHS reports whether the tuple pair (t1, t2) ∈ D matches the LHS of
+// md in D: t1[X1[j]] ≈j t2[X2[j]] for every conjunct j.
+func MatchLHS(d *record.PairInstance, md core.MD, t1, t2 *record.Tuple) (bool, error) {
+	for _, c := range md.LHS {
+		v1, err := d.Left.Get(t1, c.Pair.Left)
+		if err != nil {
+			return false, err
+		}
+		v2, err := d.Right.Get(t2, c.Pair.Right)
+		if err != nil {
+			return false, err
+		}
+		if !c.Op.Similar(v1, v2) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// rhsEqual reports whether t1[Z1] = t2[Z2] for every RHS pair of md.
+func rhsEqual(d *record.PairInstance, md core.MD, t1, t2 *record.Tuple) (bool, error) {
+	for _, p := range md.RHS {
+		v1, err := d.Left.Get(t1, p.Left)
+		if err != nil {
+			return false, err
+		}
+		v2, err := d.Right.Get(t2, p.Right)
+		if err != nil {
+			return false, err
+		}
+		if v1 != v2 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Satisfies decides (D, D′) ⊨ md: for every pair (t1, t2) ∈ D that
+// matches LHS(md) in D, (a) the RHS attributes are identified in D′, and
+// (b) the pair still matches LHS(md) in D′. D′ must extend D (same tuple
+// ids present).
+func Satisfies(d, dPrime *record.PairInstance, md core.MD) (bool, error) {
+	if err := md.Validate(); err != nil {
+		return false, err
+	}
+	if !dPrime.Extends(d) {
+		return false, fmt.Errorf("semantics: D′ does not extend D")
+	}
+	for _, t1 := range d.Left.Tuples {
+		for _, t2 := range d.Right.Tuples {
+			ok, err := MatchLHS(d, md, t1, t2)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				continue
+			}
+			t1p, _ := dPrime.Left.ByID(t1.ID)
+			t2p, _ := dPrime.Right.ByID(t2.ID)
+			eq, err := rhsEqual(dPrime, md, t1p, t2p)
+			if err != nil {
+				return false, err
+			}
+			if !eq {
+				return false, nil
+			}
+			still, err := MatchLHS(dPrime, md, t1p, t2p)
+			if err != nil {
+				return false, err
+			}
+			if !still {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// SatisfiesPersistent decides the persistent-match reading of
+// (D, D′) ⊨ md: for every pair (t1, t2) that matches LHS(md) both in D
+// and still in D′, the RHS attributes must be identified in D′.
+//
+// This is the reading under which the closure algorithm of Section 4 is
+// sound. Under the literal reading of Section 2.1 (clause (b) as an
+// obligation rather than a condition), even the paper's own Example 3.5
+// deductions admit instance-level counterexamples: a rule of Σ can
+// overwrite an LHS attribute of the deduced MD on some pair, breaking
+// clause (b) for that pair while every rule of Σ remains satisfied. See
+// TestLiteralReadingCounterexample and DESIGN.md §2.3.
+func SatisfiesPersistent(d, dPrime *record.PairInstance, md core.MD) (bool, error) {
+	if err := md.Validate(); err != nil {
+		return false, err
+	}
+	if !dPrime.Extends(d) {
+		return false, fmt.Errorf("semantics: D′ does not extend D")
+	}
+	for _, t1 := range d.Left.Tuples {
+		for _, t2 := range d.Right.Tuples {
+			ok, err := MatchLHS(d, md, t1, t2)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				continue
+			}
+			t1p, _ := dPrime.Left.ByID(t1.ID)
+			t2p, _ := dPrime.Right.ByID(t2.ID)
+			still, err := MatchLHS(dPrime, md, t1p, t2p)
+			if err != nil {
+				return false, err
+			}
+			if !still {
+				continue // match did not persist: no obligation
+			}
+			eq, err := rhsEqual(dPrime, md, t1p, t2p)
+			if err != nil {
+				return false, err
+			}
+			if !eq {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// SatisfiesAll decides (D, D′) ⊨ Σ.
+func SatisfiesAll(d, dPrime *record.PairInstance, sigma []core.MD) (bool, error) {
+	for _, md := range sigma {
+		ok, err := Satisfies(d, dPrime, md)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// IsStable decides whether D is stable for Σ: (D, D) ⊨ Σ (Section 3.1).
+// Equivalently: whenever a pair matches the LHS of a rule, the rule's RHS
+// attributes are already equal.
+func IsStable(d *record.PairInstance, sigma []core.MD) (bool, error) {
+	ok, _, err := stableCheck(d, sigma)
+	return ok, err
+}
+
+// Violation describes one unenforced rule application, for diagnostics.
+type Violation struct {
+	MD      core.MD
+	LeftID  int
+	RightID int
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("(t%d, t%d) matches LHS of %s but RHS differs", v.LeftID, v.RightID, v.MD)
+}
+
+// Violations lists all unenforced rule applications in D (empty iff D is
+// stable for Σ).
+func Violations(d *record.PairInstance, sigma []core.MD) ([]Violation, error) {
+	_, vs, err := stableCheck(d, sigma)
+	return vs, err
+}
+
+func stableCheck(d *record.PairInstance, sigma []core.MD) (bool, []Violation, error) {
+	var out []Violation
+	for _, md := range sigma {
+		if err := md.Validate(); err != nil {
+			return false, nil, err
+		}
+		for _, t1 := range d.Left.Tuples {
+			for _, t2 := range d.Right.Tuples {
+				ok, err := MatchLHS(d, md, t1, t2)
+				if err != nil {
+					return false, nil, err
+				}
+				if !ok {
+					continue
+				}
+				eq, err := rhsEqual(d, md, t1, t2)
+				if err != nil {
+					return false, nil, err
+				}
+				if !eq {
+					out = append(out, Violation{MD: md, LeftID: t1.ID, RightID: t2.ID})
+				}
+			}
+		}
+	}
+	return len(out) == 0, out, nil
+}
+
+// ResolveValue is the deterministic value-resolution policy of the
+// enforcement chase: when cells are identified, the class takes the
+// longest value, breaking ties lexicographically (largest). The ⇌
+// operator only requires the values to become identical (Example 2.2);
+// preferring longer values keeps the more informative representation, as
+// in Figure 2 where "NJ" and "NJ07974" resolve to "NJ07974".
+func ResolveValue(a, b string) string {
+	if len(a) > len(b) {
+		return a
+	}
+	if len(b) > len(a) {
+		return b
+	}
+	if a >= b {
+		return a
+	}
+	return b
+}
+
+// EnforceResult reports what the chase did.
+type EnforceResult struct {
+	// Instance is the stable instance D′ ⊒ D.
+	Instance *record.PairInstance
+	// Applications is the number of rule firings (pair × rule with an
+	// actual update).
+	Applications int
+	// Passes is the number of full scan passes, including the final
+	// fixpoint-confirming pass.
+	Passes int
+}
+
+// Enforce runs the chase: it repeatedly applies the MDs of Σ as matching
+// rules to a copy of D, identifying RHS cells via union-find with the
+// ResolveValue policy, until the instance is stable for Σ. D itself is
+// not modified ("in the matching process instance D may not be updated",
+// Section 2.1).
+//
+// Termination: every firing merges at least one pair of distinct cell
+// classes, and there are finitely many cells, so the number of firings
+// is bounded by the total cell count; the pass loop is additionally
+// guarded.
+func Enforce(d *record.PairInstance, sigma []core.MD) (EnforceResult, error) {
+	for i, md := range sigma {
+		if err := md.Validate(); err != nil {
+			return EnforceResult{}, fmt.Errorf("semantics: Σ[%d]: %w", i, err)
+		}
+	}
+	out := d.Clone()
+	ch := newChase(out)
+
+	res := EnforceResult{Instance: out}
+	maxPasses := ch.cellCount() + 2
+	for {
+		res.Passes++
+		if res.Passes > maxPasses {
+			return EnforceResult{}, fmt.Errorf("semantics: chase exceeded %d passes (non-terminating value resolution?)", maxPasses)
+		}
+		fired := false
+		for _, md := range sigma {
+			for i1, t1 := range out.Left.Tuples {
+				for i2, t2 := range out.Right.Tuples {
+					ok, err := MatchLHS(out, md, t1, t2)
+					if err != nil {
+						return EnforceResult{}, err
+					}
+					if !ok {
+						continue
+					}
+					eq, err := rhsEqual(out, md, t1, t2)
+					if err != nil {
+						return EnforceResult{}, err
+					}
+					if eq {
+						continue
+					}
+					// Fire: identify every RHS cell pair.
+					for _, p := range md.RHS {
+						ch.unionAttrs(i1, i2, p)
+					}
+					ch.flush()
+					fired = true
+					res.Applications++
+				}
+			}
+		}
+		if !fired {
+			break
+		}
+	}
+	return res, nil
+}
+
+// chase tracks value-cell classes over a pair instance.
+type chase struct {
+	d       *record.PairInstance
+	insts   []*record.Instance
+	base    map[*record.Instance]int
+	parent  []int
+	value   []string // per root: resolved class value
+	members [][]int  // per root: member cells
+}
+
+func newChase(d *record.PairInstance) *chase {
+	ch := &chase{d: d, base: make(map[*record.Instance]int)}
+	add := func(in *record.Instance) {
+		if _, ok := ch.base[in]; ok {
+			return
+		}
+		ch.base[in] = len(ch.parent)
+		ch.insts = append(ch.insts, in)
+		for _, t := range in.Tuples {
+			for _, v := range t.Values {
+				id := len(ch.parent)
+				ch.parent = append(ch.parent, id)
+				ch.value = append(ch.value, v)
+				ch.members = append(ch.members, []int{id})
+			}
+		}
+	}
+	add(d.Left)
+	add(d.Right)
+	return ch
+}
+
+func (ch *chase) cellCount() int { return len(ch.parent) }
+
+func (ch *chase) cell(in *record.Instance, tupleIdx, attrIdx int) int {
+	return ch.base[in] + tupleIdx*in.Rel.Arity() + attrIdx
+}
+
+func (ch *chase) find(x int) int {
+	for ch.parent[x] != x {
+		ch.parent[x] = ch.parent[ch.parent[x]]
+		x = ch.parent[x]
+	}
+	return x
+}
+
+func (ch *chase) union(a, b int) {
+	ra, rb := ch.find(a), ch.find(b)
+	if ra == rb {
+		return
+	}
+	// Attach the smaller class under the larger.
+	if len(ch.members[ra]) < len(ch.members[rb]) {
+		ra, rb = rb, ra
+	}
+	ch.parent[rb] = ra
+	ch.value[ra] = ResolveValue(ch.value[ra], ch.value[rb])
+	ch.members[ra] = append(ch.members[ra], ch.members[rb]...)
+	ch.members[rb] = nil
+}
+
+// unionAttrs identifies the cells t1[p.Left] and t2[p.Right], where t1 is
+// the i1-th left tuple and t2 the i2-th right tuple.
+func (ch *chase) unionAttrs(i1, i2 int, p core.AttrPair) {
+	li, _ := ch.d.Left.Rel.Index(p.Left)
+	ri, _ := ch.d.Right.Rel.Index(p.Right)
+	ch.union(ch.cell(ch.d.Left, i1, li), ch.cell(ch.d.Right, i2, ri))
+}
+
+// flush writes every class's resolved value back into the tuples.
+func (ch *chase) flush() {
+	for _, in := range ch.insts {
+		b := ch.base[in]
+		ar := in.Rel.Arity()
+		for ti, t := range in.Tuples {
+			for ai := range t.Values {
+				t.Values[ai] = ch.value[ch.find(b+ti*ar+ai)]
+			}
+		}
+	}
+}
+
+// StableFor builds a stable instance for Σ from D by enforcement and
+// additionally reports whether the chase's outcome satisfies the pair
+// semantics (D, D′) ⊨ Σ. The second value can be false when enforcing
+// one rule breaks the LHS match of another (the chase still guarantees
+// stability of D′ itself, clause (a)+(b) on D′).
+func StableFor(d *record.PairInstance, sigma []core.MD) (*record.PairInstance, bool, error) {
+	res, err := Enforce(d, sigma)
+	if err != nil {
+		return nil, false, err
+	}
+	ok, err := SatisfiesAll(d, res.Instance, sigma)
+	if err != nil {
+		return nil, false, err
+	}
+	return res.Instance, ok, nil
+}
+
+// MatchByKey reports whether (t1, t2) match the LHS of the relative key
+// ψ: the operational use of RCKs as matching rules ("to identify t1[Y1]
+// and t2[Y2] it suffices to inspect whether the attributes of t1[X1] and
+// t2[X2] pairwise match w.r.t. C", Section 2.2).
+func MatchByKey(d *record.PairInstance, key core.Key, t1, t2 *record.Tuple) (bool, error) {
+	return MatchLHS(d, key.AsMD(), t1, t2)
+}

@@ -1,0 +1,278 @@
+package semantics
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mdmatch/internal/core"
+	"mdmatch/internal/record"
+	"mdmatch/internal/schema"
+	"mdmatch/internal/similarity"
+)
+
+func TestResolveValue(t *testing.T) {
+	cases := []struct{ a, b, want string }{
+		{"NJ", "NJ07974", "NJ07974"},
+		{"NJ07974", "NJ", "NJ07974"},
+		{"b1", "b2", "b2"},
+		{"x", "x", "x"},
+		{"", "a", "a"},
+	}
+	for _, c := range cases {
+		if got := ResolveValue(c.a, c.b); got != c.want {
+			t.Errorf("ResolveValue(%q, %q) = %q, want %q", c.a, c.b, got, c.want)
+		}
+	}
+	// Commutative and idempotent by construction.
+	for _, a := range []string{"", "x", "ab"} {
+		for _, b := range []string{"", "y", "cd"} {
+			if ResolveValue(a, b) != ResolveValue(b, a) {
+				t.Errorf("ResolveValue not symmetric on (%q, %q)", a, b)
+			}
+		}
+	}
+}
+
+func TestMatchLHSErrors(t *testing.T) {
+	_, sigma, _, d := figure1(t)
+	badMD := sigma[0]
+	badMD.LHS = []core.Conjunct{core.Eq("nope", "ln")}
+	t1 := d.Left.Tuples[0]
+	t3 := d.Right.Tuples[0]
+	if _, err := MatchLHS(d, badMD, t1, t3); err == nil {
+		t.Fatal("missing attribute must error")
+	}
+}
+
+func TestSatisfiesRequiresExtension(t *testing.T) {
+	_, sigma, _, d := figure1(t)
+	smaller := d.Clone()
+	smaller.Left.Tuples = smaller.Left.Tuples[:1]
+	// d does not extend... smaller is a subset, so smaller extends d? No:
+	// Satisfies(d, smaller): smaller lacks tuple 2 -> not an extension.
+	if _, err := Satisfies(d, &record.PairInstance{
+		Ctx: d.Ctx, Left: record.NewInstance(d.Ctx.Left), Right: d.Right,
+	}, sigma[0]); err == nil {
+		t.Fatal("non-extension must error")
+	}
+}
+
+func TestEnforceEmptySigma(t *testing.T) {
+	_, _, _, d := figure1(t)
+	res, err := Enforce(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applications != 0 {
+		t.Fatalf("empty Σ applied %d rules", res.Applications)
+	}
+	// Result is value-identical to input.
+	for i, tt := range d.Left.Tuples {
+		got := res.Instance.Left.Tuples[i]
+		if strings.Join(got.Values, "|") != strings.Join(tt.Values, "|") {
+			t.Fatal("empty enforcement changed values")
+		}
+	}
+}
+
+func TestEnforceInvalidSigma(t *testing.T) {
+	ctx, _, _, d := figure1(t)
+	if _, err := Enforce(d, []core.MD{{Ctx: ctx}}); err == nil {
+		t.Fatal("invalid MD accepted")
+	}
+}
+
+func TestEnforceIdempotent(t *testing.T) {
+	_, sigma, _, d := figure1(t)
+	res1, err := Enforce(d, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Enforce(res1.Instance, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Applications != 0 {
+		t.Fatalf("re-enforcing a stable instance applied %d rules", res2.Applications)
+	}
+}
+
+func TestEnforceStabilizesFigure1(t *testing.T) {
+	_, sigma, target, d := figure1(t)
+	res, err := Enforce(d, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stable, err := IsStable(res.Instance, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stable {
+		t.Fatal("enforcement must produce a stable instance")
+	}
+	// After the chase, t1 and every billing tuple of card holder 111
+	// agree on the whole target (they form one matched entity).
+	out := res.Instance
+	t1, _ := out.Left.ByID(1)
+	y1, err := out.Left.Project(t1, target.Y1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int{4, 6} { // t4 and t6 share tel/email with t1
+		tb, _ := out.Right.ByID(id)
+		y2, err := out.Right.Project(tb, target.Y2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Join(y1, "|") != strings.Join(y2, "|") {
+			t.Errorf("after chase, t1[Yc]=%v and t%d[Yb]=%v must agree", y1, id, y2)
+		}
+	}
+}
+
+// TestDeductionSoundnessOnInstances is the bridge between the reasoning
+// algorithms and the dynamic semantics, randomized: for MDs ϕ with
+// Σ ⊨m ϕ (per core.Deduce) and every chase outcome D′ that is stable for
+// Σ with (D, D′) ⊨ Σ, two properties must hold:
+//
+//  1. stability preservation — D′ is also stable for {ϕ}: a deduced rule
+//     needs no further enforcement on any stable instance; and
+//  2. the persistent-match reading of (D, D′) ⊨ ϕ.
+//
+// (The literal clause-(a)∧(b) reading of Section 2.1 does NOT hold here;
+// see TestLiteralReadingCounterexample.)
+func TestDeductionSoundnessOnInstances(t *testing.T) {
+	ctx, sigma, target, _ := figure1(t)
+	dl := similarity.DL(0.75)
+	deduced := []core.MD{
+		// rck2, rck3, rck4 as MDs (rck1 is ϕ1 itself).
+		{Ctx: ctx, LHS: []core.Conjunct{core.Eq("ln", "ln"), core.Eq("tel", "phn"), core.C("fn", dl, "fn")}, RHS: target.Pairs()},
+		{Ctx: ctx, LHS: []core.Conjunct{core.Eq("email", "email"), core.Eq("addr", "post")}, RHS: target.Pairs()},
+		{Ctx: ctx, LHS: []core.Conjunct{core.Eq("email", "email"), core.Eq("tel", "phn")}, RHS: target.Pairs()},
+	}
+	for i, md := range deduced {
+		ok, err := core.Deduce(sigma, md)
+		if err != nil || !ok {
+			t.Fatalf("precondition: Σ must deduce md%d (ok=%v err=%v)", i, ok, err)
+		}
+	}
+
+	rnd := rand.New(rand.NewSource(11))
+	names := []string{"Mark", "Marx", "David", "M."}
+	lns := []string{"Clifford", "Clivord", "Smith"}
+	addrs := []string{"10 Oak Street", "NJ", "620 Elm Street"}
+	tels := []string{"908-1111111", "908-2222222", "908"}
+	emails := []string{"mc@gm.com", "mc", "ds@hm.com"}
+	pick := func(xs []string) string { return xs[rnd.Intn(len(xs))] }
+
+	checked := 0
+	for trial := 0; trial < 60; trial++ {
+		ic := record.NewInstance(ctx.Left)
+		ib := record.NewInstance(ctx.Right)
+		for i := 0; i < 2+rnd.Intn(2); i++ {
+			ic.MustAppend(fmt.Sprint(rnd.Intn(3)), "ssn", pick(names), pick(lns),
+				pick(addrs), pick(tels), pick(emails), "M", "visa")
+		}
+		for i := 0; i < 2+rnd.Intn(3); i++ {
+			ib.MustAppend(fmt.Sprint(rnd.Intn(3)), pick(names), pick(lns),
+				pick(addrs), pick(tels), pick(emails), "null", "item", "9.99")
+		}
+		d, err := record.NewPairInstance(ctx, ic, ib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dPrime, pairSat, err := StableFor(d, sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stable, err := IsStable(dPrime, sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !stable {
+			t.Fatal("chase produced non-stable instance")
+		}
+		if !pairSat {
+			continue // (D, D′) ⊭ Σ: premise of deduction not met; skip
+		}
+		checked++
+		for i, md := range deduced {
+			ok, err := IsStable(dPrime, []core.MD{md})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("trial %d: stable instance for Σ not stable for deduced md%d\nD:\n%s%s\nD':\n%s%s",
+					trial, i, d.Left, d.Right, dPrime.Left, dPrime.Right)
+			}
+			ok, err = SatisfiesPersistent(d, dPrime, md)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("trial %d: deduced md%d violated (persistent reading) on stable chase outcome\nD:\n%s%s\nD':\n%s%s",
+					trial, i, d.Left, d.Right, dPrime.Left, dPrime.Right)
+			}
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d/60 trials met the (D, D′) ⊨ Σ premise; generator too noisy", checked)
+	}
+}
+
+// TestChaseTerminationGuard: a pathological rule set still terminates
+// (union-find merges are bounded by cell count).
+func TestChaseTerminationGuard(t *testing.T) {
+	r := schema.MustStrings("R", "A", "B")
+	ctx := schema.MustPair(r, r)
+	// Everything similar to everything: A ≈ A under a trivially-true
+	// operator identifies B, and vice versa.
+	always := similarity.PrefixOp(0) // 0-length shared prefix: always true
+	sigma := []core.MD{
+		core.MustMD(ctx, []core.Conjunct{core.C("A", always, "A")}, []core.AttrPair{core.P("B", "B")}),
+		core.MustMD(ctx, []core.Conjunct{core.C("B", always, "B")}, []core.AttrPair{core.P("A", "A")}),
+	}
+	in := record.NewInstance(r)
+	for i := 0; i < 6; i++ {
+		in.MustAppend(fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i))
+	}
+	d, err := record.NewPairInstance(ctx, in, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Enforce(d, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stable, err := IsStable(res.Instance, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stable {
+		t.Fatal("not stable after chase")
+	}
+	// All A values identical, all B values identical.
+	a0 := res.Instance.Left.MustGet(res.Instance.Left.Tuples[0], "A")
+	for _, tt := range res.Instance.Left.Tuples {
+		if res.Instance.Left.MustGet(tt, "A") != a0 {
+			t.Fatal("A values not fully identified")
+		}
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	_, sigma, _, d := figure1(t)
+	vs, err := Violations(d, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) == 0 {
+		t.Fatal("Figure 1 instance must violate Σc somewhere")
+	}
+	s := vs[0].String()
+	if !strings.Contains(s, "matches LHS") {
+		t.Errorf("Violation.String() = %q", s)
+	}
+}

@@ -1,0 +1,466 @@
+// Package similarity implements the domain-specific similarity metrics
+// and the operator set Θ of Section 2.1.
+//
+// Every operator satisfies the paper's generic axioms:
+//
+//   - reflexive:          x ≈ x
+//   - symmetric:          x ≈ y ⇒ y ≈ x
+//   - subsumes equality:  x = y ⇒ x ≈ y
+//
+// and, except for equality itself, is NOT assumed transitive. The package
+// provides both the raw metric functions (edit distances, Jaro family,
+// q-gram coefficients, phonetic codes) and thresholded Operator values
+// suitable for use in matching dependencies.
+package similarity
+
+import (
+	"math"
+	"strings"
+	"unicode"
+)
+
+// Levenshtein returns the classic edit distance between a and b: the
+// minimum number of single-rune insertions, deletions and substitutions
+// needed to transform a into b.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 {
+		return lb
+	}
+	if lb == 0 {
+		return la
+	}
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = minInt(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[lb]
+}
+
+// DamerauLevenshtein returns the Damerau–Levenshtein distance between a
+// and b in its optimal-string-alignment form: Levenshtein extended with
+// transposition of two adjacent runes, where no substring is edited more
+// than once. This is the DL metric of Section 6.2 ("the minimum number of
+// single-character insertions, deletions and substitutions required to
+// transform v to v′", extended with adjacent transpositions as in the
+// SimMetrics implementation the paper uses).
+func DamerauLevenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 {
+		return lb
+	}
+	if lb == 0 {
+		return la
+	}
+	// Three rows: i-2, i-1, i.
+	d0 := make([]int, lb+1)
+	d1 := make([]int, lb+1)
+	d2 := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		d1[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		d2[0] = i
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			d2[j] = minInt(d1[j]+1, d2[j-1]+1, d1[j-1]+cost)
+			if i > 1 && j > 1 && ra[i-1] == rb[j-2] && ra[i-2] == rb[j-1] {
+				if t := d0[j-2] + 1; t < d2[j] {
+					d2[j] = t
+				}
+			}
+		}
+		d0, d1, d2 = d1, d2, d0
+	}
+	return d1[lb]
+}
+
+// NormalizedDL returns 1 - dl(a,b)/max(|a|,|b|), a similarity score in
+// [0,1]; 1 means equal. Empty-vs-empty is defined as 1.
+func NormalizedDL(a, b string) float64 {
+	la, lb := len([]rune(a)), len([]rune(b))
+	m := la
+	if lb > m {
+		m = lb
+	}
+	if m == 0 {
+		return 1
+	}
+	return 1 - float64(DamerauLevenshtein(a, b))/float64(m)
+}
+
+// Jaro returns the Jaro similarity of a and b in [0,1].
+func Jaro(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := maxInt(la, lb)/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	amatch := make([]bool, la)
+	bmatch := make([]bool, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := maxInt(0, i-window)
+		hi := minInt2(lb-1, i+window)
+		for j := lo; j <= hi; j++ {
+			if !bmatch[j] && ra[i] == rb[j] {
+				amatch[i] = true
+				bmatch[j] = true
+				matches++
+				break
+			}
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Count transpositions among matched characters.
+	transpositions := 0
+	k := 0
+	for i := 0; i < la; i++ {
+		if !amatch[i] {
+			continue
+		}
+		for !bmatch[k] {
+			k++
+		}
+		if ra[i] != rb[k] {
+			transpositions++
+		}
+		k++
+	}
+	m := float64(matches)
+	t := float64(transpositions) / 2
+	return (m/float64(la) + m/float64(lb) + (m-t)/m) / 3
+}
+
+// JaroWinkler returns the Jaro–Winkler similarity with the standard
+// prefix scale 0.1 and maximum prefix length 4.
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	ra, rb := []rune(a), []rune(b)
+	prefix := 0
+	for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}
+
+// QGrams returns the multiset of q-grams of s as a count map. For q > 1
+// the string is padded with q-1 leading and trailing '#' marks so that
+// boundary characters contribute. An empty string has no q-grams.
+func QGrams(s string, q int) map[string]int {
+	grams := make(map[string]int)
+	if s == "" || q <= 0 {
+		return grams
+	}
+	if q == 1 {
+		for _, r := range s {
+			grams[string(r)]++
+		}
+		return grams
+	}
+	pad := strings.Repeat("#", q-1)
+	rs := []rune(pad + s + pad)
+	for i := 0; i+q <= len(rs); i++ {
+		grams[string(rs[i:i+q])]++
+	}
+	return grams
+}
+
+// JaccardQGram returns the Jaccard coefficient of the q-gram multisets of
+// a and b: |A ∩ B| / |A ∪ B| with multiset semantics. Two empty strings
+// score 1.
+func JaccardQGram(a, b string, q int) float64 {
+	ga, gb := QGrams(a, q), QGrams(b, q)
+	if len(ga) == 0 && len(gb) == 0 {
+		return 1
+	}
+	inter, union := 0, 0
+	for g, ca := range ga {
+		cb := gb[g]
+		inter += minInt2(ca, cb)
+		union += maxInt(ca, cb)
+	}
+	for g, cb := range gb {
+		if _, seen := ga[g]; !seen {
+			union += cb
+		}
+	}
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// DiceQGram returns the Dice coefficient 2|A ∩ B| / (|A| + |B|) over
+// q-gram multisets. Two empty strings score 1.
+func DiceQGram(a, b string, q int) float64 {
+	ga, gb := QGrams(a, q), QGrams(b, q)
+	ta, tb := 0, 0
+	for _, c := range ga {
+		ta += c
+	}
+	for _, c := range gb {
+		tb += c
+	}
+	if ta+tb == 0 {
+		return 1
+	}
+	inter := 0
+	for g, ca := range ga {
+		inter += minInt2(ca, gb[g])
+	}
+	return 2 * float64(inter) / float64(ta+tb)
+}
+
+// CosineQGram returns the cosine similarity of the q-gram count vectors.
+// Two empty strings score 1.
+func CosineQGram(a, b string, q int) float64 {
+	ga, gb := QGrams(a, q), QGrams(b, q)
+	if len(ga) == 0 && len(gb) == 0 {
+		return 1
+	}
+	if len(ga) == 0 || len(gb) == 0 {
+		return 0
+	}
+	dot, na, nb := 0, 0, 0
+	for g, ca := range ga {
+		na += ca * ca
+		dot += ca * gb[g]
+	}
+	for _, cb := range gb {
+		nb += cb * cb
+	}
+	return float64(dot) / (sqrtFloat(float64(na)) * sqrtFloat(float64(nb)))
+}
+
+// TokenJaccard returns the Jaccard coefficient over whitespace-separated,
+// case-folded tokens. Useful for multi-word fields such as addresses.
+func TokenJaccard(a, b string) float64 {
+	ta := tokenSet(a)
+	tb := tokenSet(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	inter := 0
+	for t := range ta {
+		if _, ok := tb[t]; ok {
+			inter++
+		}
+	}
+	union := len(ta) + len(tb) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+func tokenSet(s string) map[string]struct{} {
+	out := make(map[string]struct{})
+	for _, f := range strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	}) {
+		out[f] = struct{}{}
+	}
+	return out
+}
+
+// Soundex returns the American Soundex code (letter + 3 digits) of s, the
+// encoding used for blocking keys in Exp-4 of the paper ("encoded by
+// Sounex before blocking"). Non-letters are skipped; an input with no
+// letters encodes as "0000".
+func Soundex(s string) string {
+	code := func(r rune) byte {
+		switch r {
+		case 'b', 'f', 'p', 'v':
+			return '1'
+		case 'c', 'g', 'j', 'k', 'q', 's', 'x', 'z':
+			return '2'
+		case 'd', 't':
+			return '3'
+		case 'l':
+			return '4'
+		case 'm', 'n':
+			return '5'
+		case 'r':
+			return '6'
+		default: // vowels, h, w, y
+			return 0
+		}
+	}
+	var out []byte
+	var prev byte
+	first := rune(0)
+	for _, r := range strings.ToLower(s) {
+		if r < 'a' || r > 'z' {
+			continue
+		}
+		c := code(r)
+		if first == 0 {
+			first = unicode.ToUpper(r)
+			prev = c
+			continue
+		}
+		// 'h' and 'w' are transparent: they do not reset the previous code.
+		if r == 'h' || r == 'w' {
+			continue
+		}
+		if c != 0 && c != prev {
+			out = append(out, c)
+			if len(out) == 3 {
+				break
+			}
+		}
+		prev = c
+	}
+	if first == 0 {
+		return "0000"
+	}
+	for len(out) < 3 {
+		out = append(out, '0')
+	}
+	return string(first) + string(out)
+}
+
+// NYSIIS returns the NYSIIS phonetic code of s (a more accurate phonetic
+// encoder than Soundex, offered as an alternative blocking encoder).
+func NYSIIS(s string) string {
+	var letters []rune
+	for _, r := range strings.ToUpper(s) {
+		if r >= 'A' && r <= 'Z' {
+			letters = append(letters, r)
+		}
+	}
+	if len(letters) == 0 {
+		return ""
+	}
+	w := string(letters)
+	// Initial-prefix substitutions.
+	for _, sub := range [][2]string{
+		{"MAC", "MCC"}, {"KN", "NN"}, {"K", "C"}, {"PH", "FF"}, {"PF", "FF"}, {"SCH", "SSS"},
+	} {
+		if strings.HasPrefix(w, sub[0]) {
+			w = sub[1] + w[len(sub[0]):]
+			break
+		}
+	}
+	// Terminal substitutions.
+	for _, sub := range [][2]string{
+		{"EE", "Y"}, {"IE", "Y"}, {"DT", "D"}, {"RT", "D"}, {"RD", "D"}, {"NT", "D"}, {"ND", "D"},
+	} {
+		if strings.HasSuffix(w, sub[0]) {
+			w = w[:len(w)-len(sub[0])] + sub[1]
+			break
+		}
+	}
+	rs := []rune(w)
+	key := []rune{rs[0]}
+	isVowel := func(r rune) bool { return strings.ContainsRune("AEIOU", r) }
+	for i := 1; i < len(rs); i++ {
+		c := rs[i]
+		switch {
+		case isVowel(c):
+			if c == 'E' && i+1 < len(rs) && rs[i+1] == 'V' {
+				rs[i+1] = 'F'
+			}
+			c = 'A'
+		case c == 'Q':
+			c = 'G'
+		case c == 'Z':
+			c = 'S'
+		case c == 'M':
+			c = 'N'
+		case c == 'K':
+			if i+1 < len(rs) && rs[i+1] == 'N' {
+				c = 'N'
+			} else {
+				c = 'C'
+			}
+		case c == 'S' && i+2 < len(rs) && rs[i+1] == 'C' && rs[i+2] == 'H':
+			rs[i+1], rs[i+2] = 'S', 'S'
+		case c == 'P' && i+1 < len(rs) && rs[i+1] == 'H':
+			c = 'F'
+			rs[i+1] = 'F'
+		case c == 'H':
+			if !isVowel(rs[i-1]) || (i+1 < len(rs) && !isVowel(rs[i+1])) {
+				c = rs[i-1]
+			}
+		case c == 'W':
+			if isVowel(rs[i-1]) {
+				c = rs[i-1]
+			}
+		}
+		rs[i] = c
+		if key[len(key)-1] != c {
+			key = append(key, c)
+		}
+	}
+	// Trim terminal S, transform terminal AY to Y, trim terminal A.
+	for len(key) > 1 && key[len(key)-1] == 'S' {
+		key = key[:len(key)-1]
+	}
+	if len(key) >= 2 && key[len(key)-2] == 'A' && key[len(key)-1] == 'Y' {
+		key = append(key[:len(key)-2], 'Y')
+	}
+	for len(key) > 1 && key[len(key)-1] == 'A' {
+		key = key[:len(key)-1]
+	}
+	return string(key)
+}
+
+func minInt(a, b, c int) int {
+	m := a
+	if b < m {
+		m = b
+	}
+	if c < m {
+		m = c
+	}
+	return m
+}
+
+func minInt2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func sqrtFloat(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

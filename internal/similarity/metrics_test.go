@@ -1,0 +1,264 @@
+package similarity
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"abc", "abc", 0},
+		{"abc", "abd", 1},
+		{"Mark", "Marx", 1},
+		{"ca", "abc", 3}, // classic case where DL(OSA) differs from unrestricted DL
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDamerauLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"abc", "acb", 1}, // one transposition
+		{"abcd", "acbd", 1},
+		{"ab", "ba", 1},
+		{"abc", "abc", 0},
+		{"Mark", "Marx", 1},
+		{"Clifford", "Clivord", 2}, // f->v substitution plus f deletion
+		{"ca", "abc", 3},           // OSA: no substring edited twice
+		{"kitten", "sitting", 3},
+	}
+	for _, c := range cases {
+		if got := DamerauLevenshtein(c.a, c.b); got != c.want {
+			t.Errorf("DamerauLevenshtein(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDLNeverExceedsLevenshtein(t *testing.T) {
+	f := func(a, b string) bool {
+		return DamerauLevenshtein(a, b) <= Levenshtein(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEditDistanceProperties(t *testing.T) {
+	// Symmetry, identity, and the length lower/upper bounds.
+	f := func(a, b string) bool {
+		d := DamerauLevenshtein(a, b)
+		if d != DamerauLevenshtein(b, a) {
+			return false
+		}
+		la, lb := len([]rune(a)), len([]rune(b))
+		lo := la - lb
+		if lo < 0 {
+			lo = -lo
+		}
+		hi := la
+		if lb > hi {
+			hi = lb
+		}
+		return d >= lo && d <= hi && (a != b || d == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizedDL(t *testing.T) {
+	if got := NormalizedDL("", ""); got != 1 {
+		t.Errorf("NormalizedDL empty = %v, want 1", got)
+	}
+	if got := NormalizedDL("abcd", "abcd"); got != 1 {
+		t.Errorf("identical = %v, want 1", got)
+	}
+	if got := NormalizedDL("abcd", "wxyz"); got != 0 {
+		t.Errorf("disjoint same-length = %v, want 0", got)
+	}
+	// paper example: Mark vs Marx, 1 edit over 4 chars -> 0.75
+	if got := NormalizedDL("Mark", "Marx"); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("Mark/Marx = %v, want 0.75", got)
+	}
+}
+
+func TestJaro(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"", "", 1},
+		{"a", "", 0},
+		{"martha", "marhta", 0.944444},
+		{"dixon", "dicksonx", 0.766667},
+		{"jellyfish", "smellyfish", 0.896296},
+		{"abc", "abc", 1},
+		{"abc", "xyz", 0},
+	}
+	for _, c := range cases {
+		if got := Jaro(c.a, c.b); math.Abs(got-c.want) > 1e-5 {
+			t.Errorf("Jaro(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaroWinkler(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"martha", "marhta", 0.961111},
+		{"dixon", "dicksonx", 0.813333},
+		{"abc", "abc", 1},
+	}
+	for _, c := range cases {
+		if got := JaroWinkler(c.a, c.b); math.Abs(got-c.want) > 1e-5 {
+			t.Errorf("JaroWinkler(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaroRange(t *testing.T) {
+	f := func(a, b string) bool {
+		j := Jaro(a, b)
+		jw := JaroWinkler(a, b)
+		return j >= 0 && j <= 1 && jw >= j-1e-12 && jw <= 1+1e-12 &&
+			math.Abs(j-Jaro(b, a)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQGrams(t *testing.T) {
+	g := QGrams("abab", 2)
+	// padded: #abab# -> #a ab ba ab b#
+	want := map[string]int{"#a": 1, "ab": 2, "ba": 1, "b#": 1}
+	if len(g) != len(want) {
+		t.Fatalf("QGrams = %v, want %v", g, want)
+	}
+	for k, v := range want {
+		if g[k] != v {
+			t.Fatalf("QGrams[%q] = %d, want %d", k, g[k], v)
+		}
+	}
+	if len(QGrams("", 2)) != 0 {
+		t.Fatal("empty string must have no q-grams")
+	}
+	if len(QGrams("ab", 0)) != 0 {
+		t.Fatal("q<=0 must yield no q-grams")
+	}
+	u := QGrams("aab", 1)
+	if u["a"] != 2 || u["b"] != 1 {
+		t.Fatalf("unigram counts wrong: %v", u)
+	}
+}
+
+func TestSetCoefficients(t *testing.T) {
+	for _, fn := range []struct {
+		name string
+		f    func(a, b string) float64
+	}{
+		{"jaccard", func(a, b string) float64 { return JaccardQGram(a, b, 2) }},
+		{"dice", func(a, b string) float64 { return DiceQGram(a, b, 2) }},
+		{"cosine", func(a, b string) float64 { return CosineQGram(a, b, 2) }},
+		{"token", TokenJaccard},
+	} {
+		if got := fn.f("", ""); got != 1 {
+			t.Errorf("%s(empty, empty) = %v, want 1", fn.name, got)
+		}
+		if got := fn.f("night", "night"); math.Abs(got-1) > 1e-12 {
+			t.Errorf("%s(x, x) = %v, want 1", fn.name, got)
+		}
+		if got := fn.f("abc", ""); got != 0 {
+			t.Errorf("%s(abc, empty) = %v, want 0", fn.name, got)
+		}
+		a, b := fn.f("night day", "nacht day"), fn.f("nacht day", "night day")
+		if a != b {
+			t.Errorf("%s not symmetric: %v vs %v", fn.name, a, b)
+		}
+		if a <= 0 || a >= 1 {
+			t.Errorf("%s(night day, nacht day) = %v, want in (0,1)", fn.name, a)
+		}
+	}
+}
+
+func TestTokenJaccard(t *testing.T) {
+	got := TokenJaccard("10 Oak Street, MH, NJ 07974", "10 Oak Street MH NJ 07974")
+	if got != 1 {
+		t.Errorf("punctuation-insensitive token jaccard = %v, want 1", got)
+	}
+	got = TokenJaccard("10 Oak Street", "Oak Street")
+	if math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("token jaccard = %v, want 2/3", got)
+	}
+}
+
+func TestSoundex(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Robert", "R163"},
+		{"Rupert", "R163"},
+		{"Ashcraft", "A261"}, // h is transparent
+		{"Ashcroft", "A261"},
+		{"Tymczak", "T522"},
+		{"Pfister", "P236"},
+		{"Honeyman", "H555"},
+		{"", "0000"},
+		{"123", "0000"},
+		{"Clifford", "C416"},
+		{"Clivord", "C416"}, // paper: Clifford ~ Clivord should block together
+	}
+	for _, c := range cases {
+		if got := Soundex(c.in); got != c.want {
+			t.Errorf("Soundex(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSoundexCaseInsensitive(t *testing.T) {
+	f := func(s string) bool { return Soundex(s) == Soundex("  "+s) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if Soundex("ROBERT") != Soundex("robert") {
+		t.Error("Soundex must be case-insensitive")
+	}
+}
+
+func TestNYSIIS(t *testing.T) {
+	// NYSIIS has many published variants; we pin the behaviour of ours on
+	// a few stable examples and structural properties.
+	cases := []struct{ in, want string }{
+		{"", ""},
+		{"KNIGHT", "NAGT"},
+		{"MACINTOSH", "MCANT"},
+	}
+	for _, c := range cases {
+		if got := NYSIIS(c.in); got != c.want {
+			t.Errorf("NYSIIS(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if NYSIIS("Smith") != NYSIIS("SMITH") {
+		t.Error("NYSIIS must be case-insensitive")
+	}
+	if NYSIIS("Phillips") != NYSIIS("Filips") {
+		t.Errorf("NYSIIS should conflate PH/F names: %q vs %q", NYSIIS("Phillips"), NYSIIS("Filips"))
+	}
+}

@@ -1,0 +1,202 @@
+package similarity
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// allOps returns one instance of every operator family for axiom checks.
+func allOps() []Operator {
+	return []Operator{
+		Eq(),
+		DL(0.8),
+		Lev(0.8),
+		JaroOp(0.85),
+		JaroWinklerOp(0.9),
+		JaccardOp(2, 0.7),
+		DiceOp(2, 0.7),
+		CosineOp(2, 0.7),
+		TokenOp(0.6),
+		SoundexEq(),
+		PrefixOp(3),
+		SynonymOp(Eq(), map[string]string{"usa": "united states"}),
+	}
+}
+
+// TestGenericAxioms checks the three generic axioms of Section 2.1 for
+// every operator: reflexivity, symmetry, and subsumption of equality.
+func TestGenericAxioms(t *testing.T) {
+	for _, op := range allOps() {
+		op := op
+		t.Run(op.Name(), func(t *testing.T) {
+			reflexive := func(x string) bool { return op.Similar(x, x) }
+			if err := quick.Check(reflexive, nil); err != nil {
+				t.Errorf("not reflexive: %v", err)
+			}
+			symmetric := func(x, y string) bool { return op.Similar(x, y) == op.Similar(y, x) }
+			if err := quick.Check(symmetric, nil); err != nil {
+				t.Errorf("not symmetric: %v", err)
+			}
+			subsumes := func(x string) bool {
+				y := x // x = y
+				return op.Similar(x, y)
+			}
+			if err := quick.Check(subsumes, nil); err != nil {
+				t.Errorf("does not subsume equality: %v", err)
+			}
+		})
+	}
+}
+
+func TestEqTransitive(t *testing.T) {
+	// Equality is the one transitive operator; sanity-check via strings.
+	e := Eq()
+	if !e.Similar("a", "a") || e.Similar("a", "b") {
+		t.Fatal("equality operator broken")
+	}
+	if !IsEq(e) || IsEq(DL(0.8)) || IsEq(nil) {
+		t.Fatal("IsEq broken")
+	}
+}
+
+func TestDLOperatorPaperExamples(t *testing.T) {
+	// Section 6.2: v ~θ v' iff dl distance <= (1-θ)% of max length, θ=0.8.
+	d := DL(0.8)
+	// "Mark" vs "Marx": distance 1, max len 4, 1 <= 0.2*4 = 0.8? No! 1 > 0.8.
+	// The paper's Example 2.1 uses a *certain* edit metric ≈d under which
+	// Mark ~ Marx; with θ=0.8 and 4-char strings one edit is just over.
+	// Verify the arithmetic both ways to pin the thresholding rule.
+	if d.Similar("Mark", "Marx") {
+		t.Error("dl(0.8): 1 edit over 4 chars is 0.75 < 0.8, must NOT be similar")
+	}
+	d75 := DL(0.75)
+	if !d75.Similar("Mark", "Marx") {
+		t.Error("dl(0.75): Mark ~ Marx must hold")
+	}
+	if !d.Similar("Clifford", "Cliffort") {
+		t.Error("dl(0.8): 1 edit over 8 chars is 0.875, must be similar")
+	}
+	if d.Similar("abc", "xyz") {
+		t.Error("dl(0.8): disjoint strings must not be similar")
+	}
+}
+
+func TestOperatorNamesCanonical(t *testing.T) {
+	if DL(0.8).Name() != "dl(0.80)" {
+		t.Errorf("DL name = %q", DL(0.8).Name())
+	}
+	if JaccardOp(3, 0.7).Name() != "jaccard3(0.70)" {
+		t.Errorf("Jaccard name = %q", JaccardOp(3, 0.7).Name())
+	}
+	if Eq().Name() != "=" {
+		t.Errorf("Eq name = %q", Eq().Name())
+	}
+}
+
+func TestPrefixOp(t *testing.T) {
+	p := PrefixOp(3)
+	if !p.Similar("Jonathan", "Jonas") {
+		t.Error("3-prefix shared must be similar")
+	}
+	if p.Similar("Jo", "Jon") {
+		t.Error("2-rune common prefix must not satisfy prefix(3)")
+	}
+	if !p.Similar("ab", "ab") {
+		t.Error("equal short strings must be similar (equality subsumption)")
+	}
+}
+
+func TestSynonymOp(t *testing.T) {
+	op := SynonymOp(Eq(), map[string]string{
+		"USA":           "united states",
+		"U.S.A.":        "united states",
+		"United States": "united states",
+	})
+	if !op.Similar("USA", "United States") {
+		t.Error("synonyms must match")
+	}
+	if !op.Similar("usa", "UNITED STATES") {
+		t.Error("synonym matching must be case-insensitive")
+	}
+	if op.Similar("USA", "Canada") {
+		t.Error("non-synonyms must not match")
+	}
+	// Chained table: a -> b -> c resolves to the same canonical form.
+	chain := SynonymOp(Eq(), map[string]string{"a": "b", "b": "c"})
+	if !chain.Similar("a", "c") {
+		t.Error("chained synonyms must resolve")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry(DL(0.8))
+	if _, ok := r.Lookup("="); !ok {
+		t.Fatal("equality must always be registered")
+	}
+	if _, ok := r.Lookup("dl(0.80)"); !ok {
+		t.Fatal("registered operator not found")
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "=" {
+		t.Fatalf("Names = %v", names)
+	}
+	r.Register(JaroOp(0.85))
+	if r.Len() != 3 {
+		t.Fatalf("Len after register = %d, want 3", r.Len())
+	}
+}
+
+func TestRegistryResolve(t *testing.T) {
+	r := DefaultRegistry()
+	// Exact canonical name.
+	op, err := r.Resolve("dl(0.80)")
+	if err != nil || op.Name() != "dl(0.80)" {
+		t.Fatalf("Resolve(dl(0.80)) = %v, %v", op, err)
+	}
+	// Non-canonical spelling resolves to same canonical operator.
+	op2, err := r.Resolve("dl(0.8)")
+	if err != nil || op2.Name() != "dl(0.80)" {
+		t.Fatalf("Resolve(dl(0.8)) = %v, %v", op2, err)
+	}
+	// Default threshold when omitted.
+	op3, err := r.Resolve("jaro")
+	if err != nil || op3.Name() != "jaro(0.85)" {
+		t.Fatalf("Resolve(jaro) = %v, %v", op3, err)
+	}
+	// New operator families get constructed and registered.
+	op4, err := r.Resolve("jaccard3(0.50)")
+	if err != nil || op4.Name() != "jaccard3(0.50)" {
+		t.Fatalf("Resolve(jaccard3(0.50)) = %v, %v", op4, err)
+	}
+	if _, ok := r.Lookup("jaccard3(0.50)"); !ok {
+		t.Fatal("resolved operator was not registered")
+	}
+	// Equality resolves.
+	if op, err := r.Resolve("="); err != nil || !IsEq(op) {
+		t.Fatalf("Resolve(=) = %v, %v", op, err)
+	}
+	// Errors.
+	for _, bad := range []string{"", "unknown", "dl(x)", "dl(0.8", "jaccard0(0.5)", "jaccardx(0.5)"} {
+		if _, err := r.Resolve(bad); err == nil {
+			t.Errorf("Resolve(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestResolveSharesIdentity(t *testing.T) {
+	r := NewRegistry()
+	a, err := r.Resolve("lev(0.9)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Resolve("lev(0.90)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != b.Name() {
+		t.Fatalf("same operator resolved under different names: %q vs %q", a.Name(), b.Name())
+	}
+}

@@ -1,0 +1,386 @@
+// Package mdmatch is the public API of the library: a Go implementation
+// of "Reasoning about Record Matching Rules" (Fan, Jia, Li, Ma —
+// VLDB 2009).
+//
+// The library provides:
+//
+//   - matching dependencies (MDs) and relative candidate keys (RCKs)
+//     with their dynamic semantics;
+//   - compile-time reasoning: the MDClosure deduction algorithm
+//     (Theorem 4.1) and the findRCKs quality-key derivation algorithm
+//     (Section 5);
+//   - a rule language for authoring schemas, MDs and targets as text;
+//   - instance-level machinery: similarity operators, enforcement
+//     (chase to a stable instance), rule-based matching;
+//   - two complete matchers — Fellegi–Sunter with EM estimation, and
+//     the Sorted-Neighborhood method — plus blocking and windowing
+//     optimizers and match-quality metrics.
+//
+// # Quickstart
+//
+//	doc, _ := mdmatch.ParseRules(ruleText)
+//	keys, _ := mdmatch.FindRCKs(doc.Ctx, doc.MDs, doc.Targets[0], 5, nil)
+//	rules := mdmatch.NewRuleSet(keys...)
+//	ok, _ := rules.Match(instancePair, t1, t2)
+//
+// See examples/ for runnable end-to-end programs and DESIGN.md for how
+// each paper construct maps onto the packages under internal/.
+package mdmatch
+
+import (
+	"io"
+
+	"mdmatch/internal/blocking"
+	"mdmatch/internal/core"
+	"mdmatch/internal/discover"
+	"mdmatch/internal/fellegi"
+	"mdmatch/internal/gen"
+	"mdmatch/internal/matching"
+	"mdmatch/internal/mdlang"
+	"mdmatch/internal/metrics"
+	"mdmatch/internal/neighborhood"
+	"mdmatch/internal/record"
+	"mdmatch/internal/schema"
+	"mdmatch/internal/semantics"
+	"mdmatch/internal/similarity"
+)
+
+// --- Schemas and contexts (internal/schema) ---
+
+// Relation is a named relation schema.
+type Relation = schema.Relation
+
+// Attribute is a named, typed column.
+type Attribute = schema.Attribute
+
+// Domain is an attribute value domain.
+type Domain = schema.Domain
+
+// Pair is a matching context (R1, R2).
+type Pair = schema.Pair
+
+// AttrList is an ordered attribute-name list.
+type AttrList = schema.AttrList
+
+// Side selects the left or right relation of a context.
+type Side = schema.Side
+
+// Sides of a matching context.
+const (
+	Left  = schema.Left
+	Right = schema.Right
+)
+
+// NewRelation builds a relation schema.
+func NewRelation(name string, attrs ...Attribute) (*Relation, error) {
+	return schema.NewRelation(name, attrs...)
+}
+
+// StringsRelation builds a relation whose attributes are all strings.
+func StringsRelation(name string, attrNames ...string) (*Relation, error) {
+	return schema.Strings(name, attrNames...)
+}
+
+// NewPair builds a matching context from two relations (which may be the
+// same relation, for deduplication within one table).
+func NewPair(left, right *Relation) (Pair, error) { return schema.NewPair(left, right) }
+
+// --- Dependencies and keys (internal/core) ---
+
+// MD is a matching dependency.
+type MD = core.MD
+
+// NegativeMD is a must-not-match rule (the Section 8 extension).
+type NegativeMD = core.NegativeMD
+
+// Key is a key relative to a target (X1, X2 ‖ C).
+type Key = core.Key
+
+// Target is the pair of comparable lists (Y1, Y2) to identify.
+type Target = core.Target
+
+// AttrPair is a pair of comparable attributes.
+type AttrPair = core.AttrPair
+
+// Conjunct is one similarity test of an MD's LHS.
+type Conjunct = core.Conjunct
+
+// CostModel is the RCK quality model of Section 5.
+type CostModel = core.CostModel
+
+// Closure is the M array computed by the MDClosure algorithm.
+type Closure = core.Closure
+
+// P builds an attribute pair.
+func P(left, right string) AttrPair { return core.P(left, right) }
+
+// C builds a similarity conjunct.
+func C(left string, op Operator, right string) Conjunct { return core.C(left, op, right) }
+
+// EqC builds an equality conjunct.
+func EqC(left, right string) Conjunct { return core.Eq(left, right) }
+
+// NewMD validates and builds an MD.
+func NewMD(ctx Pair, lhs []Conjunct, rhs []AttrPair) (MD, error) { return core.NewMD(ctx, lhs, rhs) }
+
+// NewTarget validates and builds a target.
+func NewTarget(ctx Pair, y1, y2 AttrList) (Target, error) { return core.NewTarget(ctx, y1, y2) }
+
+// NewKey validates and builds a relative key.
+func NewKey(ctx Pair, target Target, conjuncts []Conjunct) (Key, error) {
+	return core.NewKey(ctx, target, conjuncts)
+}
+
+// Deduce decides the deduction problem Σ ⊨m ϕ (Theorem 4.1, O(n²+h³)).
+func Deduce(sigma []MD, phi MD) (bool, error) { return core.Deduce(sigma, phi) }
+
+// DeduceKey decides Σ ⊨m ψ for a relative key.
+func DeduceKey(sigma []MD, key Key) (bool, error) { return core.DeduceKey(sigma, key) }
+
+// MDClosure computes the closure of Σ and a hypothesis LHS (Figure 5).
+func MDClosure(ctx Pair, sigma []MD, lhs []Conjunct) (*Closure, error) {
+	return core.MDClosure(ctx, sigma, lhs)
+}
+
+// Explanation is a step-by-step derivation of a deduction.
+type Explanation = core.Explanation
+
+// Explain runs the deduction of ϕ from Σ and records a human-readable
+// derivation (hypotheses, MD firings, axiom propagations).
+func Explain(sigma []MD, phi MD) (*Explanation, error) { return core.Explain(sigma, phi) }
+
+// FindRCKs derives up to m quality RCKs relative to the target
+// (algorithm findRCKs, Figure 7). cm may be nil for the paper's default
+// cost model.
+func FindRCKs(ctx Pair, sigma []MD, target Target, m int, cm *CostModel) ([]Key, error) {
+	return core.FindRCKs(ctx, sigma, target, m, cm)
+}
+
+// AllRCKs derives every RCK deducible from Σ (use with small Σ).
+func AllRCKs(ctx Pair, sigma []MD, target Target, cm *CostModel) ([]Key, error) {
+	return core.AllRCKs(ctx, sigma, target, cm)
+}
+
+// PruneSubsumed drops keys made redundant under operator subsumption.
+func PruneSubsumed(keys []Key) []Key { return core.PruneSubsumed(keys) }
+
+// DefaultCostModel returns the paper's experimental cost configuration.
+func DefaultCostModel() *CostModel { return core.DefaultCostModel() }
+
+// --- Similarity operators (internal/similarity) ---
+
+// Operator is a similarity operator from Θ.
+type Operator = similarity.Operator
+
+// Registry is the operator set Θ available to parsing and reasoning.
+type Registry = similarity.Registry
+
+// Eq returns the equality operator.
+func Eq() Operator { return similarity.Eq() }
+
+// DL returns the paper's thresholded Damerau–Levenshtein operator ≈θ.
+func DL(theta float64) Operator { return similarity.DL(theta) }
+
+// JaroWinkler returns a thresholded Jaro–Winkler operator.
+func JaroWinkler(theta float64) Operator { return similarity.JaroWinklerOp(theta) }
+
+// SynonymOp wraps an operator with a constant-synonym table (Section 8
+// extension).
+func SynonymOp(base Operator, synonyms map[string]string) Operator {
+	return similarity.SynonymOp(base, synonyms)
+}
+
+// DefaultRegistry returns the operators used throughout the paper.
+func DefaultRegistry() *Registry { return similarity.DefaultRegistry() }
+
+// Soundex returns the Soundex code of s (blocking encoder).
+func Soundex(s string) string { return similarity.Soundex(s) }
+
+// --- Rule language (internal/mdlang) ---
+
+// RulesDoc is a parsed rule document.
+type RulesDoc = mdlang.Document
+
+// ParseRules parses rule-language text with the default operator
+// registry.
+func ParseRules(input string) (*RulesDoc, error) { return mdlang.Parse(input, nil) }
+
+// ParseRulesWith parses rule-language text against a custom registry.
+func ParseRulesWith(input string, reg *Registry) (*RulesDoc, error) {
+	return mdlang.Parse(input, reg)
+}
+
+// FormatRules renders a document back to rule-language text.
+func FormatRules(doc *RulesDoc) string { return mdlang.Format(doc) }
+
+// --- Instances and enforcement (internal/record, internal/semantics) ---
+
+// Tuple is a row with a temporary tuple id.
+type Tuple = record.Tuple
+
+// Instance is a set of tuples over one relation.
+type Instance = record.Instance
+
+// PairInstance is an instance D = (I1, I2) of a matching context.
+type PairInstance = record.PairInstance
+
+// EnforceResult reports a chase outcome.
+type EnforceResult = semantics.EnforceResult
+
+// NewInstance creates an empty instance.
+func NewInstance(rel *Relation) *Instance { return record.NewInstance(rel) }
+
+// NewPairInstance validates and builds an instance pair.
+func NewPairInstance(ctx Pair, left, right *Instance) (*PairInstance, error) {
+	return record.NewPairInstance(ctx, left, right)
+}
+
+// ReadCSV loads an instance written by Instance.WriteCSV.
+func ReadCSV(rel *Relation, r io.Reader) (*Instance, error) { return record.ReadCSV(rel, r) }
+
+// Enforce runs the MDs of Σ as matching rules on a copy of D until the
+// result is stable (the chase of Section 3.1). D is not modified.
+func Enforce(d *PairInstance, sigma []MD) (EnforceResult, error) { return semantics.Enforce(d, sigma) }
+
+// IsStable reports whether (D, D) ⊨ Σ.
+func IsStable(d *PairInstance, sigma []MD) (bool, error) { return semantics.IsStable(d, sigma) }
+
+// Satisfies decides (D, D′) ⊨ md under the dynamic semantics.
+func Satisfies(d, dPrime *PairInstance, md MD) (bool, error) {
+	return semantics.Satisfies(d, dPrime, md)
+}
+
+// MatchByKey reports whether a tuple pair matches the LHS of a key.
+func MatchByKey(d *PairInstance, key Key, t1, t2 *Tuple) (bool, error) {
+	return semantics.MatchByKey(d, key, t1, t2)
+}
+
+// --- Matchers (internal/matching, fellegi, neighborhood, blocking) ---
+
+// Field is one entry of a comparison vector.
+type Field = matching.Field
+
+// RuleSet applies keys as matching rules.
+type RuleSet = matching.RuleSet
+
+// FSMatcher is the Fellegi–Sunter statistical matcher with EM.
+type FSMatcher = fellegi.Matcher
+
+// FSModel is a fitted Fellegi–Sunter model.
+type FSModel = fellegi.Model
+
+// SNConfig configures a Sorted-Neighborhood run.
+type SNConfig = neighborhood.Config
+
+// SNPass is one sort-and-window sweep.
+type SNPass = neighborhood.Pass
+
+// KeySpec is a blocking/windowing key.
+type KeySpec = blocking.KeySpec
+
+// PairRef identifies a candidate or matched record pair by tuple ids.
+type PairRef = metrics.Pair
+
+// PairSet is a set of record pairs.
+type PairSet = metrics.PairSet
+
+// Quality holds precision/recall/F1.
+type Quality = metrics.Quality
+
+// BlockingQuality holds PC/RR.
+type BlockingQuality = metrics.BlockingQuality
+
+// NewRuleSet builds a rule set from keys.
+func NewRuleSet(keys ...Key) *RuleSet { return matching.NewRuleSet(keys...) }
+
+// FieldsFromKeys returns the union of the keys' conjuncts as comparison
+// fields.
+func FieldsFromKeys(keys []Key) []Field { return matching.FieldsFromKeys(keys) }
+
+// TransitiveClosure closes a match set over match chains.
+func TransitiveClosure(ms *PairSet) *PairSet { return matching.TransitiveClosure(ms) }
+
+// NewPairSet builds a pair set.
+func NewPairSet(pairs ...PairRef) *PairSet { return metrics.NewPairSet(pairs...) }
+
+// Evaluate compares found matches against true matches.
+func Evaluate(found, truth *PairSet) Quality { return metrics.Evaluate(found, truth) }
+
+// EvaluateBlocking computes PC/RR of a candidate set.
+func EvaluateBlocking(candidates, truth *PairSet, totalPairs int) BlockingQuality {
+	return metrics.EvaluateBlocking(candidates, truth, totalPairs)
+}
+
+// NewKeySpec builds a blocking key over attribute pairs (identity
+// encoding).
+func NewKeySpec(pairs ...AttrPair) KeySpec { return blocking.NewKeySpec(pairs...) }
+
+// KeySpecFromRCKs derives a blocking key from RCKs, Soundex-encoding the
+// named attributes.
+func KeySpecFromRCKs(keys []Key, maxFields int, soundexAttrs ...string) KeySpec {
+	return blocking.FromRCKs(keys, maxFields, soundexAttrs...)
+}
+
+// Block partitions by key and returns within-block cross pairs.
+func Block(d *PairInstance, ks KeySpec) (*PairSet, error) { return blocking.Block(d, ks) }
+
+// Window sorts by key and returns sliding-window cross pairs.
+func Window(d *PairInstance, ks KeySpec, w int) (*PairSet, error) { return blocking.Window(d, ks, w) }
+
+// OrientSelfMatch drops identity pairs and orients each unordered pair
+// once (Left < Right); use for self-match (deduplication) candidates.
+func OrientSelfMatch(ps *PairSet) *PairSet { return blocking.OrientSelfMatch(ps) }
+
+// RunSN runs the Sorted-Neighborhood matcher.
+func RunSN(d *PairInstance, cfg SNConfig) (*neighborhood.Result, error) {
+	return neighborhood.Run(d, cfg)
+}
+
+// SNBaselineRules returns the 25-rule hand-written equational theory
+// over the generated credit/billing schemas.
+func SNBaselineRules(ctx Pair, target Target) []Key {
+	return neighborhood.BaselineRules(ctx, target)
+}
+
+// --- Data generation (internal/gen) ---
+
+// GenConfig controls synthetic dataset generation.
+type GenConfig = gen.Config
+
+// GenDataset is a generated dataset with ground truth.
+type GenDataset = gen.Dataset
+
+// DefaultGenConfig returns the paper's dirtying protocol for K holders.
+func DefaultGenConfig(k int) GenConfig { return gen.DefaultConfig(k) }
+
+// GenerateDataset builds a synthetic credit/billing dataset.
+func GenerateDataset(cfg GenConfig) (*GenDataset, error) { return gen.Generate(cfg) }
+
+// CreditBillingMDs returns the 7 card-holder MDs of the evaluation.
+func CreditBillingMDs(ctx Pair) []MD { return gen.HolderMDs(ctx) }
+
+// CreditBillingTarget returns the 11-attribute identification target.
+func CreditBillingTarget(ctx Pair) Target { return gen.Target(ctx) }
+
+// --- MD discovery from samples (internal/discover, §7/§8 extension) ---
+
+// DiscoverSample is a labeled sample of tuple pairs for MD mining.
+type DiscoverSample = discover.Sample
+
+// DiscoverConfig controls MD mining.
+type DiscoverConfig = discover.Config
+
+// DiscoveredMD is a mined candidate LHS with its sample statistics.
+type DiscoveredMD = discover.Candidate
+
+// MineMDs discovers minimal high-confidence LHSs from a labeled sample
+// (levelwise, in the style of FD discovery). Feed the result to ToMDs
+// and then FindRCKs — the "discover then deduce" pipeline of Section 7.
+func MineMDs(sample DiscoverSample, cfg DiscoverConfig) ([]DiscoveredMD, error) {
+	return discover.Mine(sample, cfg)
+}
+
+// DiscoveredToMDs converts mined candidates into MDs for a target.
+func DiscoveredToMDs(ctx Pair, target Target, candidates []DiscoveredMD) ([]MD, error) {
+	return discover.ToMDs(ctx, target, candidates)
+}

@@ -1,0 +1,197 @@
+package mdmatch
+
+import (
+	"strings"
+	"testing"
+)
+
+// paperRules is the running example of the paper in rule-language form.
+const paperRules = `
+schema credit(cno, ssn, fn, ln, addr, tel, email, gender, type)
+schema billing(cno, fn, ln, post, phn, email, gender, item, price)
+
+pair credit billing
+
+md credit[ln] = billing[ln] && credit[addr] = billing[post] && credit[fn] ~dl(0.75) billing[fn]
+   -> credit[fn, ln, addr, tel, gender] <=> billing[fn, ln, post, phn, gender]
+md credit[tel] = billing[phn] -> credit[addr] <=> billing[post]
+md credit[email] = billing[email] -> credit[fn, ln] <=> billing[fn, ln]
+
+target credit[fn, ln, addr, tel, gender] <=> billing[fn, ln, post, phn, gender]
+`
+
+// TestPublicAPIEndToEnd drives the full public surface: parse rules,
+// deduce RCKs, build instances, match, enforce, evaluate.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	doc, err := ParseRules(paperRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := FindRCKs(doc.Ctx, doc.MDs, doc.Targets[0], 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 5 {
+		t.Fatalf("derived %d keys, want 5", len(keys))
+	}
+
+	// Figure 1 data through the public API.
+	credit := doc.Schemas["credit"]
+	billing := doc.Schemas["billing"]
+	ic := NewInstance(credit)
+	t1 := ic.MustAppend("111", "079172485", "Mark", "Clifford", "10 Oak Street, MH, NJ 07974", "908-1111111", "mc@gm.com", "M", "master")
+	ib := NewInstance(billing)
+	t6 := ib.MustAppend("111", "M.", "Clivord", "NJ", "908-1111111", "mc@gm.com", "null", "CD", "14.99")
+	d, err := NewPairInstance(doc.Ctx, ic, ib)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// rck4 (email+tel) matches (t1, t6) though names/addresses differ.
+	rules := NewRuleSet(keys...)
+	ok, err := rules.Match(d, t1, t6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("deduced keys must match (t1, t6)")
+	}
+
+	// Enforcement produces a stable instance.
+	res, err := Enforce(d, doc.MDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stable, err := IsStable(res.Instance, doc.MDs)
+	if err != nil || !stable {
+		t.Fatalf("enforcement not stable: %v %v", stable, err)
+	}
+
+	// Metrics plumbing.
+	found := NewPairSet(PairRef{Left: t1.ID, Right: t6.ID})
+	q := Evaluate(found, found)
+	if q.Precision() != 1 || q.Recall() != 1 {
+		t.Error("self-evaluation must be perfect")
+	}
+
+	// Deduction API.
+	rck4, err := NewKey(doc.Ctx, doc.Targets[0], []Conjunct{
+		EqC("email", "email"), EqC("tel", "phn"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	yes, err := DeduceKey(doc.MDs, rck4)
+	if err != nil || !yes {
+		t.Fatalf("DeduceKey(rck4) = %v, %v", yes, err)
+	}
+
+	// Round-trip the document.
+	if _, err := ParseRules(FormatRules(doc)); err != nil {
+		t.Fatalf("FormatRules output does not re-parse: %v", err)
+	}
+}
+
+func TestPublicGeneratorAndMatchers(t *testing.T) {
+	ds, err := GenerateDataset(DefaultGenConfig(120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := CreditBillingTarget(ds.Ctx)
+	sigma := CreditBillingMDs(ds.Ctx)
+	keys, err := FindRCKs(ds.Ctx, sigma, target, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys = PruneSubsumed(keys)
+	d := ds.Pair()
+
+	ks := NewKeySpec(P("ln", "ln"), P("zip", "zip"))
+	cands, err := Window(d, ks, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := &FSMatcher{Fields: FieldsFromKeys(keys), SampleSize: 10000}
+	res, err := fs.Run(d, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Evaluate(res.Matches, ds.Truth())
+	if q.TruePositives == 0 {
+		t.Error("FS matcher found nothing through the public API")
+	}
+
+	sn, err := RunSN(d, SNConfig{
+		Passes: []SNPass{{Key: ks, Window: 10}},
+		Rules:  NewRuleSet(keys...),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sn.Matches.Len() == 0 {
+		t.Error("SN matcher found nothing through the public API")
+	}
+	bq := EvaluateBlocking(cands, ds.Truth(), ds.TotalPairs())
+	if bq.RR() <= 0 {
+		t.Error("windowing did not reduce the comparison space")
+	}
+}
+
+func TestPublicSimilarityAndCSV(t *testing.T) {
+	if !DL(0.8).Similar("Clifford", "Cliffort") {
+		t.Error("DL operator broken through facade")
+	}
+	if Soundex("Clifford") != Soundex("Clivord") {
+		t.Error("Soundex broken through facade")
+	}
+	syn := SynonymOp(Eq(), map[string]string{"USA": "United States"})
+	if !syn.Similar("usa", "United States") {
+		t.Error("SynonymOp broken through facade")
+	}
+	if !JaroWinkler(0.9).Similar("martha", "marhta") {
+		t.Error("JaroWinkler broken through facade")
+	}
+	rel, err := StringsRelation("p", "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInstance(rel)
+	in.MustAppend("x", "y")
+	var sb strings.Builder
+	if err := in.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(rel, strings.NewReader(sb.String()))
+	if err != nil || back.Len() != 1 {
+		t.Fatalf("CSV round trip failed: %v", err)
+	}
+}
+
+func TestPublicSatisfiesAndNegative(t *testing.T) {
+	doc, err := ParseRules(paperRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic := NewInstance(doc.Schemas["credit"])
+	ic.MustAppend("111", "s", "Mark", "Clifford", "addr1", "908", "e@x", "M", "m")
+	ib := NewInstance(doc.Schemas["billing"])
+	ib.MustAppend("111", "Mark", "Clifford", "addr2", "908", "e@x", "M", "i", "1")
+	d, err := NewPairInstance(doc.Ctx, ic, ib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Enforce(d, doc.MDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := Satisfies(d, res.Instance, doc.MDs[1])
+	if err != nil || !ok {
+		t.Fatalf("Satisfies through facade = %v, %v", ok, err)
+	}
+	// Negative rule conflicting with Σ is detected.
+	neg := NegativeMD{Ctx: doc.Ctx, LHS: doc.MDs[1].LHS, RHS: doc.MDs[1].RHS}
+	conflict, err := neg.ConflictsWith(doc.MDs)
+	if err != nil || !conflict {
+		t.Fatalf("ConflictsWith = %v, %v (Σ forces exactly this identification)", conflict, err)
+	}
+}
