@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test bench vet clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then echo "gofmt needed:"; echo "$$fmt"; exit 1; fi
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test -race ./...
+
+# bench measures serving-engine throughput (1, 4, GOMAXPROCS workers)
+# against the single-threaded baseline driver and records the result in
+# BENCH_engine.json, the repo's perf trajectory. BENCH_ENGINE_K overrides
+# the corpus scale (default 4000 holders ≈ 10k+ queries).
+bench:
+	BENCH_ENGINE_OUT=$(CURDIR)/BENCH_engine.json $(GO) test -run TestWriteBenchReport -count=1 -v ./internal/engine/
+	@cat BENCH_engine.json
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,272 @@
+// Command matchd serves record matching over HTTP: the library's
+// compile-once/serve-many split made runnable. At startup it generates a
+// credit/billing corpus (internal/gen), derives the top quality RCKs
+// from the 7 card-holder MDs (findRCKs, Section 5), compiles them into
+// an engine plan with RCK-style blocking keys, and indexes the credit
+// side. It then answers matching queries for billing-shaped records.
+//
+//	matchd -addr :8080 -k 1000
+//
+// Endpoints (JSON in/out):
+//
+//	POST   /match         {"record": {"fn": "...", ...}} or {"values": [...]}
+//	POST   /records       add/replace an indexed credit record
+//	DELETE /records/{id}  un-index a credit record
+//	GET    /stats         engine counters, reduction ratio, uptime
+//	GET    /healthz       liveness
+//
+// See README.md for a curl walkthrough.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"mdmatch/internal/blocking"
+	"mdmatch/internal/core"
+	"mdmatch/internal/engine"
+	"mdmatch/internal/gen"
+	"mdmatch/internal/schema"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		k       = flag.Int("k", 1000, "card holders in the generated demo corpus")
+		seed    = flag.Int64("seed", 1, "corpus generation seed")
+		m       = flag.Int("m", 5, "number of RCKs to derive and serve")
+		workers = flag.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS)")
+		shards  = flag.Int("shards", 0, "index/store shard count (0 = default)")
+	)
+	flag.Parse()
+	srv, err := buildServer(*k, *seed, *m, *workers, *shards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "matchd:", err)
+		os.Exit(1)
+	}
+	log.Printf("matchd: %s", srv.eng.Plan())
+	log.Printf("matchd: indexed %d credit records, serving on %s", srv.eng.Len(), *addr)
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.routes(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	log.Fatal(hs.ListenAndServe())
+}
+
+// buildServer derives rules, compiles the plan and loads the index.
+func buildServer(k int, seed int64, m, workers, shards int) (*server, error) {
+	cfg := gen.DefaultConfig(k)
+	cfg.Seed = seed
+	ds, err := gen.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	target := gen.Target(ds.Ctx)
+	sigma := gen.HolderMDs(ds.Ctx)
+	cm := core.DefaultCostModel()
+	cm.Lt = ds.LtStats()
+	keys, err := core.FindRCKs(ds.Ctx, sigma, target, m+4, cm)
+	if err != nil {
+		return nil, err
+	}
+	keys = core.PruneSubsumed(keys)
+	if len(keys) > m {
+		keys = keys[:m]
+	}
+	specs := []blocking.KeySpec{
+		blocking.NewKeySpec(core.P("ln", "ln"), core.P("zip", "zip")).
+			WithEncoder(0, blocking.SoundexEncode),
+		blocking.NewKeySpec(core.P("tel", "phn")),
+		blocking.NewKeySpec(core.P("fn", "fn"), core.P("dob", "dob")).
+			WithEncoder(0, blocking.SoundexEncode),
+	}
+	plan, err := engine.Compile(ds.Ctx, keys, specs)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.New(plan, engine.WithWorkers(workers), engine.WithShards(shards))
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Load(ds.Credit); err != nil {
+		return nil, err
+	}
+	srv := &server{eng: eng, ctx: ds.Ctx, started: time.Now()}
+	maxID := -1
+	for _, t := range ds.Credit.Tuples {
+		if t.ID > maxID {
+			maxID = t.ID
+		}
+	}
+	srv.nextID.Store(int64(maxID))
+	return srv, nil
+}
+
+type server struct {
+	eng     *engine.Engine
+	ctx     schema.Pair
+	nextID  atomic.Int64
+	started time.Time
+}
+
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /match", s.handleMatch)
+	mux.HandleFunc("POST /records", s.handleAddRecord)
+	mux.HandleFunc("DELETE /records/{id}", s.handleDeleteRecord)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// recordPayload carries one record, either positional (values) or named
+// (record); named form fills unmentioned attributes with "".
+type recordPayload struct {
+	ID     *int              `json:"id,omitempty"`
+	Values []string          `json:"values,omitempty"`
+	Record map[string]string `json:"record,omitempty"`
+}
+
+// resolve turns the payload into positional values of rel.
+func (p *recordPayload) resolve(rel *schema.Relation) ([]string, error) {
+	switch {
+	case p.Values != nil && p.Record != nil:
+		return nil, fmt.Errorf("give either values or record, not both")
+	case p.Values != nil:
+		if len(p.Values) != rel.Arity() {
+			return nil, fmt.Errorf("%s expects %d values, got %d", rel.Name(), rel.Arity(), len(p.Values))
+		}
+		return p.Values, nil
+	case p.Record != nil:
+		vals := make([]string, rel.Arity())
+		for attr, v := range p.Record {
+			i, ok := rel.Index(attr)
+			if !ok {
+				return nil, fmt.Errorf("%s has no attribute %q", rel.Name(), attr)
+			}
+			vals[i] = v
+		}
+		return vals, nil
+	default:
+		return nil, fmt.Errorf("missing values or record")
+	}
+}
+
+type matchResponse struct {
+	Matches    []int `json:"matches"`
+	Candidates int   `json:"candidates"`
+	Compared   int   `json:"compared"`
+}
+
+func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	var p recordPayload
+	if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	vals, err := p.resolve(s.ctx.Right)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.eng.MatchOne(vals)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	matches := res.Matches
+	if matches == nil {
+		matches = []int{}
+	}
+	writeJSON(w, http.StatusOK, matchResponse{
+		Matches: matches, Candidates: res.Candidates, Compared: res.Compared,
+	})
+}
+
+func (s *server) handleAddRecord(w http.ResponseWriter, r *http.Request) {
+	var p recordPayload
+	if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	vals, err := p.resolve(s.ctx.Left)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var id int
+	if p.ID != nil {
+		id = *p.ID
+		// Keep the allocator ahead of explicit ids.
+		for {
+			cur := s.nextID.Load()
+			if int64(id) <= cur || s.nextID.CompareAndSwap(cur, int64(id)) {
+				break
+			}
+		}
+	} else {
+		id = int(s.nextID.Add(1))
+	}
+	if err := s.eng.Add(id, vals); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"id": id})
+}
+
+func (s *server) handleDeleteRecord(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad id: %w", err))
+		return
+	}
+	if !s.eng.Remove(id) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no record %d", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"removed": id})
+}
+
+type statsResponse struct {
+	engine.Stats
+	ReductionRatio float64 `json:"reduction_ratio"`
+	Plan           string  `json:"plan"`
+	Workers        int     `json:"workers"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.eng.Stats()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Stats:          st,
+		ReductionRatio: st.ReductionRatio(),
+		Plan:           s.eng.Plan().String(),
+		Workers:        s.eng.Workers(),
+		UptimeSeconds:  time.Since(s.started).Seconds(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("matchd: encoding response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

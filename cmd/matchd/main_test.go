@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// testServer builds a small matchd instance once per test binary.
+func testServer(t *testing.T) *server {
+	t.Helper()
+	srv, err := buildServer(150, 1, 5, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func doJSON(t *testing.T, ts *httptest.Server, method, path string, body any) (int, map[string]json.RawMessage) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, ts.URL+path, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("%s %s: decoding response: %v", method, path, err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestServeMatchFlow(t *testing.T) {
+	srv := testServer(t)
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	// Liveness.
+	status, _ := doJSON(t, ts, http.MethodGet, "/healthz", nil)
+	if status != http.StatusOK {
+		t.Fatalf("/healthz = %d", status)
+	}
+
+	// Add a fresh credit record, then match a billing-shaped query that
+	// agrees on the blocking keys and the rule attributes.
+	rec := map[string]string{
+		"cno": "4000123412341234", "ssn": "123-45-6789",
+		"fn": "Augusta", "ln": "Byron", "street": "12 St James Square",
+		"city": "London", "county": "Westminster", "zip": "SW1Y",
+		"tel": "555-0100", "email": "ada@example.org",
+		"gender": "F", "dob": "1815-12-10", "type": "visa",
+	}
+	status, out := doJSON(t, ts, http.MethodPost, "/records", map[string]any{"record": rec})
+	if status != http.StatusOK {
+		t.Fatalf("POST /records = %d (%s)", status, out["error"])
+	}
+	var id int
+	if err := json.Unmarshal(out["id"], &id); err != nil {
+		t.Fatal(err)
+	}
+
+	query := map[string]string{
+		"cno": "4000123412341234", "fn": "Augusta", "ln": "Byron",
+		"street": "12 St James Square", "city": "London",
+		"county": "Westminster", "zip": "SW1Y", "phn": "555-0100",
+		"email": "ada@example.org", "gender": "F", "dob": "1815-12-10",
+	}
+	status, out = doJSON(t, ts, http.MethodPost, "/match", map[string]any{"record": query})
+	if status != http.StatusOK {
+		t.Fatalf("POST /match = %d (%s)", status, out["error"])
+	}
+	var matches []int
+	if err := json.Unmarshal(out["matches"], &matches); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range matches {
+		if m == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("matches %v do not include the added record %d", matches, id)
+	}
+
+	// Remove it; the same query must no longer return it.
+	status, _ = doJSON(t, ts, http.MethodDelete, fmt.Sprintf("/records/%d", id), nil)
+	if status != http.StatusOK {
+		t.Fatalf("DELETE /records/%d = %d", id, status)
+	}
+	status, out = doJSON(t, ts, http.MethodPost, "/match", map[string]any{"record": query})
+	if status != http.StatusOK {
+		t.Fatalf("POST /match after delete = %d", status)
+	}
+	if err := json.Unmarshal(out["matches"], &matches); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range matches {
+		if m == id {
+			t.Fatalf("record %d still matched after delete", id)
+		}
+	}
+
+	// Stats reflect the queries.
+	status, out = doJSON(t, ts, http.MethodGet, "/stats", nil)
+	if status != http.StatusOK {
+		t.Fatalf("GET /stats = %d", status)
+	}
+	var queries uint64
+	if err := json.Unmarshal(out["queries"], &queries); err != nil {
+		t.Fatal(err)
+	}
+	if queries < 2 {
+		t.Fatalf("stats Queries = %d, want >= 2", queries)
+	}
+	var rr float64
+	if err := json.Unmarshal(out["reduction_ratio"], &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr < 0 || rr > 1 {
+		t.Fatalf("reduction_ratio = %v", rr)
+	}
+}
+
+func TestServeErrors(t *testing.T) {
+	srv := testServer(t)
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	// Unknown attribute.
+	status, out := doJSON(t, ts, http.MethodPost, "/match",
+		map[string]any{"record": map[string]string{"nope": "x"}})
+	if status != http.StatusBadRequest {
+		t.Fatalf("bad attribute: status %d, body %v", status, out)
+	}
+	// Wrong arity.
+	status, _ = doJSON(t, ts, http.MethodPost, "/match",
+		map[string]any{"values": []string{"just", "two"}})
+	if status != http.StatusBadRequest {
+		t.Fatalf("bad arity: status %d", status)
+	}
+	// Both forms at once.
+	status, _ = doJSON(t, ts, http.MethodPost, "/match",
+		map[string]any{"values": []string{"x"}, "record": map[string]string{"fn": "x"}})
+	if status != http.StatusBadRequest {
+		t.Fatalf("both forms: status %d", status)
+	}
+	// Delete of a record that is not there.
+	status, _ = doJSON(t, ts, http.MethodDelete, "/records/99999999", nil)
+	if status != http.StatusNotFound {
+		t.Fatalf("missing delete: status %d", status)
+	}
+}

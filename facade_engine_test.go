@@ -1,0 +1,59 @@
+package mdmatch
+
+import "testing"
+
+// TestFacadeEngine drives the serving layer through the public API
+// alone: generate a corpus, derive RCKs, compile a plan, index the left
+// side, and serve a batch.
+func TestFacadeEngine(t *testing.T) {
+	ds, err := GenerateDataset(DefaultGenConfig(120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := CreditBillingTarget(ds.Ctx)
+	sigma := CreditBillingMDs(ds.Ctx)
+	keys, err := FindRCKs(ds.Ctx, sigma, target, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []KeySpec{
+		NewKeySpec(P("tel", "phn")),
+		NewKeySpec(P("ln", "ln"), P("zip", "zip")),
+	}
+	plan, err := CompilePlan(ds.Ctx, keys, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(plan.Fields()); got == 0 {
+		t.Fatal("plan has no comparison fields")
+	}
+	eng, err := NewEngine(plan, EngineWorkers(4), EngineShards(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Load(ds.Credit); err != nil {
+		t.Fatal(err)
+	}
+	batch := make([][]string, len(ds.Billing.Tuples))
+	for i, tu := range ds.Billing.Tuples {
+		batch[i] = tu.Values
+	}
+	results, err := eng.MatchBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched := 0
+	for _, r := range results {
+		matched += len(r.Matches)
+	}
+	if matched == 0 {
+		t.Fatal("engine found no matches on the generated corpus")
+	}
+	st := eng.Stats()
+	if st.Queries != uint64(len(batch)) {
+		t.Fatalf("Queries = %d, want %d", st.Queries, len(batch))
+	}
+	if rr := st.ReductionRatio(); rr <= 0 || rr > 1 {
+		t.Fatalf("ReductionRatio = %v", rr)
+	}
+}

@@ -1,0 +1,3 @@
+module mdmatch
+
+go 1.22

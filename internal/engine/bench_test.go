@@ -1,0 +1,131 @@
+// Benchmarks of the serving engine against the seed's single-threaded
+// drivers: the same RCK rules and blocking keys, executed (a) by the
+// interpreted blocking.Block + matching.RuleSet pipeline the experiments
+// package uses, and (b) by the compiled engine with 1, 4, and
+// GOMAXPROCS workers. Run with:
+//
+//	go test -bench=EngineVsBaseline -benchmem ./internal/engine/
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+var (
+	benchMu    sync.Mutex
+	benchCache = map[int]*testSetup{}
+)
+
+// benchSetup caches the generated corpus per scale: K=4000 holders yield
+// a ≥10k-record query stream (billing side) against a ~7k-record indexed
+// store (credit side).
+func benchSetup(tb testing.TB, k int) *testSetup {
+	tb.Helper()
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if s, ok := benchCache[k]; ok {
+		return s
+	}
+	s := newTestSetup(tb, k)
+	benchCache[k] = s
+	return s
+}
+
+func batchOf(s *testSetup) [][]string {
+	batch := make([][]string, len(s.ds.Billing.Tuples))
+	for i, t := range s.ds.Billing.Tuples {
+		batch[i] = t.Values
+	}
+	return batch
+}
+
+// BenchmarkEngineVsBaseline_Baseline is the seed's driver shape: rebuild
+// block partitions, union candidates, interpret the rule set over the
+// PairInstance — all single-threaded.
+func BenchmarkEngineVsBaseline_Baseline(b *testing.B) {
+	s := benchSetup(b, 4000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matched := s.baselinePairs(b)
+		if matched.Len() == 0 {
+			b.Fatal("baseline found no matches")
+		}
+	}
+	b.ReportMetric(float64(len(s.ds.Billing.Tuples)), "records/op")
+}
+
+// BenchmarkEngineVsBaseline_Engine serves the identical workload from a
+// pre-built engine index with increasing worker counts. The index build
+// is excluded (it is paid once per serving process, not per batch).
+func BenchmarkEngineVsBaseline_Engine(b *testing.B) {
+	s := benchSetup(b, 4000)
+	batch := batchOf(s)
+	workerCounts := []int{1, 4}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 4 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			eng, err := New(s.plan, WithWorkers(workers))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := eng.Load(s.ds.Credit); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results, err := eng.MatchBatch(batch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(results) != len(batch) {
+					b.Fatal("short batch")
+				}
+			}
+			b.StopTimer()
+			qps := float64(len(batch)) * float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(qps, "queries/s")
+		})
+	}
+}
+
+// BenchmarkEngineLoad measures concurrent index construction.
+func BenchmarkEngineLoad(b *testing.B) {
+	s := benchSetup(b, 4000)
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng, err := New(s.plan, WithWorkers(workers))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := eng.Load(s.ds.Credit); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMatchOne measures single-query latency on the warm index.
+func BenchmarkMatchOne(b *testing.B) {
+	s := benchSetup(b, 4000)
+	eng, err := New(s.plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Load(s.ds.Credit); err != nil {
+		b.Fatal(err)
+	}
+	batch := batchOf(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.MatchOne(batch[i%len(batch)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,425 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"mdmatch/internal/metrics"
+	"mdmatch/internal/record"
+)
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithWorkers sets the worker-pool size of MatchBatch and Load; n <= 0
+// selects GOMAXPROCS.
+func WithWorkers(n int) Option { return func(e *Engine) { e.workers = n } }
+
+// WithShards sets the shard count of the blocking index and the record
+// store (rounded up to a power of two); n <= 0 selects the default.
+func WithShards(n int) Option { return func(e *Engine) { e.shardHint = n } }
+
+// Result is the verdict of one MatchOne query.
+type Result struct {
+	// Matches holds the ids of indexed left records matching the queried
+	// right record, ascending.
+	Matches []int
+	// Candidates counts index postings retrieved (before deduplication
+	// across blocking keys).
+	Candidates int
+	// Compared counts distinct candidate records evaluated against the
+	// rule plan.
+	Compared int
+}
+
+// Stats is a snapshot of cumulative engine counters. The JSON tags give
+// services exposing it (cmd/matchd) a uniform snake_case wire format.
+type Stats struct {
+	// IndexedRecords is the current number of records in the store.
+	IndexedRecords int `json:"indexed_records"`
+	// IndexKeys / IndexEntries describe the blocking index.
+	IndexKeys    int `json:"index_keys"`
+	IndexEntries int `json:"index_entries"`
+	// Queries counts MatchOne calls (including those issued by
+	// MatchBatch workers).
+	Queries uint64 `json:"queries"`
+	// Candidates counts index postings retrieved across all queries.
+	Candidates uint64 `json:"candidates"`
+	// Compared counts candidate pairs evaluated against the rules.
+	Compared uint64 `json:"compared"`
+	// Matched counts pairs the rules accepted.
+	Matched uint64 `json:"matched"`
+	// SearchSpace accumulates the unrestricted comparison space: the
+	// store size at the time of each query. Compared/SearchSpace is the
+	// fraction of the full cross product the index could not prune.
+	SearchSpace uint64 `json:"search_space"`
+}
+
+// Pruned returns the number of pairs the blocking index skipped relative
+// to the unrestricted comparison space.
+func (s Stats) Pruned() uint64 {
+	if s.Compared >= s.SearchSpace {
+		return 0
+	}
+	return s.SearchSpace - s.Compared
+}
+
+// Blocking casts the counters as the paper's PC/RR inputs (Section 6.2),
+// treating the engine's own matches as the reference match set. Like
+// Pruned, it clamps the search space to the compared count: concurrent
+// removals can shrink the store between a query's candidate evaluation
+// and its SearchSpace sample, leaving Compared > SearchSpace.
+func (s Stats) Blocking() metrics.BlockingQuality {
+	space := s.SearchSpace
+	if s.Compared > space {
+		space = s.Compared
+	}
+	return metrics.BlockingQuality{
+		SM: int(s.Matched),
+		SU: int(s.Compared - s.Matched),
+		NM: int(s.Matched),
+		NU: int(space - s.Matched),
+	}
+}
+
+// ReductionRatio returns RR = 1 - compared/searchspace, the fraction of
+// the comparison space pruned by the blocking index.
+func (s Stats) ReductionRatio() float64 { return s.Blocking().RR() }
+
+// Engine serves matching queries against an indexed left-side instance:
+// candidate retrieval through the sharded blocking index, then rule
+// evaluation under the compiled plan. All methods are safe for
+// concurrent use; Add/Remove may interleave with MatchOne/MatchBatch.
+type Engine struct {
+	plan        *Plan
+	index       *Index
+	store       *store
+	workers     int
+	shardHint   int
+	scratchPool sync.Pool
+
+	queries     atomic.Uint64
+	candidates  atomic.Uint64
+	compared    atomic.Uint64
+	matched     atomic.Uint64
+	searchSpace atomic.Uint64
+}
+
+// New builds an engine serving the given plan. The engine starts empty;
+// populate it with Load, AddTuple or Add.
+func New(plan *Plan, opts ...Option) (*Engine, error) {
+	if plan == nil {
+		return nil, fmt.Errorf("engine: nil plan")
+	}
+	e := &Engine{plan: plan}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.workers <= 0 {
+		e.workers = runtime.GOMAXPROCS(0)
+	}
+	e.index = NewIndex(e.shardHint)
+	e.store = newStore(e.shardHint)
+	e.scratchPool.New = func() any { return &matchScratch{} }
+	return e, nil
+}
+
+// Plan returns the engine's compiled plan.
+func (e *Engine) Plan() *Plan { return e.plan }
+
+// Workers returns the configured worker-pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Len returns the number of indexed records.
+func (e *Engine) Len() int { return e.store.len() }
+
+// Add indexes a left-side record under the given id. The values are
+// positional, parallel to the left relation's attributes, and are copied.
+// Adding an existing id replaces the previous version (its old blocking
+// keys are removed first). Mutations of one id are serialized on its
+// store shard, so concurrent Add/Remove calls on the same id cannot
+// leak stale index postings.
+func (e *Engine) Add(id int, values []string) error {
+	if got, want := len(values), e.plan.ctx.Left.Arity(); got != want {
+		return fmt.Errorf("engine: %s expects %d values, got %d", e.plan.ctx.Left.Name(), want, got)
+	}
+	vals := append([]string(nil), values...)
+	e.store.put(id, vals, func(old []string, existed bool) {
+		if existed {
+			for _, k := range e.plan.leftKeys(old, nil) {
+				e.index.Remove(k, id)
+			}
+		}
+		for _, k := range e.plan.leftKeys(vals, nil) {
+			e.index.Add(k, id)
+		}
+	})
+	return nil
+}
+
+// AddTuple indexes a left-side tuple.
+func (e *Engine) AddTuple(t *record.Tuple) error { return e.Add(t.ID, t.Values) }
+
+// Remove un-indexes the record with the given id and reports whether it
+// was present.
+func (e *Engine) Remove(id int) bool {
+	return e.store.delete(id, func(vals []string) {
+		for _, k := range e.plan.leftKeys(vals, nil) {
+			e.index.Remove(k, id)
+		}
+	})
+}
+
+// Load bulk-indexes a left-side instance, fanning the work out over the
+// engine's worker pool. The instance must be over the plan's left
+// relation.
+func (e *Engine) Load(in *record.Instance) error {
+	if in.Rel != e.plan.ctx.Left {
+		return fmt.Errorf("engine: instance is over %s, plan expects %s", in.Rel.Name(), e.plan.ctx.Left.Name())
+	}
+	return parallelFor(len(in.Tuples), e.workers, func(i int) error {
+		return e.AddTuple(in.Tuples[i])
+	})
+}
+
+// parallelFor runs fn(0..n-1) over a pool of workers claiming indices
+// from an atomic counter. A worker stops at its first error; the first
+// error observed is returned after all workers finish.
+func parallelFor(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// MatchOne matches one right-side record (positional values) against the
+// indexed store: blocking-key lookup for candidates, deduplication, then
+// rule evaluation. Matches are returned in ascending id order.
+func (e *Engine) MatchOne(values []string) (Result, error) {
+	if got, want := len(values), e.plan.ctx.Right.Arity(); got != want {
+		return Result{}, fmt.Errorf("engine: %s expects %d values, got %d", e.plan.ctx.Right.Name(), want, got)
+	}
+	sc := e.scratchPool.Get().(*matchScratch)
+	res := e.matchValues(values, sc)
+	e.scratchPool.Put(sc)
+	return res, nil
+}
+
+// matchScratch holds reusable per-query buffers (pooled) so matching
+// does not allocate key and candidate slices per query.
+type matchScratch struct {
+	keys []string
+	ids  []int
+}
+
+func (e *Engine) matchValues(values []string, scratch *matchScratch) Result {
+	scratch.keys = e.plan.rightKeys(values, scratch.keys[:0])
+	scratch.ids = scratch.ids[:0]
+	for _, k := range scratch.keys {
+		scratch.ids = e.index.AppendTo(k, scratch.ids)
+	}
+	raw := len(scratch.ids)
+	sort.Ints(scratch.ids)
+	var res Result
+	res.Candidates = raw
+	prev := -1
+	for _, id := range scratch.ids {
+		if id == prev {
+			continue
+		}
+		prev = id
+		left, ok := e.store.get(id)
+		if !ok {
+			// Removed between index lookup and store fetch.
+			continue
+		}
+		res.Compared++
+		if e.plan.EvalPair(left, values) {
+			res.Matches = append(res.Matches, id)
+		}
+	}
+	e.queries.Add(1)
+	e.candidates.Add(uint64(raw))
+	e.compared.Add(uint64(res.Compared))
+	e.matched.Add(uint64(len(res.Matches)))
+	e.searchSpace.Add(uint64(e.store.len()))
+	return res
+}
+
+// MatchBatch matches a batch of right-side records, fanning the queries
+// out over the worker pool. results[i] is the verdict of batch[i]
+// regardless of scheduling, so the output is deterministic for a fixed
+// store.
+func (e *Engine) MatchBatch(batch [][]string) ([]Result, error) {
+	want := e.plan.ctx.Right.Arity()
+	for i, values := range batch {
+		if len(values) != want {
+			return nil, fmt.Errorf("engine: batch[%d]: %s expects %d values, got %d", i, e.plan.ctx.Right.Name(), want, len(values))
+		}
+	}
+	results := make([]Result, len(batch))
+	_ = parallelFor(len(batch), e.workers, func(i int) error {
+		sc := e.scratchPool.Get().(*matchScratch)
+		results[i] = e.matchValues(batch[i], sc)
+		e.scratchPool.Put(sc)
+		return nil
+	})
+	return results, nil
+}
+
+// MatchInstance matches every tuple of a right-side instance and returns
+// the verdicts in tuple order, plus the matched pairs as a set.
+func (e *Engine) MatchInstance(in *record.Instance) ([]Result, *metrics.PairSet, error) {
+	if in.Rel != e.plan.ctx.Right {
+		return nil, nil, fmt.Errorf("engine: instance is over %s, plan expects %s", in.Rel.Name(), e.plan.ctx.Right.Name())
+	}
+	batch := make([][]string, len(in.Tuples))
+	for i, t := range in.Tuples {
+		batch[i] = t.Values
+	}
+	results, err := e.MatchBatch(batch)
+	if err != nil {
+		return nil, nil, err
+	}
+	pairs := metrics.NewPairSet()
+	for i, r := range results {
+		rid := in.Tuples[i].ID
+		for _, lid := range r.Matches {
+			pairs.Add(metrics.Pair{Left: lid, Right: rid})
+		}
+	}
+	return results, pairs, nil
+}
+
+// Stats returns a snapshot of the engine's cumulative counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		IndexedRecords: e.store.len(),
+		IndexKeys:      e.index.Keys(),
+		IndexEntries:   e.index.Entries(),
+		Queries:        e.queries.Load(),
+		Candidates:     e.candidates.Load(),
+		Compared:       e.compared.Load(),
+		Matched:        e.matched.Load(),
+		SearchSpace:    e.searchSpace.Load(),
+	}
+}
+
+// ResetStats zeroes the query counters (the store and index are kept).
+func (e *Engine) ResetStats() {
+	e.queries.Store(0)
+	e.candidates.Store(0)
+	e.compared.Store(0)
+	e.matched.Store(0)
+	e.searchSpace.Store(0)
+}
+
+// --- sharded record store ---
+
+// store is a sharded map from record id to positional values. Like the
+// index it stripes locks by hash so concurrent Add/Remove/get calls on
+// different records proceed without contention. Mutations take a
+// callback that runs while the shard lock is held: the engine updates
+// the blocking index inside it, which serializes all index key changes
+// of one id. (Safe against the index's own locks: index methods never
+// take store locks, so the lock order store -> index is acyclic.)
+type store struct {
+	shards []storeShard
+	mask   uint64
+	size   atomic.Int64
+}
+
+type storeShard struct {
+	mu sync.RWMutex
+	m  map[int][]string
+}
+
+func newStore(count int) *store {
+	n := shardCount(count)
+	st := &store{shards: make([]storeShard, n), mask: uint64(n - 1)}
+	for i := range st.shards {
+		st.shards[i].m = make(map[int][]string)
+	}
+	return st
+}
+
+// shard mixes the id (Fibonacci hashing) so sequential ids spread
+// across shards instead of clustering.
+func (st *store) shard(id int) *storeShard {
+	return &st.shards[(uint64(id)*0x9E3779B97F4A7C15)>>32&st.mask]
+}
+
+// put stores values under id; swap runs under the shard lock with the
+// previous values (if any).
+func (st *store) put(id int, values []string, swap func(old []string, existed bool)) {
+	s := st.shard(id)
+	s.mu.Lock()
+	old, existed := s.m[id]
+	s.m[id] = values
+	swap(old, existed)
+	s.mu.Unlock()
+	if !existed {
+		st.size.Add(1)
+	}
+}
+
+func (st *store) get(id int) ([]string, bool) {
+	s := st.shard(id)
+	s.mu.RLock()
+	v, ok := s.m[id]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// delete removes id and reports whether it existed; drop runs under the
+// shard lock with the removed values.
+func (st *store) delete(id int, drop func(vals []string)) bool {
+	s := st.shard(id)
+	s.mu.Lock()
+	v, ok := s.m[id]
+	if ok {
+		delete(s.m, id)
+		drop(v)
+	}
+	s.mu.Unlock()
+	if ok {
+		st.size.Add(-1)
+	}
+	return ok
+}
+
+func (st *store) len() int { return int(st.size.Load()) }

@@ -1,0 +1,524 @@
+package engine
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"mdmatch/internal/blocking"
+	"mdmatch/internal/core"
+	"mdmatch/internal/gen"
+	"mdmatch/internal/matching"
+	"mdmatch/internal/metrics"
+	"mdmatch/internal/record"
+	"mdmatch/internal/schema"
+)
+
+// testSetup bundles a generated corpus with a compiled plan and the
+// pieces the sequential baseline needs.
+type testSetup struct {
+	ds    *gen.Dataset
+	d     *record.PairInstance
+	keys  []core.Key
+	specs []blocking.KeySpec
+	plan  *Plan
+	rules *matching.RuleSet
+}
+
+func newTestSetup(t testing.TB, k int) *testSetup {
+	t.Helper()
+	cfg := gen.DefaultConfig(k)
+	ds, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := gen.Target(ds.Ctx)
+	sigma := gen.HolderMDs(ds.Ctx)
+	keys, err := core.FindRCKs(ds.Ctx, sigma, target, 9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys = core.PruneSubsumed(keys)
+	if len(keys) > 5 {
+		keys = keys[:5]
+	}
+	specs := []blocking.KeySpec{
+		blocking.NewKeySpec(core.P("ln", "ln"), core.P("zip", "zip")).
+			WithEncoder(0, blocking.SoundexEncode),
+		blocking.NewKeySpec(core.P("tel", "phn")),
+		blocking.NewKeySpec(core.P("fn", "fn"), core.P("dob", "dob")).
+			WithEncoder(0, blocking.SoundexEncode),
+	}
+	plan, err := Compile(ds.Ctx, keys, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testSetup{
+		ds: ds, d: ds.Pair(), keys: keys, specs: specs,
+		plan: plan, rules: matching.NewRuleSet(keys...),
+	}
+}
+
+// baselinePairs computes the reference result with the seed's
+// single-threaded machinery: per-spec blocking.Block candidates, unioned,
+// then matching.RuleSet over the candidates.
+func (s *testSetup) baselinePairs(t testing.TB) *metrics.PairSet {
+	t.Helper()
+	union := metrics.NewPairSet()
+	for _, ks := range s.specs {
+		cands, err := blocking.Block(s.d, ks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range cands.Pairs() {
+			union.Add(p)
+		}
+	}
+	matched, err := s.rules.MatchCandidates(s.d, union)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return matched
+}
+
+func pairsEqual(a, b *metrics.PairSet) bool {
+	return a.Len() == b.Len() && a.IntersectCount(b) == a.Len()
+}
+
+func TestCompileErrors(t *testing.T) {
+	credit := schema.MustStrings("credit", "fn", "ln")
+	billing := schema.MustStrings("billing", "fn", "ln")
+	ctx := schema.MustPair(credit, billing)
+	key := core.Key{Conjuncts: []core.Conjunct{core.Eq("fn", "fn")}}
+	spec := blocking.NewKeySpec(core.P("ln", "ln"))
+
+	if _, err := Compile(ctx, nil, []blocking.KeySpec{spec}); err == nil {
+		t.Error("want error for empty key set")
+	}
+	if _, err := Compile(ctx, []core.Key{key}, nil); err == nil {
+		t.Error("want error for empty blocking keys")
+	}
+	bad := core.Key{Conjuncts: []core.Conjunct{core.Eq("nope", "fn")}}
+	if _, err := Compile(ctx, []core.Key{bad}, []blocking.KeySpec{spec}); err == nil {
+		t.Error("want error for unknown rule attribute")
+	}
+	badSpec := blocking.NewKeySpec(core.P("fn", "nope"))
+	if _, err := Compile(ctx, []core.Key{key}, []blocking.KeySpec{badSpec}); err == nil {
+		t.Error("want error for unknown blocking attribute")
+	}
+}
+
+func TestPlanEvalMatchesRuleSet(t *testing.T) {
+	s := newTestSetup(t, 120)
+	// Every (left, right) pair of the blocked candidate space must get
+	// the same verdict from Plan.EvalPair as from the interpreted
+	// RuleSet.Match.
+	union := metrics.NewPairSet()
+	for _, ks := range s.specs {
+		cands, err := blocking.Block(s.d, ks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range cands.Pairs() {
+			union.Add(p)
+		}
+	}
+	checked := 0
+	for _, p := range union.Pairs() {
+		t1, _ := s.d.Left.ByID(p.Left)
+		t2, _ := s.d.Right.ByID(p.Right)
+		want, err := s.rules.Match(s.d, t1, t2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.plan.EvalPair(t1.Values, t2.Values); got != want {
+			t.Fatalf("EvalPair(%d, %d) = %v, RuleSet.Match = %v", p.Left, p.Right, got, want)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no candidate pairs to check")
+	}
+}
+
+func TestEngineMatchesSequentialBaseline(t *testing.T) {
+	s := newTestSetup(t, 250)
+	eng, err := New(s.plan, WithWorkers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Load(s.ds.Credit); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Len() != s.ds.Credit.Len() {
+		t.Fatalf("Len = %d, want %d", eng.Len(), s.ds.Credit.Len())
+	}
+	_, got, err := eng.MatchInstance(s.ds.Billing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.baselinePairs(t)
+	if !pairsEqual(got, want) {
+		t.Fatalf("engine matched %d pairs, baseline %d (intersection %d)",
+			got.Len(), want.Len(), got.IntersectCount(want))
+	}
+	if want.Len() == 0 {
+		t.Fatal("baseline found no matches; test corpus is degenerate")
+	}
+}
+
+func TestMatchBatchDeterministicAcrossWorkerCounts(t *testing.T) {
+	s := newTestSetup(t, 150)
+	batch := make([][]string, len(s.ds.Billing.Tuples))
+	for i, tu := range s.ds.Billing.Tuples {
+		batch[i] = tu.Values
+	}
+	var reference []Result
+	for _, workers := range []int{1, 2, 4, 8} {
+		eng, err := New(s.plan, WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Load(s.ds.Credit); err != nil {
+			t.Fatal(err)
+		}
+		results, err := eng.MatchBatch(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reference == nil {
+			reference = results
+			continue
+		}
+		if !reflect.DeepEqual(results, reference) {
+			t.Fatalf("workers=%d: batch results differ from workers=1", workers)
+		}
+	}
+}
+
+// TestConcurrentAddMatchBatch streams half the corpus into the engine
+// from several writer goroutines while reader goroutines hammer
+// MatchBatch — run under -race this exercises every lock stripe — and
+// then asserts the quiesced engine agrees exactly with the sequential
+// baseline matcher.
+func TestConcurrentAddMatchBatch(t *testing.T) {
+	s := newTestSetup(t, 200)
+	eng, err := New(s.plan, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(s.ds.Credit.Tuples) / 2
+	for _, tu := range s.ds.Credit.Tuples[:half] {
+		if err := eng.AddTuple(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rest := s.ds.Credit.Tuples[half:]
+	batch := make([][]string, 0, 64)
+	for i, tu := range s.ds.Billing.Tuples {
+		if i == 64 {
+			break
+		}
+		batch = append(batch, tu.Values)
+	}
+
+	const writers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := w; i < len(rest); i += writers {
+				if err := eng.AddTuple(rest[i]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, err := eng.MatchBatch(batch); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if eng.Len() != s.ds.Credit.Len() {
+		t.Fatalf("after stream: Len = %d, want %d", eng.Len(), s.ds.Credit.Len())
+	}
+	_, got, err := eng.MatchInstance(s.ds.Billing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.baselinePairs(t)
+	if !pairsEqual(got, want) {
+		t.Fatalf("after concurrent stream: engine matched %d pairs, baseline %d (intersection %d)",
+			got.Len(), want.Len(), got.IntersectCount(want))
+	}
+}
+
+func TestAddRemoveUpsert(t *testing.T) {
+	credit := schema.MustStrings("credit", "fn", "ln", "zip")
+	billing := schema.MustStrings("billing", "fn", "ln", "zip")
+	ctx := schema.MustPair(credit, billing)
+	key, err := core.NewKey(ctx,
+		core.Target{Y1: schema.AttrList{"fn"}, Y2: schema.AttrList{"fn"}},
+		[]core.Conjunct{core.Eq("ln", "ln"), core.Eq("zip", "zip")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Compile(ctx, []core.Key{key}, []blocking.KeySpec{blocking.NewKeySpec(core.P("zip", "zip"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(plan, WithWorkers(1), WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Add(1, []string{"Ada", "Lovelace", "07974"}); err != nil {
+		t.Fatal(err)
+	}
+	query := []string{"Ada", "Lovelace", "07974"}
+	res, err := eng.MatchOne(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Matches, []int{1}) {
+		t.Fatalf("Matches = %v, want [1]", res.Matches)
+	}
+
+	// Upsert moves the record to a new blocking key.
+	if err := eng.Add(1, []string{"Ada", "Lovelace", "10001"}); err != nil {
+		t.Fatal(err)
+	}
+	if res, _ = eng.MatchOne(query); len(res.Matches) != 0 {
+		t.Fatalf("after upsert: Matches = %v, want none under old key", res.Matches)
+	}
+	if res, _ = eng.MatchOne([]string{"Ada", "Lovelace", "10001"}); !reflect.DeepEqual(res.Matches, []int{1}) {
+		t.Fatalf("after upsert: Matches = %v, want [1] under new key", res.Matches)
+	}
+	if eng.Len() != 1 {
+		t.Fatalf("after upsert: Len = %d, want 1", eng.Len())
+	}
+
+	if !eng.Remove(1) {
+		t.Fatal("Remove(1) = false, want true")
+	}
+	if eng.Remove(1) {
+		t.Fatal("second Remove(1) = true, want false")
+	}
+	if res, _ = eng.MatchOne([]string{"Ada", "Lovelace", "10001"}); len(res.Matches) != 0 {
+		t.Fatalf("after remove: Matches = %v, want none", res.Matches)
+	}
+	st := eng.Stats()
+	if st.IndexedRecords != 0 || st.IndexEntries != 0 {
+		t.Fatalf("after remove: IndexedRecords=%d IndexEntries=%d, want 0/0", st.IndexedRecords, st.IndexEntries)
+	}
+}
+
+// TestConcurrentSameIDUpsert hammers one id with concurrent upserts,
+// removals and queries; per-id serialization must leave exactly the
+// postings of the final version — no stale index entries.
+func TestConcurrentSameIDUpsert(t *testing.T) {
+	credit := schema.MustStrings("credit", "fn", "ln", "zip")
+	billing := schema.MustStrings("billing", "fn", "ln", "zip")
+	ctx := schema.MustPair(credit, billing)
+	key, err := core.NewKey(ctx,
+		core.Target{Y1: schema.AttrList{"fn"}, Y2: schema.AttrList{"fn"}},
+		[]core.Conjunct{core.Eq("ln", "ln")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Compile(ctx, []core.Key{key},
+		[]blocking.KeySpec{blocking.NewKeySpec(core.P("zip", "zip"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(plan, WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zips := []string{"07974", "10001", "02139", "94105"}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if err := eng.Add(1, []string{"Ada", "Lovelace", zips[(w+i)%len(zips)]}); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%17 == 0 {
+					eng.Remove(1)
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			if _, err := eng.MatchOne([]string{"A", "Lovelace", zips[i%len(zips)]}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	if err := eng.Add(1, []string{"Ada", "Lovelace", zips[0]}); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", eng.Len())
+	}
+	st := eng.Stats()
+	if st.IndexEntries != 1 || st.IndexKeys != 1 {
+		t.Fatalf("stale postings leaked: IndexEntries=%d IndexKeys=%d, want 1/1", st.IndexEntries, st.IndexKeys)
+	}
+	res, err := eng.MatchOne([]string{"A", "Lovelace", zips[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Matches, []int{1}) || res.Candidates != 1 {
+		t.Fatalf("after quiesce: %+v, want one candidate matching [1]", res)
+	}
+	for _, z := range zips[1:] {
+		if res, _ := eng.MatchOne([]string{"A", "Lovelace", z}); res.Candidates != 0 {
+			t.Fatalf("stale posting under zip %s: %+v", z, res)
+		}
+	}
+}
+
+func TestNegativeRuleVetoes(t *testing.T) {
+	credit := schema.MustStrings("credit", "fn", "ln", "status")
+	billing := schema.MustStrings("billing", "fn", "ln", "status")
+	ctx := schema.MustPair(credit, billing)
+	key, err := core.NewKey(ctx,
+		core.Target{Y1: schema.AttrList{"fn"}, Y2: schema.AttrList{"fn"}},
+		[]core.Conjunct{core.Eq("ln", "ln")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	neg := core.NegativeMD{Ctx: ctx, LHS: []core.Conjunct{core.Eq("status", "status")}}
+	plan, err := Compile(ctx, []core.Key{key},
+		[]blocking.KeySpec{blocking.NewKeySpec(core.P("ln", "ln"))}, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(plan, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Add(0, []string{"Grace", "Hopper", "blocked"}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.MatchOne([]string{"G", "Hopper", "ok"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 1 {
+		t.Fatalf("positive rule should match: %+v", res)
+	}
+	// Same status triggers the veto.
+	if res, _ = eng.MatchOne([]string{"G", "Hopper", "blocked"}); len(res.Matches) != 0 {
+		t.Fatalf("negative rule should veto: %+v", res)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	s := newTestSetup(t, 100)
+	eng, err := New(s.plan, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Load(s.ds.Credit); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = eng.MatchInstance(s.ds.Billing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.Queries != uint64(s.ds.Billing.Len()) {
+		t.Fatalf("Queries = %d, want %d", st.Queries, s.ds.Billing.Len())
+	}
+	wantSpace := uint64(s.ds.Billing.Len() * s.ds.Credit.Len())
+	if st.SearchSpace != wantSpace {
+		t.Fatalf("SearchSpace = %d, want %d", st.SearchSpace, wantSpace)
+	}
+	if st.Compared > st.SearchSpace {
+		t.Fatalf("Compared %d exceeds SearchSpace %d", st.Compared, st.SearchSpace)
+	}
+	if st.Matched > st.Compared {
+		t.Fatalf("Matched %d exceeds Compared %d", st.Matched, st.Compared)
+	}
+	if st.Pruned() != st.SearchSpace-st.Compared {
+		t.Fatalf("Pruned = %d, want %d", st.Pruned(), st.SearchSpace-st.Compared)
+	}
+	rr := st.ReductionRatio()
+	if rr <= 0 || rr > 1 {
+		t.Fatalf("ReductionRatio = %v, want in (0, 1]", rr)
+	}
+	eng.ResetStats()
+	if st = eng.Stats(); st.Queries != 0 || st.Compared != 0 {
+		t.Fatalf("after ResetStats: %+v", st)
+	}
+	if st.IndexedRecords != s.ds.Credit.Len() {
+		t.Fatal("ResetStats must keep the store")
+	}
+}
+
+func TestArityValidation(t *testing.T) {
+	s := newTestSetup(t, 50)
+	eng, err := New(s.plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Add(0, []string{"too", "short"}); err == nil {
+		t.Error("Add with wrong arity should fail")
+	}
+	if _, err := eng.MatchOne([]string{"too", "short"}); err == nil {
+		t.Error("MatchOne with wrong arity should fail")
+	}
+	if _, err := eng.MatchBatch([][]string{{"too", "short"}}); err == nil {
+		t.Error("MatchBatch with wrong arity should fail")
+	}
+	if err := eng.Load(s.ds.Billing); err == nil {
+		t.Error("Load with the right-side instance should fail")
+	}
+	if _, _, err := eng.MatchInstance(s.ds.Credit); err == nil {
+		t.Error("MatchInstance with the left-side instance should fail")
+	}
+}
+
+func TestIndexShardRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{0, 64}, {1, 1}, {3, 4}, {64, 64}, {65, 128}} {
+		if got := NewIndex(tc.in).Shards(); got != tc.want {
+			t.Errorf("NewIndex(%d).Shards() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func ExamplePlan_String() {
+	credit := schema.MustStrings("credit", "fn", "ln")
+	billing := schema.MustStrings("billing", "fn", "ln")
+	ctx := schema.MustPair(credit, billing)
+	key, _ := core.NewKey(ctx,
+		core.Target{Y1: schema.AttrList{"fn"}, Y2: schema.AttrList{"fn"}},
+		[]core.Conjunct{core.Eq("ln", "ln")})
+	plan, _ := Compile(ctx, []core.Key{key}, []blocking.KeySpec{blocking.NewKeySpec(core.P("ln", "ln"))})
+	fmt.Println(plan)
+	// Output: plan: 1 rules, 0 negative, 1 fields, 1 blocking keys [ln|ln]
+}

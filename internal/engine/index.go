@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Index is a sharded, mutex-striped in-memory map from blocking-key
+// strings to record ids. Shards are selected by key hash, so writers
+// touching different keys rarely contend; each shard has its own
+// RWMutex, letting concurrent lookups proceed in parallel with each
+// other and with writes to other shards. It supports incremental Add
+// and Remove so an engine can absorb a stream of new records without a
+// full rebuild.
+type Index struct {
+	shards []indexShard
+	mask   uint64
+	// entries counts (key, id) postings across all shards.
+	entries atomic.Int64
+}
+
+type indexShard struct {
+	mu      sync.RWMutex
+	buckets map[string][]int
+}
+
+// shardCount rounds a requested stripe count up to a power of two;
+// count <= 0 selects the default of 64.
+func shardCount(count int) int {
+	if count <= 0 {
+		count = 64
+	}
+	n := 1
+	for n < count {
+		n <<= 1
+	}
+	return n
+}
+
+// NewIndex builds an index with the given shard count, rounded up to a
+// power of two; count <= 0 selects the default of 64 shards.
+func NewIndex(count int) *Index {
+	n := shardCount(count)
+	ix := &Index{shards: make([]indexShard, n), mask: uint64(n - 1)}
+	for i := range ix.shards {
+		ix.shards[i].buckets = make(map[string][]int)
+	}
+	return ix
+}
+
+// fnv1a hashes the key to pick a shard (FNV-1a, inlined to keep the hot
+// path allocation-free).
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (ix *Index) shard(key string) *indexShard {
+	return &ix.shards[fnv1a(key)&ix.mask]
+}
+
+// Add inserts a posting (key -> id). The caller must not insert the
+// same posting twice without removing it in between (the engine
+// guarantees this by serializing mutations per id); the bucket is not
+// scanned for duplicates, keeping inserts O(1) even in hot blocks.
+func (ix *Index) Add(key string, id int) {
+	s := ix.shard(key)
+	s.mu.Lock()
+	s.buckets[key] = append(s.buckets[key], id)
+	s.mu.Unlock()
+	ix.entries.Add(1)
+}
+
+// Remove deletes the posting (key -> id) and reports whether it existed.
+func (ix *Index) Remove(key string, id int) bool {
+	s := ix.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := s.buckets[key]
+	for i, have := range ids {
+		if have != id {
+			continue
+		}
+		ids[i] = ids[len(ids)-1]
+		ids = ids[:len(ids)-1]
+		if len(ids) == 0 {
+			delete(s.buckets, key)
+		} else {
+			s.buckets[key] = ids
+		}
+		ix.entries.Add(-1)
+		return true
+	}
+	return false
+}
+
+// AppendTo appends the ids posted under key to dst and returns the
+// extended slice. The copy happens under the shard read lock, so the
+// result is a consistent snapshot of the bucket.
+func (ix *Index) AppendTo(key string, dst []int) []int {
+	s := ix.shard(key)
+	s.mu.RLock()
+	dst = append(dst, s.buckets[key]...)
+	s.mu.RUnlock()
+	return dst
+}
+
+// Entries returns the number of (key, id) postings.
+func (ix *Index) Entries() int { return int(ix.entries.Load()) }
+
+// Keys returns the number of distinct keys.
+func (ix *Index) Keys() int {
+	total := 0
+	for i := range ix.shards {
+		s := &ix.shards[i]
+		s.mu.RLock()
+		total += len(s.buckets)
+		s.mu.RUnlock()
+	}
+	return total
+}
+
+// Shards returns the shard count.
+func (ix *Index) Shards() int { return len(ix.shards) }

@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// benchReport is the schema of BENCH_engine.json, the repo's running
+// record of engine-vs-baseline throughput (written by `make bench`).
+type benchReport struct {
+	GeneratedAt string    `json:"generated_at"`
+	GoVersion   string    `json:"go_version"`
+	MaxProcs    int       `json:"gomaxprocs"`
+	CorpusK     int       `json:"corpus_k"`
+	LeftRecords int       `json:"left_records"`
+	Queries     int       `json:"queries"`
+	Baseline    measure   `json:"baseline_single_threaded"`
+	Engine      []measure `json:"engine"`
+}
+
+type measure struct {
+	Name      string  `json:"name"`
+	Workers   int     `json:"workers,omitempty"`
+	Seconds   float64 `json:"seconds"`
+	QueriesPS float64 `json:"queries_per_second"`
+	SpeedupV1 float64 `json:"speedup_vs_1_worker,omitempty"`
+}
+
+// TestWriteBenchReport measures engine throughput at 1, 4 and
+// GOMAXPROCS workers against the single-threaded baseline driver and
+// writes the result as JSON. It is skipped unless BENCH_ENGINE_OUT
+// names the output file (wired up as `make bench`), so regular test
+// runs stay fast.
+func TestWriteBenchReport(t *testing.T) {
+	out := os.Getenv("BENCH_ENGINE_OUT")
+	if out == "" {
+		t.Skip("set BENCH_ENGINE_OUT=<path> to write the throughput report")
+	}
+	k := 4000
+	if v := os.Getenv("BENCH_ENGINE_K"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			t.Fatalf("bad BENCH_ENGINE_K %q: %v", v, err)
+		}
+		k = n
+	}
+	s := benchSetup(t, k)
+	batch := batchOf(s)
+	report := benchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		MaxProcs:    runtime.GOMAXPROCS(0),
+		CorpusK:     k,
+		LeftRecords: s.ds.Credit.Len(),
+		Queries:     len(batch),
+	}
+
+	start := time.Now()
+	matched := s.baselinePairs(t)
+	base := time.Since(start).Seconds()
+	report.Baseline = measure{
+		Name: "block+ruleset", Seconds: base,
+		QueriesPS: float64(len(batch)) / base,
+	}
+	if matched.Len() == 0 {
+		t.Fatal("baseline found no matches")
+	}
+
+	workerCounts := []int{1, 4}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 4 {
+		workerCounts = append(workerCounts, n)
+	}
+	var oneWorker float64
+	for _, workers := range workerCounts {
+		eng, err := New(s.plan, WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Load(s.ds.Credit); err != nil {
+			t.Fatal(err)
+		}
+		// Warm-up pass, then the measured pass.
+		if _, err := eng.MatchBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		start = time.Now()
+		if _, err := eng.MatchBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		secs := time.Since(start).Seconds()
+		m := measure{
+			Name: "engine", Workers: workers, Seconds: secs,
+			QueriesPS: float64(len(batch)) / secs,
+		}
+		if workers == 1 {
+			oneWorker = secs
+		} else if oneWorker > 0 {
+			m.SpeedupV1 = oneWorker / secs
+		}
+		report.Engine = append(report.Engine, m)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

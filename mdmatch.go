@@ -14,7 +14,10 @@
 //     (chase to a stable instance), rule-based matching;
 //   - two complete matchers — Fellegi–Sunter with EM estimation, and
 //     the Sorted-Neighborhood method — plus blocking and windowing
-//     optimizers and match-quality metrics.
+//     optimizers and match-quality metrics;
+//   - a concurrent match-serving engine: rule sets compiled once into
+//     executable plans, a sharded incremental blocking index, and batch
+//     matching over a worker pool (cmd/matchd exposes it over HTTP).
 //
 // # Quickstart
 //
@@ -33,6 +36,7 @@ import (
 	"mdmatch/internal/blocking"
 	"mdmatch/internal/core"
 	"mdmatch/internal/discover"
+	"mdmatch/internal/engine"
 	"mdmatch/internal/fellegi"
 	"mdmatch/internal/gen"
 	"mdmatch/internal/matching"
@@ -341,6 +345,46 @@ func RunSN(d *PairInstance, cfg SNConfig) (*neighborhood.Result, error) {
 func SNBaselineRules(ctx Pair, target Target) []Key {
 	return neighborhood.BaselineRules(ctx, target)
 }
+
+// --- Serving engine (internal/engine) ---
+
+// Plan is a compiled match plan: rule keys with resolved columns and
+// operators, deduplicated comparison fields, and precomputed blocking
+// key encoders. Compile once, serve many times.
+type Plan = engine.Plan
+
+// Engine serves matching queries against a sharded in-memory blocking
+// index; all methods are safe for concurrent use.
+type Engine = engine.Engine
+
+// EngineOption configures NewEngine.
+type EngineOption = engine.Option
+
+// MatchResult is the verdict of one engine query.
+type MatchResult = engine.Result
+
+// EngineStats is a snapshot of engine counters (pairs compared,
+// candidates pruned, reduction ratio).
+type EngineStats = engine.Stats
+
+// CompilePlan compiles keys (applied as matching rules) and blocking key
+// specs into an executable match plan. Optional negative rules veto
+// matches.
+func CompilePlan(ctx Pair, keys []Key, blockKeys []KeySpec, negative ...NegativeMD) (*Plan, error) {
+	return engine.Compile(ctx, keys, blockKeys, negative...)
+}
+
+// NewEngine builds a serving engine for a compiled plan. Populate it
+// with Engine.Load (bulk, concurrent) or Engine.Add (incremental).
+func NewEngine(plan *Plan, opts ...EngineOption) (*Engine, error) {
+	return engine.New(plan, opts...)
+}
+
+// EngineWorkers sets the engine's worker-pool size (0 = GOMAXPROCS).
+func EngineWorkers(n int) EngineOption { return engine.WithWorkers(n) }
+
+// EngineShards sets the shard count of the engine's index and store.
+func EngineShards(n int) EngineOption { return engine.WithShards(n) }
 
 // --- Data generation (internal/gen) ---
 
