@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench vet clean
+.PHONY: build test bench bench-exec vet clean
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,17 @@ test: vet
 bench:
 	BENCH_ENGINE_OUT=$(CURDIR)/BENCH_engine.json $(GO) test -run TestWriteBenchReport -count=1 -v ./internal/engine/
 	@cat BENCH_engine.json
+
+# bench-exec measures every execution path of the exec kernel against
+# its pre-kernel (seed) implementation — enforcement chase (seed
+# interpreted full scan vs compiled full scan vs worklist), rule-set
+# matching, and engine serving — and records the result in
+# BENCH_exec.json. BENCH_EXEC_K overrides the dataset scale (default
+# 1000 holders). The chase section cross-validates that all three chase
+# implementations produce identical stable instances.
+bench-exec:
+	BENCH_EXEC_OUT=$(CURDIR)/BENCH_exec.json $(GO) test -run TestWriteExecBenchReport -count=1 -timeout 60m -v .
+	@cat BENCH_exec.json
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,304 @@
+package mdmatch
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"mdmatch/internal/blocking"
+	"mdmatch/internal/core"
+	"mdmatch/internal/engine"
+	"mdmatch/internal/experiments"
+	"mdmatch/internal/gen"
+	"mdmatch/internal/matching"
+	"mdmatch/internal/metrics"
+	"mdmatch/internal/record"
+	"mdmatch/internal/semantics"
+	"mdmatch/internal/semantics/seedref"
+)
+
+// TestWriteExecBenchReport measures every execution path of the exec
+// kernel against its pre-kernel (seed) implementation and writes
+// BENCH_exec.json, the repo's old-vs-new record (wired up as
+// `make bench-exec`). It is skipped unless BENCH_EXEC_OUT names the
+// output file, so regular test runs stay fast.
+//
+// The seed baselines are verbatim copies of the pre-kernel code paths:
+// interpreted per-pair evaluation through Instance.Get with full
+// rescans and flush-per-firing (chase), and per-pair name resolution
+// (rule set). The chase section also cross-validates that all three
+// chase implementations produce identical stable instances.
+func TestWriteExecBenchReport(t *testing.T) {
+	out := os.Getenv("BENCH_EXEC_OUT")
+	if out == "" {
+		t.Skip("set BENCH_EXEC_OUT=<path> to write the kernel throughput report")
+	}
+	k := 1000
+	if v := os.Getenv("BENCH_EXEC_K"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			t.Fatalf("bad BENCH_EXEC_K %q: %v", v, err)
+		}
+		k = n
+	}
+
+	report := execBenchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		MaxProcs:    runtime.GOMAXPROCS(0),
+		CorpusK:     k,
+	}
+
+	// --- Chase: seed interpreted full scan vs compiled full scan vs
+	// worklist, all on the default gen dataset ---
+	ds, err := gen.Generate(gen.DefaultConfig(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := gen.HolderMDs(ds.Ctx)
+	d := ds.Pair()
+	report.LeftRecords = ds.Credit.Len()
+	report.RightRecords = ds.Billing.Len()
+
+	timeChase := func(f func(*record.PairInstance, []core.MD) (semantics.EnforceResult, error)) (chaseMeasure, semantics.EnforceResult) {
+		start := time.Now()
+		res, err := f(d, sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		secs := time.Since(start).Seconds()
+		return chaseMeasure{
+			Seconds:        secs,
+			Applications:   res.Applications,
+			Passes:         res.Passes,
+			PairsExamined:  res.Stats.PairsExamined,
+			LHSEvaluations: res.Stats.LHSEvaluations,
+		}, res
+	}
+	start := time.Now()
+	seedRes, err := seedref.Enforce(d, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedM := chaseMeasure{
+		Seconds:      time.Since(start).Seconds(),
+		Applications: seedRes.Applications,
+		Passes:       seedRes.Passes,
+	}
+	fullM, fullRes := timeChase(semantics.EnforceFullScan)
+	wlM, wlRes := timeChase(semantics.Enforce)
+	// The frozen seed copy does not count stats; fill from the compiled
+	// scan (identical visit structure).
+	seedM.PairsExamined = fullM.PairsExamined
+	seedM.LHSEvaluations = fullM.LHSEvaluations
+
+	assertSameChase(t, "fullscan-vs-seed", fullRes, seedRes)
+	assertSameChase(t, "worklist-vs-seed", wlRes, seedRes)
+	report.Chase = chaseSection{
+		SeedFullScan:     seedM,
+		CompiledFullScan: fullM,
+		Worklist:         wlM,
+		SpeedupVsSeed:    seedM.Seconds / wlM.Seconds,
+		SpeedupVsFull:    fullM.Seconds / wlM.Seconds,
+	}
+
+	// --- Rule set: interpreted seed matcher vs compiled kernel over the
+	// blocked candidates of the derived RCKs ---
+	setup, err := experiments.NewSetup(k, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := blocking.Block(setup.D, setup.RCKBlockingKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := matching.NewRuleSet(setup.RCKs...)
+
+	start = time.Now()
+	seedMatches, err := seedMatchCandidates(setup.D, setup.RCKs, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedSecs := time.Since(start).Seconds()
+	start = time.Now()
+	compiledMatches, err := rules.MatchCandidates(setup.D, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiledSecs := time.Since(start).Seconds()
+	if seedMatches.Len() != compiledMatches.Len() ||
+		seedMatches.IntersectCount(compiledMatches) != seedMatches.Len() {
+		t.Fatalf("rule set divergence: seed %d matches, compiled %d", seedMatches.Len(), compiledMatches.Len())
+	}
+	report.RuleSet = ruleSetSection{
+		Candidates: cands.Len(),
+		Matches:    compiledMatches.Len(),
+		Seed:       pathMeasure{Seconds: seedSecs, PerSecond: float64(cands.Len()) / seedSecs},
+		Compiled:   pathMeasure{Seconds: compiledSecs, PerSecond: float64(cands.Len()) / compiledSecs},
+		Speedup:    seedSecs / compiledSecs,
+	}
+
+	// --- Engine: MatchBatch throughput through the same kernel ---
+	plan, err := engine.Compile(setup.Dataset.Ctx, setup.RCKs, []blocking.KeySpec{setup.RCKBlockingKey()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(plan, engine.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Load(setup.Dataset.Credit); err != nil {
+		t.Fatal(err)
+	}
+	batch := make([][]string, setup.Dataset.Billing.Len())
+	for i, tp := range setup.Dataset.Billing.Tuples {
+		batch[i] = tp.Values
+	}
+	if _, err := eng.MatchBatch(batch); err != nil { // warm-up
+		t.Fatal(err)
+	}
+	start = time.Now()
+	if _, err := eng.MatchBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	engSecs := time.Since(start).Seconds()
+	report.Engine = engineSection{
+		Queries:   len(batch),
+		Workers:   1,
+		Seconds:   engSecs,
+		PerSecond: float64(len(batch)) / engSecs,
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (chase speedup vs seed: %.1fx)", out, report.Chase.SpeedupVsSeed)
+}
+
+type execBenchReport struct {
+	GeneratedAt  string         `json:"generated_at"`
+	GoVersion    string         `json:"go_version"`
+	MaxProcs     int            `json:"gomaxprocs"`
+	CorpusK      int            `json:"corpus_k"`
+	LeftRecords  int            `json:"left_records"`
+	RightRecords int            `json:"right_records"`
+	Chase        chaseSection   `json:"chase"`
+	RuleSet      ruleSetSection `json:"ruleset"`
+	Engine       engineSection  `json:"engine"`
+}
+
+type chaseMeasure struct {
+	Seconds        float64 `json:"seconds"`
+	Applications   int     `json:"applications"`
+	Passes         int     `json:"passes"`
+	PairsExamined  int64   `json:"pairs_examined"`
+	LHSEvaluations int64   `json:"lhs_evaluations"`
+}
+
+type chaseSection struct {
+	SeedFullScan     chaseMeasure `json:"seed_full_scan"`
+	CompiledFullScan chaseMeasure `json:"compiled_full_scan"`
+	Worklist         chaseMeasure `json:"worklist"`
+	SpeedupVsSeed    float64      `json:"worklist_speedup_vs_seed"`
+	SpeedupVsFull    float64      `json:"worklist_speedup_vs_compiled_full_scan"`
+}
+
+type pathMeasure struct {
+	Seconds   float64 `json:"seconds"`
+	PerSecond float64 `json:"per_second"`
+}
+
+type ruleSetSection struct {
+	Candidates int         `json:"candidates"`
+	Matches    int         `json:"matches"`
+	Seed       pathMeasure `json:"seed_interpreted"`
+	Compiled   pathMeasure `json:"compiled_kernel"`
+	Speedup    float64     `json:"speedup"`
+}
+
+type engineSection struct {
+	Queries   int     `json:"queries"`
+	Workers   int     `json:"workers"`
+	Seconds   float64 `json:"seconds"`
+	PerSecond float64 `json:"queries_per_second"`
+}
+
+func assertSameChase(t *testing.T, label string, got semantics.EnforceResult, want seedref.Result) {
+	t.Helper()
+	if got.Applications != want.Applications || got.Passes != want.Passes {
+		t.Fatalf("%s: applications/passes = %d/%d, want %d/%d",
+			label, got.Applications, got.Passes, want.Applications, want.Passes)
+	}
+	same := func(a, b *record.Instance) {
+		t.Helper()
+		for i, ta := range a.Tuples {
+			tb := b.Tuples[i]
+			for j := range ta.Values {
+				if ta.Values[j] != tb.Values[j] {
+					t.Fatalf("%s: t%d[%d] = %q vs %q", label, ta.ID, j, ta.Values[j], tb.Values[j])
+				}
+			}
+		}
+	}
+	same(got.Instance.Left, want.Instance.Left)
+	same(got.Instance.Right, want.Instance.Right)
+}
+
+// --- seed baselines ---
+//
+// The chase baseline is seedref.Enforce, the frozen verbatim copy of
+// the pre-kernel implementation shared with the equivalence property
+// tests (internal/semantics/seedref). The rule-set baseline below is
+// the seed RuleSet.Match, verbatim.
+
+// seedMatchCandidates is the seed rule-set matcher: per-pair interpreted
+// conjunct evaluation through Instance.Get.
+func seedMatchCandidates(d *record.PairInstance, keys []core.Key, candidates *metrics.PairSet) (*metrics.PairSet, error) {
+	matchConjuncts := func(cs []core.Conjunct, t1, t2 *record.Tuple) (bool, error) {
+		for _, c := range cs {
+			v1, err := d.Left.Get(t1, c.Pair.Left)
+			if err != nil {
+				return false, err
+			}
+			v2, err := d.Right.Get(t2, c.Pair.Right)
+			if err != nil {
+				return false, err
+			}
+			if !c.Op.Similar(v1, v2) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	out := metrics.NewPairSet()
+	for _, p := range candidates.Pairs() {
+		t1, ok := d.Left.ByID(p.Left)
+		if !ok {
+			return nil, fmt.Errorf("missing left tuple %d", p.Left)
+		}
+		t2, ok := d.Right.ByID(p.Right)
+		if !ok {
+			return nil, fmt.Errorf("missing right tuple %d", p.Right)
+		}
+		for _, k := range keys {
+			m, err := matchConjuncts(k.Conjuncts, t1, t2)
+			if err != nil {
+				return nil, err
+			}
+			if m {
+				out.Add(p)
+				break
+			}
+		}
+	}
+	return out, nil
+}

@@ -312,7 +312,7 @@ func BenchmarkAblation_CostModel(b *testing.B) {
 	})
 }
 
-// --- Enforcement chase ---
+// --- Enforcement chase: worklist vs quadratic reference ---
 
 func BenchmarkEnforceChase(b *testing.B) {
 	ds, err := gen.Generate(gen.DefaultConfig(60))
@@ -321,12 +321,20 @@ func BenchmarkEnforceChase(b *testing.B) {
 	}
 	sigma := gen.HolderMDs(ds.Ctx)
 	d := ds.Pair()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := Enforce(d, sigma); err != nil {
-			b.Fatal(err)
+	b.Run("worklist", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Enforce(d, sigma); err != nil {
+				b.Fatal(err)
+			}
 		}
-	}
+	})
+	b.Run("fullscan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := EnforceFullScan(d, sigma); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- Similarity micro-benchmarks ---

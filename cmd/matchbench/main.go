@@ -13,6 +13,14 @@
 //
 // -scale bench (default) uses sizes that finish in minutes; -scale paper
 // uses the paper's full parameters (card(Σ) to 2000, K to 80k).
+//
+// With -path, matchbench instead profiles one execution path of the
+// shared exec kernel (all paths compile their rules through
+// internal/exec, so one binary can exercise any of them):
+//
+//	matchbench -path chase -k 1000     # worklist enforcement chase
+//	matchbench -path ruleset -k 1000   # blocked candidates × RCK rule set
+//	matchbench -path engine -k 1000    # serving engine MatchBatch
 package main
 
 import (
@@ -71,8 +79,17 @@ func main() {
 		fig   = flag.String("fig", "all", "figure to regenerate: 8a, 8b, 8c, 9, 10, 9d, win, all")
 		scale = flag.String("scale", "bench", "bench (minutes) or paper (full Section 6 parameters)")
 		seed  = flag.Int64("seed", 1, "experiment seed")
+		path  = flag.String("path", "", "profile one kernel execution path instead: chase, ruleset or engine")
+		k     = flag.Int("k", 1000, "dataset scale (K holders) for -path profiling")
 	)
 	flag.Parse()
+	if *path != "" {
+		if err := experiments.Profile(os.Stdout, *path, *k, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "matchbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var p scaleParams
 	switch *scale {
 	case "bench":

@@ -3,6 +3,8 @@ package main
 import (
 	"io"
 	"testing"
+
+	"mdmatch/internal/experiments"
 )
 
 func TestSeq(t *testing.T) {
@@ -62,5 +64,16 @@ func TestRunSingleFigureSmoke(t *testing.T) {
 		if err := run(io.Discard, fig, p, 1); err != nil {
 			t.Errorf("fig %s: %v", fig, err)
 		}
+	}
+}
+
+func TestProfilePathsSmoke(t *testing.T) {
+	for _, path := range []string{"chase", "ruleset", "engine"} {
+		if err := experiments.Profile(io.Discard, path, 40, 1); err != nil {
+			t.Errorf("path %s: %v", path, err)
+		}
+	}
+	if err := experiments.Profile(io.Discard, "nope", 40, 1); err == nil {
+		t.Error("unknown path accepted")
 	}
 }

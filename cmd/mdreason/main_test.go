@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"mdmatch/internal/mdlang"
+	"mdmatch/internal/record"
 )
 
 const testRules = `
@@ -146,5 +147,49 @@ func TestParseStatementMDSelfMatch(t *testing.T) {
 	}
 	if len(md.LHS) != 1 {
 		t.Fatalf("parsed MD = %s", md)
+	}
+}
+
+// TestRunEnforceReportsCounters drives the -enforce mode end to end:
+// write the Figure 1 instances as CSV, chase them, check the counter
+// report.
+func TestRunEnforceReportsCounters(t *testing.T) {
+	rules := writeRules(t, testRules)
+	doc, err := mdlang.Parse(testRules, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	li := record.NewInstance(doc.Ctx.Left)
+	li.MustAppend("111", "079172485", "Mark", "Clifford", "10 Oak Street, MH, NJ 07974", "908-1111111", "mc@gm.com", "M", "master")
+	ri := record.NewInstance(doc.Ctx.Right)
+	ri.MustAppend("111", "Marx", "Clifford", "NJ", "908-1111111", "mc", "null", "book", "19.99")
+	writeCSV := func(name string, in *record.Instance) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := in.WriteCSV(f); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	lp := writeCSV("credit.csv", li)
+	rp := writeCSV("billing.csv", ri)
+
+	out, err := capture(t, func() error { return runEnforce(rules, lp, rp, os.Stdout) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"rule applications:", "passes:", "pairs examined=", "LHS evaluations=", "rule firings="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if err := runEnforce(rules, "", "", os.Stdout); err == nil {
+		t.Error("missing -left/-right accepted")
 	}
 }

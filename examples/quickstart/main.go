@@ -90,7 +90,8 @@ func main() {
 		log.Fatal(err)
 	}
 	out := res.Instance
-	fmt.Printf("\nAfter enforcing Σ (%d rule applications):\n", res.Applications)
+	fmt.Printf("\nAfter enforcing Σ (%d rule applications in %d passes; %s):\n",
+		res.Applications, res.Passes, res.Stats)
 	for _, tb := range out.Right.Tuples {
 		fmt.Printf("  billing t%d: fn=%s ln=%s post=%q\n",
 			tb.ID+3, out.Right.MustGet(tb, "fn"), out.Right.MustGet(tb, "ln"),

@@ -37,6 +37,35 @@ func PrefixEncoder(n int) Encoder {
 	}
 }
 
+// Key strings join encoded field values with a separator byte. Encoded
+// values may themselves contain the separator (nothing stops an encoder
+// — or raw data — from emitting \x1f), which would alias distinct keys:
+// ("a\x1fb", "c") and ("a", "b\x1fc") must not collide. AppendKeyField
+// therefore escapes both the separator and the escape byte inside field
+// values, making the rendering injective.
+const (
+	keySep = '\x1f' // unit separator between encoded fields
+	keyEsc = '\x1c' // escape prefix for literal keySep/keyEsc bytes
+)
+
+// AppendKeyField writes one encoded field value into a key builder,
+// escaping the separator and escape bytes so that distinct field tuples
+// always render to distinct key strings. All key rendering — here and in
+// the compiled encoders of internal/exec — must go through this helper.
+func AppendKeyField(b *strings.Builder, s string) {
+	if !strings.ContainsAny(s, "\x1c\x1f") {
+		b.WriteString(s) // fast path: nothing to escape
+		return
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == keyEsc || c == keySep {
+			b.WriteByte(keyEsc)
+		}
+		b.WriteByte(c)
+	}
+}
+
 // KeyField is one component of a blocking/sorting key: the attribute on
 // each side and the encoder applied to its value.
 type KeyField struct {
@@ -67,11 +96,17 @@ func (ks KeySpec) WithEncoder(i int, enc Encoder) KeySpec {
 	return KeySpec{Fields: fields}
 }
 
-// String names the key fields, for experiment reports.
+// keyNameEscaper protects the joiners of KeySpec.String: an attribute
+// named "a+b" must not render like two fields "a" and "b".
+var keyNameEscaper = strings.NewReplacer(`\`, `\\`, `+`, `\+`, `|`, `\|`)
+
+// String names the key fields, for experiment reports. Attribute names
+// containing the field joiner '+' (or the pair separator '|') are
+// backslash-escaped so distinct specs never render identically.
 func (ks KeySpec) String() string {
 	parts := make([]string, len(ks.Fields))
 	for i, f := range ks.Fields {
-		parts[i] = f.Pair.String()
+		parts[i] = keyNameEscaper.Replace(f.Pair.Left) + "|" + keyNameEscaper.Replace(f.Pair.Right)
 	}
 	return strings.Join(parts, "+")
 }
@@ -98,13 +133,13 @@ func (ks KeySpec) key(in *record.Instance, t *record.Tuple, left bool) (string, 
 			return "", err
 		}
 		if i > 0 {
-			b.WriteByte('\x1f')
+			b.WriteByte(keySep)
 		}
 		enc := f.Encode
 		if enc == nil {
 			enc = Identity
 		}
-		b.WriteString(enc(v))
+		AppendKeyField(&b, enc(v))
 	}
 	return b.String(), nil
 }

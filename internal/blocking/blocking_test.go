@@ -252,3 +252,69 @@ func TestBlockingBeatsNothingOnTruth(t *testing.T) {
 		t.Errorf("pairs completeness = %.3f, expected some true matches to survive", bq.PC())
 	}
 }
+
+// TestKeySeparatorCollision is the regression test for the blocking-key
+// aliasing bug: raw values containing the \x1f separator used to make
+// distinct field tuples concatenate into one key string, putting
+// unrelated records in the same block.
+func TestKeySeparatorCollision(t *testing.T) {
+	l := schema.MustStrings("l", "a", "b")
+	r := schema.MustStrings("r", "a", "b")
+	ctx := schema.MustPair(l, r)
+	li := record.NewInstance(l)
+	t1 := li.MustAppend("x\x1fy", "z")
+	t2 := li.MustAppend("x", "y\x1fz")
+	ks := NewKeySpec(core.P("a", "a"), core.P("b", "b"))
+	k1, err := ks.LeftKey(li, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := ks.LeftKey(li, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k2 {
+		t.Fatalf("distinct field tuples alias to key %q", k1)
+	}
+	// The escape byte itself must stay injective too.
+	t3 := li.MustAppend("x\x1c", "y")
+	t4 := li.MustAppend("x", "\x1cy")
+	k3, _ := ks.LeftKey(li, t3)
+	k4, _ := ks.LeftKey(li, t4)
+	if k3 == k4 {
+		t.Fatalf("escape-byte tuples alias to key %q", k3)
+	}
+	// Block must now separate the aliasing tuples.
+	ri := record.NewInstance(r)
+	ri.MustAppend("x\x1fy", "z")
+	d, err := record.NewPairInstance(ctx, li, ri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := Block(d, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cands.Has(metrics.Pair{Left: t1.ID, Right: 0}) {
+		t.Error("equal field tuples must still block together")
+	}
+	if cands.Has(metrics.Pair{Left: t2.ID, Right: 0}) {
+		t.Error("separator-aliasing tuples must not block together")
+	}
+}
+
+// TestKeySpecStringEscapesJoiners covers the '+' collision in
+// KeySpec.String: attribute names containing the joiner are escaped so
+// distinct specs never render identically.
+func TestKeySpecStringEscapesJoiners(t *testing.T) {
+	// Before the fix both specs rendered "a|b+c+d|e".
+	s1 := NewKeySpec(core.P("a", "b+c"), core.P("d", "e")).String()
+	s2 := NewKeySpec(core.P("a", "b"), core.P("c+d", "e")).String()
+	s3 := NewKeySpec(core.P("a", "x")).String()
+	if s1 == s2 {
+		t.Errorf("specs with '+' in names render identically: %q", s1)
+	}
+	if s3 != "a|x" {
+		t.Errorf("plain names must render unescaped, got %q", s3)
+	}
+}

@@ -89,10 +89,16 @@ func Mine(sample Sample, cfg Config) ([]Candidate, error) {
 	}
 
 	// Precompute the agreement bitmap: for each field, which sample
-	// pairs satisfy it.
+	// pairs satisfy it. The fields compile once (exec kernel) and every
+	// sample pair evaluates positionally.
+	cv, err := matching.CompileFields(sample.D.Ctx, cfg.Fields)
+	if err != nil {
+		return nil, err
+	}
 	n := len(sample.Pairs)
 	agree := make([][]bool, len(cfg.Fields))
 	isMatch := make([]bool, n)
+	var vec []bool
 	for j, p := range sample.Pairs {
 		t1, ok := sample.D.Left.ByID(p.Left)
 		if !ok {
@@ -102,10 +108,7 @@ func Mine(sample Sample, cfg Config) ([]Candidate, error) {
 		if !ok {
 			return nil, fmt.Errorf("discover: sample pair references missing right tuple %d", p.Right)
 		}
-		vec, err := matching.Compare(sample.D, cfg.Fields, t1, t2)
-		if err != nil {
-			return nil, err
-		}
+		vec = cv.Eval(t1.Values, t2.Values, vec)
 		for i, a := range vec {
 			if agree[i] == nil {
 				agree[i] = make([]bool, n)

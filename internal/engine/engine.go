@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mdmatch/internal/exec"
 	"mdmatch/internal/metrics"
 	"mdmatch/internal/record"
 )
@@ -240,10 +241,13 @@ func (e *Engine) MatchOne(values []string) (Result, error) {
 }
 
 // matchScratch holds reusable per-query buffers (pooled) so matching
-// does not allocate key and candidate slices per query.
+// does not allocate key and candidate slices per query. The memo caches
+// per-pair conjunct outcomes in the exec kernel, so rules sharing
+// similarity tests evaluate each test once per candidate.
 type matchScratch struct {
 	keys []string
 	ids  []int
+	memo *exec.Memo
 }
 
 func (e *Engine) matchValues(values []string, scratch *matchScratch) Result {
@@ -268,7 +272,10 @@ func (e *Engine) matchValues(values []string, scratch *matchScratch) Result {
 			continue
 		}
 		res.Compared++
-		if e.plan.EvalPair(left, values) {
+		if scratch.memo == nil {
+			scratch.memo = e.plan.prog.NewMemo()
+		}
+		if e.plan.prog.EvalPair(left, values, scratch.memo) {
 			res.Matches = append(res.Matches, id)
 		}
 	}

@@ -4,10 +4,17 @@
 // long-lived, concurrent match service. The paper's thesis is that
 // reasoning happens at compile time so that run-time matching is cheap;
 // this package is the run time: a Plan compiles a rule set into an
-// executable form (resolved column indices, deduplicated comparison
-// fields, precomputed key encoders), a sharded in-memory Index maps
-// blocking keys to record ids and absorbs incremental updates, and an
-// Engine answers MatchOne/MatchBatch queries over a worker pool.
+// executable internal/exec program (resolved column indices,
+// deduplicated similarity tests, precomputed key encoders), a sharded
+// in-memory Index maps blocking keys to record ids and absorbs
+// incremental updates, and an Engine answers MatchOne/MatchBatch
+// queries over a worker pool.
+//
+// Plan holds no evaluator of its own: EvalPair and the key renderers
+// delegate to internal/exec, the same kernel that executes the chase
+// (internal/semantics), batch rule matching (internal/matching) and the
+// statistical matcher's comparison vectors (internal/fellegi) — the
+// serving path and the batch paths provably run identical code.
 package engine
 
 import (
@@ -16,56 +23,10 @@ import (
 
 	"mdmatch/internal/blocking"
 	"mdmatch/internal/core"
+	"mdmatch/internal/exec"
 	"mdmatch/internal/matching"
 	"mdmatch/internal/schema"
-	"mdmatch/internal/similarity"
 )
-
-// compiledConjunct is one similarity test with its attribute lookups
-// resolved to positional column indices, so evaluation needs no map
-// lookups or schema access.
-type compiledConjunct struct {
-	left, right int // column indices into the left/right value slices
-	op          similarity.Operator
-}
-
-// compiledRule is the LHS of one key (or negative rule) in executable
-// form: a pair matches the rule when every conjunct holds.
-type compiledRule struct {
-	conjuncts []compiledConjunct
-}
-
-func (r compiledRule) eval(left, right []string) bool {
-	for _, c := range r.conjuncts {
-		if !c.op.Similar(left[c.left], right[c.right]) {
-			return false
-		}
-	}
-	return true
-}
-
-// keyEncoder is a blocking.KeySpec with columns resolved and encoders
-// defaulted, ready to turn a value slice into a blocking-key string.
-type keyEncoder struct {
-	spec        blocking.KeySpec
-	left, right []int
-	encode      []blocking.Encoder
-}
-
-// render builds the key string of one side. The layout matches
-// blocking.KeySpec keys (fields joined by \x1f) with a leading spec tag
-// so keys of different specs never collide in the shared index.
-func (ke *keyEncoder) render(tag byte, vals []string, cols []int) string {
-	var b strings.Builder
-	b.WriteByte(tag)
-	for i, col := range cols {
-		if i > 0 {
-			b.WriteByte('\x1f')
-		}
-		b.WriteString(ke.encode[i](vals[col]))
-	}
-	return b.String()
-}
 
 // Plan is a compiled match plan: the executable form of a rule set of
 // RCKs plus the blocking keys that prune its candidate space. Compile it
@@ -76,9 +37,8 @@ type Plan struct {
 	keys     []core.Key
 	negative []core.NegativeMD
 	fields   []matching.Field
-	rules    []compiledRule
-	negRules []compiledRule
-	blockers []keyEncoder
+	prog     *exec.Program
+	blockers []exec.KeyEncoder
 }
 
 // Compile builds a Plan for the matching context from keys (applied as
@@ -102,78 +62,33 @@ func Compile(ctx schema.Pair, keys []core.Key, blockKeys []blocking.KeySpec, neg
 		negative: append([]core.NegativeMD(nil), negative...),
 		fields:   matching.FieldsFromKeys(keys),
 	}
+	rules := make([][]core.Conjunct, len(keys))
 	for i, k := range keys {
-		r, err := compileConjuncts(ctx, k.Conjuncts)
-		if err != nil {
-			return nil, fmt.Errorf("engine: key %d: %w", i, err)
+		if len(k.Conjuncts) == 0 {
+			return nil, fmt.Errorf("engine: key %d: empty LHS", i)
 		}
-		p.rules = append(p.rules, r)
+		rules[i] = k.Conjuncts
 	}
+	negs := make([][]core.Conjunct, len(negative))
 	for i, n := range negative {
-		r, err := compileConjuncts(ctx, n.LHS)
-		if err != nil {
-			return nil, fmt.Errorf("engine: negative rule %d: %w", i, err)
+		if len(n.LHS) == 0 {
+			return nil, fmt.Errorf("engine: negative rule %d: empty LHS", i)
 		}
-		p.negRules = append(p.negRules, r)
+		negs[i] = n.LHS
 	}
+	prog, err := exec.Compile(ctx, rules, negs)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	p.prog = prog
 	for i, ks := range blockKeys {
-		ke, err := compileKeySpec(ctx, ks)
+		ke, err := exec.CompileKeySpec(ctx, ks)
 		if err != nil {
 			return nil, fmt.Errorf("engine: blocking key %d: %w", i, err)
 		}
 		p.blockers = append(p.blockers, ke)
 	}
 	return p, nil
-}
-
-func compileConjuncts(ctx schema.Pair, cs []core.Conjunct) (compiledRule, error) {
-	if len(cs) == 0 {
-		return compiledRule{}, fmt.Errorf("empty LHS")
-	}
-	out := compiledRule{conjuncts: make([]compiledConjunct, len(cs))}
-	for i, c := range cs {
-		li, ok := ctx.Left.Index(c.Pair.Left)
-		if !ok {
-			return compiledRule{}, fmt.Errorf("%s has no attribute %q", ctx.Left.Name(), c.Pair.Left)
-		}
-		ri, ok := ctx.Right.Index(c.Pair.Right)
-		if !ok {
-			return compiledRule{}, fmt.Errorf("%s has no attribute %q", ctx.Right.Name(), c.Pair.Right)
-		}
-		if c.Op == nil {
-			return compiledRule{}, fmt.Errorf("conjunct %s has no operator", c.Pair)
-		}
-		out.conjuncts[i] = compiledConjunct{left: li, right: ri, op: c.Op}
-	}
-	return out, nil
-}
-
-func compileKeySpec(ctx schema.Pair, ks blocking.KeySpec) (keyEncoder, error) {
-	if len(ks.Fields) == 0 {
-		return keyEncoder{}, fmt.Errorf("empty key spec")
-	}
-	ke := keyEncoder{
-		spec:   ks,
-		left:   make([]int, len(ks.Fields)),
-		right:  make([]int, len(ks.Fields)),
-		encode: make([]blocking.Encoder, len(ks.Fields)),
-	}
-	for i, f := range ks.Fields {
-		li, ok := ctx.Left.Index(f.Pair.Left)
-		if !ok {
-			return keyEncoder{}, fmt.Errorf("%s has no attribute %q", ctx.Left.Name(), f.Pair.Left)
-		}
-		ri, ok := ctx.Right.Index(f.Pair.Right)
-		if !ok {
-			return keyEncoder{}, fmt.Errorf("%s has no attribute %q", ctx.Right.Name(), f.Pair.Right)
-		}
-		ke.left[i], ke.right[i] = li, ri
-		ke.encode[i] = f.Encode
-		if ke.encode[i] == nil {
-			ke.encode[i] = blocking.Identity
-		}
-	}
-	return ke, nil
 }
 
 // Ctx returns the matching context the plan was compiled for.
@@ -189,39 +104,30 @@ func (p *Plan) Fields() []matching.Field { return append([]matching.Field(nil), 
 // BlockingKeys returns a copy of the plan's blocking key specs.
 func (p *Plan) BlockingKeys() []blocking.KeySpec {
 	out := make([]blocking.KeySpec, len(p.blockers))
-	for i, b := range p.blockers {
-		out[i] = b.spec
+	for i := range p.blockers {
+		out[i] = p.blockers[i].Spec()
 	}
 	return out
 }
 
+// Program returns the compiled exec program the plan evaluates through.
+func (p *Plan) Program() *exec.Program { return p.prog }
+
 // EvalPair decides whether a (left, right) value pair matches under the
 // plan's rules: at least one key LHS holds and no negative rule vetoes.
 // The slices are positional, parallel to the context relations. EvalPair
-// performs no allocation and is safe for concurrent use.
+// performs no allocation and is safe for concurrent use; it delegates to
+// the exec kernel. Callers with a per-goroutine exec.Memo (the engine's
+// match scratch) should call Program().EvalPair directly to share
+// conjunct outcomes across the plan's rules.
 func (p *Plan) EvalPair(left, right []string) bool {
-	matched := false
-	for i := range p.rules {
-		if p.rules[i].eval(left, right) {
-			matched = true
-			break
-		}
-	}
-	if !matched {
-		return false
-	}
-	for i := range p.negRules {
-		if p.negRules[i].eval(left, right) {
-			return false
-		}
-	}
-	return true
+	return p.prog.EvalPair(left, right, nil)
 }
 
 // leftKeys appends the blocking keys of a left-side value slice to dst.
 func (p *Plan) leftKeys(vals []string, dst []string) []string {
 	for i := range p.blockers {
-		dst = append(dst, p.blockers[i].render(byte(i), vals, p.blockers[i].left))
+		dst = append(dst, p.blockers[i].RenderLeft(byte(i), vals))
 	}
 	return dst
 }
@@ -229,7 +135,7 @@ func (p *Plan) leftKeys(vals []string, dst []string) []string {
 // rightKeys appends the blocking keys of a right-side value slice to dst.
 func (p *Plan) rightKeys(vals []string, dst []string) []string {
 	for i := range p.blockers {
-		dst = append(dst, p.blockers[i].render(byte(i), vals, p.blockers[i].right))
+		dst = append(dst, p.blockers[i].RenderRight(byte(i), vals))
 	}
 	return dst
 }
@@ -238,9 +144,9 @@ func (p *Plan) rightKeys(vals []string, dst []string) []string {
 func (p *Plan) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "plan: %d rules, %d negative, %d fields, %d blocking keys",
-		len(p.rules), len(p.negRules), len(p.fields), len(p.blockers))
-	for _, ke := range p.blockers {
-		fmt.Fprintf(&b, " [%s]", ke.spec.String())
+		p.prog.NumRules(), p.prog.NumNegative(), len(p.fields), len(p.blockers))
+	for i := range p.blockers {
+		fmt.Fprintf(&b, " [%s]", p.blockers[i].Spec().String())
 	}
 	return b.String()
 }

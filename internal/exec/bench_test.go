@@ -1,0 +1,84 @@
+package exec
+
+import (
+	"testing"
+
+	"mdmatch/internal/blocking"
+	"mdmatch/internal/core"
+	"mdmatch/internal/schema"
+	"mdmatch/internal/similarity"
+)
+
+// The kernel benchmarks run in CI with -benchtime=1x to catch compile
+// regressions (a Compile error or a panic on the hot path fails the
+// step even without timing anything).
+
+func benchProgram(b *testing.B) (*Program, []string, []string) {
+	b.Helper()
+	left := schema.MustStrings("credit", "fn", "ln", "street", "city", "zip", "tel")
+	right := schema.MustStrings("billing", "fn", "ln", "street", "city", "zip", "phn")
+	ctx := schema.MustPair(left, right)
+	d := similarity.DL(0.8)
+	rules := [][]core.Conjunct{
+		{core.C("ln", d, "ln"), core.C("street", d, "street"), core.C("fn", d, "fn")},
+		{core.C("tel", d, "phn"), core.C("ln", d, "ln")},
+		{core.Eq("zip", "zip"), core.C("street", d, "street"), core.C("fn", d, "fn")},
+		{core.C("ln", d, "ln"), core.C("fn", d, "fn"), core.Eq("zip", "zip")},
+	}
+	p, err := Compile(ctx, rules, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l := []string{"Mark", "Clifford", "10 Oak Street", "Murray Hill", "07974", "908-1111111"}
+	r := []string{"Marx", "Clifford", "10 Oak Street", "Murray Hill", "07974", "908-1111111"}
+	return p, l, r
+}
+
+func BenchmarkExecCompile(b *testing.B) {
+	left := schema.MustStrings("credit", "fn", "ln", "street", "city", "zip", "tel")
+	right := schema.MustStrings("billing", "fn", "ln", "street", "city", "zip", "phn")
+	ctx := schema.MustPair(left, right)
+	d := similarity.DL(0.8)
+	rules := [][]core.Conjunct{
+		{core.C("ln", d, "ln"), core.C("street", d, "street"), core.C("fn", d, "fn")},
+		{core.Eq("zip", "zip"), core.C("street", d, "street")},
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(ctx, rules, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecEvalPair(b *testing.B) {
+	p, l, r := benchProgram(b)
+	b.Run("no_memo", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p.EvalPair(l, r, nil)
+		}
+	})
+	b.Run("memo", func(b *testing.B) {
+		m := p.NewMemo()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p.EvalPair(l, r, m)
+		}
+	})
+}
+
+func BenchmarkExecKeyRender(b *testing.B) {
+	left := schema.MustStrings("l", "ln", "zip")
+	right := schema.MustStrings("r", "ln", "zip")
+	ctx := schema.MustPair(left, right)
+	ks := blocking.NewKeySpec(core.P("ln", "ln"), core.P("zip", "zip")).
+		WithEncoder(0, blocking.SoundexEncode)
+	ke, err := CompileKeySpec(ctx, ks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vals := []string{"Clifford", "07974"}
+	for i := 0; i < b.N; i++ {
+		ke.RenderLeft(0, vals)
+	}
+}

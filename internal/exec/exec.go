@@ -1,0 +1,235 @@
+// Package exec is the compiled rule-evaluation kernel shared by every
+// execution path of the library. The paper's thesis is that reasoning
+// happens at compile time so that run-time matching is cheap; exec is
+// where that cheapness is implemented once: attribute references are
+// resolved to positional column indices up front, the similarity tests
+// of a rule set are deduplicated into a single conjunct table, and
+// evaluation runs on positional []string value slices with zero map
+// lookups, zero error plumbing and zero allocations on the hot path.
+//
+// Four layers execute through this kernel:
+//
+//   - internal/engine compiles its serving plans here (Plan.EvalPair and
+//     the blocking-key encoders are thin wrappers over Program and
+//     KeyEncoder);
+//   - internal/semantics compiles MD left-hand sides here and drives the
+//     enforcement chase on the compiled form;
+//   - internal/matching compiles RuleSet keys and comparison vectors
+//     here (which also covers internal/neighborhood's rule bases);
+//   - internal/fellegi compiles its comparison vector here.
+//
+// A Program is immutable after Compile and safe for concurrent use. The
+// optional Memo caches per-pair conjunct outcomes so rule sets that
+// share conjuncts (deduced RCKs routinely do) evaluate each distinct
+// similarity test at most once per pair.
+package exec
+
+import (
+	"fmt"
+
+	"mdmatch/internal/core"
+	"mdmatch/internal/schema"
+	"mdmatch/internal/similarity"
+)
+
+// Conjunct is one similarity test with its attribute references resolved
+// to positional column indices into the left/right value slices.
+type Conjunct struct {
+	Left, Right int
+	Op          similarity.Operator
+}
+
+// Eval evaluates the conjunct on a positional value pair.
+func (c Conjunct) Eval(left, right []string) bool {
+	return c.Op.Similar(left[c.Left], right[c.Right])
+}
+
+// CompileConjuncts resolves a conjunct list against the context schemas.
+// It is the shared front end of every compiler in this package: the
+// returned slice preserves order and is ready for positional evaluation.
+func CompileConjuncts(ctx schema.Pair, cs []core.Conjunct) ([]Conjunct, error) {
+	out := make([]Conjunct, len(cs))
+	for i, c := range cs {
+		li, ok := ctx.Left.Index(c.Pair.Left)
+		if !ok {
+			return nil, fmt.Errorf("%s has no attribute %q", ctx.Left.Name(), c.Pair.Left)
+		}
+		ri, ok := ctx.Right.Index(c.Pair.Right)
+		if !ok {
+			return nil, fmt.Errorf("%s has no attribute %q", ctx.Right.Name(), c.Pair.Right)
+		}
+		if c.Op == nil {
+			return nil, fmt.Errorf("conjunct %s has no operator", c.Pair)
+		}
+		out[i] = Conjunct{Left: li, Right: ri, Op: c.Op}
+	}
+	return out, nil
+}
+
+// Program is a compiled rule program: the LHSs of a set of positive
+// rules (a pair matches when at least one holds) and negative rules
+// (vetoes), all sharing one deduplicated conjunct table. Compile once,
+// evaluate many times; a Program is immutable and safe for concurrent
+// use by any number of goroutines.
+type Program struct {
+	ctx       schema.Pair
+	conjuncts []Conjunct
+	rules     [][]uint16 // per positive rule: indices into conjuncts
+	negRules  [][]uint16
+}
+
+// Compile builds a Program from positive and negative rule LHSs over the
+// context. Conjuncts are deduplicated by (attribute pair, operator name)
+// across all rules, so shared similarity tests occupy one table slot. An
+// empty rule LHS matches every pair (callers that consider it an error,
+// like internal/engine, must validate before compiling).
+func Compile(ctx schema.Pair, rules [][]core.Conjunct, negative [][]core.Conjunct) (*Program, error) {
+	p := &Program{ctx: ctx}
+	// Deduplicate by resolved columns + operator name (structured key:
+	// attribute names may contain any separator character).
+	type conjID struct {
+		left, right int
+		op          string
+	}
+	seen := map[conjID]uint16{}
+	intern := func(cs []core.Conjunct) ([]uint16, error) {
+		compiled, err := CompileConjuncts(ctx, cs)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]uint16, len(compiled))
+		for i, c := range compiled {
+			id := conjID{left: c.Left, right: c.Right, op: c.Op.Name()}
+			slot, ok := seen[id]
+			if !ok {
+				if len(p.conjuncts) > int(^uint16(0)) {
+					return nil, fmt.Errorf("too many distinct conjuncts (max %d)", int(^uint16(0))+1)
+				}
+				slot = uint16(len(p.conjuncts))
+				seen[id] = slot
+				p.conjuncts = append(p.conjuncts, c)
+			}
+			out[i] = slot
+		}
+		return out, nil
+	}
+	for i, cs := range rules {
+		r, err := intern(cs)
+		if err != nil {
+			return nil, fmt.Errorf("rule %d: %w", i, err)
+		}
+		p.rules = append(p.rules, r)
+	}
+	for i, cs := range negative {
+		r, err := intern(cs)
+		if err != nil {
+			return nil, fmt.Errorf("negative rule %d: %w", i, err)
+		}
+		p.negRules = append(p.negRules, r)
+	}
+	return p, nil
+}
+
+// Ctx returns the matching context the program was compiled for.
+func (p *Program) Ctx() schema.Pair { return p.ctx }
+
+// NumRules returns the number of positive rules.
+func (p *Program) NumRules() int { return len(p.rules) }
+
+// NumNegative returns the number of negative rules.
+func (p *Program) NumNegative() int { return len(p.negRules) }
+
+// NumConjuncts returns the size of the deduplicated conjunct table.
+func (p *Program) NumConjuncts() int { return len(p.conjuncts) }
+
+// Memo caches conjunct outcomes for the pair currently under
+// evaluation, so rules sharing a similarity test pay for it once. A Memo
+// belongs to one goroutine; epoch bumping makes reuse across pairs free
+// (no clearing).
+type Memo struct {
+	state []uint8 // 1 = false, 2 = true (valid only when epoch matches)
+	epoch []uint32
+	cur   uint32
+}
+
+// NewMemo returns a memo sized for the program's conjunct table. The
+// current epoch starts at 1 so the zero-valued epoch slots read as
+// unknown, never as cached verdicts.
+func (p *Program) NewMemo() *Memo {
+	return &Memo{state: make([]uint8, len(p.conjuncts)), epoch: make([]uint32, len(p.conjuncts)), cur: 1}
+}
+
+func (m *Memo) begin() {
+	m.cur++
+	if m.cur == 0 { // epoch wrapped: invalidate everything explicitly
+		for i := range m.epoch {
+			m.epoch[i] = 0
+		}
+		m.cur = 1
+	}
+}
+
+// evalConjuncts evaluates an indexed conjunct list with short-circuit,
+// consulting and filling the memo when one is supplied.
+func (p *Program) evalConjuncts(idx []uint16, left, right []string, m *Memo) bool {
+	for _, ci := range idx {
+		if m != nil && m.epoch[ci] == m.cur {
+			if m.state[ci] == 1 {
+				return false
+			}
+			continue
+		}
+		ok := p.conjuncts[ci].Eval(left, right)
+		if m != nil {
+			m.epoch[ci] = m.cur
+			if ok {
+				m.state[ci] = 2
+			} else {
+				m.state[ci] = 1
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// EvalRule evaluates positive rule i on a positional value pair. The
+// memo may be nil; when supplied it must have been created by this
+// program's NewMemo and must be scoped to one goroutine. EvalRule does
+// not reset the memo — use EvalPair for whole-pair verdicts, or
+// interleave EvalRule calls for one pair between BeginPair calls.
+func (p *Program) EvalRule(i int, left, right []string, m *Memo) bool {
+	return p.evalConjuncts(p.rules[i], left, right, m)
+}
+
+// BeginPair marks the start of a new value pair in the memo, discarding
+// cached outcomes of the previous pair.
+func (p *Program) BeginPair(m *Memo) { m.begin() }
+
+// EvalPair decides the whole-program verdict for a positional value
+// pair: at least one positive rule holds and no negative rule vetoes.
+// With a nil memo it performs no allocation and is safe for concurrent
+// use; with a memo, each distinct conjunct is evaluated at most once.
+func (p *Program) EvalPair(left, right []string, m *Memo) bool {
+	if m != nil {
+		m.begin()
+	}
+	matched := false
+	for _, r := range p.rules {
+		if p.evalConjuncts(r, left, right, m) {
+			matched = true
+			break
+		}
+	}
+	if !matched {
+		return false
+	}
+	for _, r := range p.negRules {
+		if p.evalConjuncts(r, left, right, m) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,321 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"mdmatch/internal/blocking"
+	"mdmatch/internal/core"
+	"mdmatch/internal/schema"
+	"mdmatch/internal/similarity"
+)
+
+func testCtx(t testing.TB) schema.Pair {
+	t.Helper()
+	left := schema.MustStrings("credit", "fn", "ln", "zip", "tel")
+	right := schema.MustStrings("billing", "fn", "ln", "zip", "phn")
+	return schema.MustPair(left, right)
+}
+
+func TestCompileConjunctsResolvesColumns(t *testing.T) {
+	ctx := testCtx(t)
+	cs, err := CompileConjuncts(ctx, []core.Conjunct{
+		core.Eq("zip", "zip"),
+		core.C("tel", similarity.DL(0.8), "phn"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs[0].Left != 2 || cs[0].Right != 2 {
+		t.Errorf("zip conjunct columns = (%d, %d), want (2, 2)", cs[0].Left, cs[0].Right)
+	}
+	if cs[1].Left != 3 || cs[1].Right != 3 {
+		t.Errorf("tel|phn conjunct columns = (%d, %d), want (3, 3)", cs[1].Left, cs[1].Right)
+	}
+}
+
+func TestCompileConjunctsErrors(t *testing.T) {
+	ctx := testCtx(t)
+	if _, err := CompileConjuncts(ctx, []core.Conjunct{core.Eq("nope", "zip")}); err == nil {
+		t.Error("unknown left attribute accepted")
+	}
+	if _, err := CompileConjuncts(ctx, []core.Conjunct{core.Eq("zip", "nope")}); err == nil {
+		t.Error("unknown right attribute accepted")
+	}
+	if _, err := CompileConjuncts(ctx, []core.Conjunct{{Pair: core.P("zip", "zip")}}); err == nil {
+		t.Error("nil operator accepted")
+	}
+}
+
+func TestProgramDeduplicatesConjuncts(t *testing.T) {
+	ctx := testCtx(t)
+	d := similarity.DL(0.8)
+	rules := [][]core.Conjunct{
+		{core.C("ln", d, "ln"), core.Eq("zip", "zip")},
+		{core.C("ln", d, "ln"), core.C("fn", d, "fn")},
+		{core.Eq("zip", "zip"), core.C("fn", d, "fn")},
+	}
+	p, err := Compile(ctx, rules, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.NumConjuncts(); got != 3 {
+		t.Errorf("NumConjuncts = %d, want 3 (ln~ln, zip=zip, fn~fn deduplicated)", got)
+	}
+	if p.NumRules() != 3 || p.NumNegative() != 0 {
+		t.Errorf("rules = %d/%d, want 3/0", p.NumRules(), p.NumNegative())
+	}
+	// Same pair, same operator name, but distinct operators must NOT
+	// collapse (dl(0.8) vs dl(0.9) differ in name).
+	p2, err := Compile(ctx, [][]core.Conjunct{
+		{core.C("ln", similarity.DL(0.8), "ln")},
+		{core.C("ln", similarity.DL(0.9), "ln")},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p2.NumConjuncts(); got != 2 {
+		t.Errorf("NumConjuncts = %d, want 2 (different thresholds)", got)
+	}
+}
+
+func TestEvalPairPositiveAndNegative(t *testing.T) {
+	ctx := testCtx(t)
+	d := similarity.DL(0.8)
+	p, err := Compile(ctx,
+		[][]core.Conjunct{{core.C("ln", d, "ln"), core.Eq("zip", "zip")}},
+		[][]core.Conjunct{{core.Eq("fn", "fn")}}, // veto: identical first names
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	left := []string{"Mark", "Clifford", "07974", "908"}
+	for _, tc := range []struct {
+		right []string
+		want  bool
+	}{
+		{[]string{"Marx", "Cliford", "07974", "908"}, true},  // rule holds, no veto
+		{[]string{"Mark", "Cliford", "07974", "908"}, false}, // veto fires
+		{[]string{"Marx", "Smith", "07974", "908"}, false},   // rule fails
+		{[]string{"Marx", "Cliford", "07976", "908"}, false}, // zip differs
+	} {
+		memo := p.NewMemo()
+		if got := p.EvalPair(left, tc.right, nil); got != tc.want {
+			t.Errorf("EvalPair(%v) = %v, want %v", tc.right, got, tc.want)
+		}
+		if got := p.EvalPair(left, tc.right, memo); got != tc.want {
+			t.Errorf("EvalPair(%v) with memo = %v, want %v", tc.right, got, tc.want)
+		}
+	}
+}
+
+// countingOp counts evaluations, to prove memoization.
+type countingOp struct {
+	name  string
+	calls *int
+}
+
+func (c countingOp) Name() string { return c.name }
+func (c countingOp) Similar(a, b string) bool {
+	*c.calls++
+	return a == b
+}
+
+func TestMemoEvaluatesSharedConjunctOnce(t *testing.T) {
+	ctx := testCtx(t)
+	calls := 0
+	op := countingOp{name: "count", calls: &calls}
+	shared := core.Conjunct{Pair: core.P("ln", "ln"), Op: op}
+	// Three rules sharing the ln conjunct; first conjunct fails on fn so
+	// every rule reaches the shared one.
+	p, err := Compile(ctx, [][]core.Conjunct{
+		{shared, core.Eq("fn", "fn")},
+		{shared, core.Eq("zip", "zip")},
+		{shared, core.Eq("tel", "phn")},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	left := []string{"a", "x", "1", "t1"}
+	right := []string{"b", "x", "2", "t2"}
+	m := p.NewMemo()
+	if p.EvalPair(left, right, m) {
+		t.Fatal("no rule should hold")
+	}
+	if calls != 1 {
+		t.Errorf("shared conjunct evaluated %d times with memo, want 1", calls)
+	}
+	calls = 0
+	if p.EvalPair(left, right, nil) {
+		t.Fatal("no rule should hold")
+	}
+	if calls != 3 {
+		t.Errorf("shared conjunct evaluated %d times without memo, want 3", calls)
+	}
+	// A fresh pair through the same memo re-evaluates.
+	calls = 0
+	p.EvalPair(left, []string{"b", "y", "2", "t2"}, m)
+	if calls != 1 {
+		t.Errorf("next pair evaluated shared conjunct %d times, want 1", calls)
+	}
+}
+
+func TestEmptyRuleMatchesEverything(t *testing.T) {
+	ctx := testCtx(t)
+	p, err := Compile(ctx, [][]core.Conjunct{{}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.EvalPair([]string{"a", "b", "c", "d"}, []string{"w", "x", "y", "z"}, nil) {
+		t.Error("empty LHS must match every pair (vacuous conjunction)")
+	}
+	// And a program with no rules matches nothing.
+	p0, err := Compile(ctx, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p0.EvalPair([]string{"a", "b", "c", "d"}, []string{"a", "b", "c", "d"}, nil) {
+		t.Error("program without rules must match nothing")
+	}
+}
+
+func TestVectorEval(t *testing.T) {
+	ctx := testCtx(t)
+	v, err := CompileVector(ctx, []core.Conjunct{
+		core.Eq("fn", "fn"),
+		core.Eq("ln", "ln"),
+		core.Eq("zip", "zip"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := v.Eval([]string{"a", "b", "c", "d"}, []string{"a", "x", "c", "d"}, nil)
+	want := []bool{true, false, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("vector = %v, want %v", got, want)
+		}
+	}
+	// dst reuse keeps the backing array.
+	buf := make([]bool, 0, 3)
+	got2 := v.Eval([]string{"a", "b", "c", "d"}, []string{"a", "x", "c", "d"}, buf)
+	if &got2[0] != &buf[:1][0] {
+		t.Error("Eval must reuse the provided buffer")
+	}
+}
+
+// TestKeyEncoderSeparatorCollision is the regression test for the
+// blocking-key aliasing bug: field values containing the \x1f separator
+// used to concatenate into identical keys for distinct field tuples.
+func TestKeyEncoderSeparatorCollision(t *testing.T) {
+	left := schema.MustStrings("l", "a", "b")
+	right := schema.MustStrings("r", "a", "b")
+	ctx := schema.MustPair(left, right)
+	ks := blocking.NewKeySpec(core.P("a", "a"), core.P("b", "b"))
+	ke, err := CompileKeySpec(ctx, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1 := ke.RenderLeft(0, []string{"a\x1fb", "c"})
+	k2 := ke.RenderLeft(0, []string{"a", "b\x1fc"})
+	if k1 == k2 {
+		t.Fatalf("distinct field tuples alias to key %q", k1)
+	}
+	// Escape byte itself must round-trip distinctly too.
+	k3 := ke.RenderLeft(0, []string{"a\x1c", "b"})
+	k4 := ke.RenderLeft(0, []string{"a", "\x1cb"})
+	if k3 == k4 {
+		t.Fatalf("escape-byte field tuples alias to key %q", k3)
+	}
+	// Equal field tuples still produce equal keys across sides.
+	if ke.RenderLeft(7, []string{"x", "y"}) != ke.RenderRight(7, []string{"x", "y"}) {
+		t.Error("same values must render the same key on both sides")
+	}
+	// Different tags partition the key space.
+	if ke.RenderLeft(0, []string{"x", "y"}) == ke.RenderLeft(1, []string{"x", "y"}) {
+		t.Error("tag byte must distinguish specs")
+	}
+}
+
+func TestKeyEncoderEncodersAndErrors(t *testing.T) {
+	left := schema.MustStrings("l", "name", "zip")
+	right := schema.MustStrings("r", "name", "zip")
+	ctx := schema.MustPair(left, right)
+	ks := blocking.NewKeySpec(core.P("name", "name"), core.P("zip", "zip")).
+		WithEncoder(0, blocking.SoundexEncode)
+	ke, err := CompileKeySpec(ctx, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := ke.RenderLeft(0, []string{"Clifford", "07974"})
+	if !strings.Contains(k, similarity.Soundex("Clifford")) {
+		t.Errorf("key %q does not contain the Soundex code", k)
+	}
+	if _, err := CompileKeySpec(ctx, blocking.KeySpec{}); err == nil {
+		t.Error("empty key spec accepted")
+	}
+	if _, err := CompileKeySpec(ctx, blocking.NewKeySpec(core.P("nope", "zip"))); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+}
+
+func TestCompileRuleErrorsAreIndexed(t *testing.T) {
+	ctx := testCtx(t)
+	_, err := Compile(ctx, [][]core.Conjunct{
+		{core.Eq("fn", "fn")},
+		{core.Eq("bad", "fn")},
+	}, nil)
+	if err == nil || !strings.Contains(err.Error(), "rule 1") {
+		t.Errorf("error %v must name the offending rule", err)
+	}
+	_, err = Compile(ctx, nil, [][]core.Conjunct{{core.Eq("bad", "fn")}})
+	if err == nil || !strings.Contains(err.Error(), "negative rule 0") {
+		t.Errorf("error %v must name the offending negative rule", err)
+	}
+}
+
+// TestSynonymOpsDoNotAliasInDedup pins the conjunct-dedup contract:
+// operators are deduplicated by canonical name, so SynonymOps with
+// different tables (whose names now embed the table) must keep separate
+// slots and separate verdicts.
+func TestSynonymOpsDoNotAliasInDedup(t *testing.T) {
+	left := schema.MustStrings("l", "country")
+	right := schema.MustStrings("r", "country")
+	ctx := schema.MustPair(left, right)
+	usa := similarity.SynonymOp(similarity.Eq(), map[string]string{"usa": "united states"})
+	uk := similarity.SynonymOp(similarity.Eq(), map[string]string{"uk": "united kingdom"})
+	if usa.Name() == uk.Name() {
+		t.Fatalf("SynonymOps with different tables share name %q", usa.Name())
+	}
+	p, err := Compile(ctx, [][]core.Conjunct{
+		{core.C("country", usa, "country")},
+		{core.C("country", uk, "country")},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumConjuncts() != 2 {
+		t.Fatalf("NumConjuncts = %d, want 2 (different synonym tables)", p.NumConjuncts())
+	}
+	if !p.EvalPair([]string{"UK"}, []string{"United Kingdom"}, nil) {
+		t.Error("second rule's synonym table must be honored")
+	}
+}
+
+// TestEvalRuleWithFreshMemo pins a fixed bug: a fresh memo's zero
+// epochs must read as unknown, not as cached-true verdicts.
+func TestEvalRuleWithFreshMemo(t *testing.T) {
+	ctx := testCtx(t)
+	p, err := Compile(ctx, [][]core.Conjunct{{core.Eq("fn", "fn")}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.NewMemo()
+	if p.EvalRule(0, []string{"a", "", "", ""}, []string{"b", "", "", ""}, m) {
+		t.Error("fresh memo treated unevaluated conjunct as cached-true")
+	}
+	p.BeginPair(m)
+	if !p.EvalRule(0, []string{"a", "", "", ""}, []string{"a", "", "", ""}, m) {
+		t.Error("EvalRule must hold on equal values")
+	}
+}

@@ -1,0 +1,77 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"mdmatch/internal/blocking"
+	"mdmatch/internal/schema"
+)
+
+// KeyEncoder is a blocking.KeySpec compiled for positional evaluation:
+// columns resolved on both sides, encoders defaulted, field values
+// escaped via blocking.AppendKeyField so encoded values containing the
+// separator byte cannot alias distinct keys. Immutable after compile.
+type KeyEncoder struct {
+	spec        blocking.KeySpec
+	left, right []int
+	encode      []blocking.Encoder
+}
+
+// CompileKeySpec resolves a blocking key spec against the context.
+func CompileKeySpec(ctx schema.Pair, ks blocking.KeySpec) (KeyEncoder, error) {
+	if len(ks.Fields) == 0 {
+		return KeyEncoder{}, fmt.Errorf("empty key spec")
+	}
+	ke := KeyEncoder{
+		spec:   ks,
+		left:   make([]int, len(ks.Fields)),
+		right:  make([]int, len(ks.Fields)),
+		encode: make([]blocking.Encoder, len(ks.Fields)),
+	}
+	for i, f := range ks.Fields {
+		li, ok := ctx.Left.Index(f.Pair.Left)
+		if !ok {
+			return KeyEncoder{}, fmt.Errorf("%s has no attribute %q", ctx.Left.Name(), f.Pair.Left)
+		}
+		ri, ok := ctx.Right.Index(f.Pair.Right)
+		if !ok {
+			return KeyEncoder{}, fmt.Errorf("%s has no attribute %q", ctx.Right.Name(), f.Pair.Right)
+		}
+		ke.left[i], ke.right[i] = li, ri
+		ke.encode[i] = f.Encode
+		if ke.encode[i] == nil {
+			ke.encode[i] = blocking.Identity
+		}
+	}
+	return ke, nil
+}
+
+// Spec returns the source key spec.
+func (ke *KeyEncoder) Spec() blocking.KeySpec { return ke.spec }
+
+// render builds the key string of one side. The layout matches
+// blocking.KeySpec keys (escaped fields joined by the separator) with a
+// leading tag byte so keys of different specs never collide in a shared
+// index.
+func (ke *KeyEncoder) render(tag byte, vals []string, cols []int) string {
+	var b strings.Builder
+	b.WriteByte(tag)
+	for i, col := range cols {
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		blocking.AppendKeyField(&b, ke.encode[i](vals[col]))
+	}
+	return b.String()
+}
+
+// RenderLeft builds the tagged key of a left-side value slice.
+func (ke *KeyEncoder) RenderLeft(tag byte, vals []string) string {
+	return ke.render(tag, vals, ke.left)
+}
+
+// RenderRight builds the tagged key of a right-side value slice.
+func (ke *KeyEncoder) RenderRight(tag byte, vals []string) string {
+	return ke.render(tag, vals, ke.right)
+}

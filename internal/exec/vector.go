@@ -1,0 +1,38 @@
+package exec
+
+import (
+	"mdmatch/internal/core"
+	"mdmatch/internal/schema"
+)
+
+// Vector is a compiled comparison vector: an ordered field list with
+// columns resolved, evaluating a tuple pair to the binary vector γ of
+// Section 2.2. Unlike Program rules, every entry is always evaluated
+// (no short-circuit): the output has one bit per field. A Vector is
+// immutable and safe for concurrent use.
+type Vector struct {
+	conjs []Conjunct
+}
+
+// CompileVector resolves the field list against the context schemas.
+func CompileVector(ctx schema.Pair, fields []core.Conjunct) (*Vector, error) {
+	cs, err := CompileConjuncts(ctx, fields)
+	if err != nil {
+		return nil, err
+	}
+	return &Vector{conjs: cs}, nil
+}
+
+// Len returns the number of fields.
+func (v *Vector) Len() int { return len(v.conjs) }
+
+// Eval computes the comparison vector of a positional value pair into
+// dst (reused when cap allows, appended from dst[:0]); pass nil to
+// allocate.
+func (v *Vector) Eval(left, right []string, dst []bool) []bool {
+	dst = dst[:0]
+	for _, c := range v.conjs {
+		dst = append(dst, c.Eval(left, right))
+	}
+	return dst
+}

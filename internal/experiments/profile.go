@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mdmatch/internal/blocking"
+	"mdmatch/internal/engine"
+	"mdmatch/internal/gen"
+	"mdmatch/internal/matching"
+	"mdmatch/internal/metrics"
+	"mdmatch/internal/semantics"
+)
+
+// Profile drives one execution path of the shared exec kernel over a
+// generated K-holder dataset and prints its throughput — the
+// cmd/matchbench -path mode. All three paths compile their rules
+// through internal/exec, so a regression in the kernel shows up in
+// whichever path is profiled:
+//
+//	chase   — semantics.Enforce (worklist chase) over the 7 holder MDs
+//	ruleset — matching.RuleSet over the blocked candidate pairs
+//	engine  — engine.MatchBatch serving the billing side as queries
+func Profile(w io.Writer, path string, k int, seed int64) error {
+	switch path {
+	case "chase":
+		return profileChase(w, k, seed)
+	case "ruleset":
+		return profileRuleSet(w, k, seed)
+	case "engine":
+		return profileEngine(w, k, seed)
+	}
+	return fmt.Errorf("unknown path %q (want chase, ruleset or engine)", path)
+}
+
+func profileChase(w io.Writer, k int, seed int64) error {
+	cfg := gen.DefaultConfig(k)
+	cfg.Seed = seed
+	ds, err := gen.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	sigma := gen.HolderMDs(ds.Ctx)
+	d := ds.Pair()
+	start := time.Now()
+	res, err := semantics.Enforce(d, sigma)
+	if err != nil {
+		return err
+	}
+	secs := time.Since(start).Seconds()
+	fmt.Fprintf(w, "# path=chase K=%d (%d × %d tuples, %d MDs)\n", k, ds.Credit.Len(), ds.Billing.Len(), len(sigma))
+	fmt.Fprintf(w, "seconds=%.4f applications=%d passes=%d\n", secs, res.Applications, res.Passes)
+	fmt.Fprintf(w, "%s\n", res.Stats)
+	fmt.Fprintf(w, "pairs_examined_per_second=%.0f\n", float64(res.Stats.PairsExamined)/secs)
+	return nil
+}
+
+func profileRuleSet(w io.Writer, k int, seed int64) error {
+	s, err := NewSetup(k, seed)
+	if err != nil {
+		return err
+	}
+	cands, err := blocking.Block(s.D, s.RCKBlockingKey())
+	if err != nil {
+		return err
+	}
+	rules := matching.NewRuleSet(s.RCKs...)
+	start := time.Now()
+	matches, err := rules.MatchCandidates(s.D, cands)
+	if err != nil {
+		return err
+	}
+	secs := time.Since(start).Seconds()
+	q := metrics.Evaluate(matches, s.Truth)
+	fmt.Fprintf(w, "# path=ruleset K=%d (%d RCKs, %d blocked candidates)\n", k, len(s.RCKs), cands.Len())
+	fmt.Fprintf(w, "seconds=%.4f pairs_per_second=%.0f matches=%d\n", secs, float64(cands.Len())/secs, matches.Len())
+	fmt.Fprintf(w, "%s\n", q)
+	return nil
+}
+
+func profileEngine(w io.Writer, k int, seed int64) error {
+	s, err := NewSetup(k, seed)
+	if err != nil {
+		return err
+	}
+	plan, err := engine.Compile(s.Dataset.Ctx, s.RCKs, []blocking.KeySpec{s.RCKBlockingKey()})
+	if err != nil {
+		return err
+	}
+	eng, err := engine.New(plan)
+	if err != nil {
+		return err
+	}
+	if err := eng.Load(s.Dataset.Credit); err != nil {
+		return err
+	}
+	batch := make([][]string, s.Dataset.Billing.Len())
+	for i, t := range s.Dataset.Billing.Tuples {
+		batch[i] = t.Values
+	}
+	// Warm-up, then the measured pass.
+	if _, err := eng.MatchBatch(batch); err != nil {
+		return err
+	}
+	eng.ResetStats()
+	start := time.Now()
+	if _, err := eng.MatchBatch(batch); err != nil {
+		return err
+	}
+	secs := time.Since(start).Seconds()
+	st := eng.Stats()
+	fmt.Fprintf(w, "# path=engine K=%d (%d indexed, %d queries, %d workers)\n", k, eng.Len(), len(batch), eng.Workers())
+	fmt.Fprintf(w, "seconds=%.4f queries_per_second=%.0f\n", secs, float64(len(batch))/secs)
+	fmt.Fprintf(w, "compared=%d matched=%d reduction_ratio=%.4f\n", st.Compared, st.Matched, st.ReductionRatio())
+	return nil
+}

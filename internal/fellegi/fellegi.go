@@ -227,6 +227,12 @@ func (ma *Matcher) Run(d *record.PairInstance, candidates *metrics.PairSet) (*Re
 	if len(pairs) == 0 {
 		return &Result{Matches: metrics.NewPairSet(), Model: &Model{Fields: ma.Fields}}, nil
 	}
+	// Compile the comparison vector once (exec kernel: names resolved to
+	// columns), then evaluate every candidate pair positionally.
+	cv, err := matching.CompileFields(d.Ctx, ma.Fields)
+	if err != nil {
+		return nil, err
+	}
 	vectors := make([][]bool, len(pairs))
 	for i, p := range pairs {
 		t1, ok := d.Left.ByID(p.Left)
@@ -237,11 +243,7 @@ func (ma *Matcher) Run(d *record.PairInstance, candidates *metrics.PairSet) (*Re
 		if !ok {
 			return nil, fmt.Errorf("fellegi: missing right tuple %d", p.Right)
 		}
-		vec, err := matching.Compare(d, ma.Fields, t1, t2)
-		if err != nil {
-			return nil, err
-		}
-		vectors[i] = vec
+		vectors[i] = cv.Eval(t1.Values, t2.Values, nil)
 	}
 
 	fit := vectors

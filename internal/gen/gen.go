@@ -254,7 +254,7 @@ func (ds *Dataset) LtStats() func(core.AttrPair) float64 {
 		}
 		total := 0
 		for _, t := range in.Tuples {
-			total += len(t.Values[i])
+			total += len(t.At(i))
 		}
 		return float64(total) / float64(in.Len())
 	}

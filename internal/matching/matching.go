@@ -1,14 +1,22 @@
 // Package matching provides the shared machinery of the record matchers:
 // comparison fields and vectors, rule sets (relative keys applied as
 // matching rules), and candidate-pair handling.
+//
+// All pair evaluation runs through the compiled kernel (internal/exec):
+// rule sets and comparison vectors compile once per run — attribute
+// names resolved to positional columns, conjuncts deduplicated — and
+// candidate loops evaluate positionally with per-pair memoization of
+// shared similarity tests.
 package matching
 
 import (
 	"fmt"
 
 	"mdmatch/internal/core"
+	"mdmatch/internal/exec"
 	"mdmatch/internal/metrics"
 	"mdmatch/internal/record"
+	"mdmatch/internal/schema"
 	"mdmatch/internal/similarity"
 )
 
@@ -30,11 +38,15 @@ func (f Field) String() string {
 // union mediates the lower recall of any single RCK ("miss-matches by
 // some RCKs could be rectified by the others").
 func FieldsFromKeys(keys []core.Key) []Field {
-	seen := map[string]bool{}
+	type fieldID struct {
+		pair core.AttrPair
+		op   string
+	}
+	seen := map[fieldID]bool{}
 	var out []Field
 	for _, k := range keys {
 		for _, c := range k.Conjuncts {
-			id := c.Pair.String() + "\x00" + c.OpName()
+			id := fieldID{pair: c.Pair, op: c.OpName()}
 			if seen[id] {
 				continue
 			}
@@ -56,22 +68,26 @@ func FieldsFromTarget(target core.Target, op similarity.Operator) []Field {
 	return out
 }
 
-// Compare evaluates the fields on a tuple pair, yielding the binary
-// comparison vector γ.
-func Compare(d *record.PairInstance, fields []Field, t1, t2 *record.Tuple) ([]bool, error) {
-	vec := make([]bool, len(fields))
+// CompileFields compiles a field list against a context into the exec
+// kernel's vector form: resolve names once, evaluate positionally per
+// pair. This is what the matchers use inside candidate loops.
+func CompileFields(ctx schema.Pair, fields []Field) (*exec.Vector, error) {
+	cs := make([]core.Conjunct, len(fields))
 	for i, f := range fields {
-		v1, err := d.Left.Get(t1, f.Pair.Left)
-		if err != nil {
-			return nil, err
-		}
-		v2, err := d.Right.Get(t2, f.Pair.Right)
-		if err != nil {
-			return nil, err
-		}
-		vec[i] = f.Op.Similar(v1, v2)
+		cs[i] = core.Conjunct{Pair: f.Pair, Op: f.Op}
 	}
-	return vec, nil
+	return exec.CompileVector(ctx, cs)
+}
+
+// Compare evaluates the fields on a tuple pair, yielding the binary
+// comparison vector γ. It compiles the fields per call — callers
+// comparing many pairs should CompileFields once and reuse the vector.
+func Compare(d *record.PairInstance, fields []Field, t1, t2 *record.Tuple) ([]bool, error) {
+	v, err := CompileFields(d.Ctx, fields)
+	if err != nil {
+		return nil, err
+	}
+	return v.Eval(t1.Values, t2.Values, nil), nil
 }
 
 // RuleSet applies a set of relative keys as matching rules: a pair
@@ -85,54 +101,47 @@ type RuleSet struct {
 // NewRuleSet builds a rule set from keys.
 func NewRuleSet(keys ...core.Key) *RuleSet { return &RuleSet{Keys: keys} }
 
-// Match reports whether (t1, t2) match under the rule set.
-func (r *RuleSet) Match(d *record.PairInstance, t1, t2 *record.Tuple) (bool, error) {
-	matched := false
-	for _, k := range r.Keys {
-		ok, err := matchConjuncts(d, k.Conjuncts, t1, t2)
-		if err != nil {
-			return false, err
-		}
-		if ok {
-			matched = true
-			break
-		}
+// Compile resolves the rule set against a context into an executable
+// exec program: one positive rule per key, one negative rule per veto,
+// similarity tests deduplicated across all of them. Mutating Keys or
+// Negative afterwards does not affect a compiled program.
+func (r *RuleSet) Compile(ctx schema.Pair) (*exec.Program, error) {
+	rules := make([][]core.Conjunct, len(r.Keys))
+	for i, k := range r.Keys {
+		rules[i] = k.Conjuncts
 	}
-	if !matched {
-		return false, nil
+	negs := make([][]core.Conjunct, len(r.Negative))
+	for i, n := range r.Negative {
+		negs[i] = n.LHS
 	}
-	for _, n := range r.Negative {
-		veto, err := matchConjuncts(d, n.LHS, t1, t2)
-		if err != nil {
-			return false, err
-		}
-		if veto {
-			return false, nil
-		}
+	prog, err := exec.Compile(ctx, rules, negs)
+	if err != nil {
+		return nil, fmt.Errorf("matching: %w", err)
 	}
-	return true, nil
+	return prog, nil
 }
 
-func matchConjuncts(d *record.PairInstance, cs []core.Conjunct, t1, t2 *record.Tuple) (bool, error) {
-	for _, c := range cs {
-		v1, err := d.Left.Get(t1, c.Pair.Left)
-		if err != nil {
-			return false, err
-		}
-		v2, err := d.Right.Get(t2, c.Pair.Right)
-		if err != nil {
-			return false, err
-		}
-		if !c.Op.Similar(v1, v2) {
-			return false, nil
-		}
+// Match reports whether (t1, t2) match under the rule set. It compiles
+// per call — callers with many pairs should use MatchCandidates or
+// Compile once themselves.
+func (r *RuleSet) Match(d *record.PairInstance, t1, t2 *record.Tuple) (bool, error) {
+	prog, err := r.Compile(d.Ctx)
+	if err != nil {
+		return false, err
 	}
-	return true, nil
+	return prog.EvalPair(t1.Values, t2.Values, nil), nil
 }
 
 // MatchCandidates applies the rule set to every candidate pair and
-// returns the matched subset.
+// returns the matched subset. The rules compile once; every pair then
+// evaluates positionally through the kernel with a shared memo, so a
+// similarity test occurring in several keys runs at most once per pair.
 func (r *RuleSet) MatchCandidates(d *record.PairInstance, candidates *metrics.PairSet) (*metrics.PairSet, error) {
+	prog, err := r.Compile(d.Ctx)
+	if err != nil {
+		return nil, err
+	}
+	memo := prog.NewMemo()
 	out := metrics.NewPairSet()
 	for _, p := range candidates.Pairs() {
 		t1, ok := d.Left.ByID(p.Left)
@@ -143,11 +152,7 @@ func (r *RuleSet) MatchCandidates(d *record.PairInstance, candidates *metrics.Pa
 		if !ok {
 			return nil, fmt.Errorf("matching: candidate references missing right tuple %d", p.Right)
 		}
-		m, err := r.Match(d, t1, t2)
-		if err != nil {
-			return nil, err
-		}
-		if m {
+		if prog.EvalPair(t1.Values, t2.Values, memo) {
 			out.Add(p)
 		}
 	}

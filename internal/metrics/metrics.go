@@ -160,3 +160,34 @@ func (b BlockingQuality) String() string {
 	return fmt.Sprintf("PC=%.4f RR=%.4f (sM=%d sU=%d nM=%d nU=%d)",
 		b.PC(), b.RR(), b.SM, b.SU, b.NM, b.NU)
 }
+
+// ChaseStats counts the work done by an enforcement chase
+// (semantics.Enforce), the run-time analog of PC/RR: how much of the
+// quadratic comparison space the candidate-driven worklist actually
+// visited.
+type ChaseStats struct {
+	// PairsExamined counts candidate (rule, tuple-pair) visits: each time
+	// the chase evaluated whether a rule fires on a pair.
+	PairsExamined int64 `json:"pairs_examined"`
+	// LHSEvaluations counts individual similarity-operator evaluations
+	// performed while matching rule LHSs (after short-circuiting and
+	// candidate pruning) — the chase's unit of real work.
+	LHSEvaluations int64 `json:"lhs_evaluations"`
+	// RuleFirings counts rule applications that identified cells (equal
+	// to EnforceResult.Applications).
+	RuleFirings int64 `json:"rule_firings"`
+}
+
+// Add accumulates counters from another run.
+func (s ChaseStats) Add(o ChaseStats) ChaseStats {
+	return ChaseStats{
+		PairsExamined:  s.PairsExamined + o.PairsExamined,
+		LHSEvaluations: s.LHSEvaluations + o.LHSEvaluations,
+		RuleFirings:    s.RuleFirings + o.RuleFirings,
+	}
+}
+
+func (s ChaseStats) String() string {
+	return fmt.Sprintf("pairs examined=%d, LHS evaluations=%d, rule firings=%d",
+		s.PairsExamined, s.LHSEvaluations, s.RuleFirings)
+}

@@ -37,7 +37,11 @@ type Result struct {
 	Compared int
 }
 
-// Run executes the configured passes over the instance pair.
+// Run executes the configured passes over the instance pair. The rule
+// base — including the 25-rule hand-written baseline of BaselineRules —
+// compiles once into the exec kernel (via RuleSet.MatchCandidates) and
+// every windowed candidate evaluates positionally with shared-conjunct
+// memoization.
 func Run(d *record.PairInstance, cfg Config) (*Result, error) {
 	if len(cfg.Passes) == 0 {
 		return nil, fmt.Errorf("neighborhood: no passes configured")

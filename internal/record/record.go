@@ -21,6 +21,13 @@ type Tuple struct {
 	Values []string
 }
 
+// At returns the value at a positional column index: the no-error
+// counterpart of Instance.Get for callers that resolved the attribute
+// name to a column once (via Relation.Index), mirroring how the
+// compiled kernel (internal/exec) reads positional value slices. The
+// caller is responsible for the index being in range.
+func (t *Tuple) At(col int) string { return t.Values[col] }
+
 // Clone deep-copies the tuple.
 func (t *Tuple) Clone() *Tuple {
 	v := make([]string, len(t.Values))

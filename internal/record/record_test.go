@@ -201,3 +201,19 @@ func TestInstanceString(t *testing.T) {
 		t.Fatalf("String() = %q", s)
 	}
 }
+
+func TestAtPositionalAccess(t *testing.T) {
+	rel := schema.MustStrings("r", "a", "b")
+	in := NewInstance(rel)
+	tp := in.MustAppend("x", "y")
+	i, ok := rel.Index("b")
+	if !ok {
+		t.Fatal("missing attribute b")
+	}
+	if got := tp.At(i); got != "y" {
+		t.Errorf("At = %q, want %q", got, "y")
+	}
+	if tp.At(0) != in.MustGet(tp, "a") {
+		t.Error("At and MustGet disagree")
+	}
+}

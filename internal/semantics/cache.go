@@ -1,0 +1,229 @@
+package semantics
+
+import (
+	"mdmatch/internal/record"
+)
+
+// The chase-level conjunct memo.
+//
+// A similarity operator is expensive (edit distances are quadratic in
+// value length), and the chase evaluates the same conjunct on the same
+// value pair over and over: duplicates share values, several rules test
+// the same attribute pair, and later passes revisit pairs whose tuples
+// were touched on unrelated columns. The key observation making a
+// complete memo possible is that ResolveValue always picks one of its
+// two arguments — enforcement never invents a value — so the set of
+// values a column can ever hold is fixed when the chase starts: the
+// initial values of every column connected to it through Σ's RHS pairs
+// (cells are only ever identified along those pairs).
+//
+// evalCache therefore interns each such column-component's value
+// universe once, tracks the current value id of every cell, and gives
+// each distinct non-encodable conjunct a dense (left ids × right ids)
+// verdict matrix at 2 bits per combination. A cache hit replaces a
+// Damerau–Levenshtein evaluation with two array reads. Verdicts are
+// pure functions of the two values, so memoization cannot change any
+// chase outcome — only Stats.LHSEvaluations (actual operator calls)
+// shrinks.
+
+// cacheMaxCombos caps a conjunct matrix's size (2 bits per combo:
+// 1<<26 combos = 16 MiB). Oversized conjuncts evaluate uncached.
+const cacheMaxCombos = int64(1) << 26
+
+// valuePool is one column-component's interned value universe.
+type valuePool struct {
+	ids map[string]int32
+}
+
+func (p *valuePool) intern(v string) int32 {
+	id, ok := p.ids[v]
+	if !ok {
+		id = int32(len(p.ids))
+		p.ids[v] = id
+	}
+	return id
+}
+
+// lookup returns the id of v, or -1 if v is outside the pool (possible
+// only if an encoder invariant is broken; evaluation then skips the
+// cache).
+func (p *valuePool) lookup(v string) int32 {
+	if id, ok := p.ids[v]; ok {
+		return id
+	}
+	return -1
+}
+
+// conjCache is the verdict matrix of one distinct conjunct.
+type conjCache struct {
+	stride int64    // right pool size
+	lsize  int64    // left pool size
+	bits   []uint64 // 2 bits per (v1, v2): known flag, verdict
+}
+
+func newConjCache(lsize, rsize int) *conjCache {
+	combos := int64(lsize) * int64(rsize)
+	if combos == 0 || combos > cacheMaxCombos {
+		return nil
+	}
+	return &conjCache{
+		stride: int64(rsize),
+		lsize:  int64(lsize),
+		bits:   make([]uint64, (2*combos+63)/64),
+	}
+}
+
+// get returns the cached verdict of (v1, v2) and whether one is known.
+func (cc *conjCache) get(v1, v2 int32) (verdict, known bool) {
+	if v1 < 0 || v2 < 0 || int64(v1) >= cc.lsize || int64(v2) >= cc.stride {
+		return false, false
+	}
+	off := (int64(v1)*cc.stride + int64(v2)) * 2
+	w := cc.bits[off>>6] >> uint(off&63)
+	return w&2 != 0, w&1 != 0
+}
+
+func (cc *conjCache) set(v1, v2 int32, verdict bool) {
+	if v1 < 0 || v2 < 0 || int64(v1) >= cc.lsize || int64(v2) >= cc.stride {
+		return
+	}
+	off := (int64(v1)*cc.stride + int64(v2)) * 2
+	m := uint64(1) << uint(off&63)
+	if verdict {
+		m |= m << 1
+	}
+	cc.bits[off>>6] |= m
+}
+
+// conjID identifies a distinct conjunct across all rules of Σ.
+type conjID struct {
+	lcol, rcol int
+	op         string
+}
+
+// evalCache holds the pools, per-cell value ids and conjunct matrices of
+// one chase.
+type evalCache struct {
+	// pool[side][col] is the value pool of the column's component.
+	pool [2][]*valuePool
+	// vids[side][col][tupleIdx] is the interned id of the cell's current
+	// value.
+	vids [2][][]int32
+	// conjs deduplicates matrices across rules.
+	conjs map[conjID]*conjCache
+}
+
+// newEvalCache builds the cache for a chase over d with the given
+// compiled rules.
+func newEvalCache(d *record.PairInstance, mds []compiledMD) *evalCache {
+	a1, a2 := d.Ctx.Left.Arity(), d.Ctx.Right.Arity()
+	self := d.SelfMatch()
+
+	// Union-find over column nodes: left columns are 0..a1-1, right
+	// columns a1..a1+a2-1 (aliased onto the left for self-match). Σ's
+	// RHS pairs connect the columns whose cells enforcement can identify.
+	n := a1 + a2
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	node := func(side, col int) int {
+		if side == 1 && !self {
+			return a1 + col
+		}
+		return col
+	}
+	for i := range mds {
+		for _, p := range mds[i].rhs {
+			ra, rb := find(node(0, p[0])), find(node(1, p[1]))
+			if ra != rb {
+				parent[ra] = rb
+			}
+		}
+	}
+
+	ec := &evalCache{conjs: make(map[conjID]*conjCache)}
+	pools := make(map[int]*valuePool)
+	poolOf := func(side, col int) *valuePool {
+		r := find(node(side, col))
+		p, ok := pools[r]
+		if !ok {
+			p = &valuePool{ids: make(map[string]int32)}
+			pools[r] = p
+		}
+		return p
+	}
+	ec.pool[0] = make([]*valuePool, a1)
+	for c := 0; c < a1; c++ {
+		ec.pool[0][c] = poolOf(0, c)
+	}
+	ec.pool[1] = make([]*valuePool, a2)
+	for c := 0; c < a2; c++ {
+		ec.pool[1][c] = poolOf(1, c)
+	}
+
+	// Intern the initial (and therefore complete) value universes and
+	// record each cell's id.
+	internSide := func(side int, in *record.Instance, arity int) [][]int32 {
+		vids := make([][]int32, arity)
+		for c := range vids {
+			vids[c] = make([]int32, in.Len())
+		}
+		for ti, t := range in.Tuples {
+			for c, v := range t.Values {
+				vids[c][ti] = ec.pool[side][c].intern(v)
+			}
+		}
+		return vids
+	}
+	ec.vids[0] = internSide(0, d.Left, a1)
+	if self {
+		// One physical instance: the right-side view shares the left
+		// id slices, so a touched cell needs one refresh, not two.
+		ec.vids[1] = ec.vids[0]
+	} else {
+		ec.vids[1] = internSide(1, d.Right, a2)
+	}
+
+	// Matrices for the distinct non-encodable conjuncts.
+	for i := range mds {
+		for ci := range mds[i].lhs {
+			c := mds[i].lhs[ci]
+			if _, encodable := seedEncoder(c.Op); encodable {
+				continue
+			}
+			id := conjID{lcol: c.Left, rcol: c.Right, op: c.Op.Name()}
+			if _, ok := ec.conjs[id]; ok {
+				continue
+			}
+			ec.conjs[id] = newConjCache(len(ec.pool[0][c.Left].ids), len(ec.pool[1][c.Right].ids))
+		}
+	}
+	return ec
+}
+
+// caches returns the per-conjunct cache slice aligned with cm.lhs (nil
+// entries evaluate uncached).
+func (ec *evalCache) caches(cm *compiledMD) []*conjCache {
+	out := make([]*conjCache, len(cm.lhs))
+	for i, c := range cm.lhs {
+		if _, encodable := seedEncoder(c.Op); encodable {
+			continue
+		}
+		out[i] = ec.conjs[conjID{lcol: c.Left, rcol: c.Right, op: c.Op.Name()}]
+	}
+	return out
+}
+
+// cellChanged refreshes the interned id of a touched cell.
+func (ec *evalCache) cellChanged(side, col, tupleIdx int, v string) {
+	ec.vids[side][col][tupleIdx] = ec.pool[side][col].lookup(v)
+}

@@ -1,0 +1,126 @@
+package semantics
+
+import (
+	"mdmatch/internal/record"
+)
+
+// chase tracks value-cell classes over a pair instance: a union-find
+// over every (tuple, attribute) cell, with the resolved class value
+// (ResolveValue policy) written back into the tuples incrementally.
+//
+// The seed implementation rewrote every cell of the instance after each
+// firing (flush over all cells). This version maintains the same
+// invariant — each cell stores its class's resolved value — by updating
+// only the members of classes whose resolved value changed during a
+// union, and reports each changed tuple through onTouch. Because
+// ResolveValue is a max under the (length, lexicographic) order, a
+// class value only ever grows, so the incremental write-back produces
+// bit-identical instances to flush-per-firing.
+type chase struct {
+	d       *record.PairInstance
+	insts   []*record.Instance
+	base    []int // first cell id of each instance
+	arity   []int
+	leftI   int // index of d.Left in insts
+	rightI  int // index of d.Right in insts (== leftI for self-match)
+	parent  []int
+	value   []string // per root: resolved class value
+	members [][]int  // per root: member cells
+	// onTouch, when set, is called once per cell write with the owning
+	// instance, tuple index, column and the new value (the worklist uses
+	// it to re-enqueue candidate pairs and refresh interned value ids).
+	onTouch func(in *record.Instance, tupleIdx, attrIdx int, v string)
+}
+
+func newChase(d *record.PairInstance) *chase {
+	ch := &chase{d: d}
+	add := func(in *record.Instance) int {
+		for i, have := range ch.insts {
+			if have == in {
+				return i
+			}
+		}
+		ch.insts = append(ch.insts, in)
+		ch.base = append(ch.base, len(ch.parent))
+		ch.arity = append(ch.arity, in.Rel.Arity())
+		for _, t := range in.Tuples {
+			for _, v := range t.Values {
+				id := len(ch.parent)
+				ch.parent = append(ch.parent, id)
+				ch.value = append(ch.value, v)
+				ch.members = append(ch.members, []int{id})
+			}
+		}
+		return len(ch.insts) - 1
+	}
+	ch.leftI = add(d.Left)
+	ch.rightI = add(d.Right)
+	return ch
+}
+
+func (ch *chase) cellCount() int { return len(ch.parent) }
+
+// cell returns the cell id of instance instIdx, tuple tupleIdx, column
+// attrIdx.
+func (ch *chase) cell(instIdx, tupleIdx, attrIdx int) int {
+	return ch.base[instIdx] + tupleIdx*ch.arity[instIdx] + attrIdx
+}
+
+func (ch *chase) find(x int) int {
+	for ch.parent[x] != x {
+		ch.parent[x] = ch.parent[ch.parent[x]]
+		x = ch.parent[x]
+	}
+	return x
+}
+
+func (ch *chase) union(a, b int) {
+	ra, rb := ch.find(a), ch.find(b)
+	if ra == rb {
+		return
+	}
+	// Attach the smaller class under the larger.
+	if len(ch.members[ra]) < len(ch.members[rb]) {
+		ra, rb = rb, ra
+	}
+	v := ResolveValue(ch.value[ra], ch.value[rb])
+	ch.parent[rb] = ra
+	if v != ch.value[ra] {
+		ch.writeBack(ch.members[ra], v)
+	}
+	if v != ch.value[rb] {
+		ch.writeBack(ch.members[rb], v)
+	}
+	ch.value[ra] = v
+	ch.members[ra] = append(ch.members[ra], ch.members[rb]...)
+	ch.members[rb] = nil
+}
+
+// writeBack stores the new class value into every member cell's tuple
+// and reports the touched tuples.
+func (ch *chase) writeBack(cells []int, v string) {
+	for _, c := range cells {
+		ii := len(ch.insts) - 1
+		for ii > 0 && c < ch.base[ii] {
+			ii--
+		}
+		off := c - ch.base[ii]
+		ti, ai := off/ch.arity[ii], off%ch.arity[ii]
+		t := ch.insts[ii].Tuples[ti]
+		if t.Values[ai] != v {
+			t.Values[ai] = v
+			if ch.onTouch != nil {
+				ch.onTouch(ch.insts[ii], ti, ai, v)
+			}
+		}
+	}
+}
+
+// fire applies a rule to the pair (i1-th left tuple, i2-th right tuple):
+// every RHS cell pair is identified and the resolved values are written
+// back immediately.
+func (ch *chase) fire(cm *compiledMD, i1, i2 int) {
+	for _, p := range cm.rhs {
+		ch.union(ch.cell(ch.leftI, i1, p[0]), ch.cell(ch.rightI, i2, p[1]))
+	}
+}

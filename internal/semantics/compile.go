@@ -1,0 +1,154 @@
+package semantics
+
+import (
+	"fmt"
+	"strings"
+
+	"mdmatch/internal/blocking"
+	"mdmatch/internal/core"
+	"mdmatch/internal/exec"
+	"mdmatch/internal/metrics"
+	"mdmatch/internal/schema"
+	"mdmatch/internal/similarity"
+)
+
+// compiledMD is one MD in executable form: the LHS as exec kernel
+// conjuncts (attribute references resolved to positional columns), the
+// RHS as column index pairs, and the subset of LHS conjuncts whose
+// operators are hash-encodable — usable as blocking-style join keys to
+// seed the worklist chase with candidate pairs.
+type compiledMD struct {
+	// lhs is evaluation-ordered: exact (encodable) tests first — they
+	// are cheap and selective — then the similarity metrics.
+	lhs []exec.Conjunct
+	// rhs lists (left column, right column) pairs to identify.
+	rhs [][2]int
+	// seeds are the encodable LHS conjuncts (equality, Soundex): a pair
+	// can only match the LHS if both sides encode to the same key.
+	seeds []seedField
+}
+
+// seedField is one component of an MD's candidate join key.
+type seedField struct {
+	lcol, rcol int
+	enc        func(string) string // nil = raw value (equality)
+}
+
+// seedEncoder reports whether op admits exact hash-partitioning: an
+// encoder enc with op.Similar(a, b) ⟺ enc(a) == enc(b). Equality
+// partitions on the raw value; Soundex equivalence partitions on the
+// Soundex code. Thresholded similarity metrics (dl, jaro, ...) do not
+// induce equivalence relations and cannot be seeded this way.
+func seedEncoder(op similarity.Operator) (func(string) string, bool) {
+	switch op.Name() {
+	case similarity.EqName:
+		return nil, true
+	case "soundex":
+		return similarity.Soundex, true
+	}
+	return nil, false
+}
+
+// compileMD resolves an MD against the context for positional
+// evaluation. The MD must already be validated.
+func compileMD(ctx schema.Pair, md core.MD) (compiledMD, error) {
+	lhs, err := exec.CompileConjuncts(ctx, md.LHS)
+	if err != nil {
+		return compiledMD{}, err
+	}
+	var cm compiledMD
+	var rest []exec.Conjunct
+	for _, c := range lhs {
+		if enc, ok := seedEncoder(c.Op); ok {
+			cm.lhs = append(cm.lhs, c)
+			cm.seeds = append(cm.seeds, seedField{lcol: c.Left, rcol: c.Right, enc: enc})
+		} else {
+			rest = append(rest, c)
+		}
+	}
+	cm.lhs = append(cm.lhs, rest...)
+	for _, p := range md.RHS {
+		li, ok := ctx.Left.Index(p.Left)
+		if !ok {
+			return compiledMD{}, fmt.Errorf("%s has no attribute %q", ctx.Left.Name(), p.Left)
+		}
+		ri, ok := ctx.Right.Index(p.Right)
+		if !ok {
+			return compiledMD{}, fmt.Errorf("%s has no attribute %q", ctx.Right.Name(), p.Right)
+		}
+		cm.rhs = append(cm.rhs, [2]int{li, ri})
+	}
+	return cm, nil
+}
+
+// compileSigma validates and compiles a rule set, with seed-compatible
+// error positions.
+func compileSigma(ctx schema.Pair, sigma []core.MD) ([]compiledMD, error) {
+	out := make([]compiledMD, len(sigma))
+	for i, md := range sigma {
+		if err := md.Validate(); err != nil {
+			return nil, fmt.Errorf("semantics: Σ[%d]: %w", i, err)
+		}
+		cm, err := compileMD(ctx, md)
+		if err != nil {
+			return nil, fmt.Errorf("semantics: Σ[%d]: %w", i, err)
+		}
+		out[i] = cm
+	}
+	return out, nil
+}
+
+// matchLHS evaluates the compiled LHS on a positional value pair,
+// counting operator evaluations into stats when supplied.
+func (cm *compiledMD) matchLHS(left, right []string, stats *metrics.ChaseStats) bool {
+	for i := range cm.lhs {
+		if stats != nil {
+			stats.LHSEvaluations++
+		}
+		if !cm.lhs[i].Eval(left, right) {
+			return false
+		}
+	}
+	return true
+}
+
+// rhsEqual reports whether every RHS column pair already holds the same
+// value.
+func (cm *compiledMD) rhsEqual(left, right []string) bool {
+	for _, p := range cm.rhs {
+		if left[p[0]] != right[p[1]] {
+			return false
+		}
+	}
+	return true
+}
+
+// leftKey renders the candidate join key of a left-side value slice over
+// the MD's encodable conjuncts (escaped like all blocking keys).
+func (cm *compiledMD) leftKey(vals []string) string {
+	return cm.seedKey(vals, true)
+}
+
+// rightKey renders the candidate join key of a right-side value slice.
+func (cm *compiledMD) rightKey(vals []string) string {
+	return cm.seedKey(vals, false)
+}
+
+func (cm *compiledMD) seedKey(vals []string, left bool) string {
+	var b strings.Builder
+	for i, s := range cm.seeds {
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		col := s.rcol
+		if left {
+			col = s.lcol
+		}
+		v := vals[col]
+		if s.enc != nil {
+			v = s.enc(v)
+		}
+		blocking.AppendKeyField(&b, v)
+	}
+	return b.String()
+}

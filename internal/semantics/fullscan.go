@@ -1,0 +1,57 @@
+package semantics
+
+import (
+	"fmt"
+
+	"mdmatch/internal/core"
+	"mdmatch/internal/record"
+)
+
+// EnforceFullScan is the reference enforcement chase: the paper-literal
+// loop of Section 3.1 that rescans the full |I1|×|I2| pair space for
+// every rule on every pass until a pass fires nothing. It produces the
+// same stable instance, Applications and Passes as Enforce (the
+// candidate-driven worklist) — the property tests assert this on
+// generated datasets — but does quadratic work per pass. It exists as
+// the validation baseline and as the old-vs-new comparison of
+// `make bench-exec`; use Enforce everywhere else.
+func EnforceFullScan(d *record.PairInstance, sigma []core.MD) (EnforceResult, error) {
+	out := d.Clone()
+	mds, err := compileSigma(out.Ctx, sigma)
+	if err != nil {
+		return EnforceResult{}, err
+	}
+	ch := newChase(out)
+	res := EnforceResult{Instance: out}
+	left, right := out.Left.Tuples, out.Right.Tuples
+	maxPasses := ch.cellCount() + 2
+	for {
+		res.Passes++
+		if res.Passes > maxPasses {
+			return EnforceResult{}, fmt.Errorf("semantics: chase exceeded %d passes (non-terminating value resolution?)", maxPasses)
+		}
+		fired := false
+		for mi := range mds {
+			cm := &mds[mi]
+			for i1 := range left {
+				for i2 := range right {
+					res.Stats.PairsExamined++
+					if !cm.matchLHS(left[i1].Values, right[i2].Values, &res.Stats) {
+						continue
+					}
+					if cm.rhsEqual(left[i1].Values, right[i2].Values) {
+						continue
+					}
+					ch.fire(cm, i1, i2)
+					fired = true
+					res.Applications++
+					res.Stats.RuleFirings++
+				}
+			}
+		}
+		if !fired {
+			break
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,206 @@
+// Package seedref freezes the pre-kernel (seed) implementation of the
+// enforcement chase: interpreted per-pair evaluation through
+// Instance.Get, a full |I1|×|I2| rescan of every rule on every pass,
+// and a full flush after every firing.
+//
+// It is the single ground-truth baseline that the worklist chase
+// (semantics.Enforce) and the compiled full scan
+// (semantics.EnforceFullScan) are validated against — the equivalence
+// property tests and `make bench-exec` both import it. It is fully
+// self-contained (own LHS matcher, own value-resolution policy, both
+// verbatim copies of the seed code) and must NOT be modernized: its
+// value is that it stays byte-for-byte equivalent to the seed
+// behavior. Nothing outside tests and benchmarks should import it.
+package seedref
+
+import (
+	"fmt"
+
+	"mdmatch/internal/core"
+	"mdmatch/internal/record"
+)
+
+// Result mirrors the seed EnforceResult.
+type Result struct {
+	Instance     *record.PairInstance
+	Applications int
+	Passes       int
+}
+
+// Enforce is the seed chase, verbatim.
+func Enforce(d *record.PairInstance, sigma []core.MD) (Result, error) {
+	for i, md := range sigma {
+		if err := md.Validate(); err != nil {
+			return Result{}, fmt.Errorf("seedref: Σ[%d]: %w", i, err)
+		}
+	}
+	out := d.Clone()
+	ch := newChase(out)
+
+	res := Result{Instance: out}
+	maxPasses := ch.cellCount() + 2
+	for {
+		res.Passes++
+		if res.Passes > maxPasses {
+			return Result{}, fmt.Errorf("seedref: chase exceeded %d passes", maxPasses)
+		}
+		fired := false
+		for _, md := range sigma {
+			for i1, t1 := range out.Left.Tuples {
+				for i2, t2 := range out.Right.Tuples {
+					ok, err := matchLHS(out, md, t1, t2)
+					if err != nil {
+						return Result{}, err
+					}
+					if !ok {
+						continue
+					}
+					eq, err := rhsEqual(out, md, t1, t2)
+					if err != nil {
+						return Result{}, err
+					}
+					if eq {
+						continue
+					}
+					for _, p := range md.RHS {
+						ch.unionAttrs(i1, i2, p)
+					}
+					ch.flush()
+					fired = true
+					res.Applications++
+				}
+			}
+		}
+		if !fired {
+			break
+		}
+	}
+	return res, nil
+}
+
+// matchLHS is the seed semantics.MatchLHS.
+func matchLHS(d *record.PairInstance, md core.MD, t1, t2 *record.Tuple) (bool, error) {
+	for _, c := range md.LHS {
+		v1, err := d.Left.Get(t1, c.Pair.Left)
+		if err != nil {
+			return false, err
+		}
+		v2, err := d.Right.Get(t2, c.Pair.Right)
+		if err != nil {
+			return false, err
+		}
+		if !c.Op.Similar(v1, v2) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func rhsEqual(d *record.PairInstance, md core.MD, t1, t2 *record.Tuple) (bool, error) {
+	for _, p := range md.RHS {
+		v1, err := d.Left.Get(t1, p.Left)
+		if err != nil {
+			return false, err
+		}
+		v2, err := d.Right.Get(t2, p.Right)
+		if err != nil {
+			return false, err
+		}
+		if v1 != v2 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// resolveValue is the seed semantics.ResolveValue: longest value wins,
+// ties break lexicographically (largest).
+func resolveValue(a, b string) string {
+	if len(a) > len(b) {
+		return a
+	}
+	if len(b) > len(a) {
+		return b
+	}
+	if a >= b {
+		return a
+	}
+	return b
+}
+
+// chase is the seed union-find with flush-per-firing semantics.
+type chase struct {
+	d       *record.PairInstance
+	insts   []*record.Instance
+	base    map[*record.Instance]int
+	parent  []int
+	value   []string
+	members [][]int
+}
+
+func newChase(d *record.PairInstance) *chase {
+	ch := &chase{d: d, base: make(map[*record.Instance]int)}
+	add := func(in *record.Instance) {
+		if _, ok := ch.base[in]; ok {
+			return
+		}
+		ch.base[in] = len(ch.parent)
+		ch.insts = append(ch.insts, in)
+		for _, t := range in.Tuples {
+			for _, v := range t.Values {
+				id := len(ch.parent)
+				ch.parent = append(ch.parent, id)
+				ch.value = append(ch.value, v)
+				ch.members = append(ch.members, []int{id})
+			}
+		}
+	}
+	add(d.Left)
+	add(d.Right)
+	return ch
+}
+
+func (ch *chase) cellCount() int { return len(ch.parent) }
+
+func (ch *chase) find(x int) int {
+	for ch.parent[x] != x {
+		ch.parent[x] = ch.parent[ch.parent[x]]
+		x = ch.parent[x]
+	}
+	return x
+}
+
+func (ch *chase) union(a, b int) {
+	ra, rb := ch.find(a), ch.find(b)
+	if ra == rb {
+		return
+	}
+	if len(ch.members[ra]) < len(ch.members[rb]) {
+		ra, rb = rb, ra
+	}
+	ch.parent[rb] = ra
+	ch.value[ra] = resolveValue(ch.value[ra], ch.value[rb])
+	ch.members[ra] = append(ch.members[ra], ch.members[rb]...)
+	ch.members[rb] = nil
+}
+
+func (ch *chase) unionAttrs(i1, i2 int, p core.AttrPair) {
+	li, _ := ch.d.Left.Rel.Index(p.Left)
+	ri, _ := ch.d.Right.Rel.Index(p.Right)
+	ch.union(
+		ch.base[ch.d.Left]+i1*ch.d.Left.Rel.Arity()+li,
+		ch.base[ch.d.Right]+i2*ch.d.Right.Rel.Arity()+ri,
+	)
+}
+
+func (ch *chase) flush() {
+	for _, in := range ch.insts {
+		b := ch.base[in]
+		ar := in.Rel.Arity()
+		for ti, t := range in.Tuples {
+			for ai := range t.Values {
+				t.Values[ai] = ch.value[ch.find(b+ti*ar+ai)]
+			}
+		}
+	}
+}

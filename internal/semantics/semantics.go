@@ -6,17 +6,28 @@
 // The package is the operational counterpart of the schema-level
 // reasoning in internal/core: the property tests validate that whatever
 // core.Deduce proves at compile time actually holds on instances.
+//
+// All instance-level loops execute through the compiled evaluation
+// kernel (internal/exec): each MD is compiled once per call — attribute
+// references resolved to positional columns, hash-encodable conjuncts
+// identified — and tuple pairs are evaluated on positional value slices.
+// Enforce is a candidate-driven worklist chase (see worklist.go);
+// EnforceFullScan keeps the paper-literal quadratic loop as the
+// validation and benchmarking reference.
 package semantics
 
 import (
 	"fmt"
 
 	"mdmatch/internal/core"
+	"mdmatch/internal/metrics"
 	"mdmatch/internal/record"
 )
 
 // MatchLHS reports whether the tuple pair (t1, t2) ∈ D matches the LHS of
-// md in D: t1[X1[j]] ≈j t2[X2[j]] for every conjunct j.
+// md in D: t1[X1[j]] ≈j t2[X2[j]] for every conjunct j. It is the
+// single-pair, spec-level check; the enforcement and satisfaction loops
+// use the compiled form instead.
 func MatchLHS(d *record.PairInstance, md core.MD, t1, t2 *record.Tuple) (bool, error) {
 	for _, c := range md.LHS {
 		v1, err := d.Left.Get(t1, c.Pair.Left)
@@ -34,24 +45,6 @@ func MatchLHS(d *record.PairInstance, md core.MD, t1, t2 *record.Tuple) (bool, e
 	return true, nil
 }
 
-// rhsEqual reports whether t1[Z1] = t2[Z2] for every RHS pair of md.
-func rhsEqual(d *record.PairInstance, md core.MD, t1, t2 *record.Tuple) (bool, error) {
-	for _, p := range md.RHS {
-		v1, err := d.Left.Get(t1, p.Left)
-		if err != nil {
-			return false, err
-		}
-		v2, err := d.Right.Get(t2, p.Right)
-		if err != nil {
-			return false, err
-		}
-		if v1 != v2 {
-			return false, nil
-		}
-	}
-	return true, nil
-}
-
 // Satisfies decides (D, D′) ⊨ md: for every pair (t1, t2) ∈ D that
 // matches LHS(md) in D, (a) the RHS attributes are identified in D′, and
 // (b) the pair still matches LHS(md) in D′. D′ must extend D (same tuple
@@ -63,29 +56,25 @@ func Satisfies(d, dPrime *record.PairInstance, md core.MD) (bool, error) {
 	if !dPrime.Extends(d) {
 		return false, fmt.Errorf("semantics: D′ does not extend D")
 	}
+	cm, err := compileMD(d.Ctx, md)
+	if err != nil {
+		return false, err
+	}
+	cmP, err := compileMD(dPrime.Ctx, md)
+	if err != nil {
+		return false, err
+	}
 	for _, t1 := range d.Left.Tuples {
 		for _, t2 := range d.Right.Tuples {
-			ok, err := MatchLHS(d, md, t1, t2)
-			if err != nil {
-				return false, err
-			}
-			if !ok {
+			if !cm.matchLHS(t1.Values, t2.Values, nil) {
 				continue
 			}
 			t1p, _ := dPrime.Left.ByID(t1.ID)
 			t2p, _ := dPrime.Right.ByID(t2.ID)
-			eq, err := rhsEqual(dPrime, md, t1p, t2p)
-			if err != nil {
-				return false, err
-			}
-			if !eq {
+			if !cmP.rhsEqual(t1p.Values, t2p.Values) {
 				return false, nil
 			}
-			still, err := MatchLHS(dPrime, md, t1p, t2p)
-			if err != nil {
-				return false, err
-			}
-			if !still {
+			if !cmP.matchLHS(t1p.Values, t2p.Values, nil) {
 				return false, nil
 			}
 		}
@@ -111,29 +100,25 @@ func SatisfiesPersistent(d, dPrime *record.PairInstance, md core.MD) (bool, erro
 	if !dPrime.Extends(d) {
 		return false, fmt.Errorf("semantics: D′ does not extend D")
 	}
+	cm, err := compileMD(d.Ctx, md)
+	if err != nil {
+		return false, err
+	}
+	cmP, err := compileMD(dPrime.Ctx, md)
+	if err != nil {
+		return false, err
+	}
 	for _, t1 := range d.Left.Tuples {
 		for _, t2 := range d.Right.Tuples {
-			ok, err := MatchLHS(d, md, t1, t2)
-			if err != nil {
-				return false, err
-			}
-			if !ok {
+			if !cm.matchLHS(t1.Values, t2.Values, nil) {
 				continue
 			}
 			t1p, _ := dPrime.Left.ByID(t1.ID)
 			t2p, _ := dPrime.Right.ByID(t2.ID)
-			still, err := MatchLHS(dPrime, md, t1p, t2p)
-			if err != nil {
-				return false, err
-			}
-			if !still {
+			if !cmP.matchLHS(t1p.Values, t2p.Values, nil) {
 				continue // match did not persist: no obligation
 			}
-			eq, err := rhsEqual(dPrime, md, t1p, t2p)
-			if err != nil {
-				return false, err
-			}
-			if !eq {
+			if !cmP.rhsEqual(t1p.Values, t2p.Values) {
 				return false, nil
 			}
 		}
@@ -183,25 +168,21 @@ func Violations(d *record.PairInstance, sigma []core.MD) ([]Violation, error) {
 
 func stableCheck(d *record.PairInstance, sigma []core.MD) (bool, []Violation, error) {
 	var out []Violation
-	for _, md := range sigma {
+	for mi, md := range sigma {
 		if err := md.Validate(); err != nil {
+			return false, nil, err
+		}
+		cm, err := compileMD(d.Ctx, md)
+		if err != nil {
 			return false, nil, err
 		}
 		for _, t1 := range d.Left.Tuples {
 			for _, t2 := range d.Right.Tuples {
-				ok, err := MatchLHS(d, md, t1, t2)
-				if err != nil {
-					return false, nil, err
-				}
-				if !ok {
+				if !cm.matchLHS(t1.Values, t2.Values, nil) {
 					continue
 				}
-				eq, err := rhsEqual(d, md, t1, t2)
-				if err != nil {
-					return false, nil, err
-				}
-				if !eq {
-					out = append(out, Violation{MD: md, LeftID: t1.ID, RightID: t2.ID})
+				if !cm.rhsEqual(t1.Values, t2.Values) {
+					out = append(out, Violation{MD: sigma[mi], LeftID: t1.ID, RightID: t2.ID})
 				}
 			}
 		}
@@ -235,9 +216,14 @@ type EnforceResult struct {
 	// Applications is the number of rule firings (pair × rule with an
 	// actual update).
 	Applications int
-	// Passes is the number of full scan passes, including the final
-	// fixpoint-confirming pass.
+	// Passes is the number of rule rounds, including the final
+	// fixpoint-confirming round.
 	Passes int
+	// Stats counts the chase's work: candidate pairs examined, operator
+	// evaluations, firings. Enforce examines far fewer pairs than the
+	// quadratic reference (see EnforceFullScan); the counters make the
+	// difference observable to callers (cmd/mdreason, the examples).
+	Stats metrics.ChaseStats
 }
 
 // Enforce runs the chase: it repeatedly applies the MDs of Σ as matching
@@ -246,141 +232,26 @@ type EnforceResult struct {
 // not modified ("in the matching process instance D may not be updated",
 // Section 2.1).
 //
+// Enforcement is candidate-driven: rules are compiled through the
+// internal/exec kernel, pairs are seeded from blocking-style joins over
+// each rule's hash-encodable conjuncts where operators allow (full cross
+// product per rule otherwise, once), and after a firing only pairs
+// involving touched tuples are reconsidered. The firing sequence — and
+// therefore the stable instance, Applications and Passes — is identical
+// to the quadratic reference loop EnforceFullScan; see worklist.go for
+// the argument.
+//
 // Termination: every firing merges at least one pair of distinct cell
 // classes, and there are finitely many cells, so the number of firings
 // is bounded by the total cell count; the pass loop is additionally
 // guarded.
 func Enforce(d *record.PairInstance, sigma []core.MD) (EnforceResult, error) {
-	for i, md := range sigma {
-		if err := md.Validate(); err != nil {
-			return EnforceResult{}, fmt.Errorf("semantics: Σ[%d]: %w", i, err)
-		}
-	}
 	out := d.Clone()
-	ch := newChase(out)
-
-	res := EnforceResult{Instance: out}
-	maxPasses := ch.cellCount() + 2
-	for {
-		res.Passes++
-		if res.Passes > maxPasses {
-			return EnforceResult{}, fmt.Errorf("semantics: chase exceeded %d passes (non-terminating value resolution?)", maxPasses)
-		}
-		fired := false
-		for _, md := range sigma {
-			for i1, t1 := range out.Left.Tuples {
-				for i2, t2 := range out.Right.Tuples {
-					ok, err := MatchLHS(out, md, t1, t2)
-					if err != nil {
-						return EnforceResult{}, err
-					}
-					if !ok {
-						continue
-					}
-					eq, err := rhsEqual(out, md, t1, t2)
-					if err != nil {
-						return EnforceResult{}, err
-					}
-					if eq {
-						continue
-					}
-					// Fire: identify every RHS cell pair.
-					for _, p := range md.RHS {
-						ch.unionAttrs(i1, i2, p)
-					}
-					ch.flush()
-					fired = true
-					res.Applications++
-				}
-			}
-		}
-		if !fired {
-			break
-		}
+	mds, err := compileSigma(out.Ctx, sigma)
+	if err != nil {
+		return EnforceResult{}, err
 	}
-	return res, nil
-}
-
-// chase tracks value-cell classes over a pair instance.
-type chase struct {
-	d       *record.PairInstance
-	insts   []*record.Instance
-	base    map[*record.Instance]int
-	parent  []int
-	value   []string // per root: resolved class value
-	members [][]int  // per root: member cells
-}
-
-func newChase(d *record.PairInstance) *chase {
-	ch := &chase{d: d, base: make(map[*record.Instance]int)}
-	add := func(in *record.Instance) {
-		if _, ok := ch.base[in]; ok {
-			return
-		}
-		ch.base[in] = len(ch.parent)
-		ch.insts = append(ch.insts, in)
-		for _, t := range in.Tuples {
-			for _, v := range t.Values {
-				id := len(ch.parent)
-				ch.parent = append(ch.parent, id)
-				ch.value = append(ch.value, v)
-				ch.members = append(ch.members, []int{id})
-			}
-		}
-	}
-	add(d.Left)
-	add(d.Right)
-	return ch
-}
-
-func (ch *chase) cellCount() int { return len(ch.parent) }
-
-func (ch *chase) cell(in *record.Instance, tupleIdx, attrIdx int) int {
-	return ch.base[in] + tupleIdx*in.Rel.Arity() + attrIdx
-}
-
-func (ch *chase) find(x int) int {
-	for ch.parent[x] != x {
-		ch.parent[x] = ch.parent[ch.parent[x]]
-		x = ch.parent[x]
-	}
-	return x
-}
-
-func (ch *chase) union(a, b int) {
-	ra, rb := ch.find(a), ch.find(b)
-	if ra == rb {
-		return
-	}
-	// Attach the smaller class under the larger.
-	if len(ch.members[ra]) < len(ch.members[rb]) {
-		ra, rb = rb, ra
-	}
-	ch.parent[rb] = ra
-	ch.value[ra] = ResolveValue(ch.value[ra], ch.value[rb])
-	ch.members[ra] = append(ch.members[ra], ch.members[rb]...)
-	ch.members[rb] = nil
-}
-
-// unionAttrs identifies the cells t1[p.Left] and t2[p.Right], where t1 is
-// the i1-th left tuple and t2 the i2-th right tuple.
-func (ch *chase) unionAttrs(i1, i2 int, p core.AttrPair) {
-	li, _ := ch.d.Left.Rel.Index(p.Left)
-	ri, _ := ch.d.Right.Rel.Index(p.Right)
-	ch.union(ch.cell(ch.d.Left, i1, li), ch.cell(ch.d.Right, i2, ri))
-}
-
-// flush writes every class's resolved value back into the tuples.
-func (ch *chase) flush() {
-	for _, in := range ch.insts {
-		b := ch.base[in]
-		ar := in.Rel.Arity()
-		for ti, t := range in.Tuples {
-			for ai := range t.Values {
-				t.Values[ai] = ch.value[ch.find(b+ti*ar+ai)]
-			}
-		}
-	}
+	return newWorklist(out, mds).run()
 }
 
 // StableFor builds a stable instance for Σ from D by enforcement and

@@ -1,0 +1,392 @@
+package semantics
+
+import (
+	"container/heap"
+	"fmt"
+
+	"mdmatch/internal/record"
+)
+
+// The worklist chase.
+//
+// The seed implementation of Enforce rescanned all |I1|×|I2| tuple
+// pairs for every rule on every pass. The worklist keeps the exact
+// firing order of that reference loop — rules in Σ order within
+// pass-structured rounds, pairs in ascending (left, right) order, one
+// visit per (rule, pair) per pass — while visiting only pairs that can
+// possibly fire:
+//
+//   - a rule whose LHS contains hash-encodable conjuncts (equality,
+//     Soundex) is seeded by a blocking-style join: both sides are keyed
+//     on the encodable conjuncts' encoded values, and only pairs in the
+//     same block are ever visited (other pairs fail the LHS trivially);
+//   - a rule with no encodable conjunct scans the full cross product
+//     once, on its first pass;
+//   - on later passes, a rule revisits only pairs involving tuples whose
+//     cells some firing touched since the rule last saw them: an
+//     untouched pair keeps the verdict of its previous visit, so
+//     skipping it cannot change the outcome;
+//   - when a firing touches tuples during a rule's own scan, pairs that
+//     lie ahead of the scan position are re-enqueued immediately (the
+//     reference loop would reach them later in the same pass), and
+//     pairs behind it are deferred to the next pass (the reference loop
+//     could not revisit them either).
+//
+// Equivalence of the firing sequences follows by induction: both loops
+// visit a superset of the pairs that can fire, in the same order, and
+// decide each visit from the current instance state alone. The property
+// tests in worklist_test.go check the resulting instance, Applications
+// and Passes against EnforceFullScan and against a verbatim copy of the
+// seed implementation.
+
+// wlMD is one rule's worklist state.
+type wlMD struct {
+	cm compiledMD
+	// caches are the shared conjunct verdict matrices, aligned with
+	// cm.lhs (nil entries evaluate the operator directly).
+	caches []*conjCache
+	// dirtyL/dirtyR hold tuple indices touched by firings since this
+	// rule last consumed them.
+	dirtyL, dirtyR map[int]struct{}
+	// idxL/idxR are the blocking-style join indexes over the encodable
+	// conjuncts (nil for rules without any).
+	idxL, idxR *sideIndex
+}
+
+func (m *wlMD) blockable() bool { return m.idxL != nil }
+
+// sideIndex maps one side's tuples to their current candidate join key.
+type sideIndex struct {
+	keys    []string
+	buckets map[string][]int
+}
+
+func newSideIndex(n int) *sideIndex {
+	return &sideIndex{keys: make([]string, n), buckets: make(map[string][]int)}
+}
+
+// set updates tuple i's key, moving it between buckets.
+func (ix *sideIndex) set(i int, key string) {
+	old := ix.keys[i]
+	if old == key {
+		return
+	}
+	ids := ix.buckets[old]
+	for k, have := range ids {
+		if have == i {
+			ids[k] = ids[len(ids)-1]
+			ids = ids[:len(ids)-1]
+			break
+		}
+	}
+	if len(ids) == 0 {
+		delete(ix.buckets, old)
+	} else {
+		ix.buckets[old] = ids
+	}
+	ix.keys[i] = key
+	ix.buckets[key] = append(ix.buckets[key], i)
+}
+
+// pairHeap is a min-heap of pair order codes (i1*n2 + i2).
+type pairHeap []int64
+
+func (h pairHeap) Len() int            { return len(h) }
+func (h pairHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h pairHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pairHeap) Push(x interface{}) { *h = append(*h, x.(int64)) }
+func (h *pairHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+type worklist struct {
+	d      *record.PairInstance
+	ch     *chase
+	cache  *evalCache
+	mds    []*wlMD
+	n1, n2 int
+	res    EnforceResult
+
+	// scan-local state of the rule currently being scanned.
+	scanning     *wlMD
+	bitsL, bitsR []bool // dense filtered scan: side membership filters
+	heapActive   bool   // blocked scan: heap re-enqueue enabled
+	pending      *pairHeap
+	enqueued     map[int64]struct{}
+	curOrd       int64
+}
+
+func newWorklist(out *record.PairInstance, mds []compiledMD) *worklist {
+	w := &worklist{d: out, n1: out.Left.Len(), n2: out.Right.Len()}
+	w.cache = newEvalCache(out, mds)
+	for i := range mds {
+		m := &wlMD{
+			cm:     mds[i],
+			caches: w.cache.caches(&mds[i]),
+			dirtyL: make(map[int]struct{}),
+			dirtyR: make(map[int]struct{}),
+		}
+		if len(m.cm.seeds) > 0 {
+			m.idxL = newSideIndex(w.n1)
+			for j, t := range out.Left.Tuples {
+				m.idxL.keys[j] = m.cm.leftKey(t.Values)
+				m.idxL.buckets[m.idxL.keys[j]] = append(m.idxL.buckets[m.idxL.keys[j]], j)
+			}
+			m.idxR = newSideIndex(w.n2)
+			for j, t := range out.Right.Tuples {
+				m.idxR.keys[j] = m.cm.rightKey(t.Values)
+				m.idxR.buckets[m.idxR.keys[j]] = append(m.idxR.buckets[m.idxR.keys[j]], j)
+			}
+		}
+		w.mds = append(w.mds, m)
+	}
+	w.ch = newChase(out)
+	w.ch.onTouch = w.touched
+	return w
+}
+
+func (w *worklist) run() (EnforceResult, error) {
+	w.res.Instance = w.d
+	maxPasses := w.ch.cellCount() + 2
+	for {
+		w.res.Passes++
+		if w.res.Passes > maxPasses {
+			return EnforceResult{}, fmt.Errorf("semantics: chase exceeded %d passes (non-terminating value resolution?)", maxPasses)
+		}
+		fired := false
+		for _, m := range w.mds {
+			if w.scanMD(m, w.res.Passes) {
+				fired = true
+			}
+		}
+		if !fired {
+			break
+		}
+	}
+	return w.res, nil
+}
+
+// touched records a cell a firing just changed: the interned value id is
+// refreshed, every rule must reconsider the tuple's pairs, and the rule
+// currently scanning re-enqueues pairs ahead of its scan position.
+func (w *worklist) touched(in *record.Instance, ti, ai int, v string) {
+	if in == w.d.Left {
+		w.cache.cellChanged(0, ai, ti, v)
+		w.sideTouched(true, ti)
+	}
+	if in == w.d.Right {
+		if in != w.d.Left { // self-match shares the id slices
+			w.cache.cellChanged(1, ai, ti, v)
+		}
+		w.sideTouched(false, ti)
+	}
+}
+
+func (w *worklist) sideTouched(left bool, ti int) {
+	for _, m := range w.mds {
+		if left {
+			m.dirtyL[ti] = struct{}{}
+		} else {
+			m.dirtyR[ti] = struct{}{}
+		}
+	}
+	s := w.scanning
+	if s == nil {
+		return
+	}
+	if w.bitsL != nil { // dense filtered scan: widen the filters
+		if left {
+			w.bitsL[ti] = true
+		} else {
+			w.bitsR[ti] = true
+		}
+		return
+	}
+	if !w.heapActive { // dense unfiltered scan enumerates everything anyway
+		return
+	}
+	// Blocked scan: the touched tuple's join key may have changed —
+	// refresh it, then enqueue the pairs it now joins with.
+	if left {
+		s.idxL.set(ti, s.cm.leftKey(w.d.Left.Tuples[ti].Values))
+		for _, j := range s.idxR.buckets[s.idxL.keys[ti]] {
+			w.push(ti, j)
+		}
+	} else {
+		s.idxR.set(ti, s.cm.rightKey(w.d.Right.Tuples[ti].Values))
+		for _, i := range s.idxL.buckets[s.idxR.keys[ti]] {
+			w.push(i, ti)
+		}
+	}
+}
+
+// push enqueues a candidate pair into the current blocked scan if it
+// lies ahead of the scan position and is not already queued. Pairs
+// behind the position stay in the dirty sets for the next pass.
+func (w *worklist) push(i1, i2 int) {
+	ord := int64(i1)*int64(w.n2) + int64(i2)
+	if ord <= w.curOrd {
+		return
+	}
+	if _, ok := w.enqueued[ord]; ok {
+		return
+	}
+	w.enqueued[ord] = struct{}{}
+	heap.Push(w.pending, ord)
+}
+
+// visit evaluates one candidate (rule, pair) and fires on a violation.
+func (w *worklist) visit(m *wlMD, i1, i2 int) bool {
+	lv := w.d.Left.Tuples[i1].Values
+	rv := w.d.Right.Tuples[i2].Values
+	w.res.Stats.PairsExamined++
+	if !w.matchLHS(m, i1, i2, lv, rv) {
+		return false
+	}
+	if m.cm.rhsEqual(lv, rv) {
+		return false
+	}
+	w.ch.fire(&m.cm, i1, i2)
+	w.res.Applications++
+	w.res.Stats.RuleFirings++
+	return true
+}
+
+// matchLHS is the memoized LHS check: each conjunct consults its shared
+// verdict matrix before falling back to the operator. Only actual
+// operator calls count as LHS evaluations.
+func (w *worklist) matchLHS(m *wlMD, i1, i2 int, lv, rv []string) bool {
+	for ci := range m.cm.lhs {
+		c := &m.cm.lhs[ci]
+		cc := m.caches[ci]
+		if cc == nil {
+			w.res.Stats.LHSEvaluations++
+			if !c.Op.Similar(lv[c.Left], rv[c.Right]) {
+				return false
+			}
+			continue
+		}
+		v1 := w.cache.vids[0][c.Left][i1]
+		v2 := w.cache.vids[1][c.Right][i2]
+		if verdict, known := cc.get(v1, v2); known {
+			if !verdict {
+				return false
+			}
+			continue
+		}
+		w.res.Stats.LHSEvaluations++
+		verdict := c.Op.Similar(lv[c.Left], rv[c.Right])
+		cc.set(v1, v2, verdict)
+		if !verdict {
+			return false
+		}
+	}
+	return true
+}
+
+func (w *worklist) scanMD(m *wlMD, pass int) bool {
+	w.scanning = m
+	defer func() {
+		w.scanning = nil
+		w.bitsL, w.bitsR = nil, nil
+		w.heapActive = false
+		w.pending, w.enqueued = nil, nil
+	}()
+	if m.blockable() {
+		return w.scanBlocked(m, pass)
+	}
+	return w.scanDense(m, pass)
+}
+
+// scanDense visits pairs in ascending order by direct enumeration: the
+// full cross product on the first pass, and only rows/columns of dirty
+// tuples afterwards. Later passes still sweep the n1×n2 grid to test
+// the filters — a deliberate trade: the boolean check is orders of
+// magnitude cheaper than an operator evaluation, and a rule that lands
+// here (no encodable conjunct) already paid a full first-pass scan that
+// dominates asymptotically.
+func (w *worklist) scanDense(m *wlMD, pass int) bool {
+	filtered := pass > 1
+	if filtered {
+		w.bitsL = make([]bool, w.n1)
+		w.bitsR = make([]bool, w.n2)
+		for i := range m.dirtyL {
+			w.bitsL[i] = true
+		}
+		for i := range m.dirtyR {
+			w.bitsR[i] = true
+		}
+	}
+	m.dirtyL = make(map[int]struct{})
+	m.dirtyR = make(map[int]struct{})
+	fired := false
+	for i1 := 0; i1 < w.n1; i1++ {
+		for i2 := 0; i2 < w.n2; i2++ {
+			if filtered && !w.bitsL[i1] && !w.bitsR[i2] {
+				continue
+			}
+			if w.visit(m, i1, i2) {
+				fired = true
+			}
+		}
+	}
+	return fired
+}
+
+// scanBlocked visits pairs in ascending order through a min-heap seeded
+// from the rule's join indexes: the full key join on the first pass,
+// dirty-tuple probes afterwards. Mid-scan firings push newly joined
+// pairs ahead of the position via sideTouched.
+func (w *worklist) scanBlocked(m *wlMD, pass int) bool {
+	h := make(pairHeap, 0, 64)
+	w.pending = &h
+	w.enqueued = make(map[int64]struct{})
+	w.heapActive = true
+	w.curOrd = -1
+	// Keys of tuples touched since this rule's last scan are stale.
+	for i := range m.dirtyL {
+		m.idxL.set(i, m.cm.leftKey(w.d.Left.Tuples[i].Values))
+	}
+	for j := range m.dirtyR {
+		m.idxR.set(j, m.cm.rightKey(w.d.Right.Tuples[j].Values))
+	}
+	if pass == 1 {
+		for key, lids := range m.idxL.buckets {
+			rids, ok := m.idxR.buckets[key]
+			if !ok {
+				continue
+			}
+			for _, i := range lids {
+				for _, j := range rids {
+					w.push(i, j)
+				}
+			}
+		}
+	} else {
+		for i := range m.dirtyL {
+			for _, j := range m.idxR.buckets[m.idxL.keys[i]] {
+				w.push(i, j)
+			}
+		}
+		for j := range m.dirtyR {
+			for _, i := range m.idxL.buckets[m.idxR.keys[j]] {
+				w.push(i, j)
+			}
+		}
+	}
+	m.dirtyL = make(map[int]struct{})
+	m.dirtyR = make(map[int]struct{})
+	fired := false
+	for h.Len() > 0 {
+		ord := heap.Pop(&h).(int64)
+		w.curOrd = ord
+		if w.visit(m, int(ord/int64(w.n2)), int(ord%int64(w.n2))) {
+			fired = true
+		}
+	}
+	return fired
+}

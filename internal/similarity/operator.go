@@ -168,11 +168,22 @@ func PrefixOp(n int) Operator {
 // extension of Section 8 (e.g. "USA" ≡ "United States"). The table is
 // applied case-insensitively and symmetrically. The resulting operator
 // remains reflexive, symmetric and equality-subsuming.
+//
+// The canonical name includes the sorted table entries: two SynonymOps
+// are the same element of Θ only if base and table agree. This is what
+// the Operator contract requires ("two operators with the same name are
+// the same element of Θ") and what the compiled kernel's conjunct
+// deduplication (internal/exec, the chase memo) relies on.
 func SynonymOp(base Operator, synonyms map[string]string) Operator {
 	canon := make(map[string]string, len(synonyms)*2)
 	for from, to := range synonyms {
 		canon[strings.ToLower(from)] = strings.ToLower(to)
 	}
+	entries := make([]string, 0, len(canon))
+	for from, to := range canon {
+		entries = append(entries, from+"->"+to)
+	}
+	sort.Strings(entries)
 	// Resolve chains (a→b, b→c): canonicalize to a fixpoint, with a
 	// bound to guard against accidental cycles.
 	resolve := func(s string) string {
@@ -187,7 +198,7 @@ func SynonymOp(base Operator, synonyms map[string]string) Operator {
 		return cur
 	}
 	return funcOp{
-		name: fmt.Sprintf("syn[%s]", base.Name()),
+		name: fmt.Sprintf("syn[%s;%s]", base.Name(), strings.Join(entries, ",")),
 		score: func(a, b string) float64 {
 			if base.Similar(resolve(a), resolve(b)) {
 				return 1

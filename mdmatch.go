@@ -231,6 +231,10 @@ type PairInstance = record.PairInstance
 // EnforceResult reports a chase outcome.
 type EnforceResult = semantics.EnforceResult
 
+// ChaseStats counts the work of an enforcement chase (pairs examined,
+// operator evaluations, rule firings).
+type ChaseStats = metrics.ChaseStats
+
 // NewInstance creates an empty instance.
 func NewInstance(rel *Relation) *Instance { return record.NewInstance(rel) }
 
@@ -243,8 +247,19 @@ func NewPairInstance(ctx Pair, left, right *Instance) (*PairInstance, error) {
 func ReadCSV(rel *Relation, r io.Reader) (*Instance, error) { return record.ReadCSV(rel, r) }
 
 // Enforce runs the MDs of Σ as matching rules on a copy of D until the
-// result is stable (the chase of Section 3.1). D is not modified.
+// result is stable (the chase of Section 3.1). D is not modified. The
+// chase is candidate-driven: rules compile once into the exec kernel,
+// candidate pairs seed from blocking-style joins over hash-encodable
+// conjuncts, and firings re-enqueue only pairs they touched.
 func Enforce(d *PairInstance, sigma []MD) (EnforceResult, error) { return semantics.Enforce(d, sigma) }
+
+// EnforceFullScan is the quadratic reference chase (full pair rescan per
+// pass). It returns exactly what Enforce returns — same stable instance,
+// same Applications — at full-scan cost; it exists for validation and
+// benchmarking.
+func EnforceFullScan(d *PairInstance, sigma []MD) (EnforceResult, error) {
+	return semantics.EnforceFullScan(d, sigma)
+}
 
 // IsStable reports whether (D, D) ⊨ Σ.
 func IsStable(d *PairInstance, sigma []MD) (bool, error) { return semantics.IsStable(d, sigma) }
