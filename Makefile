@@ -24,9 +24,11 @@ bench:
 # its pre-kernel (seed) implementation — enforcement chase (seed
 # interpreted full scan vs compiled full scan vs worklist), rule-set
 # matching, and engine serving — and records the result in
-# BENCH_exec.json. BENCH_EXEC_K overrides the dataset scale (default
-# 1000 holders). The chase section cross-validates that all three chase
-# implementations produce identical stable instances.
+# BENCH_exec.json, including a values section with the interned-path
+# timings and old-vs-new equivalence cross-checks (same matches as the
+# string paths; same applications, passes and stable instance as
+# seedref) and allocs_per_op for every measure. BENCH_EXEC_K overrides
+# the dataset scale (default 1000 holders).
 bench-exec:
 	BENCH_EXEC_OUT=$(CURDIR)/BENCH_exec.json $(GO) test -run TestWriteExecBenchReport -count=1 -timeout 60m -v .
 	@cat BENCH_exec.json

@@ -65,27 +65,32 @@ func TestWriteExecBenchReport(t *testing.T) {
 	report.RightRecords = ds.Billing.Len()
 
 	timeChase := func(f func(*record.PairInstance, []core.MD) (semantics.EnforceResult, error)) (chaseMeasure, semantics.EnforceResult) {
-		start := time.Now()
-		res, err := f(d, sigma)
+		var res semantics.EnforceResult
+		var err error
+		secs, allocs := measureAllocs(func() { res, err = f(d, sigma) })
 		if err != nil {
 			t.Fatal(err)
 		}
-		secs := time.Since(start).Seconds()
 		return chaseMeasure{
 			Seconds:        secs,
+			AllocsPerOp:    float64(allocs),
 			Applications:   res.Applications,
 			Passes:         res.Passes,
 			PairsExamined:  res.Stats.PairsExamined,
 			LHSEvaluations: res.Stats.LHSEvaluations,
 		}, res
 	}
-	start := time.Now()
-	seedRes, err := seedref.Enforce(d, sigma)
-	if err != nil {
-		t.Fatal(err)
-	}
+	var seedRes seedref.Result
+	seedSecs, seedAllocs := measureAllocs(func() {
+		var err error
+		seedRes, err = seedref.Enforce(d, sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
 	seedM := chaseMeasure{
-		Seconds:      time.Since(start).Seconds(),
+		Seconds:      seedSecs,
+		AllocsPerOp:  float64(seedAllocs),
 		Applications: seedRes.Applications,
 		Passes:       seedRes.Passes,
 	}
@@ -118,28 +123,79 @@ func TestWriteExecBenchReport(t *testing.T) {
 	}
 	rules := matching.NewRuleSet(setup.RCKs...)
 
-	start = time.Now()
-	seedMatches, err := seedMatchCandidates(setup.D, setup.RCKs, cands)
-	if err != nil {
-		t.Fatal(err)
-	}
-	seedSecs := time.Since(start).Seconds()
-	start = time.Now()
-	compiledMatches, err := rules.MatchCandidates(setup.D, cands)
-	if err != nil {
-		t.Fatal(err)
-	}
-	compiledSecs := time.Since(start).Seconds()
+	var seedMatches *metrics.PairSet
+	seedRSecs, seedRAllocs := measureAllocs(func() {
+		var err error
+		seedMatches, err = seedMatchCandidates(setup.D, setup.RCKs, cands)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	var compiledMatches *metrics.PairSet
+	compiledSecs, compiledAllocs := measureAllocs(func() {
+		var err error
+		compiledMatches, err = rules.MatchCandidates(setup.D, cands)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
 	if seedMatches.Len() != compiledMatches.Len() ||
 		seedMatches.IntersectCount(compiledMatches) != seedMatches.Len() {
 		t.Fatalf("rule set divergence: seed %d matches, compiled %d", seedMatches.Len(), compiledMatches.Len())
 	}
+	perCand := func(secs float64, allocs uint64) pathMeasure {
+		return pathMeasure{
+			Seconds:     secs,
+			PerSecond:   float64(cands.Len()) / secs,
+			AllocsPerOp: float64(allocs) / float64(cands.Len()),
+		}
+	}
 	report.RuleSet = ruleSetSection{
 		Candidates: cands.Len(),
 		Matches:    compiledMatches.Len(),
-		Seed:       pathMeasure{Seconds: seedSecs, PerSecond: float64(cands.Len()) / seedSecs},
-		Compiled:   pathMeasure{Seconds: compiledSecs, PerSecond: float64(cands.Len()) / compiledSecs},
-		Speedup:    seedSecs / compiledSecs,
+		Seed:       perCand(seedRSecs, seedRAllocs),
+		Compiled:   perCand(compiledSecs, compiledAllocs),
+		Speedup:    seedRSecs / compiledSecs,
+	}
+
+	// --- Values: the interned paths against their string-path twins.
+	// The interned matcher dictionary-encodes both sides once and then
+	// evaluates candidates on value IDs; the matched set must be
+	// identical. The second (warm) measurement shows the steady-state
+	// cost once every distinct value pair's verdict is cached — the
+	// serving regime the interner is built for.
+	im, err := rules.CompileInterned(setup.D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var internedMatches *metrics.PairSet
+	coldSecs, coldAllocs := measureAllocs(func() {
+		var err error
+		internedMatches, err = im.MatchCandidates(cands)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	warmSecs, warmAllocs := measureAllocs(func() {
+		var err error
+		internedMatches, err = im.MatchCandidates(cands)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	rulesetEquivalent := internedMatches.Len() == compiledMatches.Len() &&
+		internedMatches.IntersectCount(compiledMatches) == compiledMatches.Len()
+	if !rulesetEquivalent {
+		t.Fatalf("interned rule set divergence: interned %d matches, compiled %d", internedMatches.Len(), compiledMatches.Len())
+	}
+	report.Values = valuesSection{
+		RulesetInternedCold:   perCand(coldSecs, coldAllocs),
+		RulesetInternedWarm:   perCand(warmSecs, warmAllocs),
+		RulesetSpeedupWarm:    compiledSecs / warmSecs,
+		RulesetMatchesStrings: rulesetEquivalent,
+		ChaseMatchesSeedref:   true, // assertSameChase above would have failed otherwise
+		ChaseSeedApplications: seedRes.Applications,
+		ChaseSeedPasses:       seedRes.Passes,
 	}
 
 	// --- Engine: MatchBatch throughput through the same kernel ---
@@ -161,17 +217,33 @@ func TestWriteExecBenchReport(t *testing.T) {
 	if _, err := eng.MatchBatch(batch); err != nil { // warm-up
 		t.Fatal(err)
 	}
-	start = time.Now()
-	if _, err := eng.MatchBatch(batch); err != nil {
+	engSecs, engAllocs := measureAllocs(func() {
+		if _, err := eng.MatchBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	report.Engine = engineSection{
+		Queries:     len(batch),
+		Workers:     1,
+		Seconds:     engSecs,
+		PerSecond:   float64(len(batch)) / engSecs,
+		AllocsPerOp: float64(engAllocs) / float64(len(batch)),
+	}
+
+	// Equivalence of the engine path on interned data: the engine (whose
+	// store and rule evaluation run on dictionary-encoded records) must
+	// produce exactly the pairs the string-path rule set produces over
+	// the same blocking keys and rules.
+	_, engPairs, err := eng.MatchInstance(setup.Dataset.Billing)
+	if err != nil {
 		t.Fatal(err)
 	}
-	engSecs := time.Since(start).Seconds()
-	report.Engine = engineSection{
-		Queries:   len(batch),
-		Workers:   1,
-		Seconds:   engSecs,
-		PerSecond: float64(len(batch)) / engSecs,
+	engineEquivalent := engPairs.Len() == compiledMatches.Len() &&
+		engPairs.IntersectCount(compiledMatches) == compiledMatches.Len()
+	if !engineEquivalent {
+		t.Fatalf("engine divergence on interned data: engine %d pairs, rule set %d", engPairs.Len(), compiledMatches.Len())
 	}
+	report.Values.EngineMatchesStrings = engineEquivalent
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -193,11 +265,13 @@ type execBenchReport struct {
 	RightRecords int            `json:"right_records"`
 	Chase        chaseSection   `json:"chase"`
 	RuleSet      ruleSetSection `json:"ruleset"`
+	Values       valuesSection  `json:"values"`
 	Engine       engineSection  `json:"engine"`
 }
 
 type chaseMeasure struct {
 	Seconds        float64 `json:"seconds"`
+	AllocsPerOp    float64 `json:"allocs_per_op"` // one op = one enforcement run
 	Applications   int     `json:"applications"`
 	Passes         int     `json:"passes"`
 	PairsExamined  int64   `json:"pairs_examined"`
@@ -213,8 +287,9 @@ type chaseSection struct {
 }
 
 type pathMeasure struct {
-	Seconds   float64 `json:"seconds"`
-	PerSecond float64 `json:"per_second"`
+	Seconds     float64 `json:"seconds"`
+	PerSecond   float64 `json:"per_second"`
+	AllocsPerOp float64 `json:"allocs_per_op"` // one op = one candidate pair
 }
 
 type ruleSetSection struct {
@@ -225,11 +300,42 @@ type ruleSetSection struct {
 	Speedup    float64     `json:"speedup"`
 }
 
+// valuesSection records the interned value store's paths against their
+// string-path twins: equivalence cross-checks (same matches, and — via
+// assertSameChase — same applications, passes and stable instance as
+// seedref) plus cold/warm interned rule-set measurements.
+type valuesSection struct {
+	RulesetInternedCold   pathMeasure `json:"ruleset_interned_cold"`
+	RulesetInternedWarm   pathMeasure `json:"ruleset_interned_warm"`
+	RulesetSpeedupWarm    float64     `json:"ruleset_interned_warm_speedup_vs_compiled"`
+	RulesetMatchesStrings bool        `json:"ruleset_interned_matches_string_path"`
+	EngineMatchesStrings  bool        `json:"engine_interned_matches_string_path"`
+	ChaseMatchesSeedref   bool        `json:"worklist_matches_seedref"`
+	ChaseSeedApplications int         `json:"seedref_applications"`
+	ChaseSeedPasses       int         `json:"seedref_passes"`
+}
+
 type engineSection struct {
-	Queries   int     `json:"queries"`
-	Workers   int     `json:"workers"`
-	Seconds   float64 `json:"seconds"`
-	PerSecond float64 `json:"queries_per_second"`
+	Queries     int     `json:"queries"`
+	Workers     int     `json:"workers"`
+	Seconds     float64 `json:"seconds"`
+	PerSecond   float64 `json:"queries_per_second"`
+	AllocsPerOp float64 `json:"allocs_per_op"` // one op = one query
+}
+
+// measureAllocs runs fn once, returning its wall time and the heap
+// allocations it performed (the allocs_per_op inputs of this report).
+// A GC up front keeps collection pressure from earlier sections out of
+// the short measurements.
+func measureAllocs(fn func()) (secs float64, allocs uint64) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	fn()
+	secs = time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	return secs, after.Mallocs - before.Mallocs
 }
 
 func assertSameChase(t *testing.T, label string, got semantics.EnforceResult, want seedref.Result) {

@@ -21,6 +21,12 @@
 //	matchbench -path chase -k 1000     # worklist enforcement chase
 //	matchbench -path ruleset -k 1000   # blocked candidates × RCK rule set
 //	matchbench -path engine -k 1000    # serving engine MatchBatch
+//
+// -cpuprofile and -memprofile write pprof profiles covering the run
+// (any mode), so perf work can attach evidence:
+//
+//	matchbench -path chase -k 1000 -cpuprofile chase.pprof
+//	go tool pprof chase.pprof
 package main
 
 import (
@@ -28,6 +34,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"mdmatch/internal/experiments"
 )
@@ -75,20 +83,52 @@ func seq(from, to, step int) []int {
 }
 
 func main() {
+	// os.Exit only after every defer (profile flushes) has run: a
+	// failing -memprofile must not truncate the -cpuprofile of an
+	// otherwise successful expensive run.
+	if err := mainErr(); err != nil {
+		fmt.Fprintln(os.Stderr, "matchbench:", err)
+		os.Exit(1)
+	}
+}
+
+func mainErr() (err error) {
 	var (
-		fig   = flag.String("fig", "all", "figure to regenerate: 8a, 8b, 8c, 9, 10, 9d, win, all")
-		scale = flag.String("scale", "bench", "bench (minutes) or paper (full Section 6 parameters)")
-		seed  = flag.Int64("seed", 1, "experiment seed")
-		path  = flag.String("path", "", "profile one kernel execution path instead: chase, ruleset or engine")
-		k     = flag.Int("k", 1000, "dataset scale (K holders) for -path profiling")
+		fig        = flag.String("fig", "all", "figure to regenerate: 8a, 8b, 8c, 9, 10, 9d, win, all")
+		scale      = flag.String("scale", "bench", "bench (minutes) or paper (full Section 6 parameters)")
+		seed       = flag.Int64("seed", 1, "experiment seed")
+		path       = flag.String("path", "", "profile one kernel execution path instead: chase, ruleset or engine")
+		k          = flag.Int("k", 1000, "dataset scale (K holders) for -path profiling")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile covering the run to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
 	)
 	flag.Parse()
-	if *path != "" {
-		if err := experiments.Profile(os.Stdout, *path, *k, *seed); err != nil {
-			fmt.Fprintln(os.Stderr, "matchbench:", err)
-			os.Exit(1)
+	if *cpuprofile != "" {
+		f, cerr := os.Create(*cpuprofile)
+		if cerr != nil {
+			return cerr
 		}
-		return
+		defer f.Close()
+		if cerr := pprof.StartCPUProfile(f); cerr != nil {
+			return cerr
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, merr := os.Create(*memprofile)
+			if merr == nil {
+				defer f.Close()
+				runtime.GC() // flush recently freed objects so live heap is accurate
+				merr = pprof.WriteHeapProfile(f)
+			}
+			if merr != nil && err == nil {
+				err = merr
+			}
+		}()
+	}
+	if *path != "" {
+		return experiments.Profile(os.Stdout, *path, *k, *seed)
 	}
 	var p scaleParams
 	switch *scale {
@@ -97,13 +137,9 @@ func main() {
 	case "paper":
 		p = paperScale()
 	default:
-		fmt.Fprintf(os.Stderr, "matchbench: unknown scale %q\n", *scale)
-		os.Exit(2)
+		return fmt.Errorf("unknown scale %q", *scale)
 	}
-	if err := run(os.Stdout, *fig, p, *seed); err != nil {
-		fmt.Fprintln(os.Stderr, "matchbench:", err)
-		os.Exit(1)
-	}
+	return run(os.Stdout, *fig, p, *seed)
 }
 
 func run(w io.Writer, fig string, p scaleParams, seed int64) error {

@@ -15,6 +15,7 @@ import (
 	"mdmatch/internal/metrics"
 	"mdmatch/internal/record"
 	"mdmatch/internal/similarity"
+	"mdmatch/internal/values"
 )
 
 // Encoder transforms a field value before it enters a key.
@@ -42,29 +43,19 @@ func PrefixEncoder(n int) Encoder {
 // — or raw data — from emitting \x1f), which would alias distinct keys:
 // ("a\x1fb", "c") and ("a", "b\x1fc") must not collide. AppendKeyField
 // therefore escapes both the separator and the escape byte inside field
-// values, making the rendering injective.
+// values, making the rendering injective. The escaping itself lives in
+// internal/values (the value layer's leaf package) so the interned key
+// fragments of the dictionary store render identically.
 const (
-	keySep = '\x1f' // unit separator between encoded fields
-	keyEsc = '\x1c' // escape prefix for literal keySep/keyEsc bytes
+	keySep = values.KeySep // unit separator between encoded fields
 )
 
 // AppendKeyField writes one encoded field value into a key builder,
 // escaping the separator and escape bytes so that distinct field tuples
-// always render to distinct key strings. All key rendering — here and in
-// the compiled encoders of internal/exec — must go through this helper.
-func AppendKeyField(b *strings.Builder, s string) {
-	if !strings.ContainsAny(s, "\x1c\x1f") {
-		b.WriteString(s) // fast path: nothing to escape
-		return
-	}
-	for i := 0; i < len(s); i++ {
-		c := s[i]
-		if c == keyEsc || c == keySep {
-			b.WriteByte(keyEsc)
-		}
-		b.WriteByte(c)
-	}
-}
+// always render to distinct key strings. All key rendering — here, in
+// the compiled encoders of internal/exec and in the interned key
+// fragments of internal/values — shares this one definition.
+func AppendKeyField(b *strings.Builder, s string) { values.AppendKeyField(b, s) }
 
 // KeyField is one component of a blocking/sorting key: the attribute on
 // each side and the encoder applied to its value.

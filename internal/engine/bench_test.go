@@ -47,6 +47,7 @@ func batchOf(s *testSetup) [][]string {
 // PairInstance — all single-threaded.
 func BenchmarkEngineVsBaseline_Baseline(b *testing.B) {
 	s := benchSetup(b, 4000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		matched := s.baselinePairs(b)
@@ -76,6 +77,7 @@ func BenchmarkEngineVsBaseline_Engine(b *testing.B) {
 			if err := eng.Load(s.ds.Credit); err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				results, err := eng.MatchBatch(batch)
@@ -98,6 +100,7 @@ func BenchmarkEngineLoad(b *testing.B) {
 	s := benchSetup(b, 4000)
 	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
 		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				eng, err := New(s.plan, WithWorkers(workers))
 				if err != nil {
@@ -122,6 +125,7 @@ func BenchmarkMatchOne(b *testing.B) {
 		b.Fatal(err)
 	}
 	batch := batchOf(s)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := eng.MatchOne(batch[i%len(batch)]); err != nil {

@@ -10,6 +10,7 @@ import (
 	"mdmatch/internal/exec"
 	"mdmatch/internal/metrics"
 	"mdmatch/internal/record"
+	"mdmatch/internal/values"
 )
 
 // Option configures an Engine.
@@ -92,12 +93,18 @@ func (s Stats) ReductionRatio() float64 { return s.Blocking().RR() }
 
 // Engine serves matching queries against an indexed left-side instance:
 // candidate retrieval through the sharded blocking index, then rule
-// evaluation under the compiled plan. All methods are safe for
-// concurrent use; Add/Remove may interleave with MatchOne/MatchBatch.
+// evaluation under the compiled plan — over interned value IDs: records
+// are dictionary-encoded as they are added, queries as they arrive, so
+// equality conjuncts compare integers and similarity conjuncts hit the
+// interner's verdict caches (each distinct value pair pays for its
+// operator evaluation once per engine, not once per candidate pair).
+// All methods are safe for concurrent use; Add/Remove may interleave
+// with MatchOne/MatchBatch.
 type Engine struct {
 	plan        *Plan
 	index       *Index
 	store       *store
+	interner    *exec.Interner
 	workers     int
 	shardHint   int
 	scratchPool sync.Pool
@@ -124,6 +131,7 @@ func New(plan *Plan, opts ...Option) (*Engine, error) {
 	}
 	e.index = NewIndex(e.shardHint)
 	e.store = newStore(e.shardHint)
+	e.interner = exec.NewInterner(plan.prog)
 	e.scratchPool.New = func() any { return &matchScratch{} }
 	return e, nil
 }
@@ -138,7 +146,8 @@ func (e *Engine) Workers() int { return e.workers }
 func (e *Engine) Len() int { return e.store.len() }
 
 // Add indexes a left-side record under the given id. The values are
-// positional, parallel to the left relation's attributes, and are copied.
+// positional, parallel to the left relation's attributes; the slice is
+// not retained (the record is stored in interned form).
 // Adding an existing id replaces the previous version (its old blocking
 // keys are removed first). Mutations of one id are serialized on its
 // store shard, so concurrent Add/Remove calls on the same id cannot
@@ -147,14 +156,17 @@ func (e *Engine) Add(id int, values []string) error {
 	if got, want := len(values), e.plan.ctx.Left.Arity(); got != want {
 		return fmt.Errorf("engine: %s expects %d values, got %d", e.plan.ctx.Left.Name(), want, got)
 	}
-	vals := append([]string(nil), values...)
-	e.store.put(id, vals, func(old []string, existed bool) {
+	rec := storedRec{
+		ids:  e.interner.InternLeft(values, nil),
+		keys: e.plan.leftKeys(values, nil),
+	}
+	e.store.put(id, rec, func(old storedRec, existed bool) {
 		if existed {
-			for _, k := range e.plan.leftKeys(old, nil) {
+			for _, k := range old.keys {
 				e.index.Remove(k, id)
 			}
 		}
-		for _, k := range e.plan.leftKeys(vals, nil) {
+		for _, k := range rec.keys {
 			e.index.Add(k, id)
 		}
 	})
@@ -167,8 +179,8 @@ func (e *Engine) AddTuple(t *record.Tuple) error { return e.Add(t.ID, t.Values) 
 // Remove un-indexes the record with the given id and reports whether it
 // was present.
 func (e *Engine) Remove(id int) bool {
-	return e.store.delete(id, func(vals []string) {
-		for _, k := range e.plan.leftKeys(vals, nil) {
+	return e.store.delete(id, func(rec storedRec) {
+		for _, k := range rec.keys {
 			e.index.Remove(k, id)
 		}
 	})
@@ -241,25 +253,29 @@ func (e *Engine) MatchOne(values []string) (Result, error) {
 }
 
 // matchScratch holds reusable per-query buffers (pooled) so matching
-// does not allocate key and candidate slices per query. The memo caches
-// per-pair conjunct outcomes in the exec kernel, so rules sharing
-// similarity tests evaluate each test once per candidate.
+// does not allocate key, candidate or interned-row slices per query.
 type matchScratch struct {
 	keys []string
 	ids  []int
-	memo *exec.Memo
+	qids []values.ID
 }
 
-func (e *Engine) matchValues(values []string, scratch *matchScratch) Result {
-	scratch.keys = e.plan.rightKeys(values, scratch.keys[:0])
+func (e *Engine) matchValues(vals []string, scratch *matchScratch) Result {
+	scratch.keys = e.plan.rightKeys(vals, scratch.keys[:0])
 	scratch.ids = scratch.ids[:0]
 	for _, k := range scratch.keys {
 		scratch.ids = e.index.AppendTo(k, scratch.ids)
 	}
 	raw := len(scratch.ids)
 	sort.Ints(scratch.ids)
+	// The query row is interned at most once, lazily — blocking prunes
+	// most queries to zero candidates, and those skip the dictionary
+	// entirely. Every candidate comparison then runs on IDs (conjuncts
+	// shared across rules are answered by the interner's verdict caches,
+	// the cross-query generalization of the old per-pair memo).
 	var res Result
 	res.Candidates = raw
+	interned := false
 	prev := -1
 	for _, id := range scratch.ids {
 		if id == prev {
@@ -271,11 +287,12 @@ func (e *Engine) matchValues(values []string, scratch *matchScratch) Result {
 			// Removed between index lookup and store fetch.
 			continue
 		}
-		res.Compared++
-		if scratch.memo == nil {
-			scratch.memo = e.plan.prog.NewMemo()
+		if !interned {
+			scratch.qids = e.interner.InternRight(vals, scratch.qids)
+			interned = true
 		}
-		if e.plan.prog.EvalPair(left, values, scratch.memo) {
+		res.Compared++
+		if e.interner.EvalPairIDs(left.ids, scratch.qids) {
 			res.Matches = append(res.Matches, id)
 		}
 	}
@@ -357,7 +374,18 @@ func (e *Engine) ResetStats() {
 
 // --- sharded record store ---
 
-// store is a sharded map from record id to positional values. Like the
+// storedRec is one indexed record: its interned row (IDs in the engine
+// interner's dictionaries) and its rendered blocking keys, both encoded
+// once at Add time — neither replacement nor removal ever re-renders a
+// key, candidate evaluation never re-interns a stored record, and the
+// raw string row is not retained at all (the dictionaries already hold
+// every distinct value).
+type storedRec struct {
+	ids  []values.ID
+	keys []string
+}
+
+// store is a sharded map from record id to its stored record. Like the
 // index it stripes locks by hash so concurrent Add/Remove/get calls on
 // different records proceed without contention. Mutations take a
 // callback that runs while the shard lock is held: the engine updates
@@ -372,14 +400,14 @@ type store struct {
 
 type storeShard struct {
 	mu sync.RWMutex
-	m  map[int][]string
+	m  map[int]storedRec
 }
 
 func newStore(count int) *store {
 	n := shardCount(count)
 	st := &store{shards: make([]storeShard, n), mask: uint64(n - 1)}
 	for i := range st.shards {
-		st.shards[i].m = make(map[int][]string)
+		st.shards[i].m = make(map[int]storedRec)
 	}
 	return st
 }
@@ -390,13 +418,13 @@ func (st *store) shard(id int) *storeShard {
 	return &st.shards[(uint64(id)*0x9E3779B97F4A7C15)>>32&st.mask]
 }
 
-// put stores values under id; swap runs under the shard lock with the
-// previous values (if any).
-func (st *store) put(id int, values []string, swap func(old []string, existed bool)) {
+// put stores a record under id; swap runs under the shard lock with the
+// previous record (if any).
+func (st *store) put(id int, rec storedRec, swap func(old storedRec, existed bool)) {
 	s := st.shard(id)
 	s.mu.Lock()
 	old, existed := s.m[id]
-	s.m[id] = values
+	s.m[id] = rec
 	swap(old, existed)
 	s.mu.Unlock()
 	if !existed {
@@ -404,7 +432,7 @@ func (st *store) put(id int, values []string, swap func(old []string, existed bo
 	}
 }
 
-func (st *store) get(id int) ([]string, bool) {
+func (st *store) get(id int) (storedRec, bool) {
 	s := st.shard(id)
 	s.mu.RLock()
 	v, ok := s.m[id]
@@ -413,8 +441,8 @@ func (st *store) get(id int) ([]string, bool) {
 }
 
 // delete removes id and reports whether it existed; drop runs under the
-// shard lock with the removed values.
-func (st *store) delete(id int, drop func(vals []string)) bool {
+// shard lock with the removed record.
+func (st *store) delete(id int, drop func(rec storedRec)) bool {
 	s := st.shard(id)
 	s.mu.Lock()
 	v, ok := s.m[id]

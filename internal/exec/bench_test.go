@@ -43,6 +43,7 @@ func BenchmarkExecCompile(b *testing.B) {
 		{core.C("ln", d, "ln"), core.C("street", d, "street"), core.C("fn", d, "fn")},
 		{core.Eq("zip", "zip"), core.C("street", d, "street")},
 	}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := Compile(ctx, rules, nil); err != nil {
 			b.Fatal(err)
@@ -78,6 +79,7 @@ func BenchmarkExecKeyRender(b *testing.B) {
 		b.Fatal(err)
 	}
 	vals := []string{"Clifford", "07974"}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		ke.RenderLeft(0, vals)
 	}

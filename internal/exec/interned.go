@@ -1,0 +1,235 @@
+package exec
+
+import (
+	"sync"
+
+	"mdmatch/internal/similarity"
+	"mdmatch/internal/values"
+)
+
+// Interner compiles a Program against the interned value store
+// (internal/values): the two columns of every conjunct share one
+// dictionary, equality conjuncts evaluate as integer ID comparisons,
+// and every other similarity conjunct becomes a lookup in a growable
+// verdict cache keyed by canonical (minID, maxID) value pairs — each
+// distinct value pair pays for its operator evaluation once per
+// process, not once per tuple pair.
+//
+// An Interner is mutable shared state (dictionaries grow, caches fill)
+// and safe for concurrent use: warm reads cost one read lock per pair,
+// cache misses evaluate their operator outside any lock and only take
+// the write lock to store the verdict, so cold paths never serialize
+// concurrent matchers behind an edit-distance computation. Right-side
+// dictionaries grow with the distinct values ever queried, and the
+// verdict caches are bounded by values.MapMaxEntries (beyond it,
+// verdicts are recomputed, not stored) — a long-lived server trades
+// bounded memory for rarely evaluating an operator twice on the same
+// value pair.
+type Interner struct {
+	prog *Program
+	mu   sync.RWMutex
+	// left/right map column index -> group dictionary (nil for columns
+	// no conjunct touches; their cells intern to ID 0 and are never
+	// read).
+	left, right []*values.Dict
+	// conjs is aligned with prog.conjuncts.
+	conjs []internedConjunct
+}
+
+type internedConjunct struct {
+	eq           bool
+	left, right  int
+	cache        *values.Cache
+	ldict, rdict *values.Dict
+	op           similarity.Operator
+}
+
+// NewInterner builds the interned evaluation state for a program.
+func NewInterner(p *Program) *Interner {
+	it := &Interner{
+		prog:  p,
+		left:  make([]*values.Dict, p.ctx.Left.Arity()),
+		right: make([]*values.Dict, p.ctx.Right.Arity()),
+	}
+	// Group column nodes so both columns of every conjunct (and columns
+	// transitively linked through shared conjunct columns) intern into
+	// one dictionary: ID equality then means string equality, and the
+	// canonical cache key applies.
+	a1 := p.ctx.Left.Arity()
+	g := values.NewGrouper(a1 + p.ctx.Right.Arity())
+	for _, c := range p.conjuncts {
+		g.Link(c.Left, a1+c.Right)
+	}
+	for _, c := range p.conjuncts {
+		it.left[c.Left] = g.Dict(c.Left)
+		it.right[c.Right] = g.Dict(a1 + c.Right)
+	}
+	it.conjs = make([]internedConjunct, len(p.conjuncts))
+	for i, c := range p.conjuncts {
+		ic := internedConjunct{
+			left: c.Left, right: c.Right, op: c.Op,
+			ldict: it.left[c.Left], rdict: it.right[c.Right],
+		}
+		if similarity.IsEq(c.Op) {
+			ic.eq = true
+		} else {
+			ic.cache = values.NewCache(c.Op, ic.ldict, ic.rdict)
+		}
+		it.conjs[i] = ic
+	}
+	return it
+}
+
+// Program returns the compiled program the interner evaluates.
+func (it *Interner) Program() *Program { return it.prog }
+
+// InternLeft interns a left-side positional value row into dst
+// (appended from dst[:0]; pass nil to allocate). Columns no conjunct
+// reads intern to ID 0.
+func (it *Interner) InternLeft(vals []string, dst []values.ID) []values.ID {
+	return it.internRow(it.left, vals, dst)
+}
+
+// InternRight interns a right-side positional value row.
+func (it *Interner) InternRight(vals []string, dst []values.ID) []values.ID {
+	return it.internRow(it.right, vals, dst)
+}
+
+func (it *Interner) internRow(dicts []*values.Dict, vals []string, dst []values.ID) []values.ID {
+	dst = dst[:0]
+	// Fast path: every value already interned (read lock only).
+	it.mu.RLock()
+	hit := true
+	for i, d := range dicts {
+		if d == nil {
+			dst = append(dst, 0)
+			continue
+		}
+		id, ok := d.Lookup(vals[i])
+		if !ok {
+			hit = false
+			break
+		}
+		dst = append(dst, id)
+	}
+	it.mu.RUnlock()
+	if hit {
+		return dst
+	}
+	dst = dst[:0]
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	for i, d := range dicts {
+		if d == nil {
+			dst = append(dst, 0)
+			continue
+		}
+		dst = append(dst, d.Intern(vals[i]))
+	}
+	return dst
+}
+
+// evalConjunct decides one conjunct on interned rows; the caller holds
+// the read lock. In resolve mode a cache miss is resolved through
+// resolveConjunct (which manages its own locking — the caller must NOT
+// hold any lock then); otherwise a miss reports unknown.
+func (it *Interner) evalConjunct(ci uint16, lids, rids []values.ID, resolve bool) (verdict, known bool) {
+	c := &it.conjs[ci]
+	a, b := lids[c.left], rids[c.right]
+	if c.eq {
+		return a == b, true // shared dictionary: ID equality is value equality
+	}
+	if resolve {
+		return it.resolveConjunct(c, a, b), true
+	}
+	return c.cache.Peek(a, b)
+}
+
+// resolveConjunct answers one non-equality conjunct, evaluating the
+// operator on a cache miss OUTSIDE any lock: the interned strings are
+// immutable (only the slice headers need the read lock to snapshot),
+// and operators are pure, so the quadratic edit-distance work never
+// serializes concurrent matchers. Racing misses on the same pair
+// evaluate at most once each and Store agreeing verdicts.
+func (it *Interner) resolveConjunct(c *internedConjunct, a, b values.ID) bool {
+	it.mu.RLock()
+	verdict, known := c.cache.Peek(a, b)
+	var sa, sb string
+	if !known {
+		sa, sb = c.ldict.Value(a), c.rdict.Value(b)
+	}
+	it.mu.RUnlock()
+	if known {
+		return verdict
+	}
+	verdict = c.op.Similar(sa, sb)
+	it.mu.Lock()
+	c.cache.Store(a, b, verdict)
+	it.mu.Unlock()
+	return verdict
+}
+
+// evalPair runs the whole-program decision — at least one positive rule
+// holds and no negative rule vetoes — in one of two modes: a peek-only
+// pass answering from cached verdicts alone (read lock held by the
+// caller; reports known=false on the first decision-relevant cache
+// miss), and a resolving pass (no lock held by the caller) that
+// evaluates misses per conjunct via resolveConjunct.
+func (it *Interner) evalPair(lids, rids []values.ID, resolve bool) (verdict, known bool) {
+	evalRule := func(idx []uint16) (bool, bool) {
+		for _, ci := range idx {
+			ok, known := it.evalConjunct(ci, lids, rids, resolve)
+			if !known {
+				return false, false
+			}
+			if !ok {
+				return false, true
+			}
+		}
+		return true, true
+	}
+	matched := false
+	for _, r := range it.prog.rules {
+		ok, known := evalRule(r)
+		if !known {
+			return false, false
+		}
+		if ok {
+			matched = true
+			break
+		}
+	}
+	if !matched {
+		return false, true
+	}
+	for _, r := range it.prog.negRules {
+		ok, known := evalRule(r)
+		if !known {
+			return false, false
+		}
+		if ok {
+			return false, true
+		}
+	}
+	return true, true
+}
+
+// EvalPairIDs decides the whole-program verdict for an interned row
+// pair: at least one positive rule holds and no negative rule vetoes.
+// The warm path costs one read lock for the whole pair; a
+// decision-relevant cache miss re-runs the decision in resolve mode,
+// where operators evaluate outside any lock and only the verdict
+// stores take the write lock. It agrees with Program.EvalPair on the
+// underlying values (verdicts are pure functions of the value pair;
+// property-checked in interned_test.go and the bench report's
+// equivalence cross-checks).
+func (it *Interner) EvalPairIDs(lids, rids []values.ID) bool {
+	it.mu.RLock()
+	verdict, known := it.evalPair(lids, rids, false)
+	it.mu.RUnlock()
+	if known {
+		return verdict
+	}
+	verdict, _ = it.evalPair(lids, rids, true)
+	return verdict
+}

@@ -1,0 +1,148 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mdmatch/internal/core"
+	"mdmatch/internal/schema"
+	"mdmatch/internal/similarity"
+	"mdmatch/internal/values"
+)
+
+// TestInternerMatchesProgram drives EvalPairIDs against EvalPair on
+// randomized value rows: the interned path (ID comparisons + verdict
+// caches) must agree with the string path on every pair, including
+// repeated evaluations that hit the caches.
+func TestInternerMatchesProgram(t *testing.T) {
+	p, _, _ := testProgram(t)
+	it := NewInterner(p)
+	rng := rand.New(rand.NewSource(5))
+	vocab := []string{"Mark", "Marx", "Clifford", "Cliford", "10 Oak Street", "11 Oak St",
+		"Murray Hill", "07974", "07975", "908-1111111", "908-1111112", ""}
+	row := func(n int) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = vocab[rng.Intn(len(vocab))]
+		}
+		return out
+	}
+	a1, a2 := p.Ctx().Left.Arity(), p.Ctx().Right.Arity()
+	for round := 0; round < 2; round++ { // round 2 re-evaluates cached pairs
+		rng = rand.New(rand.NewSource(5))
+		for i := 0; i < 500; i++ {
+			l, r := row(a1), row(a2)
+			lids := it.InternLeft(l, nil)
+			rids := it.InternRight(r, nil)
+			if got, want := it.EvalPairIDs(lids, rids), p.EvalPair(l, r, nil); got != want {
+				t.Fatalf("EvalPairIDs(%v, %v) = %v, EvalPair = %v", l, r, got, want)
+			}
+		}
+	}
+}
+
+// TestInternerEqualityAcrossSides pins the shared-dictionary property:
+// an equality conjunct must hold exactly when the two strings are
+// equal, even though the IDs come from InternLeft and InternRight.
+func TestInternerEqualityAcrossSides(t *testing.T) {
+	left := schema.MustStrings("l", "zip")
+	right := schema.MustStrings("r", "zip")
+	ctx := schema.MustPair(left, right)
+	p, err := Compile(ctx, [][]core.Conjunct{{core.Eq("zip", "zip")}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := NewInterner(p)
+	rids := it.InternRight([]string{"07974"}, nil) // right first: IDs differ per side order
+	lids := it.InternLeft([]string{"07974"}, nil)
+	if !it.EvalPairIDs(lids, rids) {
+		t.Fatal("equal zips did not match through interned equality")
+	}
+	lids2 := it.InternLeft([]string{"07975"}, nil)
+	if it.EvalPairIDs(lids2, rids) {
+		t.Fatal("unequal zips matched through interned equality")
+	}
+}
+
+// TestInternerConcurrent hammers one interner from several goroutines
+// (run under -race in CI): interning and cache fills must be safe and
+// agree with the string path.
+func TestInternerConcurrent(t *testing.T) {
+	p, _, _ := testProgram(t)
+	it := NewInterner(p)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			vocab := []string{"Mark", "Marx", "Clifford", "Murray Hill", "07974", "908-1111111", "x"}
+			var lbuf, rbuf []values.ID
+			for i := 0; i < 300; i++ {
+				l := make([]string, p.Ctx().Left.Arity())
+				r := make([]string, p.Ctx().Right.Arity())
+				for j := range l {
+					l[j] = vocab[rng.Intn(len(vocab))]
+				}
+				for j := range r {
+					r[j] = vocab[rng.Intn(len(vocab))]
+				}
+				lbuf = it.InternLeft(l, lbuf)
+				rbuf = it.InternRight(r, rbuf)
+				if got, want := it.EvalPairIDs(lbuf, rbuf), p.EvalPair(l, r, nil); got != want {
+					errs <- fmt.Errorf("goroutine %d: interned %v vs string %v for %v/%v", seed, got, want, l, r)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func testProgram(t *testing.T) (*Program, []string, []string) {
+	t.Helper()
+	left := schema.MustStrings("credit", "fn", "ln", "street", "city", "zip", "tel")
+	right := schema.MustStrings("billing", "fn", "ln", "street", "city", "zip", "phn")
+	ctx := schema.MustPair(left, right)
+	d := similarity.DL(0.8)
+	rules := [][]core.Conjunct{
+		{core.C("ln", d, "ln"), core.C("street", d, "street"), core.C("fn", d, "fn")},
+		{core.C("tel", d, "phn"), core.C("ln", d, "ln")},
+		{core.Eq("zip", "zip"), core.C("street", d, "street"), core.C("fn", d, "fn")},
+	}
+	negs := [][]core.Conjunct{{core.C("city", similarity.SoundexEq(), "city")}}
+	p, err := Compile(ctx, rules, negs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := []string{"Mark", "Clifford", "10 Oak Street", "Murray Hill", "07974", "908-1111111"}
+	r := []string{"Marx", "Clifford", "10 Oak Street", "Murray Hill", "07974", "908-1111111"}
+	return p, l, r
+}
+
+func BenchmarkInternedEvalPair(b *testing.B) {
+	p, l, r := benchProgram(b)
+	it := NewInterner(p)
+	lids := it.InternLeft(l, nil)
+	rids := it.InternRight(r, nil)
+	b.Run("ids", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			it.EvalPairIDs(lids, rids)
+		}
+	})
+	b.Run("strings_memo", func(b *testing.B) {
+		m := p.NewMemo()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p.EvalPair(l, r, m)
+		}
+	})
+}

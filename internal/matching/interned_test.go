@@ -1,0 +1,57 @@
+package matching
+
+import (
+	"testing"
+
+	"mdmatch/internal/core"
+	"mdmatch/internal/gen"
+	"mdmatch/internal/metrics"
+)
+
+// TestInternedMatcherMatchesRuleSet cross-checks the interned candidate
+// matcher against the string-path MatchCandidates on a generated
+// corpus: same candidates in, same matches out — twice, so cache hits
+// are exercised too.
+func TestInternedMatcherMatchesRuleSet(t *testing.T) {
+	ds, err := gen.Generate(gen.DefaultConfig(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ds.Pair()
+	target := gen.Target(ds.Ctx)
+	var keys []core.Key
+	for _, md := range gen.HolderMDs(ds.Ctx) {
+		k, err := core.NewKey(ds.Ctx, target, md.LHS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, k)
+	}
+	rules := NewRuleSet(keys...)
+	cands := AllPairs(d)
+
+	want, err := rules.MatchCandidates(d, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := rules.CompileInterned(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		got, err := im.MatchCandidates(cands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != want.Len() || got.IntersectCount(want) != want.Len() {
+			t.Fatalf("round %d: interned matcher found %d matches, string path %d", round, got.Len(), want.Len())
+		}
+	}
+
+	// Unknown tuple ids must error, not mis-evaluate.
+	bogus := metrics.NewPairSet()
+	bogus.Add(metrics.Pair{Left: 1 << 30, Right: 0})
+	if _, err := im.MatchCandidates(bogus); err == nil {
+		t.Fatal("missing left tuple went unnoticed")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"mdmatch/internal/schema"
+	"mdmatch/internal/values"
 )
 
 // Tuple is a row of an instance. ID is the temporary tuple id; Values is
@@ -171,6 +172,33 @@ func (in *Instance) Extends(other *Instance) bool {
 		}
 	}
 	return true
+}
+
+// Interned builds the columnar interned view of the instance over the
+// given per-column dictionaries: every cell's value is interned once
+// and represented by its dense values.ID. Dictionary entries may repeat
+// to share one dictionary across columns that exchange or compare
+// values (the chase's column components); with nil dicts every column
+// gets a fresh dictionary.
+//
+// The view is a snapshot: callers that mutate tuple values afterwards
+// keep it in sync through values.Columns.Set/SetKnown (the enforcement
+// chase does this from its touch callback).
+func (in *Instance) Interned(dicts []*values.Dict) (*values.Columns, error) {
+	if dicts == nil {
+		dicts = make([]*values.Dict, in.Rel.Arity())
+		for i := range dicts {
+			dicts[i] = values.NewDict()
+		}
+	}
+	if len(dicts) != in.Rel.Arity() {
+		return nil, fmt.Errorf("record: %s has arity %d, got %d dictionaries", in.Rel.Name(), in.Rel.Arity(), len(dicts))
+	}
+	cols := values.NewColumns(dicts)
+	for _, t := range in.Tuples {
+		cols.AppendRow(t.Values)
+	}
+	return cols, nil
 }
 
 // Project returns the values of the given attributes for tuple t.

@@ -20,6 +20,7 @@ func BenchmarkEnforce(b *testing.B) {
 		sigma := gen.HolderMDs(ds.Ctx)
 		d := ds.Pair()
 		b.Run(fmt.Sprintf("worklist_K%d", k), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := Enforce(d, sigma); err != nil {
 					b.Fatal(err)
@@ -27,6 +28,7 @@ func BenchmarkEnforce(b *testing.B) {
 			}
 		})
 		b.Run(fmt.Sprintf("fullscan_K%d", k), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := EnforceFullScan(d, sigma); err != nil {
 					b.Fatal(err)

@@ -2,9 +2,11 @@ package semantics
 
 import (
 	"mdmatch/internal/record"
+	"mdmatch/internal/similarity"
+	"mdmatch/internal/values"
 )
 
-// The chase-level conjunct memo.
+// The chase-level interned value store.
 //
 // A similarity operator is expensive (edit distances are quadratic in
 // value length), and the chase evaluates the same conjunct on the same
@@ -17,82 +19,28 @@ import (
 // initial values of every column connected to it through Σ's RHS pairs
 // (cells are only ever identified along those pairs).
 //
-// evalCache therefore interns each such column-component's value
-// universe once, tracks the current value id of every cell, and gives
-// each distinct non-encodable conjunct a dense (left ids × right ids)
-// verdict matrix at 2 bits per combination. A cache hit replaces a
-// Damerau–Levenshtein evaluation with two array reads. Verdicts are
-// pure functions of the two values, so memoization cannot change any
-// chase outcome — only Stats.LHSEvaluations (actual operator calls)
-// shrinks.
-
-// cacheMaxCombos caps a conjunct matrix's size (2 bits per combo:
-// 1<<26 combos = 16 MiB). Oversized conjuncts evaluate uncached.
-const cacheMaxCombos = int64(1) << 26
-
-// valuePool is one column-component's interned value universe.
-type valuePool struct {
-	ids map[string]int32
-}
-
-func (p *valuePool) intern(v string) int32 {
-	id, ok := p.ids[v]
-	if !ok {
-		id = int32(len(p.ids))
-		p.ids[v] = id
-	}
-	return id
-}
-
-// lookup returns the id of v, or -1 if v is outside the pool (possible
-// only if an encoder invariant is broken; evaluation then skips the
-// cache).
-func (p *valuePool) lookup(v string) int32 {
-	if id, ok := p.ids[v]; ok {
-		return id
-	}
-	return -1
-}
-
-// conjCache is the verdict matrix of one distinct conjunct.
-type conjCache struct {
-	stride int64    // right pool size
-	lsize  int64    // left pool size
-	bits   []uint64 // 2 bits per (v1, v2): known flag, verdict
-}
-
-func newConjCache(lsize, rsize int) *conjCache {
-	combos := int64(lsize) * int64(rsize)
-	if combos == 0 || combos > cacheMaxCombos {
-		return nil
-	}
-	return &conjCache{
-		stride: int64(rsize),
-		lsize:  int64(lsize),
-		bits:   make([]uint64, (2*combos+63)/64),
-	}
-}
-
-// get returns the cached verdict of (v1, v2) and whether one is known.
-func (cc *conjCache) get(v1, v2 int32) (verdict, known bool) {
-	if v1 < 0 || v2 < 0 || int64(v1) >= cc.lsize || int64(v2) >= cc.stride {
-		return false, false
-	}
-	off := (int64(v1)*cc.stride + int64(v2)) * 2
-	w := cc.bits[off>>6] >> uint(off&63)
-	return w&2 != 0, w&1 != 0
-}
-
-func (cc *conjCache) set(v1, v2 int32, verdict bool) {
-	if v1 < 0 || v2 < 0 || int64(v1) >= cc.lsize || int64(v2) >= cc.stride {
-		return
-	}
-	off := (int64(v1)*cc.stride + int64(v2)) * 2
-	m := uint64(1) << uint(off&63)
-	if verdict {
-		m |= m << 1
-	}
-	cc.bits[off>>6] |= m
+// evalCache therefore carves the columns into components (union-find
+// over Σ's RHS pairs *and* LHS conjunct pairs — the latter so that both
+// columns of every conjunct share one dictionary), interns each
+// component's value universe into one values.Dict, tracks the current
+// value ID of every cell through the instances' interned columnar
+// views, and gives each distinct non-encodable conjunct a fixed
+// values.Cache: a (minID, maxID)-canonical verdict matrix at 2 bits per
+// combination. A cache hit replaces a Damerau–Levenshtein evaluation
+// with two array reads; equality conjuncts become integer ID
+// comparisons and Soundex conjuncts comparisons of per-value interned
+// code IDs, with no cache slot at all. Verdicts are pure functions of
+// the two values, so memoization cannot change any chase outcome — only
+// Stats.LHSEvaluations (actual operator calls) shrinks.
+type evalCache struct {
+	// cols[side] is the interned columnar view of the side's instance
+	// (aliased for self-match, so a touched cell needs one refresh).
+	cols [2]*values.Columns
+	// vids[side][col] aliases cols[side].Column(col): the current value
+	// ID of every cell, refreshed in place by cellChanged.
+	vids [2][][]values.ID
+	// conjs deduplicates verdict caches across rules.
+	conjs map[conjID]*values.Cache
 }
 
 // conjID identifies a distinct conjunct across all rules of Σ.
@@ -101,40 +49,19 @@ type conjID struct {
 	op         string
 }
 
-// evalCache holds the pools, per-cell value ids and conjunct matrices of
-// one chase.
-type evalCache struct {
-	// pool[side][col] is the value pool of the column's component.
-	pool [2][]*valuePool
-	// vids[side][col][tupleIdx] is the interned id of the cell's current
-	// value.
-	vids [2][][]int32
-	// conjs deduplicates matrices across rules.
-	conjs map[conjID]*conjCache
-}
-
-// newEvalCache builds the cache for a chase over d with the given
-// compiled rules.
+// newEvalCache builds the interned store for a chase over d with the
+// given compiled rules.
 func newEvalCache(d *record.PairInstance, mds []compiledMD) *evalCache {
 	a1, a2 := d.Ctx.Left.Arity(), d.Ctx.Right.Arity()
 	self := d.SelfMatch()
 
-	// Union-find over column nodes: left columns are 0..a1-1, right
-	// columns a1..a1+a2-1 (aliased onto the left for self-match). Σ's
-	// RHS pairs connect the columns whose cells enforcement can identify.
-	n := a1 + a2
-	parent := make([]int, n)
-	for i := range parent {
-		parent[i] = i
-	}
-	var find func(int) int
-	find = func(x int) int {
-		for parent[x] != x {
-			parent[x] = parent[parent[x]]
-			x = parent[x]
-		}
-		return x
-	}
+	// Group column nodes: left columns are 0..a1-1, right columns
+	// a1..a1+a2-1 (aliased onto the left for self-match). Σ's RHS pairs
+	// connect the columns whose cells enforcement can identify (the
+	// fixed-universe argument needs them); LHS conjunct pairs join the
+	// dictionaries so conjunct caches get one shared ID space and the
+	// canonical (min, max) key applies.
+	g := values.NewGrouper(a1 + a2)
 	node := func(side, col int) int {
 		if side == 1 && !self {
 			return a1 + col
@@ -143,60 +70,52 @@ func newEvalCache(d *record.PairInstance, mds []compiledMD) *evalCache {
 	}
 	for i := range mds {
 		for _, p := range mds[i].rhs {
-			ra, rb := find(node(0, p[0])), find(node(1, p[1]))
-			if ra != rb {
-				parent[ra] = rb
-			}
+			g.Link(node(0, p[0]), node(1, p[1]))
+		}
+		for _, c := range mds[i].lhs {
+			g.Link(node(0, c.Left), node(1, c.Right))
 		}
 	}
 
-	ec := &evalCache{conjs: make(map[conjID]*conjCache)}
-	pools := make(map[int]*valuePool)
-	poolOf := func(side, col int) *valuePool {
-		r := find(node(side, col))
-		p, ok := pools[r]
-		if !ok {
-			p = &valuePool{ids: make(map[string]int32)}
-			pools[r] = p
+	ec := &evalCache{conjs: make(map[conjID]*values.Cache)}
+	sideDicts := func(side, arity int) []*values.Dict {
+		out := make([]*values.Dict, arity)
+		for c := range out {
+			out[c] = g.Dict(node(side, c))
 		}
-		return p
-	}
-	ec.pool[0] = make([]*valuePool, a1)
-	for c := 0; c < a1; c++ {
-		ec.pool[0][c] = poolOf(0, c)
-	}
-	ec.pool[1] = make([]*valuePool, a2)
-	for c := 0; c < a2; c++ {
-		ec.pool[1][c] = poolOf(1, c)
+		return out
 	}
 
 	// Intern the initial (and therefore complete) value universes and
-	// record each cell's id.
-	internSide := func(side int, in *record.Instance, arity int) [][]int32 {
-		vids := make([][]int32, arity)
-		for c := range vids {
-			vids[c] = make([]int32, in.Len())
-		}
-		for ti, t := range in.Tuples {
-			for c, v := range t.Values {
-				vids[c][ti] = ec.pool[side][c].intern(v)
-			}
-		}
-		return vids
+	// record each cell's ID through the columnar views.
+	var err error
+	ec.cols[0], err = d.Left.Interned(sideDicts(0, a1))
+	if err != nil {
+		panic(err) // arity mismatch is impossible for a validated pair
 	}
-	ec.vids[0] = internSide(0, d.Left, a1)
 	if self {
-		// One physical instance: the right-side view shares the left
-		// id slices, so a touched cell needs one refresh, not two.
-		ec.vids[1] = ec.vids[0]
+		// One physical instance: the right-side view shares the left ID
+		// slices, so a touched cell needs one refresh, not two.
+		ec.cols[1] = ec.cols[0]
 	} else {
-		ec.vids[1] = internSide(1, d.Right, a2)
+		ec.cols[1], err = d.Right.Interned(sideDicts(1, a2))
+		if err != nil {
+			panic(err)
+		}
+	}
+	for side, cols := range ec.cols {
+		ec.vids[side] = make([][]values.ID, cols.Arity())
+		for c := 0; c < cols.Arity(); c++ {
+			ec.vids[side][c] = cols.Column(c)
+		}
 	}
 
-	// Matrices for the distinct non-encodable conjuncts.
+	// Verdict caches for the distinct non-encodable conjuncts. The
+	// value universes are final here, so the caches use the fixed 2-bit
+	// matrix backend; conjuncts whose universes multiply out beyond the
+	// cap (nil cache) evaluate uncached.
 	for i := range mds {
-		for ci := range mds[i].lhs {
-			c := mds[i].lhs[ci]
+		for _, c := range mds[i].lhs {
 			if _, encodable := seedEncoder(c.Op); encodable {
 				continue
 			}
@@ -204,26 +123,99 @@ func newEvalCache(d *record.PairInstance, mds []compiledMD) *evalCache {
 			if _, ok := ec.conjs[id]; ok {
 				continue
 			}
-			ec.conjs[id] = newConjCache(len(ec.pool[0][c.Left].ids), len(ec.pool[1][c.Right].ids))
+			ec.conjs[id] = values.NewFixedCache(c.Op, ec.dict(0, c.Left), ec.dict(1, c.Right), 0)
 		}
 	}
 	return ec
 }
 
-// caches returns the per-conjunct cache slice aligned with cm.lhs (nil
-// entries evaluate uncached).
-func (ec *evalCache) caches(cm *compiledMD) []*conjCache {
-	out := make([]*conjCache, len(cm.lhs))
+// dict returns the dictionary of one side's column.
+func (ec *evalCache) dict(side, col int) *values.Dict { return ec.cols[side].Dict(col) }
+
+// conjKind discriminates the compiled evaluation strategies of one LHS
+// conjunct over the interned store.
+type conjKind uint8
+
+const (
+	kindEq     conjKind = iota // equality: integer ID comparison
+	kindSdx                    // Soundex equivalence: interned code IDs
+	kindCached                 // memoized through a values.Cache
+	kindDirect                 // evaluate the operator on raw strings
+)
+
+// conjExec is one LHS conjunct compiled against the interned store: the
+// column ID slices hoisted, the strategy resolved. lids/rids alias the
+// store's per-cell ID slices, which are refreshed in place, so a
+// conjExec never goes stale.
+type conjExec struct {
+	kind       conjKind
+	lcol, rcol int
+	lids, rids []values.ID
+	dict       *values.Dict // kindSdx: the shared dictionary
+	cache      *values.Cache
+	op         similarity.Operator // kindDirect fallback
+}
+
+// compileConjuncts resolves a compiled MD's LHS against the store.
+func (ec *evalCache) compileConjuncts(cm *compiledMD) []conjExec {
+	out := make([]conjExec, len(cm.lhs))
 	for i, c := range cm.lhs {
-		if _, encodable := seedEncoder(c.Op); encodable {
-			continue
+		ce := conjExec{
+			lcol: c.Left, rcol: c.Right,
+			lids: ec.vids[0][c.Left], rids: ec.vids[1][c.Right],
+			op: c.Op,
 		}
-		out[i] = ec.conjs[conjID{lcol: c.Left, rcol: c.Right, op: c.Op.Name()}]
+		switch {
+		case similarity.IsEq(c.Op):
+			ce.kind = kindEq
+		case c.Op.Name() == "soundex":
+			ce.kind = kindSdx
+			ce.dict = ec.dict(0, c.Left)
+		default:
+			if cc := ec.conjs[conjID{lcol: c.Left, rcol: c.Right, op: c.Op.Name()}]; cc != nil {
+				ce.kind = kindCached
+				ce.cache = cc
+			} else {
+				ce.kind = kindDirect
+			}
+		}
+		out[i] = ce
 	}
 	return out
 }
 
-// cellChanged refreshes the interned id of a touched cell.
+// rhsExec is a compiled RHS pair: the hoisted ID slices of both
+// columns, comparable directly because RHS-paired columns always share
+// a dictionary.
+type rhsExec struct {
+	lids, rids []values.ID
+}
+
+func (ec *evalCache) compileRHS(cm *compiledMD) []rhsExec {
+	out := make([]rhsExec, len(cm.rhs))
+	for i, p := range cm.rhs {
+		out[i] = rhsExec{lids: ec.vids[0][p[0]], rids: ec.vids[1][p[1]]}
+	}
+	return out
+}
+
+// cellChanged refreshes the interned ID of a touched cell. The chase
+// only moves existing values between cells, so the value is always
+// already interned (SetKnown panics otherwise rather than silently
+// corrupting the fixed-size caches).
 func (ec *evalCache) cellChanged(side, col, tupleIdx int, v string) {
-	ec.vids[side][col][tupleIdx] = ec.pool[side][col].lookup(v)
+	ec.cols[side].SetKnown(col, tupleIdx, v)
+}
+
+// operatorEvaluations sums the actual operator calls performed by the
+// verdict caches (the worklist adds them to Stats.LHSEvaluations once,
+// at the end of the run).
+func (ec *evalCache) operatorEvaluations() int64 {
+	var total int64
+	for _, c := range ec.conjs {
+		if c != nil {
+			total += c.Evaluations()
+		}
+	}
+	return total
 }

@@ -2,9 +2,7 @@ package semantics
 
 import (
 	"fmt"
-	"strings"
 
-	"mdmatch/internal/blocking"
 	"mdmatch/internal/core"
 	"mdmatch/internal/exec"
 	"mdmatch/internal/metrics"
@@ -28,25 +26,29 @@ type compiledMD struct {
 	seeds []seedField
 }
 
-// seedField is one component of an MD's candidate join key.
+// seedField is one component of an MD's candidate join key: over the
+// interned store it encodes to the cell's value ID (equality) or the
+// value's interned Soundex code ID (sdx).
 type seedField struct {
 	lcol, rcol int
-	enc        func(string) string // nil = raw value (equality)
+	sdx        bool
 }
 
 // seedEncoder reports whether op admits exact hash-partitioning: an
-// encoder enc with op.Similar(a, b) ⟺ enc(a) == enc(b). Equality
-// partitions on the raw value; Soundex equivalence partitions on the
-// Soundex code. Thresholded similarity metrics (dl, jaro, ...) do not
-// induce equivalence relations and cannot be seeded this way.
-func seedEncoder(op similarity.Operator) (func(string) string, bool) {
+// encoding with op.Similar(a, b) ⟺ enc(a) == enc(b). Equality
+// partitions on the raw value (= the value ID of the shared
+// dictionary); Soundex equivalence partitions on the Soundex code
+// (= the interned code ID). Thresholded similarity metrics (dl, jaro,
+// ...) do not induce equivalence relations and cannot be seeded this
+// way. The sdx result distinguishes the two encodings.
+func seedEncoder(op similarity.Operator) (sdx, ok bool) {
 	switch op.Name() {
 	case similarity.EqName:
-		return nil, true
+		return false, true
 	case "soundex":
-		return similarity.Soundex, true
+		return true, true
 	}
-	return nil, false
+	return false, false
 }
 
 // compileMD resolves an MD against the context for positional
@@ -59,9 +61,9 @@ func compileMD(ctx schema.Pair, md core.MD) (compiledMD, error) {
 	var cm compiledMD
 	var rest []exec.Conjunct
 	for _, c := range lhs {
-		if enc, ok := seedEncoder(c.Op); ok {
+		if sdx, ok := seedEncoder(c.Op); ok {
 			cm.lhs = append(cm.lhs, c)
-			cm.seeds = append(cm.seeds, seedField{lcol: c.Left, rcol: c.Right, enc: enc})
+			cm.seeds = append(cm.seeds, seedField{lcol: c.Left, rcol: c.Right, sdx: sdx})
 		} else {
 			rest = append(rest, c)
 		}
@@ -121,34 +123,4 @@ func (cm *compiledMD) rhsEqual(left, right []string) bool {
 		}
 	}
 	return true
-}
-
-// leftKey renders the candidate join key of a left-side value slice over
-// the MD's encodable conjuncts (escaped like all blocking keys).
-func (cm *compiledMD) leftKey(vals []string) string {
-	return cm.seedKey(vals, true)
-}
-
-// rightKey renders the candidate join key of a right-side value slice.
-func (cm *compiledMD) rightKey(vals []string) string {
-	return cm.seedKey(vals, false)
-}
-
-func (cm *compiledMD) seedKey(vals []string, left bool) string {
-	var b strings.Builder
-	for i, s := range cm.seeds {
-		if i > 0 {
-			b.WriteByte('\x1f')
-		}
-		col := s.rcol
-		if left {
-			col = s.lcol
-		}
-		v := vals[col]
-		if s.enc != nil {
-			v = s.enc(v)
-		}
-		blocking.AppendKeyField(&b, v)
-	}
-	return b.String()
 }

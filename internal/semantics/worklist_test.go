@@ -9,6 +9,7 @@ import (
 	"mdmatch/internal/record"
 	"mdmatch/internal/schema"
 	"mdmatch/internal/semantics/seedref"
+	"mdmatch/internal/similarity"
 )
 
 // The equivalence property tests validate the worklist chase against
@@ -164,4 +165,31 @@ func TestWorklistCountersReported(t *testing.T) {
 	if s.RuleFirings != int64(res.Applications) {
 		t.Errorf("RuleFirings = %d, want %d", s.RuleFirings, res.Applications)
 	}
+}
+
+// TestWorklistMidRowLeftTouch is the regression test for a scan-order
+// bug in the dense filtered scan: a firing that touches the *current*
+// left row mid-row must widen the row filter for the remaining cells
+// of that very row (the reference loop's per-cell check sees it), not
+// only for later rows. With the row filter hoisted to row level, this
+// instance needed an extra pass: the (L0, R1) visit after the (L0, R0)
+// firing was deferred although the seed chase performs it in-pass.
+func TestWorklistMidRowLeftTouch(t *testing.T) {
+	left := schema.MustStrings("l", "a", "b")
+	right := schema.MustStrings("r", "a", "b")
+	ctx := schema.MustPair(left, right)
+	md := core.MustMD(ctx,
+		[]core.Conjunct{core.C("a", similarity.DL(0.8), "a")},
+		[]core.AttrPair{core.P("b", "b")})
+	li := record.NewInstance(left)
+	li.MustAppend("aaaaa", "bbbbb")
+	li.MustAppend("aaabb", "zzzzz")
+	ri := record.NewInstance(right)
+	ri.MustAppend("aaaab", "bbbbb")
+	ri.MustAppend("aaaac", "bbbbb")
+	d, err := record.NewPairInstance(ctx, li, ri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalence(t, "mid-row-left-touch", d, []core.MD{md})
 }

@@ -53,32 +53,19 @@ func (o funcOp) Similar(a, b string) bool {
 
 // DL returns the paper's thresholded Damerau–Levenshtein operator ≈θ:
 // v ≈θ v′ iff dl(v, v′) ≤ (1−θ)·max(|v|, |v′|)  (Section 6.2, θ=0.8 in
-// all paper experiments). Equivalently NormalizedDL(v,v′) ≥ θ.
+// all paper experiments). Equivalently NormalizedDL(v,v′) ≥ θ. The
+// operator decides the threshold through the filtered banded evaluator
+// (see editOp): length filter, diagonal band, row-min early exit — all
+// exact for the threshold decision — and implements RuneSimilar for the
+// interned value store.
 func DL(theta float64) Operator {
-	return funcOp{
-		name:  fmt.Sprintf("dl(%.2f)", theta),
-		score: NormalizedDL,
-		min:   theta,
-	}
+	return editOp{name: fmt.Sprintf("dl(%.2f)", theta), theta: theta, transpositions: true}
 }
 
-// Lev returns a thresholded normalized-Levenshtein operator.
+// Lev returns a thresholded normalized-Levenshtein operator with the
+// same filtered banded evaluation as DL (minus transpositions).
 func Lev(theta float64) Operator {
-	return funcOp{
-		name: fmt.Sprintf("lev(%.2f)", theta),
-		score: func(a, b string) float64 {
-			la, lb := len([]rune(a)), len([]rune(b))
-			m := la
-			if lb > m {
-				m = lb
-			}
-			if m == 0 {
-				return 1
-			}
-			return 1 - float64(Levenshtein(a, b))/float64(m)
-		},
-		min: theta,
-	}
+	return editOp{name: fmt.Sprintf("lev(%.2f)", theta), theta: theta}
 }
 
 // JaroOp returns a thresholded Jaro operator.

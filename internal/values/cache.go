@@ -1,0 +1,205 @@
+package values
+
+import (
+	"mdmatch/internal/similarity"
+)
+
+// DefaultMaxCombos caps a fixed verdict matrix's size (2 bits per
+// combo: 1<<26 combos = 16 MiB). Conjuncts whose value universes
+// multiply out beyond the cap evaluate uncached (NewFixedCache returns
+// nil).
+const DefaultMaxCombos = int64(1) << 26
+
+// MapMaxEntries caps the growable map backend. Live dictionaries (a
+// serving engine's query side) can pair |stored values| × |query
+// values| distinct combinations over time; beyond the cap, new
+// verdicts are recomputed instead of stored, bounding a long-lived
+// cache to roughly tens of MB while keeping every already-cached pair
+// fast.
+const MapMaxEntries = 1 << 20
+
+// Cache memoizes one similarity operator's verdicts over the value IDs
+// of a dictionary pair. Verdicts are pure functions of the two values,
+// so memoization can never change an outcome — only the number of
+// operator evaluations.
+//
+// When both sides intern into one shared dictionary the key is the
+// canonical (min, max) ID pair: sound because operators are symmetric,
+// and reflexivity short-circuits equal IDs to true without touching the
+// cache. With distinct dictionaries the key is the plain (left, right)
+// pair.
+//
+// Two backends exist: a fixed 2-bit triangular/rectangular matrix for
+// finalized dictionaries (the chase's fixed value universe — two array
+// reads per hit), and a growable map for dictionaries that keep
+// interning (the serving engine). A Cache is not safe for concurrent
+// use; concurrent callers must hold their own lock.
+type Cache struct {
+	op          similarity.Operator
+	rop         similarity.RuneSimilar // non-nil: evaluate on decoded runes
+	left, right *Dict
+	shared      bool
+
+	// fixed matrix backend (2 bits per combo: known flag, verdict)
+	bits   []uint64
+	stride int64 // rectangular: right size; 0 selects the map backend
+	tri    bool
+
+	// growable map backend
+	m map[uint64]bool
+
+	evals int64
+}
+
+// NewCache builds a map-backed cache usable with dictionaries that keep
+// growing.
+func NewCache(op similarity.Operator, left, right *Dict) *Cache {
+	c := newCache(op, left, right)
+	c.m = make(map[uint64]bool)
+	return c
+}
+
+// NewFixedCache builds a matrix-backed cache over the dictionaries'
+// current contents, which must be final (IDs interned later index out
+// of range). maxCombos <= 0 selects DefaultMaxCombos; when the universe
+// product exceeds the cap, nil is returned and the caller should
+// evaluate uncached.
+func NewFixedCache(op similarity.Operator, left, right *Dict, maxCombos int64) *Cache {
+	if maxCombos <= 0 {
+		maxCombos = DefaultMaxCombos
+	}
+	c := newCache(op, left, right)
+	var combos int64
+	if c.shared {
+		n := int64(left.Len())
+		combos = n * (n + 1) / 2
+		c.tri = true
+	} else {
+		combos = int64(left.Len()) * int64(right.Len())
+		c.stride = int64(right.Len())
+	}
+	if combos == 0 || combos > maxCombos {
+		return nil
+	}
+	c.bits = make([]uint64, (2*combos+63)/64)
+	if !c.tri && c.stride == 0 {
+		c.stride = 1 // unreachable (combos == 0 above), defensive
+	}
+	return c
+}
+
+func newCache(op similarity.Operator, left, right *Dict) *Cache {
+	c := &Cache{op: op, left: left, right: right, shared: left == right}
+	if r, ok := op.(similarity.RuneSimilar); ok {
+		c.rop = r
+	}
+	return c
+}
+
+// offset maps a canonicalized ID pair to its bit offset in the matrix.
+func (c *Cache) offset(a, b ID) int64 {
+	if c.tri {
+		return (int64(b)*(int64(b)+1)/2 + int64(a)) * 2
+	}
+	return (int64(a)*c.stride + int64(b)) * 2
+}
+
+// Similar returns the memoized verdict of the operator on the two
+// values, evaluating it on the first encounter of the (canonicalized)
+// pair.
+func (c *Cache) Similar(a, b ID) bool {
+	if c.shared {
+		if a == b {
+			return true // reflexivity: no cache slot needed
+		}
+		if a > b {
+			a, b = b, a // symmetry: canonical (min, max) key
+		}
+	}
+	if c.bits != nil {
+		off := c.offset(a, b)
+		w := c.bits[off>>6] >> uint(off&63)
+		if w&1 != 0 {
+			return w&2 != 0
+		}
+		verdict := c.eval(a, b)
+		m := uint64(1) << uint(off&63)
+		if verdict {
+			m |= m << 1
+		}
+		c.bits[off>>6] |= m
+		return verdict
+	}
+	key := uint64(a)<<32 | uint64(b)
+	if verdict, ok := c.m[key]; ok {
+		return verdict
+	}
+	verdict := c.eval(a, b)
+	if len(c.m) < MapMaxEntries {
+		c.m[key] = verdict
+	}
+	return verdict
+}
+
+// Store records a verdict computed elsewhere (canonicalizing the key
+// like Similar). Concurrent callers use it to evaluate the operator
+// outside their write lock and only lock for the store; storing a
+// reflexive pair or re-storing an existing key is a no-op.
+func (c *Cache) Store(a, b ID, verdict bool) {
+	if c.shared {
+		if a == b {
+			return
+		}
+		if a > b {
+			a, b = b, a
+		}
+	}
+	if c.bits != nil {
+		off := c.offset(a, b)
+		m := uint64(1) << uint(off&63)
+		if verdict {
+			m |= m << 1
+		}
+		c.bits[off>>6] |= m
+		return
+	}
+	if len(c.m) < MapMaxEntries {
+		c.m[uint64(a)<<32|uint64(b)] = verdict
+	}
+}
+
+// Peek returns the cached verdict without evaluating on a miss. It
+// performs no writes, so concurrent callers may Peek under a read lock
+// and fall back to Similar under the write lock.
+func (c *Cache) Peek(a, b ID) (verdict, known bool) {
+	if c.shared {
+		if a == b {
+			return true, true
+		}
+		if a > b {
+			a, b = b, a
+		}
+	}
+	if c.bits != nil {
+		off := c.offset(a, b)
+		w := c.bits[off>>6] >> uint(off&63)
+		return w&2 != 0, w&1 != 0
+	}
+	verdict, known = c.m[uint64(a)<<32|uint64(b)]
+	return verdict, known
+}
+
+func (c *Cache) eval(a, b ID) bool {
+	c.evals++
+	if c.rop != nil {
+		return c.rop.SimilarRunes(c.left.Runes(a), c.right.Runes(b))
+	}
+	return c.op.Similar(c.left.Value(a), c.right.Value(b))
+}
+
+// Evaluations returns the number of actual operator evaluations (cache
+// misses) performed so far.
+func (c *Cache) Evaluations() int64 { return c.evals }
+
+// Op returns the cached operator.
+func (c *Cache) Op() similarity.Operator { return c.op }

@@ -1,0 +1,72 @@
+package values
+
+import "fmt"
+
+// Columns is the interned columnar view of a relation instance: one
+// dictionary per column — possibly shared between columns whose values
+// the chase or a rule set compares or exchanges — and one ID per cell,
+// column-major so a scan over one column walks contiguous memory.
+type Columns struct {
+	dicts []*Dict
+	ids   [][]ID
+	rows  int
+}
+
+// NewColumns builds an empty columnar view over the given per-column
+// dictionaries (entries may repeat to share a dictionary; none may be
+// nil).
+func NewColumns(dicts []*Dict) *Columns {
+	for i, d := range dicts {
+		if d == nil {
+			panic(fmt.Sprintf("values: nil dictionary for column %d", i))
+		}
+	}
+	c := &Columns{dicts: dicts, ids: make([][]ID, len(dicts))}
+	return c
+}
+
+// Arity returns the number of columns.
+func (c *Columns) Arity() int { return len(c.dicts) }
+
+// Len returns the number of rows.
+func (c *Columns) Len() int { return c.rows }
+
+// Dict returns the dictionary of a column.
+func (c *Columns) Dict(col int) *Dict { return c.dicts[col] }
+
+// Column returns the ID slice of a column (one entry per row). Callers
+// must not mutate it.
+func (c *Columns) Column(col int) []ID { return c.ids[col] }
+
+// AppendRow interns a positional value row.
+func (c *Columns) AppendRow(vals []string) {
+	if len(vals) != len(c.dicts) {
+		panic(fmt.Sprintf("values: row has %d values, want %d", len(vals), len(c.dicts)))
+	}
+	for i, v := range vals {
+		c.ids[i] = append(c.ids[i], c.dicts[i].Intern(v))
+	}
+	c.rows++
+}
+
+// Set re-interns one cell after its value changed, growing the
+// dictionary when the value is new.
+func (c *Columns) Set(col, row int, v string) {
+	c.ids[col][row] = c.dicts[col].Intern(v)
+}
+
+// SetKnown rewrites one cell to an already-interned value. It panics
+// when v was never interned into the column's dictionary: callers with
+// a fixed value universe — the enforcement chase only ever moves
+// existing values between cells — use it to keep fixed-size verdict
+// caches sound, turning a silently corrupted cache into a loud failure.
+func (c *Columns) SetKnown(col, row int, v string) {
+	id, ok := c.dicts[col].Lookup(v)
+	if !ok {
+		panic(fmt.Sprintf("values: column %d cell rewritten to uninterned value %q", col, v))
+	}
+	c.ids[col][row] = id
+}
+
+// ID returns the interned ID of one cell.
+func (c *Columns) ID(col, row int) ID { return c.ids[col][row] }

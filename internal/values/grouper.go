@@ -1,0 +1,52 @@
+package values
+
+// Grouper carves a set of column nodes into dictionary groups: columns
+// linked directly or transitively — because a conjunct compares them,
+// or because enforcement can move values between them — end up sharing
+// one Dict, which is what makes ID equality mean string equality across
+// a conjunct and the (min, max) cache key sound. Both the chase
+// (internal/semantics) and the program interner (internal/exec) build
+// their column layouts through it.
+type Grouper struct {
+	parent []int
+	dicts  map[int]*Dict
+}
+
+// NewGrouper builds a grouper over n column nodes, each initially its
+// own group.
+func NewGrouper(n int) *Grouper {
+	g := &Grouper{parent: make([]int, n), dicts: make(map[int]*Dict)}
+	for i := range g.parent {
+		g.parent[i] = i
+	}
+	return g
+}
+
+func (g *Grouper) find(x int) int {
+	for g.parent[x] != x {
+		g.parent[x] = g.parent[g.parent[x]] // path halving
+		x = g.parent[x]
+	}
+	return x
+}
+
+// Link merges the groups of two column nodes. All Link calls must
+// precede the first Dict call.
+func (g *Grouper) Link(a, b int) {
+	ra, rb := g.find(a), g.find(b)
+	if ra != rb {
+		g.parent[ra] = rb
+	}
+}
+
+// Dict returns the shared dictionary of the node's group, creating it
+// on first use. Nodes of one group always get the same *Dict.
+func (g *Grouper) Dict(node int) *Dict {
+	r := g.find(node)
+	d, ok := g.dicts[r]
+	if !ok {
+		d = NewDict()
+		g.dicts[r] = d
+	}
+	return d
+}

@@ -1,0 +1,46 @@
+package values
+
+import "strings"
+
+// Blocking keys join encoded field values with a separator byte.
+// Encoded values may themselves contain the separator (nothing stops an
+// encoder — or raw data — from emitting \x1f), which would alias
+// distinct keys: ("a\x1fb", "c") and ("a", "b\x1fc") must not collide.
+// Field values are therefore escaped, making the rendering injective.
+// The escaping lives here, in the leaf package of the value layer, so
+// both the string path (internal/blocking) and the interned path (Dict
+// key fragments, internal/exec key encoders) share one definition.
+const (
+	// KeySep is the unit separator between encoded key fields.
+	KeySep = '\x1f'
+	// KeyEsc is the escape prefix for literal KeySep/KeyEsc bytes.
+	KeyEsc = '\x1c'
+)
+
+// AppendKeyField writes one encoded field value into a key builder,
+// escaping the separator and escape bytes so that distinct field tuples
+// always render to distinct key strings.
+func AppendKeyField(b *strings.Builder, s string) {
+	if !strings.ContainsAny(s, "\x1c\x1f") {
+		b.WriteString(s) // fast path: nothing to escape
+		return
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == KeyEsc || c == KeySep {
+			b.WriteByte(KeyEsc)
+		}
+		b.WriteByte(c)
+	}
+}
+
+// EscapeKeyField returns the escaped form of one field value. When
+// nothing needs escaping the input string is returned as-is (no copy).
+func EscapeKeyField(s string) string {
+	if !strings.ContainsAny(s, "\x1c\x1f") {
+		return s
+	}
+	var b strings.Builder
+	AppendKeyField(&b, s)
+	return b.String()
+}

@@ -1,0 +1,135 @@
+// Package values is the interned value store: the data representation
+// every hot path of the library reads.
+//
+// The enforcement and matching algorithms of the paper evaluate
+// similarity predicates v ≈ v′ over attribute *values*, yet a naive
+// executor re-evaluates them over raw strings per tuple pair. Real
+// corpora have far fewer distinct values than tuples — duplicates share
+// values by construction — so the standard similarity-join trick
+// applies: intern every string of a column to a dense uint32 ID once,
+// precompute the derived forms a value needs (rune slice and length for
+// edit distances, interned Soundex code for phonetic tests), and
+// memoize each similarity operator as a verdict cache keyed by value-ID
+// pairs instead of tuple pairs. The package also owns the blocking-key
+// field escaping (keys.go) every key-rendering layer shares.
+//
+// The cache key is canonical: operators satisfy the paper's generic
+// axioms (reflexivity, symmetry, equality subsumption — property-tested
+// in axioms_test.go), so for IDs of one shared dictionary the verdict of
+// (a, b) equals the verdict of (min(a,b), max(a,b)) and half the key
+// space suffices. Reflexivity makes a == b a cache-free true; equality
+// subsumption makes the equality operator a plain integer comparison.
+//
+// A Dict is NOT safe for concurrent use; concurrent layers (the serving
+// engine) guard their dictionaries and caches with their own locks.
+package values
+
+import (
+	"mdmatch/internal/similarity"
+)
+
+// ID is a dense dictionary-assigned value identifier. IDs are only
+// comparable within one Dict: equal IDs mean equal strings, and the
+// equality operator over a shared dictionary is ID equality.
+type ID uint32
+
+// None is the sentinel for "not interned" (Lookup misses).
+const None ID = ^ID(0)
+
+// MaxValues caps a dictionary's size so IDs stay clear of None.
+const MaxValues = int(^uint32(0)) - 1
+
+// Dict interns the distinct values of one column (or of one group of
+// columns that exchange values) to dense IDs and owns their derived
+// forms, each computed at most once per distinct value:
+//
+//   - the decoded rune slice and rune length (edit-distance operators);
+//   - the Soundex code, itself interned so phonetic equivalence is an
+//     integer comparison.
+type Dict struct {
+	ids  map[string]ID
+	strs []string
+
+	runes   [][]rune // lazily decoded; runeLen[i] < 0 means undecoded
+	runeLen []int32
+	sdx     []int32 // lazily computed Soundex code id; -1 means uncomputed
+	codes   map[string]int32
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{ids: make(map[string]ID)}
+}
+
+// Len returns the number of distinct interned values.
+func (d *Dict) Len() int { return len(d.strs) }
+
+// Intern returns the ID of v, assigning the next dense ID on first
+// sight. It panics when the dictionary would exceed MaxValues.
+func (d *Dict) Intern(v string) ID {
+	if id, ok := d.ids[v]; ok {
+		return id
+	}
+	if len(d.strs) >= MaxValues {
+		panic("values: dictionary overflow")
+	}
+	id := ID(len(d.strs))
+	d.ids[v] = id
+	d.strs = append(d.strs, v)
+	d.runes = append(d.runes, nil)
+	d.runeLen = append(d.runeLen, -1)
+	d.sdx = append(d.sdx, -1)
+	return id
+}
+
+// Lookup returns the ID of v, or (None, false) when v was never
+// interned.
+func (d *Dict) Lookup(v string) (ID, bool) {
+	id, ok := d.ids[v]
+	if !ok {
+		return None, false
+	}
+	return id, true
+}
+
+// Value returns the string behind an ID.
+func (d *Dict) Value(id ID) string { return d.strs[id] }
+
+// Runes returns the decoded rune slice of the value, computing it on
+// first use. Callers must not mutate the result.
+func (d *Dict) Runes(id ID) []rune {
+	if d.runeLen[id] < 0 {
+		d.runes[id] = []rune(d.strs[id])
+		d.runeLen[id] = int32(len(d.runes[id]))
+	}
+	return d.runes[id]
+}
+
+// RuneLen returns the value's length in runes, computing the decoded
+// form on first use.
+func (d *Dict) RuneLen(id ID) int {
+	if d.runeLen[id] < 0 {
+		d.Runes(id)
+	}
+	return int(d.runeLen[id])
+}
+
+// SoundexID returns the interned Soundex code of the value: two values
+// of one dictionary have equal Soundex codes iff their SoundexIDs are
+// equal. The code is computed once per distinct value.
+func (d *Dict) SoundexID(id ID) int32 {
+	if d.sdx[id] >= 0 {
+		return d.sdx[id]
+	}
+	code := similarity.Soundex(d.strs[id])
+	if d.codes == nil {
+		d.codes = make(map[string]int32)
+	}
+	ci, ok := d.codes[code]
+	if !ok {
+		ci = int32(len(d.codes))
+		d.codes[code] = ci
+	}
+	d.sdx[id] = ci
+	return ci
+}

@@ -1,0 +1,135 @@
+package values
+
+import (
+	"strings"
+	"testing"
+
+	"mdmatch/internal/similarity"
+)
+
+func TestDictInternDerivedForms(t *testing.T) {
+	d := NewDict()
+	a := d.Intern("Clifford")
+	if got := d.Intern("Clifford"); got != a {
+		t.Fatalf("re-intern = %d, want %d", got, a)
+	}
+	b := d.Intern("Cliffórd")
+	if a == b {
+		t.Fatal("distinct values share an ID")
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+	if d.Value(a) != "Clifford" || d.Value(b) != "Cliffórd" {
+		t.Fatal("Value round-trip broken")
+	}
+	if got := d.RuneLen(b); got != 8 {
+		t.Fatalf("RuneLen(%q) = %d, want 8", "Cliffórd", got)
+	}
+	if got := string(d.Runes(a)); got != "Clifford" {
+		t.Fatalf("Runes = %q", got)
+	}
+	if _, ok := d.Lookup("nope"); ok {
+		t.Fatal("Lookup invented an ID")
+	}
+	if id, ok := d.Lookup("Clifford"); !ok || id != a {
+		t.Fatal("Lookup missed an interned value")
+	}
+}
+
+func TestDictSoundexID(t *testing.T) {
+	d := NewDict()
+	a, b, c := d.Intern("Robert"), d.Intern("Rupert"), d.Intern("Ashcraft")
+	if d.SoundexID(a) != d.SoundexID(b) {
+		t.Fatalf("Soundex(%q) and %q should agree (%q vs %q)", "Robert", "Rupert",
+			similarity.Soundex("Robert"), similarity.Soundex("Rupert"))
+	}
+	if d.SoundexID(a) == d.SoundexID(c) {
+		t.Fatal("distinct Soundex codes share an ID")
+	}
+	// ID equality must mirror code-string equality on every pair.
+	for _, x := range []ID{a, b, c} {
+		for _, y := range []ID{a, b, c} {
+			want := similarity.Soundex(d.Value(x)) == similarity.Soundex(d.Value(y))
+			if got := d.SoundexID(x) == d.SoundexID(y); got != want {
+				t.Fatalf("SoundexID equality (%q, %q) = %v, want %v", d.Value(x), d.Value(y), got, want)
+			}
+		}
+	}
+}
+
+func TestKeyFieldEscaping(t *testing.T) {
+	if got := EscapeKeyField("plain value"); got != "plain value" {
+		t.Fatalf("clean field = %q", got)
+	}
+	if got := EscapeKeyField("a\x1fb\x1cc"); got == "a\x1fb\x1cc" {
+		t.Fatal("dirty field was not escaped")
+	}
+	// Injectivity across field joins: the classic aliasing pair.
+	var b1, b2 strings.Builder
+	AppendKeyField(&b1, "a\x1fb")
+	b1.WriteByte(KeySep)
+	AppendKeyField(&b1, "c")
+	AppendKeyField(&b2, "a")
+	b2.WriteByte(KeySep)
+	AppendKeyField(&b2, "b\x1fc")
+	if b1.String() == b2.String() {
+		t.Fatal("escaping failed: distinct field tuples render identically")
+	}
+}
+
+func TestColumns(t *testing.T) {
+	name, city := NewDict(), NewDict()
+	cols := NewColumns([]*Dict{name, city, name}) // columns 0 and 2 share a dict
+	cols.AppendRow([]string{"Ann", "Berlin", "Bob"})
+	cols.AppendRow([]string{"Bob", "Paris", "Ann"})
+	if cols.Len() != 2 || cols.Arity() != 3 {
+		t.Fatalf("Len/Arity = %d/%d", cols.Len(), cols.Arity())
+	}
+	if cols.ID(0, 1) != cols.ID(2, 0) {
+		t.Fatal("shared dictionary: equal values must share IDs across columns")
+	}
+	if cols.ID(0, 0) == cols.ID(0, 1) {
+		t.Fatal("distinct values share an ID")
+	}
+	cols.Set(1, 0, "Paris")
+	if cols.ID(1, 0) != cols.ID(1, 1) {
+		t.Fatal("Set did not re-intern the cell")
+	}
+	if cols.Dict(0) != name || cols.Dict(1) != city {
+		t.Fatal("Dict accessor broken")
+	}
+	if got := len(cols.Column(0)); got != 2 {
+		t.Fatalf("Column length = %d", got)
+	}
+}
+
+func BenchmarkCacheSimilar(b *testing.B) {
+	d := NewDict()
+	vals := []string{"Clifford", "Cliford", "Murray Hill", "Murray", "10 Oak Street", "11 Oak St"}
+	ids := make([]ID, len(vals))
+	for i, v := range vals {
+		ids[i] = d.Intern(v)
+	}
+	op := similarity.DL(0.8)
+	b.Run("fixed_hit", func(b *testing.B) {
+		c := NewFixedCache(op, d, d, 0)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Similar(ids[i%len(ids)], ids[(i+1)%len(ids)])
+		}
+	})
+	b.Run("map_hit", func(b *testing.B) {
+		c := NewCache(op, d, d)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Similar(ids[i%len(ids)], ids[(i+1)%len(ids)])
+		}
+	})
+	b.Run("uncached_op", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			op.Similar(vals[i%len(vals)], vals[(i+1)%len(vals)])
+		}
+	})
+}
