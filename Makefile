@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-exec vet clean
+.PHONY: build test bench bench-exec bench-stream vet docs-check clean
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,22 @@ bench:
 bench-exec:
 	BENCH_EXEC_OUT=$(CURDIR)/BENCH_exec.json $(GO) test -run TestWriteExecBenchReport -count=1 -timeout 60m -v .
 	@cat BENCH_exec.json
+
+# bench-stream measures streaming-enforcement latency: per-insert cost
+# of the incremental chase (internal/stream) across dataset sizes, for
+# the full dedup rule set and the blockable-only subset, against the
+# full-re-chase alternative, with batch-vs-stream bit-identity flags.
+# Recorded in BENCH_stream.json. BENCH_STREAM_K overrides the largest
+# corpus scale (default 2000 holders).
+bench-stream:
+	BENCH_STREAM_OUT=$(CURDIR)/BENCH_stream.json $(GO) test -run TestWriteStreamBenchReport -count=1 -timeout 30m -v ./internal/stream/
+	@cat BENCH_stream.json
+
+# docs-check verifies the documentation layer: formatting, vet, a
+# package comment on every package, and resolvable relative links in
+# the markdown docs.
+docs-check: vet
+	$(GO) run ./cmd/docscheck
 
 clean:
 	$(GO) clean ./...

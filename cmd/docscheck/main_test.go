@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepoIsClean runs both checks against the repository itself: the
+// CI docs job must never be the first place a violation shows up.
+func TestRepoIsClean(t *testing.T) {
+	root := "../.."
+	if problems := checkPackageComments(root); len(problems) > 0 {
+		t.Errorf("package comments: %v", problems)
+	}
+	if problems := checkMarkdownLinks(root); len(problems) > 0 {
+		t.Errorf("markdown links: %v", problems)
+	}
+}
+
+func TestDetectsViolations(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.MkdirAll(filepath.Dir(filepath.Join(dir, name)), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("undoc/x.go", "package undoc\n")
+	write("doc/x.go", "// Package doc is documented.\npackage doc\n")
+	write("notes.md", "see [good](doc/x.go), [site](https://example.com), "+
+		"[anchor](#sec), [sub](sub/ok.md#frag), and [bad](missing.md)\n")
+	write("sub/ok.md", "fine\n")
+
+	problems := checkPackageComments(dir)
+	if len(problems) != 1 || !strings.Contains(problems[0], "undoc") {
+		t.Errorf("package comments found %v, want one 'undoc' problem", problems)
+	}
+	problems = checkMarkdownLinks(dir)
+	if len(problems) != 1 || !strings.Contains(problems[0], "missing.md") {
+		t.Errorf("markdown links found %v, want one 'missing.md' problem", problems)
+	}
+}

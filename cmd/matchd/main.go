@@ -5,17 +5,27 @@
 // an engine plan with RCK-style blocking keys, and indexes the credit
 // side. It then answers matching queries for billing-shaped records.
 //
+// The credit side is additionally deduplicated ONLINE: an incremental
+// enforcement engine (internal/stream) chases the self-match dedup
+// rules (gen.DedupMDs) as records arrive, so POST /records returns the
+// new record's cluster and the rules its arrival fired, and
+// GET /clusters/{id} reports a record's current cluster and resolved
+// values. Enforcement cannot be undone, so with the enforcer attached
+// record ids are insert-once and DELETE only un-indexes a record from
+// the match side; its cluster history stays.
+//
 //	matchd -addr :8080 -k 1000
 //
 // Endpoints (JSON in/out):
 //
 //	POST   /match         {"record": {"fn": "...", ...}} or {"values": [...]}
-//	POST   /records       add/replace an indexed credit record
-//	DELETE /records/{id}  un-index a credit record
-//	GET    /stats         engine counters, reduction ratio, uptime
+//	POST   /records       add a credit record; returns cluster + applied rules
+//	DELETE /records/{id}  un-index a credit record (cluster history stays)
+//	GET    /clusters/{id} a record's cluster, members and resolved values
+//	GET    /stats         engine + enforcement counters, reduction ratio, uptime
 //	GET    /healthz       liveness
 //
-// See README.md for a curl walkthrough.
+// See docs/ARCHITECTURE.md for a curl walkthrough.
 package main
 
 import (
@@ -34,6 +44,7 @@ import (
 	"mdmatch/internal/engine"
 	"mdmatch/internal/gen"
 	"mdmatch/internal/schema"
+	"mdmatch/internal/stream"
 )
 
 func main() {
@@ -95,7 +106,17 @@ func buildServer(k int, seed int64, m, workers, shards int) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng, err := engine.New(plan, engine.WithWorkers(workers), engine.WithShards(shards))
+	dedupCtx, err := schema.NewPair(ds.Credit.Rel, ds.Credit.Rel)
+	if err != nil {
+		return nil, err
+	}
+	enf, err := stream.New(dedupCtx, gen.DedupMDs(dedupCtx),
+		stream.ClusterRules(gen.DedupClusterRules()...))
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.New(plan, engine.WithWorkers(workers), engine.WithShards(shards),
+		engine.WithStream(enf))
 	if err != nil {
 		return nil, err
 	}
@@ -125,6 +146,7 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /match", s.handleMatch)
 	mux.HandleFunc("POST /records", s.handleAddRecord)
 	mux.HandleFunc("DELETE /records/{id}", s.handleDeleteRecord)
+	mux.HandleFunc("GET /clusters/{id}", s.handleCluster)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -220,11 +242,63 @@ func (s *server) handleAddRecord(w http.ResponseWriter, r *http.Request) {
 	} else {
 		id = int(s.nextID.Add(1))
 	}
-	if err := s.eng.Add(id, vals); err != nil {
+	res, err := s.eng.AddClustered(id, vals)
+	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]int{"id": id})
+	applied := res.AppliedMDs
+	if applied == nil {
+		applied = []int{}
+	}
+	writeJSON(w, http.StatusOK, addResponse{
+		ID:           id,
+		Cluster:      res.Cluster,
+		AppliedMDs:   applied,
+		Applications: res.Applications,
+		Passes:       res.Passes,
+	})
+}
+
+// addResponse reports an ingested record: its id, the dedup cluster
+// enforcement put it in, and the chase work its arrival caused.
+type addResponse struct {
+	ID           int   `json:"id"`
+	Cluster      int   `json:"cluster"`
+	AppliedMDs   []int `json:"applied_mds"`
+	Applications int   `json:"applications"`
+	Passes       int   `json:"passes"`
+}
+
+// clusterResponse reports a record's cluster and its current (resolved)
+// values: enforcement may have grown them since ingestion.
+type clusterResponse struct {
+	Cluster int               `json:"cluster"`
+	Size    int               `json:"size"`
+	Members []int             `json:"members"`
+	Record  map[string]string `json:"record"`
+}
+
+func (s *server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad id: %w", err))
+		return
+	}
+	enf := s.eng.Stream()
+	cl, ok := enf.ClusterOf(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no record %d", id))
+		return
+	}
+	vals, _ := enf.Record(id)
+	rec := make(map[string]string, len(vals))
+	for i, name := range enf.Relation().AttrNames() {
+		rec[name] = vals[i]
+	}
+	writeJSON(w, http.StatusOK, clusterResponse{
+		Cluster: cl.ID, Size: len(cl.Members), Members: cl.Members, Record: rec,
+	})
 }
 
 func (s *server) handleDeleteRecord(w http.ResponseWriter, r *http.Request) {
@@ -242,10 +316,11 @@ func (s *server) handleDeleteRecord(w http.ResponseWriter, r *http.Request) {
 
 type statsResponse struct {
 	engine.Stats
-	ReductionRatio float64 `json:"reduction_ratio"`
-	Plan           string  `json:"plan"`
-	Workers        int     `json:"workers"`
-	UptimeSeconds  float64 `json:"uptime_seconds"`
+	ReductionRatio float64      `json:"reduction_ratio"`
+	Plan           string       `json:"plan"`
+	Workers        int          `json:"workers"`
+	UptimeSeconds  float64      `json:"uptime_seconds"`
+	Stream         stream.Stats `json:"stream"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -256,6 +331,7 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Plan:           s.eng.Plan().String(),
 		Workers:        s.eng.Workers(),
 		UptimeSeconds:  time.Since(s.started).Seconds(),
+		Stream:         s.eng.Stream().Stats(),
 	})
 }
 

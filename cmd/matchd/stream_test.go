@@ -1,0 +1,159 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"slices"
+	"strings"
+	"testing"
+)
+
+// TestServeClusterFlow drives the streaming-enforcement endpoints: an
+// ingested duplicate lands in its original's cluster, the cluster
+// endpoint reports members and resolved values, and /stats carries the
+// stream section.
+func TestServeClusterFlow(t *testing.T) {
+	srv := testServer(t)
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	// Every preloaded record answers a cluster query.
+	status, out := doJSON(t, ts, http.MethodGet, "/clusters/0", nil)
+	if status != http.StatusOK {
+		t.Fatalf("GET /clusters/0 = %d (%s)", status, out["error"])
+	}
+	var members []int
+	if err := json.Unmarshal(out["members"], &members); err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Contains(members, 0) {
+		t.Fatalf("cluster of record 0 does not contain it: %v", members)
+	}
+
+	// Ingest an exact duplicate of record 0: it must join 0's cluster
+	// and report the rules that fired.
+	var rec map[string]string
+	if s, o := doJSON(t, ts, http.MethodGet, "/clusters/0", nil); s == http.StatusOK {
+		if err := json.Unmarshal(o["record"], &rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	status, out = doJSON(t, ts, http.MethodPost, "/records", map[string]any{"record": rec})
+	if status != http.StatusOK {
+		t.Fatalf("POST /records = %d (%s)", status, out["error"])
+	}
+	var id, cluster, applications int
+	var applied []int
+	mustField := func(name string, into any) {
+		t.Helper()
+		raw, ok := out[name]
+		if !ok {
+			t.Fatalf("POST /records response lacks %q: %v", name, out)
+		}
+		if err := json.Unmarshal(raw, into); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustField("id", &id)
+	mustField("cluster", &cluster)
+	mustField("applications", &applications)
+	mustField("applied_mds", &applied)
+	// An exact duplicate (of the RESOLVED record) matches every rule but
+	// fires none — its RHS values are already equal — yet it must land
+	// in the original's cluster: cluster links follow matches.
+	if applications != 0 || len(applied) != 0 {
+		t.Logf("note: duplicate also fired rules: applications=%d applied=%v", applications, applied)
+	}
+	if cluster != 0 {
+		t.Errorf("exact duplicate of record 0 got cluster %d, want 0", cluster)
+	}
+	status, out = doJSON(t, ts, http.MethodGet, fmt.Sprintf("/clusters/%d", id), nil)
+	if status != http.StatusOK {
+		t.Fatalf("GET /clusters/%d = %d", id, status)
+	}
+	if err := json.Unmarshal(out["members"], &members); err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Contains(members, 0) || !slices.Contains(members, id) {
+		t.Fatalf("cluster members %v should contain 0 and %d", members, id)
+	}
+	var gotCluster int
+	if err := json.Unmarshal(out["cluster"], &gotCluster); err != nil {
+		t.Fatal(err)
+	}
+	if gotCluster != cluster {
+		t.Fatalf("cluster id drifted: POST said %d, GET says %d", cluster, gotCluster)
+	}
+
+	// Deleting the duplicate un-indexes it from matching but keeps the
+	// cluster history.
+	if s, _ := doJSON(t, ts, http.MethodDelete, fmt.Sprintf("/records/%d", id), nil); s != http.StatusOK {
+		t.Fatalf("DELETE /records/%d = %d", id, s)
+	}
+	if s, _ := doJSON(t, ts, http.MethodGet, fmt.Sprintf("/clusters/%d", id), nil); s != http.StatusOK {
+		t.Fatalf("GET /clusters/%d after delete = %d, cluster history should stay", id, s)
+	}
+
+	// Re-adding the same id is rejected: enforcement is insert-once.
+	status, out = doJSON(t, ts, http.MethodPost, "/records", map[string]any{"id": id, "record": rec})
+	if status != http.StatusBadRequest {
+		t.Fatalf("re-POST of id %d = %d, want 400 (%v)", id, status, out)
+	}
+
+	// Stats carry the stream section.
+	status, out = doJSON(t, ts, http.MethodGet, "/stats", nil)
+	if status != http.StatusOK {
+		t.Fatalf("GET /stats = %d", status)
+	}
+	var st struct {
+		Records      int `json:"records"`
+		Clusters     int `json:"clusters"`
+		Applications int `json:"applications"`
+	}
+	if err := json.Unmarshal(out["stream"], &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Records == 0 || st.Clusters == 0 || st.Clusters > st.Records {
+		t.Fatalf("implausible stream stats: %+v", st)
+	}
+}
+
+// TestServeClusterErrors covers the error paths of the new endpoints
+// and the malformed-body paths of the existing ones.
+func TestServeClusterErrors(t *testing.T) {
+	srv := testServer(t)
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	// Unknown record.
+	if s, _ := doJSON(t, ts, http.MethodGet, "/clusters/99999999", nil); s != http.StatusNotFound {
+		t.Errorf("unknown cluster: status %d, want 404", s)
+	}
+	// Non-numeric id.
+	if s, _ := doJSON(t, ts, http.MethodGet, "/clusters/abc", nil); s != http.StatusBadRequest {
+		t.Errorf("bad cluster id: status %d, want 400", s)
+	}
+
+	// Malformed JSON bodies.
+	for _, path := range []string{"/match", "/records"} {
+		resp, err := ts.Client().Post(ts.URL+path, "application/json", strings.NewReader("{not json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s with junk body: status %d, want 400", path, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	// Empty body (no values, no record).
+	if s, _ := doJSON(t, ts, http.MethodPost, "/records", map[string]any{}); s != http.StatusBadRequest {
+		t.Errorf("empty record payload: status %d, want 400", s)
+	}
+	// Wrong arity on ingestion.
+	if s, _ := doJSON(t, ts, http.MethodPost, "/records",
+		map[string]any{"values": []string{"a", "b"}}); s != http.StatusBadRequest {
+		t.Errorf("short record: status %d, want 400", s)
+	}
+}

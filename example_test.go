@@ -1,0 +1,132 @@
+package mdmatch_test
+
+import (
+	"fmt"
+	"log"
+
+	"mdmatch"
+)
+
+// personCtx builds a small self-match context shared by the examples.
+func personCtx() (mdmatch.Pair, *mdmatch.Relation) {
+	people, err := mdmatch.StringsRelation("people", "name", "phone", "city")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, err := mdmatch.NewPair(people, people)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ctx, people
+}
+
+// ExampleCompilePlan compiles matching keys and blocking specs into an
+// executable plan once; the plan then serves any number of engines and
+// queries.
+func ExampleCompilePlan() {
+	ctx, _ := personCtx()
+	target, err := mdmatch.NewTarget(ctx,
+		mdmatch.AttrList{"name", "phone", "city"},
+		mdmatch.AttrList{"name", "phone", "city"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	key, err := mdmatch.NewKey(ctx, target, []mdmatch.Conjunct{
+		mdmatch.C("name", mdmatch.DL(0.8), "name"),
+		mdmatch.EqC("phone", "phone"),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := mdmatch.CompilePlan(ctx,
+		[]mdmatch.Key{key},
+		[]mdmatch.KeySpec{mdmatch.NewKeySpec(mdmatch.P("phone", "phone"))})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(plan)
+	// Output:
+	// plan: 1 rules, 0 negative, 2 fields, 1 blocking keys [phone|phone]
+}
+
+// ExampleNewEngine serves matching queries: records are indexed under
+// their blocking keys, queries retrieve candidates and evaluate the
+// compiled rules.
+func ExampleNewEngine() {
+	ctx, _ := personCtx()
+	target, err := mdmatch.NewTarget(ctx,
+		mdmatch.AttrList{"name", "phone", "city"},
+		mdmatch.AttrList{"name", "phone", "city"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	key, err := mdmatch.NewKey(ctx, target, []mdmatch.Conjunct{
+		mdmatch.C("name", mdmatch.DL(0.8), "name"),
+		mdmatch.EqC("phone", "phone"),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := mdmatch.CompilePlan(ctx,
+		[]mdmatch.Key{key},
+		[]mdmatch.KeySpec{mdmatch.NewKeySpec(mdmatch.P("phone", "phone"))})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := mdmatch.NewEngine(plan, mdmatch.EngineWorkers(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Add(1, []string{"Robert Brady", "555-0100", "Lowell"}); err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Add(2, []string{"Dorothy Ramos", "555-0111", "Salem"}); err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.MatchOne([]string{"Robert Bradyy", "555-0100", "Boston"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("matches=%v candidates=%d compared=%d\n", res.Matches, res.Candidates, res.Compared)
+	// Output:
+	// matches=[1] candidates=1 compared=1
+}
+
+// ExampleNewStreamEnforcer enforces matching dependencies ONLINE:
+// records stream in, each insertion chases only the frontier the new
+// record touches, and the enforcer answers with the record's cluster.
+// Note the value resolution: record 1's truncated name grows to the
+// fuller form its cluster-mate carries.
+func ExampleNewStreamEnforcer() {
+	ctx, _ := personCtx()
+	sigma := []mdmatch.MD{}
+	md, err := mdmatch.NewMD(ctx,
+		[]mdmatch.Conjunct{mdmatch.EqC("phone", "phone")},
+		[]mdmatch.AttrPair{mdmatch.P("name", "name"), mdmatch.P("city", "city")})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sigma = append(sigma, md)
+
+	enf, err := mdmatch.NewStreamEnforcer(ctx, sigma)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := enf.Insert(1, []string{"R. Brady", "555-0100", "Lowell"}); err != nil {
+		log.Fatal(err)
+	}
+	res, err := enf.Insert(2, []string{"Robert Brady", "555-0100", "Lowell"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("record 2: cluster=%d applied=%v applications=%d\n",
+		res.Cluster, res.AppliedMDs, res.Applications)
+	vals, _ := enf.Record(1)
+	fmt.Printf("record 1 resolved: %v\n", vals)
+	cl, _ := enf.ClusterOf(2)
+	fmt.Printf("cluster %d members: %v\n", cl.ID, cl.Members)
+	// Output:
+	// record 2: cluster=1 applied=[0] applications=1
+	// record 1 resolved: [Robert Brady 555-0100 Lowell]
+	// cluster 1 members: [1 2]
+}

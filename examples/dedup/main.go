@@ -1,7 +1,19 @@
-// Merge/purge deduplication within a single relation: the classic
-// mailing-list scenario of Hernández & Stolfo [20]. Matching
-// dependencies handle this as the self-match context (R, R) — the left
-// and right copies of the relation are matched against each other.
+// Streaming merge/purge: the classic mailing-list deduplication
+// scenario of Hernández & Stolfo, run ONLINE. Records arrive one at a
+// time; an incremental enforcement engine (mdmatch.StreamEnforcer)
+// keeps the chase of Section 3.1 alive across insertions, so each
+// arrival pays only for the frontier its blocking keys touch, answers
+// with its cluster immediately, and the maintained instance is always
+// the stable instance of the data seen so far.
+//
+// The walkthrough narrates what the batch APIs hide:
+//
+//  1. every insertion reports the rules its arrival fired and the
+//     cluster the record landed in;
+//  2. enforcement RESOLVES values — a record's stored row can grow more
+//     informative after someone else's insertion;
+//  3. after the stream ends, the cluster store IS the merge/purge
+//     result: keep one record per cluster.
 //
 // Run with: go run ./examples/dedup
 package main
@@ -9,95 +21,82 @@ package main
 import (
 	"fmt"
 	"log"
+	"math/rand"
+	"strings"
 
 	"mdmatch"
 )
 
 func main() {
-	// Build a person list with duplicates from the credit side of the
-	// generator (each holder appears once clean and possibly once dirty).
+	// A person list with duplicates, from the credit side of the
+	// generator (each holder appears once clean and possibly once
+	// dirty), arriving in random order.
 	ds, err := mdmatch.GenerateDataset(mdmatch.DefaultGenConfig(1500))
 	if err != nil {
 		log.Fatal(err)
 	}
 	people := ds.Credit
-	ctx, err := mdmatch.NewPair(people.Rel, people.Rel) // self-match (R, R)
-	if err != nil {
-		log.Fatal(err)
-	}
-	d, err := mdmatch.NewPairInstance(ctx, people, people)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("person list: %d records (duplicates to purge: %d)\n",
-		people.Len(), people.Len()-1500)
+	arrivals := append([]*mdmatch.Tuple(nil), people.Tuples...)
+	rng := rand.New(rand.NewSource(7))
+	rng.Shuffle(len(arrivals), func(i, j int) { arrivals[i], arrivals[j] = arrivals[j], arrivals[i] })
 
-	// Self-match MDs: same email -> same name; same phone -> same street;
-	// name+street+city similar -> same person.
-	dl := mdmatch.DL(0.8)
-	target, err := mdmatch.NewTarget(ctx,
-		mdmatch.AttrList{"fn", "ln", "street", "city", "zip", "tel", "email", "dob"},
-		mdmatch.AttrList{"fn", "ln", "street", "city", "zip", "tel", "email", "dob"})
+	// The self-match context (R, R) and its dedup rules: equality and
+	// Soundex conjuncts seed the chase frontier from join indexes;
+	// similarity conjuncts ride the interned verdict caches.
+	ctx, err := mdmatch.NewPair(people.Rel, people.Rel)
 	if err != nil {
 		log.Fatal(err)
 	}
-	mkMD := func(lhs []mdmatch.Conjunct, rhs []mdmatch.AttrPair) mdmatch.MD {
-		md, err := mdmatch.NewMD(ctx, lhs, rhs)
+	sigma := mdmatch.CreditDedupMDs(ctx)
+	identity := mdmatch.CreditDedupClusterRules()
+	fmt.Printf("streaming %d records (duplicates to purge: %d) under %d dedup MDs\n",
+		len(arrivals), len(arrivals)-1500, len(sigma))
+	fmt.Printf("record-identity rules (cluster on match): %v; the rest repair attributes only\n\n", identity)
+
+	enf, err := mdmatch.NewStreamEnforcer(ctx, sigma, mdmatch.StreamClusterRules(identity...))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stream the arrivals. Most records are boring (no rule fires, they
+	// become singleton clusters); narrate the first few that are not.
+	narrated := 0
+	for _, t := range arrivals {
+		res, err := enf.InsertTuple(t)
 		if err != nil {
 			log.Fatal(err)
 		}
-		return md
-	}
-	sigma := []mdmatch.MD{
-		mkMD([]mdmatch.Conjunct{mdmatch.C("email", dl, "email")},
-			[]mdmatch.AttrPair{mdmatch.P("fn", "fn"), mdmatch.P("ln", "ln")}),
-		mkMD([]mdmatch.Conjunct{mdmatch.C("tel", dl, "tel")},
-			[]mdmatch.AttrPair{mdmatch.P("street", "street"), mdmatch.P("city", "city"), mdmatch.P("zip", "zip")}),
-		mkMD([]mdmatch.Conjunct{mdmatch.C("ln", dl, "ln"), mdmatch.C("fn", dl, "fn"),
-			mdmatch.C("street", dl, "street"), mdmatch.C("city", dl, "city")},
-			target.Pairs()),
-		mkMD([]mdmatch.Conjunct{mdmatch.C("dob", dl, "dob"), mdmatch.C("ln", dl, "ln"), mdmatch.C("fn", dl, "fn")},
-			target.Pairs()),
-		mkMD([]mdmatch.Conjunct{mdmatch.C("cno", dl, "cno")},
-			target.Pairs()),
-	}
-	keys, err := mdmatch.FindRCKs(ctx, sigma, target, 6, nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-	keys = mdmatch.PruneSubsumed(keys)
-	fmt.Println("\ndeduced dedup keys:")
-	for i, k := range keys {
-		fmt.Printf("  rck%d: %s\n", i+1, k)
-	}
-
-	// Multi-pass sorted neighborhood over the self-match pair.
-	passes := []mdmatch.KeySpec{
-		mdmatch.NewKeySpec(mdmatch.P("ln", "ln"), mdmatch.P("zip", "zip")),
-		mdmatch.NewKeySpec(mdmatch.P("tel", "tel")),
-		mdmatch.NewKeySpec(mdmatch.P("dob", "dob"), mdmatch.P("fn", "fn")),
-	}
-	candidates := mdmatch.NewPairSet()
-	for _, ks := range passes {
-		cands, err := mdmatch.Window(d, ks, 10)
-		if err != nil {
-			log.Fatal(err)
-		}
-		for _, p := range cands.Pairs() {
-			candidates.Add(p)
+		if len(res.AppliedMDs) > 0 && narrated < 3 {
+			narrated++
+			fmt.Printf("record %d arrived: fired MDs %v (%d applications, %d passes), joined cluster %d\n",
+				res.ID, res.AppliedMDs, res.Applications, res.Passes, res.Cluster)
+			cl, _ := enf.ClusterOf(res.ID)
+			fmt.Printf("  cluster %d now holds records %v\n", cl.ID, cl.Members)
+			// Enforcement resolved values across the cluster: show one
+			// attribute where the stored rows now agree.
+			if vals, ok := enf.Record(cl.Members[0]); ok {
+				fmt.Printf("  resolved ln/street: %q / %q\n", vals[3], vals[4])
+			}
+			fmt.Println()
 		}
 	}
-	// Self-match hygiene: drop (t, t) pairs, count each unordered pair once.
-	candidates = mdmatch.OrientSelfMatch(candidates)
 
-	rules := mdmatch.NewRuleSet(keys...)
-	matches, err := rules.MatchCandidates(d, candidates)
-	if err != nil {
-		log.Fatal(err)
+	st := enf.Stats()
+	fmt.Printf("stream done: %d records, %d clusters, %d rule applications, %d passes total\n",
+		st.Records, st.Clusters, st.Applications, st.Passes)
+	fmt.Printf("chase work: %d candidate pairs examined, %d operator evaluations\n\n",
+		st.Chase.PairsExamined, st.Chase.LHSEvaluations)
+
+	// Merge/purge: the cluster store is the dedup verdict. Score it
+	// against the generator's ground truth (same-holder pairs).
+	found := mdmatch.NewPairSet()
+	for _, cl := range enf.Clusters() {
+		for i := 0; i < len(cl.Members); i++ {
+			for j := i + 1; j < len(cl.Members); j++ {
+				found.Add(mdmatch.PairRef{Left: cl.Members[i], Right: cl.Members[j]})
+			}
+		}
 	}
-	oriented := mdmatch.OrientSelfMatch(mdmatch.TransitiveClosure(matches))
-
-	// Ground truth: same-holder pairs, oriented.
 	truth := mdmatch.NewPairSet()
 	byHolder := map[int][]int{}
 	for id, h := range ds.CreditHolder {
@@ -114,14 +113,18 @@ func main() {
 			}
 		}
 	}
-	q := mdmatch.Evaluate(oriented, truth)
-	fmt.Printf("\nmerge/purge over %d candidates:\n  %s\n", candidates.Len(), q)
+	q := mdmatch.Evaluate(found, truth)
+	fmt.Printf("streaming merge/purge quality: %s\n", q)
 
-	// Purge: keep one record per matched cluster.
-	drop := map[int]bool{}
-	for _, p := range oriented.Pairs() {
-		drop[p.Right] = true // keep the smaller id
+	// Purge: keep the smallest id of each cluster.
+	kept := 0
+	var sample []string
+	for _, cl := range enf.Clusters() {
+		kept++
+		if len(cl.Members) > 1 && len(sample) < 5 {
+			sample = append(sample, fmt.Sprint(cl.Members))
+		}
 	}
-	fmt.Printf("\npurged list: %d records (removed %d duplicates)\n",
-		people.Len()-len(drop), len(drop))
+	fmt.Printf("purged list: %d records (removed %d duplicates)\n", kept, st.Records-kept)
+	fmt.Printf("sample merged clusters: %s\n", strings.Join(sample, " "))
 }

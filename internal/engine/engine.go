@@ -10,6 +10,7 @@ import (
 	"mdmatch/internal/exec"
 	"mdmatch/internal/metrics"
 	"mdmatch/internal/record"
+	"mdmatch/internal/stream"
 	"mdmatch/internal/values"
 )
 
@@ -23,6 +24,19 @@ func WithWorkers(n int) Option { return func(e *Engine) { e.workers = n } }
 // WithShards sets the shard count of the blocking index and the record
 // store (rounded up to a power of two); n <= 0 selects the default.
 func WithShards(n int) Option { return func(e *Engine) { e.shardHint = n } }
+
+// WithStream attaches an incremental enforcement engine to the serving
+// engine: every record added to the match index is also inserted into
+// the stream enforcer (Load in one deterministic batch, Add/AddClustered
+// one at a time in arrival order), so the engine can answer cluster
+// queries about its indexed records. The enforcer's relation must be
+// the plan's left relation.
+//
+// With a stream attached, record ids become insert-once: enforcement
+// cannot be undone, so Add rejects ids the enforcer has already seen,
+// and Remove un-indexes a record from the match index but leaves its
+// enforcement history — merged values, cluster membership — in place.
+func WithStream(enf *stream.Enforcer) Option { return func(e *Engine) { e.stream = enf } }
 
 // Result is the verdict of one MatchOne query.
 type Result struct {
@@ -105,6 +119,7 @@ type Engine struct {
 	index       *Index
 	store       *store
 	interner    *exec.Interner
+	stream      *stream.Enforcer
 	workers     int
 	shardHint   int
 	scratchPool sync.Pool
@@ -125,6 +140,10 @@ func New(plan *Plan, opts ...Option) (*Engine, error) {
 	e := &Engine{plan: plan}
 	for _, o := range opts {
 		o(e)
+	}
+	if e.stream != nil && e.stream.Relation() != plan.ctx.Left {
+		return nil, fmt.Errorf("engine: stream enforcer is over %s, plan expects %s",
+			e.stream.Relation().Name(), plan.ctx.Left.Name())
 	}
 	if e.workers <= 0 {
 		e.workers = runtime.GOMAXPROCS(0)
@@ -148,11 +167,45 @@ func (e *Engine) Len() int { return e.store.len() }
 // Add indexes a left-side record under the given id. The values are
 // positional, parallel to the left relation's attributes; the slice is
 // not retained (the record is stored in interned form).
-// Adding an existing id replaces the previous version (its old blocking
-// keys are removed first). Mutations of one id are serialized on its
-// store shard, so concurrent Add/Remove calls on the same id cannot
-// leak stale index postings.
+// Without a stream enforcer attached, adding an existing id replaces
+// the previous version (its old blocking keys are removed first); with
+// one attached, ids are insert-once and duplicates are rejected.
+// Mutations of one id are serialized on its store shard, so concurrent
+// Add/Remove calls on the same id cannot leak stale index postings.
 func (e *Engine) Add(id int, values []string) error {
+	if e.stream == nil {
+		return e.addIndexed(id, values)
+	}
+	_, err := e.AddClustered(id, values)
+	return err
+}
+
+// AddClustered is Add for engines with a stream enforcer attached: the
+// record is enforced against the maintained instance first (returning
+// its cluster id and the rules its arrival fired) and then indexed for
+// matching. The original values are indexed, not the enforcer's
+// resolved ones: matching stays byte-faithful to what the caller
+// supplied, enforcement owns the merged view.
+func (e *Engine) AddClustered(id int, values []string) (stream.InsertResult, error) {
+	if e.stream == nil {
+		return stream.InsertResult{}, fmt.Errorf("engine: no stream enforcer attached")
+	}
+	if got, want := len(values), e.plan.ctx.Left.Arity(); got != want {
+		return stream.InsertResult{}, fmt.Errorf("engine: %s expects %d values, got %d",
+			e.plan.ctx.Left.Name(), want, got)
+	}
+	res, err := e.stream.Insert(id, values)
+	if err != nil {
+		return stream.InsertResult{}, err
+	}
+	return res, e.addIndexed(id, values)
+}
+
+// Stream returns the attached stream enforcer (nil when none).
+func (e *Engine) Stream() *stream.Enforcer { return e.stream }
+
+// addIndexed adds the record to the blocking index and store only.
+func (e *Engine) addIndexed(id int, values []string) error {
 	if got, want := len(values), e.plan.ctx.Left.Arity(); got != want {
 		return fmt.Errorf("engine: %s expects %d values, got %d", e.plan.ctx.Left.Name(), want, got)
 	}
@@ -177,7 +230,10 @@ func (e *Engine) Add(id int, values []string) error {
 func (e *Engine) AddTuple(t *record.Tuple) error { return e.Add(t.ID, t.Values) }
 
 // Remove un-indexes the record with the given id and reports whether it
-// was present.
+// was present. With a stream enforcer attached the record's enforcement
+// history stays: rule firings identified cell values and cluster
+// membership, and the chase has no inverse — the record merely stops
+// being matchable.
 func (e *Engine) Remove(id int) bool {
 	return e.store.delete(id, func(rec storedRec) {
 		for _, k := range rec.keys {
@@ -188,13 +244,24 @@ func (e *Engine) Remove(id int) bool {
 
 // Load bulk-indexes a left-side instance, fanning the work out over the
 // engine's worker pool. The instance must be over the plan's left
-// relation.
+// relation. With a stream enforcer attached, the instance is first
+// enforced as ONE batch in instance order — one chase, deterministic
+// regardless of the index workers' scheduling. Enforcement runs before
+// indexing (like AddClustered): the enforcer validates the whole batch
+// up front and mutates nothing on rejection, so a Load that fails on a
+// duplicate id cannot leave the match index and the cluster store
+// divergent.
 func (e *Engine) Load(in *record.Instance) error {
 	if in.Rel != e.plan.ctx.Left {
 		return fmt.Errorf("engine: instance is over %s, plan expects %s", in.Rel.Name(), e.plan.ctx.Left.Name())
 	}
+	if e.stream != nil {
+		if _, err := e.stream.InsertBatch(in); err != nil {
+			return err
+		}
+	}
 	return parallelFor(len(in.Tuples), e.workers, func(i int) error {
-		return e.AddTuple(in.Tuples[i])
+		return e.addIndexed(in.Tuples[i].ID, in.Tuples[i].Values)
 	})
 }
 

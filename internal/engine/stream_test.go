@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"slices"
+	"testing"
+
+	"mdmatch/internal/gen"
+	"mdmatch/internal/schema"
+	"mdmatch/internal/stream"
+)
+
+// newStreamSetup builds an engine with a dedup stream enforcer attached
+// to the credit side.
+func newStreamSetup(t testing.TB, k int) (*testSetup, *Engine) {
+	t.Helper()
+	s := newTestSetup(t, k)
+	ctx := schema.MustPair(s.ds.Credit.Rel, s.ds.Credit.Rel)
+	enf, err := stream.New(ctx, gen.DedupMDs(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(s.plan, WithWorkers(2), WithStream(enf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, eng
+}
+
+// TestEngineStreamWiring checks the composite write path: Load enforces
+// the instance as one deterministic batch, Add routes through the
+// enforcer, cluster queries answer, and the stream's outcome equals a
+// standalone enforcer fed the same sequence.
+func TestEngineStreamWiring(t *testing.T) {
+	s, eng := newStreamSetup(t, 40)
+	if err := eng.Load(s.ds.Credit); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := eng.Stream().Len(), s.ds.Credit.Len(); got != want {
+		t.Fatalf("stream holds %d records, want %d", got, want)
+	}
+
+	// A standalone enforcer fed the same batch must agree exactly.
+	ctx := schema.MustPair(s.ds.Credit.Rel, s.ds.Credit.Rel)
+	ref, err := stream.New(ctx, gen.DedupMDs(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.InsertBatch(s.ds.Credit); err != nil {
+		t.Fatal(err)
+	}
+	wantCl := ref.Clusters()
+	gotCl := eng.Stream().Clusters()
+	if len(gotCl) != len(wantCl) {
+		t.Fatalf("engine stream has %d clusters, standalone %d", len(gotCl), len(wantCl))
+	}
+	for i := range gotCl {
+		if gotCl[i].ID != wantCl[i].ID || !slices.Equal(gotCl[i].Members, wantCl[i].Members) {
+			t.Fatalf("cluster %d: %v vs %v", i, gotCl[i], wantCl[i])
+		}
+	}
+
+	// Incremental add: a near-duplicate of an indexed record must land
+	// in that record's cluster.
+	base := s.ds.Credit.Tuples[0]
+	dup := slices.Clone(base.Values)
+	newID := 1 << 20
+	res, err := eng.AddClustered(newID, dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, ok := eng.Stream().ClusterOf(newID)
+	if !ok {
+		t.Fatal("ClusterOf missing for added record")
+	}
+	if res.Cluster != cl.ID {
+		t.Fatalf("InsertResult.Cluster = %d, ClusterOf = %d", res.Cluster, cl.ID)
+	}
+	if !slices.Contains(cl.Members, base.ID) {
+		t.Errorf("exact duplicate of record %d not clustered with it: %v", base.ID, cl.Members)
+	}
+
+	// Insert-once semantics: re-adding the same id is rejected.
+	if err := eng.Add(newID, dup); err == nil {
+		t.Error("Add accepted a duplicate id with a stream attached")
+	}
+	// Remove un-indexes but keeps enforcement history.
+	if !eng.Remove(newID) {
+		t.Error("Remove did not find the added record")
+	}
+	if _, ok := eng.Stream().ClusterOf(newID); !ok {
+		t.Error("cluster history vanished on Remove")
+	}
+}
+
+// TestEngineStreamValidation checks option validation and the
+// no-stream error paths.
+func TestEngineStreamValidation(t *testing.T) {
+	s := newTestSetup(t, 10)
+	// Wrong relation: a billing-side enforcer cannot serve a credit plan.
+	ctx := schema.MustPair(s.ds.Billing.Rel, s.ds.Billing.Rel)
+	enf, err := stream.New(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(s.plan, WithStream(enf)); err == nil {
+		t.Error("New accepted a stream enforcer over the wrong relation")
+	}
+	eng, err := New(s.plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Stream() != nil {
+		t.Error("Stream() non-nil without WithStream")
+	}
+	if _, err := eng.AddClustered(1, make([]string, s.plan.ctx.Left.Arity())); err == nil {
+		t.Error("AddClustered succeeded without a stream enforcer")
+	}
+}
+
+// TestEngineLoadRejectionConsistent checks that a Load rejected by the
+// stream enforcer (duplicate id) leaves the match index untouched: the
+// enforcer validates before mutating, and Load enforces before
+// indexing, so the two stores cannot diverge.
+func TestEngineLoadRejectionConsistent(t *testing.T) {
+	s, eng := newStreamSetup(t, 10)
+	first := s.ds.Credit.Tuples[0]
+	if _, err := eng.AddClustered(first.ID, first.Values); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Load(s.ds.Credit); err == nil {
+		t.Fatal("Load accepted an instance containing an already-enforced id")
+	}
+	if got := eng.Len(); got != 1 {
+		t.Errorf("rejected Load left %d records in the match index, want 1", got)
+	}
+	if got := eng.Stream().Len(); got != 1 {
+		t.Errorf("rejected Load left %d records in the enforcer, want 1", got)
+	}
+}

@@ -1,0 +1,90 @@
+package gen
+
+import (
+	"mdmatch/internal/core"
+	"mdmatch/internal/schema"
+	"mdmatch/internal/similarity"
+)
+
+// DedupCtx returns the self-match context (credit, credit): the shape
+// of a deduplication workload over the generated card-holder corpus,
+// and the context the streaming enforcement layer (internal/stream)
+// serves.
+func DedupCtx() schema.Pair {
+	rel := CreditSchema()
+	return schema.MustPair(rel, rel)
+}
+
+// DedupMDs returns matching rules for deduplicating the credit relation
+// against itself (ctx must be a self-match pair over CreditSchema, such
+// as DedupCtx()).
+//
+// The set is layered the way the corpus demands. The generator's
+// dirtying protocol includes "complete change of the attribute" errors
+// — including the literal "null" of the paper's Figure 1 — and "null" =
+// "null" under every similarity operator, so any single-attribute rule
+// mass-links unrelated records through degenerate values. Two design
+// rules follow:
+//
+//   - no rule ever WRITES an identity attribute (cno, ssn, fn, ln, dob,
+//     gender): repairs are confined to contact/address attributes, so a
+//     bad match can never poison the evidence later matches read;
+//   - record-identity keys (DedupClusterRules) conjoin at least two
+//     identity attributes, so a degenerate value alone never links.
+//
+// The set deliberately mixes rule shapes so every enforcement path is
+// exercised: equality and Soundex conjuncts give the chase
+// hash-encodable join keys (blocked scans), the card-number and
+// birth-date rules have only similarity conjuncts (dense scans).
+func DedupMDs(ctx schema.Pair) []core.MD {
+	d := similarity.DL(0.8)
+	sdx := similarity.SoundexEq()
+	contact := []core.AttrPair{
+		core.P("tel", "tel"), core.P("email", "email"),
+		core.P("street", "street"), core.P("city", "city"),
+		core.P("county", "county"), core.P("zip", "zip"),
+	}
+	addr := []core.AttrPair{
+		core.P("street", "street"), core.P("city", "city"),
+		core.P("county", "county"), core.P("zip", "zip"),
+	}
+	return []core.MD{
+		// κ1: card number + surname identify the holder.
+		core.MustMD(ctx,
+			[]core.Conjunct{core.C("cno", d, "cno"), core.C("ln", d, "ln")},
+			contact),
+		// κ2: birth date + full name identify the holder.
+		core.MustMD(ctx,
+			[]core.Conjunct{core.C("dob", d, "dob"), core.C("ln", d, "ln"), core.C("fn", d, "fn")},
+			contact),
+		// κ3: phone + surname identify the holder.
+		core.MustMD(ctx,
+			[]core.Conjunct{core.Eq("tel", "tel"), core.C("ln", d, "ln")},
+			addr),
+		// κ4: street + full name identify the holder.
+		core.MustMD(ctx,
+			[]core.Conjunct{core.C("street", d, "street"), core.C("ln", d, "ln"), core.C("fn", d, "fn")},
+			addr),
+		// κ5: phonetic surname + first name + birth date.
+		core.MustMD(ctx,
+			[]core.Conjunct{core.C("ln", sdx, "ln"), core.C("fn", d, "fn"), core.C("dob", d, "dob")},
+			addr),
+		// ρ1: same phone: same address (repair only — a shared phone
+		// means a shared household, not a shared identity).
+		core.MustMD(ctx,
+			[]core.Conjunct{core.Eq("tel", "tel")},
+			addr),
+		// ρ2: same zip and similar street: same city and county (repair
+		// only — matches neighbors).
+		core.MustMD(ctx,
+			[]core.Conjunct{core.Eq("zip", "zip"), core.C("street", d, "street")},
+			[]core.AttrPair{core.P("city", "city"), core.P("county", "county")}),
+	}
+}
+
+// DedupClusterRules returns the indices into DedupMDs of the
+// record-identity keys — the rules whose match means "same holder",
+// for stream.ClusterRules. ρ1 and ρ2 repair address attributes:
+// matching them means "same household" or "same block", so linking on
+// them over-merges.
+func DedupClusterRules() []int { return []int{0, 1, 2, 3, 4} }

@@ -1,0 +1,91 @@
+package stream
+
+import "slices"
+
+// clusterStore is the record-level union-find: whenever the chase
+// observes a pair matching some rule's LHS — the paper's reading of MDs
+// and RCKs as matching rules — the two records' clusters are
+// identified. Matching, not firing, is the link criterion: an exact
+// duplicate matches every rule trivially but fires none (its RHS values
+// are already equal). Links accumulate monotonically: a cluster records
+// that its members matched at SOME point of the enforcement history
+// (value resolution can later destroy a similarity match, but matched
+// records stay matched, exactly as in the batch reading where the
+// transitive closure of matched pairs is taken after the run). The
+// cluster id is the smallest member record id, stable under merges.
+type clusterStore struct {
+	parent []int32
+	recID  []int     // per row: its record id
+	minRow []int32   // per root: the member row with the smallest record id
+	rows   [][]int32 // per root: member rows
+	count  int       // current number of clusters
+}
+
+func newClusterStore() *clusterStore {
+	return &clusterStore{}
+}
+
+// add registers the next row as a singleton cluster of one record.
+func (cs *clusterStore) add(recID int) {
+	row := int32(len(cs.parent))
+	cs.parent = append(cs.parent, row)
+	cs.recID = append(cs.recID, recID)
+	cs.minRow = append(cs.minRow, row)
+	cs.rows = append(cs.rows, []int32{row})
+	cs.count++
+}
+
+func (cs *clusterStore) find(x int32) int32 {
+	for cs.parent[x] != x {
+		cs.parent[x] = cs.parent[cs.parent[x]]
+		x = cs.parent[x]
+	}
+	return x
+}
+
+// union merges the clusters of two rows.
+func (cs *clusterStore) union(i1, i2 int) {
+	ra, rb := cs.find(int32(i1)), cs.find(int32(i2))
+	if ra == rb {
+		return
+	}
+	if len(cs.rows[ra]) < len(cs.rows[rb]) {
+		ra, rb = rb, ra
+	}
+	cs.parent[rb] = ra
+	cs.rows[ra] = append(cs.rows[ra], cs.rows[rb]...)
+	cs.rows[rb] = nil
+	if cs.recID[cs.minRow[rb]] < cs.recID[cs.minRow[ra]] {
+		cs.minRow[ra] = cs.minRow[rb]
+	}
+	cs.count--
+}
+
+// clusterID returns the cluster id (smallest member record id) of a row.
+func (cs *clusterStore) clusterID(row int) int {
+	return cs.recID[cs.minRow[cs.find(int32(row))]]
+}
+
+// members returns the record ids of the row's cluster, ascending.
+func (cs *clusterStore) members(row int) []int {
+	rows := cs.rows[cs.find(int32(row))]
+	out := make([]int, len(rows))
+	for i, r := range rows {
+		out[i] = cs.recID[r]
+	}
+	slices.Sort(out)
+	return out
+}
+
+// all returns every cluster, ordered by cluster id.
+func (cs *clusterStore) all() []Cluster {
+	var out []Cluster
+	for r := range cs.parent {
+		if cs.find(int32(r)) != int32(r) {
+			continue
+		}
+		out = append(out, Cluster{ID: cs.clusterID(r), Members: cs.members(r)})
+	}
+	slices.SortFunc(out, func(a, b Cluster) int { return a.ID - b.ID })
+	return out
+}

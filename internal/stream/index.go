@@ -1,0 +1,75 @@
+package stream
+
+// sideIndex is the growable variant of the worklist chase's join index:
+// it maps one side's rows to their current candidate join key and
+// buckets rows by key. Unlike the batch version it persists across
+// insertions — add registers each new row, set moves a row between
+// buckets when a touch changes its key.
+type sideIndex struct {
+	keys    []uint64
+	buckets map[uint64][]int32
+}
+
+func newSideIndex() *sideIndex {
+	return &sideIndex{buckets: make(map[uint64][]int32)}
+}
+
+// add registers row i (== len(keys)) under key.
+func (ix *sideIndex) add(i int, key uint64) {
+	ix.keys = append(ix.keys, key)
+	ix.buckets[key] = append(ix.buckets[key], int32(i))
+}
+
+// set updates row i's key, moving it between buckets.
+func (ix *sideIndex) set(i int, key uint64) {
+	old := ix.keys[i]
+	if old == key {
+		return
+	}
+	ids := ix.buckets[old]
+	for k, have := range ids {
+		if have == int32(i) {
+			ids[k] = ids[len(ids)-1]
+			ids = ids[:len(ids)-1]
+			break
+		}
+	}
+	if len(ids) == 0 {
+		delete(ix.buckets, old)
+	} else {
+		ix.buckets[old] = ids
+	}
+	ix.keys[i] = key
+	ix.buckets[key] = append(ix.buckets[key], int32(i))
+}
+
+// pairHeap is a min-heap of pair order codes (i1*n + i2), used only for
+// the rare mid-scan re-enqueues; the bulk of a scan's candidates
+// travels in a sorted slice.
+type pairHeap []int64
+
+func (h pairHeap) Len() int            { return len(h) }
+func (h pairHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h pairHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pairHeap) Push(x interface{}) { *h = append(*h, x.(int64)) }
+func (h *pairHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// mix64 is the splitmix64 finalizer: a bijection on uint64 with full
+// avalanche, used to fold multi-field join keys (single-field keys —
+// the common case — therefore partition exactly; a fold collision
+// between distinct multi-field encodings merely widens a block, which
+// visit re-tests).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -17,7 +17,10 @@
 //     optimizers and match-quality metrics;
 //   - a concurrent match-serving engine: rule sets compiled once into
 //     executable plans, a sharded incremental blocking index, and batch
-//     matching over a worker pool (cmd/matchd exposes it over HTTP).
+//     matching over a worker pool (cmd/matchd exposes it over HTTP);
+//   - a streaming enforcement engine (NewStreamEnforcer): the chase
+//     kept alive across insertions, answering every inserted record
+//     with its dedup cluster and the rules its arrival fired.
 //
 // # Quickstart
 //
@@ -26,8 +29,9 @@
 //	rules := mdmatch.NewRuleSet(keys...)
 //	ok, _ := rules.Match(instancePair, t1, t2)
 //
-// See examples/ for runnable end-to-end programs and DESIGN.md for how
-// each paper construct maps onto the packages under internal/.
+// See examples/ for runnable end-to-end programs, docs/PAPER_MAP.md for
+// how each paper construct maps onto the packages under internal/, and
+// docs/ARCHITECTURE.md for the layer diagram.
 package mdmatch
 
 import (
@@ -47,6 +51,7 @@ import (
 	"mdmatch/internal/schema"
 	"mdmatch/internal/semantics"
 	"mdmatch/internal/similarity"
+	"mdmatch/internal/stream"
 )
 
 // --- Schemas and contexts (internal/schema) ---
@@ -400,6 +405,62 @@ func EngineWorkers(n int) EngineOption { return engine.WithWorkers(n) }
 
 // EngineShards sets the shard count of the engine's index and store.
 func EngineShards(n int) EngineOption { return engine.WithShards(n) }
+
+// EngineStream attaches a streaming enforcer: records added to the
+// engine are also enforced incrementally, and the engine answers
+// cluster queries about them. The enforcer's relation must be the
+// plan's left relation.
+func EngineStream(enf *StreamEnforcer) EngineOption { return engine.WithStream(enf) }
+
+// --- Incremental enforcement (internal/stream) ---
+
+// StreamEnforcer enforces Σ incrementally over a growing instance: each
+// inserted record seeds only the chase frontier its blocking keys
+// touch, chase state (interned dictionaries, verdict memos, join
+// indexes, clusters) persists across insertions, and every insertion's
+// outcome is bit-identical to a from-scratch Enforce on (stable
+// instance ∪ new record). See the internal/stream package comment for
+// the precise contract and why online enforcement is order-sensitive.
+type StreamEnforcer = stream.Enforcer
+
+// StreamInsert reports one streaming insertion: the record's cluster,
+// the rules it fired, and the chase counters of the step.
+type StreamInsert = stream.InsertResult
+
+// StreamBatch reports one batch insertion.
+type StreamBatch = stream.BatchResult
+
+// StreamCluster is one record cluster (id = smallest member record id).
+type StreamCluster = stream.Cluster
+
+// StreamStats is a snapshot of a StreamEnforcer's cumulative counters.
+type StreamStats = stream.Stats
+
+// StreamOption configures NewStreamEnforcer.
+type StreamOption = stream.Option
+
+// StreamClusterRules restricts cluster linking to the given Σ indices:
+// only a match of one of these record-identity rules clusters two
+// records; the other rules still enforce (repair) attribute values.
+func StreamClusterRules(indices ...int) StreamOption { return stream.ClusterRules(indices...) }
+
+// NewStreamEnforcer builds an incremental enforcement engine for a
+// self-match (deduplication) context: ctx.Left and ctx.Right must be
+// the same relation. The instance starts empty; feed it with Insert /
+// InsertBatch, or attach it to an Engine via EngineStream.
+func NewStreamEnforcer(ctx Pair, sigma []MD, opts ...StreamOption) (*StreamEnforcer, error) {
+	return stream.New(ctx, sigma, opts...)
+}
+
+// CreditDedupMDs returns self-match rules for deduplicating the
+// generated credit relation against itself (ctx must be a self-match
+// pair over the credit schema). CreditDedupClusterRules selects the
+// subset whose match means "same holder".
+func CreditDedupMDs(ctx Pair) []MD { return gen.DedupMDs(ctx) }
+
+// CreditDedupClusterRules returns the indices into CreditDedupMDs of
+// the record-identity rules, for StreamClusterRules.
+func CreditDedupClusterRules() []int { return gen.DedupClusterRules() }
 
 // --- Data generation (internal/gen) ---
 
