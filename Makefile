@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-exec bench-stream vet docs-check clean
+.PHONY: build test bench bench-exec bench-stream bench-store vet docs-check clean
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,17 @@ bench-exec:
 bench-stream:
 	BENCH_STREAM_OUT=$(CURDIR)/BENCH_stream.json $(GO) test -run TestWriteStreamBenchReport -count=1 -timeout 30m -v ./internal/stream/
 	@cat BENCH_stream.json
+
+# bench-store measures durability (internal/store): WAL append
+# throughput with and without the per-append fsync, snapshot size and
+# write time, and what durability buys on restart — cold-start recovery
+# from a snapshot against the full re-chase a stateless restart pays —
+# with a recovered-state-equals-rechased-state cross-check. Recorded in
+# BENCH_store.json. BENCH_STORE_K overrides the largest corpus scale
+# (default 4000 holders).
+bench-store:
+	BENCH_STORE_OUT=$(CURDIR)/BENCH_store.json $(GO) test -run TestWriteStoreBenchReport -count=1 -timeout 30m -v ./internal/engine/
+	@cat BENCH_store.json
 
 # docs-check verifies the documentation layer: formatting, vet, a
 # package comment on every package, and resolvable relative links in

@@ -14,29 +14,47 @@
 // record ids are insert-once and DELETE only un-indexes a record from
 // the match side; its cluster history stays.
 //
-//	matchd -addr :8080 -k 1000
+// With -data-dir the service is DURABLE (internal/store): every
+// mutation is written ahead to a checksummed WAL, snapshots are taken
+// in the background once enough WAL bytes accumulate (and on demand via
+// POST /snapshot), and a restart recovers the exact pre-crash state —
+// newest snapshot plus the WAL suffix replayed in original insertion
+// order — instead of regenerating and re-chasing the corpus. On SIGTERM
+// the server drains in-flight requests, takes a final snapshot and
+// closes the log.
+//
+//	matchd -addr :8080 -k 1000 -data-dir /var/lib/matchd
 //
 // Endpoints (JSON in/out):
 //
 //	POST   /match         {"record": {"fn": "...", ...}} or {"values": [...]}
+//	                      or {"batch": [{...}, ...]} for a worker-pool batch
 //	POST   /records       add a credit record; returns cluster + applied rules
 //	DELETE /records/{id}  un-index a credit record (cluster history stays)
 //	GET    /clusters/{id} a record's cluster, members and resolved values
-//	GET    /stats         engine + enforcement counters, reduction ratio, uptime
+//	POST   /snapshot      write a snapshot now (requires -data-dir)
+//	GET    /stats         engine + enforcement + store counters, uptime
 //	GET    /healthz       liveness
 //
-// See docs/ARCHITECTURE.md for a curl walkthrough.
+// Request bodies are capped at -max-body-bytes (413 beyond it). See
+// docs/ARCHITECTURE.md for a curl walkthrough including a real
+// kill-and-recover transcript.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
+	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"mdmatch/internal/blocking"
@@ -44,42 +62,85 @@ import (
 	"mdmatch/internal/engine"
 	"mdmatch/internal/gen"
 	"mdmatch/internal/schema"
+	"mdmatch/internal/store"
 	"mdmatch/internal/stream"
 )
 
 func main() {
-	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		k       = flag.Int("k", 1000, "card holders in the generated demo corpus")
-		seed    = flag.Int64("seed", 1, "corpus generation seed")
-		m       = flag.Int("m", 5, "number of RCKs to derive and serve")
-		workers = flag.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS)")
-		shards  = flag.Int("shards", 0, "index/store shard count (0 = default)")
-	)
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.IntVar(&cfg.k, "k", 1000, "card holders in the generated demo corpus")
+	flag.Int64Var(&cfg.seed, "seed", 1, "corpus generation seed")
+	flag.IntVar(&cfg.m, "m", 5, "number of RCKs to derive and serve")
+	flag.IntVar(&cfg.workers, "workers", 0, "engine worker-pool size (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.shards, "shards", 0, "index/store shard count (0 = default)")
+	flag.StringVar(&cfg.dataDir, "data-dir", "", "durability directory (empty = in-memory only)")
+	flag.Int64Var(&cfg.maxBody, "max-body-bytes", 1<<20, "request body cap (413 beyond it)")
+	flag.Int64Var(&cfg.snapBytes, "snapshot-wal-bytes", 8<<20, "WAL bytes that trigger a background snapshot")
+	flag.BoolVar(&cfg.noSync, "no-fsync", false, "skip the per-append WAL fsync (faster, loses a tail on OS crash)")
 	flag.Parse()
-	srv, err := buildServer(*k, *seed, *m, *workers, *shards)
+
+	srv, err := buildServer(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "matchd:", err)
 		os.Exit(1)
 	}
 	log.Printf("matchd: %s", srv.eng.Plan())
-	log.Printf("matchd: indexed %d credit records, serving on %s", srv.eng.Len(), *addr)
+	log.Printf("matchd: indexed %d credit records, serving on %s", srv.eng.Len(), cfg.addr)
 	hs := &http.Server{
-		Addr:              *addr,
+		Addr:              cfg.addr,
 		Handler:           srv.routes(),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	log.Fatal(hs.ListenAndServe())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		srv.close()
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("matchd: signal received, draining")
+		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		// Shutdown waits for in-flight handlers — including MatchBatch
+		// calls and their worker pools, which join before the handler
+		// returns — so the final snapshot below sees a quiesced engine.
+		if err := hs.Shutdown(sctx); err != nil {
+			log.Printf("matchd: drain: %v", err)
+		}
+		srv.close()
+		log.Printf("matchd: bye")
+	}
 }
 
-// buildServer derives rules, compiles the plan and loads the index.
-func buildServer(k int, seed int64, m, workers, shards int) (*server, error) {
-	cfg := gen.DefaultConfig(k)
-	cfg.Seed = seed
-	ds, err := gen.Generate(cfg)
+// config collects the service parameters (flag values, and the knobs
+// tests turn directly).
+type config struct {
+	addr      string
+	k         int
+	seed      int64
+	m         int
+	workers   int
+	shards    int
+	dataDir   string
+	maxBody   int64
+	snapBytes int64
+	noSync    bool
+}
+
+// buildServer derives rules, compiles the plan, opens the durability
+// store (when configured) and populates the index: a fresh data
+// directory — or none — loads the generated corpus as one batch; a
+// non-empty one recovers the previous process's exact state instead.
+func buildServer(cfg config) (*server, error) {
+	ds, err := gen.Generate(genConfig(cfg))
 	if err != nil {
 		return nil, err
 	}
@@ -87,13 +148,13 @@ func buildServer(k int, seed int64, m, workers, shards int) (*server, error) {
 	sigma := gen.HolderMDs(ds.Ctx)
 	cm := core.DefaultCostModel()
 	cm.Lt = ds.LtStats()
-	keys, err := core.FindRCKs(ds.Ctx, sigma, target, m+4, cm)
+	keys, err := core.FindRCKs(ds.Ctx, sigma, target, cfg.m+4, cm)
 	if err != nil {
 		return nil, err
 	}
 	keys = core.PruneSubsumed(keys)
-	if len(keys) > m {
-		keys = keys[:m]
+	if len(keys) > cfg.m {
+		keys = keys[:cfg.m]
 	}
 	specs := []blocking.KeySpec{
 		blocking.NewKeySpec(core.P("ln", "ln"), core.P("zip", "zip")).
@@ -115,43 +176,166 @@ func buildServer(k int, seed int64, m, workers, shards int) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng, err := engine.New(plan, engine.WithWorkers(workers), engine.WithShards(shards),
-		engine.WithStream(enf))
+	opts := []engine.Option{
+		engine.WithWorkers(cfg.workers), engine.WithShards(cfg.shards), engine.WithStream(enf),
+	}
+	var st *store.Store
+	if cfg.dataDir != "" {
+		var sopts []store.Option
+		if cfg.noSync {
+			sopts = append(sopts, store.WithNoSync())
+		}
+		st, err = store.Open(cfg.dataDir, engine.Fingerprint(plan, enf), sopts...)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, engine.WithStore(st))
+	}
+	fresh := st == nil || st.Empty()
+	eng, err := engine.New(plan, opts...)
 	if err != nil {
+		if st != nil {
+			st.Close()
+		}
 		return nil, err
 	}
-	if err := eng.Load(ds.Credit); err != nil {
-		return nil, err
+	if fresh {
+		if err := eng.Load(ds.Credit); err != nil {
+			if st != nil {
+				st.Close()
+			}
+			return nil, err
+		}
+	} else {
+		log.Printf("matchd: recovered %d records (%d clusters) from %s: snapshot at LSN %d + WAL to %d",
+			enf.Len(), enf.Stats().Clusters, cfg.dataDir, st.SnapshotLSN(), st.LSN())
 	}
-	srv := &server{eng: eng, ctx: ds.Ctx, started: time.Now()}
+	srv := &server{
+		eng: eng, st: st, ctx: ds.Ctx, started: time.Now(),
+		maxBody: cfg.maxBody, snapBytes: cfg.snapBytes,
+	}
 	maxID := -1
-	for _, t := range ds.Credit.Tuples {
+	for _, t := range enf.Instance().Tuples {
 		if t.ID > maxID {
 			maxID = t.ID
 		}
 	}
 	srv.nextID.Store(int64(maxID))
+	if st != nil && srv.snapBytes > 0 {
+		srv.stopSnap = make(chan struct{})
+		srv.snapWG.Add(1)
+		go srv.snapshotLoop()
+	}
 	return srv, nil
+}
+
+func genConfig(cfg config) gen.Config {
+	g := gen.DefaultConfig(cfg.k)
+	g.Seed = cfg.seed
+	return g
 }
 
 type server struct {
 	eng     *engine.Engine
+	st      *store.Store // nil when not durable
 	ctx     schema.Pair
 	nextID  atomic.Int64
 	started time.Time
+
+	maxBody   int64
+	snapBytes int64
+	stopSnap  chan struct{}
+	snapWG    sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// snapshotLoop is the background snapshot trigger: once the WAL has
+// accumulated snapBytes since the last snapshot, capture one (bounding
+// the replay debt a crash would pay).
+func (s *server) snapshotLoop() {
+	defer s.snapWG.Done()
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stopSnap:
+			return
+		case <-tick.C:
+			if s.st.BytesSinceSnapshot() < s.snapBytes {
+				continue
+			}
+			if lsn, err := s.eng.Snapshot(); err != nil {
+				log.Printf("matchd: background snapshot: %v", err)
+			} else {
+				log.Printf("matchd: background snapshot at LSN %d", lsn)
+			}
+		}
+	}
+}
+
+// close quiesces durability: stop the background snapshotter, take a
+// final snapshot (the caller has already drained in-flight handlers)
+// and close the WAL. Safe to call more than once.
+func (s *server) close() {
+	s.closeOnce.Do(func() {
+		if s.stopSnap != nil {
+			close(s.stopSnap)
+			s.snapWG.Wait()
+		}
+		if s.st == nil {
+			return
+		}
+		if lsn, err := s.eng.Snapshot(); err != nil {
+			log.Printf("matchd: final snapshot: %v", err)
+		} else {
+			log.Printf("matchd: final snapshot at LSN %d", lsn)
+		}
+		if err := s.st.Close(); err != nil {
+			log.Printf("matchd: closing store: %v", err)
+		}
+	})
 }
 
 func (s *server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /match", s.handleMatch)
-	mux.HandleFunc("POST /records", s.handleAddRecord)
+	mux.HandleFunc("POST /match", s.limited(s.handleMatch))
+	mux.HandleFunc("POST /records", s.limited(s.handleAddRecord))
 	mux.HandleFunc("DELETE /records/{id}", s.handleDeleteRecord)
 	mux.HandleFunc("GET /clusters/{id}", s.handleCluster)
+	mux.HandleFunc("POST /snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	return mux
+}
+
+// limited caps the request body at maxBody bytes; decodeBody turns the
+// cap violation into a 413.
+func (s *server) limited(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.maxBody > 0 {
+			r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+		}
+		h(w, r)
+	}
+}
+
+// decodeBody decodes the JSON request body into v, writing the
+// appropriate error response (413 for an oversized body, 400 for
+// malformed JSON) and reporting whether decoding succeeded.
+func (s *server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return false
+	}
+	return true
 }
 
 // recordPayload carries one record, either positional (values) or named
@@ -187,16 +371,55 @@ func (p *recordPayload) resolve(rel *schema.Relation) ([]string, error) {
 	}
 }
 
+// matchPayload is the /match request: one record, or a batch.
+type matchPayload struct {
+	recordPayload
+	Batch []recordPayload `json:"batch,omitempty"`
+}
+
 type matchResponse struct {
 	Matches    []int `json:"matches"`
 	Candidates int   `json:"candidates"`
 	Compared   int   `json:"compared"`
 }
 
+func toMatchResponse(res engine.Result) matchResponse {
+	matches := res.Matches
+	if matches == nil {
+		matches = []int{}
+	}
+	return matchResponse{Matches: matches, Candidates: res.Candidates, Compared: res.Compared}
+}
+
 func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
-	var p recordPayload
-	if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	var p matchPayload
+	if !s.decodeBody(w, r, &p) {
+		return
+	}
+	if p.Batch != nil {
+		if p.Values != nil || p.Record != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("give either batch or a single record, not both"))
+			return
+		}
+		batch := make([][]string, len(p.Batch))
+		for i := range p.Batch {
+			vals, err := p.Batch[i].resolve(s.ctx.Right)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("batch[%d]: %w", i, err))
+				return
+			}
+			batch[i] = vals
+		}
+		results, err := s.eng.MatchBatch(batch)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		out := make([]matchResponse, len(results))
+		for i, res := range results {
+			out[i] = toMatchResponse(res)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"results": out})
 		return
 	}
 	vals, err := p.resolve(s.ctx.Right)
@@ -209,19 +432,12 @@ func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	matches := res.Matches
-	if matches == nil {
-		matches = []int{}
-	}
-	writeJSON(w, http.StatusOK, matchResponse{
-		Matches: matches, Candidates: res.Candidates, Compared: res.Compared,
-	})
+	writeJSON(w, http.StatusOK, toMatchResponse(res))
 }
 
 func (s *server) handleAddRecord(w http.ResponseWriter, r *http.Request) {
 	var p recordPayload
-	if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if !s.decodeBody(w, r, &p) {
 		return
 	}
 	vals, err := p.resolve(s.ctx.Left)
@@ -244,6 +460,14 @@ func (s *server) handleAddRecord(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.eng.AddClustered(id, vals)
 	if err != nil {
+		// A journal failure is OUR fault (the record was valid but could
+		// not be made durable) — 500, not 400, so monitoring fires and
+		// clients know retrying the same payload is reasonable.
+		var je *stream.JournalError
+		if errors.As(err, &je) {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -307,11 +531,46 @@ func (s *server) handleDeleteRecord(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad id: %w", err))
 		return
 	}
-	if !s.eng.Remove(id) {
+	removed, err := s.eng.RemoveLogged(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("journaling removal: %w", err))
+		return
+	}
+	if !removed {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no record %d", id))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]int{"removed": id})
+}
+
+// snapshotResponse reports an on-demand snapshot.
+type snapshotResponse struct {
+	LSN          uint64 `json:"lsn"`
+	SnapshotLSN  uint64 `json:"snapshot_lsn"`
+	WALBytesLeft int64  `json:"wal_bytes_since_snapshot"`
+}
+
+func (s *server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	if s.st == nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("no data directory configured (-data-dir)"))
+		return
+	}
+	lsn, err := s.eng.Snapshot()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snapshotResponse{
+		LSN: lsn, SnapshotLSN: s.st.SnapshotLSN(), WALBytesLeft: s.st.BytesSinceSnapshot(),
+	})
+}
+
+// storeStats is the /stats durability section.
+type storeStats struct {
+	Dir                   string `json:"dir"`
+	LSN                   uint64 `json:"lsn"`
+	SnapshotLSN           uint64 `json:"snapshot_lsn"`
+	WALBytesSinceSnapshot int64  `json:"wal_bytes_since_snapshot"`
 }
 
 type statsResponse struct {
@@ -321,18 +580,28 @@ type statsResponse struct {
 	Workers        int          `json:"workers"`
 	UptimeSeconds  float64      `json:"uptime_seconds"`
 	Stream         stream.Stats `json:"stream"`
+	Store          *storeStats  `json:"store,omitempty"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.eng.Stats()
-	writeJSON(w, http.StatusOK, statsResponse{
+	resp := statsResponse{
 		Stats:          st,
 		ReductionRatio: st.ReductionRatio(),
 		Plan:           s.eng.Plan().String(),
 		Workers:        s.eng.Workers(),
 		UptimeSeconds:  time.Since(s.started).Seconds(),
 		Stream:         s.eng.Stream().Stats(),
-	})
+	}
+	if s.st != nil {
+		resp.Store = &storeStats{
+			Dir:                   s.st.Dir(),
+			LSN:                   s.st.LSN(),
+			SnapshotLSN:           s.st.SnapshotLSN(),
+			WALBytesSinceSnapshot: s.st.BytesSinceSnapshot(),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -9,10 +9,15 @@ import (
 	"testing"
 )
 
+// testConfig is the small corpus configuration the HTTP tests share.
+func testConfig() config {
+	return config{k: 150, seed: 1, m: 5, workers: 2, shards: 8, maxBody: 1 << 20}
+}
+
 // testServer builds a small matchd instance once per test binary.
 func testServer(t *testing.T) *server {
 	t.Helper()
-	srv, err := buildServer(150, 1, 5, 2, 8)
+	srv, err := buildServer(testConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

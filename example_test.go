@@ -3,6 +3,7 @@ package mdmatch_test
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"mdmatch"
 )
@@ -129,4 +130,93 @@ func ExampleNewStreamEnforcer() {
 	// record 2: cluster=1 applied=[0] applications=1
 	// record 1 resolved: [Robert Brady 555-0100 Lowell]
 	// cluster 1 members: [1 2]
+}
+
+// ExampleOpenStore is the durability cycle: a durable engine journals
+// every mutation to a write-ahead log, snapshots on demand, and a
+// "restarted" process — a fresh enforcer + engine over the same
+// directory — recovers the exact pre-shutdown state: resolved values,
+// clusters, and the match index, without re-ingesting anything.
+func ExampleOpenStore() {
+	ctx, _ := personCtx()
+	target, err := mdmatch.NewTarget(ctx,
+		mdmatch.AttrList{"name", "phone", "city"},
+		mdmatch.AttrList{"name", "phone", "city"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	key, err := mdmatch.NewKey(ctx, target, []mdmatch.Conjunct{mdmatch.EqC("phone", "phone")})
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := mdmatch.CompilePlan(ctx,
+		[]mdmatch.Key{key},
+		[]mdmatch.KeySpec{mdmatch.NewKeySpec(mdmatch.P("phone", "phone"))})
+	if err != nil {
+		log.Fatal(err)
+	}
+	md, err := mdmatch.NewMD(ctx,
+		[]mdmatch.Conjunct{mdmatch.EqC("phone", "phone")},
+		[]mdmatch.AttrPair{mdmatch.P("name", "name"), mdmatch.P("city", "city")})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sigma := []mdmatch.MD{md}
+
+	dir, err := os.MkdirTemp("", "mdmatch-store")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// boot is "one process": a fresh enforcer and engine over the same
+	// data directory. The first boot finds it empty; later boots
+	// recover snapshot + WAL.
+	boot := func() (*mdmatch.Engine, *mdmatch.Store) {
+		enf, err := mdmatch.NewStreamEnforcer(ctx, sigma)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err := mdmatch.OpenStore(dir, plan, enf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng, err := mdmatch.NewEngine(plan,
+			mdmatch.EngineWorkers(1), mdmatch.EngineStream(enf), mdmatch.EngineStore(st))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return eng, st
+	}
+
+	eng, st := boot()
+	if _, err := eng.AddClustered(1, []string{"R. Brady", "555-0100", "Lowell"}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := eng.AddClustered(2, []string{"Robert Brady", "555-0100", "Lowell"}); err != nil {
+		log.Fatal(err)
+	}
+	lsn, err := eng.Snapshot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("snapshot at LSN %d\n", lsn)
+	st.Close() // "process exit"
+
+	eng2, st2 := boot() // "restart": recovery happens inside NewEngine
+	defer st2.Close()
+	vals, _ := eng2.Stream().Record(1)
+	fmt.Printf("recovered record 1: %v\n", vals)
+	cl, _ := eng2.Stream().ClusterOf(2)
+	fmt.Printf("recovered cluster %d members: %v\n", cl.ID, cl.Members)
+	res, err := eng2.MatchOne([]string{"Bob Brady", "555-0100", "Boston"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered matches: %v\n", res.Matches)
+	// Output:
+	// snapshot at LSN 2
+	// recovered record 1: [Robert Brady 555-0100 Lowell]
+	// recovered cluster 1 members: [1 2]
+	// recovered matches: [1 2]
 }

@@ -10,6 +10,7 @@ import (
 	"mdmatch/internal/exec"
 	"mdmatch/internal/metrics"
 	"mdmatch/internal/record"
+	"mdmatch/internal/store"
 	"mdmatch/internal/stream"
 	"mdmatch/internal/values"
 )
@@ -37,6 +38,16 @@ func WithShards(n int) Option { return func(e *Engine) { e.shardHint = n } }
 // and Remove un-indexes a record from the match index but leaves its
 // enforcement history — merged values, cluster membership — in place.
 func WithStream(enf *stream.Enforcer) Option { return func(e *Engine) { e.stream = enf } }
+
+// WithStore attaches a durability store (internal/store): at
+// construction the engine recovers the store's persisted state — newest
+// valid snapshot, then the WAL suffix replayed in original order
+// through the stream enforcer — and from then on journals every
+// mutation, so a restart resumes exactly where the last process left
+// off. Requires WithStream (recovery replays inserts through the
+// enforcer, and the enforcer's insertion lock is what gives the WAL its
+// replayable order) with an enforcer that has not yet seen any inserts.
+func WithStore(st *store.Store) Option { return func(e *Engine) { e.durable = st } }
 
 // Result is the verdict of one MatchOne query.
 type Result struct {
@@ -117,12 +128,19 @@ func (s Stats) ReductionRatio() float64 { return s.Blocking().RR() }
 type Engine struct {
 	plan        *Plan
 	index       *Index
-	store       *store
+	store       *recStore
 	interner    *exec.Interner
 	stream      *stream.Enforcer
+	durable     *store.Store
 	workers     int
 	shardHint   int
 	scratchPool sync.Pool
+
+	// writeMu serializes durable mutations (AddClustered, Load) against
+	// snapshot capture: a snapshot taken mid-insert would hold the
+	// stream's view of a record without the index's. Queries never take
+	// it, and non-durable engines never touch it.
+	writeMu sync.Mutex
 
 	queries     atomic.Uint64
 	candidates  atomic.Uint64
@@ -149,9 +167,22 @@ func New(plan *Plan, opts ...Option) (*Engine, error) {
 		e.workers = runtime.GOMAXPROCS(0)
 	}
 	e.index = NewIndex(e.shardHint)
-	e.store = newStore(e.shardHint)
+	e.store = newRecStore(e.shardHint)
 	e.interner = exec.NewInterner(plan.prog)
 	e.scratchPool.New = func() any { return &matchScratch{} }
+	if e.durable != nil {
+		if e.stream == nil {
+			return nil, fmt.Errorf("engine: WithStore requires a stream enforcer (recovery replays the WAL through it)")
+		}
+		if e.stream.Len() != 0 {
+			return nil, fmt.Errorf("engine: WithStore requires an unused enforcer: its %d existing records were never journaled", e.stream.Len())
+		}
+		if err := e.recover(); err != nil {
+			return nil, fmt.Errorf("engine: recovering %s: %w", e.durable.Dir(), err)
+		}
+		// Journal from here on: recovery itself must not re-log history.
+		e.stream.SetJournal(e.durable)
+	}
 	return e, nil
 }
 
@@ -194,6 +225,10 @@ func (e *Engine) AddClustered(id int, values []string) (stream.InsertResult, err
 		return stream.InsertResult{}, fmt.Errorf("engine: %s expects %d values, got %d",
 			e.plan.ctx.Left.Name(), want, got)
 	}
+	if e.durable != nil {
+		e.writeMu.Lock()
+		defer e.writeMu.Unlock()
+	}
 	res, err := e.stream.Insert(id, values)
 	if err != nil {
 		return stream.InsertResult{}, err
@@ -233,9 +268,24 @@ func (e *Engine) AddTuple(t *record.Tuple) error { return e.Add(t.ID, t.Values) 
 // was present. With a stream enforcer attached the record's enforcement
 // history stays: rule firings identified cell values and cluster
 // membership, and the chase has no inverse — the record merely stops
-// being matchable.
+// being matchable. With a store attached the removal is journaled; a
+// journal failure leaves the record indexed (RemoveLogged surfaces it).
 func (e *Engine) Remove(id int) bool {
-	return e.store.delete(id, func(rec storedRec) {
+	ok, _ := e.RemoveLogged(id)
+	return ok
+}
+
+// RemoveLogged is Remove with the journal error surfaced. With a store
+// attached, the removal is appended to the WAL before it applies — both
+// under the record's shard lock, so for any one id the WAL orders its
+// insert before its remove exactly as the index observed them — and a
+// journal failure vetoes the removal.
+func (e *Engine) RemoveLogged(id int) (bool, error) {
+	var pre func() error
+	if e.durable != nil {
+		pre = func() error { return e.durable.LogRemove(id) }
+	}
+	return e.store.delete(id, pre, func(rec storedRec) {
 		for _, k := range rec.keys {
 			e.index.Remove(k, id)
 		}
@@ -254,6 +304,10 @@ func (e *Engine) Remove(id int) bool {
 func (e *Engine) Load(in *record.Instance) error {
 	if in.Rel != e.plan.ctx.Left {
 		return fmt.Errorf("engine: instance is over %s, plan expects %s", in.Rel.Name(), e.plan.ctx.Left.Name())
+	}
+	if e.durable != nil {
+		e.writeMu.Lock()
+		defer e.writeMu.Unlock()
 	}
 	if e.stream != nil {
 		if _, err := e.stream.InsertBatch(in); err != nil {
@@ -459,7 +513,7 @@ type storedRec struct {
 // the blocking index inside it, which serializes all index key changes
 // of one id. (Safe against the index's own locks: index methods never
 // take store locks, so the lock order store -> index is acyclic.)
-type store struct {
+type recStore struct {
 	shards []storeShard
 	mask   uint64
 	size   atomic.Int64
@@ -470,9 +524,9 @@ type storeShard struct {
 	m  map[int]storedRec
 }
 
-func newStore(count int) *store {
+func newRecStore(count int) *recStore {
 	n := shardCount(count)
-	st := &store{shards: make([]storeShard, n), mask: uint64(n - 1)}
+	st := &recStore{shards: make([]storeShard, n), mask: uint64(n - 1)}
 	for i := range st.shards {
 		st.shards[i].m = make(map[int]storedRec)
 	}
@@ -481,13 +535,13 @@ func newStore(count int) *store {
 
 // shard mixes the id (Fibonacci hashing) so sequential ids spread
 // across shards instead of clustering.
-func (st *store) shard(id int) *storeShard {
+func (st *recStore) shard(id int) *storeShard {
 	return &st.shards[(uint64(id)*0x9E3779B97F4A7C15)>>32&st.mask]
 }
 
 // put stores a record under id; swap runs under the shard lock with the
 // previous record (if any).
-func (st *store) put(id int, rec storedRec, swap func(old storedRec, existed bool)) {
+func (st *recStore) put(id int, rec storedRec, swap func(old storedRec, existed bool)) {
 	s := st.shard(id)
 	s.mu.Lock()
 	old, existed := s.m[id]
@@ -499,7 +553,7 @@ func (st *store) put(id int, rec storedRec, swap func(old storedRec, existed boo
 	}
 }
 
-func (st *store) get(id int) (storedRec, bool) {
+func (st *recStore) get(id int) (storedRec, bool) {
 	s := st.shard(id)
 	s.mu.RLock()
 	v, ok := s.m[id]
@@ -507,21 +561,44 @@ func (st *store) get(id int) (storedRec, bool) {
 	return v, ok
 }
 
-// delete removes id and reports whether it existed; drop runs under the
-// shard lock with the removed record.
-func (st *store) delete(id int, drop func(rec storedRec)) bool {
+// delete removes id and reports whether it existed. pre (optional) runs
+// under the shard lock before anything changes and can veto the removal
+// by failing — the engine journals the removal there, so the log append
+// and the index change are atomic with respect to the shard. drop runs
+// under the shard lock with the removed record.
+func (st *recStore) delete(id int, pre func() error, drop func(rec storedRec)) (bool, error) {
 	s := st.shard(id)
 	s.mu.Lock()
 	v, ok := s.m[id]
-	if ok {
-		delete(s.m, id)
-		drop(v)
+	if !ok {
+		s.mu.Unlock()
+		return false, nil
 	}
+	if pre != nil {
+		if err := pre(); err != nil {
+			s.mu.Unlock()
+			return false, err
+		}
+	}
+	delete(s.m, id)
+	drop(v)
 	s.mu.Unlock()
-	if ok {
-		st.size.Add(-1)
-	}
-	return ok
+	st.size.Add(-1)
+	return true, nil
 }
 
-func (st *store) len() int { return int(st.size.Load()) }
+// each calls fn for every stored record, one shard at a time under the
+// shard read lock. Iteration order is unspecified; snapshot capture
+// sorts what it collects.
+func (st *recStore) each(fn func(id int, rec storedRec)) {
+	for i := range st.shards {
+		s := &st.shards[i]
+		s.mu.RLock()
+		for id, rec := range s.m {
+			fn(id, rec)
+		}
+		s.mu.RUnlock()
+	}
+}
+
+func (st *recStore) len() int { return int(st.size.Load()) }

@@ -1,0 +1,171 @@
+package engine
+
+import (
+	"fmt"
+	"slices"
+	"strings"
+
+	"mdmatch/internal/record"
+	"mdmatch/internal/store"
+	"mdmatch/internal/stream"
+)
+
+// Fingerprint renders the full rule configuration of an engine — the
+// matching context, the plan's keys, negative rules and blocking key
+// specs, and (when a stream enforcer is attached) Σ and the
+// cluster-linking rule indices — into the plan fingerprint every WAL
+// segment and snapshot header carries. store.Open refuses a data
+// directory whose fingerprint differs: the WAL's ordered replay is only
+// meaningful against the rules that wrote it.
+func Fingerprint(plan *Plan, enf *stream.Enforcer) store.Fingerprint {
+	parts := []string{
+		"ctx " + plan.ctx.String(),
+		"left " + strings.Join(plan.ctx.Left.AttrNames(), ","),
+		"right " + strings.Join(plan.ctx.Right.AttrNames(), ","),
+	}
+	for _, k := range plan.keys {
+		parts = append(parts, "key "+k.String())
+	}
+	for _, n := range plan.negative {
+		parts = append(parts, "neg "+n.String())
+	}
+	for i := range plan.blockers {
+		parts = append(parts, "block "+plan.blockers[i].Spec().String())
+	}
+	if enf != nil {
+		for _, md := range enf.Sigma() {
+			parts = append(parts, "md "+md.String())
+		}
+		link := make([]string, 0, 4)
+		for _, i := range enf.ClusterRuleIndices() {
+			link = append(link, fmt.Sprint(i))
+		}
+		parts = append(parts, "cluster "+strings.Join(link, ","))
+	}
+	return store.FingerprintOf(parts...)
+}
+
+// Store returns the attached durability store (nil when none).
+func (e *Engine) Store() *store.Store { return e.durable }
+
+// Snapshot captures the engine's current state — the enforcer's
+// persistent state and the indexed records — and writes it durably to
+// the attached store, returning the WAL position it captured. Durable
+// writes (AddClustered, Load) block for the duration; queries and
+// removals do not (a removal racing the capture is journaled past the
+// snapshot LSN and re-applied on recovery, where it is idempotent).
+// Superseded snapshots and WAL segments are garbage collected.
+func (e *Engine) Snapshot() (uint64, error) {
+	if e.durable == nil {
+		return 0, fmt.Errorf("engine: no store attached")
+	}
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	// State and LSN are read under the enforcer's insertion lock, so the
+	// pair is exact even against inserts that bypass this engine.
+	state, lsn := e.stream.SnapshotState(e.durable.LSN)
+	snap := &store.Snapshot{LSN: lsn, Stream: state, Engine: e.dumpRecs()}
+	if err := e.durable.WriteSnapshot(snap); err != nil {
+		return 0, err
+	}
+	return lsn, nil
+}
+
+// dumpRecs serializes the record store in deterministic (id) order. The
+// engine retains no raw rows — only interned IDs and rendered blocking
+// keys — so values are read back through the interner's dictionaries;
+// columns no conjunct reads were never interned and serialize as ""
+// (matching never reads them, so recovery is observation-identical).
+func (e *Engine) dumpRecs() []store.EngineRec {
+	out := make([]store.EngineRec, 0, e.store.len())
+	e.store.each(func(id int, rec storedRec) {
+		out = append(out, store.EngineRec{
+			ID:     id,
+			Values: e.interner.LeftStrings(rec.ids, nil),
+			Keys:   rec.keys,
+		})
+	})
+	slices.SortFunc(out, func(a, b store.EngineRec) int { return a.ID - b.ID })
+	return out
+}
+
+// installRec restores one snapshotted record into the store and index:
+// the values are re-interned (dictionary IDs are process-local) and the
+// blocking keys are installed verbatim as rendered by the writer.
+func (e *Engine) installRec(rec store.EngineRec) error {
+	if got, want := len(rec.Values), e.plan.ctx.Left.Arity(); got != want {
+		return fmt.Errorf("engine: snapshot record %d has %d values, %s expects %d",
+			rec.ID, got, e.plan.ctx.Left.Name(), want)
+	}
+	sr := storedRec{ids: e.interner.InternLeft(rec.Values, nil), keys: rec.Keys}
+	e.store.put(rec.ID, sr, func(old storedRec, existed bool) {
+		if existed {
+			for _, k := range old.keys {
+				e.index.Remove(k, rec.ID)
+			}
+		}
+		for _, k := range sr.keys {
+			e.index.Add(k, rec.ID)
+		}
+	})
+	return nil
+}
+
+// recover rebuilds the engine and its enforcer from the attached store:
+// load the newest valid snapshot (older retained ones are fallbacks),
+// then replay the WAL suffix in original order through the same code
+// paths that produced it — stream.Enforcer.Insert/InsertBatch for
+// inserts, the plain index removal for removes. Replay happens before
+// the journal is attached, so history is not re-logged.
+func (e *Engine) recover() error {
+	snap, err := e.durable.LoadSnapshot()
+	if err != nil {
+		return err
+	}
+	from := uint64(1)
+	if snap != nil {
+		if err := e.stream.RestoreState(snap.Stream); err != nil {
+			return err
+		}
+		for _, rec := range snap.Engine {
+			if err := e.installRec(rec); err != nil {
+				return err
+			}
+		}
+		from = snap.LSN + 1
+	}
+	return e.durable.Replay(from, func(r store.Record) error {
+		switch r.Op {
+		case store.OpInsert:
+			if _, err := e.stream.Insert(r.Row.ID, r.Row.Values); err != nil {
+				return fmt.Errorf("replaying LSN %d: %w", r.LSN, err)
+			}
+			return e.addIndexed(r.Row.ID, r.Row.Values)
+		case store.OpBatch:
+			in := record.NewInstance(e.plan.ctx.Left)
+			for _, row := range r.Rows {
+				if _, err := in.AppendWithID(row.ID, row.Values); err != nil {
+					return fmt.Errorf("replaying LSN %d: %w", r.LSN, err)
+				}
+			}
+			if _, err := e.stream.InsertBatch(in); err != nil {
+				return fmt.Errorf("replaying LSN %d: %w", r.LSN, err)
+			}
+			for _, row := range r.Rows {
+				if err := e.addIndexed(row.ID, row.Values); err != nil {
+					return err
+				}
+			}
+			return nil
+		case store.OpRemove:
+			_, err := e.store.delete(r.Row.ID, nil, func(rec storedRec) {
+				for _, k := range rec.keys {
+					e.index.Remove(k, r.Row.ID)
+				}
+			})
+			return err
+		default:
+			return fmt.Errorf("replaying LSN %d: unknown op %d", r.LSN, r.Op)
+		}
+	})
+}

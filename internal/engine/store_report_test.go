@@ -1,0 +1,250 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"mdmatch/internal/gen"
+	"mdmatch/internal/schema"
+	"mdmatch/internal/store"
+	"mdmatch/internal/stream"
+)
+
+// storeReport is the schema of BENCH_store.json, the repo's running
+// record of durability costs (written by `make bench-store`): WAL
+// append throughput, snapshot size and write time, and what durability
+// buys — cold-start recovery from a snapshot against the full re-chase
+// a restart would otherwise pay.
+type storeReport struct {
+	GeneratedAt string             `json:"generated_at"`
+	GoVersion   string             `json:"go_version"`
+	MaxProcs    int                `json:"gomaxprocs"`
+	WAL         walMeasure         `json:"wal"`
+	Sizes       []storeSizeMeasure `json:"sizes"`
+}
+
+type walMeasure struct {
+	// Appends of a 13-column credit row, single-threaded.
+	Records             int     `json:"records"`
+	BytesPerRecord      float64 `json:"bytes_per_record"`
+	AppendsPerSecFsync  float64 `json:"appends_per_sec_fsync"`
+	AppendsPerSecNoSync float64 `json:"appends_per_sec_nosync"`
+}
+
+type storeSizeMeasure struct {
+	HoldersK int `json:"holders_k"`
+	Records  int `json:"records"`
+	// Snapshot cost: serialize + fsync + rename of the full state.
+	SnapshotBytes int64   `json:"snapshot_bytes"`
+	SnapshotSec   float64 `json:"snapshot_seconds"`
+	// RecoverySec is the cold start: store.Open + engine.New over the
+	// snapshotted directory (snapshot restore, empty WAL suffix).
+	RecoverySec float64 `json:"recovery_seconds"`
+	// RechaseSec is the alternative a restart without durability pays:
+	// a fresh engine re-ingesting the corpus through the full batch
+	// chase (stream enforcement + indexing).
+	RechaseSec       float64 `json:"full_rechase_seconds"`
+	SpeedupVsRechase float64 `json:"speedup_vs_full_rechase"`
+	// RecoveredEqual: the recovered state is bit-identical to the
+	// re-chased state (instance, clusters, dictionaries, counters
+	// modulo the cache-miss counter — see internal/store).
+	RecoveredEqual bool `json:"recovered_equal"`
+	Clusters       int  `json:"clusters"`
+}
+
+// TestWriteStoreBenchReport measures durability costs and writes the
+// result as JSON. It is skipped unless BENCH_STORE_OUT names the output
+// file (wired up as `make bench-store`). BENCH_STORE_K overrides the
+// largest corpus scale (default 4000 holders, ~7k records).
+func TestWriteStoreBenchReport(t *testing.T) {
+	out := os.Getenv("BENCH_STORE_OUT")
+	if out == "" {
+		t.Skip("set BENCH_STORE_OUT=<path> to write the durability report")
+	}
+	maxK := 4000
+	if v := os.Getenv("BENCH_STORE_K"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			t.Fatalf("bad BENCH_STORE_K %q: %v", v, err)
+		}
+		maxK = n
+	}
+	report := storeReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		MaxProcs:    runtime.GOMAXPROCS(0),
+		WAL:         measureWAL(t),
+	}
+	for _, k := range []int{maxK / 4, maxK} {
+		report.Sizes = append(report.Sizes, measureStoreSize(t, k))
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}
+
+func measureWAL(t *testing.T) walMeasure {
+	t.Helper()
+	row := []string{
+		"4000123412341234", "123-45-6789", "Augusta", "Byron", "12 St James Square",
+		"London", "Westminster", "SW1Y", "555-0100", "ada@example.org", "F",
+		"1815-12-10", "visa",
+	}
+	fp := store.FingerprintOf("bench")
+	run := func(n int, opts ...store.Option) (perSec float64, bytes int64) {
+		dir := t.TempDir()
+		s, err := store.Open(dir, fp, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if err := s.LogInsert(i, row); err != nil {
+				t.Fatal(err)
+			}
+		}
+		el := time.Since(start).Seconds()
+		segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+		for _, p := range segs {
+			if fi, err := os.Stat(p); err == nil {
+				bytes += fi.Size()
+			}
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return float64(n) / el, bytes
+	}
+	m := walMeasure{Records: 2000}
+	var fsBytes int64
+	m.AppendsPerSecFsync, fsBytes = run(500)
+	m.AppendsPerSecNoSync, _ = run(m.Records, store.WithNoSync())
+	m.BytesPerRecord = round3b(float64(fsBytes) / 500)
+	m.AppendsPerSecFsync = round3b(m.AppendsPerSecFsync)
+	m.AppendsPerSecNoSync = round3b(m.AppendsPerSecNoSync)
+	t.Logf("WAL: %.0f appends/s fsync, %.0f appends/s nosync, %.0f B/record",
+		m.AppendsPerSecFsync, m.AppendsPerSecNoSync, m.BytesPerRecord)
+	return m
+}
+
+func measureStoreSize(t *testing.T, k int) storeSizeMeasure {
+	t.Helper()
+	ds, err := gen.Generate(gen.DefaultConfig(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := schema.MustPair(ds.Credit.Rel, ds.Credit.Rel)
+	sigma := gen.DedupMDs(ctx)
+	link := gen.DedupClusterRules()
+	plan := selfMatchPlan(t, ctx)
+	dir := t.TempDir()
+
+	boot := func() (*Engine, *store.Store) {
+		enf, err := stream.New(ctx, sigma, stream.ClusterRules(link...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := store.Open(dir, Fingerprint(plan, enf), store.WithNoSync())
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := New(plan, WithStream(enf), WithStore(st))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng, st
+	}
+
+	// Ingest the corpus as one journaled batch, snapshot, close.
+	eng, st := boot()
+	if err := eng.Load(ds.Credit); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := eng.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	snapSec := time.Since(start).Seconds()
+	var snapBytes int64
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	for _, p := range snaps {
+		if fi, err := os.Stat(p); err == nil {
+			snapBytes += fi.Size()
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold start: recovery from the snapshot.
+	start = time.Now()
+	rec, st2 := boot()
+	recSec := time.Since(start).Seconds()
+	defer st2.Close()
+
+	// The alternative: a fresh (non-durable) engine re-ingesting the
+	// corpus — the full batch chase plus indexing a restart would redo.
+	enf, err := stream.New(ctx, sigma, stream.ClusterRules(link...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := New(plan, WithStream(enf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start = time.Now()
+	if err := fresh.Load(ds.Credit); err != nil {
+		t.Fatal(err)
+	}
+	rechaseSec := time.Since(start).Seconds()
+
+	equal := func() bool {
+		gs, ws := rec.Stream().State(), fresh.Stream().State()
+		gs.Stats.Chase.LHSEvaluations = 0
+		ws.Stats.Chase.LHSEvaluations = 0
+		return deepEqualJSON(gs, ws) && deepEqualJSON(rec.dumpRecs(), fresh.dumpRecs())
+	}()
+	if !equal {
+		t.Errorf("K=%d: recovered state diverged from the re-chased state", k)
+	}
+
+	m := storeSizeMeasure{
+		HoldersK: k, Records: ds.Credit.Len(),
+		SnapshotBytes: snapBytes, SnapshotSec: round3b(snapSec),
+		RecoverySec: round3b(recSec), RechaseSec: round3b(rechaseSec),
+		SpeedupVsRechase: round3b(rechaseSec / recSec),
+		RecoveredEqual:   equal,
+		Clusters:         rec.Stream().Stats().Clusters,
+	}
+	t.Logf("K=%d records=%d: snapshot %.0f KB in %.3fs, recovery %.3fs vs re-chase %.3fs (%.1fx)",
+		k, m.Records, float64(snapBytes)/1024, snapSec, recSec, rechaseSec, m.SpeedupVsRechase)
+	return m
+}
+
+// deepEqualJSON compares two values by their canonical JSON rendering
+// (cheap structural equality for report flags).
+func deepEqualJSON(a, b any) bool {
+	ja, err1 := json.Marshal(a)
+	jb, err2 := json.Marshal(b)
+	return err1 == nil && err2 == nil && string(ja) == string(jb)
+}
+
+func round3b(v float64) float64 {
+	s, _ := strconv.ParseFloat(fmt.Sprintf("%.3f", v), 64)
+	return s
+}

@@ -95,6 +95,26 @@ func (it *Interner) InternRight(vals []string, dst []values.ID) []values.ID {
 	return it.internRow(it.right, vals, dst)
 }
 
+// LeftStrings renders an interned left row back into strings (appended
+// from dst[:0]; pass nil to allocate). Columns no conjunct reads have
+// no dictionary — their original strings were never retained — and
+// render as ""; every column the program evaluates round-trips exactly.
+// Snapshot serialization (internal/store) uses this to persist stored
+// rows without the engine retaining raw strings.
+func (it *Interner) LeftStrings(ids []values.ID, dst []string) []string {
+	dst = dst[:0]
+	it.mu.RLock()
+	defer it.mu.RUnlock()
+	for i, d := range it.left {
+		if d == nil {
+			dst = append(dst, "")
+			continue
+		}
+		dst = append(dst, d.Value(ids[i]))
+	}
+	return dst
+}
+
 func (it *Interner) internRow(dicts []*values.Dict, vals []string, dst []values.ID) []values.ID {
 	dst = dst[:0]
 	// Fast path: every value already interned (read lock only).

@@ -1,0 +1,90 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"mdmatch/internal/stream"
+)
+
+// benchRow is a typical credit-row payload shape.
+var benchRow = []string{
+	"4000123412341234", "123-45-6789", "Augusta", "Byron", "12 St James Square",
+	"London", "Westminster", "SW1Y", "555-0100", "ada@example.org", "F",
+	"1815-12-10", "visa",
+}
+
+// BenchmarkWALAppend measures one journaled insert without the
+// per-append fsync (the kernel still sees every write in order).
+func BenchmarkWALAppend(b *testing.B) {
+	b.ReportAllocs()
+	s, err := Open(b.TempDir(), testBenchFP(), WithNoSync())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.LogInsert(i, benchRow); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWALAppendFsync measures the durable default: one fsync per
+// append.
+func BenchmarkWALAppendFsync(b *testing.B) {
+	b.ReportAllocs()
+	s, err := Open(b.TempDir(), testBenchFP())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.LogInsert(i, benchRow); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotEncode measures serializing a 1000-row state.
+func BenchmarkSnapshotEncode(b *testing.B) {
+	b.ReportAllocs()
+	snap := benchSnapshot(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := &enc{}
+		encodeSnapshot(e, snap)
+	}
+}
+
+// BenchmarkSnapshotDecode measures parsing it back.
+func BenchmarkSnapshotDecode(b *testing.B) {
+	b.ReportAllocs()
+	e := &enc{}
+	encodeSnapshot(e, benchSnapshot(1000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := decodeSnapshot(e.b); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func testBenchFP() Fingerprint { return FingerprintOf("bench") }
+
+func benchSnapshot(rows int) *Snapshot {
+	st := &stream.State{
+		Dicts: []stream.DictState{{Col: 0}},
+	}
+	for i := 0; i < rows; i++ {
+		st.Dicts[0].Values = append(st.Dicts[0].Values, fmt.Sprintf("value-%d", i))
+		st.Rows = append(st.Rows, stream.RowState{ID: i, Values: benchRow})
+	}
+	return &Snapshot{
+		LSN:    uint64(rows),
+		Stream: st,
+		Engine: []EngineRec{{ID: 1, Values: benchRow, Keys: []string{"a", "b"}}},
+	}
+}

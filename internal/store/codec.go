@@ -1,0 +1,162 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// errMalformed reports a structurally invalid payload: a truncated
+// varint, a length running past the buffer, or trailing garbage. WAL
+// records carry a CRC, so reaching it means on-disk corruption that the
+// checksum cannot catch (or a software bug), never a torn tail — torn
+// tails fail the CRC first and are truncated, not decoded.
+var errMalformed = errors.New("store: malformed payload")
+
+// enc appends a payload body. File headers use fixed-width
+// little-endian fields; payload bodies are varint-based.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v byte)        { e.b = append(e.b, v) }
+func (e *enc) u32(v uint32)     { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64)     { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) uvarint(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
+func (e *enc) varint(v int64)   { e.b = binary.AppendVarint(e.b, v) }
+
+func (e *enc) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.b = append(e.b, s...)
+}
+
+func (e *enc) strs(ss []string) {
+	e.uvarint(uint64(len(ss)))
+	for _, s := range ss {
+		e.str(s)
+	}
+}
+
+// dec decodes a payload without ever panicking on malformed input: the
+// first failure latches err and every subsequent read returns a zero
+// value. Length prefixes are validated against the remaining buffer
+// before any allocation, so hostile inputs cannot force huge
+// allocations (FuzzWALDecode exercises this).
+type dec struct {
+	b   []byte
+	err error
+}
+
+func (d *dec) fail() {
+	if d.err == nil {
+		d.err = errMalformed
+	}
+}
+
+func (d *dec) u8() byte {
+	if d.err != nil || len(d.b) < 1 {
+		d.fail()
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if d.err != nil || len(d.b) < 8 {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *dec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.b)) {
+		d.fail()
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+// count reads an element count and validates it against the remaining
+// buffer (every element costs at least one byte, so a count beyond it
+// is malformed before any allocation happens).
+func (d *dec) count() uint64 {
+	n := d.uvarint()
+	if d.err == nil && n > uint64(len(d.b)) {
+		d.fail()
+	}
+	return n
+}
+
+// preallocCap bounds a slice pre-allocation hint: element headers are
+// wider than the one-byte-per-element floor the count check enforces,
+// so sizing make() by a hostile count would amplify input bytes into
+// 8-32x the allocation. Beyond the cap, append grows the slice — paid
+// only by inputs whose actual bytes justify it.
+const preallocCap = 4096
+
+func preallocHint(n uint64) int {
+	if n > preallocCap {
+		return preallocCap
+	}
+	return int(n)
+}
+
+func (d *dec) strs() []string {
+	n := d.count()
+	if d.err != nil {
+		return nil
+	}
+	out := make([]string, 0, preallocHint(n))
+	for i := uint64(0); i < n; i++ {
+		out = append(out, d.str())
+		if d.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// done reports latched errors and rejects trailing bytes.
+func (d *dec) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.b) != 0 {
+		return errMalformed
+	}
+	return nil
+}

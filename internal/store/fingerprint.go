@@ -1,0 +1,38 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// fingerprintLen is the byte length of a plan fingerprint (SHA-256).
+const fingerprintLen = 32
+
+// Fingerprint identifies the rule configuration a data directory was
+// written under: the matching context schema, Σ, the cluster-linking
+// rule indices, the serving plan's keys and blocking key specs. Every
+// WAL segment and snapshot header carries it, and Open refuses a
+// directory whose fingerprint differs — replaying inserts under
+// different rules would silently produce a different chase (the log's
+// ordered replay is only meaningful against the rules that wrote it).
+type Fingerprint [fingerprintLen]byte
+
+// FingerprintOf hashes a rule configuration rendered as strings. Each
+// part is length-prefixed, so part boundaries cannot be forged by
+// concatenation.
+func FingerprintOf(parts ...string) Fingerprint {
+	h := sha256.New()
+	var lenBuf [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(p)))
+		h.Write(lenBuf[:])
+		h.Write([]byte(p))
+	}
+	var fp Fingerprint
+	copy(fp[:], h.Sum(nil))
+	return fp
+}
+
+// String renders a short prefix for logs and error messages.
+func (fp Fingerprint) String() string { return hex.EncodeToString(fp[:8]) }

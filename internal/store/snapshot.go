@@ -1,0 +1,349 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"slices"
+
+	"mdmatch/internal/stream"
+)
+
+// Snapshot is one serialized state capture: the stream enforcer's
+// persistent state (dictionaries, resolved rows, clusters, counters)
+// plus the engine's stored records with their pre-rendered blocking
+// keys, all captured at LSN — the state is exactly the fold of WAL
+// records 1..LSN, so recovery is "restore snapshot, replay the suffix".
+//
+// Deliberately absent, and why:
+//
+//   - verdict caches (stream and engine interner): pure memos over
+//     immutable value pairs; they rebuild on demand with identical
+//     verdicts. The only observable difference after recovery is the
+//     Chase.LHSEvaluations counter going forward (it counts cache
+//     misses, and the caches restart cold).
+//   - per-rule join indexes: their bucket keys embed lazily-assigned
+//     Soundex code IDs, so serialized keys from the writing process
+//     would be meaningless to the reader; they are a pure function of
+//     the dictionaries and rows and are rebuilt through the same code
+//     path that built them originally.
+//   - engine query counters: they describe served traffic, not
+//     recoverable state (Engine.ResetStats exists for the same reason).
+type Snapshot struct {
+	// LSN is the WAL position the state was captured at (the snapshot
+	// supersedes records 1..LSN).
+	LSN    uint64
+	Stream *stream.State
+	Engine []EngineRec
+}
+
+// EngineRec is one indexed engine record. Values carries the columns
+// the match plan's conjuncts read (the engine retains no other strings
+// — untouched columns serialize as ""); Keys carries the pre-rendered
+// blocking keys verbatim.
+type EngineRec struct {
+	ID     int
+	Values []string
+	Keys   []string
+}
+
+// encodeSnapshot renders the snapshot body (everything the CRC covers).
+// Field order is fixed and all collections are written in deterministic
+// order, so equal states produce byte-identical snapshots.
+func encodeSnapshot(e *enc, s *Snapshot) {
+	e.uvarint(uint64(len(s.Stream.Dicts)))
+	for _, d := range s.Stream.Dicts {
+		e.uvarint(uint64(d.Col))
+		e.strs(d.Values)
+	}
+	e.uvarint(uint64(len(s.Stream.Rows)))
+	for _, r := range s.Stream.Rows {
+		e.varint(int64(r.ID))
+		e.strs(r.Values)
+	}
+	e.uvarint(uint64(len(s.Stream.Clusters)))
+	for _, cl := range s.Stream.Clusters {
+		e.uvarint(uint64(len(cl)))
+		for _, id := range cl {
+			e.varint(int64(id))
+		}
+	}
+	st := s.Stream.Stats
+	e.varint(int64(st.Inserts))
+	e.varint(int64(st.Batches))
+	e.varint(int64(st.Applications))
+	e.varint(int64(st.Passes))
+	e.varint(st.Chase.PairsExamined)
+	e.varint(st.Chase.LHSEvaluations)
+	e.varint(st.Chase.RuleFirings)
+	e.uvarint(uint64(len(s.Engine)))
+	for _, r := range s.Engine {
+		e.varint(int64(r.ID))
+		e.strs(r.Values)
+		e.strs(r.Keys)
+	}
+}
+
+// decodeSnapshot parses a snapshot body. Like decodePayload it never
+// panics and validates every count against the remaining buffer before
+// allocating from it.
+func decodeSnapshot(b []byte) (*Snapshot, error) {
+	d := &dec{b: b}
+	s := &Snapshot{Stream: &stream.State{}}
+	nd := d.count()
+	for i := uint64(0); i < nd && d.err == nil; i++ {
+		ds := stream.DictState{Col: int(d.uvarint())}
+		ds.Values = d.strs()
+		s.Stream.Dicts = append(s.Stream.Dicts, ds)
+	}
+	nr := d.count()
+	for i := uint64(0); i < nr && d.err == nil; i++ {
+		r := stream.RowState{ID: int(d.varint())}
+		r.Values = d.strs()
+		s.Stream.Rows = append(s.Stream.Rows, r)
+	}
+	nc := d.count()
+	for i := uint64(0); i < nc && d.err == nil; i++ {
+		m := d.count()
+		if d.err != nil {
+			break
+		}
+		cl := make([]int, 0, preallocHint(m))
+		for j := uint64(0); j < m && d.err == nil; j++ {
+			cl = append(cl, int(d.varint()))
+		}
+		s.Stream.Clusters = append(s.Stream.Clusters, cl)
+	}
+	s.Stream.Stats.Inserts = int(d.varint())
+	s.Stream.Stats.Batches = int(d.varint())
+	s.Stream.Stats.Applications = int(d.varint())
+	s.Stream.Stats.Passes = int(d.varint())
+	s.Stream.Stats.Chase.PairsExamined = d.varint()
+	s.Stream.Stats.Chase.LHSEvaluations = d.varint()
+	s.Stream.Stats.Chase.RuleFirings = d.varint()
+	ne := d.count()
+	for i := uint64(0); i < ne && d.err == nil; i++ {
+		r := EngineRec{ID: int(d.varint())}
+		r.Values = d.strs()
+		r.Keys = d.strs()
+		s.Engine = append(s.Engine, r)
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// WriteSnapshot persists one state capture durably: the body is written
+// to a temporary file, fsynced, and renamed into place, so a crash
+// mid-write can never damage an existing snapshot. On success the WAL
+// rotates to a fresh segment and garbage collection drops snapshots
+// beyond the retention count plus every segment fully behind the oldest
+// kept snapshot. A capture at LSN 0 (empty history) is a no-op, and a
+// capture at or behind the newest snapshot is skipped.
+func (s *Store) WriteSnapshot(snap *Snapshot) error {
+	if snap.LSN == 0 {
+		return nil // nothing logged yet: recovery replays from LSN 1 anyway
+	}
+	body := &enc{}
+	encodeSnapshot(body, snap)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if snap.LSN > s.lsn {
+		return fmt.Errorf("store: snapshot LSN %d is ahead of the log (at %d)", snap.LSN, s.lsn)
+	}
+	if snap.LSN <= s.snapLSN {
+		return nil // an equal or newer snapshot already exists
+	}
+
+	f := &enc{}
+	f.b = append(f.b, fileHeader(snapMagic, s.fp, snap.LSN)...)
+	f.u64(uint64(len(body.b)))
+	f.u32(crc32.Checksum(body.b, crcTable))
+	f.b = append(f.b, body.b...)
+	final := filepath.Join(s.dir, snapshotName(snap.LSN))
+	tmp := final + ".tmp"
+	if err := writeFileSync(tmp, f.b); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	s.snapLSN = snap.LSN
+	s.snaps = append(s.snaps, snap.LSN)
+
+	// Rotate so the segments holding only superseded records can age
+	// out whole, then collect.
+	active := &s.segs[len(s.segs)-1]
+	if active.size > headerLen {
+		if err := s.startSegment(s.lsn + 1); err != nil {
+			s.failed = err
+			return err
+		}
+	}
+	// Recompute the snapshot debt BEFORE garbage collection: the
+	// snapshot is installed either way, and a GC error must not leave
+	// BytesSinceSnapshot stale (a background snapshotter keyed on it
+	// would re-capture the full state every tick for nothing).
+	s.sinceSnap = 0
+	for _, seg := range s.segs {
+		if seg.last > s.snapLSN {
+			s.sinceSnap += seg.size - headerLen
+		}
+	}
+	return s.gcLocked()
+}
+
+// gcLocked removes snapshots beyond the retention count and WAL
+// segments no kept snapshot needs. Caller holds s.mu. A file already
+// gone is success, not failure: a previous GC attempt may have removed
+// it and then failed on a later file, and treating ENOENT as an error
+// would wedge every retry (and every later snapshot) until restart.
+func (s *Store) gcLocked() error {
+	if len(s.snaps) > s.keepSnaps {
+		for _, lsn := range s.snaps[:len(s.snaps)-s.keepSnaps] {
+			if err := os.Remove(filepath.Join(s.dir, snapshotName(lsn))); err != nil && !errors.Is(err, os.ErrNotExist) {
+				return err
+			}
+		}
+		s.snaps = slices.Clone(s.snaps[len(s.snaps)-s.keepSnaps:])
+	}
+	if len(s.snaps) == 0 {
+		return nil
+	}
+	// Every record after the OLDEST kept snapshot must stay replayable
+	// (the older snapshots exist exactly to fall back on), so only
+	// segments that end at or before it can go. The active segment
+	// always stays. (Removable segments are a contiguous prefix, so an
+	// early return cannot have clobbered entries via the in-place
+	// compaction: nothing is appended to kept before the first failure.)
+	floor := s.snaps[0]
+	kept := s.segs[:0]
+	for i := range s.segs {
+		seg := s.segs[i]
+		if i < len(s.segs)-1 && seg.last <= floor {
+			if err := os.Remove(seg.path); err != nil && !errors.Is(err, os.ErrNotExist) {
+				return err
+			}
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	s.segs = kept
+	return nil
+}
+
+// LoadSnapshot decodes the newest readable snapshot, falling back to
+// older retained ones when the newest is damaged (the WAL keeps every
+// record after the oldest retained snapshot, so a fallback still
+// recovers to the log head). It returns (nil, nil) when the directory
+// has no snapshot at all, and an error when snapshots exist but none is
+// readable.
+func (s *Store) LoadSnapshot() (*Snapshot, error) {
+	s.mu.Lock()
+	snaps := slices.Clone(s.snaps)
+	s.mu.Unlock()
+	var firstErr error
+	for i := len(snaps) - 1; i >= 0; i-- {
+		snap, err := readSnapshot(filepath.Join(s.dir, snapshotName(snaps[i])), s.fp, snaps[i])
+		if err == nil {
+			return snap, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("store: no readable snapshot: %w", firstErr)
+	}
+	return nil, nil
+}
+
+// errSnapshotBody marks body-level snapshot damage (truncation, bad
+// checksum, undecodable payload) as opposed to a foreign fingerprint or
+// I/O failure: Open skips such snapshots instead of refusing the
+// directory, because the older retained snapshot is the designed
+// fallback.
+var errSnapshotBody = errors.New("store: unreadable snapshot body")
+
+// checkSnapshotBytes validates a snapshot file's header and body and
+// returns the checksummed payload.
+func checkSnapshotBytes(b []byte, path string, fp Fingerprint, want uint64) ([]byte, error) {
+	lsn, err := parseHeader(b, snapMagic, fp, path)
+	if err != nil {
+		return nil, err
+	}
+	if lsn != want {
+		return nil, fmt.Errorf("store: %s: header LSN %d does not match name", path, lsn)
+	}
+	rest := b[headerLen:]
+	if len(rest) < 12 {
+		return nil, fmt.Errorf("store: %s: truncated: %w", path, errSnapshotBody)
+	}
+	d := &dec{b: rest}
+	plen := d.u64()
+	crc := le32(d.b)
+	d.b = d.b[4:]
+	if plen != uint64(len(d.b)) {
+		return nil, fmt.Errorf("store: %s: body is %d bytes, header says %d: %w", path, len(d.b), plen, errSnapshotBody)
+	}
+	if crc32.Checksum(d.b, crcTable) != crc {
+		return nil, fmt.Errorf("store: %s: checksum mismatch: %w", path, errSnapshotBody)
+	}
+	return d.b, nil
+}
+
+// verifySnapshotFile checks a snapshot's header and body checksum
+// without decoding the state.
+func verifySnapshotFile(path string, fp Fingerprint, want uint64) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	_, err = checkSnapshotBytes(b, path, fp, want)
+	return err
+}
+
+// readSnapshot loads and validates one snapshot file.
+func readSnapshot(path string, fp Fingerprint, want uint64) (*Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	body, err := checkSnapshotBytes(b, path, fp, want)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := decodeSnapshot(body)
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: %w (%w)", path, errSnapshotBody, err)
+	}
+	snap.LSN = want
+	return snap, nil
+}
+
+// writeFileSync writes b to path and fsyncs it before returning.
+func writeFileSync(path string, b []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

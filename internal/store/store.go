@@ -1,0 +1,440 @@
+// Package store is the durability subsystem: a write-ahead log plus
+// snapshots that let the serving stack (internal/stream enforcer +
+// internal/engine match index) survive restarts instead of re-chasing
+// the world.
+//
+// Everything above this package is in-memory state grown incrementally
+// — interned dictionaries, the streaming enforcer's join indexes,
+// record clusters, the blocking index — and a restart used to throw all
+// of it away. The design follows directly from PR 4's non-confluence
+// result (stream.TestStreamNotConfluentWithBatch): online enforcement
+// is ORDER-SENSITIVE, so the only faithful recovery is to replay the
+// mutations in their original serialization order. That is exactly what
+// a WAL records:
+//
+//   - the WAL (wal.go) is a sequence of segments of length-prefixed,
+//     CRC-32C-checksummed records — Insert, InsertBatch, Remove — each
+//     segment headed by the plan fingerprint and its first LSN. A torn
+//     tail (crash mid-write) is detected and truncated on open; damage
+//     anywhere else refuses to open, because a torn write can only be
+//     at the end.
+//   - snapshots (snapshot.go) serialize the enforcer's persistent state
+//     in deterministic order — records with resolved values,
+//     column-group dictionaries in ID order, cluster memberships,
+//     cumulative stats — plus the engine's stored rows with their
+//     pre-rendered blocking keys. Verdict caches are NOT persisted:
+//     they are pure memos over immutable value pairs and rebuild on
+//     demand. Join indexes are NOT serialized byte-wise either: their
+//     bucket keys embed lazily-assigned Soundex code IDs, so they are
+//     rebuilt from the restored dictionaries (a pure function of
+//     snapshotted state; serializing the raw keys would be unsound).
+//   - recovery (engine.Recover) loads the newest valid snapshot and
+//     replays the WAL suffix, in order, through stream.Enforcer.Insert
+//     — the same code path that produced the state.
+//
+// The load-bearing property (engine.TestRecoveryEquivalence): for every
+// snapshot point i in an insertion history of length n, recovering from
+// snapshot@i plus WAL[i+1..n] is bit-identical — resolved instance,
+// clusters, dictionaries, stats — to a fresh enforcer fed the same n
+// mutations in order. The one excluded counter is
+// Stats.Chase.LHSEvaluations: it counts verdict-cache misses, and the
+// caches are rebuilt cold, so replayed misses legitimately differ from
+// the warm history (the verdicts themselves are pure and identical).
+//
+// A Store's logging methods serialize on an internal lock, but the
+// ORDER of the log is owned by the callers: the stream enforcer
+// journals under its own insertion lock, so WAL order provably equals
+// enforcement order.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"mdmatch/internal/record"
+)
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithNoSync disables the per-append fsync. Throughput rises by orders
+// of magnitude at the cost of losing the last few records on an OS
+// crash (a process crash loses nothing: writes still reach the kernel
+// in order). The benchmark report measures both modes.
+func WithNoSync() Option { return func(s *Store) { s.fsync = false } }
+
+// WithSegmentBytes sets the segment rotation threshold (default 64 MiB).
+func WithSegmentBytes(n int64) Option {
+	return func(s *Store) {
+		if n > 0 {
+			s.segBytes = n
+		}
+	}
+}
+
+// WithKeepSnapshots sets how many most-recent snapshots survive
+// garbage collection (default 2: the newest plus one fallback should
+// the newest turn out unreadable).
+func WithKeepSnapshots(n int) Option {
+	return func(s *Store) {
+		if n > 0 {
+			s.keepSnaps = n
+		}
+	}
+}
+
+// Store is the durability state of one data directory: an append
+// position in the active WAL segment plus the snapshot chain. All
+// methods are safe for concurrent use.
+type Store struct {
+	dir string
+	fp  Fingerprint
+
+	fsync     bool
+	segBytes  int64
+	keepSnaps int
+	// batchChunk is the fragmentation threshold of LogBatch (kept well
+	// under maxRecordBytes; lowered only by tests).
+	batchChunk int64
+
+	mu        sync.Mutex
+	f         *os.File  // active segment, opened for append
+	segs      []segment // all live segments, ascending; last is active
+	lsn       uint64    // last assigned LSN (0 = empty log)
+	snaps     []uint64  // retained snapshot LSNs, ascending
+	snapLSN   uint64    // newest snapshot's LSN (0 = none)
+	sinceSnap int64     // WAL bytes appended since the newest snapshot
+	failed    error     // latched append failure: the log may have a torn tail
+	closed    bool
+}
+
+// Open opens (or creates) a data directory. Every existing segment and
+// snapshot header must carry the same plan fingerprint — state written
+// under different rules refuses to open. The newest segment's torn tail
+// (if any) is truncated; corruption anywhere else is an error.
+func Open(dir string, fp Fingerprint, opts ...Option) (*Store, error) {
+	s := &Store{dir: dir, fp: fp, fsync: true, segBytes: 64 << 20, keepSnaps: 2, batchChunk: 64 << 20}
+	for _, o := range opts {
+		o(s)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	segPaths, snaps, err := listDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	// Snapshots: refuse a foreign fingerprint, but VERIFY the body
+	// checksum before trusting one — retention and segment GC floor on
+	// the oldest retained snapshot, so a bit-rotted body must not count
+	// as a fallback (it would let GC delete the WAL records the real
+	// fallback needs). A corrupt-bodied snapshot is skipped, not fatal:
+	// that is exactly what the older retained snapshot exists for.
+	for _, lsn := range snaps {
+		switch err := verifySnapshotFile(filepath.Join(dir, snapshotName(lsn)), fp, lsn); {
+		case err == nil:
+			s.snaps = append(s.snaps, lsn)
+			s.snapLSN = lsn
+		case errors.Is(err, errSnapshotBody):
+			// Unreadable body: ignore the file (a later snapshot at the
+			// same LSN would atomically replace it).
+		default:
+			return nil, err
+		}
+	}
+	for i, path := range segPaths {
+		seg, err := scanSegment(path, fp, i == len(segPaths)-1)
+		if err != nil {
+			return nil, err
+		}
+		if i > 0 && seg.first != s.segs[i-1].last+1 {
+			return nil, fmt.Errorf("store: %s: segment gap (previous ends at LSN %d)", path, s.segs[i-1].last)
+		}
+		s.segs = append(s.segs, seg)
+	}
+	if len(s.segs) > 0 {
+		// The head is the last segment's final LSN; an empty segment
+		// (rotated right after a snapshot) carries it as first-1.
+		s.lsn = s.segs[len(s.segs)-1].last
+	}
+	if len(s.segs) > 0 {
+		// The replayable suffix must connect to a snapshot (or to LSN 1).
+		if first := s.segs[0].first; first != 1 && first > s.snapLSN+1 {
+			return nil, fmt.Errorf("store: oldest segment starts at LSN %d but the newest snapshot is at %d: records are missing", first, s.snapLSN)
+		}
+	} else if s.snapLSN > 0 {
+		s.lsn = s.snapLSN
+	}
+	if s.lsn < s.snapLSN {
+		// The WAL was truncated behind the snapshot (torn tail at the
+		// very records the snapshot superseded is impossible because
+		// snapshotting rotates first — treat as corruption).
+		return nil, fmt.Errorf("store: WAL ends at LSN %d before the newest snapshot at %d", s.lsn, s.snapLSN)
+	}
+	if len(s.segs) == 0 {
+		if err := s.startSegment(s.lsn + 1); err != nil {
+			return nil, err
+		}
+	} else {
+		active := &s.segs[len(s.segs)-1]
+		f, err := os.OpenFile(active.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		s.f = f
+	}
+	s.sinceSnap = 0
+	for _, seg := range s.segs {
+		if seg.last > s.snapLSN {
+			s.sinceSnap += seg.size - headerLen
+		}
+	}
+	return s, nil
+}
+
+// startSegment creates a fresh segment whose first record will be LSN
+// first, and makes it the active one. Caller holds s.mu (or is Open).
+func (s *Store) startSegment(first uint64) error {
+	if s.f != nil {
+		if err := s.f.Close(); err != nil {
+			return err
+		}
+		s.f = nil
+	}
+	path := filepath.Join(s.dir, segmentName(first))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(fileHeader(segMagic, s.fp, first)); err != nil {
+		f.Close()
+		return err
+	}
+	if s.fsync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	s.f = f
+	s.segs = append(s.segs, segment{path: path, first: first, last: first - 1, size: headerLen})
+	return nil
+}
+
+// append assigns the next LSN and writes one record durably.
+func (s *Store) append(op Op, row Row, rows []Row, off uint64) error {
+	e := &enc{}
+	encodePayload(e, op, row, rows, off)
+	if int64(len(e.b)) > maxRecordBytes {
+		// Enforced on the write side because the read side must treat an
+		// over-limit length word as a torn tail: acknowledging a record
+		// Open would truncate silently discards durable data.
+		return fmt.Errorf("store: %s record payload is %d bytes, above the %d-byte record limit (split the batch)",
+			op, len(e.b), int64(maxRecordBytes))
+	}
+	rec := make([]byte, 0, recHeaderLen+len(e.b))
+	h := &enc{b: rec}
+	h.u32(uint32(len(e.b)))
+	h.u32(crc32.Checksum(e.b, crcTable))
+	h.b = append(h.b, e.b...)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if s.failed != nil {
+		return fmt.Errorf("store: log previously failed: %w", s.failed)
+	}
+	active := &s.segs[len(s.segs)-1]
+	if active.size > headerLen && active.size+int64(len(h.b)) > s.segBytes {
+		if err := s.startSegment(s.lsn + 1); err != nil {
+			s.failed = err
+			return err
+		}
+		active = &s.segs[len(s.segs)-1]
+	}
+	if _, err := s.f.Write(h.b); err != nil {
+		// The tail may be torn; the next Open truncates it. Latch so no
+		// later record is appended after garbage.
+		s.failed = err
+		return err
+	}
+	if s.fsync {
+		if err := s.f.Sync(); err != nil {
+			s.failed = err
+			return err
+		}
+	}
+	s.lsn++
+	active.last = s.lsn
+	active.size += int64(len(h.b))
+	s.sinceSnap += int64(len(h.b))
+	return nil
+}
+
+// LogInsert journals one record insertion. Implements stream.Journal:
+// the enforcer calls it under its insertion lock, after validation and
+// before any state mutates, so the WAL holds exactly the successful
+// insertions in enforcement order.
+func (s *Store) LogInsert(id int, vals []string) error {
+	return s.append(OpInsert, Row{ID: id, Values: vals}, nil, 0)
+}
+
+// LogBatch journals one batch insertion (a single chase over all rows).
+// A batch whose encoding would exceed the per-record limit is journaled
+// as offset-chained fragments — (OpBatchPart)* OpBatch — that Replay
+// reassembles into ONE record: the batch is one chase, and splitting
+// the chase would change enforcement (ordered replay is semantic). A
+// mid-batch failure leaves dangling fragments with no closing record;
+// reassembly discards them, matching the un-applied mutation.
+func (s *Store) LogBatch(in *record.Instance) error {
+	var (
+		rows []Row
+		size int64 // conservative encoded-size estimate of rows
+		off  uint64
+	)
+	for _, t := range in.Tuples {
+		rb := int64(2 * binary.MaxVarintLen64)
+		for _, v := range t.Values {
+			rb += int64(len(v)) + binary.MaxVarintLen64
+		}
+		if len(rows) > 0 && size+rb > s.batchChunk {
+			if err := s.append(OpBatchPart, Row{}, rows, off); err != nil {
+				return err
+			}
+			off += uint64(len(rows))
+			rows, size = rows[:0], 0
+		}
+		rows = append(rows, Row{ID: t.ID, Values: t.Values})
+		size += rb
+	}
+	return s.append(OpBatch, Row{}, rows, off)
+}
+
+// LogRemove journals the un-indexing of one record.
+func (s *Store) LogRemove(id int) error {
+	return s.append(OpRemove, Row{ID: id}, nil, 0)
+}
+
+// LSN returns the last assigned log sequence number (0 = empty log).
+func (s *Store) LSN() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lsn
+}
+
+// SnapshotLSN returns the newest snapshot's LSN (0 = none).
+func (s *Store) SnapshotLSN() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapLSN
+}
+
+// BytesSinceSnapshot returns the WAL bytes appended since the newest
+// snapshot — the recovery debt a crash right now would replay. Services
+// use it as their background snapshot trigger.
+func (s *Store) BytesSinceSnapshot() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sinceSnap
+}
+
+// Empty reports whether the directory holds no state at all (fresh
+// data dir: no snapshot, nothing logged).
+func (s *Store) Empty() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lsn == 0 && s.snapLSN == 0
+}
+
+// Dir returns the data directory path.
+func (s *Store) Dir() string { return s.dir }
+
+// Replay streams every record with LSN >= from, in order, reassembling
+// fragmented batches into single OpBatch records (dangling fragments
+// of a batch that never reached its closing record — a crash or a
+// failed append mid-LogBatch — belong to a mutation that was never
+// applied, and are dropped). It is meant for recovery, before the store
+// starts taking appends; replaying concurrently with snapshot garbage
+// collection is not supported.
+func (s *Store) Replay(from uint64, fn func(Record) error) error {
+	s.mu.Lock()
+	segs := make([]segment, len(s.segs))
+	copy(segs, s.segs)
+	s.mu.Unlock()
+	// parts buffers the fragments of the batch currently being
+	// reassembled. A fragment whose offset does not extend the buffer
+	// starts a NEW batch (the buffered one was aborted); interleaved
+	// removes pass through — they are journaled under a different lock
+	// and commute with an in-flight batch (its rows are not removable
+	// before the batch is indexed, which is after its closing record).
+	var parts []Row
+	deliver := func(rec Record) error {
+		switch rec.Op {
+		case OpBatchPart, OpBatch:
+			if rec.BatchOffset != uint64(len(parts)) {
+				if rec.BatchOffset != 0 {
+					return fmt.Errorf("store: batch record at LSN %d chains from row %d, but %d rows are buffered", rec.LSN, rec.BatchOffset, len(parts))
+				}
+				parts = parts[:0]
+			}
+			if rec.Op == OpBatchPart {
+				parts = append(parts, rec.Rows...)
+				return nil
+			}
+			if len(parts) > 0 {
+				rec.Rows = append(parts[:len(parts):len(parts)], rec.Rows...)
+				parts = nil
+			}
+			rec.BatchOffset = 0
+			return fn(rec)
+		case OpInsert:
+			// Inserts journal under the same lock as batches, so one can
+			// only follow buffered fragments if their batch was aborted.
+			parts = parts[:0]
+			return fn(rec)
+		default:
+			return fn(rec)
+		}
+	}
+	for _, seg := range segs {
+		if seg.last < from {
+			continue
+		}
+		if err := replaySegment(seg, from, deliver); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close releases the active segment. Further appends fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.f != nil {
+		return s.f.Close()
+	}
+	return nil
+}
+
+// syncDir flushes directory metadata so a freshly created or renamed
+// file survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,216 @@
+package stream
+
+import (
+	"fmt"
+	"slices"
+
+	"mdmatch/internal/record"
+	"mdmatch/internal/values"
+)
+
+// Journal records the Enforcer's successful mutations for durability
+// (internal/store implements it with a write-ahead log). The enforcer
+// calls the journal under its insertion lock, after validating a
+// mutation and before any state changes, so the journal holds exactly
+// the successful insertions in enforcement order — and enforcement
+// order is the state: online enforcement is order-sensitive
+// (TestStreamNotConfluentWithBatch), so faithful recovery must replay
+// the journal verbatim. A journal error aborts the mutation.
+type Journal interface {
+	// LogInsert records one Insert (id + original values, pre-chase).
+	LogInsert(id int, vals []string) error
+	// LogBatch records one InsertBatch (all rows, in instance order).
+	LogBatch(in *record.Instance) error
+}
+
+// SetJournal attaches a mutation journal. Recovery wires it AFTER
+// replaying history into the enforcer, so replayed insertions are not
+// re-journaled; from then on every successful Insert/InsertBatch is
+// logged before it mutates state.
+func (e *Enforcer) SetJournal(j Journal) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.journal = j
+}
+
+// JournalError wraps a journal append failure: the mutation was valid
+// but could not be made durable, so it was NOT applied. Services use
+// errors.As to map it to a server-side failure (5xx) instead of a
+// client error.
+type JournalError struct{ Err error }
+
+func (e *JournalError) Error() string { return "stream: journal: " + e.Err.Error() }
+func (e *JournalError) Unwrap() error { return e.Err }
+
+// ClusterRuleIndices returns the Σ indices whose LHS matches link
+// record clusters, ascending (all of Σ unless ClusterRules narrowed
+// the set).
+func (e *Enforcer) ClusterRuleIndices() []int {
+	out := make([]int, 0, len(e.rules))
+	for _, r := range e.rules {
+		if r.link {
+			out = append(out, r.idx)
+		}
+	}
+	return out
+}
+
+// State is the serializable persistent state of an Enforcer: everything
+// that survives across insertions and cannot be recomputed from the
+// rules alone. Verdict caches are deliberately absent — they are pure
+// memos over immutable value pairs and rebuild on demand — and so are
+// the per-rule join indexes, whose bucket keys embed lazily-assigned
+// Soundex code IDs: they are a pure function of the dictionaries and
+// rows below, and RestoreState rebuilds them through the same code path
+// that built them originally.
+type State struct {
+	// Dicts holds each column-group dictionary's interned values in ID
+	// order, keyed by the group's leader column (the smallest column
+	// sharing the dictionary). Dictionaries keep every value ever
+	// interned — including pre-resolution originals no current row
+	// carries — so restoring them verbatim reproduces ID assignment
+	// exactly.
+	Dicts []DictState
+	// Rows is the maintained instance in insertion (row) order, with
+	// current (resolved) values.
+	Rows []RowState
+	// Clusters lists the non-singleton clusters as ascending member
+	// record ids, ordered by cluster id; rows absent from every entry
+	// are singletons.
+	Clusters [][]int
+	// Stats carries the cumulative counters (Records and Clusters are
+	// recomputed from the restored state).
+	Stats Stats
+}
+
+// DictState is one column group's dictionary contents.
+type DictState struct {
+	Col    int // the group's leader column
+	Values []string
+}
+
+// RowState is one record of the maintained instance.
+type RowState struct {
+	ID     int
+	Values []string
+}
+
+// State captures the enforcer's persistent state. The result is a deep
+// copy in deterministic order: capturing the same enforcement history
+// always yields byte-identical serializations.
+func (e *Enforcer) State() *State {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stateLocked()
+}
+
+// SnapshotState captures the persistent state together with a
+// caller-supplied cursor (typically the journal's last sequence
+// number), both read under the insertion lock — no insertion can fall
+// between the state and the cursor, so "state@cursor + journal suffix
+// after cursor" is exact.
+func (e *Enforcer) SnapshotState(cursor func() uint64) (*State, uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stateLocked(), cursor()
+}
+
+func (e *Enforcer) stateLocked() *State {
+	st := &State{Stats: e.stats}
+	st.Stats.Records = e.inst.Len()
+	st.Stats.Clusters = e.clusters.count
+	for _, col := range e.leaderCols() {
+		d := e.cols.Dict(col)
+		vals := make([]string, d.Len())
+		for i := range vals {
+			vals[i] = d.Value(values.ID(i))
+		}
+		st.Dicts = append(st.Dicts, DictState{Col: col, Values: vals})
+	}
+	st.Rows = make([]RowState, 0, e.inst.Len())
+	for _, t := range e.inst.Tuples {
+		st.Rows = append(st.Rows, RowState{ID: t.ID, Values: slices.Clone(t.Values)})
+	}
+	for _, cl := range e.clusters.all() {
+		if len(cl.Members) > 1 {
+			st.Clusters = append(st.Clusters, cl.Members)
+		}
+	}
+	return st
+}
+
+// leaderCols returns each dictionary group's leader column, ascending.
+// The grouping is a pure function of (ctx, Σ), so capture and restore
+// agree on it by running the same compilation.
+func (e *Enforcer) leaderCols() []int {
+	var out []int
+	seen := make(map[*values.Dict]bool)
+	for c := 0; c < e.cols.Arity(); c++ {
+		if d := e.cols.Dict(c); !seen[d] {
+			seen[d] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// RestoreState rebuilds a freshly constructed (empty) Enforcer from a
+// captured State: dictionaries are re-interned in ID order, rows are
+// appended through the normal growth path (which rebuilds the per-rule
+// join indexes and the cell registry), cluster links are re-unioned,
+// and the counters are restored. The enforcer must have been built with
+// the same context and Σ that produced the state — the caller
+// (internal/store) guards this with a plan fingerprint.
+//
+// Everything observable — instance, clusters, dictionaries, future
+// enforcement behavior — is identical to the enforcer that captured the
+// state; the one caveat is Stats.Chase.LHSEvaluations going forward,
+// which counts verdict-cache misses, and the caches restart cold (the
+// verdicts themselves are pure and unaffected).
+func (e *Enforcer) RestoreState(st *State) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.inst.Len() != 0 || e.stats.Inserts != 0 || e.stats.Batches != 0 {
+		return fmt.Errorf("stream: restore into a non-empty enforcer")
+	}
+	leaders := e.leaderCols()
+	if len(st.Dicts) != len(leaders) {
+		return fmt.Errorf("stream: state has %d dictionaries, rules compile to %d column groups", len(st.Dicts), len(leaders))
+	}
+	for i, ds := range st.Dicts {
+		if ds.Col != leaders[i] {
+			return fmt.Errorf("stream: state dictionary %d is for column %d, rules compile group leader %d — state written under different rules?", i, ds.Col, leaders[i])
+		}
+		d := e.cols.Dict(ds.Col)
+		for j, v := range ds.Values {
+			if got := d.Intern(v); got != values.ID(j) {
+				return fmt.Errorf("stream: column %d dictionary has duplicate value %q at ID %d", ds.Col, v, j)
+			}
+		}
+	}
+	for i := range st.Rows {
+		if _, err := e.append(st.Rows[i].ID, st.Rows[i].Values); err != nil {
+			return fmt.Errorf("stream: restoring row %d: %w", i, err)
+		}
+	}
+	for _, members := range st.Clusters {
+		if len(members) < 2 {
+			continue
+		}
+		first, ok := e.rowByID[members[0]]
+		if !ok {
+			return fmt.Errorf("stream: cluster member %d is not a restored record", members[0])
+		}
+		for _, id := range members[1:] {
+			row, ok := e.rowByID[id]
+			if !ok {
+				return fmt.Errorf("stream: cluster member %d is not a restored record", id)
+			}
+			e.clusters.union(first, row)
+		}
+	}
+	e.stats = st.Stats
+	// The verdict caches restart cold: their evaluation counters are 0.
+	e.prevEvals = 0
+	return nil
+}

@@ -153,6 +153,7 @@ type Enforcer struct {
 	clusters *clusterStore
 	rules    []*ruleState
 	rowByID  map[int]int
+	journal  Journal // nil when the enforcer is not durable
 
 	// scan-local state of the rule currently being scanned (the
 	// sorted-base + overflow-heap frontier of the worklist chase).
@@ -247,9 +248,23 @@ func (e *Enforcer) Len() int {
 func (e *Enforcer) Insert(id int, vals []string) (InsertResult, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	// Validate before journaling: the WAL must hold exactly the
+	// insertions that succeed, in enforcement order.
+	if got, want := len(vals), e.ctx.Left.Arity(); got != want {
+		return InsertResult{}, fmt.Errorf("stream: %s expects %d values, got %d for id %d",
+			e.ctx.Left.Name(), want, got, id)
+	}
+	if _, dup := e.rowByID[id]; dup {
+		return InsertResult{}, fmt.Errorf("stream: duplicate record id %d", id)
+	}
+	if e.journal != nil {
+		if err := e.journal.LogInsert(id, vals); err != nil {
+			return InsertResult{}, &JournalError{Err: fmt.Errorf("insert %d: %w", id, err)}
+		}
+	}
 	row, err := e.append(id, vals)
 	if err != nil {
-		return InsertResult{}, err
+		return InsertResult{}, err // unreachable: validated above
 	}
 	e.seedRow(row)
 	e.ch.reset()
@@ -303,6 +318,11 @@ func (e *Enforcer) InsertBatch(in *record.Instance) (BatchResult, error) {
 			return BatchResult{}, fmt.Errorf("stream: duplicate record id %d within batch", t.ID)
 		}
 		batchIDs[t.ID] = struct{}{}
+	}
+	if e.journal != nil {
+		if err := e.journal.LogBatch(in); err != nil {
+			return BatchResult{}, &JournalError{Err: fmt.Errorf("batch of %d: %w", in.Len(), err)}
+		}
 	}
 	res := BatchResult{IDs: make([]int, 0, in.Len())}
 	for _, t := range in.Tuples {

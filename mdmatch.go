@@ -51,6 +51,7 @@ import (
 	"mdmatch/internal/schema"
 	"mdmatch/internal/semantics"
 	"mdmatch/internal/similarity"
+	"mdmatch/internal/store"
 	"mdmatch/internal/stream"
 )
 
@@ -411,6 +412,47 @@ func EngineShards(n int) EngineOption { return engine.WithShards(n) }
 // cluster queries about them. The enforcer's relation must be the
 // plan's left relation.
 func EngineStream(enf *StreamEnforcer) EngineOption { return engine.WithStream(enf) }
+
+// --- Durability (internal/store) ---
+
+// Store is the durability state of one data directory: a segmented,
+// checksummed write-ahead log recording every mutation plus snapshots
+// of the enforcement and serving state. Attach one to an engine with
+// EngineStore: construction recovers the directory's persisted state
+// (newest valid snapshot + the WAL suffix replayed in original
+// insertion order) and every later mutation is journaled, so a restart
+// resumes exactly where the previous process stopped.
+type Store = store.Store
+
+// StoreOption configures OpenStore.
+type StoreOption = store.Option
+
+// StoreNoSync disables the per-append WAL fsync: orders of magnitude
+// more append throughput, at the cost of losing the last few records on
+// an OS crash (a process crash loses nothing).
+func StoreNoSync() StoreOption { return store.WithNoSync() }
+
+// StoreSegmentBytes sets the WAL segment rotation threshold.
+func StoreSegmentBytes(n int64) StoreOption { return store.WithSegmentBytes(n) }
+
+// StoreKeepSnapshots sets how many most-recent snapshots survive
+// garbage collection (default 2: the newest plus one fallback).
+func StoreKeepSnapshots(n int) StoreOption { return store.WithKeepSnapshots(n) }
+
+// OpenStore opens (or creates) a durability directory for the given
+// rule configuration. The plan's keys and blocking specs plus the
+// enforcer's Σ and cluster rules are hashed into a fingerprint carried
+// by every WAL segment and snapshot; a directory written under
+// different rules refuses to open, because replaying its insertions
+// under new rules would silently produce a different chase.
+func OpenStore(dir string, plan *Plan, enf *StreamEnforcer, opts ...StoreOption) (*Store, error) {
+	return store.Open(dir, engine.Fingerprint(plan, enf), opts...)
+}
+
+// EngineStore attaches a durability store to a new engine (requires
+// EngineStream with a fresh enforcer). See Store and the runnable
+// ExampleOpenStore for the full boot-mutate-snapshot-recover cycle.
+func EngineStore(st *Store) EngineOption { return engine.WithStore(st) }
 
 // --- Incremental enforcement (internal/stream) ---
 
