@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-exec bench-stream bench-store vet docs-check clean
+.PHONY: build test bench bench-exec bench-stream bench-store bench-obs vet docs-check clean
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,17 @@ bench-stream:
 bench-store:
 	BENCH_STORE_OUT=$(CURDIR)/BENCH_store.json $(GO) test -run TestWriteStoreBenchReport -count=1 -timeout 30m -v ./internal/engine/
 	@cat BENCH_store.json
+
+# bench-obs measures what enabling the observability hooks costs on the
+# two hot paths — engine.MatchBatch and the per-insert incremental chase
+# — by running each with a nil observer (hooks compiled out at the call
+# site, structurally zero cost) and again with the full obs stack
+# attached. Recorded in BENCH_obs.json; the test fails if enabled-hook
+# overhead exceeds 3% (BENCH_OBS_MAX_OVERHEAD overrides the gate,
+# BENCH_OBS_K the corpus scale, default 2000 holders).
+bench-obs:
+	BENCH_OBS_OUT=$(CURDIR)/BENCH_obs.json $(GO) test -run TestWriteObsBenchReport -count=1 -timeout 30m -v ./internal/obs/
+	@cat BENCH_obs.json
 
 # docs-check verifies the documentation layer: formatting, vet, a
 # package comment on every package, and resolvable relative links in

@@ -23,9 +23,17 @@
 // the server drains in-flight requests, takes a final snapshot and
 // closes the log.
 //
-//	matchd -addr :8080 -k 1000 -data-dir /var/lib/matchd
+// The process is OBSERVABLE (internal/obs): the listener comes up
+// immediately and GET /readyz answers 503 — reporting recovery replay
+// progress — until the state is rebuilt, GET /metrics serves the full
+// instrument set (HTTP surface, match engine, chase, durability) in
+// Prometheus text exposition format, every request carries an
+// X-Request-Id and emits one structured log line (-log-format text or
+// json), and -debug-addr exposes net/http/pprof on a side listener.
 //
-// Endpoints (JSON in/out):
+//	matchd -addr :8080 -k 1000 -data-dir /var/lib/matchd -log-format json
+//
+// Endpoints (JSON in/out unless noted):
 //
 //	POST   /match         {"record": {"fn": "...", ...}} or {"values": [...]}
 //	                      or {"batch": [{...}, ...]} for a worker-pool batch
@@ -34,11 +42,13 @@
 //	GET    /clusters/{id} a record's cluster, members and resolved values
 //	POST   /snapshot      write a snapshot now (requires -data-dir)
 //	GET    /stats         engine + enforcement + store counters, uptime
-//	GET    /healthz       liveness
+//	GET    /healthz       liveness (the process is up)
+//	GET    /readyz        readiness (state recovered; 503 + replay progress before)
+//	GET    /metrics       Prometheus text exposition
 //
 // Request bodies are capped at -max-body-bytes (413 beyond it). See
 // docs/ARCHITECTURE.md for a curl walkthrough including a real
-// kill-and-recover transcript.
+// kill-and-recover transcript and the metrics name table.
 package main
 
 import (
@@ -47,8 +57,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -61,6 +72,7 @@ import (
 	"mdmatch/internal/core"
 	"mdmatch/internal/engine"
 	"mdmatch/internal/gen"
+	"mdmatch/internal/obs"
 	"mdmatch/internal/schema"
 	"mdmatch/internal/store"
 	"mdmatch/internal/stream"
@@ -68,6 +80,7 @@ import (
 
 func main() {
 	var cfg config
+	var logFormat, logLevel string
 	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
 	flag.IntVar(&cfg.k, "k", 1000, "card holders in the generated demo corpus")
 	flag.Int64Var(&cfg.seed, "seed", 1, "corpus generation seed")
@@ -78,45 +91,117 @@ func main() {
 	flag.Int64Var(&cfg.maxBody, "max-body-bytes", 1<<20, "request body cap (413 beyond it)")
 	flag.Int64Var(&cfg.snapBytes, "snapshot-wal-bytes", 8<<20, "WAL bytes that trigger a background snapshot")
 	flag.BoolVar(&cfg.noSync, "no-fsync", false, "skip the per-append WAL fsync (faster, loses a tail on OS crash)")
+	flag.StringVar(&logFormat, "log-format", "text", "log output format: text or json")
+	flag.StringVar(&logLevel, "log-level", "info", "minimum log level: debug, info, warn or error")
+	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "side listener for net/http/pprof (empty = disabled)")
 	flag.Parse()
 
-	srv, err := buildServer(cfg)
+	logger, err := newLogger(logFormat, logLevel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "matchd:", err)
 		os.Exit(1)
 	}
-	log.Printf("matchd: %s", srv.eng.Plan())
-	log.Printf("matchd: indexed %d credit records, serving on %s", srv.eng.Len(), cfg.addr)
+	slog.SetDefault(logger)
+	cfg.logger = logger
+	cfg.reg = obs.NewRegistry()
+
+	// The listener comes up BEFORE the state is built: /healthz, /readyz
+	// and /metrics answer immediately, the data endpoints 503 until the
+	// corpus is generated (or the previous state recovered). A restart
+	// with a large WAL is exactly when an orchestrator needs /readyz to
+	// report progress instead of timing out on a dead port.
+	srv := newServer(cfg)
+	mux := srv.routes()
+	httpm := obs.NewHTTPMetrics(cfg.reg, "matchd")
+	routeOf := func(r *http.Request) string { _, pattern := mux.Handler(r); return pattern }
 	hs := &http.Server{
 		Addr:              cfg.addr,
-		Handler:           srv.routes(),
+		Handler:           httpm.Middleware(logger, routeOf, mux),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
 
+	if cfg.debugAddr != "" {
+		go func() {
+			logger.Info("debug listener (pprof)", "addr", cfg.debugAddr)
+			// The blank net/http/pprof import registers on the default
+			// mux, which only this side listener serves.
+			if err := http.ListenAndServe(cfg.debugAddr, nil); err != nil {
+				logger.Error("debug listener", "err", err)
+			}
+		}()
+	}
+
+	buildDone := make(chan error, 1)
+	go func() {
+		err := srv.build()
+		if err == nil {
+			logger.Info("serving", "plan", srv.eng.Plan().String(),
+				"records", srv.eng.Len(), "addr", cfg.addr)
+		}
+		buildDone <- err
+	}()
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
-	select {
-	case err := <-errCh:
-		srv.close()
-		log.Fatal(err)
-	case <-ctx.Done():
-		stop()
-		log.Printf("matchd: signal received, draining")
-		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		defer cancel()
-		// Shutdown waits for in-flight handlers — including MatchBatch
-		// calls and their worker pools, which join before the handler
-		// returns — so the final snapshot below sees a quiesced engine.
-		if err := hs.Shutdown(sctx); err != nil {
-			log.Printf("matchd: drain: %v", err)
+	for {
+		select {
+		case err := <-buildDone:
+			if err != nil {
+				logger.Error("startup failed", "err", err)
+				hs.Close()
+				os.Exit(1)
+			}
+			buildDone = nil // built; a nil channel never fires again
+		case err := <-errCh:
+			srv.close()
+			logger.Error("server", "err", err)
+			os.Exit(1)
+		case <-ctx.Done():
+			stop()
+			logger.Info("signal received, draining")
+			if buildDone != nil {
+				// Let the build finish (or fail) before quiescing: close()
+				// snapshots through the engine the build is constructing.
+				if err := <-buildDone; err != nil {
+					logger.Error("startup failed", "err", err)
+					os.Exit(1)
+				}
+			}
+			sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			// Shutdown waits for in-flight handlers — including MatchBatch
+			// calls and their worker pools, which join before the handler
+			// returns — so the final snapshot below sees a quiesced engine.
+			if err := hs.Shutdown(sctx); err != nil {
+				logger.Warn("drain", "err", err)
+			}
+			srv.close()
+			logger.Info("bye")
+			return
 		}
-		srv.close()
-		log.Printf("matchd: bye")
+	}
+}
+
+// newLogger builds the process logger from the -log-format and
+// -log-level flags.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("-log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("-log-format %q: want text or json", format)
 	}
 }
 
@@ -133,16 +218,50 @@ type config struct {
 	maxBody   int64
 	snapBytes int64
 	noSync    bool
+	debugAddr string
+
+	// reg, when set, instruments every layer (engine, stream, store) on
+	// that registry; nil builds an uninstrumented server (what most unit
+	// tests want, and what the overhead benchmark compares against).
+	reg    *obs.Registry
+	logger *slog.Logger // nil = slog.Default()
 }
 
 // buildServer derives rules, compiles the plan, opens the durability
-// store (when configured) and populates the index: a fresh data
-// directory — or none — loads the generated corpus as one batch; a
-// non-empty one recovers the previous process's exact state instead.
+// store (when configured) and populates the index, synchronously. main
+// instead calls newServer + build on a goroutine so the listener can
+// answer /readyz during a long recovery; tests use this one-shot form.
 func buildServer(cfg config) (*server, error) {
+	srv := newServer(cfg)
+	if err := srv.build(); err != nil {
+		return nil, err
+	}
+	return srv, nil
+}
+
+// newServer allocates the serving shell: routes can be registered and
+// health endpoints answered immediately; the data endpoints 503 until
+// build marks the server ready.
+func newServer(cfg config) *server {
+	lg := cfg.logger
+	if lg == nil {
+		lg = slog.Default()
+	}
+	return &server{
+		cfg: cfg, log: lg, started: time.Now(),
+		maxBody: cfg.maxBody, snapBytes: cfg.snapBytes,
+	}
+}
+
+// build constructs the serving state: a fresh data directory — or none
+// — loads the generated corpus as one batch; a non-empty one recovers
+// the previous process's exact state instead. On success the server is
+// marked ready.
+func (s *server) build() error {
+	cfg := s.cfg
 	ds, err := gen.Generate(genConfig(cfg))
 	if err != nil {
-		return nil, err
+		return err
 	}
 	target := gen.Target(ds.Ctx)
 	sigma := gen.HolderMDs(ds.Ctx)
@@ -150,7 +269,7 @@ func buildServer(cfg config) (*server, error) {
 	cm.Lt = ds.LtStats()
 	keys, err := core.FindRCKs(ds.Ctx, sigma, target, cfg.m+4, cm)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	keys = core.PruneSubsumed(keys)
 	if len(keys) > cfg.m {
@@ -165,19 +284,25 @@ func buildServer(cfg config) (*server, error) {
 	}
 	plan, err := engine.Compile(ds.Ctx, keys, specs)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	dedupCtx, err := schema.NewPair(ds.Credit.Rel, ds.Credit.Rel)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	enf, err := stream.New(dedupCtx, gen.DedupMDs(dedupCtx),
-		stream.ClusterRules(gen.DedupClusterRules()...))
+	streamOpts := []stream.Option{stream.ClusterRules(gen.DedupClusterRules()...)}
+	if cfg.reg != nil {
+		streamOpts = append(streamOpts, stream.WithObserver(obs.NewStreamObserver(cfg.reg)))
+	}
+	enf, err := stream.New(dedupCtx, gen.DedupMDs(dedupCtx), streamOpts...)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	opts := []engine.Option{
 		engine.WithWorkers(cfg.workers), engine.WithShards(cfg.shards), engine.WithStream(enf),
+	}
+	if cfg.reg != nil {
+		opts = append(opts, engine.WithObserver(obs.NewEngineObserver(cfg.reg)))
 	}
 	var st *store.Store
 	if cfg.dataDir != "" {
@@ -185,10 +310,16 @@ func buildServer(cfg config) (*server, error) {
 		if cfg.noSync {
 			sopts = append(sopts, store.WithNoSync())
 		}
+		if cfg.reg != nil {
+			sopts = append(sopts, store.WithObserver(obs.NewStoreObserver(cfg.reg)))
+		}
 		st, err = store.Open(cfg.dataDir, engine.Fingerprint(plan, enf), sopts...)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		// Published before recovery starts so /readyz can report replay
+		// progress while engine.New is still chasing the WAL suffix.
+		s.stp.Store(st)
 		opts = append(opts, engine.WithStore(st))
 	}
 	fresh := st == nil || st.Empty()
@@ -197,36 +328,35 @@ func buildServer(cfg config) (*server, error) {
 		if st != nil {
 			st.Close()
 		}
-		return nil, err
+		return err
 	}
 	if fresh {
 		if err := eng.Load(ds.Credit); err != nil {
 			if st != nil {
 				st.Close()
 			}
-			return nil, err
+			return err
 		}
 	} else {
-		log.Printf("matchd: recovered %d records (%d clusters) from %s: snapshot at LSN %d + WAL to %d",
-			enf.Len(), enf.Stats().Clusters, cfg.dataDir, st.SnapshotLSN(), st.LSN())
+		s.log.Info("recovered",
+			"records", enf.Len(), "clusters", enf.Stats().Clusters,
+			"dir", cfg.dataDir, "snapshot_lsn", st.SnapshotLSN(), "lsn", st.LSN())
 	}
-	srv := &server{
-		eng: eng, st: st, ctx: ds.Ctx, started: time.Now(),
-		maxBody: cfg.maxBody, snapBytes: cfg.snapBytes,
-	}
+	s.eng, s.ctx = eng, ds.Ctx
 	maxID := -1
 	for _, t := range enf.Instance().Tuples {
 		if t.ID > maxID {
 			maxID = t.ID
 		}
 	}
-	srv.nextID.Store(int64(maxID))
-	if st != nil && srv.snapBytes > 0 {
-		srv.stopSnap = make(chan struct{})
-		srv.snapWG.Add(1)
-		go srv.snapshotLoop()
+	s.nextID.Store(int64(maxID))
+	if st != nil && s.snapBytes > 0 {
+		s.stopSnap = make(chan struct{})
+		s.snapWG.Add(1)
+		go s.snapshotLoop()
 	}
-	return srv, nil
+	s.ready.Store(true)
+	return nil
 }
 
 func genConfig(cfg config) gen.Config {
@@ -236,11 +366,19 @@ func genConfig(cfg config) gen.Config {
 }
 
 type server struct {
+	cfg     config
+	log     *slog.Logger
 	eng     *engine.Engine
-	st      *store.Store // nil when not durable
 	ctx     schema.Pair
 	nextID  atomic.Int64
 	started time.Time
+
+	// ready flips once build completes; eng/ctx/nextID are written
+	// before it and only read by handlers behind it. The store pointer
+	// is separate (and atomic) because /readyz reads it DURING build to
+	// report recovery replay progress.
+	ready atomic.Bool
+	stp   atomic.Pointer[store.Store]
 
 	maxBody   int64
 	snapBytes int64
@@ -248,6 +386,10 @@ type server struct {
 	snapWG    sync.WaitGroup
 	closeOnce sync.Once
 }
+
+// store returns the durability store, or nil when not durable (or not
+// yet opened).
+func (s *server) store() *store.Store { return s.stp.Load() }
 
 // snapshotLoop is the background snapshot trigger: once the WAL has
 // accumulated snapBytes since the last snapshot, capture one (bounding
@@ -261,13 +403,13 @@ func (s *server) snapshotLoop() {
 		case <-s.stopSnap:
 			return
 		case <-tick.C:
-			if s.st.BytesSinceSnapshot() < s.snapBytes {
+			if s.store().BytesSinceSnapshot() < s.snapBytes {
 				continue
 			}
 			if lsn, err := s.eng.Snapshot(); err != nil {
-				log.Printf("matchd: background snapshot: %v", err)
+				s.log.Error("background snapshot", "err", err)
 			} else {
-				log.Printf("matchd: background snapshot at LSN %d", lsn)
+				s.log.Info("background snapshot", "lsn", lsn)
 			}
 		}
 	}
@@ -282,32 +424,74 @@ func (s *server) close() {
 			close(s.stopSnap)
 			s.snapWG.Wait()
 		}
-		if s.st == nil {
+		st := s.store()
+		if st == nil {
 			return
 		}
-		if lsn, err := s.eng.Snapshot(); err != nil {
-			log.Printf("matchd: final snapshot: %v", err)
-		} else {
-			log.Printf("matchd: final snapshot at LSN %d", lsn)
+		if s.ready.Load() {
+			if lsn, err := s.eng.Snapshot(); err != nil {
+				s.log.Error("final snapshot", "err", err)
+			} else {
+				s.log.Info("final snapshot", "lsn", lsn)
+			}
 		}
-		if err := s.st.Close(); err != nil {
-			log.Printf("matchd: closing store: %v", err)
+		if err := st.Close(); err != nil {
+			s.log.Error("closing store", "err", err)
 		}
 	})
 }
 
 func (s *server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /match", s.limited(s.handleMatch))
-	mux.HandleFunc("POST /records", s.limited(s.handleAddRecord))
-	mux.HandleFunc("DELETE /records/{id}", s.handleDeleteRecord)
-	mux.HandleFunc("GET /clusters/{id}", s.handleCluster)
-	mux.HandleFunc("POST /snapshot", s.handleSnapshot)
-	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /match", s.whenReady(s.limited(s.handleMatch)))
+	mux.HandleFunc("POST /records", s.whenReady(s.limited(s.handleAddRecord)))
+	mux.HandleFunc("DELETE /records/{id}", s.whenReady(s.handleDeleteRecord))
+	mux.HandleFunc("GET /clusters/{id}", s.whenReady(s.handleCluster))
+	mux.HandleFunc("POST /snapshot", s.whenReady(s.handleSnapshot))
+	mux.HandleFunc("GET /stats", s.whenReady(s.handleStats))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
+	if s.cfg.reg != nil {
+		mux.Handle("GET /metrics", s.cfg.reg.Handler())
+	}
 	return mux
+}
+
+// whenReady gates a data handler on startup completion: 503 (with
+// Retry-After) until the corpus is built or the previous state
+// recovered. /healthz, /readyz and /metrics stay un-gated.
+func (s *server) whenReady(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.Load() {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, errors.New("starting: state not yet recovered"))
+			return
+		}
+		h(w, r)
+	}
+}
+
+// readyResponse is the /readyz body. Replay progress is meaningful only
+// while a durable restart is recovering: applied climbs toward target
+// as the WAL suffix replays (both 0 on a fresh build).
+type readyResponse struct {
+	Ready         bool   `json:"ready"`
+	ReplayApplied uint64 `json:"replay_applied"`
+	ReplayTarget  uint64 `json:"replay_target"`
+}
+
+func (s *server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	res := readyResponse{Ready: s.ready.Load()}
+	if st := s.store(); st != nil {
+		res.ReplayApplied, res.ReplayTarget = st.ReplayProgress()
+	}
+	status := http.StatusOK
+	if !res.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, res)
 }
 
 // limited caps the request body at maxBody bytes; decodeBody turns the
@@ -551,7 +735,8 @@ type snapshotResponse struct {
 }
 
 func (s *server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
-	if s.st == nil {
+	st := s.store()
+	if st == nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("no data directory configured (-data-dir)"))
 		return
 	}
@@ -561,7 +746,7 @@ func (s *server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, snapshotResponse{
-		LSN: lsn, SnapshotLSN: s.st.SnapshotLSN(), WALBytesLeft: s.st.BytesSinceSnapshot(),
+		LSN: lsn, SnapshotLSN: st.SnapshotLSN(), WALBytesLeft: st.BytesSinceSnapshot(),
 	})
 }
 
@@ -593,12 +778,12 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		UptimeSeconds:  time.Since(s.started).Seconds(),
 		Stream:         s.eng.Stream().Stats(),
 	}
-	if s.st != nil {
+	if ds := s.store(); ds != nil {
 		resp.Store = &storeStats{
-			Dir:                   s.st.Dir(),
-			LSN:                   s.st.LSN(),
-			SnapshotLSN:           s.st.SnapshotLSN(),
-			WALBytesSinceSnapshot: s.st.BytesSinceSnapshot(),
+			Dir:                   ds.Dir(),
+			LSN:                   ds.LSN(),
+			SnapshotLSN:           ds.SnapshotLSN(),
+			WALBytesSinceSnapshot: ds.BytesSinceSnapshot(),
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -608,7 +793,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("matchd: encoding response: %v", err)
+		slog.Error("encoding response", "err", err)
 	}
 }
 

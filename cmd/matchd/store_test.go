@@ -186,7 +186,7 @@ func TestServeJournalFailureIs500(t *testing.T) {
 	defer ts.Close()
 
 	before := srv.eng.Stream().Len()
-	srv.st.Close() // every journal append now fails
+	srv.store().Close() // every journal append now fails
 	status, out := doJSON(t, ts, http.MethodPost, "/records",
 		map[string]any{"record": map[string]string{"fn": "Valid"}})
 	if status != http.StatusInternalServerError {
@@ -271,7 +271,7 @@ func TestServeShutdownDuringBatch(t *testing.T) {
 	wg.Wait()
 
 	// The final snapshot captured everything: no WAL suffix remains.
-	if got := srv.st.BytesSinceSnapshot(); got != 0 {
+	if got := srv.store().BytesSinceSnapshot(); got != 0 {
 		t.Fatalf("WAL bytes after final snapshot = %d, want 0", got)
 	}
 	// And the directory recovers.

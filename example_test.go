@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"mdmatch"
 )
@@ -219,4 +220,68 @@ func ExampleOpenStore() {
 	// recovered record 1: [Robert Brady 555-0100 Lowell]
 	// recovered cluster 1 members: [1 2]
 	// recovered matches: [1 2]
+}
+
+// ExampleNewRegistry instruments the serving stack with the
+// zero-dependency metrics registry: layer observers push latency
+// histograms as operations happen and expose the layers' own counters
+// at scrape time, rendered in Prometheus text exposition format.
+func ExampleNewRegistry() {
+	ctx, _ := personCtx()
+	target, err := mdmatch.NewTarget(ctx,
+		mdmatch.AttrList{"name", "phone", "city"},
+		mdmatch.AttrList{"name", "phone", "city"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	key, err := mdmatch.NewKey(ctx, target, []mdmatch.Conjunct{
+		mdmatch.C("name", mdmatch.DL(0.8), "name"),
+		mdmatch.EqC("phone", "phone"),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := mdmatch.CompilePlan(ctx,
+		[]mdmatch.Key{key},
+		[]mdmatch.KeySpec{mdmatch.NewKeySpec(mdmatch.P("phone", "phone"))})
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg := mdmatch.NewRegistry()
+	eng, err := mdmatch.NewEngine(plan,
+		mdmatch.EngineWorkers(1), mdmatch.EngineObserver(reg))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Add(1, []string{"Robert Brady", "555-0100", "Lowell"}); err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Add(2, []string{"Dorothy Ramos", "555-0111", "Salem"}); err != nil {
+		log.Fatal(err)
+	}
+	for _, q := range [][]string{
+		{"Robert Bradyy", "555-0100", "Boston"},
+		{"D. Ramos", "555-0111", "Salem"},
+	} {
+		if _, err := eng.MatchOne(q); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Render the whole registry (what GET /metrics serves) and show the
+	// deterministic samples; latency histograms are in there too.
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "mdmatch_engine_indexed_records ") ||
+			strings.HasPrefix(line, "mdmatch_engine_queries_total ") ||
+			strings.HasPrefix(line, "mdmatch_engine_matched_total ") {
+			fmt.Println(line)
+		}
+	}
+	// Output:
+	// mdmatch_engine_indexed_records 2
+	// mdmatch_engine_matched_total 1
+	// mdmatch_engine_queries_total 2
 }

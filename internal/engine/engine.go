@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mdmatch/internal/exec"
 	"mdmatch/internal/metrics"
@@ -25,6 +26,27 @@ func WithWorkers(n int) Option { return func(e *Engine) { e.workers = n } }
 // WithShards sets the shard count of the blocking index and the record
 // store (rounded up to a power of two); n <= 0 selects the default.
 func WithShards(n int) Option { return func(e *Engine) { e.shardHint = n } }
+
+// Observer receives per-operation measurements from the engine's hot
+// paths. A nil observer is the default and costs nothing; a non-nil one
+// adds one clock read pair per query. Implementations must be safe for
+// concurrent use (queries run on many goroutines) and must not call
+// back into the engine. An observer that additionally implements
+// AttachEngine(*Engine) is handed the engine at construction, so it can
+// register scrape-time views over Stats() and friends.
+type Observer interface {
+	// MatchObserved reports one MatchOne/worker query: its latency and
+	// the candidate funnel (index postings retrieved, distinct candidates
+	// evaluated, matches).
+	MatchObserved(seconds float64, candidates, compared, matched int)
+	// BatchObserved reports one MatchBatch call: wall latency (workers
+	// joined) and batch size.
+	BatchObserved(seconds float64, size int)
+}
+
+// WithObserver attaches an instrumentation observer to the engine's
+// query paths. Passing nil (the default) keeps every hook a nil check.
+func WithObserver(o Observer) Option { return func(e *Engine) { e.obs = o } }
 
 // WithStream attaches an incremental enforcement engine to the serving
 // engine: every record added to the match index is also inserted into
@@ -132,9 +154,14 @@ type Engine struct {
 	interner    *exec.Interner
 	stream      *stream.Enforcer
 	durable     *store.Store
+	obs         Observer
 	workers     int
 	shardHint   int
 	scratchPool sync.Pool
+
+	// inflight counts MatchBatch calls currently executing (worker pools
+	// live); always maintained — two atomic ops per batch.
+	inflight atomic.Int64
 
 	// writeMu serializes durable mutations (AddClustered, Load) against
 	// snapshot capture: a snapshot taken mid-insert would hold the
@@ -182,6 +209,9 @@ func New(plan *Plan, opts ...Option) (*Engine, error) {
 		}
 		// Journal from here on: recovery itself must not re-log history.
 		e.stream.SetJournal(e.durable)
+	}
+	if a, ok := e.obs.(interface{ AttachEngine(*Engine) }); ok {
+		a.AttachEngine(e)
 	}
 	return e, nil
 }
@@ -382,6 +412,10 @@ type matchScratch struct {
 }
 
 func (e *Engine) matchValues(vals []string, scratch *matchScratch) Result {
+	var start time.Time
+	if e.obs != nil {
+		start = time.Now()
+	}
 	scratch.keys = e.plan.rightKeys(vals, scratch.keys[:0])
 	scratch.ids = scratch.ids[:0]
 	for _, k := range scratch.keys {
@@ -422,6 +456,9 @@ func (e *Engine) matchValues(vals []string, scratch *matchScratch) Result {
 	e.compared.Add(uint64(res.Compared))
 	e.matched.Add(uint64(len(res.Matches)))
 	e.searchSpace.Add(uint64(e.store.len()))
+	if e.obs != nil {
+		e.obs.MatchObserved(time.Since(start).Seconds(), raw, res.Compared, len(res.Matches))
+	}
 	return res
 }
 
@@ -436,6 +473,11 @@ func (e *Engine) MatchBatch(batch [][]string) ([]Result, error) {
 			return nil, fmt.Errorf("engine: batch[%d]: %s expects %d values, got %d", i, e.plan.ctx.Right.Name(), want, len(values))
 		}
 	}
+	var start time.Time
+	if e.obs != nil {
+		start = time.Now()
+	}
+	e.inflight.Add(1)
 	results := make([]Result, len(batch))
 	_ = parallelFor(len(batch), e.workers, func(i int) error {
 		sc := e.scratchPool.Get().(*matchScratch)
@@ -443,6 +485,10 @@ func (e *Engine) MatchBatch(batch [][]string) ([]Result, error) {
 		e.scratchPool.Put(sc)
 		return nil
 	})
+	e.inflight.Add(-1)
+	if e.obs != nil {
+		e.obs.BatchObserved(time.Since(start).Seconds(), len(batch))
+	}
 	return results, nil
 }
 
@@ -483,6 +529,15 @@ func (e *Engine) Stats() Stats {
 		SearchSpace:    e.searchSpace.Load(),
 	}
 }
+
+// InFlightBatches returns the number of MatchBatch calls currently
+// executing (their worker pools live) — the engine's utilization gauge.
+func (e *Engine) InFlightBatches() int64 { return e.inflight.Load() }
+
+// PairEvals returns the interner's cumulative pair-decision counters:
+// total candidate pairs decided, and the subset that fell off the warm
+// (fully verdict-cached) path into operator evaluation.
+func (e *Engine) PairEvals() (total, resolved uint64) { return e.interner.PairEvals() }
 
 // ResetStats zeroes the query counters (the store and index are kept).
 func (e *Engine) ResetStats() {

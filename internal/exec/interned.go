@@ -2,6 +2,7 @@ package exec
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"mdmatch/internal/similarity"
 	"mdmatch/internal/values"
@@ -34,6 +35,13 @@ type Interner struct {
 	left, right []*values.Dict
 	// conjs is aligned with prog.conjuncts.
 	conjs []internedConjunct
+
+	// pairEvals counts EvalPairIDs calls; pairResolves the subset whose
+	// decision needed a resolving pass (a decision-relevant verdict-cache
+	// miss). Their ratio is the warm-path hit rate the serving layer
+	// exposes.
+	pairEvals    atomic.Uint64
+	pairResolves atomic.Uint64
 }
 
 type internedConjunct struct {
@@ -244,12 +252,22 @@ func (it *Interner) evalPair(lids, rids []values.ID, resolve bool) (verdict, kno
 // property-checked in interned_test.go and the bench report's
 // equivalence cross-checks).
 func (it *Interner) EvalPairIDs(lids, rids []values.ID) bool {
+	it.pairEvals.Add(1)
 	it.mu.RLock()
 	verdict, known := it.evalPair(lids, rids, false)
 	it.mu.RUnlock()
 	if known {
 		return verdict
 	}
+	it.pairResolves.Add(1)
 	verdict, _ = it.evalPair(lids, rids, true)
 	return verdict
+}
+
+// PairEvals returns the cumulative EvalPairIDs call count and the
+// subset that fell off the warm (fully cached) path into a resolving
+// pass. total - resolved is the number of pair decisions answered
+// entirely from verdict caches.
+func (it *Interner) PairEvals() (total, resolved uint64) {
+	return it.pairEvals.Load(), it.pairResolves.Load()
 }

@@ -1,0 +1,380 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is a small, strict parser for the Prometheus text
+// exposition format (version 0.0.4) — the in-repo conformance check
+// that the registry's own output, and matchd's /metrics endpoint,
+// actually is what a Prometheus scraper expects. It validates:
+//
+//   - metric and label name charsets;
+//   - HELP/TYPE comment structure (at most one of each per family, TYPE
+//     before the family's first sample, known type keywords);
+//   - sample syntax including quoted-label escape sequences;
+//   - histogram shape: every histogram has _bucket/_sum/_count series,
+//     bucket counts are cumulative (non-decreasing in le order), and
+//     the terminal le="+Inf" bucket exists and equals _count.
+//
+// It is intentionally stricter than real scrapers (which tolerate
+// missing HELP, interleaved families, etc.): the registry always emits
+// the strict form, so any drift is a bug.
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	// Name is the sample's full name (for histograms, including the
+	// _bucket/_sum/_count suffix).
+	Name string
+	// Labels holds the label pairs, including a histogram's le.
+	Labels map[string]string
+	// Value is the sample value.
+	Value float64
+}
+
+// Family is one parsed metric family.
+type Family struct {
+	// Name is the family name (histogram samples drop their suffix).
+	Name string
+	// Help and Type are the comment lines' payloads.
+	Help, Type string
+	// Samples are the family's series in exposition order.
+	Samples []Sample
+}
+
+// ParseText parses and validates a text exposition. It returns the
+// families in exposition order, or an error describing the first
+// violation.
+func ParseText(r io.Reader) ([]Family, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var (
+		fams  []Family
+		byFam = map[string]int{}
+		line  int
+	)
+	famOf := func(sampleName string) string {
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base, ok := strings.CutSuffix(sampleName, suffix)
+			if !ok {
+				continue
+			}
+			if i, ok := byFam[base]; ok && fams[i].Type == typeHistogram {
+				return base
+			}
+		}
+		return sampleName
+	}
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			kind, name, payload, err := parseComment(text)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", line, err)
+			}
+			if kind == "" {
+				continue // free-form comment
+			}
+			i, ok := byFam[name]
+			if !ok {
+				byFam[name] = len(fams)
+				i = len(fams)
+				fams = append(fams, Family{Name: name})
+			}
+			f := &fams[i]
+			switch kind {
+			case "HELP":
+				if f.Help != "" {
+					return nil, fmt.Errorf("line %d: second HELP for %s", line, name)
+				}
+				f.Help = payload
+			case "TYPE":
+				if f.Type != "" {
+					return nil, fmt.Errorf("line %d: second TYPE for %s", line, name)
+				}
+				if len(f.Samples) > 0 {
+					return nil, fmt.Errorf("line %d: TYPE for %s after its samples", line, name)
+				}
+				switch payload {
+				case typeCounter, typeGauge, typeHistogram, "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown TYPE %q for %s", line, payload, name)
+				}
+				f.Type = payload
+			}
+			continue
+		}
+		s, err := parseSample(text)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		fam := famOf(s.Name)
+		i, ok := byFam[fam]
+		if !ok {
+			return nil, fmt.Errorf("line %d: sample %s has no preceding TYPE", line, s.Name)
+		}
+		fams[i].Samples = append(fams[i].Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for i := range fams {
+		if fams[i].Type == "" {
+			return nil, fmt.Errorf("family %s has no TYPE", fams[i].Name)
+		}
+		if fams[i].Type == typeHistogram {
+			if err := validateHistogram(&fams[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+// parseComment splits a "# HELP name payload" / "# TYPE name type"
+// line; free-form comments return kind "".
+func parseComment(text string) (kind, name, payload string, err error) {
+	rest, ok := strings.CutPrefix(text, "# ")
+	if !ok {
+		return "", "", "", nil
+	}
+	kind, rest, ok = strings.Cut(rest, " ")
+	if kind != "HELP" && kind != "TYPE" {
+		return "", "", "", nil
+	}
+	if !ok {
+		return "", "", "", fmt.Errorf("malformed %s comment", kind)
+	}
+	name, payload, ok = strings.Cut(rest, " ")
+	if !ok && kind == "TYPE" {
+		return "", "", "", fmt.Errorf("TYPE without a type keyword")
+	}
+	if !validName(name, false) {
+		return "", "", "", fmt.Errorf("%s names invalid metric %q", kind, name)
+	}
+	return kind, name, payload, nil
+}
+
+// parseSample parses one sample line.
+func parseSample(text string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	i := strings.IndexAny(text, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("malformed sample %q", text)
+	}
+	s.Name = text[:i]
+	if !validName(s.Name, false) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest := text[i:]
+	if rest[0] == '{' {
+		body, tail, err := cutLabelBlock(rest[1:])
+		if err != nil {
+			return s, fmt.Errorf("sample %s: %w", s.Name, err)
+		}
+		if err := parseLabels(body, s.Labels); err != nil {
+			return s, fmt.Errorf("sample %s: %w", s.Name, err)
+		}
+		rest = tail
+	}
+	rest = strings.TrimSpace(rest)
+	// A timestamp after the value is legal in the format; the registry
+	// never emits one, and extra fields are rejected here.
+	if strings.ContainsAny(rest, " \t") {
+		return s, fmt.Errorf("sample %s: unexpected trailing fields in %q", s.Name, rest)
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return s, fmt.Errorf("sample %s: bad value %q", s.Name, rest)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// cutLabelBlock splits "...}" into the label body and the tail after
+// the closing brace, honoring escapes inside quoted values.
+func cutLabelBlock(text string) (body, tail string, err error) {
+	inQuote := false
+	for i := 0; i < len(text); i++ {
+		switch text[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return text[:i], text[i+1:], nil
+			}
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label block")
+}
+
+func parseLabels(body string, out map[string]string) error {
+	for len(body) > 0 {
+		eq := strings.Index(body, "=")
+		if eq < 0 {
+			return fmt.Errorf("malformed label in %q", body)
+		}
+		name := strings.TrimSpace(body[:eq])
+		if !validName(name, true) {
+			return fmt.Errorf("invalid label name %q", name)
+		}
+		rest := body[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return fmt.Errorf("label %s: unquoted value", name)
+		}
+		val, n, err := unquoteLabel(rest[1:])
+		if err != nil {
+			return fmt.Errorf("label %s: %w", name, err)
+		}
+		if _, dup := out[name]; dup {
+			return fmt.Errorf("duplicate label %s", name)
+		}
+		out[name] = val
+		body = rest[1+n:]
+		body = strings.TrimPrefix(strings.TrimSpace(body), ",")
+		body = strings.TrimSpace(body)
+	}
+	return nil
+}
+
+// unquoteLabel decodes a label value up to its closing quote, returning
+// the decoded value and the bytes consumed including the quote.
+func unquoteLabel(s string) (string, int, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return b.String(), i + 1, nil
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", 0, fmt.Errorf("dangling escape")
+			}
+			switch s[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", 0, fmt.Errorf("unknown escape \\%c", s[i])
+			}
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated label value")
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// validateHistogram checks the histogram shape of one family: per
+// label-set, cumulative non-decreasing buckets in ascending le order, a
+// terminal le="+Inf" bucket, and _sum/_count series with
+// count == +Inf bucket.
+func validateHistogram(f *Family) error {
+	type series struct {
+		bounds []float64
+		counts []float64
+		sum    *float64
+		count  *float64
+	}
+	group := map[string]*series{}
+	keyOf := func(labels map[string]string) string {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			if k != "le" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			b.WriteString(k)
+			b.WriteByte('\x00')
+			b.WriteString(labels[k])
+			b.WriteByte('\x00')
+		}
+		return b.String()
+	}
+	get := func(labels map[string]string) *series {
+		k := keyOf(labels)
+		if group[k] == nil {
+			group[k] = &series{}
+		}
+		return group[k]
+	}
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			le, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("histogram %s: bucket without le label", f.Name)
+			}
+			bound, err := parseValue(le)
+			if err != nil {
+				return fmt.Errorf("histogram %s: bad le %q", f.Name, le)
+			}
+			g := get(s.Labels)
+			g.bounds = append(g.bounds, bound)
+			g.counts = append(g.counts, s.Value)
+		case f.Name + "_sum":
+			v := s.Value
+			get(s.Labels).sum = &v
+		case f.Name + "_count":
+			v := s.Value
+			get(s.Labels).count = &v
+		default:
+			return fmt.Errorf("histogram %s: unexpected sample %s", f.Name, s.Name)
+		}
+	}
+	for _, g := range group {
+		if len(g.bounds) == 0 {
+			return fmt.Errorf("histogram %s: series without buckets", f.Name)
+		}
+		for i := 1; i < len(g.bounds); i++ {
+			if g.bounds[i] <= g.bounds[i-1] {
+				return fmt.Errorf("histogram %s: le bounds not increasing", f.Name)
+			}
+			if g.counts[i] < g.counts[i-1] {
+				return fmt.Errorf("histogram %s: bucket counts not cumulative", f.Name)
+			}
+		}
+		last := len(g.bounds) - 1
+		if !math.IsInf(g.bounds[last], 1) {
+			return fmt.Errorf("histogram %s: missing terminal le=\"+Inf\" bucket", f.Name)
+		}
+		if g.sum == nil || g.count == nil {
+			return fmt.Errorf("histogram %s: missing _sum or _count", f.Name)
+		}
+		if *g.count != g.counts[last] {
+			return fmt.Errorf("histogram %s: _count %v != +Inf bucket %v", f.Name, *g.count, g.counts[last])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// HTTPMetrics is the serving-surface instrument set: per-route request
+// counts by status class, a per-route latency histogram, an in-flight
+// gauge, and body byte counters. One instance instruments one handler
+// tree.
+type HTTPMetrics struct {
+	requests  *CounterVec
+	duration  *HistogramVec
+	inflight  *Gauge
+	reqBytes  *Counter
+	respBytes *Counter
+}
+
+// NewHTTPMetrics registers the HTTP metric families under the given
+// namespace (e.g. "matchd" -> matchd_http_requests_total).
+func NewHTTPMetrics(r *Registry, namespace string) *HTTPMetrics {
+	return &HTTPMetrics{
+		requests: r.CounterVec(namespace+"_http_requests_total",
+			"HTTP requests served, by route pattern and status class.", "route", "code"),
+		duration: r.HistogramVec(namespace+"_http_request_duration_seconds",
+			"HTTP request latency by route pattern.", DefBuckets(), "route"),
+		inflight: r.Gauge(namespace+"_http_in_flight_requests",
+			"Requests currently being served."),
+		reqBytes: r.Counter(namespace+"_http_request_body_bytes_total",
+			"Request body bytes received (Content-Length sum)."),
+		respBytes: r.Counter(namespace+"_http_response_body_bytes_total",
+			"Response body bytes written."),
+	}
+}
+
+// statusWriter captures the status code and body bytes of a response.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// RequestIDHeader carries the request id on both request and response.
+const RequestIDHeader = "X-Request-Id"
+
+// newRequestID returns a fresh 16-hex-digit request id.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// statusClass folds a status code into its exposition label ("2xx").
+func statusClass(code int) string {
+	switch {
+	case code < 200:
+		return "1xx"
+	case code < 300:
+		return "2xx"
+	case code < 400:
+		return "3xx"
+	case code < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}
+
+// Middleware wraps next with request instrumentation: a generated (or
+// propagated) X-Request-Id, the HTTPMetrics families labeled by the
+// route pattern routeOf reports, and one structured log line per
+// request on logger. logger may be nil (metrics only); routeOf reports
+// "" for unrouted requests, exposed as route="unmatched" so bad paths
+// cannot explode the label space.
+func (m *HTTPMetrics) Middleware(logger *slog.Logger, routeOf func(*http.Request) string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get(RequestIDHeader)
+		if id == "" {
+			id = newRequestID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+		sw := &statusWriter{ResponseWriter: w}
+		m.inflight.Inc()
+		next.ServeHTTP(sw, r)
+		m.inflight.Dec()
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		route := routeOf(r)
+		if route == "" {
+			route = "unmatched"
+		}
+		elapsed := time.Since(start)
+		m.requests.With(route, statusClass(sw.status)).Inc()
+		m.duration.With(route).Observe(elapsed.Seconds())
+		if r.ContentLength > 0 {
+			m.reqBytes.Add(r.ContentLength)
+		}
+		m.respBytes.Add(sw.bytes)
+		if logger != nil {
+			logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("request_id", id),
+				slog.String("method", r.Method),
+				slog.String("route", route),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", sw.status),
+				slog.Duration("duration", elapsed),
+				slog.Int64("bytes", sw.bytes),
+			)
+		}
+	})
+}

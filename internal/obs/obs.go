@@ -1,0 +1,500 @@
+// Package obs is the zero-dependency observability layer: an
+// atomic-counter/gauge/histogram registry that renders the Prometheus
+// text exposition format (format version 0.0.4), HTTP middleware that
+// measures and logs every request, and adapters that wire the serving
+// stack's hook interfaces (engine.Observer, stream.Observer,
+// store.Observer) into registry metrics.
+//
+// The package deliberately imports nothing outside the standard
+// library: go.mod stays dependency-free, and every layer below it
+// (engine, stream, values, store) sees only its own small Observer
+// interface — a nil observer is a no-op, so the hot paths pay nothing
+// when telemetry is disabled (BENCH_obs.json pins the bound).
+//
+// Metric primitives follow the Prometheus data model:
+//
+//   - Counter: a monotonically increasing integer (atomic).
+//   - Gauge: a float that can go up and down (atomic float64 bits).
+//   - Histogram: fixed buckets of atomic counts plus a running sum,
+//     rendered cumulatively with the mandatory le="+Inf" bucket.
+//   - Vec variants add a fixed label-name set with one child per
+//     label-value combination.
+//   - CollectCounter/CollectGauge register scrape-time families: the
+//     callback emits samples from state the layers already maintain
+//     (engine.Stats, stream.Stats, store counters), so cumulative
+//     totals cost the hot path nothing at all.
+//
+// All primitives are safe for concurrent use, including concurrently
+// with rendering.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Emit delivers one scrape-time sample; labelValues must be parallel to
+// the label names the family was registered with.
+type Emit func(value float64, labelValues ...string)
+
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// Registry holds metric families and renders them in the Prometheus
+// text exposition format. The zero value is not usable; construct with
+// NewRegistry. Registration is idempotent for an identical
+// (name, type, help, labels, buckets) signature and panics on a
+// conflicting re-registration — metric names are code, and a silent
+// collision would corrupt the scrape.
+type Registry struct {
+	mu   sync.RWMutex
+	fams map[string]*family
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// family is one metric family: a name, type and help string plus either
+// static children (one per label-value combination) or a scrape-time
+// collect callback.
+type family struct {
+	name, help, kind string
+	labels           []string
+	buckets          []float64 // histograms only
+
+	mu       sync.RWMutex
+	children map[string]*child
+	order    []string // child keys, sorted lazily at render
+
+	collect func(Emit) // non-nil: samples are produced at scrape time
+}
+
+// child is one concrete time series of a family.
+type child struct {
+	labelVals []string
+
+	bits atomic.Uint64 // counter: integer count; gauge: float64 bits
+
+	counts  []atomic.Uint64 // histogram: per-bucket (non-cumulative) counts; last is +Inf
+	sumBits atomic.Uint64   // histogram: float64 bits of the running sum
+}
+
+// validName matches the Prometheus metric/label name charset.
+func validName(s string, label bool) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(!label && r == ':') || (i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Registry) register(name, help, kind string, labels []string, buckets []float64, collect func(Emit)) *family {
+	if !validName(name, false) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l, true) {
+			panic(fmt.Sprintf("obs: metric %s: invalid label name %q", name, l))
+		}
+	}
+	if kind == typeHistogram {
+		for i := 1; i < len(buckets); i++ {
+			if buckets[i] <= buckets[i-1] {
+				panic(fmt.Sprintf("obs: metric %s: buckets not strictly increasing", name))
+			}
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		same := f.kind == kind && f.help == help && f.collect == nil && collect == nil &&
+			equalStrings(f.labels, labels) && equalFloats(f.buckets, buckets)
+		if !same {
+			panic(fmt.Sprintf("obs: metric %s already registered with a different signature", name))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, kind: kind,
+		labels: append([]string(nil), labels...), buckets: append([]float64(nil), buckets...),
+		children: make(map[string]*child), collect: collect,
+	}
+	r.fams[name] = f
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// childFor returns (creating on first use) the series for one
+// label-value combination.
+func (f *family) childFor(labelVals []string) *child {
+	if len(labelVals) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %s expects %d label values, got %d", f.name, len(f.labels), len(labelVals)))
+	}
+	key := strings.Join(labelVals, "\x00")
+	f.mu.RLock()
+	c, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	c = &child{labelVals: append([]string(nil), labelVals...)}
+	if f.kind == typeHistogram {
+		c.counts = make([]atomic.Uint64, len(f.buckets)+1)
+	}
+	f.children[key] = c
+	f.order = append(f.order, key)
+	return c
+}
+
+// --- Counter ---
+
+// Counter is a monotonically increasing count.
+type Counter struct{ c *child }
+
+// Counter registers (or returns) a plain counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, typeCounter, nil, nil, nil)
+	return &Counter{c: f.childFor(nil)}
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// CounterVec registers (or returns) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{f: r.register(name, help, typeCounter, labelNames, nil, nil)}
+}
+
+// With returns the counter for one label-value combination.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	return &Counter{c: v.f.childFor(labelValues)}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.c.bits.Add(1) }
+
+// Add adds n (n is a count; negative deltas are a programming error and
+// are ignored to keep the counter monotone).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.c.bits.Add(uint64(n))
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.c.bits.Load() }
+
+// --- Gauge ---
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ c *child }
+
+// Gauge registers (or returns) a plain gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, typeGauge, nil, nil, nil)
+	return &Gauge{c: f.childFor(nil)}
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.c.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta atomically.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds one. Dec subtracts one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.c.bits.Load()) }
+
+// --- Histogram ---
+
+// Histogram counts observations into fixed buckets and accumulates
+// their sum; rendering adds the implicit le="+Inf" bucket and the
+// _sum/_count series.
+type Histogram struct {
+	f *family
+	c *child
+}
+
+// Histogram registers (or returns) a histogram with the given bucket
+// upper bounds (strictly increasing; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.register(name, help, typeHistogram, nil, buckets, nil)
+	return &Histogram{f: f, c: f.childFor(nil)}
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers (or returns) a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	return &HistogramVec{f: r.register(name, help, typeHistogram, labelNames, buckets, nil)}
+}
+
+// With returns the histogram for one label-value combination.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	return &Histogram{f: v.f, c: v.f.childFor(labelValues)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.f.buckets, v) // first bucket with bound >= v
+	h.c.counts[i].Add(1)
+	for {
+		old := h.c.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.c.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.c.counts {
+		n += h.c.counts[i].Load()
+	}
+	return n
+}
+
+// DefBuckets returns the default latency buckets (seconds), spanning
+// the stack's range from sub-100µs interned matches to multi-second
+// batch chases.
+func DefBuckets() []float64 {
+	return []float64{
+		25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+		1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+		1, 2.5, 5, 10,
+	}
+}
+
+// SizeBuckets returns exponential count buckets (1..~262k) for record
+// and candidate counts.
+func SizeBuckets() []float64 {
+	b := make([]float64, 0, 10)
+	for v := 1; v <= 1<<18; v <<= 2 {
+		b = append(b, float64(v))
+	}
+	return b
+}
+
+// --- scrape-time collectors ---
+
+// CollectCounter registers a counter family whose samples are produced
+// at scrape time by fn: zero hot-path cost for totals the layers
+// already count. fn must emit monotonically non-decreasing values.
+func (r *Registry) CollectCounter(name, help string, labelNames []string, fn func(Emit)) {
+	r.register(name, help, typeCounter, labelNames, nil, fn)
+}
+
+// CollectGauge registers a gauge family whose samples are produced at
+// scrape time by fn.
+func (r *Registry) CollectGauge(name, help string, labelNames []string, fn func(Emit)) {
+	r.register(name, help, typeGauge, labelNames, nil, fn)
+}
+
+// --- rendering ---
+
+// WritePrometheus renders every family in the text exposition format,
+// families and series in deterministic (sorted) order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.fams))
+	for name := range r.fams {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.fams[name])
+	}
+	r.mu.RUnlock()
+	var b strings.Builder
+	for _, f := range fams {
+		f.render(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Handler returns an http.Handler serving the rendered registry (the
+// GET /metrics endpoint).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			// The connection is gone; nothing useful to do.
+			return
+		}
+	})
+}
+
+func (f *family) render(b *strings.Builder) {
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.kind)
+	if f.collect != nil {
+		f.renderCollected(b)
+		return
+	}
+	f.mu.Lock()
+	sort.Strings(f.order)
+	keys := append([]string(nil), f.order...)
+	children := make([]*child, len(keys))
+	for i, k := range keys {
+		children[i] = f.children[k]
+	}
+	f.mu.Unlock()
+	for _, c := range children {
+		switch f.kind {
+		case typeCounter:
+			writeSample(b, f.name, f.labels, c.labelVals, "", "", strconv.FormatUint(c.bits.Load(), 10))
+		case typeGauge:
+			writeSample(b, f.name, f.labels, c.labelVals, "", "", formatFloat(math.Float64frombits(c.bits.Load())))
+		case typeHistogram:
+			var cum uint64
+			for i, bound := range f.buckets {
+				cum += c.counts[i].Load()
+				writeSample(b, f.name+"_bucket", f.labels, c.labelVals, "le", formatFloat(bound), strconv.FormatUint(cum, 10))
+			}
+			cum += c.counts[len(f.buckets)].Load()
+			writeSample(b, f.name+"_bucket", f.labels, c.labelVals, "le", "+Inf", strconv.FormatUint(cum, 10))
+			writeSample(b, f.name+"_sum", f.labels, c.labelVals, "", "", formatFloat(math.Float64frombits(c.sumBits.Load())))
+			writeSample(b, f.name+"_count", f.labels, c.labelVals, "", "", strconv.FormatUint(cum, 10))
+		}
+	}
+}
+
+// renderCollected gathers the scrape-time samples, sorts them by label
+// values for a deterministic exposition, and writes them.
+func (f *family) renderCollected(b *strings.Builder) {
+	type sample struct {
+		vals  []string
+		value float64
+	}
+	var samples []sample
+	f.collect(func(value float64, labelValues ...string) {
+		if len(labelValues) != len(f.labels) {
+			panic(fmt.Sprintf("obs: collect %s: expected %d label values, got %d", f.name, len(f.labels), len(labelValues)))
+		}
+		samples = append(samples, sample{vals: append([]string(nil), labelValues...), value: value})
+	})
+	sort.Slice(samples, func(i, j int) bool {
+		for k := range samples[i].vals {
+			if samples[i].vals[k] != samples[j].vals[k] {
+				return samples[i].vals[k] < samples[j].vals[k]
+			}
+		}
+		return false
+	})
+	for _, s := range samples {
+		writeSample(b, f.name, f.labels, s.vals, "", "", formatFloat(s.value))
+	}
+}
+
+// writeSample writes one exposition line; extraName/extraVal append one
+// more label (the histogram le).
+func writeSample(b *strings.Builder, name string, labels, vals []string, extraName, extraVal, value string) {
+	b.WriteString(name)
+	if len(labels) > 0 || extraName != "" {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(vals[i]))
+			b.WriteByte('"')
+		}
+		if extraName != "" {
+			if len(labels) > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(extraName)
+			b.WriteString(`="`)
+			b.WriteString(extraVal)
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }

@@ -1,0 +1,365 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// famMap indexes parsed families by name.
+func famMap(t *testing.T, text string) map[string]Family {
+	t.Helper()
+	fams, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParseText: %v\n--- exposition ---\n%s", err, text)
+	}
+	out := make(map[string]Family, len(fams))
+	for _, f := range fams {
+		out[f.Name] = f
+	}
+	return out
+}
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestRenderRoundTrip feeds every primitive, renders the registry, and
+// re-parses the exposition with the strict conformance parser: the
+// registry's own output must be exactly what a scraper expects.
+func TestRenderRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests_total", "Requests.").Add(3)
+	v := r.CounterVec("by_code_total", "By code.", "route", "code")
+	v.With("/match", "2xx").Add(5)
+	v.With("/match", "5xx").Inc()
+	v.With(`we"ird\ro🦉te`, "4xx").Inc() // label escaping survives the round trip
+	g := r.Gauge("inflight", "In flight.")
+	g.Set(2.5)
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(50) // above the last bound: only the +Inf bucket
+	r.CollectGauge("collected", "From a callback.", []string{"shard"}, func(emit Emit) {
+		emit(7, "1")
+		emit(3, "0")
+	})
+
+	fams := famMap(t, render(t, r))
+
+	if f := fams["requests_total"]; f.Type != "counter" || f.Samples[0].Value != 3 {
+		t.Fatalf("requests_total = %+v", f)
+	}
+	byCode := fams["by_code_total"]
+	if len(byCode.Samples) != 3 {
+		t.Fatalf("by_code_total has %d samples", len(byCode.Samples))
+	}
+	found := false
+	for _, s := range byCode.Samples {
+		if s.Labels["route"] == `we"ird\ro🦉te` {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("escaped label value did not round-trip: %+v", byCode.Samples)
+	}
+	if f := fams["inflight"]; f.Type != "gauge" || f.Samples[0].Value != 2.5 {
+		t.Fatalf("inflight = %+v", f)
+	}
+	lat := fams["latency_seconds"]
+	if lat.Type != "histogram" {
+		t.Fatalf("latency_seconds type = %s", lat.Type)
+	}
+	// Cumulative buckets: 0.01→1, 0.1→2, 1→2, +Inf→3.
+	wantBuckets := map[string]float64{"0.01": 1, "0.1": 2, "1": 2, "+Inf": 3}
+	for _, s := range lat.Samples {
+		switch s.Name {
+		case "latency_seconds_bucket":
+			if got := s.Value; got != wantBuckets[s.Labels["le"]] {
+				t.Fatalf("bucket le=%s = %v, want %v", s.Labels["le"], got, wantBuckets[s.Labels["le"]])
+			}
+		case "latency_seconds_count":
+			if s.Value != 3 {
+				t.Fatalf("count = %v", s.Value)
+			}
+		case "latency_seconds_sum":
+			if math.Abs(s.Value-50.055) > 1e-9 {
+				t.Fatalf("sum = %v", s.Value)
+			}
+		}
+	}
+	// Collected samples render sorted by label values.
+	col := fams["collected"]
+	if len(col.Samples) != 2 || col.Samples[0].Labels["shard"] != "0" || col.Samples[0].Value != 3 {
+		t.Fatalf("collected = %+v", col.Samples)
+	}
+}
+
+func TestHistogramCount(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "h.", DefBuckets())
+	for i := 0; i < 10; i++ {
+		h.Observe(float64(i) * 0.001)
+	}
+	if h.Count() != 10 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	mustPanic("bad metric name", func() { r.Counter("bad-name", "x") })
+	mustPanic("bad label name", func() { r.CounterVec("ok_total", "x", "bad-label") })
+	mustPanic("unsorted buckets", func() { r.Histogram("h", "x", []float64{1, 1}) })
+
+	r.Counter("dup_total", "same")
+	r.Counter("dup_total", "same") // identical signature: idempotent
+	mustPanic("conflicting help", func() { r.Counter("dup_total", "different") })
+	mustPanic("conflicting kind", func() { r.Gauge("dup_total", "same") })
+	mustPanic("wrong label count", func() {
+		r.CounterVec("labeled_total", "x", "a", "b").With("only-one")
+	})
+}
+
+func TestCounterIgnoresNegative(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c.")
+	c.Add(5)
+	c.Add(-3)
+	if c.Value() != 5 {
+		t.Fatalf("Value = %d", c.Value())
+	}
+}
+
+func TestGaugeAdd(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g", "g.")
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if g.Value() != 1 {
+		t.Fatalf("Value = %v", g.Value())
+	}
+}
+
+// TestParseTextRejectsMalformed pins the conformance parser's teeth:
+// each input violates the format in one way and must be rejected.
+func TestParseTextRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE": "orphan_total 1\n",
+		"second TYPE":         "# TYPE a counter\n# TYPE a counter\na 1\n",
+		"second HELP":         "# HELP a x\n# HELP a y\n# TYPE a counter\na 1\n",
+		"TYPE after samples":  "# HELP a x\na 1\n# TYPE a counter\n",
+		"unknown type":        "# TYPE a enum\na 1\n",
+		"bad metric name":     "# TYPE a counter\na 1\nbad-name 2\n",
+		"bad label name":      "# TYPE a counter\na{bad-l=\"x\"} 1\n",
+		"unquoted label":      "# TYPE a counter\na{l=x} 1\n",
+		"unterminated labels": "# TYPE a counter\na{l=\"x\" 1\n",
+		"duplicate label":     "# TYPE a counter\na{l=\"x\",l=\"y\"} 1\n",
+		"bad escape":          "# TYPE a counter\na{l=\"\\t\"} 1\n",
+		"trailing fields":     "# TYPE a counter\na 1 1700000000\n",
+		"bad value":           "# TYPE a counter\na one\n",
+		"histogram without +Inf": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"histogram non-cumulative": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+		"histogram unsorted le": "# TYPE h histogram\n" +
+			"h_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
+		"histogram count mismatch": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 5\n",
+		"histogram missing sum": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+	}
+	for name, input := range cases {
+		if _, err := ParseText(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted\n%s", name, input)
+		}
+	}
+}
+
+// TestConcurrentScrape hammers every primitive from many goroutines
+// while scraping concurrently; run under -race this is the data-race
+// proof for the whole registry.
+func TestConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c.")
+	v := r.CounterVec("v_total", "v.", "worker")
+	g := r.Gauge("g", "g.")
+	h := r.Histogram("h_seconds", "h.", DefBuckets())
+	hv := r.HistogramVec("hv_seconds", "hv.", DefBuckets(), "worker")
+	r.CollectGauge("cg", "cg.", nil, func(emit Emit) { emit(float64(c.Value())) })
+
+	const workers, iters = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lbl := string(rune('a' + w))
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				v.With(lbl).Inc()
+				g.Add(1)
+				h.Observe(float64(i%100) * 1e-4)
+				hv.With(lbl).Observe(float64(i%100) * 1e-4)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			if _, err := ParseText(strings.NewReader(render(t, r))); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	fams := famMap(t, render(t, r))
+	if got := fams["c_total"].Samples[0].Value; got != workers*iters {
+		t.Fatalf("c_total = %v, want %d", got, workers*iters)
+	}
+	var hvCount float64
+	for _, s := range fams["hv_seconds"].Samples {
+		if s.Name == "hv_seconds_count" {
+			hvCount += s.Value
+		}
+	}
+	if hvCount != workers*iters {
+		t.Fatalf("hv_seconds count = %v, want %d", hvCount, workers*iters)
+	}
+}
+
+// TestMiddleware drives a tiny handler tree through the HTTP middleware
+// and checks the instruments: per-route counters by status class, the
+// latency histogram, request-id propagation, the unmatched-route
+// bucket, and the structured per-request log line.
+func TestMiddleware(t *testing.T) {
+	reg := NewRegistry()
+	m := NewHTTPMetrics(reg, "test")
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /ok", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("fine"))
+	})
+	mux.HandleFunc("GET /boom", func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "no", http.StatusInternalServerError)
+	})
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&logBuf, nil))
+	routeOf := func(r *http.Request) string { _, p := mux.Handler(r); return p }
+	ts := httptest.NewServer(m.Middleware(logger, routeOf, mux))
+	defer ts.Close()
+
+	get := func(path, reqID string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reqID != "" {
+			req.Header.Set(RequestIDHeader, reqID)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	if resp := get("/ok", ""); resp.Header.Get(RequestIDHeader) == "" {
+		t.Fatal("no generated request id")
+	}
+	if resp := get("/ok", "fixed-id-1"); resp.Header.Get(RequestIDHeader) != "fixed-id-1" {
+		t.Fatalf("request id not propagated: %q", resp.Header.Get(RequestIDHeader))
+	}
+	get("/boom", "")
+	get("/nowhere", "")
+
+	fams := famMap(t, render(t, reg))
+	want := map[[2]string]float64{
+		{"GET /ok", "2xx"}:   2,
+		{"GET /boom", "5xx"}: 1,
+		{"unmatched", "4xx"}: 1,
+	}
+	got := map[[2]string]float64{}
+	for _, s := range fams["test_http_requests_total"].Samples {
+		got[[2]string{s.Labels["route"], s.Labels["code"]}] = s.Value
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("requests_total%v = %v, want %v (all: %v)", k, got[k], v, got)
+		}
+	}
+	var durCount float64
+	for _, s := range fams["test_http_request_duration_seconds"].Samples {
+		if s.Name == "test_http_request_duration_seconds_count" {
+			durCount += s.Value
+		}
+	}
+	if durCount != 4 {
+		t.Fatalf("duration count = %v, want 4", durCount)
+	}
+	if v := fams["test_http_in_flight_requests"].Samples[0].Value; v != 0 {
+		t.Fatalf("in-flight after quiesce = %v", v)
+	}
+	if v := fams["test_http_response_body_bytes_total"].Samples[0].Value; v == 0 {
+		t.Fatal("no response bytes counted")
+	}
+
+	// One structured line per request, with the documented fields.
+	lines := strings.Split(strings.TrimSpace(logBuf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d log lines, want 4", len(lines))
+	}
+	var entry map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &entry); err != nil {
+		t.Fatal(err)
+	}
+	if entry["request_id"] != "fixed-id-1" || entry["route"] != "GET /ok" ||
+		entry["method"] != "GET" || entry["status"] != float64(200) {
+		t.Fatalf("log entry = %v", entry)
+	}
+	for _, field := range []string{"duration", "bytes", "path"} {
+		if _, ok := entry[field]; !ok {
+			t.Fatalf("log entry missing %s: %v", field, entry)
+		}
+	}
+}
+
+// TestHandlerContentType pins the exposition content type.
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x.")
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if _, err := ParseText(rec.Body); err != nil {
+		t.Fatal(err)
+	}
+}

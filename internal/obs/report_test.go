@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"mdmatch/internal/blocking"
+	"mdmatch/internal/core"
+	"mdmatch/internal/engine"
+	"mdmatch/internal/gen"
+	"mdmatch/internal/schema"
+	"mdmatch/internal/stream"
+)
+
+// obsBenchReport is the schema of BENCH_obs.json, the repo's running
+// record of instrumentation overhead (written by `make bench-obs`).
+// The "plain" side of each path runs with a nil observer, which is the
+// hooks-disabled configuration: no hook code executes at all, so the
+// nil-hook overhead is structurally zero and the measured delta is the
+// full cost of enabling metrics.
+//
+// Methodology: plain and instrumented passes are interleaved (A/B per
+// round) and each side keeps its best round, so clock drift and other
+// tenants on the machine hit both sides alike. Match passes are
+// calibrated to a minimum wall time because a single MatchBatch is too
+// short to time reliably.
+type obsBenchReport struct {
+	GeneratedAt string      `json:"generated_at"`
+	GoVersion   string      `json:"go_version"`
+	MaxProcs    int         `json:"gomaxprocs"`
+	Rounds      int         `json:"rounds_per_variant"`
+	GatePct     float64     `json:"gate_overhead_pct"`
+	MatchBatch  pathMeasure `json:"match_batch"`
+	Insert      pathMeasure `json:"stream_insert"`
+}
+
+type pathMeasure struct {
+	CorpusK             int     `json:"corpus_k"`
+	Ops                 int     `json:"ops"`
+	PlainSeconds        float64 `json:"plain_seconds"`
+	InstrumentedSeconds float64 `json:"instrumented_seconds"`
+	PlainNsPerOp        float64 `json:"plain_ns_per_op"`
+	HookNsPerOp         float64 `json:"hook_ns_per_op"`
+	OverheadPct         float64 `json:"overhead_pct"`
+}
+
+func newPathMeasure(k, ops int, plain, instr float64) pathMeasure {
+	m := pathMeasure{
+		CorpusK: k, Ops: ops,
+		PlainSeconds:        plain,
+		InstrumentedSeconds: instr,
+		PlainNsPerOp:        plain / float64(ops) * 1e9,
+		HookNsPerOp:         (instr - plain) / float64(ops) * 1e9,
+	}
+	if plain > 0 {
+		m.OverheadPct = (instr - plain) / plain * 100
+	}
+	return m
+}
+
+// obsBenchPlan compiles the same plan matchd serves: RCKs discovered on
+// the card-holder context, pruned, with the three paper blocking keys.
+func obsBenchPlan(t *testing.T, ds *gen.Dataset) *engine.Plan {
+	t.Helper()
+	target := gen.Target(ds.Ctx)
+	sigma := gen.HolderMDs(ds.Ctx)
+	keys, err := core.FindRCKs(ds.Ctx, sigma, target, 9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys = core.PruneSubsumed(keys)
+	if len(keys) > 5 {
+		keys = keys[:5]
+	}
+	specs := []blocking.KeySpec{
+		blocking.NewKeySpec(core.P("ln", "ln"), core.P("zip", "zip")).
+			WithEncoder(0, blocking.SoundexEncode),
+		blocking.NewKeySpec(core.P("tel", "phn")),
+		blocking.NewKeySpec(core.P("fn", "fn"), core.P("dob", "dob")).
+			WithEncoder(0, blocking.SoundexEncode),
+	}
+	plan, err := engine.Compile(ds.Ctx, keys, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// measureMatch times MatchBatch over the billing stream with and
+// without the obs stack. Both engines are built and warmed up front;
+// rounds alternate plain/instrumented so ambient noise cancels, and
+// each round loops the batch until the pass is long enough to time.
+func measureMatch(t *testing.T, plan *engine.Plan, ds *gen.Dataset, rounds int) (plain, instr float64, ops int) {
+	t.Helper()
+	mk := func(opts ...engine.Option) *engine.Engine {
+		opts = append([]engine.Option{engine.WithWorkers(runtime.GOMAXPROCS(0))}, opts...)
+		eng, err := engine.New(plan, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Load(ds.Credit); err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	engines := []*engine.Engine{
+		mk(),
+		mk(engine.WithObserver(NewEngineObserver(NewRegistry()))),
+	}
+	batch := make([][]string, len(ds.Billing.Tuples))
+	for i, tup := range ds.Billing.Tuples {
+		batch[i] = tup.Values
+	}
+	pass := func(eng *engine.Engine, iters int) float64 {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := eng.MatchBatch(batch); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start).Seconds() / float64(iters)
+	}
+	// Warm both sides, then calibrate the per-pass iteration count so
+	// one pass takes >= ~0.5s regardless of corpus scale.
+	est := pass(engines[0], 1)
+	_ = pass(engines[1], 1)
+	iters := int(0.5/est) + 1
+	best := []float64{0, 0}
+	for r := 0; r < rounds; r++ {
+		for side, eng := range engines {
+			got := pass(eng, iters)
+			if r == 0 || got < best[side] {
+				best[side] = got
+			}
+		}
+	}
+	return best[0], best[1], len(batch)
+}
+
+// measureInsert times the incremental chase over the credit stream.
+// The enforcer is stateful, so each pass rebuilds it fresh (outside the
+// timer) and replays the identical insert sequence; plain and
+// instrumented passes alternate. The observer side constructs a fresh
+// registry per pass because attaching an observer registers
+// scrape-time collectors bound to that enforcer.
+func measureInsert(t *testing.T, ds *gen.Dataset, rounds int) (plain, instr float64, ops int) {
+	t.Helper()
+	dedupCtx, err := schema.NewPair(ds.Credit.Rel, ds.Credit.Rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sides := []func() []stream.Option{
+		func() []stream.Option { return nil },
+		func() []stream.Option {
+			return []stream.Option{stream.WithObserver(NewStreamObserver(NewRegistry()))}
+		},
+	}
+	pass := func(extra []stream.Option) float64 {
+		opts := append([]stream.Option{stream.ClusterRules(gen.DedupClusterRules()...)}, extra...)
+		enf, err := stream.New(dedupCtx, gen.DedupMDs(dedupCtx), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		for _, tup := range ds.Credit.Tuples {
+			if _, err := enf.Insert(tup.ID, tup.Values); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start).Seconds()
+	}
+	best := []float64{0, 0}
+	for r := 0; r < rounds; r++ {
+		for side, extra := range sides {
+			got := pass(extra())
+			if r == 0 || got < best[side] {
+				best[side] = got
+			}
+		}
+	}
+	return best[0], best[1], len(ds.Credit.Tuples)
+}
+
+// TestWriteObsBenchReport measures the hot-path cost of enabling the
+// observability hooks: MatchBatch and stream.Insert with a nil observer
+// versus the same workload with the full obs stack attached. It is
+// skipped unless BENCH_OBS_OUT names the output file (wired up as
+// `make bench-obs`), so regular test runs stay fast. The gate fails the
+// test when enabled-hook overhead exceeds the budget (default 3%,
+// overridable with BENCH_OBS_MAX_OVERHEAD for noisy shared runners).
+func TestWriteObsBenchReport(t *testing.T) {
+	out := os.Getenv("BENCH_OBS_OUT")
+	if out == "" {
+		t.Skip("set BENCH_OBS_OUT=<path> to write the overhead report")
+	}
+	// Match overhead is measured at the engine bench's production scale
+	// (the hook cost is constant per query, so undersized corpora with
+	// cheap queries overstate the ratio); the insert path uses the
+	// stream bench's default scale to keep chase passes tractable.
+	matchK, insertK := 4000, 2000
+	if v := os.Getenv("BENCH_OBS_K"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			t.Fatalf("bad BENCH_OBS_K %q: %v", v, err)
+		}
+		matchK, insertK = n, n
+	}
+	gate := 3.0
+	if v := os.Getenv("BENCH_OBS_MAX_OVERHEAD"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			t.Fatalf("bad BENCH_OBS_MAX_OVERHEAD %q: %v", v, err)
+		}
+		gate = f
+	}
+	const rounds = 5
+
+	report := obsBenchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		MaxProcs:    runtime.GOMAXPROCS(0),
+		Rounds:      rounds,
+		GatePct:     gate,
+	}
+
+	matchDS, err := gen.Generate(gen.DefaultConfig(matchK))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, instr, ops := measureMatch(t, obsBenchPlan(t, matchDS), matchDS, rounds)
+	report.MatchBatch = newPathMeasure(matchK, ops, plain, instr)
+
+	insertDS := matchDS
+	if insertK != matchK {
+		if insertDS, err = gen.Generate(gen.DefaultConfig(insertK)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plain, instr, ops = measureInsert(t, insertDS, rounds)
+	report.Insert = newPathMeasure(insertK, ops, plain, instr)
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for name, m := range map[string]pathMeasure{
+		"match_batch": report.MatchBatch, "stream_insert": report.Insert,
+	} {
+		t.Logf("%s: plain %.4fs, instrumented %.4fs (%.2f%%, hook %.0f ns/op)",
+			name, m.PlainSeconds, m.InstrumentedSeconds, m.OverheadPct, m.HookNsPerOp)
+		if m.OverheadPct > gate {
+			t.Errorf("%s instrumentation overhead %.2f%% exceeds %.1f%% gate",
+				name, m.OverheadPct, gate)
+		}
+	}
+}

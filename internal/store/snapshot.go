@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"slices"
+	"time"
 
 	"mdmatch/internal/stream"
 )
@@ -161,6 +162,10 @@ func (s *Store) WriteSnapshot(snap *Snapshot) error {
 	if snap.LSN <= s.snapLSN {
 		return nil // an equal or newer snapshot already exists
 	}
+	var start time.Time
+	if s.obs != nil {
+		start = time.Now()
+	}
 
 	f := &enc{}
 	f.b = append(f.b, fileHeader(snapMagic, s.fp, snap.LSN)...)
@@ -180,6 +185,11 @@ func (s *Store) WriteSnapshot(snap *Snapshot) error {
 	}
 	s.snapLSN = snap.LSN
 	s.snaps = append(s.snaps, snap.LSN)
+	s.snapTime = time.Now()
+	s.snapSize = int64(len(f.b))
+	if s.obs != nil {
+		s.obs.SnapshotObserved(time.Since(start).Seconds(), len(f.b))
+	}
 
 	// Rotate so the segments holding only superseded records can age
 	// out whole, then collect.

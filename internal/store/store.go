@@ -55,9 +55,30 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"mdmatch/internal/record"
 )
+
+// Observer receives per-operation measurements from the durability
+// path. A nil observer is the default and costs nothing. Calls are made
+// with the store lock held; implementations must be fast and must not
+// call back into the Store. An observer that additionally implements
+// AttachStore(*Store) is handed the store at Open, so it can register
+// scrape-time views (LSN positions, segment count, snapshot age,
+// recovery progress).
+type Observer interface {
+	// AppendObserved reports one durable WAL append: wall latency
+	// (including the fsync when enabled) and record bytes written.
+	AppendObserved(seconds float64, bytes int)
+	// SnapshotObserved reports one completed snapshot write: wall
+	// latency and the encoded snapshot size.
+	SnapshotObserved(seconds float64, bytes int)
+}
+
+// WithObserver attaches an instrumentation observer; nil disables.
+func WithObserver(o Observer) Option { return func(s *Store) { s.obs = o } }
 
 // Option configures a Store.
 type Option func(*Store)
@@ -109,8 +130,17 @@ type Store struct {
 	snaps     []uint64  // retained snapshot LSNs, ascending
 	snapLSN   uint64    // newest snapshot's LSN (0 = none)
 	sinceSnap int64     // WAL bytes appended since the newest snapshot
+	snapTime  time.Time // newest snapshot's write time (file mtime on Open)
+	snapSize  int64     // newest snapshot's encoded size in bytes
 	failed    error     // latched append failure: the log may have a torn tail
 	closed    bool
+
+	obs Observer // nil when not instrumented
+
+	// Replay progress, maintained atomically so a /readyz handler can
+	// report recovery progress while Replay is still running.
+	replayed     atomic.Uint64 // LSN of the last record delivered
+	replayTarget atomic.Uint64 // log head at replay start (0 = no replay)
 }
 
 // Open opens (or creates) a data directory. Every existing segment and
@@ -194,6 +224,16 @@ func Open(dir string, fp Fingerprint, opts ...Option) (*Store, error) {
 			s.sinceSnap += seg.size - headerLen
 		}
 	}
+	if s.snapLSN > 0 {
+		// Age/size of the inherited snapshot: best-effort from the file.
+		if fi, err := os.Stat(filepath.Join(dir, snapshotName(s.snapLSN))); err == nil {
+			s.snapTime = fi.ModTime()
+			s.snapSize = fi.Size()
+		}
+	}
+	if a, ok := s.obs.(interface{ AttachStore(*Store) }); ok {
+		a.AttachStore(s)
+	}
 	return s, nil
 }
 
@@ -251,6 +291,10 @@ func (s *Store) append(op Op, row Row, rows []Row, off uint64) error {
 	if s.failed != nil {
 		return fmt.Errorf("store: log previously failed: %w", s.failed)
 	}
+	var start time.Time
+	if s.obs != nil {
+		start = time.Now()
+	}
 	active := &s.segs[len(s.segs)-1]
 	if active.size > headerLen && active.size+int64(len(h.b)) > s.segBytes {
 		if err := s.startSegment(s.lsn + 1); err != nil {
@@ -275,6 +319,9 @@ func (s *Store) append(op Op, row Row, rows []Row, off uint64) error {
 	active.last = s.lsn
 	active.size += int64(len(h.b))
 	s.sinceSnap += int64(len(h.b))
+	if s.obs != nil {
+		s.obs.AppendObserved(time.Since(start).Seconds(), len(h.b))
+	}
 	return nil
 }
 
@@ -345,6 +392,31 @@ func (s *Store) BytesSinceSnapshot() int64 {
 	return s.sinceSnap
 }
 
+// Segments returns the number of live WAL segments (including the
+// active one).
+func (s *Store) Segments() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.segs)
+}
+
+// LastSnapshot returns the newest snapshot's write time and encoded
+// size in bytes (zero values when no snapshot exists). For a snapshot
+// inherited at Open the time is the file's mtime.
+func (s *Store) LastSnapshot() (when time.Time, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapTime, s.snapSize
+}
+
+// ReplayProgress reports recovery replay progress: the LSN of the last
+// record delivered and the log head at replay start. Both are 0 before
+// Replay runs; applied == target once it finishes. Safe to call
+// concurrently with Replay — this is what a readiness endpoint polls.
+func (s *Store) ReplayProgress() (applied, target uint64) {
+	return s.replayed.Load(), s.replayTarget.Load()
+}
+
 // Empty reports whether the directory holds no state at all (fresh
 // data dir: no snapshot, nothing logged).
 func (s *Store) Empty() bool {
@@ -367,7 +439,14 @@ func (s *Store) Replay(from uint64, fn func(Record) error) error {
 	s.mu.Lock()
 	segs := make([]segment, len(s.segs))
 	copy(segs, s.segs)
+	head := s.lsn
 	s.mu.Unlock()
+	// Publish progress so /readyz can report how far recovery has come
+	// while this loop is still running.
+	s.replayTarget.Store(head)
+	if from > 0 {
+		s.replayed.Store(from - 1)
+	}
 	// parts buffers the fragments of the batch currently being
 	// reassembled. A fragment whose offset does not extend the buffer
 	// starts a NEW batch (the buffered one was aborted); interleaved
@@ -393,15 +472,23 @@ func (s *Store) Replay(from uint64, fn func(Record) error) error {
 				parts = nil
 			}
 			rec.BatchOffset = 0
-			return fn(rec)
+			if err := fn(rec); err != nil {
+				return err
+			}
 		case OpInsert:
 			// Inserts journal under the same lock as batches, so one can
 			// only follow buffered fragments if their batch was aborted.
 			parts = parts[:0]
-			return fn(rec)
+			if err := fn(rec); err != nil {
+				return err
+			}
 		default:
-			return fn(rec)
+			if err := fn(rec); err != nil {
+				return err
+			}
 		}
+		s.replayed.Store(rec.LSN)
+		return nil
 	}
 	for _, seg := range segs {
 		if seg.last < from {

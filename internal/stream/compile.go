@@ -70,6 +70,9 @@ type ruleState struct {
 	dirtyL, dirtyR map[int]struct{}
 	// idxL/idxR are the persistent join indexes (nil for dense rules).
 	idxL, idxR *sideIndex
+	// Cumulative per-rule telemetry (written under the enforcer's lock):
+	// candidate pairs visited, LHS matches, and RHS-identifying firings.
+	examined, matched, fired int64
 }
 
 func (r *ruleState) blockable() bool { return r.idxL != nil }

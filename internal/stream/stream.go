@@ -70,6 +70,7 @@ import (
 	"fmt"
 	"slices"
 	"sync"
+	"time"
 
 	"mdmatch/internal/core"
 	"mdmatch/internal/metrics"
@@ -134,6 +135,40 @@ type Stats struct {
 	Chase metrics.ChaseStats `json:"chase"`
 }
 
+// RuleStat is one rule's cumulative enforcement telemetry.
+type RuleStat struct {
+	// Examined counts candidate pairs visited for this rule.
+	Examined int64 `json:"examined"`
+	// Matched counts visits where the rule's LHS held (the paper's
+	// "the records match by this rule").
+	Matched int64 `json:"matched"`
+	// Fired counts LHS matches that identified unequal RHS cells (chase
+	// applications attributed to this rule).
+	Fired int64 `json:"fired"`
+}
+
+// Observer receives per-insertion measurements. A nil observer (the
+// default) costs nothing. Calls are made under the enforcer's insertion
+// lock, in serialization order; implementations must be fast and must
+// not call back into the Enforcer. An observer that additionally
+// implements AttachStream(*Enforcer) is handed the enforcer at
+// construction for scrape-time views over Stats/RuleStats/CacheStats.
+type Observer interface {
+	// InsertObserved reports one Insert: wall latency, the chase rounds
+	// and firings it took, and the candidate pairs its frontier visited.
+	InsertObserved(seconds float64, passes, applications int, pairsExamined int64)
+	// BatchObserved reports one InsertBatch (one chase over rows records).
+	BatchObserved(seconds float64, rows, passes, applications int)
+}
+
+// WithObserver attaches an instrumentation observer; nil disables.
+func WithObserver(o Observer) Option {
+	return func(e *Enforcer) error {
+		e.obs = o
+		return nil
+	}
+}
+
 // Enforcer is the incremental enforcement engine. All methods are safe
 // for concurrent use; insertions serialize on an internal lock, and the
 // enforcement outcome is the left-fold of per-insert chases in that
@@ -153,7 +188,8 @@ type Enforcer struct {
 	clusters *clusterStore
 	rules    []*ruleState
 	rowByID  map[int]int
-	journal  Journal // nil when the enforcer is not durable
+	journal  Journal  // nil when the enforcer is not durable
+	obs      Observer // nil when not instrumented
 
 	// scan-local state of the rule currently being scanned (the
 	// sorted-base + overflow-heap frontier of the worklist chase).
@@ -225,6 +261,9 @@ func New(ctx schema.Pair, sigma []core.MD, opts ...Option) (*Enforcer, error) {
 			return nil, err
 		}
 	}
+	if a, ok := e.obs.(interface{ AttachStream(*Enforcer) }); ok {
+		a.AttachStream(e)
+	}
 	return e, nil
 }
 
@@ -246,6 +285,10 @@ func (e *Enforcer) Len() int {
 // retained. Inserting an existing id is an error (enforcement cannot be
 // undone, so records cannot be replaced).
 func (e *Enforcer) Insert(id int, vals []string) (InsertResult, error) {
+	var start time.Time
+	if e.obs != nil {
+		start = time.Now() // before the lock: queueing is part of latency
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	// Validate before journaling: the WAL must hold exactly the
@@ -268,11 +311,16 @@ func (e *Enforcer) Insert(id int, vals []string) (InsertResult, error) {
 	}
 	e.seedRow(row)
 	e.ch.reset()
+	pairsBefore := e.stats.Chase.PairsExamined
 	apps, passes, err := e.run()
 	if err != nil {
 		return InsertResult{}, err
 	}
 	e.stats.Inserts++
+	if e.obs != nil {
+		e.obs.InsertObserved(time.Since(start).Seconds(), passes, apps,
+			e.stats.Chase.PairsExamined-pairsBefore)
+	}
 	return InsertResult{
 		ID:           id,
 		Cluster:      e.clusters.clusterID(row),
@@ -297,6 +345,10 @@ func (e *Enforcer) InsertBatch(in *record.Instance) (BatchResult, error) {
 	if in.Rel != e.ctx.Left {
 		return BatchResult{}, fmt.Errorf("stream: instance is over %s, enforcer expects %s",
 			in.Rel.Name(), e.ctx.Left.Name())
+	}
+	var start time.Time
+	if e.obs != nil {
+		start = time.Now()
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -342,6 +394,9 @@ func (e *Enforcer) InsertBatch(in *record.Instance) (BatchResult, error) {
 	res.AppliedMDs = e.takeApplied()
 	res.Applications = apps
 	res.Passes = passes
+	if e.obs != nil {
+		e.obs.BatchObserved(time.Since(start).Seconds(), in.Len(), passes, apps)
+	}
 	return res, nil
 }
 
@@ -387,6 +442,33 @@ func (e *Enforcer) Stats() Stats {
 	st.Records = e.inst.Len()
 	st.Clusters = e.clusters.count
 	return st
+}
+
+// RuleStats returns per-rule cumulative telemetry, indexed like Σ. The
+// counters are kept out of Stats so recovery-equivalence checks on the
+// aggregate snapshot stay byte-comparable.
+func (e *Enforcer) RuleStats() []RuleStat {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]RuleStat, len(e.rules))
+	for i, r := range e.rules {
+		out[i] = RuleStat{Examined: r.examined, Matched: r.matched, Fired: r.fired}
+	}
+	return out
+}
+
+// CacheStats returns the cumulative verdict-cache traffic across every
+// similarity conjunct: lookups, and the misses that evaluated their
+// operator. Misses equal Stats().Chase.LHSEvaluations; like it, they
+// are excluded from recovery equivalence (caches rebuild cold).
+func (e *Enforcer) CacheStats() (lookups, misses int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, c := range e.conjs {
+		lookups += c.Lookups()
+		misses += c.Evaluations()
+	}
+	return lookups, misses
 }
 
 // append adds one record everywhere growth happens: the instance, the
@@ -688,6 +770,7 @@ func (e *Enforcer) scanDenseSweep(r *ruleState, n int) bool {
 // verdict-cache miss.
 func (e *Enforcer) visit(r *ruleState, i1, i2 int) bool {
 	e.stats.Chase.PairsExamined++
+	r.examined++
 	for ci := range r.lhs {
 		c := &r.lhs[ci]
 		switch c.kind {
@@ -709,6 +792,7 @@ func (e *Enforcer) visit(r *ruleState, i1, i2 int) bool {
 	// identity, the records are rule-matched (clusters link on matches,
 	// not only on value-changing firings — an exact duplicate matches
 	// every rule trivially yet fires none).
+	r.matched++
 	if r.link && i1 != i2 {
 		e.clusters.union(i1, i2)
 	}
@@ -728,5 +812,6 @@ func (e *Enforcer) visit(r *ruleState, i1, i2 int) bool {
 	e.applied = append(e.applied, r.idx)
 	e.stats.Applications++
 	e.stats.Chase.RuleFirings++
+	r.fired++
 	return true
 }

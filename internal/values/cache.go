@@ -48,7 +48,8 @@ type Cache struct {
 	// growable map backend
 	m map[uint64]bool
 
-	evals int64
+	lookups int64
+	evals   int64
 }
 
 // NewCache builds a map-backed cache usable with dictionaries that keep
@@ -108,6 +109,7 @@ func (c *Cache) offset(a, b ID) int64 {
 // values, evaluating it on the first encounter of the (canonicalized)
 // pair.
 func (c *Cache) Similar(a, b ID) bool {
+	c.lookups++
 	if c.shared {
 		if a == b {
 			return true // reflexivity: no cache slot needed
@@ -200,6 +202,11 @@ func (c *Cache) eval(a, b ID) bool {
 // Evaluations returns the number of actual operator evaluations (cache
 // misses) performed so far.
 func (c *Cache) Evaluations() int64 { return c.evals }
+
+// Lookups returns the number of Similar calls so far; together with
+// Evaluations it is the verdict-cache hit ratio (hits = lookups -
+// evaluations, counting the reflexive short-circuit as a hit).
+func (c *Cache) Lookups() int64 { return c.lookups }
 
 // Op returns the cached operator.
 func (c *Cache) Op() similarity.Operator { return c.op }

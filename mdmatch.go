@@ -36,6 +36,7 @@ package mdmatch
 
 import (
 	"io"
+	"net/http"
 
 	"mdmatch/internal/blocking"
 	"mdmatch/internal/core"
@@ -47,6 +48,7 @@ import (
 	"mdmatch/internal/mdlang"
 	"mdmatch/internal/metrics"
 	"mdmatch/internal/neighborhood"
+	"mdmatch/internal/obs"
 	"mdmatch/internal/record"
 	"mdmatch/internal/schema"
 	"mdmatch/internal/semantics"
@@ -453,6 +455,49 @@ func OpenStore(dir string, plan *Plan, enf *StreamEnforcer, opts ...StoreOption)
 // EngineStream with a fresh enforcer). See Store and the runnable
 // ExampleOpenStore for the full boot-mutate-snapshot-recover cycle.
 func EngineStore(st *Store) EngineOption { return engine.WithStore(st) }
+
+// --- Observability (internal/obs) ---
+
+// MetricsRegistry is a zero-dependency metric registry rendering the
+// Prometheus text exposition format: atomic counters, gauges and
+// histograms plus scrape-time collected families. One registry
+// instruments one process; serve it with MetricsHandler. (The name
+// avoids the operator Registry alias above.)
+type MetricsRegistry = obs.Registry
+
+// NewRegistry creates an empty metrics registry. Attach the layer
+// observers (EngineObserver, StreamObserver, StoreObserver) to populate
+// it; see the runnable ExampleNewRegistry.
+func NewRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// EngineObserver instruments an engine on r: match/batch latency
+// histograms plus scrape-time views over the engine's own counters
+// (queries, candidates, index occupancy, verdict-cache pair decisions).
+// Pass the result to NewEngine. A nil-observer engine pays nothing; an
+// instrumented one pays one clock read and a few atomic adds per query.
+func EngineObserver(r *MetricsRegistry) EngineOption {
+	return engine.WithObserver(obs.NewEngineObserver(r))
+}
+
+// StreamObserver instruments a streaming enforcer on r: per-insert
+// chase latency and frontier histograms plus scrape-time views over the
+// enforcer's counters — records, clusters, chase totals, per-rule
+// firing counters keyed by Σ index, verdict-cache traffic.
+func StreamObserver(r *MetricsRegistry) StreamOption {
+	return stream.WithObserver(obs.NewStreamObserver(r))
+}
+
+// StoreObserver instruments a durability store on r: WAL append and
+// snapshot latency histograms plus scrape-time views over the log
+// positions (LSNs, segment count, snapshot size/age, recovery replay
+// progress). Pass the result to OpenStore.
+func StoreObserver(r *MetricsRegistry) StoreOption {
+	return store.WithObserver(obs.NewStoreObserver(r))
+}
+
+// MetricsHandler serves r in Prometheus text exposition format
+// (Content-Type text/plain; version=0.0.4). Mount it on GET /metrics.
+func MetricsHandler(r *MetricsRegistry) http.Handler { return r.Handler() }
 
 // --- Incremental enforcement (internal/stream) ---
 
