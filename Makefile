@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-exec bench-stream bench-store bench-obs vet docs-check clean
+.PHONY: build test bench bench-exec bench-stream bench-store bench-obs bench-parallel vet docs-check clean
 
 build:
 	$(GO) build ./...
@@ -64,6 +64,21 @@ bench-store:
 bench-obs:
 	BENCH_OBS_OUT=$(CURDIR)/BENCH_obs.json $(GO) test -run TestWriteObsBenchReport -count=1 -timeout 30m -v ./internal/obs/
 	@cat BENCH_obs.json
+
+# bench-parallel records the deterministic-parallelism scaling curves:
+# for each of the three parallelized layers — engine.MatchBatch serving,
+# the batch worklist chase (semantics.EnforceWorkers) and the
+# incremental stream chase — it measures a 1/2/4/GOMAXPROCS worker
+# curve with speedup_vs_1 and merges it as a "parallel" section into
+# the layer's existing BENCH_*.json (other sections untouched). On a
+# 1-core box every speedup hovers near 1.0; that run is the
+# non-regression record, re-run on a multi-core box for the scaling
+# record. BENCH_ENGINE_K / BENCH_EXEC_K / BENCH_STREAM_K override the
+# corpus scales.
+bench-parallel:
+	BENCH_PARALLEL_ENGINE_OUT=$(CURDIR)/BENCH_engine.json $(GO) test -run TestWriteParallelBenchReport -count=1 -timeout 30m -v ./internal/engine/
+	BENCH_PARALLEL_EXEC_OUT=$(CURDIR)/BENCH_exec.json $(GO) test -run TestWriteParallelExecReport -count=1 -timeout 30m -v .
+	BENCH_PARALLEL_STREAM_OUT=$(CURDIR)/BENCH_stream.json $(GO) test -run TestWriteParallelStreamReport -count=1 -timeout 30m -v ./internal/stream/
 
 # docs-check verifies the documentation layer: formatting, vet, a
 # package comment on every package, and resolvable relative links in

@@ -1,0 +1,113 @@
+package mdmatch
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"mdmatch/internal/gen"
+	"mdmatch/internal/semantics"
+)
+
+// execParallelPoint / execParallelSection mirror internal/engine's
+// bench-parallel report shapes (the JSON schema is shared across the
+// BENCH_*.json files; each report test stays self-contained).
+type execParallelPoint struct {
+	Workers   int     `json:"workers"`
+	Seconds   float64 `json:"seconds"`
+	Value     float64 `json:"value"`
+	SpeedupV1 float64 `json:"speedup_vs_1"`
+}
+
+type execParallelSection struct {
+	GeneratedAt string              `json:"generated_at"`
+	GoMaxProcs  int                 `json:"gomaxprocs"`
+	Measure     string              `json:"measure"`
+	Unit        string              `json:"unit"`
+	Curve       []execParallelPoint `json:"curve"`
+}
+
+// TestWriteParallelExecReport measures the batch enforcement chase
+// (semantics.EnforceWorkers, production speculation thresholds) across
+// the worker curve and merges the result into BENCH_exec.json's
+// "parallel" section (wired up as `make bench-parallel`). Every run
+// cross-checks that the parallel result matches the serial chase before
+// its timing is recorded. Skipped unless BENCH_PARALLEL_EXEC_OUT is
+// set.
+func TestWriteParallelExecReport(t *testing.T) {
+	out := os.Getenv("BENCH_PARALLEL_EXEC_OUT")
+	if out == "" {
+		t.Skip("set BENCH_PARALLEL_EXEC_OUT=<path> to record the scaling curve")
+	}
+	k := 1000
+	if v := os.Getenv("BENCH_EXEC_K"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			t.Fatalf("bad BENCH_EXEC_K %q: %v", v, err)
+		}
+		k = n
+	}
+	ds, err := gen.Generate(gen.DefaultConfig(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := gen.HolderMDs(ds.Ctx)
+	d := ds.Pair()
+
+	serial, err := semantics.Enforce(d, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	section := execParallelSection{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Measure:     "semantics.EnforceWorkers (worklist chase, full corpus)",
+		Unit:        "seconds_per_chase",
+	}
+	var oneWorker float64
+	counts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 2 && n != 4 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		var res semantics.EnforceResult
+		start := time.Now()
+		if res, err = semantics.EnforceWorkers(d, sigma, workers); err != nil {
+			t.Fatal(err)
+		}
+		secs := time.Since(start).Seconds()
+		if res.Applications != serial.Applications || res.Passes != serial.Passes {
+			t.Fatalf("workers=%d diverged from serial: %d/%d applications, %d/%d passes",
+				workers, res.Applications, serial.Applications, res.Passes, serial.Passes)
+		}
+		p := execParallelPoint{Workers: workers, Seconds: secs, Value: secs}
+		if workers == 1 {
+			oneWorker = secs
+		}
+		if oneWorker > 0 {
+			p.SpeedupV1 = oneWorker / secs
+		}
+		section.Curve = append(section.Curve, p)
+	}
+
+	doc := map[string]any{}
+	if data, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Fatalf("existing %s is not JSON: %v", out, err)
+		}
+	}
+	doc["parallel"] = section
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("merged parallel section into %s", out)
+}

@@ -86,6 +86,7 @@ func main() {
 	flag.Int64Var(&cfg.seed, "seed", 1, "corpus generation seed")
 	flag.IntVar(&cfg.m, "m", 5, "number of RCKs to derive and serve")
 	flag.IntVar(&cfg.workers, "workers", 0, "engine worker-pool size (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.chaseWorkers, "chase-workers", 0, "stream chase worker count (0 = GOMAXPROCS, 1 = serial); any count enforces identically")
 	flag.IntVar(&cfg.shards, "shards", 0, "index/store shard count (0 = default)")
 	flag.StringVar(&cfg.dataDir, "data-dir", "", "durability directory (empty = in-memory only)")
 	flag.Int64Var(&cfg.maxBody, "max-body-bytes", 1<<20, "request body cap (413 beyond it)")
@@ -208,17 +209,21 @@ func newLogger(format, level string) (*slog.Logger, error) {
 // config collects the service parameters (flag values, and the knobs
 // tests turn directly).
 type config struct {
-	addr      string
-	k         int
-	seed      int64
-	m         int
-	workers   int
-	shards    int
-	dataDir   string
-	maxBody   int64
-	snapBytes int64
-	noSync    bool
-	debugAddr string
+	addr    string
+	k       int
+	seed    int64
+	m       int
+	workers int
+	shards  int
+	// chaseWorkers is the deterministic parallel chase's worker count
+	// (stream.WithWorkers); 0 selects GOMAXPROCS. Every count produces
+	// the identical instance, clusters and counters.
+	chaseWorkers int
+	dataDir      string
+	maxBody      int64
+	snapBytes    int64
+	noSync       bool
+	debugAddr    string
 
 	// reg, when set, instruments every layer (engine, stream, store) on
 	// that registry; nil builds an uninstrumented server (what most unit
@@ -290,7 +295,10 @@ func (s *server) build() error {
 	if err != nil {
 		return err
 	}
-	streamOpts := []stream.Option{stream.ClusterRules(gen.DedupClusterRules()...)}
+	streamOpts := []stream.Option{
+		stream.ClusterRules(gen.DedupClusterRules()...),
+		stream.WithWorkers(cfg.chaseWorkers),
+	}
 	if cfg.reg != nil {
 		streamOpts = append(streamOpts, stream.WithObserver(obs.NewStreamObserver(cfg.reg)))
 	}
@@ -763,6 +771,7 @@ type statsResponse struct {
 	ReductionRatio float64      `json:"reduction_ratio"`
 	Plan           string       `json:"plan"`
 	Workers        int          `json:"workers"`
+	ChaseWorkers   int          `json:"chase_workers"`
 	UptimeSeconds  float64      `json:"uptime_seconds"`
 	Stream         stream.Stats `json:"stream"`
 	Store          *storeStats  `json:"store,omitempty"`
@@ -775,6 +784,7 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		ReductionRatio: st.ReductionRatio(),
 		Plan:           s.eng.Plan().String(),
 		Workers:        s.eng.Workers(),
+		ChaseWorkers:   s.eng.Stream().Workers(),
 		UptimeSeconds:  time.Since(s.started).Seconds(),
 		Stream:         s.eng.Stream().Stats(),
 	}

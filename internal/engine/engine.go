@@ -10,6 +10,7 @@ import (
 
 	"mdmatch/internal/exec"
 	"mdmatch/internal/metrics"
+	"mdmatch/internal/par"
 	"mdmatch/internal/record"
 	"mdmatch/internal/store"
 	"mdmatch/internal/stream"
@@ -349,45 +350,13 @@ func (e *Engine) Load(in *record.Instance) error {
 	})
 }
 
-// parallelFor runs fn(0..n-1) over a pool of workers claiming indices
-// from an atomic counter. A worker stops at its first error; the first
-// error observed is returned after all workers finish.
+// parallelFor runs fn(0..n-1) over a pool of workers claiming CHUNKED
+// index ranges (internal/par). The previous per-item atomic dispatch
+// bounced the counter's cache line between cores once per query, which
+// capped MatchBatch at ~1.04x on 4 workers; chunked claiming amortizes
+// the contended Add over ~n/(workers*4) items.
 func parallelFor(n, workers int, fn func(i int) error) error {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var (
-		next     atomic.Int64
-		wg       sync.WaitGroup
-		errOnce  sync.Once
-		firstErr error
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				if err := fn(i); err != nil {
-					errOnce.Do(func() { firstErr = err })
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return firstErr
+	return par.ForErr(n, workers, fn)
 }
 
 // MatchOne matches one right-side record (positional values) against the

@@ -113,10 +113,13 @@ func selfMatchPlan(t testing.TB, ctx schema.Pair) *Plan {
 	return plan
 }
 
-// newDurable builds a fresh enforcer + durable engine over dir.
-func newDurable(t testing.TB, dir string, ctx schema.Pair, sigma []core.MD, plan *Plan) (*Engine, *store.Store) {
+// newDurable builds a fresh enforcer + durable engine over dir. extra
+// options are appended to the enforcer's (e.g. stream.WithWorkers for
+// the parallel-chase recovery variant).
+func newDurable(t testing.TB, dir string, ctx schema.Pair, sigma []core.MD, plan *Plan, extra ...stream.Option) (*Engine, *store.Store) {
 	t.Helper()
-	enf, err := stream.New(ctx, sigma, stream.ClusterRules(gen.DedupClusterRules()...))
+	opts := append([]stream.Option{stream.ClusterRules(gen.DedupClusterRules()...)}, extra...)
+	enf, err := stream.New(ctx, sigma, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,6 +227,60 @@ func TestRecoveryEquivalence(t *testing.T) {
 
 		label := fmt.Sprintf("i=%d/%d", i, len(ops))
 		rec, st2 := newDurable(t, dir, ctx, sigma, plan)
+		sameEngineState(t, label, rec, ref)
+		if err := st2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRecoveryEquivalenceParallelChase re-runs recovery equivalence
+// with the parallel chase enabled end to end: the reference enforcer,
+// the journaled engine AND the recovering engine (whose WAL replay
+// re-enforces every insert) all run stream.WithWorkers(4), with the
+// speculation thresholds shrunk so the small history actually exercises
+// the speculative paths. A subset of cut points suffices — the full
+// sweep is TestRecoveryEquivalence's job; this pins that durability is
+// worker-count-independent.
+func TestRecoveryEquivalenceParallelChase(t *testing.T) {
+	restore := stream.TuneSpeculation(16, 1, 1<<20)
+	defer restore()
+	ctx, sigma, ops := recHistory(t, 12, 1)
+	plan := selfMatchPlan(t, ctx)
+
+	refEnf, err := stream.New(ctx, sigma,
+		stream.ClusterRules(gen.DedupClusterRules()...), stream.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := New(plan, WithWorkers(2), WithStream(refEnf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops {
+		op.apply(t, ref, ctx.Left)
+	}
+
+	for _, i := range []int{0, len(ops) / 2, len(ops)} {
+		dir := t.TempDir()
+		eng, st := newDurable(t, dir, ctx, sigma, plan, stream.WithWorkers(4))
+		for _, op := range ops[:i] {
+			op.apply(t, eng, ctx.Left)
+		}
+		if i > 0 {
+			if _, err := eng.Snapshot(); err != nil {
+				t.Fatalf("i=%d: snapshot: %v", i, err)
+			}
+		}
+		for _, op := range ops[i:] {
+			op.apply(t, eng, ctx.Left)
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		label := fmt.Sprintf("parallel i=%d/%d", i, len(ops))
+		rec, st2 := newDurable(t, dir, ctx, sigma, plan, stream.WithWorkers(4))
 		sameEngineState(t, label, rec, ref)
 		if err := st2.Close(); err != nil {
 			t.Fatal(err)

@@ -17,22 +17,30 @@ import (
 // process, not once per tuple pair.
 //
 // An Interner is mutable shared state (dictionaries grow, caches fill)
-// and safe for concurrent use: warm reads cost one read lock per pair,
-// cache misses evaluate their operator outside any lock and only take
-// the write lock to store the verdict, so cold paths never serialize
-// concurrent matchers behind an edit-distance computation. Right-side
-// dictionaries grow with the distinct values ever queried, and the
-// verdict caches are bounded by values.MapMaxEntries (beyond it,
-// verdicts are recomputed, not stored) — a long-lived server trades
-// bounded memory for rarely evaluating an operator twice on the same
-// value pair.
+// and safe for concurrent use. Locking is SHARDED so that concurrent
+// matchers do not contend on one mutex: each distinct dictionary has
+// its own RWMutex (guarding growth and the slice headers reads go
+// through), and each conjunct's verdict cache is split into
+// cacheStripes stripes with per-stripe RWMutexes, selected by mixing
+// the canonical ID pair — two goroutines evaluating different value
+// pairs almost never touch the same lock. Equality conjuncts take no
+// lock at all (interned IDs are immutable once returned). Cache misses
+// still evaluate their operator outside any lock and only take the
+// stripe's write lock to store the verdict, so cold paths never
+// serialize matchers behind an edit-distance computation. The verdict
+// caches are bounded by values.MapMaxEntries per conjunct in aggregate
+// (MapMaxEntries/cacheStripes per stripe); beyond it, verdicts are
+// recomputed, not stored.
 type Interner struct {
 	prog *Program
-	mu   sync.RWMutex
 	// left/right map column index -> group dictionary (nil for columns
 	// no conjunct touches; their cells intern to ID 0 and are never
 	// read).
 	left, right []*values.Dict
+	// lmus/rmus are the columns' dictionary locks, aligned with
+	// left/right; columns grouped into one dictionary share one lock.
+	lmus, rmus []*sync.RWMutex
+	dictMus    []sync.RWMutex // backing array, one per distinct dictionary
 	// conjs is aligned with prog.conjuncts.
 	conjs []internedConjunct
 
@@ -44,12 +52,41 @@ type Interner struct {
 	pairResolves atomic.Uint64
 }
 
+// cacheStripes is the number of verdict-cache stripes per conjunct.
+// Power of two; 16 keeps the per-conjunct lock table tiny while making
+// same-lock collisions between concurrent matchers rare.
+const cacheStripes = 16
+
+// cacheStripe is one lock-sharded slice of a conjunct's verdict cache.
+// Padded so adjacent stripes' mutexes never share a cache line (the
+// whole point of striping is to stop cores bouncing a line).
+type cacheStripe struct {
+	mu    sync.RWMutex
+	cache *values.Cache
+	_     [64 - 32]byte
+}
+
 type internedConjunct struct {
 	eq           bool
 	left, right  int
-	cache        *values.Cache
 	ldict, rdict *values.Dict
+	lmu, rmu     *sync.RWMutex
 	op           similarity.Operator
+	shared       bool
+	stripes      []cacheStripe // nil for eq conjuncts
+}
+
+// stripeOf picks the stripe for a canonicalized ID pair, mixing both
+// IDs so stripes fill evenly even when one side's universe is tiny.
+func (c *internedConjunct) stripeOf(a, b values.ID) *cacheStripe {
+	if c.shared && a > b {
+		a, b = b, a
+	}
+	h := uint64(a)<<32 | uint64(b)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return &c.stripes[h&(cacheStripes-1)]
 }
 
 // NewInterner builds the interned evaluation state for a program.
@@ -72,16 +109,52 @@ func NewInterner(p *Program) *Interner {
 		it.left[c.Left] = g.Dict(c.Left)
 		it.right[c.Right] = g.Dict(a1 + c.Right)
 	}
+	// One lock per distinct dictionary, shared by every column that
+	// interns into it.
+	lockIdx := make(map[*values.Dict]int)
+	for _, d := range it.left {
+		if d != nil {
+			if _, ok := lockIdx[d]; !ok {
+				lockIdx[d] = len(lockIdx)
+			}
+		}
+	}
+	for _, d := range it.right {
+		if d != nil {
+			if _, ok := lockIdx[d]; !ok {
+				lockIdx[d] = len(lockIdx)
+			}
+		}
+	}
+	it.dictMus = make([]sync.RWMutex, len(lockIdx))
+	it.lmus = make([]*sync.RWMutex, len(it.left))
+	it.rmus = make([]*sync.RWMutex, len(it.right))
+	for i, d := range it.left {
+		if d != nil {
+			it.lmus[i] = &it.dictMus[lockIdx[d]]
+		}
+	}
+	for i, d := range it.right {
+		if d != nil {
+			it.rmus[i] = &it.dictMus[lockIdx[d]]
+		}
+	}
 	it.conjs = make([]internedConjunct, len(p.conjuncts))
 	for i, c := range p.conjuncts {
 		ic := internedConjunct{
 			left: c.Left, right: c.Right, op: c.Op,
 			ldict: it.left[c.Left], rdict: it.right[c.Right],
+			lmu: it.lmus[c.Left], rmu: it.rmus[c.Right],
 		}
+		ic.shared = ic.ldict == ic.rdict
 		if similarity.IsEq(c.Op) {
 			ic.eq = true
 		} else {
-			ic.cache = values.NewCache(c.Op, ic.ldict, ic.rdict)
+			ic.stripes = make([]cacheStripe, cacheStripes)
+			for s := range ic.stripes {
+				ic.stripes[s].cache = values.NewCacheCapped(c.Op, ic.ldict, ic.rdict,
+					values.MapMaxEntries/cacheStripes)
+			}
 		}
 		it.conjs[i] = ic
 	}
@@ -95,12 +168,12 @@ func (it *Interner) Program() *Program { return it.prog }
 // (appended from dst[:0]; pass nil to allocate). Columns no conjunct
 // reads intern to ID 0.
 func (it *Interner) InternLeft(vals []string, dst []values.ID) []values.ID {
-	return it.internRow(it.left, vals, dst)
+	return it.internRow(it.left, it.lmus, vals, dst)
 }
 
 // InternRight interns a right-side positional value row.
 func (it *Interner) InternRight(vals []string, dst []values.ID) []values.ID {
-	return it.internRow(it.right, vals, dst)
+	return it.internRow(it.right, it.rmus, vals, dst)
 }
 
 // LeftStrings renders an interned left row back into strings (appended
@@ -111,97 +184,103 @@ func (it *Interner) InternRight(vals []string, dst []values.ID) []values.ID {
 // rows without the engine retaining raw strings.
 func (it *Interner) LeftStrings(ids []values.ID, dst []string) []string {
 	dst = dst[:0]
-	it.mu.RLock()
-	defer it.mu.RUnlock()
 	for i, d := range it.left {
 		if d == nil {
 			dst = append(dst, "")
 			continue
 		}
+		mu := it.lmus[i]
+		mu.RLock()
 		dst = append(dst, d.Value(ids[i]))
+		mu.RUnlock()
 	}
 	return dst
 }
 
-func (it *Interner) internRow(dicts []*values.Dict, vals []string, dst []values.ID) []values.ID {
+func (it *Interner) internRow(dicts []*values.Dict, mus []*sync.RWMutex, vals []string, dst []values.ID) []values.ID {
 	dst = dst[:0]
-	// Fast path: every value already interned (read lock only).
-	it.mu.RLock()
-	hit := true
 	for i, d := range dicts {
 		if d == nil {
 			dst = append(dst, 0)
 			continue
 		}
+		// Fast path: the value is already interned (read lock only).
+		mu := mus[i]
+		mu.RLock()
 		id, ok := d.Lookup(vals[i])
+		mu.RUnlock()
 		if !ok {
-			hit = false
-			break
+			mu.Lock()
+			id = d.Intern(vals[i])
+			mu.Unlock()
 		}
 		dst = append(dst, id)
 	}
-	it.mu.RUnlock()
-	if hit {
-		return dst
-	}
-	dst = dst[:0]
-	it.mu.Lock()
-	defer it.mu.Unlock()
-	for i, d := range dicts {
-		if d == nil {
-			dst = append(dst, 0)
-			continue
-		}
-		dst = append(dst, d.Intern(vals[i]))
-	}
 	return dst
 }
 
-// evalConjunct decides one conjunct on interned rows; the caller holds
-// the read lock. In resolve mode a cache miss is resolved through
-// resolveConjunct (which manages its own locking — the caller must NOT
-// hold any lock then); otherwise a miss reports unknown.
+// evalConjunct decides one conjunct on interned rows. In resolve mode a
+// cache miss is resolved through resolveConjunct; otherwise a miss
+// reports unknown. No lock is held by the caller in either mode —
+// equality conjuncts are lock-free, cache peeks take their stripe's
+// read lock.
 func (it *Interner) evalConjunct(ci uint16, lids, rids []values.ID, resolve bool) (verdict, known bool) {
 	c := &it.conjs[ci]
 	a, b := lids[c.left], rids[c.right]
 	if c.eq {
 		return a == b, true // shared dictionary: ID equality is value equality
 	}
+	if c.shared && a == b {
+		return true, true // reflexivity: no cache traffic
+	}
 	if resolve {
 		return it.resolveConjunct(c, a, b), true
 	}
-	return c.cache.Peek(a, b)
+	s := c.stripeOf(a, b)
+	s.mu.RLock()
+	verdict, known = s.cache.Peek(a, b)
+	s.mu.RUnlock()
+	return verdict, known
 }
 
 // resolveConjunct answers one non-equality conjunct, evaluating the
 // operator on a cache miss OUTSIDE any lock: the interned strings are
-// immutable (only the slice headers need the read lock to snapshot),
-// and operators are pure, so the quadratic edit-distance work never
-// serializes concurrent matchers. Racing misses on the same pair
-// evaluate at most once each and Store agreeing verdicts.
+// immutable (only the slice headers need a dictionary read lock to
+// snapshot), and operators are pure, so the quadratic edit-distance
+// work never serializes concurrent matchers. Racing misses on the same
+// pair evaluate at most once each and Store agreeing verdicts.
 func (it *Interner) resolveConjunct(c *internedConjunct, a, b values.ID) bool {
-	it.mu.RLock()
-	verdict, known := c.cache.Peek(a, b)
-	var sa, sb string
-	if !known {
-		sa, sb = c.ldict.Value(a), c.rdict.Value(b)
-	}
-	it.mu.RUnlock()
+	s := c.stripeOf(a, b)
+	s.mu.RLock()
+	verdict, known := s.cache.Peek(a, b)
+	s.mu.RUnlock()
 	if known {
 		return verdict
 	}
+	var sa, sb string
+	if c.lmu == c.rmu {
+		c.lmu.RLock()
+		sa, sb = c.ldict.Value(a), c.rdict.Value(b)
+		c.lmu.RUnlock()
+	} else {
+		c.lmu.RLock()
+		sa = c.ldict.Value(a)
+		c.lmu.RUnlock()
+		c.rmu.RLock()
+		sb = c.rdict.Value(b)
+		c.rmu.RUnlock()
+	}
 	verdict = c.op.Similar(sa, sb)
-	it.mu.Lock()
-	c.cache.Store(a, b, verdict)
-	it.mu.Unlock()
+	s.mu.Lock()
+	s.cache.Store(a, b, verdict)
+	s.mu.Unlock()
 	return verdict
 }
 
 // evalPair runs the whole-program decision — at least one positive rule
 // holds and no negative rule vetoes — in one of two modes: a peek-only
-// pass answering from cached verdicts alone (read lock held by the
-// caller; reports known=false on the first decision-relevant cache
-// miss), and a resolving pass (no lock held by the caller) that
+// pass answering from cached verdicts alone (reports known=false on the
+// first decision-relevant cache miss), and a resolving pass that
 // evaluates misses per conjunct via resolveConjunct.
 func (it *Interner) evalPair(lids, rids []values.ID, resolve bool) (verdict, known bool) {
 	evalRule := func(idx []uint16) (bool, bool) {
@@ -244,18 +323,16 @@ func (it *Interner) evalPair(lids, rids []values.ID, resolve bool) (verdict, kno
 
 // EvalPairIDs decides the whole-program verdict for an interned row
 // pair: at least one positive rule holds and no negative rule vetoes.
-// The warm path costs one read lock for the whole pair; a
-// decision-relevant cache miss re-runs the decision in resolve mode,
-// where operators evaluate outside any lock and only the verdict
-// stores take the write lock. It agrees with Program.EvalPair on the
-// underlying values (verdicts are pure functions of the value pair;
-// property-checked in interned_test.go and the bench report's
-// equivalence cross-checks).
+// The warm path costs one stripe read lock per non-equality conjunct
+// touched (none globally); a decision-relevant cache miss re-runs the
+// decision in resolve mode, where operators evaluate outside any lock
+// and only the verdict stores take a stripe write lock. It agrees with
+// Program.EvalPair on the underlying values (verdicts are pure
+// functions of the value pair; property-checked in interned_test.go and
+// the bench report's equivalence cross-checks).
 func (it *Interner) EvalPairIDs(lids, rids []values.ID) bool {
 	it.pairEvals.Add(1)
-	it.mu.RLock()
 	verdict, known := it.evalPair(lids, rids, false)
-	it.mu.RUnlock()
 	if known {
 		return verdict
 	}

@@ -147,6 +147,9 @@ func (o *StreamObserver) AttachStream(e *stream.Enforcer) {
 	reg.CollectGauge("mdmatch_stream_clusters",
 		"Clusters in the maintained instance (including singletons).", nil,
 		func(emit Emit) { emit(float64(e.Stats().Clusters)) })
+	reg.CollectGauge("mdmatch_stream_chase_workers",
+		"Chase worker count (1 = serial; >1 = deterministic parallel chase).", nil,
+		func(emit Emit) { emit(float64(e.Workers())) })
 	reg.CollectCounter("mdmatch_stream_inserts_total",
 		"Insert calls enforced.", nil,
 		func(emit Emit) { emit(float64(e.Stats().Inserts)) })

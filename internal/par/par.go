@@ -1,0 +1,168 @@
+// Package par is the shared parallel-iteration primitive: a bounded
+// worker pool claiming CHUNKED index ranges from one atomic counter.
+//
+// The obvious dispatch — every worker doing next.Add(1) per item —
+// bounces the counter's cache line between cores once per item, which
+// caps speedup long before the work does (the serving engine measured
+// 1.04x at 4 workers with per-item claiming on queries that cost a few
+// microseconds each). Claiming a contiguous chunk per Add amortizes the
+// contended atomic over chunkOf(n, workers) items while still
+// rebalancing: a worker that drew expensive items simply claims fewer
+// chunks.
+//
+// The functions guarantee nothing about assignment of items to workers
+// — callers needing determinism must make per-item work independent
+// (pure, or writing only item-indexed slots) and do any order-sensitive
+// merging themselves after the call returns.
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// chunksPerWorker balances claim contention against imbalance: each
+// worker claims ~4 chunks on average, so one slow chunk costs at most
+// ~1/4 of a worker's share of the range.
+const chunksPerWorker = 4
+
+// chunkOf returns the claim granularity used for a range of n items
+// over the given worker count (exported for tests and telemetry).
+func chunkOf(n, workers int) int {
+	c := n / (workers * chunksPerWorker)
+	if c < 1 {
+		return 1
+	}
+	return c
+}
+
+// For runs fn(i) for every i in [0, n), fanning out over workers
+// goroutines that claim chunked index ranges. workers <= 1 (or a range
+// too small to split) runs inline with zero goroutine or atomic
+// overhead. fn must be safe for concurrent invocation on distinct i.
+func For(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	chunk := int64(chunkOf(n, workers))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				hi := next.Add(chunk)
+				lo := hi - chunk
+				if lo >= int64(n) {
+					return
+				}
+				if hi > int64(n) {
+					hi = int64(n)
+				}
+				for i := lo; i < hi; i++ {
+					fn(int(i))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForWorker is For with the claiming goroutine's index passed to fn, so
+// callers can give each worker a private buffer (per-worker write
+// buffers merged deterministically after the barrier). Worker indices
+// are in [0, workers); inline execution uses index 0.
+func ForWorker(n, workers int, fn func(worker, i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	chunk := int64(chunkOf(n, workers))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				hi := next.Add(chunk)
+				lo := hi - chunk
+				if lo >= int64(n) {
+					return
+				}
+				if hi > int64(n) {
+					hi = int64(n)
+				}
+				for i := lo; i < hi; i++ {
+					fn(worker, int(i))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// ForErr is For with error propagation: a worker stops claiming at its
+// first error, and the first error observed (by claim order of the
+// failing chunk, not necessarily the lowest index) is returned after
+// all workers finish. Remaining claimed items of a failing chunk are
+// skipped; unclaimed chunks may or may not run, exactly like the
+// per-item pool this replaces.
+func ForErr(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	chunk := int64(chunkOf(n, workers))
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		failed   atomic.Bool
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				hi := next.Add(chunk)
+				lo := hi - chunk
+				if lo >= int64(n) {
+					return
+				}
+				if hi > int64(n) {
+					hi = int64(n)
+				}
+				for i := lo; i < hi; i++ {
+					if err := fn(int(i)); err != nil {
+						errOnce.Do(func() { firstErr = err })
+						failed.Store(true)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

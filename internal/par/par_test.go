@@ -1,0 +1,81 @@
+package par
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 8} {
+		for _, n := range []int{0, 1, 7, 64, 1000} {
+			hits := make([]int32, n)
+			For(n, workers, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForWorkerIndexInRange(t *testing.T) {
+	const n, workers = 500, 4
+	hits := make([]int32, n)
+	var bad atomic.Bool
+	ForWorker(n, workers, func(worker, i int) {
+		if worker < 0 || worker >= workers {
+			bad.Store(true)
+		}
+		atomic.AddInt32(&hits[i], 1)
+	})
+	if bad.Load() {
+		t.Fatal("worker index out of range")
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d ran %d times", i, h)
+		}
+	}
+}
+
+func TestForErrPropagatesFirstError(t *testing.T) {
+	want := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		err := ForErr(100, workers, func(i int) error {
+			if i == 42 {
+				return want
+			}
+			return nil
+		})
+		if !errors.Is(err, want) {
+			t.Fatalf("workers=%d: got %v, want %v", workers, err, want)
+		}
+	}
+	if err := ForErr(100, 4, func(int) error { return nil }); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestForErrStopsClaimingAfterError(t *testing.T) {
+	var ran atomic.Int64
+	_ = ForErr(1_000_000, 4, func(i int) error {
+		ran.Add(1)
+		return errors.New("stop")
+	})
+	// Each worker stops within its first claimed chunk; far fewer than n
+	// items may run.
+	if got := ran.Load(); got > 1_000_000/2 {
+		t.Fatalf("ran %d items after error; workers did not stop claiming", got)
+	}
+}
+
+func TestChunkOf(t *testing.T) {
+	if c := chunkOf(3, 8); c != 1 {
+		t.Fatalf("chunkOf(3,8) = %d, want 1", c)
+	}
+	if c := chunkOf(1000, 4); c != 1000/(4*chunksPerWorker) {
+		t.Fatalf("chunkOf(1000,4) = %d", c)
+	}
+}

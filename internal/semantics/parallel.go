@@ -1,0 +1,297 @@
+package semantics
+
+import (
+	"container/heap"
+
+	"mdmatch/internal/par"
+	"mdmatch/internal/similarity"
+	"mdmatch/internal/values"
+)
+
+// The deterministic parallel layer of the worklist chase: speculative
+// parallel LHS evaluation with serial in-order commit.
+//
+// The chase is ORDER-SENSITIVE (enforcement is not confluent), so the
+// firing sequence of the serial reference loop is the contract — the
+// parallel chase must produce the exact same sequence. The protocol is
+// phase-wise speculation:
+//
+//  1. Take the next CHUNK of the scan's candidate pairs (a slice of the
+//     sorted base frontier, or a block of dense-grid rows).
+//  2. PARALLEL PHASE: workers evaluate each candidate's full verdict —
+//     LHS conjuncts and the RHS-differs check — against the CURRENT
+//     instance. This phase performs pure reads only: interned ID
+//     slices, pre-warmed derived forms (Dict.WarmDerived), verdict-
+//     cache Peeks. Cache misses are answered by values.Cache.Compute
+//     and buffered per worker; nothing shared is written, so the phase
+//     is race-free by construction.
+//  3. BARRIER, then the buffered cache fills merge into the shared
+//     verdict caches (values.MergeFills; order-independent because
+//     verdicts are pure and Store is idempotent — see values/spec.go).
+//  4. SERIAL COMMIT: the committing goroutine walks the chunk in
+//     exactly the reference merge order (base slice interleaved with
+//     the overflow heap). A candidate whose speculation is still VALID
+//     commits from the precomputed verdict; one whose inputs a
+//     preceding commit touched re-evaluates serially, exactly like the
+//     serial loop would.
+//
+// Validity is tracked by per-tuple stamps against a chunk epoch: every
+// speculation of epoch E read tuple i1's left cells and tuple i2's
+// right cells on the scanning rule's relevant columns; sideTouched
+// stamps a tuple whenever a firing touches it on such a column, so a
+// speculation is valid iff stampL[i1] < E && stampR[i2] < E. Since
+// BENCH_exec measures ~12M LHS evaluations per ~11k firings,
+// invalidation is rare and almost all verdicts commit without
+// re-evaluation.
+//
+// What stays deterministic at any worker count: the firing sequence,
+// and with it the stable instance, Applications, Passes, RuleFirings
+// and PairsExamined (counted at commit, which visits the same pairs in
+// the same order). LHSEvaluations is deterministic for a FIXED worker
+// count but may differ slightly across worker counts: speculation can
+// evaluate a (value, value) pair that a later commit in the same chunk
+// makes unreachable. The equivalence property tests pin the former
+// exactly and bound the latter.
+
+// specChunk is the number of candidate pairs speculated per phase, and
+// specMinPairs the frontier size below which a scan stays serial (a
+// goroutine fan-out costs more than a handful of warm verdict lookups).
+// Vars, not consts: the property tests shrink them to force many
+// chunks, mid-chunk invalidations and the serial fallback on small
+// datasets.
+var (
+	specChunk    = 1 << 15
+	specMinPairs = 2048
+)
+
+// Speculative verdicts. specNone marks a cell the parallel phase did
+// not evaluate (outside the dense filters at speculation time); it
+// never validates, so the commit falls back to a serial visit.
+const (
+	specNoMatch uint8 = iota // LHS fails: pair only counts as examined
+	specMatch                // LHS holds, RHS already equal: no firing
+	specFire                 // LHS holds, RHS differs: fires
+	specNone                 // not evaluated speculatively
+)
+
+// speculator is the per-chase parallel state.
+type speculator struct {
+	workers int
+	// clock advances once per speculation phase; stampL/stampR record
+	// the clock value at which a firing last touched the tuple on a
+	// column relevant to the scanning rule.
+	clock          int64
+	stampL, stampR []int64
+	// verdicts is the reusable per-chunk verdict buffer; fills the
+	// per-worker cache-fill buffers (merged at each barrier).
+	verdicts []uint8
+	fills    [][]values.Fill
+	// evals counts merged NEW cache fills — operator evaluations
+	// performed by workers that the caches' own counters never saw.
+	evals int64
+}
+
+func newSpeculator(workers, n1, n2 int) *speculator {
+	return &speculator{
+		workers: workers,
+		stampL:  make([]int64, n1),
+		stampR:  make([]int64, n2),
+		fills:   make([][]values.Fill, workers),
+	}
+}
+
+// warmDerived precomputes every lazily derived form the parallel phase
+// could read: Soundex code IDs for kindSdx conjuncts, decoded runes for
+// rune-evaluated cached conjuncts. The chase's value universes are
+// fixed (enforcement never invents a value), so warming once at
+// construction covers the whole run; without it, two workers could race
+// on a dictionary's first-use memoization.
+func (w *worklist) warmDerived() {
+	for _, m := range w.mds {
+		for i := range m.lhs {
+			c := &m.lhs[i]
+			switch c.kind {
+			case kindSdx:
+				c.dict.WarmDerived(0, false, true)
+			case kindCached:
+				if _, ok := c.op.(similarity.RuneSimilar); ok {
+					w.cache.dict(0, c.lcol).WarmDerived(0, true, false)
+					w.cache.dict(1, c.rcol).WarmDerived(0, true, false)
+				}
+			}
+		}
+	}
+}
+
+// specEval computes one candidate's full verdict on pure reads. Cache
+// misses are evaluated with Compute and buffered into buf for the
+// post-barrier merge. Only called for speculable rules (no kindDirect
+// conjunct).
+func (w *worklist) specEval(m *wlMD, i1, i2 int, buf *[]values.Fill) uint8 {
+	for ci := range m.lhs {
+		c := &m.lhs[ci]
+		switch c.kind {
+		case kindEq:
+			if c.lids[i1] != c.rids[i2] {
+				return specNoMatch
+			}
+		case kindSdx:
+			if c.dict.SoundexID(c.lids[i1]) != c.dict.SoundexID(c.rids[i2]) {
+				return specNoMatch
+			}
+		default: // kindCached
+			a, b := c.lids[i1], c.rids[i2]
+			v, known := c.cache.Peek(a, b)
+			if !known {
+				v = c.cache.Compute(a, b)
+				*buf = append(*buf, values.Fill{Cache: c.cache, A: a, B: b, Verdict: v})
+			}
+			if !v {
+				return specNoMatch
+			}
+		}
+	}
+	for ri := range m.rhs {
+		if m.rhs[ri].lids[i1] != m.rhs[ri].rids[i2] {
+			return specFire
+		}
+	}
+	return specMatch
+}
+
+// commitPair commits one base candidate: from its speculative verdict
+// when that is still valid (computed this chunk, and neither tuple
+// touched on a relevant column since the chunk's epoch began), by a
+// full serial visit otherwise. The committed effects are exactly
+// visit's.
+func (w *worklist) commitPair(m *wlMD, i1, i2 int, v uint8, epoch int64) bool {
+	sp := w.spec
+	if v == specNone || sp.stampL[i1] >= epoch || sp.stampR[i2] >= epoch {
+		return w.visit(m, i1, i2)
+	}
+	w.res.Stats.PairsExamined++
+	if v != specFire {
+		return false
+	}
+	w.ch.fire(&m.cm, i1, i2)
+	w.res.Applications++
+	w.res.Stats.RuleFirings++
+	return true
+}
+
+// speculate runs one parallel phase over a slice of base ords and
+// merges the workers' cache fills, returning the chunk's epoch and the
+// verdict slice (valid until the next phase).
+func (w *worklist) speculate(m *wlMD, ords []int64) (int64, []uint8) {
+	sp := w.spec
+	sp.clock++
+	epoch := sp.clock
+	if cap(sp.verdicts) < len(ords) {
+		sp.verdicts = make([]uint8, len(ords))
+	}
+	verdicts := sp.verdicts[:len(ords)]
+	n2 := int64(w.n2)
+	par.ForWorker(len(ords), sp.workers, func(wk, k int) {
+		ord := ords[k]
+		verdicts[k] = w.specEval(m, int(ord/n2), int(ord%n2), &sp.fills[wk])
+	})
+	sp.evals += values.MergeFills(sp.fills)
+	return epoch, verdicts
+}
+
+// commitBlockedSpec is scanBlocked's merge loop with chunk-wise
+// speculation: speculate the next base chunk, then commit base entries
+// and overflow-heap pops in exactly the serial interleaving. Heap
+// entries (mid-scan re-enqueues, rare) always take the serial visit
+// path — they were never speculated.
+func (w *worklist) commitBlockedSpec(m *wlMD) bool {
+	n2 := int64(w.n2)
+	over := w.over
+	fired := false
+	for w.baseIdx < len(w.base) || over.Len() > 0 {
+		start := w.baseIdx
+		end := min(start+specChunk, len(w.base))
+		epoch, verdicts := w.speculate(m, w.base[start:end])
+		for {
+			if w.baseIdx < end && (over.Len() == 0 || w.base[w.baseIdx] < (*over)[0]) {
+				ord := w.base[w.baseIdx]
+				slot := w.baseIdx - start
+				w.baseIdx++
+				w.curOrd = ord
+				if w.commitPair(m, int(ord/n2), int(ord%n2), verdicts[slot], epoch) {
+					fired = true
+				}
+				continue
+			}
+			if over.Len() == 0 {
+				break
+			}
+			if w.baseIdx < len(w.base) && w.base[w.baseIdx] < (*over)[0] {
+				break // due after this chunk's base entries: next chunk
+			}
+			ord := heap.Pop(over).(int64)
+			delete(w.overSet, ord)
+			w.curOrd = ord
+			if w.visit(m, int(ord/n2), int(ord%n2)) {
+				fired = true
+			}
+		}
+	}
+	return fired
+}
+
+// scanDenseSpec is scanDense with row-block speculation: evaluate a
+// block of grid rows in parallel (cells outside the current filters
+// carry specNone), then commit the block with the serial sweep's exact
+// filter logic. A filter widened by a mid-block commit is caught
+// twice over: the widening touch stamps the tuple (invalidating its
+// speculations), and the commit re-reads the filters at the same
+// program points as the serial loop.
+func (w *worklist) scanDenseSpec(m *wlMD, filtered bool) bool {
+	sp := w.spec
+	rows := specChunk / w.n2
+	if rows < 1 {
+		rows = 1
+	}
+	fired := false
+	for r0 := 0; r0 < w.n1; r0 += rows {
+		r1 := min(r0+rows, w.n1)
+		sp.clock++
+		epoch := sp.clock
+		nCells := (r1 - r0) * w.n2
+		if cap(sp.verdicts) < nCells {
+			sp.verdicts = make([]uint8, nCells)
+		}
+		verdicts := sp.verdicts[:nCells]
+		par.ForWorker(nCells, sp.workers, func(wk, k int) {
+			i1 := r0 + k/w.n2
+			i2 := k % w.n2
+			if filtered && !w.bitsL[i1] && !w.bitsR[i2] {
+				verdicts[k] = specNone
+				return
+			}
+			verdicts[k] = w.specEval(m, i1, i2, &sp.fills[wk])
+		})
+		sp.evals += values.MergeFills(sp.fills)
+		for i1 := r0; i1 < r1; i1++ {
+			row := (i1 - r0) * w.n2
+			if filtered && !w.bitsL[i1] {
+				for i2 := 0; i2 < w.n2; i2++ {
+					if !w.bitsR[i2] && !w.bitsL[i1] {
+						continue
+					}
+					if w.commitPair(m, i1, i2, verdicts[row+i2], epoch) {
+						fired = true
+					}
+				}
+				continue
+			}
+			for i2 := 0; i2 < w.n2; i2++ {
+				if w.commitPair(m, i1, i2, verdicts[row+i2], epoch) {
+					fired = true
+				}
+			}
+		}
+	}
+	return fired
+}

@@ -1,0 +1,112 @@
+package semantics
+
+import (
+	"fmt"
+	"testing"
+
+	"mdmatch/internal/core"
+	"mdmatch/internal/gen"
+	"mdmatch/internal/record"
+	"mdmatch/internal/semantics/seedref"
+)
+
+// forceSpeculation shrinks the speculation thresholds so the parallel
+// layer engages (with many chunks and therefore many commit barriers
+// and invalidation windows) even on the small property-test datasets,
+// restoring the defaults when the test ends.
+func forceSpeculation(t *testing.T, chunk, minPairs int) {
+	t.Helper()
+	oldChunk, oldMin := specChunk, specMinPairs
+	specChunk, specMinPairs = chunk, minPairs
+	t.Cleanup(func() { specChunk, specMinPairs = oldChunk, oldMin })
+}
+
+// checkParallelEquivalence asserts that EnforceWorkers at every worker
+// count produces a firing sequence bit-identical to the seed reference:
+// same stable instance, Applications, Passes, and the same
+// deterministic chase counters (PairsExamined, RuleFirings) as the
+// serial worklist.
+func checkParallelEquivalence(t *testing.T, label string, d *record.PairInstance, sigma []core.MD) {
+	t.Helper()
+	ref, err := seedref.Enforce(d, sigma)
+	if err != nil {
+		t.Fatalf("%s: seed: %v", label, err)
+	}
+	serial, err := EnforceWorkers(d, sigma, 1)
+	if err != nil {
+		t.Fatalf("%s: serial: %v", label, err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		got, err := EnforceWorkers(d, sigma, workers)
+		if err != nil {
+			t.Fatalf("%s: workers=%d: %v", label, workers, err)
+		}
+		wl := fmt.Sprintf("%s/workers=%d", label, workers)
+		if got.Applications != ref.Applications {
+			t.Errorf("%s: Applications = %d, seed = %d", wl, got.Applications, ref.Applications)
+		}
+		if got.Passes != ref.Passes {
+			t.Errorf("%s: Passes = %d, seed = %d", wl, got.Passes, ref.Passes)
+		}
+		sameInstances(t, wl, got.Instance, ref.Instance)
+		if got.Stats.PairsExamined != serial.Stats.PairsExamined {
+			t.Errorf("%s: PairsExamined = %d, serial = %d", wl, got.Stats.PairsExamined, serial.Stats.PairsExamined)
+		}
+		if got.Stats.RuleFirings != serial.Stats.RuleFirings {
+			t.Errorf("%s: RuleFirings = %d, serial = %d", wl, got.Stats.RuleFirings, serial.Stats.RuleFirings)
+		}
+		// LHSEvaluations may differ slightly across worker counts
+		// (invalidated speculations), but never below the serial count's
+		// distinct-pair floor and never wildly above it.
+		if got.Stats.LHSEvaluations < serial.Stats.LHSEvaluations {
+			t.Errorf("%s: LHSEvaluations = %d, below serial %d", wl, got.Stats.LHSEvaluations, serial.Stats.LHSEvaluations)
+		}
+	}
+}
+
+// TestParallelChaseEquivalenceGen is the parallel-chase property test:
+// across generated datasets and workers ∈ {1, 2, 4, 8}, the speculative
+// chase must reproduce the frozen seed chase exactly. Runs under -race
+// in CI at GOMAXPROCS 1 and 4, so the speculate/commit protocol is
+// exercised with and without real parallelism. The tiny chunk size
+// forces many speculation barriers and commit-time invalidations.
+func TestParallelChaseEquivalenceGen(t *testing.T) {
+	forceSpeculation(t, 64, 1)
+	for _, k := range []int{25, 60} {
+		for _, seed := range []int64{1, 2, 3} {
+			cfg := gen.DefaultConfig(k)
+			cfg.Seed = seed
+			ds, err := gen.Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkParallelEquivalence(t, fmt.Sprintf("gen(K=%d,seed=%d)", k, seed),
+				ds.Pair(), gen.HolderMDs(ds.Ctx))
+		}
+	}
+}
+
+// TestParallelChaseEquivalencePaper pins the parallel chase on the
+// paper's worked instances, including the self-match shape where both
+// sides alias one physical instance.
+func TestParallelChaseEquivalencePaper(t *testing.T) {
+	forceSpeculation(t, 4, 1)
+	_, sigmaC, _, dc := figure1(t)
+	checkParallelEquivalence(t, "figure1/Σc", dc, sigmaC)
+	_, sigma0, d0 := figure3(t)
+	checkParallelEquivalence(t, "figure3/Σ0", d0, sigma0)
+}
+
+// TestParallelChaseDefaultThresholds runs one gen dataset through the
+// DEFAULT thresholds (speculation disabled on small frontiers) to pin
+// that the gating itself cannot change results.
+func TestParallelChaseDefaultThresholds(t *testing.T) {
+	cfg := gen.DefaultConfig(40)
+	cfg.Seed = 7
+	ds, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkParallelEquivalence(t, "gen(K=40,seed=7,default-thresholds)",
+		ds.Pair(), gen.HolderMDs(ds.Ctx))
+}

@@ -490,16 +490,64 @@ func (s *Store) Replay(from uint64, fn func(Record) error) error {
 		s.replayed.Store(rec.LSN)
 		return nil
 	}
-	for _, seg := range segs {
-		if seg.last < from {
-			continue
+	// Decode-ahead pipeline: a producer goroutine validates checksums and
+	// decodes record payloads (the allocation-heavy half of replay) while
+	// this goroutine applies records in order — on a multi-core recovery
+	// the chase replay no longer waits on decoding. Order is preserved by
+	// the FIFO channel; a decode error is delivered after every record
+	// that precedes it, exactly like the serial loop; and a delivery
+	// error stops the producer via the stop channel.
+	type replayItem struct {
+		rec Record
+		err error
+	}
+	items := make(chan replayItem, replayAhead)
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		defer close(items)
+		for _, seg := range segs {
+			if seg.last < from {
+				continue
+			}
+			err := replaySegment(seg, from, func(rec Record) error {
+				select {
+				case items <- replayItem{rec: rec}:
+					return nil
+				case <-stop:
+					return errReplayStopped
+				}
+			})
+			if err != nil {
+				if errors.Is(err, errReplayStopped) {
+					return
+				}
+				select {
+				case items <- replayItem{err: err}:
+				case <-stop:
+				}
+				return
+			}
 		}
-		if err := replaySegment(seg, from, deliver); err != nil {
+	}()
+	for it := range items {
+		if it.err != nil {
+			return it.err
+		}
+		if err := deliver(it.rec); err != nil {
 			return err
 		}
 	}
 	return nil
 }
+
+// replayAhead bounds how many decoded records the replay producer may
+// run ahead of the applying goroutine.
+const replayAhead = 256
+
+// errReplayStopped is the producer-side signal that the consumer
+// abandoned the replay; it never escapes Replay.
+var errReplayStopped = errors.New("store: replay stopped")
 
 // Close releases the active segment. Further appends fail.
 func (s *Store) Close() error {

@@ -1,0 +1,370 @@
+package stream
+
+import (
+	"container/heap"
+	"runtime"
+
+	"mdmatch/internal/par"
+	"mdmatch/internal/values"
+)
+
+// The deterministic parallel layer of the incremental chase: the same
+// speculate/commit protocol as the batch worklist's parallel layer
+// (internal/semantics/parallel.go, which documents the protocol and the
+// determinism argument in full), adapted to the Enforcer's persistent
+// state. In short:
+//
+//  1. Chunk the current scan's candidate frontier.
+//  2. Workers evaluate each candidate's full verdict — LHS conjuncts
+//     and the RHS-differs check — on pure reads (interned id slices,
+//     pre-warmed derived forms, verdict-cache Peeks); cache misses are
+//     computed with values.Cache.Compute and buffered per worker.
+//  3. Barrier; merge the buffered fills into the shared caches
+//     (values.MergeFills, order-independent).
+//  4. Commit the chunk serially in exactly the serial scan's order. A
+//     candidate whose tuples a preceding commit touched on a relevant
+//     column re-evaluates serially (per-tuple stamps vs the chunk
+//     epoch); a valid speculation commits from its verdict.
+//
+// The stream chase has two effects the batch chase lacks, both applied
+// at commit and therefore in serial order: cluster linking on any LHS
+// match (not just value-changing firings), and per-rule telemetry.
+// The firing sequence — and with it the instance, clusters, applied
+// rules, Applications, Passes, PairsExamined, RuleFirings and the
+// per-rule counters — is bit-identical to the serial Enforcer at any
+// worker count (property-tested in parallel_test.go). LHSEvaluations
+// may exceed the serial count by speculations a same-chunk commit made
+// unreachable.
+//
+// One observable difference from workers == 1 exists outside the
+// contract: derived Soundex code ids are assigned in dictionary order
+// by pre-warming rather than in first-use order, so blockable rules'
+// uint64 join keys differ numerically. Bucket membership is unchanged
+// (rows share a bucket iff their seed encodings are pairwise equal),
+// which is all the scan order depends on.
+
+// specChunk and specMinPairs mirror the batch chase's thresholds:
+// candidates speculated per phase, and the frontier size below which a
+// scan stays serial. denseMaterializeCap lives in stream.go; all three
+// are vars so the property tests can shrink them to force the parallel
+// paths on small datasets.
+var (
+	specChunk    = 1 << 15
+	specMinPairs = 2048
+)
+
+// TuneSpeculation overrides the thresholds gating the parallel chase
+// (chunk size, minimum frontier, dense materialization cap) and returns
+// a func restoring the previous values. It exists so tests OUTSIDE this
+// package (engine recovery equivalence, bench harnesses) can force the
+// speculative paths on datasets far below the production thresholds;
+// serving code must not call it. Arguments <= 0 leave the
+// corresponding threshold unchanged.
+func TuneSpeculation(chunk, minPairs int, denseCap int64) (restore func()) {
+	pc, pm, pd := specChunk, specMinPairs, denseMaterializeCap
+	if chunk > 0 {
+		specChunk = chunk
+	}
+	if minPairs > 0 {
+		specMinPairs = minPairs
+	}
+	if denseCap > 0 {
+		denseMaterializeCap = denseCap
+	}
+	return func() { specChunk, specMinPairs, denseMaterializeCap = pc, pm, pd }
+}
+
+// Speculative verdicts. specNone marks a candidate the parallel phase
+// did not evaluate (outside the dense filters at speculation time); it
+// never validates, so the commit falls back to a serial visit.
+const (
+	specNoMatch uint8 = iota // LHS fails: pair only counts as examined
+	specMatch                // LHS holds, RHS already equal: links, no firing
+	specFire                 // LHS holds, RHS differs: links and fires
+	specNone                 // not evaluated speculatively
+)
+
+// WithWorkers sets the chase worker count. workers > 1 evaluates each
+// scan chunk's LHS verdicts speculatively on worker goroutines and
+// commits serially in reference order, keeping every outcome of the
+// equivalence contract bit-identical to the serial enforcer (see
+// parallel.go); n <= 0 selects GOMAXPROCS. The default is 1: exactly
+// the serial chase, no goroutines.
+func WithWorkers(n int) Option {
+	return func(e *Enforcer) error {
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		e.workers = n
+		return nil
+	}
+}
+
+// Workers reports the configured chase worker count.
+func (e *Enforcer) Workers() int { return e.workers }
+
+// speculator is the Enforcer's persistent parallel state.
+type speculator struct {
+	workers int
+	// clock advances once per speculation phase; stampL/stampR record
+	// the clock value at which a firing last touched the row on a column
+	// relevant to the scanning rule. Sized to the instance, grown per
+	// enforcement.
+	clock          int64
+	stampL, stampR []int64
+	// verdicts is the reusable per-chunk verdict buffer; fills the
+	// per-worker cache-fill buffers (merged at each barrier).
+	verdicts []uint8
+	fills    [][]values.Fill
+}
+
+// warmEntry tracks incremental pre-warming of one dictionary's lazily
+// derived forms: everything below cursor is warmed, and the value
+// universe only grows, so each enforcement warms just the new tail.
+type warmEntry struct {
+	dict       *values.Dict
+	runes, sdx bool
+	cursor     int
+}
+
+// initParallel builds the speculator and the warm list once the worker
+// count is known (after options).
+func (e *Enforcer) initParallel() {
+	e.spec = &speculator{
+		workers: e.workers,
+		fills:   make([][]values.Fill, e.workers),
+	}
+	byDict := make(map[*values.Dict]int)
+	add := func(d *values.Dict, runes, sdx bool) {
+		if d == nil {
+			return
+		}
+		i, ok := byDict[d]
+		if !ok {
+			i = len(e.warm)
+			byDict[d] = i
+			e.warm = append(e.warm, warmEntry{dict: d})
+		}
+		e.warm[i].runes = e.warm[i].runes || runes
+		e.warm[i].sdx = e.warm[i].sdx || sdx
+	}
+	for _, r := range e.rules {
+		for i := range r.lhs {
+			c := &r.lhs[i]
+			switch c.kind {
+			case kindSdx:
+				add(c.dict, false, true)
+			case kindCached:
+				l, rt := c.cache.RuneDicts()
+				add(l, true, false)
+				add(rt, true, false)
+			}
+		}
+		// Soundex seed keys read the same code ids as the rule's kindSdx
+		// conjunct, whose dictionary the loop above already registered.
+	}
+}
+
+// warmNew warms every lazily derived form added since the last call, so
+// the parallel phases (and the parallel index seeding) perform pure
+// reads only. No-op when the worker count is 1.
+func (e *Enforcer) warmNew() {
+	for i := range e.warm {
+		w := &e.warm[i]
+		w.cursor = w.dict.WarmDerived(w.cursor, w.runes, w.sdx)
+	}
+}
+
+// growStamps sizes the speculator's stamps to the instance ahead of an
+// enforcement; new rows carry stamp 0, older than every epoch.
+func (sp *speculator) growStamps(n int) {
+	if len(sp.stampL) < n {
+		sp.stampL = append(sp.stampL, make([]int64, n-len(sp.stampL))...)
+		sp.stampR = append(sp.stampR, make([]int64, n-len(sp.stampR))...)
+	}
+}
+
+// specEval computes one candidate's full verdict on pure reads; cache
+// misses are evaluated with Compute and buffered for the post-barrier
+// merge. The stream compiler has no direct-evaluation conjunct kind, so
+// every rule is speculable.
+func (e *Enforcer) specEval(r *ruleState, i1, i2 int, buf *[]values.Fill) uint8 {
+	for ci := range r.lhs {
+		c := &r.lhs[ci]
+		switch c.kind {
+		case kindEq:
+			if c.lids[i1] != c.rids[i2] {
+				return specNoMatch
+			}
+		case kindSdx:
+			if c.dict.SoundexID(c.lids[i1]) != c.dict.SoundexID(c.rids[i2]) {
+				return specNoMatch
+			}
+		default: // kindCached
+			a, b := c.lids[i1], c.rids[i2]
+			v, known := c.cache.Peek(a, b)
+			if !known {
+				v = c.cache.Compute(a, b)
+				*buf = append(*buf, values.Fill{Cache: c.cache, A: a, B: b, Verdict: v})
+			}
+			if !v {
+				return specNoMatch
+			}
+		}
+	}
+	for ri := range r.rhs {
+		if r.rhs[ri].lids[i1] != r.rhs[ri].rids[i2] {
+			return specFire
+		}
+	}
+	return specMatch
+}
+
+// commitPair commits one base candidate: from its speculative verdict
+// when that is still valid (computed this chunk, and neither row
+// touched on a relevant column since the chunk's epoch began), by a
+// full serial visit otherwise. The committed effects are exactly
+// visit's, including cluster linking and per-rule telemetry.
+func (e *Enforcer) commitPair(r *ruleState, i1, i2 int, v uint8, epoch int64) bool {
+	sp := e.spec
+	if v == specNone || sp.stampL[i1] >= epoch || sp.stampR[i2] >= epoch {
+		return e.visit(r, i1, i2)
+	}
+	e.stats.Chase.PairsExamined++
+	r.examined++
+	if v == specNoMatch {
+		return false
+	}
+	r.matched++
+	if r.link && i1 != i2 {
+		e.clusters.union(i1, i2)
+	}
+	if v != specFire {
+		return false
+	}
+	for _, p := range r.rhsCols {
+		e.ch.union(e.ch.cell(i1, p[0]), e.ch.cell(i2, p[1]))
+	}
+	e.applied = append(e.applied, r.idx)
+	e.stats.Applications++
+	e.stats.Chase.RuleFirings++
+	r.fired++
+	return true
+}
+
+// speculate runs one parallel phase over a slice of base ords and
+// merges the workers' cache fills, returning the chunk's epoch and the
+// verdict slice (valid until the next phase).
+func (e *Enforcer) speculate(r *ruleState, ords []int64) (int64, []uint8) {
+	sp := e.spec
+	sp.clock++
+	epoch := sp.clock
+	if cap(sp.verdicts) < len(ords) {
+		sp.verdicts = make([]uint8, len(ords))
+	}
+	verdicts := sp.verdicts[:len(ords)]
+	n := int64(e.inst.Len())
+	par.ForWorker(len(ords), sp.workers, func(wk, k int) {
+		ord := ords[k]
+		verdicts[k] = e.specEval(r, int(ord/n), int(ord%n), &sp.fills[wk])
+	})
+	e.specEvals += values.MergeFills(sp.fills)
+	return epoch, verdicts
+}
+
+// commitBlockedSpec is scanRule's merge loop with chunk-wise
+// speculation: speculate the next base chunk, then commit base entries
+// and overflow-heap pops in exactly the serial interleaving. Heap
+// entries (mid-scan re-enqueues, rare) always take the serial visit
+// path — they were never speculated.
+func (e *Enforcer) commitBlockedSpec(r *ruleState) bool {
+	n := int64(e.inst.Len())
+	over := e.over
+	fired := false
+	for e.baseIdx < len(e.base) || over.Len() > 0 {
+		start := e.baseIdx
+		end := min(start+specChunk, len(e.base))
+		epoch, verdicts := e.speculate(r, e.base[start:end])
+		for {
+			if e.baseIdx < end && (over.Len() == 0 || e.base[e.baseIdx] < (*over)[0]) {
+				ord := e.base[e.baseIdx]
+				slot := e.baseIdx - start
+				e.baseIdx++
+				e.curOrd = ord
+				if e.commitPair(r, int(ord/n), int(ord%n), verdicts[slot], epoch) {
+					fired = true
+				}
+				continue
+			}
+			if over.Len() == 0 {
+				break
+			}
+			if e.baseIdx < len(e.base) && e.base[e.baseIdx] < (*over)[0] {
+				break // due after this chunk's base entries: next chunk
+			}
+			ord := heap.Pop(over).(int64)
+			delete(e.overSet, ord)
+			e.curOrd = ord
+			if e.visit(r, int(ord/n), int(ord%n)) {
+				fired = true
+			}
+		}
+	}
+	return fired
+}
+
+// scanDenseSpec is scanDenseSweep with row-block speculation: evaluate
+// a block of grid rows in parallel (cells outside the current side
+// filters carry specNone), then commit the block with the serial
+// sweep's exact filter logic. A filter widened by a mid-block commit is
+// caught twice over: the widening touch stamps the row (invalidating
+// its speculations), and the commit re-reads the filters at the same
+// program points as the serial loop.
+func (e *Enforcer) scanDenseSpec(r *ruleState, n int) bool {
+	sp := e.spec
+	rows := specChunk / n
+	if rows < 1 {
+		rows = 1
+	}
+	fired := false
+	for r0 := 0; r0 < n; r0 += rows {
+		r1 := min(r0+rows, n)
+		sp.clock++
+		epoch := sp.clock
+		nCells := (r1 - r0) * n
+		if cap(sp.verdicts) < nCells {
+			sp.verdicts = make([]uint8, nCells)
+		}
+		verdicts := sp.verdicts[:nCells]
+		par.ForWorker(nCells, sp.workers, func(wk, k int) {
+			i1 := r0 + k/n
+			i2 := k % n
+			if !e.bitsL[i1] && !e.bitsR[i2] {
+				verdicts[k] = specNone
+				return
+			}
+			verdicts[k] = e.specEval(r, i1, i2, &sp.fills[wk])
+		})
+		e.specEvals += values.MergeFills(sp.fills)
+		for i1 := r0; i1 < r1; i1++ {
+			row := (i1 - r0) * n
+			if !e.bitsL[i1] {
+				for i2 := 0; i2 < n; i2++ {
+					if !e.bitsR[i2] && !e.bitsL[i1] {
+						continue
+					}
+					if e.commitPair(r, i1, i2, verdicts[row+i2], epoch) {
+						fired = true
+					}
+				}
+				continue
+			}
+			for i2 := 0; i2 < n; i2++ {
+				if e.commitPair(r, i1, i2, verdicts[row+i2], epoch) {
+					fired = true
+				}
+			}
+		}
+	}
+	return fired
+}

@@ -1,0 +1,143 @@
+package stream
+
+import (
+	"fmt"
+	"slices"
+	"testing"
+
+	"mdmatch/internal/core"
+	"mdmatch/internal/gen"
+	"mdmatch/internal/schema"
+	"mdmatch/internal/similarity"
+)
+
+// forceSpeculation shrinks the parallel-chase thresholds so speculation
+// engages — with many chunks, commit barriers and invalidation windows
+// — on the small property-test datasets, and caps dense
+// materialization so the bit-filter sweep (and its parallel path) runs
+// too. Defaults are restored when the test ends.
+func forceSpeculation(t *testing.T, chunk, minPairs int, denseCap int64) {
+	t.Helper()
+	oldChunk, oldMin, oldCap := specChunk, specMinPairs, denseMaterializeCap
+	specChunk, specMinPairs, denseMaterializeCap = chunk, minPairs, denseCap
+	t.Cleanup(func() { specChunk, specMinPairs, denseMaterializeCap = oldChunk, oldMin, oldCap })
+}
+
+// TestStreamParallelInsertEquivalence is the per-insertion property
+// test of the parallel incremental chase: with speculation forced on
+// and workers ∈ {2, 4, 8}, every insertion must remain bit-identical —
+// instance, applications, passes, applied rules, clusters — to the
+// from-scratch seed chase, exactly as the serial enforcer is. Runs
+// under -race in CI at GOMAXPROCS 1 and 4.
+func TestStreamParallelInsertEquivalence(t *testing.T) {
+	forceSpeculation(t, 16, 1, 1<<20)
+	ctx, tuples := shuffledCredit(t, 18, 3)
+	for _, workers := range []int{2, 4, 8} {
+		checkStreamed(t, fmt.Sprintf("parallel(workers=%d)", workers),
+			ctx, gen.DedupMDs(ctx), tuples, gen.DedupClusterRules(), WithWorkers(workers))
+	}
+}
+
+// TestStreamParallelDenseEquivalence repeats the per-insertion test
+// with an all-similarity rule set (every rule scans densely) and a tiny
+// materialization cap, so both dense paths — materialized ord codes
+// through the chunked commit, and the bit-filter sweep through
+// scanDenseSpec — execute speculatively.
+func TestStreamParallelDenseEquivalence(t *testing.T) {
+	forceSpeculation(t, 8, 1, 4)
+	ctx, tuples := shuffledCredit(t, 15, 3)
+	d := similarity.DL(0.8)
+	sigma := []core.MD{
+		core.MustMD(ctx,
+			[]core.Conjunct{core.C("cno", d, "cno")},
+			[]core.AttrPair{core.P("fn", "fn"), core.P("ln", "ln"), core.P("dob", "dob")}),
+		core.MustMD(ctx,
+			[]core.Conjunct{core.C("dob", d, "dob"), core.C("ln", d, "ln"), core.C("fn", d, "fn")},
+			[]core.AttrPair{core.P("tel", "tel"), core.P("email", "email")}),
+	}
+	checkStreamed(t, "parallel-dense", ctx, sigma, tuples, nil, WithWorkers(4))
+}
+
+// TestStreamParallelBatchEquivalence checks InsertBatch under the
+// parallel chase (including the parallel index seeding): on an empty
+// enforcer it must still reproduce the batch chase on the whole dataset
+// exactly.
+func TestStreamParallelBatchEquivalence(t *testing.T) {
+	forceSpeculation(t, 32, 1, 1<<20)
+	cfg := gen.DefaultConfig(40)
+	cfg.Seed = 5
+	ds, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := schema.MustPair(ds.Credit.Rel, ds.Credit.Rel)
+	sigma := gen.DedupMDs(ctx)
+	want := oracleEnforce(t, ctx, ds.Credit.Clone(), sigma, nil)
+	for _, workers := range []int{2, 8} {
+		e, err := New(ctx, sigma, WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.InsertBatch(ds.Credit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		label := fmt.Sprintf("batch(workers=%d)", workers)
+		if res.Applications != want.apps || res.Passes != want.passes {
+			t.Fatalf("%s: applications/passes = %d/%d, reference = %d/%d",
+				label, res.Applications, res.Passes, want.apps, want.passes)
+		}
+		if !slices.Equal(res.AppliedMDs, want.applied) {
+			t.Fatalf("%s: applied MDs = %v, reference = %v", label, res.AppliedMDs, want.applied)
+		}
+		sameInstance(t, label, e.Instance(), want.inst)
+	}
+}
+
+// TestStreamParallelCounters pins the deterministic chase counters:
+// at every worker count the parallel enforcer must report exactly the
+// serial enforcer's PairsExamined, RuleFirings and per-rule telemetry
+// (examined/matched/fired are all counted at serial commit), while
+// LHSEvaluations may only exceed the serial count (invalidated
+// speculations), never undercut it.
+func TestStreamParallelCounters(t *testing.T) {
+	forceSpeculation(t, 16, 1, 1<<20)
+	ctx, tuples := shuffledCredit(t, 20, 5)
+	sigma := gen.DedupMDs(ctx)
+	run := func(workers int) *Enforcer {
+		t.Helper()
+		e, err := New(ctx, sigma, ClusterRules(gen.DedupClusterRules()...), WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tup := range tuples {
+			if _, err := e.InsertTuple(tup); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return e
+	}
+	serial := run(1)
+	ss := serial.Stats()
+	for _, workers := range []int{2, 4, 8} {
+		e := run(workers)
+		st := e.Stats()
+		label := fmt.Sprintf("workers=%d", workers)
+		if st.Chase.PairsExamined != ss.Chase.PairsExamined {
+			t.Errorf("%s: PairsExamined = %d, serial = %d", label, st.Chase.PairsExamined, ss.Chase.PairsExamined)
+		}
+		if st.Chase.RuleFirings != ss.Chase.RuleFirings {
+			t.Errorf("%s: RuleFirings = %d, serial = %d", label, st.Chase.RuleFirings, ss.Chase.RuleFirings)
+		}
+		if st.Applications != ss.Applications || st.Passes != ss.Passes {
+			t.Errorf("%s: Applications/Passes = %d/%d, serial = %d/%d",
+				label, st.Applications, st.Passes, ss.Applications, ss.Passes)
+		}
+		if st.Chase.LHSEvaluations < ss.Chase.LHSEvaluations {
+			t.Errorf("%s: LHSEvaluations = %d, below serial %d", label, st.Chase.LHSEvaluations, ss.Chase.LHSEvaluations)
+		}
+		if !slices.Equal(e.RuleStats(), serial.RuleStats()) {
+			t.Errorf("%s: RuleStats = %v, serial = %v", label, e.RuleStats(), serial.RuleStats())
+		}
+	}
+}

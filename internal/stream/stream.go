@@ -74,6 +74,7 @@ import (
 
 	"mdmatch/internal/core"
 	"mdmatch/internal/metrics"
+	"mdmatch/internal/par"
 	"mdmatch/internal/record"
 	"mdmatch/internal/schema"
 	"mdmatch/internal/values"
@@ -204,6 +205,15 @@ type Enforcer struct {
 
 	applied []int // rule indices fired during the current insertion
 
+	// Parallel chase state (see parallel.go): worker count, speculator,
+	// incremental dictionary warm-up cursors, and the operator
+	// evaluations performed by speculation workers (merged fills), which
+	// the caches' own counters never saw.
+	workers   int
+	spec      *speculator
+	warm      []warmEntry
+	specEvals int64
+
 	stats     Stats
 	prevEvals int64 // operator evaluations already attributed to stats
 }
@@ -242,7 +252,7 @@ func New(ctx schema.Pair, sigma []core.MD, opts ...Option) (*Enforcer, error) {
 		return nil, fmt.Errorf("stream: enforcer requires a self-match context, got (%s, %s)",
 			ctx.Left.Name(), ctx.Right.Name())
 	}
-	e := &Enforcer{ctx: ctx, sigma: slices.Clone(sigma)}
+	e := &Enforcer{ctx: ctx, sigma: slices.Clone(sigma), workers: 1}
 	e.inst = record.NewInstance(ctx.Left)
 	var err error
 	e.d, err = record.NewPairInstance(ctx, e.inst, e.inst)
@@ -260,6 +270,9 @@ func New(ctx schema.Pair, sigma []core.MD, opts ...Option) (*Enforcer, error) {
 		if err := opt(e); err != nil {
 			return nil, err
 		}
+	}
+	if e.workers > 1 {
+		e.initParallel()
 	}
 	if a, ok := e.obs.(interface{ AttachStream(*Enforcer) }); ok {
 		a.AttachStream(e)
@@ -377,14 +390,16 @@ func (e *Enforcer) InsertBatch(in *record.Instance) (BatchResult, error) {
 		}
 	}
 	res := BatchResult{IDs: make([]int, 0, in.Len())}
+	firstRow := e.inst.Len()
 	for _, t := range in.Tuples {
-		row, err := e.append(t.ID, t.Values)
+		row, err := e.appendRowCore(t.ID, t.Values)
 		if err != nil {
 			return BatchResult{}, err // unreachable: the batch was validated
 		}
 		e.seedRow(row)
 		res.IDs = append(res.IDs, t.ID)
 	}
+	e.seedIndexes(firstRow)
 	e.ch.reset()
 	apps, passes, err := e.run()
 	if err != nil {
@@ -459,8 +474,10 @@ func (e *Enforcer) RuleStats() []RuleStat {
 
 // CacheStats returns the cumulative verdict-cache traffic across every
 // similarity conjunct: lookups, and the misses that evaluated their
-// operator. Misses equal Stats().Chase.LHSEvaluations; like it, they
-// are excluded from recovery equivalence (caches rebuild cold).
+// operator. Under a serial chase misses equal
+// Stats().Chase.LHSEvaluations (a parallel chase counts its merged
+// speculative evaluations there too); like it, they are excluded from
+// recovery equivalence (caches rebuild cold).
 func (e *Enforcer) CacheStats() (lookups, misses int64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -473,8 +490,20 @@ func (e *Enforcer) CacheStats() (lookups, misses int64) {
 
 // append adds one record everywhere growth happens: the instance, the
 // columnar interned view, the cell union-find, the cluster store, every
-// rule's join indexes and dirty frontier.
+// rule's join indexes and dirty frontier. Batch callers append all row
+// cores first and seed the indexes once (see InsertBatch).
 func (e *Enforcer) append(id int, vals []string) (int, error) {
+	row, err := e.appendRowCore(id, vals)
+	if err != nil {
+		return 0, err
+	}
+	e.seedIndexes(row)
+	return row, nil
+}
+
+// appendRowCore grows the shared per-row state: instance, columnar
+// view, cell union-find, cluster store.
+func (e *Enforcer) appendRowCore(id int, vals []string) (int, error) {
 	t, err := e.inst.AppendWithID(id, vals)
 	if err != nil {
 		return 0, err
@@ -484,14 +513,35 @@ func (e *Enforcer) append(id int, vals []string) (int, error) {
 	e.cols.AppendRow(t.Values)
 	e.ch.appendRow(t)
 	e.clusters.add(id)
-	for _, r := range e.rules {
+	return row, nil
+}
+
+// seedIndexes re-aliases every rule's id slices (AppendRow may have
+// reallocated the column slices) and adds rows firstRow.. to the
+// blockable rules' join indexes. Rules are mutually independent, so a
+// multi-row batch fans out across rules when workers are configured —
+// each worker touches only its rules' indexes, and per-rule adds stay
+// in row order, so the resulting indexes are identical at any worker
+// count. Soundex seed keys are warmed first so workers never race on a
+// dictionary's first-use code assignment.
+func (e *Enforcer) seedIndexes(firstRow int) {
+	n := e.inst.Len()
+	workers := 1
+	if e.workers > 1 && n-firstRow > 1 {
+		e.warmNew()
+		workers = e.workers
+	}
+	par.For(len(e.rules), workers, func(k int) {
+		r := e.rules[k]
 		r.refresh(e)
-		if r.blockable() {
+		if !r.blockable() {
+			return
+		}
+		for row := firstRow; row < n; row++ {
 			r.idxL.add(row, r.key(0, row))
 			r.idxR.add(row, r.key(1, row))
 		}
-	}
-	return row, nil
+	})
 }
 
 // seedRow marks a new row dirty on both sides for every rule: the
@@ -521,6 +571,13 @@ func (e *Enforcer) takeApplied() []int {
 // pass-structured rounds, until a full round fires nothing. It returns
 // the applications and passes of this enforcement.
 func (e *Enforcer) run() (apps, passes int, err error) {
+	if sp := e.spec; sp != nil {
+		// Workers must never trigger first-use memoization or index a
+		// stamp out of range; the chase itself adds no rows and invents
+		// no values, so warming and sizing once per enforcement suffices.
+		e.warmNew()
+		sp.growStamps(e.inst.Len())
+	}
 	maxPasses := e.ch.cellCount() + 2
 	startApps := e.stats.Applications
 	for {
@@ -546,7 +603,9 @@ func (e *Enforcer) run() (apps, passes int, err error) {
 }
 
 func (e *Enforcer) operatorEvaluations() int64 {
-	var total int64
+	// specEvals are the evaluations speculation workers performed and
+	// MergeFills accepted; the caches' own counters never saw them.
+	total := e.specEvals
 	for _, c := range e.conjs {
 		total += c.Evaluations()
 	}
@@ -575,6 +634,16 @@ func (e *Enforcer) touched(ti, ai int, v string) {
 	left, right := s.relL[ai], s.relR[ai]
 	if !left && !right {
 		return // the scanning rule's verdicts cannot have changed
+	}
+	if sp := e.spec; sp != nil {
+		// Invalidate this chunk's speculations involving the row: its
+		// verdicts for the scanning rule may have changed.
+		if left {
+			sp.stampL[ti] = sp.clock
+		}
+		if right {
+			sp.stampR[ti] = sp.clock
+		}
 	}
 	if e.bitsL != nil { // dense sweep: widen the filters
 		if left {
@@ -696,6 +765,14 @@ func (e *Enforcer) scanRule(r *ruleState) bool {
 	e.base, e.baseIdx = base, 0
 	e.over, e.overSet = &over, make(map[int64]struct{})
 	e.curOrd = -1
+	if e.spec != nil && len(base) >= specMinPairs {
+		fired := e.commitBlockedSpec(r)
+		e.ordScratch = base[:0]
+		e.scanning = nil
+		e.base, e.baseIdx = nil, 0
+		e.over, e.overSet = nil, nil
+		return fired
+	}
 	fired := false
 	for {
 		var ord int64
@@ -721,8 +798,9 @@ func (e *Enforcer) scanRule(r *ruleState) bool {
 }
 
 // denseMaterializeCap bounds the ord codes a dense scan materializes
-// (8 MiB of int64) before switching to the bit-filter sweep.
-const denseMaterializeCap = int64(1) << 20
+// (8 MiB of int64) before switching to the bit-filter sweep. A var so
+// the parallel property tests can shrink it to exercise the sweep.
+var denseMaterializeCap = int64(1) << 20
 
 // scanDenseSweep visits a dense rule's candidates by sweeping the full
 // grid with side membership filters, exactly like the batch worklist's
@@ -741,6 +819,12 @@ func (e *Enforcer) scanDenseSweep(r *ruleState, n int) bool {
 	}
 	clear(r.dirtyL)
 	clear(r.dirtyR)
+	if e.spec != nil && int64(n)*int64(n) >= int64(specMinPairs) {
+		fired := e.scanDenseSpec(r, n)
+		e.scanning = nil
+		e.bitsL, e.bitsR = nil, nil
+		return fired
+	}
 	fired := false
 	for i1 := 0; i1 < n; i1++ {
 		if !e.bitsL[i1] {

@@ -254,13 +254,14 @@ func sameClusters(t *testing.T, label string, got, want []Cluster) {
 // checkStreamed inserts the tuples one at a time and validates every
 // step against a from-scratch reference chase on the Enforcer's own
 // dataset at that step. linkRules selects the cluster-linking rules
-// (nil = all).
-func checkStreamed(t *testing.T, label string, ctx schema.Pair, sigma []core.MD, tuples []*record.Tuple, linkRules []int) {
+// (nil = all); extra options (e.g. WithWorkers) pass through.
+func checkStreamed(t *testing.T, label string, ctx schema.Pair, sigma []core.MD, tuples []*record.Tuple, linkRules []int, extra ...Option) {
 	t.Helper()
 	var opts []Option
 	if linkRules != nil {
 		opts = append(opts, ClusterRules(linkRules...))
 	}
+	opts = append(opts, extra...)
 	e, err := New(ctx, sigma, opts...)
 	if err != nil {
 		t.Fatal(err)

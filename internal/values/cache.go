@@ -47,6 +47,9 @@ type Cache struct {
 
 	// growable map backend
 	m map[uint64]bool
+	// maxEntries caps m (MapMaxEntries unless NewCacheCapped chose
+	// otherwise); beyond it verdicts are recomputed, not stored.
+	maxEntries int
 
 	lookups int64
 	evals   int64
@@ -55,8 +58,20 @@ type Cache struct {
 // NewCache builds a map-backed cache usable with dictionaries that keep
 // growing.
 func NewCache(op similarity.Operator, left, right *Dict) *Cache {
+	return NewCacheCapped(op, left, right, MapMaxEntries)
+}
+
+// NewCacheCapped is NewCache with an explicit entry cap. Sharded users
+// (stripes of one logical cache) divide MapMaxEntries across their
+// stripes so the aggregate memory bound stays the same; maxEntries <= 0
+// selects MapMaxEntries.
+func NewCacheCapped(op similarity.Operator, left, right *Dict, maxEntries int) *Cache {
 	c := newCache(op, left, right)
 	c.m = make(map[uint64]bool)
+	if maxEntries <= 0 {
+		maxEntries = MapMaxEntries
+	}
+	c.maxEntries = maxEntries
 	return c
 }
 
@@ -137,7 +152,7 @@ func (c *Cache) Similar(a, b ID) bool {
 		return verdict
 	}
 	verdict := c.eval(a, b)
-	if len(c.m) < MapMaxEntries {
+	if len(c.m) < c.maxEntries {
 		c.m[key] = verdict
 	}
 	return verdict
@@ -165,7 +180,7 @@ func (c *Cache) Store(a, b ID, verdict bool) {
 		c.bits[off>>6] |= m
 		return
 	}
-	if len(c.m) < MapMaxEntries {
+	if len(c.m) < c.maxEntries {
 		c.m[uint64(a)<<32|uint64(b)] = verdict
 	}
 }

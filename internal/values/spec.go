@@ -1,0 +1,73 @@
+package values
+
+// Speculative-evaluation support for the deterministic parallel chase.
+//
+// The parallel chase evaluates LHS verdicts for a chunk of candidate
+// pairs on worker goroutines BEFORE committing any firing of the chunk.
+// Workers must not write to the shared verdict caches (a Cache is not
+// concurrency-safe), so each worker answers misses with Compute — a
+// pure evaluation that touches neither the cache nor its counters — and
+// records the verdict in a private Fill buffer. After the workers join,
+// the committing goroutine merges every buffer into the shared caches.
+//
+// Merging is ORDER-INDEPENDENT, which is what keeps the parallel chase
+// bit-identical to the serial one regardless of how chunks were claimed:
+// verdicts are pure functions of the value pair, so two workers that
+// evaluated the same (cache, pair) key always store the same boolean,
+// and Store is idempotent. The only order-sensitive quantity is the
+// evaluation COUNT, which MergeFills makes deterministic by counting a
+// key only when it is not yet cached (every duplicate — within a
+// buffer, across buffers, or against a pair the serial commit loop
+// resolved meanwhile — counts zero).
+
+// Fill is one speculative verdict awaiting merge into its cache.
+type Fill struct {
+	Cache   *Cache
+	A, B    ID
+	Verdict bool
+}
+
+// Compute evaluates the operator on the two values without reading or
+// writing the cache or its counters. It is safe for concurrent use
+// PROVIDED the dictionaries' derived forms for both IDs are warmed
+// (Dict.WarmDerived) — rune decoding is lazy and would otherwise race.
+func (c *Cache) Compute(a, b ID) bool {
+	if c.shared && a == b {
+		return true
+	}
+	if c.rop != nil {
+		return c.rop.SimilarRunes(c.left.Runes(a), c.right.Runes(b))
+	}
+	return c.op.Similar(c.left.Value(a), c.right.Value(b))
+}
+
+// RuneDicts returns the cache's two dictionaries when its operator
+// evaluates on decoded runes (nil, nil otherwise). Callers use it to
+// pre-warm the rune forms Compute will read (see Dict.WarmDerived);
+// byte-evaluated operators derive nothing lazily, so there is nothing
+// to warm.
+func (c *Cache) RuneDicts() (left, right *Dict) {
+	if c.rop == nil {
+		return nil, nil
+	}
+	return c.left, c.right
+}
+
+// MergeFills stores every buffered speculative verdict into its cache
+// and returns how many were NEW (not cached at merge time). The caller
+// must hold whatever lock guards the caches; buffers are reset to
+// length zero in place. The return value is the number of operator
+// evaluations the serial chase would have performed for these keys, so
+// callers fold it into their LHSEvaluations accounting.
+func MergeFills(bufs [][]Fill) (newFills int64) {
+	for w := range bufs {
+		for _, f := range bufs[w] {
+			if _, known := f.Cache.Peek(f.A, f.B); !known {
+				f.Cache.Store(f.A, f.B, f.Verdict)
+				newFills++
+			}
+		}
+		bufs[w] = bufs[w][:0]
+	}
+	return newFills
+}

@@ -114,6 +114,28 @@ func (d *Dict) RuneLen(id ID) int {
 	return int(d.runeLen[id])
 }
 
+// WarmDerived precomputes the lazily derived forms — the decoded rune
+// slice (runes) and/or the interned Soundex code (sdx) — for every ID
+// in [from, Len()), and returns Len(). Runes and SoundexID mutate the
+// dictionary on first use, so any layer that reads values from
+// concurrent goroutines (the speculative chase workers) must warm the
+// forms it needs while it still holds exclusive access; after warming,
+// Runes, RuneLen and SoundexID on warmed IDs are pure reads. Callers
+// keep the returned cursor and warm incrementally as the dictionary
+// grows.
+func (d *Dict) WarmDerived(from int, runes, sdx bool) int {
+	n := len(d.strs)
+	for i := from; i < n; i++ {
+		if runes && d.runeLen[i] < 0 {
+			d.Runes(ID(i))
+		}
+		if sdx && d.sdx[i] < 0 {
+			d.SoundexID(ID(i))
+		}
+	}
+	return n
+}
+
 // SoundexID returns the interned Soundex code of the value: two values
 // of one dictionary have equal Soundex codes iff their SoundexIDs are
 // equal. The code is computed once per distinct value.
