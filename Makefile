@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-exec bench-stream bench-store bench-obs bench-parallel vet docs-check clean
+.PHONY: build test bench bench-exec bench-stream bench-store bench-obs bench-parallel bench-fault vet docs-check clean
 
 build:
 	$(GO) build ./...
@@ -79,6 +79,20 @@ bench-parallel:
 	BENCH_PARALLEL_ENGINE_OUT=$(CURDIR)/BENCH_engine.json $(GO) test -run TestWriteParallelBenchReport -count=1 -timeout 30m -v ./internal/engine/
 	BENCH_PARALLEL_EXEC_OUT=$(CURDIR)/BENCH_exec.json $(GO) test -run TestWriteParallelExecReport -count=1 -timeout 30m -v .
 	BENCH_PARALLEL_STREAM_OUT=$(CURDIR)/BENCH_stream.json $(GO) test -run TestWriteParallelStreamReport -count=1 -timeout 30m -v ./internal/stream/
+
+# bench-fault runs the robustness suite and records the admission gate:
+# first the crash-point fault matrix + fault/retry unit tests under
+# -race, then the admission-overhead report — MatchBatchCtx with a live
+# cancellable context (every HTTP request's shape) versus a background
+# context — merged as an "admission" section into BENCH_engine.json.
+# The test FAILS if the hook costs more than 1%
+# (BENCH_ADMISSION_MAX_OVERHEAD overrides the gate, BENCH_ENGINE_K the
+# corpus scale).
+bench-fault:
+	$(GO) test -race -count=1 -run 'TestRecoveryEquivalenceUnderFaults' -v ./internal/engine/
+	$(GO) test -race -count=1 ./internal/fault/ ./internal/retry/
+	BENCH_ADMISSION_OUT=$(CURDIR)/BENCH_engine.json $(GO) test -run TestWriteAdmissionBenchReport -count=1 -timeout 30m -v ./internal/engine/
+	@cat BENCH_engine.json
 
 # docs-check verifies the documentation layer: formatting, vet, a
 # package comment on every package, and resolvable relative links in

@@ -1,0 +1,298 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mdmatch/internal/fault"
+	"mdmatch/internal/obs"
+)
+
+// validRecord is a well-formed credit record for ingest tests.
+func validRecord(fn string) map[string]any {
+	return map[string]any{"record": map[string]string{
+		"cno": "4000999912341234", "ssn": "987-65-4321",
+		"fn": fn, "ln": "Lovelace", "street": "1 Analytical Way",
+		"city": "London", "county": "Westminster", "zip": "SW1Y",
+		"tel": "555-0199", "email": "fault@example.org",
+		"gender": "F", "dob": "1815-12-10", "type": "visa",
+	}}
+}
+
+// TestServeAdmissionInflight429 pins the in-flight budget: with
+// -max-inflight=1, a second data request arriving while the first still
+// holds its slot is shed with 429 + Retry-After before its body is
+// read, and the budget frees when the first request finishes.
+func TestServeAdmissionInflight429(t *testing.T) {
+	cfg := testConfig()
+	cfg.maxInflight = 1
+	srv, err := buildServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	// The first request holds its admission slot while the handler is
+	// blocked reading the body: a pipe with no writer yet.
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/match", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := ts.Client().Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.inflightReqs.Load() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never occupied its admission slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := ts.Client().Post(ts.URL+"/match", "application/json",
+		strings.NewReader(`{"record":{"fn":"Augusta","ln":"Byron"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request over the budget = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 is missing a Retry-After header")
+	}
+
+	// Release the first request; the budget must free up.
+	pw.CloseWithError(io.EOF)
+	wg.Wait()
+	deadline = time.Now().Add(5 * time.Second)
+	for srv.inflightReqs.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("admission slot never released")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	status, out := doJSON(t, ts, http.MethodPost, "/match",
+		map[string]any{"record": map[string]string{"fn": "Augusta", "ln": "Byron"}})
+	if status != http.StatusOK {
+		t.Fatalf("request after the budget freed = %d (%s), want 200", status, out["error"])
+	}
+}
+
+// TestServeAdmissionQueue503 pins the high watermark: while the
+// enforcer's insert queue is at or above -queue-high-watermark, new
+// data requests are shed with 503 + Retry-After. The queue is held up
+// deterministically by injecting latency into the WAL append the
+// in-flight insert is performing.
+func TestServeAdmissionQueue503(t *testing.T) {
+	plan := fault.NewPlan()
+	cfg := durableConfig(t, t.TempDir())
+	cfg.queueHighWatermark = 1
+	cfg.faultPlan = plan
+	srv, err := buildServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	// Arm AFTER build so corpus ingest runs at full speed: the next WAL
+	// write (the background insert below) stalls for a second.
+	plan.Inject(fault.Injection{Op: fault.OpWrite, Index: plan.Count(fault.OpWrite), Delay: time.Second})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		status, out := doJSON(t, ts, http.MethodPost, "/records", validRecord("Ada"))
+		if status != http.StatusOK {
+			t.Errorf("delayed insert = %d (%s), want 200", status, out["error"])
+		}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.eng.Stream().QueueDepth() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("insert never showed up in the queue depth")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := ts.Client().Post(ts.URL+"/match", "application/json",
+		strings.NewReader(`{"record":{"fn":"Augusta","ln":"Byron"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("request over the watermark = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("watermark 503 is missing a Retry-After header")
+	}
+	wg.Wait()
+
+	// Queue drained: requests admit again.
+	status, out := doJSON(t, ts, http.MethodPost, "/match",
+		map[string]any{"record": map[string]string{"fn": "Augusta", "ln": "Byron"}})
+	if status != http.StatusOK {
+		t.Fatalf("request after the queue drained = %d (%s), want 200", status, out["error"])
+	}
+}
+
+// TestServeLiveFaultDegradesAndRecovers is the end-to-end acceptance
+// flow: a WAL write fault injected into a LIVE server flips it to
+// degraded-readonly (mutations 503 + Retry-After, reads keep serving,
+// /readyz//stats//metrics all report it), and a restart on the same
+// directory recovers exactly the pre-fault state — without the record
+// whose append failed.
+func TestServeLiveFaultDegradesAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	plan := fault.NewPlan()
+	cfg := durableConfig(t, dir)
+	cfg.faultPlan = plan
+	cfg.reg = obs.NewRegistry()
+	srv, err := buildServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	// One durable ingest while healthy.
+	status, out := doJSON(t, ts, http.MethodPost, "/records", validRecord("Ada"))
+	if status != http.StatusOK {
+		t.Fatalf("healthy ingest = %d (%s)", status, out["error"])
+	}
+	var id, cluster int
+	if err := json.Unmarshal(out["id"], &id); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(out["cluster"], &cluster); err != nil {
+		t.Fatal(err)
+	}
+	recordsBefore := srv.eng.Stream().Len()
+
+	// Every WAL write from here on fails with ENOSPC.
+	plan.Inject(fault.Injection{
+		Op: fault.OpWrite, Index: plan.Count(fault.OpWrite), Sticky: true, Err: fault.ErrDiskFull})
+
+	status, out = doJSON(t, ts, http.MethodPost, "/records", validRecord("Grace"))
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("ingest on a full disk = %d (%s), want 503", status, out["error"])
+	}
+	if got := srv.eng.Stream().Len(); got != recordsBefore {
+		t.Fatalf("failed ingest still applied: %d -> %d records", recordsBefore, got)
+	}
+	if got := srv.healthState(); got != healthDegraded {
+		t.Fatalf("health after injected WAL failure = %v, want degraded-readonly", got)
+	}
+
+	// The next mutation is shed by the read-only gate before it is even
+	// decoded (counted as an admission rejection below).
+	status, out = doJSON(t, ts, http.MethodPost, "/records", validRecord("Grace"))
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("mutation while degraded = %d (%s), want 503", status, out["error"])
+	}
+
+	// Reads keep serving: match answers and the pre-fault cluster is
+	// still queryable.
+	status, out = doJSON(t, ts, http.MethodPost, "/match",
+		map[string]any{"record": map[string]string{"fn": "Augusta", "ln": "Byron"}})
+	if status != http.StatusOK {
+		t.Fatalf("match while degraded = %d (%s)", status, out["error"])
+	}
+	status, out = doJSON(t, ts, http.MethodGet, fmt.Sprintf("/clusters/%d", id), nil)
+	if status != http.StatusOK {
+		t.Fatalf("cluster read while degraded = %d (%s)", status, out["error"])
+	}
+
+	// The whole observability surface reports it.
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"mdmatch_health_state 1",
+		`mdmatch_fault_injected_total{op="write"}`,
+		"mdmatch_degraded_transitions_total 1",
+		`mdmatch_admission_rejected_total{reason="readonly"}`,
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("/metrics while degraded is missing %q", want)
+		}
+	}
+
+	// Restart on the same directory with a healthy filesystem: the
+	// pre-fault state is back, the failed record is not.
+	srv.store().Close()
+	cfg2 := durableConfig(t, dir)
+	cfg2.reg = obs.NewRegistry()
+	srv2, err := buildServer(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.routes())
+	defer ts2.Close()
+	defer srv2.store().Close()
+
+	if got := srv2.healthState(); got != healthOK {
+		t.Fatalf("health after restart = %v, want ok", got)
+	}
+	if got := srv2.eng.Stream().Len(); got != recordsBefore {
+		t.Fatalf("restart recovered %d records, want %d", got, recordsBefore)
+	}
+	status, out = doJSON(t, ts2, http.MethodGet, fmt.Sprintf("/clusters/%d", id), nil)
+	if status != http.StatusOK {
+		t.Fatalf("cluster read after restart = %d (%s)", status, out["error"])
+	}
+	var cluster2 int
+	if err := json.Unmarshal(out["cluster"], &cluster2); err != nil {
+		t.Fatal(err)
+	}
+	if cluster2 != cluster {
+		t.Fatalf("cluster after restart = %d, want %d", cluster2, cluster)
+	}
+	// And mutations work again.
+	status, out = doJSON(t, ts2, http.MethodPost, "/records", validRecord("Grace"))
+	if status != http.StatusOK {
+		t.Fatalf("ingest after restart = %d (%s), want 200", status, out["error"])
+	}
+}
+
+// TestServeMatchClientGone pins the cancelled-request contract: a
+// /match request whose context is already cancelled (the client hung
+// up) produces no response body — the handler returns promptly instead
+// of matching for nobody and writing into a dead connection.
+func TestServeMatchClientGone(t *testing.T) {
+	srv := testServer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodPost, "/match",
+		strings.NewReader(`{"batch":[{"record":{"fn":"Augusta","ln":"Byron"}}]}`)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	srv.routes().ServeHTTP(rec, req)
+	if rec.Body.Len() != 0 {
+		t.Fatalf("cancelled request still got a body: %q", rec.Body.String())
+	}
+}

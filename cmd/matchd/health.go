@@ -1,0 +1,156 @@
+package main
+
+// Degraded-mode state machine and admission control.
+//
+// matchd serves from in-memory state; the disk is only in the write
+// path (WAL append) and the background snapshot path. So a failing disk
+// must not take reads down: a WAL append failure — which internal/store
+// latches permanently, because the log may have a torn tail — flips the
+// daemon to DEGRADED-READONLY serving. /match, /clusters/{id} and
+// /stats keep answering from memory; mutations are rejected with 503 +
+// Retry-After. The state is sticky until restart by design: the store
+// refuses every append after the latch, and a restart re-opens (and
+// repairs) the directory — recovering exactly the journaled state,
+// since the enforcer journals BEFORE mutating and therefore never
+// applied anything the WAL lost.
+//
+// Admission control sheds load before it reaches the engine: a bounded
+// in-flight budget (-max-inflight) returns 429 the moment too many
+// match/ingest requests are in the house, and a queue-depth high
+// watermark (-queue-high-watermark) returns 503 while the engine's
+// in-flight batches plus the enforcer's insert queue exceed it. Both
+// checks run before the request body is read — an over-budget request
+// costs a counter increment, not a decode and a chase.
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"mdmatch/internal/stream"
+)
+
+// healthState is the serving health state machine. Transitions: ok →
+// degraded-readonly (latched WAL failure; sticky until restart), and
+// any state → draining (shutdown signal received).
+type healthState int32
+
+const (
+	healthOK       healthState = 0
+	healthDegraded healthState = 1
+	healthDraining healthState = 2
+)
+
+func (h healthState) String() string {
+	switch h {
+	case healthOK:
+		return "ok"
+	case healthDegraded:
+		return "degraded-readonly"
+	case healthDraining:
+		return "draining"
+	}
+	return fmt.Sprintf("health(%d)", int32(h))
+}
+
+func (s *server) healthState() healthState { return healthState(s.health.Load()) }
+
+// enterDegraded flips ok → degraded-readonly once. Later causes are
+// ignored: the first latched failure already disabled mutations, and
+// the transition counter should count transitions, not failed retries.
+func (s *server) enterDegraded(cause error) {
+	if s.health.CompareAndSwap(int32(healthOK), int32(healthDegraded)) {
+		s.log.Error("degraded-readonly: WAL append failed; mutations disabled until restart",
+			"err", cause)
+		if s.hm != nil {
+			s.hm.DegradedTransitions.Inc()
+		}
+	}
+}
+
+// enterDraining marks shutdown: every health state yields to draining.
+func (s *server) enterDraining() {
+	for {
+		cur := s.health.Load()
+		if cur == int32(healthDraining) || s.health.CompareAndSwap(cur, int32(healthDraining)) {
+			return
+		}
+	}
+}
+
+// rejectAdmission writes one shed-load response and counts it.
+func (s *server) rejectAdmission(w http.ResponseWriter, status int, retryAfter, reason string, err error) {
+	if s.hm != nil {
+		s.hm.AdmissionRejected.With(reason).Inc()
+	}
+	w.Header().Set("Retry-After", retryAfter)
+	writeError(w, status, err)
+}
+
+// admit is the admission-control middleware for the heavy data
+// endpoints. Both checks run BEFORE the body is decoded, so an
+// over-budget request never touches the chase. The in-flight slot is
+// held for the rest of the handler (including its MatchBatch worker
+// pool); the watermark is advisory (read-only sampling of the queue
+// depths), which is the point — it sheds new work while the backlog
+// stands, without coordinating with it.
+func (s *server) admit(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if max := s.cfg.maxInflight; max > 0 {
+			if cur := s.inflightReqs.Add(1); cur > int64(max) {
+				s.inflightReqs.Add(-1)
+				s.rejectAdmission(w, http.StatusTooManyRequests, "1", "inflight",
+					fmt.Errorf("over the in-flight budget (%d requests admitted)", max))
+				return
+			}
+			defer s.inflightReqs.Add(-1)
+		}
+		if hw := s.cfg.queueHighWatermark; hw > 0 {
+			depth := int(s.eng.InFlightBatches()) + s.eng.Stream().QueueDepth()
+			if depth >= hw {
+				s.rejectAdmission(w, http.StatusServiceUnavailable, "1", "queue",
+					fmt.Errorf("queue depth %d at or above the high watermark (%d)", depth, hw))
+				return
+			}
+		}
+		h(w, r)
+	}
+}
+
+// mutating gates a write endpoint on the health state: degraded or
+// draining serving rejects mutations with 503 + Retry-After while reads
+// keep flowing. Degraded mode needs a restart, so its Retry-After is
+// long; draining resolves in seconds (a replacement process), so it
+// retries sooner.
+func (s *server) mutating(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if hs := s.healthState(); hs != healthOK {
+			retryAfter := "1"
+			if hs == healthDegraded {
+				retryAfter = "30"
+			}
+			s.rejectAdmission(w, http.StatusServiceUnavailable, retryAfter, "readonly",
+				fmt.Errorf("%s: mutations are disabled (reads keep serving)", hs))
+			return
+		}
+		h(w, r)
+	}
+}
+
+// degradeOnJournalFailure inspects a mutation error: a journal failure
+// means the store latched and the daemon is now read-only. It reports
+// whether the error was handled (response written).
+func (s *server) degradeOnJournalFailure(w http.ResponseWriter, err error) bool {
+	var je *stream.JournalError
+	if !errors.As(err, &je) {
+		return false
+	}
+	s.enterDegraded(err)
+	// The record was valid but could not be made durable — the server's
+	// fault, and retrying the same payload against a recovered (or
+	// replacement) process is reasonable.
+	w.Header().Set("Retry-After", "30")
+	writeError(w, http.StatusServiceUnavailable,
+		fmt.Errorf("durability failed; serving read-only: %v", err))
+	return true
+}

@@ -63,6 +63,7 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -71,8 +72,10 @@ import (
 	"mdmatch/internal/blocking"
 	"mdmatch/internal/core"
 	"mdmatch/internal/engine"
+	"mdmatch/internal/fault"
 	"mdmatch/internal/gen"
 	"mdmatch/internal/obs"
+	"mdmatch/internal/retry"
 	"mdmatch/internal/schema"
 	"mdmatch/internal/store"
 	"mdmatch/internal/stream"
@@ -95,7 +98,25 @@ func main() {
 	flag.StringVar(&logFormat, "log-format", "text", "log output format: text or json")
 	flag.StringVar(&logLevel, "log-level", "info", "minimum log level: debug, info, warn or error")
 	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "side listener for net/http/pprof (empty = disabled)")
+	flag.IntVar(&cfg.maxInflight, "max-inflight", 0, "admitted /match + /records requests in flight before new ones get 429 (0 = unlimited)")
+	flag.IntVar(&cfg.queueHighWatermark, "queue-high-watermark", 0, "engine+stream queue depth at which new data requests get 503 (0 = disabled)")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "bound on the SIGTERM drain; on expiry (or a second signal) the final snapshot is aborted and the process exits 1")
+	var faultSpecs string
+	flag.StringVar(&faultSpecs, "fault", "", "comma-separated durability fault injections, e.g. sync@2:eio,write@5+:enospc (testing; see internal/fault)")
 	flag.Parse()
+
+	if faultSpecs != "" {
+		plan := fault.NewPlan()
+		for _, spec := range strings.Split(faultSpecs, ",") {
+			inj, err := fault.ParseSpec(strings.TrimSpace(spec))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "matchd: -fault:", err)
+				os.Exit(1)
+			}
+			plan.Inject(inj)
+		}
+		cfg.faultPlan = plan
+	}
 
 	logger, err := newLogger(logFormat, logLevel)
 	if err != nil {
@@ -125,11 +146,19 @@ func main() {
 	}
 
 	if cfg.debugAddr != "" {
+		// The blank net/http/pprof import registers on the default mux,
+		// which only this side listener serves. Header/idle timeouts keep
+		// a stuck client from pinning a connection forever; deliberately
+		// no WriteTimeout — pprof's profile?seconds=N streams for longer
+		// than any fixed cap.
+		dbg := &http.Server{
+			Addr:              cfg.debugAddr,
+			ReadHeaderTimeout: 5 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		}
 		go func() {
 			logger.Info("debug listener (pprof)", "addr", cfg.debugAddr)
-			// The blank net/http/pprof import registers on the default
-			// mux, which only this side listener serves.
-			if err := http.ListenAndServe(cfg.debugAddr, nil); err != nil {
+			if err := dbg.ListenAndServe(); err != nil {
 				logger.Error("debug listener", "err", err)
 			}
 		}()
@@ -164,7 +193,12 @@ func main() {
 			os.Exit(1)
 		case <-ctx.Done():
 			stop()
-			logger.Info("signal received, draining")
+			srv.enterDraining()
+			logger.Info("signal received, draining", "timeout", cfg.drainTimeout)
+			// Re-arm signal delivery: a SECOND signal during the drain
+			// aborts it (a wedged disk must not hang shutdown forever).
+			abort := make(chan os.Signal, 1)
+			signal.Notify(abort, os.Interrupt, syscall.SIGTERM)
 			if buildDone != nil {
 				// Let the build finish (or fail) before quiescing: close()
 				// snapshots through the engine the build is constructing.
@@ -173,17 +207,32 @@ func main() {
 					os.Exit(1)
 				}
 			}
-			sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-			defer cancel()
-			// Shutdown waits for in-flight handlers — including MatchBatch
-			// calls and their worker pools, which join before the handler
-			// returns — so the final snapshot below sees a quiesced engine.
-			if err := hs.Shutdown(sctx); err != nil {
-				logger.Warn("drain", "err", err)
+			done := make(chan struct{})
+			go func() {
+				sctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+				defer cancel()
+				// Shutdown waits for in-flight handlers — including MatchBatch
+				// calls and their worker pools, which join before the handler
+				// returns — so the final snapshot below sees a quiesced engine.
+				if err := hs.Shutdown(sctx); err != nil {
+					logger.Warn("drain", "err", err)
+				}
+				srv.close()
+				close(done)
+			}()
+			watchdog := time.NewTimer(cfg.drainTimeout)
+			defer watchdog.Stop()
+			select {
+			case <-done:
+				logger.Info("bye")
+				return
+			case <-abort:
+				logger.Error("second signal during drain: aborting final snapshot")
+				os.Exit(1)
+			case <-watchdog.C:
+				logger.Error("drain timeout exceeded: aborting final snapshot", "timeout", cfg.drainTimeout)
+				os.Exit(1)
 			}
-			srv.close()
-			logger.Info("bye")
-			return
 		}
 	}
 }
@@ -225,6 +274,19 @@ type config struct {
 	noSync       bool
 	debugAddr    string
 
+	// Admission control: maxInflight bounds admitted /match + /records
+	// requests (0 = unlimited; beyond it 429 + Retry-After), and
+	// queueHighWatermark sheds new data requests with 503 while the
+	// engine's in-flight batches plus the enforcer's insert queue are at
+	// or above it (0 = disabled).
+	maxInflight        int
+	queueHighWatermark int
+	// drainTimeout bounds the SIGTERM drain (requests + final snapshot).
+	drainTimeout time.Duration
+	// faultPlan, when set, wraps the store's filesystem in the
+	// deterministic fault injector (-fault flag; tests arm it directly).
+	faultPlan *fault.Plan
+
 	// reg, when set, instruments every layer (engine, stream, store) on
 	// that registry; nil builds an uninstrumented server (what most unit
 	// tests want, and what the overhead benchmark compares against).
@@ -252,10 +314,14 @@ func newServer(cfg config) *server {
 	if lg == nil {
 		lg = slog.Default()
 	}
-	return &server{
+	s := &server{
 		cfg: cfg, log: lg, started: time.Now(),
 		maxBody: cfg.maxBody, snapBytes: cfg.snapBytes,
 	}
+	if cfg.reg != nil {
+		s.hm = obs.NewHealthMetrics(cfg.reg, func() float64 { return float64(s.health.Load()) })
+	}
+	return s
 }
 
 // build constructs the serving state: a fresh data directory — or none
@@ -320,6 +386,14 @@ func (s *server) build() error {
 		}
 		if cfg.reg != nil {
 			sopts = append(sopts, store.WithObserver(obs.NewStoreObserver(cfg.reg)))
+		}
+		if cfg.faultPlan != nil {
+			if s.hm != nil {
+				cfg.faultPlan.OnFault(func(op fault.Op) {
+					s.hm.FaultInjected.With(string(op)).Inc()
+				})
+			}
+			sopts = append(sopts, store.WithFS(fault.Wrap(store.OSFS{}, cfg.faultPlan)))
 		}
 		st, err = store.Open(cfg.dataDir, engine.Fingerprint(plan, enf), sopts...)
 		if err != nil {
@@ -388,6 +462,13 @@ type server struct {
 	ready atomic.Bool
 	stp   atomic.Pointer[store.Store]
 
+	// health is the degraded-mode state machine (healthState values);
+	// inflightReqs counts admitted requests against -max-inflight; hm is
+	// the robustness metric set (nil when uninstrumented). See health.go.
+	health       atomic.Int32
+	inflightReqs atomic.Int64
+	hm           *obs.HealthMetrics
+
 	maxBody   int64
 	snapBytes int64
 	stopSnap  chan struct{}
@@ -401,22 +482,42 @@ func (s *server) store() *store.Store { return s.stp.Load() }
 
 // snapshotLoop is the background snapshot trigger: once the WAL has
 // accumulated snapBytes since the last snapshot, capture one (bounding
-// the replay debt a crash would pay).
+// the replay debt a crash would pay). A failed snapshot retries on a
+// capped exponential backoff instead of hammering a misbehaving disk
+// every tick — and never wedges the loop: the ticker keeps running, so
+// stop (and the WAL-failure health check) stay responsive throughout.
 func (s *server) snapshotLoop() {
 	defer s.snapWG.Done()
 	tick := time.NewTicker(time.Second)
 	defer tick.Stop()
+	bo := retry.Policy{Initial: 2 * time.Second, Max: time.Minute, Seed: 1}.Backoff()
+	var nextTry time.Time
 	for {
 		select {
 		case <-s.stopSnap:
 			return
 		case <-tick.C:
-			if s.store().BytesSinceSnapshot() < s.snapBytes {
+			st := s.store()
+			// The snapshotter doubles as the degraded-mode watchdog: a
+			// WAL failure latched outside the request path (segment
+			// rotation during a snapshot) still flips serving read-only.
+			if err := st.Failed(); err != nil {
+				s.enterDegraded(err)
+			}
+			if st.BytesSinceSnapshot() < s.snapBytes {
 				continue
 			}
+			if !nextTry.IsZero() && time.Now().Before(nextTry) {
+				continue // backing off after a failure
+			}
 			if lsn, err := s.eng.Snapshot(); err != nil {
-				s.log.Error("background snapshot", "err", err)
+				wait := bo.Next()
+				nextTry = time.Now().Add(wait)
+				s.log.Error("background snapshot failed; backing off",
+					"err", err, "retry_in", wait, "attempt", bo.Attempt())
 			} else {
+				bo.Reset()
+				nextTry = time.Time{}
 				s.log.Info("background snapshot", "lsn", lsn)
 			}
 		}
@@ -451,9 +552,9 @@ func (s *server) close() {
 
 func (s *server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /match", s.whenReady(s.limited(s.handleMatch)))
-	mux.HandleFunc("POST /records", s.whenReady(s.limited(s.handleAddRecord)))
-	mux.HandleFunc("DELETE /records/{id}", s.whenReady(s.handleDeleteRecord))
+	mux.HandleFunc("POST /match", s.whenReady(s.admit(s.limited(s.handleMatch))))
+	mux.HandleFunc("POST /records", s.whenReady(s.admit(s.mutating(s.limited(s.handleAddRecord)))))
+	mux.HandleFunc("DELETE /records/{id}", s.whenReady(s.mutating(s.handleDeleteRecord)))
 	mux.HandleFunc("GET /clusters/{id}", s.whenReady(s.handleCluster))
 	mux.HandleFunc("POST /snapshot", s.whenReady(s.handleSnapshot))
 	mux.HandleFunc("GET /stats", s.whenReady(s.handleStats))
@@ -483,20 +584,25 @@ func (s *server) whenReady(h http.HandlerFunc) http.HandlerFunc {
 
 // readyResponse is the /readyz body. Replay progress is meaningful only
 // while a durable restart is recovering: applied climbs toward target
-// as the WAL suffix replays (both 0 on a fresh build).
+// as the WAL suffix replays (both 0 on a fresh build). Health reports
+// the degraded-mode state machine: "degraded-readonly" still answers
+// 200 — the daemon serves reads and should keep receiving them — while
+// "draining" answers 503 so balancers stop routing here.
 type readyResponse struct {
 	Ready         bool   `json:"ready"`
+	Health        string `json:"health"`
 	ReplayApplied uint64 `json:"replay_applied"`
 	ReplayTarget  uint64 `json:"replay_target"`
 }
 
 func (s *server) handleReady(w http.ResponseWriter, _ *http.Request) {
-	res := readyResponse{Ready: s.ready.Load()}
+	hs := s.healthState()
+	res := readyResponse{Ready: s.ready.Load(), Health: hs.String()}
 	if st := s.store(); st != nil {
 		res.ReplayApplied, res.ReplayTarget = st.ReplayProgress()
 	}
 	status := http.StatusOK
-	if !res.Ready {
+	if !res.Ready || hs == healthDraining {
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, res)
@@ -602,8 +708,14 @@ func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
 			}
 			batch[i] = vals
 		}
-		results, err := s.eng.MatchBatch(batch)
+		// The request context rides into the worker pool: when the client
+		// hangs up mid-batch, the pool stops claiming queries instead of
+		// matching the remainder for nobody.
+		results, err := s.eng.MatchBatchCtx(r.Context(), batch)
 		if err != nil {
+			if r.Context().Err() != nil {
+				return // client gone; nobody to answer
+			}
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
@@ -619,8 +731,11 @@ func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := s.eng.MatchOne(vals)
+	res, err := s.eng.MatchOneCtx(r.Context(), vals)
 	if err != nil {
+		if r.Context().Err() != nil {
+			return // client gone; nobody to answer
+		}
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -650,15 +765,17 @@ func (s *server) handleAddRecord(w http.ResponseWriter, r *http.Request) {
 	} else {
 		id = int(s.nextID.Add(1))
 	}
-	res, err := s.eng.AddClustered(id, vals)
+	res, err := s.eng.AddClusteredCtx(r.Context(), id, vals)
 	if err != nil {
-		// A journal failure is OUR fault (the record was valid but could
-		// not be made durable) — 500, not 400, so monitoring fires and
-		// clients know retrying the same payload is reasonable.
-		var je *stream.JournalError
-		if errors.As(err, &je) {
-			writeError(w, http.StatusInternalServerError, err)
+		// A journal failure flips the daemon to read-only serving: the
+		// record was valid but could not be made durable, and the store
+		// refuses every later append anyway — reads keep answering, the
+		// client gets 503 + Retry-After against a recovered process.
+		if s.degradeOnJournalFailure(w, err) {
 			return
+		}
+		if r.Context().Err() != nil {
+			return // client gone before the insert was journaled
 		}
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -725,7 +842,12 @@ func (s *server) handleDeleteRecord(w http.ResponseWriter, r *http.Request) {
 	}
 	removed, err := s.eng.RemoveLogged(id)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, fmt.Errorf("journaling removal: %w", err))
+		// A failed removal journal is the same latched WAL failure as a
+		// failed insert journal: flip read-only and say so.
+		s.enterDegraded(err)
+		w.Header().Set("Retry-After", "30")
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("durability failed; serving read-only: journaling removal: %v", err))
 		return
 	}
 	if !removed {
@@ -773,6 +895,7 @@ type statsResponse struct {
 	Workers        int          `json:"workers"`
 	ChaseWorkers   int          `json:"chase_workers"`
 	UptimeSeconds  float64      `json:"uptime_seconds"`
+	Health         string       `json:"health"`
 	Stream         stream.Stats `json:"stream"`
 	Store          *storeStats  `json:"store,omitempty"`
 }
@@ -786,6 +909,7 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Workers:        s.eng.Workers(),
 		ChaseWorkers:   s.eng.Stream().Workers(),
 		UptimeSeconds:  time.Since(s.started).Seconds(),
+		Health:         s.healthState().String(),
 		Stream:         s.eng.Stream().Stats(),
 	}
 	if ds := s.store(); ds != nil {

@@ -172,11 +172,13 @@ func TestServeDurableRestart(t *testing.T) {
 	}
 }
 
-// TestServeJournalFailureIs500 pins the status-code contract: when a
-// valid record cannot be made durable (the WAL is broken/closed), POST
-// /records is a server-side failure (500), not a 400 blaming the
-// client — and the record is NOT applied.
-func TestServeJournalFailureIs500(t *testing.T) {
+// TestServeJournalFailureDegradesReadOnly pins the degraded-mode
+// contract: when a valid record cannot be made durable (the WAL is
+// broken/closed), POST /records answers 503 + Retry-After — the
+// server's fault, retryable against a recovered process — the record
+// is NOT applied, the daemon flips to degraded-readonly (visible in
+// /readyz and /stats), and reads keep serving.
+func TestServeJournalFailureDegradesReadOnly(t *testing.T) {
 	cfg := durableConfig(t, t.TempDir())
 	srv, err := buildServer(cfg)
 	if err != nil {
@@ -189,17 +191,72 @@ func TestServeJournalFailureIs500(t *testing.T) {
 	srv.store().Close() // every journal append now fails
 	status, out := doJSON(t, ts, http.MethodPost, "/records",
 		map[string]any{"record": map[string]string{"fn": "Valid"}})
-	if status != http.StatusInternalServerError {
-		t.Fatalf("POST /records with a dead journal = %d (%s), want 500", status, out["error"])
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("POST /records with a dead journal = %d (%s), want 503", status, out["error"])
 	}
 	if got := srv.eng.Stream().Len(); got != before {
 		t.Fatalf("failed journal append still applied the record: %d -> %d", before, got)
 	}
-	// A genuinely bad request is still the client's fault.
-	status, _ = doJSON(t, ts, http.MethodPost, "/records",
+	if got := srv.healthState(); got != healthDegraded {
+		t.Fatalf("health after journal failure = %v, want degraded-readonly", got)
+	}
+
+	// The 503 carries a Retry-After so clients back off instead of
+	// hammering a daemon that needs a restart.
+	resp, err := ts.Client().Post(ts.URL+"/records", "application/json",
+		strings.NewReader(`{"record":{"fn":"Again"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("second POST /records while degraded = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("degraded 503 is missing a Retry-After header")
+	}
+
+	// Reads keep answering from memory: /match still works and /readyz
+	// stays 200 (the daemon IS serving, just read-only).
+	status, out = doJSON(t, ts, http.MethodPost, "/match",
+		map[string]any{"record": map[string]string{"fn": "Augusta", "ln": "Byron"}})
+	if status != http.StatusOK {
+		t.Fatalf("POST /match while degraded = %d (%s), want 200", status, out["error"])
+	}
+	resp, err = ts.Client().Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ready readyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ready); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz while degraded = %d, want 200 (reads still serve)", resp.StatusCode)
+	}
+	if ready.Health != "degraded-readonly" {
+		t.Fatalf("/readyz health = %q, want degraded-readonly", ready.Health)
+	}
+	status, out = doJSON(t, ts, http.MethodGet, "/stats", nil)
+	if status != http.StatusOK {
+		t.Fatalf("/stats while degraded = %d", status)
+	}
+	var health string
+	if err := json.Unmarshal(out["health"], &health); err != nil {
+		t.Fatal(err)
+	}
+	if health != "degraded-readonly" {
+		t.Fatalf("/stats health = %q, want degraded-readonly", health)
+	}
+
+	// A genuinely bad request is still the client's fault — but the
+	// read-only gate runs first, so mutations see 503 before validation.
+	// Validation errors on the READ path still 400.
+	status, _ = doJSON(t, ts, http.MethodPost, "/match",
 		map[string]any{"record": map[string]string{"nope": "x"}})
 	if status != http.StatusBadRequest {
-		t.Fatalf("bad attribute with a dead journal = %d, want 400", status)
+		t.Fatalf("bad attribute on /match while degraded = %d, want 400", status)
 	}
 }
 

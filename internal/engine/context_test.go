@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"slices"
+	"testing"
+	"time"
+
+	"mdmatch/internal/gen"
+	"mdmatch/internal/stream"
+)
+
+// ctxTestEngine builds a small memory-only engine with the self-match
+// corpus loaded, for the context-propagation tests.
+func ctxTestEngine(t *testing.T) (*Engine, []recOp) {
+	t.Helper()
+	ctx, sigma, ops := recHistory(t, 8, 5)
+	plan := selfMatchPlan(t, ctx)
+	enf, err := stream.New(ctx, sigma, stream.ClusterRules(gen.DedupClusterRules()...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(plan, WithWorkers(2), WithStream(enf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops {
+		op.apply(t, eng, ctx.Left)
+	}
+	return eng, ops
+}
+
+// TestMatchBatchCtxCancelled pins the cancellation contract on the
+// batch read path: an already-cancelled context returns its error
+// without matching, and a context cancelled mid-batch stops the worker
+// pool promptly instead of matching the remainder for nobody.
+func TestMatchBatchCtxCancelled(t *testing.T) {
+	eng, _ := ctxTestEngine(t)
+	queries := make([][]string, 2048)
+	probe := eng.dumpRecs()[0].Values
+	for i := range queries {
+		queries[i] = probe
+	}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.MatchBatchCtx(cancelled, queries); !errors.Is(err, context.Canceled) {
+		t.Fatalf("MatchBatchCtx with a dead context = %v, want context.Canceled", err)
+	}
+
+	// Mid-flight: cancel shortly after the pool starts. The call must
+	// return the cancellation well before it could have matched the
+	// whole batch serially.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(time.Millisecond)
+		cancel2()
+	}()
+	start := time.Now()
+	_, err := eng.MatchBatchCtx(ctx2, queries)
+	elapsed := time.Since(start)
+	// err may be nil if the batch finished before the cancel landed —
+	// both are correct; the regression is hanging or running long after
+	// the cancel.
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("MatchBatchCtx cancelled mid-flight = %v, want context.Canceled or nil", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("MatchBatchCtx took %v after cancellation", elapsed)
+	}
+
+	// A background context still matches everything.
+	res, err := eng.MatchBatchCtx(context.Background(), queries[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("MatchBatchCtx returned %d results, want 4", len(res))
+	}
+}
+
+// TestMatchOneCtxCancelled pins the single-query read path.
+func TestMatchOneCtxCancelled(t *testing.T) {
+	eng, _ := ctxTestEngine(t)
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.MatchOneCtx(cancelled, eng.dumpRecs()[0].Values); !errors.Is(err, context.Canceled) {
+		t.Fatalf("MatchOneCtx with a dead context = %v, want context.Canceled", err)
+	}
+}
+
+// TestAddClusteredCtxCancelled pins the write-path contract: a
+// cancelled context refuses the insert BEFORE anything is journaled or
+// applied — the engine's state is untouched, and the same insert
+// succeeds afterwards. Cancellation is only honored before the journal
+// write; once journaled, the mutation always completes (aborting a
+// half-applied chase would desynchronize the WAL from memory).
+func TestAddClusteredCtxCancelled(t *testing.T) {
+	eng, ops := ctxTestEngine(t)
+	before := eng.Stream().Len()
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	fresh := 1 << 28
+	vals := slices.Clone(ops[1].vals)
+	if _, err := eng.AddClusteredCtx(cancelled, fresh, vals); !errors.Is(err, context.Canceled) {
+		t.Fatalf("AddClusteredCtx with a dead context = %v, want context.Canceled", err)
+	}
+	if got := eng.Stream().Len(); got != before {
+		t.Fatalf("cancelled insert still applied: %d -> %d records", before, got)
+	}
+	if _, err := eng.AddClusteredCtx(context.Background(), fresh, vals); err != nil {
+		t.Fatalf("same insert with a live context: %v", err)
+	}
+	if got := eng.Stream().Len(); got != before+1 {
+		t.Fatalf("live insert applied %d records, want %d", got-before, 1)
+	}
+}

@@ -1,0 +1,203 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"mdmatch/internal/fault"
+	"mdmatch/internal/gen"
+	"mdmatch/internal/record"
+	"mdmatch/internal/schema"
+	"mdmatch/internal/store"
+	"mdmatch/internal/stream"
+	"slices"
+)
+
+// applyOpTolerant is recOp.apply without the t.Fatal: under fault
+// injection a journal append MAY fail, and the contract under test is
+// exactly that a failed op was never applied. It reports whether the op
+// took effect.
+func applyOpTolerant(t testing.TB, eng *Engine, rel *schema.Relation, o recOp) error {
+	t.Helper()
+	switch o.kind {
+	case "insert":
+		_, err := eng.AddClustered(o.id, o.vals)
+		return err
+	case "batch":
+		in := record.NewInstance(rel)
+		for _, tup := range o.rows {
+			if _, err := in.AppendWithID(tup.ID, slices.Clone(tup.Values)); err != nil {
+				t.Fatal(err) // test bug, not an injected fault
+			}
+		}
+		return eng.Load(in)
+	case "remove":
+		_, err := eng.RemoveLogged(o.id)
+		return err
+	}
+	t.Fatalf("unknown op kind %q", o.kind)
+	return nil
+}
+
+// faultClass is one row of the crash-point matrix: the op kind whose
+// every index gets an injection, and the injection to arm there.
+type faultClass struct {
+	name string
+	op   fault.Op
+	arm  func(idx uint64) fault.Injection
+}
+
+// snapEvery is the snapshot cadence of the fault-matrix history. It
+// must be identical in the counting pass and every matrix cell so a
+// given operation index always lands on the same filesystem call.
+const snapEvery = 5
+
+// runFaultHistory drives the shared history against eng: every op is
+// applied tolerantly, a snapshot is attempted every snapEvery ops
+// (tolerantly — under injection the snapshot path may fail), and the
+// store is closed tolerantly. It returns the ops that actually took
+// effect, which is the exact state a recovery must reproduce.
+func runFaultHistory(t testing.TB, eng *Engine, st *store.Store, ctx schema.Pair, ops []recOp) []recOp {
+	t.Helper()
+	var applied []recOp
+	for i, op := range ops {
+		if err := applyOpTolerant(t, eng, ctx.Left, op); err == nil {
+			applied = append(applied, op)
+		}
+		if (i+1)%snapEvery == 0 {
+			_, _ = eng.Snapshot() // may fail under injection; retried next cadence
+		}
+	}
+	_ = st.Close() // after a crash injection even Close fails; recovery must cope
+	return applied
+}
+
+// TestRecoveryEquivalenceUnderFaults is the crash-point matrix: for
+// every fault class (disk full, sticky fsync error, torn write + crash,
+// crash after rename) and for EVERY index of that class's filesystem
+// operation in the history, inject the fault there, run the history
+// tolerantly, then recover the directory with a clean filesystem and
+// require the recovered engine to be bit-identical to a reference
+// engine fed exactly the ops that succeeded. Runs under -race in CI.
+//
+// The torn-write and crash classes model process death: the faulted
+// call applies a prefix (or nothing) on disk and every later filesystem
+// call fails, so the directory is left exactly as a kill -9 would leave
+// it — including a half-written record or a renamed-but-unsynced
+// snapshot — and recovery must repair the tail and land on the
+// journaled prefix.
+func TestRecoveryEquivalenceUnderFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash-point matrix is not a -short test")
+	}
+	ctx, sigma, ops := recHistory(t, 8, 3)
+	plan := selfMatchPlan(t, ctx)
+
+	newFaultDurable := func(t *testing.T, dir string, fs store.FS) (*Engine, *store.Store, error) {
+		t.Helper()
+		enf, err := stream.New(ctx, sigma, stream.ClusterRules(gen.DedupClusterRules()...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Fsync stays ON (unlike the fast-path recovery tests): the sync
+		// class needs real sync calls to inject on, and op indexes must
+		// be identical across classes.
+		st, err := store.Open(dir, Fingerprint(plan, enf), store.WithFS(fs))
+		if err != nil {
+			return nil, nil, err
+		}
+		eng, err := New(plan, WithWorkers(2), WithStream(enf), WithStore(st))
+		if err != nil {
+			st.Close()
+			t.Fatal(err)
+		}
+		return eng, st, nil
+	}
+
+	// Counting pass: the same history against an injection-free fault
+	// plan, to learn how many filesystem ops of each kind it performs.
+	// Injection indexes beyond these counts would never fire.
+	countPlan := fault.NewPlan()
+	{
+		dir := t.TempDir()
+		eng, st, err := newFaultDurable(t, dir, fault.Wrap(store.OSFS{}, countPlan))
+		if err != nil {
+			t.Fatalf("counting pass: %v", err)
+		}
+		applied := runFaultHistory(t, eng, st, ctx, ops)
+		if len(applied) != len(ops) {
+			t.Fatalf("counting pass dropped ops: %d/%d applied", len(applied), len(ops))
+		}
+	}
+	counts := countPlan.Counts()
+
+	classes := []faultClass{
+		{name: "enospc-write", op: fault.OpWrite, arm: func(idx uint64) fault.Injection {
+			return fault.Injection{Op: fault.OpWrite, Index: idx, Err: fault.ErrDiskFull}
+		}},
+		{name: "fsync-eio-sticky", op: fault.OpSync, arm: func(idx uint64) fault.Injection {
+			return fault.Injection{Op: fault.OpSync, Index: idx, Sticky: true, Err: fault.ErrIO}
+		}},
+		{name: "torn-write-crash", op: fault.OpWrite, arm: func(idx uint64) fault.Injection {
+			return fault.Injection{Op: fault.OpWrite, Index: idx, Bytes: 7, Crash: true}
+		}},
+		{name: "crash-after-rename", op: fault.OpRename, arm: func(idx uint64) fault.Injection {
+			return fault.Injection{Op: fault.OpRename, Index: idx, Crash: true}
+		}},
+	}
+
+	for _, class := range classes {
+		class := class
+		total := counts[class.op]
+		if total == 0 {
+			t.Fatalf("%s: history performs no %q ops — the class would never fire", class.name, class.op)
+		}
+		t.Run(class.name, func(t *testing.T) {
+			for idx := uint64(0); idx < total; idx++ {
+				label := fmt.Sprintf("%s@%d/%d", class.op, idx, total)
+				dir := t.TempDir()
+
+				plan2 := fault.NewPlan()
+				plan2.Inject(class.arm(idx))
+				var applied []recOp
+				eng, st, err := newFaultDurable(t, dir, fault.Wrap(store.OSFS{}, plan2))
+				if err == nil {
+					applied = runFaultHistory(t, eng, st, ctx, ops)
+				}
+				// err != nil: the injection fired inside Open itself
+				// (e.g. the very first segment-header write). Nothing was
+				// applied; recovery must still open the wreckage.
+				if plan2.Injected() == 0 {
+					t.Fatalf("%s: injection never fired", label)
+				}
+
+				// The reference: a memory-only engine fed exactly the ops
+				// that succeeded.
+				refEnf, err := stream.New(ctx, sigma, stream.ClusterRules(gen.DedupClusterRules()...))
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref, err := New(plan, WithWorkers(2), WithStream(refEnf))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, op := range applied {
+					op.apply(t, ref, ctx.Left)
+				}
+
+				// Recovery with a clean filesystem, as a restart would.
+				rec, st2 := newDurable(t, dir, ctx, sigma, plan)
+				sameEngineState(t, label, rec, ref)
+
+				// A recovered directory must be writable again: the next
+				// append proves the torn tail really was repaired.
+				if _, err := rec.AddClustered(1<<29, slices.Clone(ops[1].vals)); err != nil {
+					t.Fatalf("%s: append after recovery: %v", label, err)
+				}
+				if err := st2.Close(); err != nil {
+					t.Fatalf("%s: closing recovered store: %v", label, err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,493 @@
+// Package fault is a deterministic fault-injection layer over the
+// store's filesystem abstraction (store.FS). A Plan holds a schedule of
+// injections keyed by PER-KIND OPERATION INDEX — "the 3rd fsync fails
+// with EIO", "the 5th write returns ENOSPC after 17 bytes", "the
+// process crashes right after the 0th rename" — with no global
+// randomness anywhere: the same plan against the same workload fails at
+// exactly the same byte every run, which is what lets the recovery
+// crash-point matrix iterate every cut point exhaustively under -race.
+//
+// Crash semantics model process death, not an error return the program
+// gets to handle: the faulted operation APPLIES its on-disk effect
+// first (all of it, or the configured torn prefix for writes), then the
+// whole filesystem halts — the crashed call and every call after it
+// return ErrCrashed, so the caller can never act on state the "dead"
+// process wouldn't have reached. Re-opening the directory with a fresh
+// FS is the model of a restart.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	iofs "io/fs"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"mdmatch/internal/store"
+)
+
+// Injected error classes. ErrDiskFull and ErrIO wrap the corresponding
+// errnos so code matching on syscall.ENOSPC / syscall.EIO behaves as it
+// would on a real disk.
+var (
+	// ErrDiskFull is the injected out-of-space failure.
+	ErrDiskFull = fmt.Errorf("fault: injected disk full: %w", syscall.ENOSPC)
+	// ErrIO is the injected generic I/O failure (a dying disk).
+	ErrIO = fmt.Errorf("fault: injected i/o error: %w", syscall.EIO)
+	// ErrCrashed marks every operation at and after a crash injection:
+	// the modeled process is dead and observes nothing further.
+	ErrCrashed = errors.New("fault: filesystem crashed")
+)
+
+// Op names one class of filesystem operation for counting and
+// injection. Each class has its own independent 0-based index.
+type Op string
+
+// The operation classes a Plan counts. MkdirAll is deliberately
+// uncounted (it happens once, before any interesting state exists).
+const (
+	OpCreate   Op = "create"   // Create + OpenAppend
+	OpWrite    Op = "write"    // File.Write + WriteFile
+	OpSync     Op = "sync"     // File.Sync + SyncDir
+	OpRename   Op = "rename"   // Rename
+	OpRemove   Op = "remove"   // Remove
+	OpRead     Op = "read"     // ReadFile + ReadDir + Stat
+	OpTruncate Op = "truncate" // Truncate
+)
+
+// Ops lists every counted operation class.
+var Ops = []Op{OpCreate, OpWrite, OpSync, OpRename, OpRemove, OpRead, OpTruncate}
+
+// Injection is one scheduled fault: the Index-th operation of kind Op
+// misbehaves.
+type Injection struct {
+	Op    Op
+	Index uint64 // 0-based per-kind operation index
+	// Sticky fires on EVERY operation at or after Index (a disk that
+	// stays full), instead of exactly once.
+	Sticky bool
+	// Err is the error to return (ErrDiskFull, ErrIO, ...). Ignored
+	// when Crash is set (a crash returns ErrCrashed).
+	Err error
+	// Bytes, for write operations with Crash set, is how many leading
+	// bytes reach the disk before the crash — the torn-write model.
+	// Ignored without Crash; a crashing non-write op applies fully.
+	Bytes int
+	// Crash halts the filesystem after applying this operation's
+	// on-disk effect (see the package comment).
+	Crash bool
+	// Delay sleeps before the operation proceeds (which it then does
+	// normally unless Err or Crash is also set) — injected latency.
+	Delay time.Duration
+}
+
+// Plan is a thread-safe schedule of injections plus per-kind operation
+// counters. The zero value is unusable; use NewPlan. A Plan is mutable
+// while in use so a live-server test can arm an injection after startup
+// I/O (whose op counts it need not predict) has already happened.
+type Plan struct {
+	mu         sync.Mutex
+	counts     map[Op]uint64
+	injections []Injection
+	injected   uint64
+	crashed    bool
+	onFault    func(Op)
+}
+
+// NewPlan returns an empty plan: all operations pass through untouched
+// until Inject arms a fault.
+func NewPlan() *Plan {
+	return &Plan{counts: make(map[Op]uint64)}
+}
+
+// Inject arms one scheduled fault. Indices compare against the per-kind
+// counters as they stand, so injections armed mid-run are relative to
+// the process lifetime, not the call to Inject.
+func (p *Plan) Inject(inj Injection) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.injections = append(p.injections, inj)
+}
+
+// OnFault registers a callback invoked (without the plan lock) each
+// time an injection fires, with the faulted operation kind — the hook a
+// service uses to count injected faults in its metrics.
+func (p *Plan) OnFault(fn func(Op)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.onFault = fn
+}
+
+// Counts returns a copy of the per-kind operation counters. A counting
+// pass with an empty plan measures how many operations of each kind a
+// workload performs — the iteration bounds of a crash-point matrix.
+func (p *Plan) Counts() map[Op]uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[Op]uint64, len(p.counts))
+	for k, v := range p.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Count returns one kind's operation counter.
+func (p *Plan) Count(op Op) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.counts[op]
+}
+
+// Injected returns how many injections have fired.
+func (p *Plan) Injected() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.injected
+}
+
+// Crashed reports whether a crash injection has halted the filesystem.
+func (p *Plan) Crashed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.crashed
+}
+
+// step counts one operation of kind op and returns the injection that
+// fires on it, if any. It applies Delay itself (outside the lock) and
+// latches the crash state; the caller applies Err/Bytes/Crash semantics
+// because only it knows the operation's on-disk effect.
+func (p *Plan) step(op Op) (Injection, bool, error) {
+	p.mu.Lock()
+	if p.crashed {
+		p.mu.Unlock()
+		return Injection{}, false, ErrCrashed
+	}
+	idx := p.counts[op]
+	p.counts[op] = idx + 1
+	var (
+		hit    Injection
+		ok     bool
+		notify func(Op)
+	)
+	for i := range p.injections {
+		inj := p.injections[i]
+		if inj.Op != op {
+			continue
+		}
+		if inj.Index == idx || (inj.Sticky && idx >= inj.Index) {
+			hit, ok = inj, true
+			p.injected++
+			notify = p.onFault
+			if inj.Crash {
+				p.crashed = true
+			}
+			break
+		}
+	}
+	p.mu.Unlock()
+	if ok {
+		if notify != nil {
+			notify(op)
+		}
+		if hit.Delay > 0 {
+			time.Sleep(hit.Delay)
+		}
+	}
+	return hit, ok, nil
+}
+
+// fail maps a fired injection to the error its operation returns.
+func (inj Injection) fail() error {
+	if inj.Crash {
+		return ErrCrashed
+	}
+	if inj.Err != nil {
+		return inj.Err
+	}
+	if inj.Delay > 0 {
+		return nil // pure latency: the operation proceeds
+	}
+	return ErrIO
+}
+
+// FS wraps a store.FS with a fault plan. It satisfies store.FS.
+type FS struct {
+	inner store.FS
+	plan  *Plan
+}
+
+var _ store.FS = (*FS)(nil)
+
+// Wrap returns an FS that routes every operation through plan before
+// delegating to inner (usually store.OSFS{}).
+func Wrap(inner store.FS, plan *Plan) *FS {
+	return &FS{inner: inner, plan: plan}
+}
+
+// Plan returns the wrapped plan.
+func (f *FS) Plan() *Plan { return f.plan }
+
+// run handles the common non-write shape: count, maybe fail, apply,
+// maybe crash after applying.
+func (f *FS) run(op Op, apply func() error) error {
+	inj, ok, err := f.plan.step(op)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return apply()
+	}
+	if inj.Crash {
+		// Crash-after-op: the effect reaches disk, the process dies.
+		if err := apply(); err != nil {
+			return err
+		}
+		return ErrCrashed
+	}
+	if ferr := inj.fail(); ferr != nil {
+		return ferr
+	}
+	return apply()
+}
+
+// MkdirAll implements store.FS (uncounted; see Ops).
+func (f *FS) MkdirAll(dir string) error {
+	if f.plan.Crashed() {
+		return ErrCrashed
+	}
+	return f.inner.MkdirAll(dir)
+}
+
+// Create implements store.FS.
+func (f *FS) Create(name string) (store.File, error) {
+	inj, ok, err := f.plan.step(OpCreate)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		if ferr := inj.fail(); ferr != nil {
+			return nil, ferr
+		}
+	}
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{inner: file, plan: f.plan}, nil
+}
+
+// OpenAppend implements store.FS.
+func (f *FS) OpenAppend(name string) (store.File, error) {
+	inj, ok, err := f.plan.step(OpCreate)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		if ferr := inj.fail(); ferr != nil {
+			return nil, ferr
+		}
+	}
+	file, err := f.inner.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{inner: file, plan: f.plan}, nil
+}
+
+// ReadFile implements store.FS.
+func (f *FS) ReadFile(name string) ([]byte, error) {
+	var b []byte
+	err := f.run(OpRead, func() (e error) { b, e = f.inner.ReadFile(name); return })
+	return b, err
+}
+
+// WriteFile implements store.FS.
+func (f *FS) WriteFile(name string, data []byte) error {
+	inj, ok, err := f.plan.step(OpWrite)
+	if err != nil {
+		return err
+	}
+	if ok {
+		if inj.Crash {
+			n := inj.Bytes
+			if n > len(data) {
+				n = len(data)
+			}
+			// Torn replacement: only the prefix reaches disk.
+			_ = f.inner.WriteFile(name, data[:n])
+			return ErrCrashed
+		}
+		if ferr := inj.fail(); ferr != nil {
+			return ferr
+		}
+	}
+	return f.inner.WriteFile(name, data)
+}
+
+// Rename implements store.FS.
+func (f *FS) Rename(oldpath, newpath string) error {
+	return f.run(OpRename, func() error { return f.inner.Rename(oldpath, newpath) })
+}
+
+// Remove implements store.FS.
+func (f *FS) Remove(name string) error {
+	return f.run(OpRemove, func() error { return f.inner.Remove(name) })
+}
+
+// Truncate implements store.FS.
+func (f *FS) Truncate(name string, size int64) error {
+	return f.run(OpTruncate, func() error { return f.inner.Truncate(name, size) })
+}
+
+// Stat implements store.FS.
+func (f *FS) Stat(name string) (iofs.FileInfo, error) {
+	var fi iofs.FileInfo
+	err := f.run(OpRead, func() (e error) { fi, e = f.inner.Stat(name); return })
+	return fi, err
+}
+
+// ReadDir implements store.FS.
+func (f *FS) ReadDir(dir string) ([]iofs.DirEntry, error) {
+	var ents []iofs.DirEntry
+	err := f.run(OpRead, func() (e error) { ents, e = f.inner.ReadDir(dir); return })
+	return ents, err
+}
+
+// SyncDir implements store.FS.
+func (f *FS) SyncDir(dir string) error {
+	return f.run(OpSync, func() error { return f.inner.SyncDir(dir) })
+}
+
+// faultFile wraps one open file; Write and Sync are counted, Close
+// passes through (a dead filesystem still releases descriptors — a
+// crashed test FS must not leak them).
+type faultFile struct {
+	inner store.File
+	plan  *Plan
+}
+
+// Write implements store.File.
+func (f *faultFile) Write(p []byte) (int, error) {
+	inj, ok, err := f.plan.step(OpWrite)
+	if err != nil {
+		return 0, err
+	}
+	if ok {
+		if inj.Crash {
+			n := inj.Bytes
+			if n > len(p) {
+				n = len(p)
+			}
+			// Torn write: the leading n bytes reach the disk, then the
+			// process dies mid-call.
+			if n > 0 {
+				if wn, werr := f.inner.Write(p[:n]); werr != nil {
+					return wn, werr
+				}
+			}
+			return n, ErrCrashed
+		}
+		if ferr := inj.fail(); ferr != nil {
+			return 0, ferr
+		}
+	}
+	return f.inner.Write(p)
+}
+
+// Sync implements store.File.
+func (f *faultFile) Sync() error {
+	inj, ok, err := f.plan.step(OpSync)
+	if err != nil {
+		return err
+	}
+	if ok {
+		if inj.Crash {
+			// Crash at fsync: the data may or may not be durable; this
+			// model keeps what Write already put in the file (the
+			// no-flush kernel-page case is the torn-write injection).
+			_ = f.inner.Sync()
+			return ErrCrashed
+		}
+		if ferr := inj.fail(); ferr != nil {
+			return ferr
+		}
+	}
+	return f.inner.Sync()
+}
+
+// Close implements store.File (uncounted, never injected).
+func (f *faultFile) Close() error { return f.inner.Close() }
+
+// ParseSpec parses a command-line fault spec into an injection. The
+// grammar is op@index[+][:kind[:arg]]:
+//
+//	sync@2:eio        the 3rd fsync fails with EIO
+//	write@5+:enospc   every write from the 6th on fails with ENOSPC
+//	rename@0:crash    the process dies right after the 1st rename
+//	write@3:torn:17   the 4th write puts 17 bytes on disk, then dies
+//	read@0:delay:50ms the 1st read stalls 50ms, then succeeds
+//
+// The default kind is eio.
+func ParseSpec(spec string) (Injection, error) {
+	opIdx, rest, _ := strings.Cut(spec, ":")
+	opStr, idxStr, found := strings.Cut(opIdx, "@")
+	if !found {
+		return Injection{}, fmt.Errorf("fault: spec %q: want op@index[:kind[:arg]]", spec)
+	}
+	op := Op(opStr)
+	valid := false
+	for _, o := range Ops {
+		if op == o {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		return Injection{}, fmt.Errorf("fault: spec %q: unknown op %q", spec, opStr)
+	}
+	inj := Injection{Op: op}
+	if strings.HasSuffix(idxStr, "+") {
+		inj.Sticky = true
+		idxStr = idxStr[:len(idxStr)-1]
+	}
+	idx, err := strconv.ParseUint(idxStr, 10, 64)
+	if err != nil {
+		return Injection{}, fmt.Errorf("fault: spec %q: bad index: %v", spec, err)
+	}
+	inj.Index = idx
+	kind, arg, _ := strings.Cut(rest, ":")
+	switch kind {
+	case "", "eio":
+		inj.Err = ErrIO
+	case "enospc":
+		inj.Err = ErrDiskFull
+	case "crash":
+		inj.Crash = true
+	case "torn":
+		inj.Crash = true
+		n := 4 // default: tear inside the record header
+		if arg != "" {
+			v, err := strconv.Atoi(arg)
+			if err != nil || v < 0 {
+				return Injection{}, fmt.Errorf("fault: spec %q: bad torn byte count %q", spec, arg)
+			}
+			n = v
+		}
+		inj.Bytes = n
+	case "delay":
+		if arg == "" {
+			return Injection{}, fmt.Errorf("fault: spec %q: delay needs a duration", spec)
+		}
+		d, err := time.ParseDuration(arg)
+		if err != nil {
+			return Injection{}, fmt.Errorf("fault: spec %q: bad duration: %v", spec, err)
+		}
+		inj.Delay = d
+	default:
+		return Injection{}, fmt.Errorf("fault: spec %q: unknown kind %q", spec, kind)
+	}
+	return inj, nil
+}

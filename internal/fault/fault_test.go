@@ -1,0 +1,237 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"mdmatch/internal/store"
+)
+
+// TestPlanCountsAndExactIndex pins the core contract: operations are
+// counted per kind, and an injection fires on exactly its 0-based index
+// of its own kind, leaving every other operation untouched.
+func TestPlanCountsAndExactIndex(t *testing.T) {
+	dir := t.TempDir()
+	plan := NewPlan()
+	plan.Inject(Injection{Op: OpWrite, Index: 1, Err: ErrDiskFull})
+	fs := Wrap(store.OSFS{}, plan)
+
+	path := filepath.Join(dir, "f")
+	f, err := fs.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("aa")); err != nil { // write #0: fine
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("bb")); !errors.Is(err, ErrDiskFull) { // write #1: injected
+		t.Fatalf("write #1 = %v, want ErrDiskFull", err)
+	}
+	if !errors.Is(ErrDiskFull, syscall.ENOSPC) {
+		t.Fatal("ErrDiskFull does not match syscall.ENOSPC")
+	}
+	if _, err := f.Write([]byte("cc")); err != nil { // write #2: fine again
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "aacc" {
+		t.Fatalf("file = %q, want the non-injected writes only", b)
+	}
+	c := plan.Counts()
+	if c[OpCreate] != 1 || c[OpWrite] != 3 {
+		t.Fatalf("counts = %v", c)
+	}
+	if plan.Injected() != 1 {
+		t.Fatalf("Injected = %d, want 1", plan.Injected())
+	}
+}
+
+// TestPlanSticky pins that a sticky injection fires on every operation
+// at or after its index.
+func TestPlanSticky(t *testing.T) {
+	plan := NewPlan()
+	plan.Inject(Injection{Op: OpSync, Index: 1, Sticky: true, Err: ErrIO})
+	fs := Wrap(store.OSFS{}, plan)
+	dir := t.TempDir()
+	if err := fs.SyncDir(dir); err != nil { // sync #0
+		t.Fatal(err)
+	}
+	for i := 1; i < 4; i++ {
+		if err := fs.SyncDir(dir); !errors.Is(err, ErrIO) {
+			t.Fatalf("sync #%d = %v, want ErrIO", i, err)
+		}
+	}
+	if plan.Injected() != 3 {
+		t.Fatalf("Injected = %d, want 3", plan.Injected())
+	}
+}
+
+// TestCrashHaltsEverything pins crash semantics: the crashed operation
+// applies its effect, returns ErrCrashed, and every later operation of
+// any kind also fails with ErrCrashed.
+func TestCrashHaltsEverything(t *testing.T) {
+	dir := t.TempDir()
+	plan := NewPlan()
+	plan.Inject(Injection{Op: OpRename, Index: 0, Crash: true})
+	fs := Wrap(store.OSFS{}, plan)
+
+	src := filepath.Join(dir, "src")
+	dst := filepath.Join(dir, "dst")
+	if err := os.WriteFile(src, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(src, dst); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("rename = %v, want ErrCrashed", err)
+	}
+	// Crash-AFTER-rename: the rename reached the disk.
+	if _, err := os.Stat(dst); err != nil {
+		t.Fatalf("rename did not apply before the crash: %v", err)
+	}
+	if !plan.Crashed() {
+		t.Fatal("plan not crashed")
+	}
+	if _, err := fs.ReadFile(dst); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("read after crash = %v, want ErrCrashed", err)
+	}
+	if _, err := fs.Create(filepath.Join(dir, "new")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("create after crash = %v, want ErrCrashed", err)
+	}
+	if err := fs.SyncDir(dir); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("sync after crash = %v, want ErrCrashed", err)
+	}
+}
+
+// TestTornWrite pins the torn-write model: exactly Bytes leading bytes
+// reach the disk before the crash.
+func TestTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	plan := NewPlan()
+	plan.Inject(Injection{Op: OpWrite, Index: 0, Crash: true, Bytes: 3})
+	fs := Wrap(store.OSFS{}, plan)
+
+	path := filepath.Join(dir, "f")
+	f, err := fs.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abcdef"))
+	if !errors.Is(err, ErrCrashed) || n != 3 {
+		t.Fatalf("torn write = (%d, %v), want (3, ErrCrashed)", n, err)
+	}
+	if err := f.Close(); err != nil { // Close still releases the fd
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "abc" {
+		t.Fatalf("file = %q, want the 3-byte torn prefix", b)
+	}
+}
+
+// TestDelayInjection pins that a pure-latency injection stalls the
+// operation and then lets it succeed.
+func TestDelayInjection(t *testing.T) {
+	plan := NewPlan()
+	plan.Inject(Injection{Op: OpRead, Index: 0, Delay: 30 * time.Millisecond})
+	fs := Wrap(store.OSFS{}, plan)
+	dir := t.TempDir()
+	start := time.Now()
+	if _, err := fs.ReadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("read returned after %v, want the injected delay", d)
+	}
+	if plan.Injected() != 1 {
+		t.Fatalf("Injected = %d, want 1", plan.Injected())
+	}
+}
+
+// TestOnFault pins the fault callback used for service metrics.
+func TestOnFault(t *testing.T) {
+	plan := NewPlan()
+	var fired []Op
+	plan.OnFault(func(op Op) { fired = append(fired, op) })
+	plan.Inject(Injection{Op: OpRemove, Index: 0, Err: ErrIO})
+	fs := Wrap(store.OSFS{}, plan)
+	if err := fs.Remove(filepath.Join(t.TempDir(), "nope")); !errors.Is(err, ErrIO) {
+		t.Fatalf("remove = %v, want ErrIO", err)
+	}
+	if len(fired) != 1 || fired[0] != OpRemove {
+		t.Fatalf("OnFault fired = %v", fired)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Injection
+	}{
+		{"sync@2:eio", Injection{Op: OpSync, Index: 2, Err: ErrIO}},
+		{"sync@2", Injection{Op: OpSync, Index: 2, Err: ErrIO}},
+		{"write@5+:enospc", Injection{Op: OpWrite, Index: 5, Sticky: true, Err: ErrDiskFull}},
+		{"rename@0:crash", Injection{Op: OpRename, Index: 0, Crash: true}},
+		{"write@3:torn:17", Injection{Op: OpWrite, Index: 3, Crash: true, Bytes: 17}},
+		{"write@3:torn", Injection{Op: OpWrite, Index: 3, Crash: true, Bytes: 4}},
+		{"read@0:delay:50ms", Injection{Op: OpRead, Index: 0, Delay: 50 * time.Millisecond}},
+	}
+	for _, c := range cases {
+		got, err := ParseSpec(c.spec)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", c.spec, err)
+		}
+		if got != c.want {
+			t.Fatalf("ParseSpec(%q) = %+v, want %+v", c.spec, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "write", "write@x", "bogus@1", "write@1:what", "read@0:delay", "write@1:torn:-2"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("ParseSpec(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// TestDeterminism pins the no-global-randomness property: the same
+// plan against the same workload fails at the same operation every run.
+func TestDeterminism(t *testing.T) {
+	run := func() (counts map[Op]uint64, failAt int) {
+		dir := t.TempDir()
+		plan := NewPlan()
+		plan.Inject(Injection{Op: OpWrite, Index: 4, Err: ErrDiskFull})
+		fs := Wrap(store.OSFS{}, plan)
+		f, err := fs.Create(filepath.Join(dir, "f"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		failAt = -1
+		for i := 0; i < 8; i++ {
+			if _, err := f.Write([]byte{byte(i)}); err != nil && failAt < 0 {
+				failAt = i
+			}
+		}
+		return plan.Counts(), failAt
+	}
+	c1, f1 := run()
+	c2, f2 := run()
+	if f1 != f2 || f1 != 4 {
+		t.Fatalf("failure index differs across runs: %d vs %d", f1, f2)
+	}
+	for _, op := range Ops {
+		if c1[op] != c2[op] {
+			t.Fatalf("count[%s] differs: %d vs %d", op, c1[op], c2[op])
+		}
+	}
+}

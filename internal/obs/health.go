@@ -1,0 +1,42 @@
+package obs
+
+// Health-state and robustness instruments: how a service reports the
+// degraded-mode state machine (ok | degraded-readonly | draining),
+// injected faults, and admission-control rejections. The state itself
+// lives in the service (an atomic the HTTP layer flips); this file only
+// gives it a stable metrics surface.
+
+// HealthMetrics bundles the robustness instrument set a serving daemon
+// registers once per process.
+type HealthMetrics struct {
+	// DegradedTransitions counts entries into degraded-readonly mode
+	// (mdmatch_degraded_transitions_total).
+	DegradedTransitions *Counter
+	// FaultInjected counts injected filesystem faults by operation kind
+	// (mdmatch_fault_injected_total{op}).
+	FaultInjected *CounterVec
+	// AdmissionRejected counts requests shed before touching the engine,
+	// by reason: "inflight" (over the -max-inflight budget), "queue"
+	// (engine/stream depth over -queue-high-watermark), "readonly"
+	// (mutation while degraded or draining)
+	// (mdmatch_admission_rejected_total{reason}).
+	AdmissionRejected *CounterVec
+}
+
+// NewHealthMetrics registers the robustness instruments on reg. state
+// is sampled at scrape time and must be safe for concurrent use; its
+// value encodes the health state machine (0 = ok, 1 =
+// degraded-readonly, 2 = draining), mirroring the JSON health field.
+func NewHealthMetrics(reg *Registry, state func() float64) *HealthMetrics {
+	reg.CollectGauge("mdmatch_health_state",
+		"Serving health state: 0 = ok, 1 = degraded-readonly (WAL failed, mutations rejected), 2 = draining.",
+		nil, func(emit Emit) { emit(state()) })
+	return &HealthMetrics{
+		DegradedTransitions: reg.Counter("mdmatch_degraded_transitions_total",
+			"Transitions into degraded-readonly serving (a latched WAL failure; restart to recover)."),
+		FaultInjected: reg.CounterVec("mdmatch_fault_injected_total",
+			"Injected filesystem faults fired, by operation kind.", "op"),
+		AdmissionRejected: reg.CounterVec("mdmatch_admission_rejected_total",
+			"Requests shed by admission control before touching the match engine, by reason.", "reason"),
+	}
+}

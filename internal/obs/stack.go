@@ -150,6 +150,9 @@ func (o *StreamObserver) AttachStream(e *stream.Enforcer) {
 	reg.CollectGauge("mdmatch_stream_chase_workers",
 		"Chase worker count (1 = serial; >1 = deterministic parallel chase).", nil,
 		func(emit Emit) { emit(float64(e.Workers())) })
+	reg.CollectGauge("mdmatch_stream_queue_depth",
+		"Insert operations in flight (queued on the insertion lock or chasing).", nil,
+		func(emit Emit) { emit(float64(e.QueueDepth())) })
 	reg.CollectCounter("mdmatch_stream_inserts_total",
 		"Insert calls enforced.", nil,
 		func(emit Emit) { emit(float64(e.Stats().Inserts)) })

@@ -1,0 +1,185 @@
+// Package retry is capped exponential backoff with deterministic
+// jitter, built for background loops that must never wedge: the matchd
+// snapshotter retries a failed snapshot through a Backoff instead of
+// hammering the disk every tick, and the coming WAL-shipping follower
+// (ROADMAP item 2) needs exactly the same primitive for reconnects.
+//
+// Two properties the rest of the repo relies on:
+//
+//   - no global randomness: jitter comes from a PRNG seeded in the
+//     Policy, so a test (and a bug report) replays the exact delay
+//     sequence;
+//   - an injectable Clock, so tests step through hour-long schedules in
+//     microseconds and cancellation is honored mid-sleep.
+package retry
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// Clock abstracts waiting so tests control time. Sleep returns early
+// with ctx.Err() when the context is done.
+type Clock interface {
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// realClock is the production Clock: timer-based sleeping.
+type realClock struct{}
+
+func (realClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Policy describes one backoff schedule. The zero value is usable:
+// 100ms initial delay doubling to a 30s cap, 20% jitter, unlimited
+// attempts, real clock, seed 0.
+type Policy struct {
+	// Initial is the first delay (default 100ms).
+	Initial time.Duration
+	// Max caps every delay (default 30s).
+	Max time.Duration
+	// Multiplier grows the delay per attempt (default 2).
+	Multiplier float64
+	// Jitter spreads each delay uniformly over ±Jitter/2 of itself
+	// (default 0.2). NoJitter disables jitter entirely (the zero value
+	// means "default", so "none" needs an explicit marker).
+	Jitter float64
+	// MaxAttempts bounds Do (0 = retry until success, permanent error,
+	// or cancellation). A Backoff itself is unbounded; the caller owns
+	// the loop.
+	MaxAttempts int
+	// Seed seeds the jitter PRNG — same seed, same delay sequence.
+	Seed int64
+	// Clock substitutes the time source (nil = real time).
+	Clock Clock
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Initial <= 0 {
+		p.Initial = 100 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 30 * time.Second
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	} else if p.Jitter == 0 {
+		p.Jitter = 0.2
+	}
+	if p.Clock == nil {
+		p.Clock = realClock{}
+	}
+	return p
+}
+
+// NoJitter is the Jitter value that disables jitter (the field's zero
+// value means "default 20%", so "none" needs an explicit marker).
+const NoJitter = -1
+
+// Backoff is one in-progress schedule: Next returns successive jittered
+// delays, Reset starts over after a success. Not safe for concurrent
+// use; each retrying loop owns one.
+type Backoff struct {
+	p       Policy
+	rng     *rand.Rand
+	base    time.Duration
+	attempt int
+}
+
+// Backoff starts a schedule under the policy.
+func (p Policy) Backoff() *Backoff {
+	p = p.withDefaults()
+	return &Backoff{p: p, rng: rand.New(rand.NewSource(p.Seed)), base: p.Initial}
+}
+
+// Next returns the delay to wait before the next attempt and advances
+// the schedule.
+func (b *Backoff) Next() time.Duration {
+	d := b.base
+	if j := b.p.Jitter; j > 0 {
+		// Spread uniformly over [d*(1-j/2), d*(1+j/2)] so synchronized
+		// retriers de-correlate.
+		d = time.Duration(float64(d) * (1 - j/2 + j*b.rng.Float64()))
+	}
+	b.attempt++
+	next := time.Duration(float64(b.base) * b.p.Multiplier)
+	if next > b.p.Max || next < b.base { // overflow-safe cap
+		next = b.p.Max
+	}
+	b.base = next
+	if d > b.p.Max {
+		d = b.p.Max
+	}
+	return d
+}
+
+// Attempt returns how many delays Next has produced since the last
+// Reset.
+func (b *Backoff) Attempt() int { return b.attempt }
+
+// Reset restarts the schedule at the initial delay (call after a
+// success so the next failure backs off from the bottom).
+func (b *Backoff) Reset() {
+	b.base = b.p.Initial
+	b.attempt = 0
+}
+
+// Sleep waits out the next delay on the policy's clock. It returns
+// ctx.Err() when cancelled mid-wait.
+func (b *Backoff) Sleep(ctx context.Context) error {
+	return b.p.Clock.Sleep(ctx, b.Next())
+}
+
+// permanentError marks an error Do must not retry.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps an error to tell Do to stop retrying and return it.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// Do calls fn until it succeeds, returns a Permanent error, the context
+// is cancelled, or MaxAttempts is exhausted. It returns nil on success;
+// otherwise the last attempt's error (unwrapped from Permanent), with
+// the context error joined in when cancellation cut the schedule short.
+func (p Policy) Do(ctx context.Context, fn func() error) error {
+	b := p.Backoff()
+	for {
+		err := fn()
+		if err == nil {
+			return nil
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		if p.MaxAttempts > 0 && b.Attempt()+1 >= p.MaxAttempts {
+			return err
+		}
+		if serr := b.Sleep(ctx); serr != nil {
+			return errors.Join(err, serr)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// fakeClock records requested sleeps and never actually waits.
+type fakeClock struct {
+	slept []time.Duration
+	err   error // returned from Sleep (simulates cancellation)
+}
+
+func (c *fakeClock) Sleep(ctx context.Context, d time.Duration) error {
+	c.slept = append(c.slept, d)
+	if c.err != nil {
+		return c.err
+	}
+	return ctx.Err()
+}
+
+// TestBackoffGrowthAndCap pins the jitter-free schedule: exponential
+// growth from Initial by Multiplier, capped at Max.
+func TestBackoffGrowthAndCap(t *testing.T) {
+	b := Policy{Initial: 10 * time.Millisecond, Max: 80 * time.Millisecond, Multiplier: 2, Jitter: NoJitter}.Backoff()
+	var got []time.Duration
+	for i := 0; i < 6; i++ {
+		got = append(got, b.Next())
+	}
+	want := []time.Duration{10, 20, 40, 80, 80, 80}
+	for i := range want {
+		want[i] *= time.Millisecond
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("delays = %v, want %v", got, want)
+	}
+	if b.Attempt() != 6 {
+		t.Fatalf("Attempt = %d, want 6", b.Attempt())
+	}
+	b.Reset()
+	if d := b.Next(); d != 10*time.Millisecond || b.Attempt() != 1 {
+		t.Fatalf("after Reset: Next = %v, Attempt = %d", d, b.Attempt())
+	}
+}
+
+// TestBackoffJitterDeterministic pins that jitter is seeded: same seed,
+// same sequence; different seed, (almost surely) different sequence;
+// every delay within the ±Jitter/2 envelope of its base.
+func TestBackoffJitterDeterministic(t *testing.T) {
+	mk := func(seed int64) []time.Duration {
+		b := Policy{Initial: time.Second, Max: time.Hour, Jitter: 0.5, Seed: seed}.Backoff()
+		var out []time.Duration
+		for i := 0; i < 5; i++ {
+			out = append(out, b.Next())
+		}
+		return out
+	}
+	a, b2 := mk(7), mk(7)
+	if !reflect.DeepEqual(a, b2) {
+		t.Fatalf("same seed produced different delays: %v vs %v", a, b2)
+	}
+	if reflect.DeepEqual(a, mk(8)) {
+		t.Fatal("different seeds produced identical delays")
+	}
+	base := time.Second
+	for i, d := range a {
+		lo := time.Duration(float64(base) * 0.75)
+		hi := time.Duration(float64(base) * 1.25)
+		if d < lo || d > hi {
+			t.Fatalf("delay %d = %v outside [%v, %v]", i, d, lo, hi)
+		}
+		base *= 2
+	}
+}
+
+// TestDoRetriesUntilSuccess pins the Do loop against a fake clock.
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	clk := &fakeClock{}
+	p := Policy{Initial: time.Millisecond, Jitter: NoJitter, Clock: clk}
+	n := 0
+	err := p.Do(context.Background(), func() error {
+		n++
+		if n < 4 {
+			return errors.New("not yet")
+		}
+		return nil
+	})
+	if err != nil || n != 4 || len(clk.slept) != 3 {
+		t.Fatalf("err=%v n=%d sleeps=%v", err, n, clk.slept)
+	}
+}
+
+// TestDoPermanent pins that a Permanent error stops the loop at once
+// and unwraps.
+func TestDoPermanent(t *testing.T) {
+	clk := &fakeClock{}
+	base := errors.New("bad rules")
+	n := 0
+	err := Policy{Clock: clk}.Do(context.Background(), func() error {
+		n++
+		return Permanent(base)
+	})
+	if !errors.Is(err, base) || err.Error() != "bad rules" || n != 1 || len(clk.slept) != 0 {
+		t.Fatalf("err=%v n=%d sleeps=%v", err, n, clk.slept)
+	}
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) != nil")
+	}
+}
+
+// TestDoMaxAttempts pins the attempt bound.
+func TestDoMaxAttempts(t *testing.T) {
+	clk := &fakeClock{}
+	fail := errors.New("still failing")
+	n := 0
+	err := Policy{MaxAttempts: 3, Clock: clk}.Do(context.Background(), func() error { n++; return fail })
+	if !errors.Is(err, fail) || n != 3 || len(clk.slept) != 2 {
+		t.Fatalf("err=%v n=%d sleeps=%v", err, n, clk.slept)
+	}
+}
+
+// TestDoCancellation pins that cancellation mid-sleep surfaces both the
+// attempt error and the context error.
+func TestDoCancellation(t *testing.T) {
+	clk := &fakeClock{err: context.Canceled}
+	fail := errors.New("transient")
+	err := Policy{Clock: clk}.Do(context.Background(), func() error { return fail })
+	if !errors.Is(err, fail) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want both the attempt and context errors", err)
+	}
+}
+
+// TestRealClockCancels pins that the production clock honors a done
+// context instead of sleeping out the delay.
+func TestRealClockCancels(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := (realClock{}).Sleep(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sleep = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("Sleep waited despite cancellation")
+	}
+}

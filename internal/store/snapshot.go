@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"os"
+	"io/fs"
 	"path/filepath"
 	"runtime"
 	"slices"
@@ -222,13 +222,13 @@ func (s *Store) WriteSnapshot(snap *Snapshot) error {
 	f.b = append(f.b, bodyBytes...)
 	final := filepath.Join(s.dir, snapshotName(snap.LSN))
 	tmp := final + ".tmp"
-	if err := writeFileSync(tmp, f.b); err != nil {
+	if err := writeFileSync(s.fs, tmp, f.b); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, final); err != nil {
+	if err := s.fs.Rename(tmp, final); err != nil {
 		return err
 	}
-	if err := syncDir(s.dir); err != nil {
+	if err := s.fs.SyncDir(s.dir); err != nil {
 		return err
 	}
 	s.snapLSN = snap.LSN
@@ -269,7 +269,7 @@ func (s *Store) WriteSnapshot(snap *Snapshot) error {
 func (s *Store) gcLocked() error {
 	if len(s.snaps) > s.keepSnaps {
 		for _, lsn := range s.snaps[:len(s.snaps)-s.keepSnaps] {
-			if err := os.Remove(filepath.Join(s.dir, snapshotName(lsn))); err != nil && !errors.Is(err, os.ErrNotExist) {
+			if err := s.fs.Remove(filepath.Join(s.dir, snapshotName(lsn))); err != nil && !errors.Is(err, fs.ErrNotExist) {
 				return err
 			}
 		}
@@ -289,7 +289,7 @@ func (s *Store) gcLocked() error {
 	for i := range s.segs {
 		seg := s.segs[i]
 		if i < len(s.segs)-1 && seg.last <= floor {
-			if err := os.Remove(seg.path); err != nil && !errors.Is(err, os.ErrNotExist) {
+			if err := s.fs.Remove(seg.path); err != nil && !errors.Is(err, fs.ErrNotExist) {
 				return err
 			}
 			continue
@@ -312,7 +312,7 @@ func (s *Store) LoadSnapshot() (*Snapshot, error) {
 	s.mu.Unlock()
 	var firstErr error
 	for i := len(snaps) - 1; i >= 0; i-- {
-		snap, err := readSnapshot(filepath.Join(s.dir, snapshotName(snaps[i])), s.fp, snaps[i])
+		snap, err := readSnapshot(s.fs, filepath.Join(s.dir, snapshotName(snaps[i])), s.fp, snaps[i])
 		if err == nil {
 			return snap, nil
 		}
@@ -362,8 +362,8 @@ func checkSnapshotBytes(b []byte, path string, fp Fingerprint, want uint64) ([]b
 
 // verifySnapshotFile checks a snapshot's header and body checksum
 // without decoding the state.
-func verifySnapshotFile(path string, fp Fingerprint, want uint64) error {
-	b, err := os.ReadFile(path)
+func verifySnapshotFile(fsys FS, path string, fp Fingerprint, want uint64) error {
+	b, err := fsys.ReadFile(path)
 	if err != nil {
 		return err
 	}
@@ -372,8 +372,8 @@ func verifySnapshotFile(path string, fp Fingerprint, want uint64) error {
 }
 
 // readSnapshot loads and validates one snapshot file.
-func readSnapshot(path string, fp Fingerprint, want uint64) (*Snapshot, error) {
-	b, err := os.ReadFile(path)
+func readSnapshot(fsys FS, path string, fp Fingerprint, want uint64) (*Snapshot, error) {
+	b, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
@@ -390,8 +390,8 @@ func readSnapshot(path string, fp Fingerprint, want uint64) (*Snapshot, error) {
 }
 
 // writeFileSync writes b to path and fsyncs it before returning.
-func writeFileSync(path string, b []byte) error {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+func writeFileSync(fsys FS, path string, b []byte) error {
+	f, err := fsys.Create(path)
 	if err != nil {
 		return err
 	}

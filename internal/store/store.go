@@ -52,7 +52,6 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
@@ -115,6 +114,7 @@ func WithKeepSnapshots(n int) Option {
 type Store struct {
 	dir string
 	fp  Fingerprint
+	fs  FS
 
 	fsync     bool
 	segBytes  int64
@@ -124,7 +124,7 @@ type Store struct {
 	batchChunk int64
 
 	mu        sync.Mutex
-	f         *os.File  // active segment, opened for append
+	f         File      // active segment, opened for append
 	segs      []segment // all live segments, ascending; last is active
 	lsn       uint64    // last assigned LSN (0 = empty log)
 	snaps     []uint64  // retained snapshot LSNs, ascending
@@ -148,14 +148,14 @@ type Store struct {
 // under different rules refuses to open. The newest segment's torn tail
 // (if any) is truncated; corruption anywhere else is an error.
 func Open(dir string, fp Fingerprint, opts ...Option) (*Store, error) {
-	s := &Store{dir: dir, fp: fp, fsync: true, segBytes: 64 << 20, keepSnaps: 2, batchChunk: 64 << 20}
+	s := &Store{dir: dir, fp: fp, fs: OSFS{}, fsync: true, segBytes: 64 << 20, keepSnaps: 2, batchChunk: 64 << 20}
 	for _, o := range opts {
 		o(s)
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := s.fs.MkdirAll(dir); err != nil {
 		return nil, err
 	}
-	segPaths, snaps, err := listDir(dir)
+	segPaths, snaps, err := listDir(s.fs, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -166,7 +166,7 @@ func Open(dir string, fp Fingerprint, opts ...Option) (*Store, error) {
 	// fallback needs). A corrupt-bodied snapshot is skipped, not fatal:
 	// that is exactly what the older retained snapshot exists for.
 	for _, lsn := range snaps {
-		switch err := verifySnapshotFile(filepath.Join(dir, snapshotName(lsn)), fp, lsn); {
+		switch err := verifySnapshotFile(s.fs, filepath.Join(dir, snapshotName(lsn)), fp, lsn); {
 		case err == nil:
 			s.snaps = append(s.snaps, lsn)
 			s.snapLSN = lsn
@@ -178,7 +178,7 @@ func Open(dir string, fp Fingerprint, opts ...Option) (*Store, error) {
 		}
 	}
 	for i, path := range segPaths {
-		seg, err := scanSegment(path, fp, i == len(segPaths)-1)
+		seg, err := scanSegment(s.fs, path, fp, i == len(segPaths)-1)
 		if err != nil {
 			return nil, err
 		}
@@ -212,7 +212,7 @@ func Open(dir string, fp Fingerprint, opts ...Option) (*Store, error) {
 		}
 	} else {
 		active := &s.segs[len(s.segs)-1]
-		f, err := os.OpenFile(active.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := s.fs.OpenAppend(active.path)
 		if err != nil {
 			return nil, err
 		}
@@ -226,7 +226,7 @@ func Open(dir string, fp Fingerprint, opts ...Option) (*Store, error) {
 	}
 	if s.snapLSN > 0 {
 		// Age/size of the inherited snapshot: best-effort from the file.
-		if fi, err := os.Stat(filepath.Join(dir, snapshotName(s.snapLSN))); err == nil {
+		if fi, err := s.fs.Stat(filepath.Join(dir, snapshotName(s.snapLSN))); err == nil {
 			s.snapTime = fi.ModTime()
 			s.snapSize = fi.Size()
 		}
@@ -247,7 +247,7 @@ func (s *Store) startSegment(first uint64) error {
 		s.f = nil
 	}
 	path := filepath.Join(s.dir, segmentName(first))
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := s.fs.Create(path)
 	if err != nil {
 		return err
 	}
@@ -311,6 +311,15 @@ func (s *Store) append(op Op, row Row, rows []Row, off uint64) error {
 	}
 	if s.fsync {
 		if err := s.f.Sync(); err != nil {
+			// The record hit the OS cache but durability is unknown — and
+			// the caller will be told the append FAILED, so it must not
+			// resurrect on restart. Best-effort truncate the segment back
+			// to its pre-append length; if even that fails the next Open's
+			// CRC scan decides, which is the best anyone can do after a
+			// failed fsync.
+			_ = s.f.Close()
+			_ = s.fs.Truncate(active.path, active.size)
+			s.f = nil
 			s.failed = err
 			return err
 		}
@@ -510,7 +519,7 @@ func (s *Store) Replay(from uint64, fn func(Record) error) error {
 			if seg.last < from {
 				continue
 			}
-			err := replaySegment(seg, from, func(rec Record) error {
+			err := replaySegment(s.fs, seg, from, func(rec Record) error {
 				select {
 				case items <- replayItem{rec: rec}:
 					return nil
@@ -563,13 +572,12 @@ func (s *Store) Close() error {
 	return nil
 }
 
-// syncDir flushes directory metadata so a freshly created or renamed
-// file survives a crash.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
+// Failed returns the latched append failure, if any. Once an append
+// fails the log may carry a torn tail, so every later append is refused
+// until a restart re-opens (and repairs) the directory — a service polls
+// this to know it must flip to read-only serving.
+func (s *Store) Failed() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failed
 }

@@ -3,7 +3,6 @@ package store
 import (
 	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -205,8 +204,8 @@ func parseSeq(name, prefix, suffix string) (uint64, bool) {
 // header, truncated record, bad CRC, absurd length — is truncated away
 // in place and the valid prefix kept; without it any damage is an
 // error, because a torn write can only be at the very end of the log.
-func scanSegment(path string, fp Fingerprint, repair bool) (segment, error) {
-	b, err := os.ReadFile(path)
+func scanSegment(fs FS, path string, fp Fingerprint, repair bool) (segment, error) {
+	b, err := fs.ReadFile(path)
 	if err != nil {
 		return segment{}, err
 	}
@@ -220,7 +219,7 @@ func scanSegment(path string, fp Fingerprint, repair bool) (segment, error) {
 			return segment{}, fmt.Errorf("store: %s: torn header in a non-final segment", path)
 		}
 		// Crash during segment creation: rewrite the header whole.
-		if err := os.WriteFile(path, fileHeader(segMagic, fp, first), 0o644); err != nil {
+		if err := fs.WriteFile(path, fileHeader(segMagic, fp, first)); err != nil {
 			return segment{}, err
 		}
 		return segment{path: path, first: first, last: first - 1, size: headerLen}, nil
@@ -240,7 +239,7 @@ func scanSegment(path string, fp Fingerprint, repair bool) (segment, error) {
 			if !repair {
 				return segment{}, fmt.Errorf("store: %s: corrupt record at offset %d in a non-final segment", path, off)
 			}
-			if err := os.Truncate(path, off); err != nil {
+			if err := fs.Truncate(path, off); err != nil {
 				return segment{}, err
 			}
 			break
@@ -274,8 +273,8 @@ func le32(b []byte) uint32 {
 
 // replaySegment decodes every record of a validated segment in order,
 // calling fn for records with LSN >= from.
-func replaySegment(seg segment, from uint64, fn func(Record) error) error {
-	b, err := os.ReadFile(seg.path)
+func replaySegment(fs FS, seg segment, from uint64, fn func(Record) error) error {
+	b, err := fs.ReadFile(seg.path)
 	if err != nil {
 		return err
 	}
@@ -316,8 +315,8 @@ func replaySegment(seg segment, from uint64, fn func(Record) error) error {
 
 // listDir splits a data directory into its segment and snapshot files,
 // each sorted ascending by sequence number.
-func listDir(dir string) (segs []string, snaps []uint64, err error) {
-	entries, err := os.ReadDir(dir)
+func listDir(fs FS, dir string) (segs []string, snaps []uint64, err error) {
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -137,7 +137,7 @@ func TestWALSegmentRotation(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, _, err := listDir(dir)
+	segs, _, err := listDir(OSFS{}, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +175,7 @@ func TestWALTornTailEveryOffset(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, _, err := listDir(base)
+	segs, _, err := listDir(OSFS{}, base)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +254,7 @@ func TestWALCorruptionMidLogRefuses(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, _, err := listDir(dir)
+	segs, _, err := listDir(OSFS{}, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,7 +320,7 @@ func TestSnapshotRoundTripFallbackGC(t *testing.T) {
 		}
 	}
 	// Retention: only the newest keepSnaps (default 2) survive.
-	_, snaps, err := listDir(dir)
+	_, snaps, err := listDir(OSFS{}, dir)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -67,9 +67,11 @@ package stream
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mdmatch/internal/core"
@@ -214,8 +216,20 @@ type Enforcer struct {
 	warm      []warmEntry
 	specEvals int64
 
+	// pending counts insert operations in flight (queued on the
+	// insertion lock or chasing); a service's admission control reads it
+	// as the write-side queue depth.
+	pending atomic.Int64
+
 	stats     Stats
 	prevEvals int64 // operator evaluations already attributed to stats
+}
+
+// QueueDepth returns the number of insert operations currently in
+// flight: waiting on the insertion lock or running their chase. It is
+// the write-side backlog an admission controller sheds load against.
+func (e *Enforcer) QueueDepth() int {
+	return int(e.pending.Load())
 }
 
 // Option configures an Enforcer.
@@ -298,12 +312,38 @@ func (e *Enforcer) Len() int {
 // retained. Inserting an existing id is an error (enforcement cannot be
 // undone, so records cannot be replaced).
 func (e *Enforcer) Insert(id int, vals []string) (InsertResult, error) {
+	return e.InsertCtx(context.Background(), id, vals)
+}
+
+// InsertCtx is Insert with cancellation. Cancellation is honored only
+// BEFORE the record is journaled and the chase starts — at entry and
+// after the insertion lock is acquired (where a request can have sat
+// queued for a while). Once the chase runs the insert always completes:
+// aborting a chase mid-fixpoint would leave enforcement state that no
+// WAL replay reproduces, so "cancel" past that point would be unsound,
+// and the chase itself is short (it is one insert's worth of work).
+func (e *Enforcer) InsertCtx(ctx context.Context, id int, vals []string) (InsertResult, error) {
 	var start time.Time
 	if e.obs != nil {
 		start = time.Now() // before the lock: queueing is part of latency
 	}
+	cancellable := ctx.Done() != nil
+	if cancellable {
+		if err := ctx.Err(); err != nil {
+			return InsertResult{}, err
+		}
+	}
+	e.pending.Add(1)
+	defer e.pending.Add(-1)
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	// The abandoned-request check: the lock wait is where a doomed
+	// insert burns time, and nothing has been journaled or mutated yet.
+	if cancellable {
+		if err := ctx.Err(); err != nil {
+			return InsertResult{}, err
+		}
+	}
 	// Validate before journaling: the WAL must hold exactly the
 	// insertions that succeed, in enforcement order.
 	if got, want := len(vals), e.ctx.Left.Arity(); got != want {
@@ -355,6 +395,13 @@ func (e *Enforcer) InsertTuple(t *record.Tuple) (InsertResult, error) {
 // Enforcer this reproduces the batch chase on in exactly. The rows are
 // interned straight into the columnar store before the chase runs.
 func (e *Enforcer) InsertBatch(in *record.Instance) (BatchResult, error) {
+	return e.InsertBatchCtx(context.Background(), in)
+}
+
+// InsertBatchCtx is InsertBatch with cancellation, honored at the same
+// two points as InsertCtx: entry and lock acquisition, never once the
+// batch is journaled.
+func (e *Enforcer) InsertBatchCtx(ctx context.Context, in *record.Instance) (BatchResult, error) {
 	if in.Rel != e.ctx.Left {
 		return BatchResult{}, fmt.Errorf("stream: instance is over %s, enforcer expects %s",
 			in.Rel.Name(), e.ctx.Left.Name())
@@ -363,8 +410,21 @@ func (e *Enforcer) InsertBatch(in *record.Instance) (BatchResult, error) {
 	if e.obs != nil {
 		start = time.Now()
 	}
+	cancellable := ctx.Done() != nil
+	if cancellable {
+		if err := ctx.Err(); err != nil {
+			return BatchResult{}, err
+		}
+	}
+	e.pending.Add(1)
+	defer e.pending.Add(-1)
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if cancellable {
+		if err := ctx.Err(); err != nil {
+			return BatchResult{}, err
+		}
+	}
 	// Validate the whole batch before mutating anything: a mid-batch
 	// failure must not leave rows appended and seeded but never chased
 	// (that would silently break the per-insertion equivalence contract
