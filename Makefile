@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-exec bench-stream bench-store bench-obs bench-parallel bench-fault vet docs-check clean
+.PHONY: build test bench bench-exec bench-stream bench-store bench-obs bench-parallel bench-fault soak soak-smoke vet docs-check clean
 
 build:
 	$(GO) build ./...
@@ -93,6 +93,29 @@ bench-fault:
 	$(GO) test -race -count=1 ./internal/fault/ ./internal/retry/
 	BENCH_ADMISSION_OUT=$(CURDIR)/BENCH_engine.json $(GO) test -run TestWriteAdmissionBenchReport -count=1 -timeout 30m -v ./internal/engine/
 	@cat BENCH_engine.json
+
+# soak is the scale tier (build tag `scale`): SOAK_RECORDS synthesized
+# credit records (default 1M) driven through the durable engine —
+# InsertBatch bulk with timed single inserts — while a background
+# snapshotter streams captures concurrently and two mid-soak crash
+# faults force full recoveries. Asserts the bounded-memory contract
+# (heap high-water mark < 3.25 GiB under a runtime soft memory limit,
+# keeping process RSS under 4 GB), the snapshot non-stall contract
+# (single-insert p99 < 50 ms even while a snapshot streams), and
+# bit-identical kill recovery; merges a "scale"
+# section into BENCH_store.json / BENCH_stream.json.
+SOAK_RECORDS ?= 1000000
+soak:
+	SOAK_RECORDS=$(SOAK_RECORDS) SOAK_STORE_OUT=$(CURDIR)/BENCH_store.json SOAK_STREAM_OUT=$(CURDIR)/BENCH_stream.json \
+		$(GO) test -tags scale -run TestSoakScale -count=1 -timeout 60m -v ./internal/engine/
+
+# soak-smoke is the CI tier of the same harness: 50k records, no report
+# rewrite, gated against the recorded 50k scale entry in
+# BENCH_store.json (fails on a >10% stall-p99 or heap-watermark
+# regression).
+soak-smoke:
+	SOAK_RECORDS=50000 SOAK_GATE=$(CURDIR)/BENCH_store.json \
+		$(GO) test -tags scale -run TestSoakScale -count=1 -timeout 20m -v ./internal/engine/
 
 # docs-check verifies the documentation layer: formatting, vet, a
 # package comment on every package, and resolvable relative links in

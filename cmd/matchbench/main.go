@@ -21,6 +21,7 @@
 //	matchbench -path chase -k 1000     # worklist enforcement chase
 //	matchbench -path ruleset -k 1000   # blocked candidates × RCK rule set
 //	matchbench -path engine -k 1000    # serving engine MatchBatch
+//	matchbench -path snapshot -k 1000  # durable load → streamed snapshot → recovery
 //
 // -cpuprofile and -memprofile write pprof profiles covering the run
 // (any mode), so perf work can attach evidence:
@@ -97,7 +98,7 @@ func mainErr() (err error) {
 		fig        = flag.String("fig", "all", "figure to regenerate: 8a, 8b, 8c, 9, 10, 9d, win, all")
 		scale      = flag.String("scale", "bench", "bench (minutes) or paper (full Section 6 parameters)")
 		seed       = flag.Int64("seed", 1, "experiment seed")
-		path       = flag.String("path", "", "profile one kernel execution path instead: chase, ruleset or engine")
+		path       = flag.String("path", "", "profile one execution path instead: chase, ruleset, engine or snapshot")
 		k          = flag.Int("k", 1000, "dataset scale (K holders) for -path profiling")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile covering the run to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile taken after the run to this file")

@@ -320,6 +320,7 @@ func newServer(cfg config) *server {
 	}
 	if cfg.reg != nil {
 		s.hm = obs.NewHealthMetrics(cfg.reg, func() float64 { return float64(s.health.Load()) })
+		obs.AttachRuntime(cfg.reg)
 	}
 	return s
 }

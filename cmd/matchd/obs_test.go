@@ -107,6 +107,12 @@ func TestMetricsConformance(t *testing.T) {
 	if got := sample("mdmatch_store_snapshot_lsn"); got < 1 {
 		t.Fatalf("snapshot lsn = %v", got)
 	}
+	if got := sample("mdmatch_store_snapshot_inflight"); got != 0 {
+		t.Fatalf("snapshot inflight = %v after the snapshot completed", got)
+	}
+	if got := sample("mdmatch_runtime_heap_alloc_bytes"); got <= 0 {
+		t.Fatalf("runtime heap alloc = %v", got)
+	}
 	if got := sample("mdmatch_engine_indexed_records"); got < 150 {
 		t.Fatalf("indexed records = %v (corpus is k=150)", got)
 	}

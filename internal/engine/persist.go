@@ -8,6 +8,7 @@ import (
 	"mdmatch/internal/record"
 	"mdmatch/internal/store"
 	"mdmatch/internal/stream"
+	"mdmatch/internal/values"
 )
 
 // Fingerprint renders the full rule configuration of an engine — the
@@ -50,25 +51,78 @@ func (e *Engine) Store() *store.Store { return e.durable }
 
 // Snapshot captures the engine's current state — the enforcer's
 // persistent state and the indexed records — and writes it durably to
-// the attached store, returning the WAL position it captured. Durable
-// writes (AddClustered, Load) block for the duration; queries and
-// removals do not (a removal racing the capture is journaled past the
-// snapshot LSN and re-applied on recovery, where it is idempotent).
-// Superseded snapshots and WAL segments are garbage collected.
+// the attached store, returning the WAL position it captured. The
+// write lock is held only for the capture itself: a columnar cut of
+// the enforcer (stream.SnapshotCut, O(columns) memcpys) plus shared
+// slice references into the record store, so durable writes
+// (AddClustered, Load) stall for microseconds, not for the encode of a
+// multi-gigabyte state. Serialization then streams to disk while
+// traffic continues (store.WriteSnapshot holds no append lock during
+// the write). Queries and removals never block (a removal racing the
+// capture is journaled past the snapshot LSN and re-applied on
+// recovery, where it is idempotent). Superseded snapshots and WAL
+// segments are garbage collected.
 func (e *Engine) Snapshot() (uint64, error) {
 	if e.durable == nil {
 		return 0, fmt.Errorf("engine: no store attached")
 	}
 	e.writeMu.Lock()
-	defer e.writeMu.Unlock()
-	// State and LSN are read under the enforcer's insertion lock, so the
-	// pair is exact even against inserts that bypass this engine.
-	state, lsn := e.stream.SnapshotState(e.durable.LSN)
-	snap := &store.Snapshot{LSN: lsn, Stream: state, Engine: e.dumpRecs()}
+	// Cut and LSN are read under the enforcer's insertion lock, so the
+	// pair is exact even against inserts that bypass this engine; the
+	// record capture is consistent with the cut because writeMu blocks
+	// every durable insert between the two.
+	cut, lsn := e.stream.SnapshotCut(e.durable.LSN)
+	recs := e.captureRecs()
+	e.writeMu.Unlock()
+	snap := &store.Snapshot{LSN: lsn, Cut: cut, EngineSrc: recs}
 	if err := e.durable.WriteSnapshot(snap); err != nil {
 		return 0, err
 	}
 	return lsn, nil
+}
+
+// capRec is one captured record: shared references to the storedRec's
+// interned row and rendered keys. Both slices are written once at Add
+// time and never mutated in place (replacement installs a fresh
+// storedRec, removal only drops the map entry), so sharing them after
+// the shard locks are released is sound.
+type capRec struct {
+	id   int
+	ids  []values.ID
+	keys []string
+}
+
+// recSource adapts a captured record set to store.EngineSource,
+// rendering values lazily at encode time: LeftStrings takes only
+// per-dictionary read locks, and the interner's dictionaries are
+// append-only, so IDs captured earlier render to identical strings no
+// matter how much the dictionaries have grown since.
+type recSource struct {
+	e    *Engine
+	recs []capRec
+}
+
+func (s *recSource) Len() int { return len(s.recs) }
+
+func (s *recSource) Rec(i int, out *store.EngineRec) {
+	r := s.recs[i]
+	out.ID = r.id
+	out.Values = s.e.interner.LeftStrings(r.ids, out.Values[:0])
+	out.Keys = r.keys
+}
+
+// captureRecs collects the record store's contents in deterministic
+// (id) order as shared slice references — O(records) pointer copies,
+// no string rendering — for encoding outside the write lock. The
+// resulting engine section is byte-identical to dumpRecs' eager copy
+// (TestSnapshotEncodeFromCutIdentical).
+func (e *Engine) captureRecs() *recSource {
+	src := &recSource{e: e, recs: make([]capRec, 0, e.store.len())}
+	e.store.each(func(id int, rec storedRec) {
+		src.recs = append(src.recs, capRec{id: id, ids: rec.ids, keys: rec.keys})
+	})
+	slices.SortFunc(src.recs, func(a, b capRec) int { return a.id - b.id })
+	return src
 }
 
 // dumpRecs serializes the record store in deterministic (id) order. The
@@ -122,6 +176,14 @@ func (e *Engine) recover() error {
 	if err != nil {
 		return err
 	}
+	return e.replayFrom(snap)
+}
+
+// replayFrom restores one snapshot (nil: start empty at LSN 0) and
+// replays the attached store's WAL suffix. Split from recover so the
+// torture tests can rebuild from EVERY retained snapshot, not just the
+// newest readable one.
+func (e *Engine) replayFrom(snap *store.Snapshot) error {
 	from := uint64(1)
 	if snap != nil {
 		if err := e.stream.RestoreState(snap.Stream); err != nil {

@@ -1,0 +1,152 @@
+package engine
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"mdmatch/internal/gen"
+	"mdmatch/internal/store"
+	"mdmatch/internal/stream"
+)
+
+// TestSnapshotTortureEveryRetainedCut is the concurrent-snapshot
+// torture: a snapshotter hammers Snapshot() while a writer applies the
+// op history, with retention disabled so EVERY capture survives. Each
+// retained snapshot must then independently recover — restore + WAL
+// suffix replay — to exactly the state a serial replay of the full log
+// produces. That is the consistent-cut argument made executable: no
+// matter where the capture landed relative to in-flight inserts,
+// removals and queries, "cut@LSN + suffix after LSN" converges to the
+// same final state, bit for bit (LHSEvaluations normalized, as
+// everywhere: verdict caches restart cold).
+func TestSnapshotTortureEveryRetainedCut(t *testing.T) {
+	ctx, sigma, ops := recHistory(t, 250, 11)
+	plan := selfMatchPlan(t, ctx)
+	dir := t.TempDir()
+	enf, err := stream.New(ctx, sigma, stream.ClusterRules(gen.DedupClusterRules()...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(dir, Fingerprint(plan, enf), store.WithNoSync(),
+		store.WithKeepSnapshots(1<<20)) // retain everything: the test recovers from every cut
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(plan, WithWorkers(2), WithStream(enf), WithStore(st))
+	if err != nil {
+		st.Close()
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, op := range ops {
+			op.apply(t, eng, ctx.Left)
+		}
+	}()
+	// Snapshot as fast as captures land until the writer drains; each
+	// call that finds a new LSN writes one retained snapshot file.
+	for {
+		select {
+		case <-done:
+			goto drained
+		default:
+		}
+		if _, err := eng.Snapshot(); err != nil {
+			t.Fatal(err)
+		}
+	}
+drained:
+	if _, err := eng.Snapshot(); err != nil { // final cut at the head
+		t.Fatal(err)
+	}
+	lsns := st.SnapshotLSNs()
+	if len(lsns) < 2 {
+		t.Fatalf("torture produced %d snapshots; the race never overlapped", len(lsns))
+	}
+	head := st.LSN()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("torture: %d retained snapshots over %d WAL records", len(lsns), head)
+
+	// Reopen read-only-ish: recovery below replays manually from each
+	// retained cut, so the engine is built WITHOUT WithStore (which
+	// would auto-recover from the newest snapshot only).
+	st2, err := store.Open(dir, Fingerprint(plan, enf), store.WithNoSync(),
+		store.WithKeepSnapshots(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+
+	// The serial-replay reference: the same op history applied to a
+	// fresh in-memory engine, one op at a time, no store at all. (The
+	// WAL prefix is NOT a usable reference — segments behind the oldest
+	// retained snapshot are garbage collected, which is exactly why
+	// every snapshot must stand on its own.)
+	refEnf, err := stream.New(ctx, sigma, stream.ClusterRules(gen.DedupClusterRules()...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := New(plan, WithWorkers(2), WithStream(refEnf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops {
+		op.apply(t, ref, ctx.Left)
+	}
+
+	for _, lsn := range lsns {
+		snap, err := st2.LoadSnapshotAt(lsn)
+		if err != nil {
+			t.Fatalf("snapshot@%d unreadable: %v", lsn, err)
+		}
+		if snap.LSN != lsn {
+			t.Fatalf("snapshot@%d decodes with LSN %d", lsn, snap.LSN)
+		}
+		enf2, err := stream.New(ctx, sigma, stream.ClusterRules(gen.DedupClusterRules()...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := New(plan, WithWorkers(2), WithStream(enf2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got.durable = st2 // replay source only; no journal is attached
+		if err := got.replayFrom(snap); err != nil {
+			t.Fatalf("recover from cut@%d: %v", lsn, err)
+		}
+		sameEngineState(t, fmt.Sprintf("cut@%d + suffix", lsn), got, ref)
+	}
+}
+
+// TestCaptureRecsMatchesDump pins the lazy snapshot capture to the
+// eager one: captureRecs + Rec rendering must reproduce dumpRecs'
+// records exactly (same order, values, keys) — they feed the same
+// encoder, so this is what makes the non-stalling capture
+// byte-compatible.
+func TestCaptureRecsMatchesDump(t *testing.T) {
+	ctx, sigma, ops := recHistory(t, 20, 3)
+	plan := selfMatchPlan(t, ctx)
+	eng, st := newDurable(t, t.TempDir(), ctx, sigma, plan)
+	defer st.Close()
+	for _, op := range ops {
+		op.apply(t, eng, ctx.Left)
+	}
+	want := eng.dumpRecs()
+	src := eng.captureRecs()
+	if src.Len() != len(want) {
+		t.Fatalf("captureRecs has %d records, dumpRecs %d", src.Len(), len(want))
+	}
+	var out store.EngineRec
+	for i := range want {
+		src.Rec(i, &out)
+		if out.ID != want[i].ID || !reflect.DeepEqual(out.Values, want[i].Values) ||
+			!reflect.DeepEqual(out.Keys, want[i].Keys) {
+			t.Fatalf("record %d: capture %+v, dump %+v", i, out, want[i])
+		}
+	}
+}

@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"os"
+	"runtime"
 	"time"
 
 	"mdmatch/internal/blocking"
@@ -10,18 +12,23 @@ import (
 	"mdmatch/internal/gen"
 	"mdmatch/internal/matching"
 	"mdmatch/internal/metrics"
+	"mdmatch/internal/schema"
 	"mdmatch/internal/semantics"
+	"mdmatch/internal/store"
+	"mdmatch/internal/stream"
 )
 
 // Profile drives one execution path of the shared exec kernel over a
 // generated K-holder dataset and prints its throughput — the
-// cmd/matchbench -path mode. All three paths compile their rules
-// through internal/exec, so a regression in the kernel shows up in
-// whichever path is profiled:
+// cmd/matchbench -path mode. Every path compiles its rules through
+// internal/exec, so a regression in the kernel shows up in whichever
+// path is profiled:
 //
-//	chase   — semantics.Enforce (worklist chase) over the 7 holder MDs
-//	ruleset — matching.RuleSet over the blocked candidate pairs
-//	engine  — engine.MatchBatch serving the billing side as queries
+//	chase    — semantics.Enforce (worklist chase) over the 7 holder MDs
+//	ruleset  — matching.RuleSet over the blocked candidate pairs
+//	engine   — engine.MatchBatch serving the billing side as queries
+//	snapshot — the durable path: WAL-journaled load, streamed snapshot
+//	           write, and cold recovery, with heap watermarks
 func Profile(w io.Writer, path string, k int, seed int64) error {
 	switch path {
 	case "chase":
@@ -30,8 +37,10 @@ func Profile(w io.Writer, path string, k int, seed int64) error {
 		return profileRuleSet(w, k, seed)
 	case "engine":
 		return profileEngine(w, k, seed)
+	case "snapshot":
+		return profileSnapshot(w, k, seed)
 	}
-	return fmt.Errorf("unknown path %q (want chase, ruleset or engine)", path)
+	return fmt.Errorf("unknown path %q (want chase, ruleset, engine or snapshot)", path)
 }
 
 func profileChase(w io.Writer, k int, seed int64) error {
@@ -113,5 +122,94 @@ func profileEngine(w io.Writer, k int, seed int64) error {
 	fmt.Fprintf(w, "# path=engine K=%d (%d indexed, %d queries, %d workers)\n", k, eng.Len(), len(batch), eng.Workers())
 	fmt.Fprintf(w, "seconds=%.4f queries_per_second=%.0f\n", secs, float64(len(batch))/secs)
 	fmt.Fprintf(w, "compared=%d matched=%d reduction_ratio=%.4f\n", st.Compared, st.Matched, st.ReductionRatio())
+	return nil
+}
+
+// profileSnapshot profiles the durable memory path (DESIGN.md §14): a
+// streaming-enforcer engine with a WAL-backed store loads the credit
+// side (journaled batch + chase), writes one streamed snapshot, and a
+// fresh process recovers cold from it — the three phases a -memprofile
+// of the storage layer wants under one knob. The store lives in a
+// temporary directory and is removed on return.
+func profileSnapshot(w io.Writer, k int, seed int64) error {
+	s, err := NewSetup(k, seed)
+	if err != nil {
+		return err
+	}
+	plan, err := engine.Compile(s.Dataset.Ctx, s.RCKs, []blocking.KeySpec{s.RCKBlockingKey()})
+	if err != nil {
+		return err
+	}
+	dedupCtx, err := schema.NewPair(s.Dataset.Credit.Rel, s.Dataset.Credit.Rel)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "matchbench-snapshot-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	open := func() (*engine.Engine, *store.Store, error) {
+		enf, err := stream.New(dedupCtx, gen.DedupMDs(dedupCtx),
+			stream.ClusterRules(gen.DedupClusterRules()...))
+		if err != nil {
+			return nil, nil, err
+		}
+		st, err := store.Open(dir, engine.Fingerprint(plan, enf), store.WithNoSync())
+		if err != nil {
+			return nil, nil, err
+		}
+		eng, err := engine.New(plan, engine.WithStream(enf), engine.WithStore(st))
+		if err != nil {
+			st.Close()
+			return nil, nil, err
+		}
+		return eng, st, nil
+	}
+
+	eng, st, err := open()
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := eng.Load(s.Dataset.Credit); err != nil {
+		st.Close()
+		return err
+	}
+	loadSecs := time.Since(start).Seconds()
+	walBytes := st.BytesSinceSnapshot()
+
+	start = time.Now()
+	lsn, err := eng.Snapshot()
+	if err != nil {
+		st.Close()
+		return err
+	}
+	writeSecs := time.Since(start).Seconds()
+	_, snapBytes := st.LastSnapshot()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if err := st.Close(); err != nil {
+		return err
+	}
+
+	start = time.Now()
+	eng2, st2, err := open() // engine.New with a non-empty store recovers
+	if err != nil {
+		return err
+	}
+	recoverSecs := time.Since(start).Seconds()
+	defer st2.Close()
+	if eng2.Len() != eng.Len() {
+		return fmt.Errorf("recovered %d indexed records, want %d", eng2.Len(), eng.Len())
+	}
+
+	fmt.Fprintf(w, "# path=snapshot K=%d (%d records, %d MDs, snapshot lsn %d)\n",
+		k, s.Dataset.Credit.Len(), len(gen.DedupMDs(dedupCtx)), lsn)
+	fmt.Fprintf(w, "load_seconds=%.4f wal_bytes=%d\n", loadSecs, walBytes)
+	fmt.Fprintf(w, "snapshot_seconds=%.4f snapshot_bytes=%d\n", writeSecs, snapBytes)
+	fmt.Fprintf(w, "recover_seconds=%.4f indexed=%d\n", recoverSecs, eng2.Len())
+	fmt.Fprintf(w, "heap_alloc_mib=%.1f heap_sys_mib=%.1f\n",
+		float64(ms.HeapAlloc)/(1<<20), float64(ms.HeapSys)/(1<<20))
 	return nil
 }

@@ -304,6 +304,38 @@ func (f *FS) ReadFile(name string) ([]byte, error) {
 	return b, err
 }
 
+// Open implements store.FS. The open itself counts as one read
+// operation; the streamed Read calls that follow are not individually
+// counted (a snapshot's read count would otherwise depend on its size),
+// but they observe a crash — a dead filesystem serves no bytes.
+func (f *FS) Open(name string) (store.ReaderFile, error) {
+	var r store.ReaderFile
+	err := f.run(OpRead, func() (e error) { r, e = f.inner.Open(name); return })
+	if err != nil {
+		return nil, err
+	}
+	return &faultReader{inner: r, plan: f.plan}, nil
+}
+
+// faultReader wraps one open read stream; reads pass through unless the
+// filesystem has crashed, Close always passes through (no descriptor
+// leaks from a dead test FS).
+type faultReader struct {
+	inner store.ReaderFile
+	plan  *Plan
+}
+
+// Read implements store.ReaderFile.
+func (f *faultReader) Read(p []byte) (int, error) {
+	if f.plan.Crashed() {
+		return 0, ErrCrashed
+	}
+	return f.inner.Read(p)
+}
+
+// Close implements store.ReaderFile.
+func (f *faultReader) Close() error { return f.inner.Close() }
+
 // WriteFile implements store.FS.
 func (f *FS) WriteFile(name string, data []byte) error {
 	inj, ok, err := f.plan.step(OpWrite)

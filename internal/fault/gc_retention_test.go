@@ -1,0 +1,124 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"mdmatch/internal/store"
+	"mdmatch/internal/stream"
+)
+
+func gcSnap(lsn uint64) *store.Snapshot {
+	return &store.Snapshot{
+		LSN: lsn,
+		Stream: &stream.State{
+			Dicts: []stream.DictState{{Col: 0, Values: []string{"v"}}},
+			Rows:  []stream.RowState{{ID: 1, Values: []string{"v", "v"}}},
+		},
+	}
+}
+
+func countFiles(t *testing.T, dir string) (segs, snaps int) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		switch {
+		case strings.HasSuffix(e.Name(), ".log"):
+			segs++
+		case strings.HasSuffix(e.Name(), ".snap"):
+			snaps++
+		}
+	}
+	return segs, snaps
+}
+
+// TestRemoveFaultCannotWedgeRetention pins that a failing unlink
+// (remove@N:eio) does not wedge garbage collection: the snapshot that
+// hit the fault is still installed (the error is reported, not rolled
+// back), the next snapshot's GC retries the removal, and the directory
+// converges back to the retention bound instead of leaking files
+// forever.
+func TestRemoveFaultCannotWedgeRetention(t *testing.T) {
+	dir := t.TempDir()
+	plan := NewPlan()
+	fp := store.FingerprintOf("gc", "eio")
+	// Segment bytes 1: every append rotates, so each snapshot's GC has
+	// real segment removals to perform.
+	s, err := store.Open(dir, fp, store.WithNoSync(), store.WithFS(Wrap(store.OSFS{}, plan)),
+		store.WithSegmentBytes(1), store.WithKeepSnapshots(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	lsn := uint64(0)
+	appendN := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			lsn++
+			if err := s.LogInsert(int(lsn), []string{"a", "b"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Two clean cycles so GC is actively removing snapshots and
+	// segments.
+	for i := 0; i < 3; i++ {
+		appendN(10)
+		if err := s.WriteSnapshot(gcSnap(lsn)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Arm: the NEXT unlink fails with EIO (armed through the spec
+	// grammar, relative to the removals GC already did).
+	inj, err := ParseSpec(fmt.Sprintf("remove@%d:eio", plan.Count(OpRemove)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Inject(inj)
+	appendN(10)
+	if err := s.WriteSnapshot(gcSnap(lsn)); !errors.Is(err, ErrIO) {
+		t.Fatalf("snapshot over failing unlink = %v, want ErrIO surfaced", err)
+	}
+	if got := s.SnapshotLSNs(); len(got) == 0 || got[len(got)-1] != lsn {
+		t.Fatalf("snapshot at %d was not installed despite the GC error (retained: %v)", lsn, got)
+	}
+	if plan.Injected() != 1 {
+		t.Fatalf("Injected = %d, want exactly the armed fault", plan.Injected())
+	}
+
+	// Recovery: the next cycles must retry the leaked removal and pull
+	// the directory back under the retention bound.
+	for i := 0; i < 2; i++ {
+		appendN(10)
+		if err := s.WriteSnapshot(gcSnap(lsn)); err != nil {
+			t.Fatalf("cycle %d after fault: %v", i, err)
+		}
+	}
+	segs, snaps := countFiles(t, dir)
+	if snaps > 2 {
+		t.Fatalf("%d snapshots on disk after recovery, retention keeps 2", snaps)
+	}
+	if segs > 25 {
+		t.Fatalf("%d segment files on disk after recovery, GC is wedged", segs)
+	}
+	// And the directory still opens and replays cleanly.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := store.Open(dir, fp, store.WithNoSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.LSN() != lsn {
+		t.Fatalf("reopened LSN = %d, want %d", s2.LSN(), lsn)
+	}
+}

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// AttachRuntime registers process-level memory and scheduler gauges.
+// The 1M-record scale contract is a bounded memory ceiling, so the
+// serving process must expose what it actually holds: live heap,
+// total heap reserved from the OS (the RSS floor), the high-water
+// mark, and GC/goroutine occupancy. runtime.ReadMemStats is a
+// stop-the-world read (~tens of microseconds), so all families share
+// one snapshot per scrape, refreshed at most once per second.
+func AttachRuntime(reg *Registry) {
+	var (
+		mu   sync.Mutex // collect callbacks of different families can race
+		last time.Time
+		ms   runtime.MemStats
+	)
+	read := func() runtime.MemStats {
+		mu.Lock()
+		defer mu.Unlock()
+		if now := time.Now(); now.Sub(last) >= time.Second || last.IsZero() {
+			runtime.ReadMemStats(&ms)
+			last = now
+		}
+		return ms
+	}
+	reg.CollectGauge("mdmatch_runtime_heap_alloc_bytes",
+		"Live heap bytes (allocated and not yet freed).", nil,
+		func(emit Emit) { emit(float64(read().HeapAlloc)) })
+	reg.CollectGauge("mdmatch_runtime_heap_sys_bytes",
+		"Heap bytes reserved from the OS (lower bound on RSS).", nil,
+		func(emit Emit) { emit(float64(read().HeapSys)) })
+	reg.CollectGauge("mdmatch_runtime_sys_bytes",
+		"Total bytes of memory obtained from the OS by the Go runtime.", nil,
+		func(emit Emit) { emit(float64(read().Sys)) })
+	reg.CollectCounter("mdmatch_runtime_gc_total",
+		"Completed GC cycles.", nil,
+		func(emit Emit) { emit(float64(read().NumGC)) })
+	reg.CollectGauge("mdmatch_runtime_goroutines",
+		"Live goroutines.", nil,
+		func(emit Emit) { emit(float64(runtime.NumGoroutine())) })
+}

@@ -208,11 +208,12 @@ func (o *StreamObserver) AttachStream(e *stream.Enforcer) {
 // (LSNs, segment count, snapshot size/age, replay progress) collected
 // at scrape.
 type StoreObserver struct {
-	reg         *Registry
-	appendDur   *Histogram
-	snapDur     *Histogram
-	appends     *Counter
-	appendBytes *Counter
+	reg          *Registry
+	appendDur    *Histogram
+	snapDur      *Histogram
+	appends      *Counter
+	appendBytes  *Counter
+	snapInflight *Gauge
 }
 
 var _ store.Observer = (*StoreObserver)(nil)
@@ -230,6 +231,8 @@ func NewStoreObserver(reg *Registry) *StoreObserver {
 			"Durable WAL appends."),
 		appendBytes: reg.Counter("mdmatch_store_append_bytes_total",
 			"Bytes appended to the WAL."),
+		snapInflight: reg.Gauge("mdmatch_store_snapshot_inflight",
+			"Snapshot writes currently streaming to disk (appends continue during them)."),
 	}
 }
 
@@ -243,6 +246,14 @@ func (o *StoreObserver) AppendObserved(seconds float64, bytes int) {
 // SnapshotObserved implements store.Observer.
 func (o *StoreObserver) SnapshotObserved(seconds float64, bytes int) {
 	o.snapDur.Observe(seconds)
+}
+
+// SnapshotInflight implements the store's optional snapshot tracker
+// extension: +1 when a snapshot starts streaming to disk, -1 when it
+// finishes (success or failure). A value stuck at 1 with a growing
+// snapshot age points at a wedged snapshot writer.
+func (o *StoreObserver) SnapshotInflight(delta int) {
+	o.snapInflight.Add(float64(delta))
 }
 
 // AttachStore registers the scrape-time views over s's positions.

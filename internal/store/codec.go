@@ -13,8 +13,15 @@ import (
 var errMalformed = errors.New("store: malformed payload")
 
 // enc appends a payload body. File headers use fixed-width
-// little-endian fields; payload bodies are varint-based.
-type enc struct{ b []byte }
+// little-endian fields; payload bodies are varint-based. A sink, when
+// set, receives the buffered bytes at mark() points (see snapio.go) so
+// large bodies stream out in chunks instead of materializing; the sink
+// must consume the slice before returning, because the buffer is
+// reused.
+type enc struct {
+	b    []byte
+	sink func([]byte)
+}
 
 func (e *enc) u8(v byte)        { e.b = append(e.b, v) }
 func (e *enc) u32(v uint32)     { e.b = binary.LittleEndian.AppendUint32(e.b, v) }

@@ -26,6 +26,10 @@ type FS interface {
 	OpenAppend(name string) (File, error)
 	// ReadFile returns the whole contents of name.
 	ReadFile(name string) ([]byte, error)
+	// Open opens name for sequential reading (the streaming snapshot
+	// decoder; segments still use ReadFile because records must fit in
+	// maxRecordBytes anyway).
+	Open(name string) (ReaderFile, error)
 	// WriteFile replaces name with data (used only by torn-header
 	// repair, where the file is already damaged).
 	WriteFile(name string, data []byte) error
@@ -52,6 +56,13 @@ type File interface {
 	Close() error
 }
 
+// ReaderFile is the readable-file surface the store needs: sequential
+// reads, close.
+type ReaderFile interface {
+	Read(p []byte) (int, error)
+	Close() error
+}
+
 // OSFS is the production FS: direct calls into package os.
 type OSFS struct{}
 
@@ -72,6 +83,9 @@ func (OSFS) OpenAppend(name string) (File, error) {
 
 // ReadFile implements FS.
 func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// Open implements FS.
+func (OSFS) Open(name string) (ReaderFile, error) { return os.Open(name) }
 
 // WriteFile implements FS.
 func (OSFS) WriteFile(name string, data []byte) error { return os.WriteFile(name, data, 0o644) }

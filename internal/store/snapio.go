@@ -1,0 +1,349 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Chunked snapshot bodies ("mdmsnp02").
+//
+// After the shared 48-byte file header a snapshot carries its body as a
+// sequence of self-checking chunks, terminated by a trailer:
+//
+//	chunk:   payload length (4, LE, > 0) | CRC-32C of payload (4, LE) | payload
+//	trailer: 0 (4, LE) | CRC-32C of the whole body (4, LE) | body length (8, LE)
+//
+// Chunk boundaries are pure transport: concatenating the payloads in
+// order yields the logical body, byte-identical to what the in-memory
+// encoder produces (TestSnapshotStreamIdentical pins this). The writer
+// therefore never materializes the body — it flushes the encoder's
+// buffer whenever a section encoder declares a cut point (enc.mark) —
+// and the reader decodes one bounded chunk at a time. The trailer's
+// whole-body CRC and length catch chunk reordering, duplication or
+// omission that per-chunk CRCs alone would miss.
+
+// snapChunkBytes is the encoder's flush threshold: at each mark() point
+// a buffer at least this full becomes one chunk. A variable only so
+// tests can force tiny chunks and exercise values straddling chunk
+// boundaries.
+var snapChunkBytes = 256 << 10
+
+// maxChunkPayload bounds one chunk's payload on the read side, so a
+// corrupt or hostile length word cannot demand an unbounded allocation
+// (the analogue of maxRecordBytes for WAL records). The writer splits
+// oversized flushes, so conforming files always comply.
+const maxChunkPayload = 4 << 20
+
+// chunkWriter frames payload bytes into the chunk stream. The first
+// write error latches and every later call is a no-op, so encoders can
+// run to completion and collect the error once from finish().
+type chunkWriter struct {
+	f     File
+	sum   uint32 // running CRC-32C over every body byte framed so far
+	body  uint64 // body bytes framed so far
+	total int64  // file bytes written, excluding the file header
+	err   error
+}
+
+// chunk frames p (splitting it when it exceeds maxChunkPayload). The
+// caller may reuse p's backing array after return.
+func (w *chunkWriter) chunk(p []byte) {
+	for len(p) > 0 && w.err == nil {
+		part := p
+		if len(part) > maxChunkPayload {
+			part = part[:maxChunkPayload]
+		}
+		p = p[len(part):]
+		var hdr [8]byte
+		binary.LittleEndian.PutUint32(hdr[:4], uint32(len(part)))
+		binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(part, crcTable))
+		if w.write(hdr[:]) && w.write(part) {
+			w.sum = crc32.Update(w.sum, crcTable, part)
+			w.body += uint64(len(part))
+		}
+	}
+}
+
+func (w *chunkWriter) write(p []byte) bool {
+	if w.err != nil {
+		return false
+	}
+	if _, err := w.f.Write(p); err != nil {
+		w.err = err
+		return false
+	}
+	w.total += int64(len(p))
+	return true
+}
+
+// finish writes the trailer and reports the first error of the whole
+// stream.
+func (w *chunkWriter) finish() error {
+	var tr [16]byte
+	binary.LittleEndian.PutUint32(tr[4:8], w.sum)
+	binary.LittleEndian.PutUint64(tr[8:], w.body)
+	w.write(tr[:])
+	return w.err
+}
+
+// chunkReader verifies and unframes the chunk stream. cur holds the
+// unread remainder of the current chunk; fin is set once the trailer
+// has been read and verified. Body-level damage — truncation, checksum
+// mismatch, an over-limit length — wraps errSnapshotBody so Open falls
+// back to an older snapshot; a real I/O error surfaces raw.
+type chunkReader struct {
+	r    io.Reader
+	path string
+	cur  []byte
+	buf  []byte // reusable chunk buffer
+	sum  uint32
+	body uint64
+	fin  bool
+}
+
+// memBody adapts an already-materialized body (no chunk framing) to the
+// reader interface: the whole body is the current chunk and the stream
+// is already finished. The in-memory decode path (tests, fuzzing) and
+// the streaming path share one decoder this way.
+func memBody(b []byte) *chunkReader { return &chunkReader{cur: b, fin: true} }
+
+func (c *chunkReader) readFull(b []byte, what string) error {
+	if _, err := io.ReadFull(c.r, b); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return fmt.Errorf("store: %s: truncated %s: %w", c.path, what, errSnapshotBody)
+		}
+		return err
+	}
+	return nil
+}
+
+// next loads and verifies the next chunk into cur, or verifies the
+// trailer and sets fin.
+func (c *chunkReader) next() error {
+	var hdr [8]byte
+	if err := c.readFull(hdr[:], "chunk header"); err != nil {
+		return err
+	}
+	plen := binary.LittleEndian.Uint32(hdr[:4])
+	crc := binary.LittleEndian.Uint32(hdr[4:])
+	if plen == 0 {
+		var tail [8]byte
+		if err := c.readFull(tail[:], "trailer"); err != nil {
+			return err
+		}
+		if crc != c.sum {
+			return fmt.Errorf("store: %s: body checksum mismatch: %w", c.path, errSnapshotBody)
+		}
+		if got := binary.LittleEndian.Uint64(tail[:]); got != c.body {
+			return fmt.Errorf("store: %s: trailer says %d body bytes, read %d: %w", c.path, got, c.body, errSnapshotBody)
+		}
+		var one [1]byte
+		if n, err := io.ReadFull(c.r, one[:]); err == io.EOF {
+			// clean end of file
+		} else if err != nil && n == 0 {
+			return err
+		} else {
+			return fmt.Errorf("store: %s: trailing bytes after trailer: %w", c.path, errSnapshotBody)
+		}
+		c.fin = true
+		return nil
+	}
+	if plen > maxChunkPayload {
+		return fmt.Errorf("store: %s: chunk of %d bytes exceeds the %d limit: %w", c.path, plen, maxChunkPayload, errSnapshotBody)
+	}
+	if cap(c.buf) < int(plen) {
+		c.buf = make([]byte, plen)
+	}
+	buf := c.buf[:plen]
+	if err := c.readFull(buf, "chunk"); err != nil {
+		return err
+	}
+	if crc32.Checksum(buf, crcTable) != crc {
+		return fmt.Errorf("store: %s: chunk checksum mismatch: %w", c.path, errSnapshotBody)
+	}
+	c.sum = crc32.Update(c.sum, crcTable, buf)
+	c.body += uint64(plen)
+	c.cur = buf
+	return nil
+}
+
+// drain verifies the rest of the stream without decoding it
+// (verifySnapshotFile: Open-time integrity checking).
+func (c *chunkReader) drain() error {
+	c.cur = nil
+	for !c.fin {
+		if err := c.next(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sdec decodes a body from a chunk stream with the same latching
+// discipline as dec: the first failure latches err and every later read
+// returns a zero value, so decoders never check errors mid-structure.
+// Structural damage latches errMalformed; chunk-level damage latches
+// the chunkReader's error (which already wraps errSnapshotBody).
+type sdec struct {
+	c   *chunkReader
+	err error
+}
+
+func (d *sdec) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+// refill makes at least one byte available, crossing chunk boundaries.
+// A body that ends mid-value is structurally malformed even though
+// every checksum passed.
+func (d *sdec) refill() bool {
+	for len(d.c.cur) == 0 {
+		if d.c.fin {
+			d.fail(errMalformed)
+			return false
+		}
+		if err := d.c.next(); err != nil {
+			d.fail(err)
+			return false
+		}
+	}
+	return true
+}
+
+func (d *sdec) u8() byte {
+	if d.err != nil || !d.refill() {
+		return 0
+	}
+	v := d.c.cur[0]
+	d.c.cur = d.c.cur[1:]
+	return v
+}
+
+func (d *sdec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	var x uint64
+	var s uint
+	for i := 0; i < binary.MaxVarintLen64; i++ {
+		b := d.u8()
+		if d.err != nil {
+			return 0
+		}
+		if b < 0x80 {
+			if i == binary.MaxVarintLen64-1 && b > 1 {
+				d.fail(errMalformed) // overflows uint64
+				return 0
+			}
+			return x | uint64(b)<<s
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+	d.fail(errMalformed)
+	return 0
+}
+
+func (d *sdec) varint() int64 {
+	ux := d.uvarint()
+	x := int64(ux >> 1)
+	if ux&1 != 0 {
+		x = ^x
+	}
+	return x
+}
+
+func (d *sdec) str() string {
+	n := d.uvarint()
+	if d.err != nil || n == 0 {
+		return ""
+	}
+	if uint64(len(d.c.cur)) >= n {
+		// Fast path: the string lies inside the current chunk.
+		s := string(d.c.cur[:n])
+		d.c.cur = d.c.cur[n:]
+		return s
+	}
+	// The string straddles chunks. Pre-size by what one more chunk can
+	// prove, not by the (possibly hostile) length word; append grows
+	// the buffer only as real verified bytes arrive.
+	b := make([]byte, 0, min(n, uint64(len(d.c.cur))+maxChunkPayload))
+	for uint64(len(b)) < n {
+		if !d.refill() {
+			return ""
+		}
+		take := uint64(len(d.c.cur))
+		if r := n - uint64(len(b)); take > r {
+			take = r
+		}
+		b = append(b, d.c.cur[:take]...)
+		d.c.cur = d.c.cur[take:]
+	}
+	return string(b)
+}
+
+// count reads an element count. Unlike dec.count it cannot pre-validate
+// against remaining bytes (the stream length is unknown); allocation is
+// bounded by preallocHint and a lying count fails at the first missing
+// element instead.
+func (d *sdec) count() uint64 { return d.uvarint() }
+
+func (d *sdec) strs() []string {
+	n := d.count()
+	if d.err != nil {
+		return nil
+	}
+	out := make([]string, 0, preallocHint(n))
+	for i := uint64(0); i < n; i++ {
+		out = append(out, d.str())
+		if d.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// done requires exact consumption: no bytes left in the current chunk,
+// and the next frame (when the trailer has not been read yet) must BE
+// the trailer — a data chunk past the body's structural end is trailing
+// garbage.
+func (d *sdec) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.c.cur) != 0 {
+		return errMalformed
+	}
+	if !d.c.fin {
+		if err := d.c.next(); err != nil {
+			return err
+		}
+		if !d.c.fin {
+			return errMalformed
+		}
+	}
+	return nil
+}
+
+// mark declares a flush point: a position where the encoded stream may
+// be cut into a transport chunk. With no sink attached (in-memory and
+// parallel encoders) it is a no-op, which is why the chunk payloads
+// concatenate to exactly the in-memory bytes.
+func (e *enc) mark() {
+	if e.sink != nil && len(e.b) >= snapChunkBytes {
+		e.sink(e.b)
+		e.b = e.b[:0]
+	}
+}
+
+// flush hands any buffered tail to the sink (end of body).
+func (e *enc) flush() {
+	if e.sink != nil && len(e.b) > 0 {
+		e.sink(e.b)
+		e.b = e.b[:0]
+	}
+}

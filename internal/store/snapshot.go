@@ -3,10 +3,9 @@ package store
 import (
 	"errors"
 	"fmt"
-	"hash/crc32"
+	"io"
 	"io/fs"
 	"path/filepath"
-	"runtime"
 	"slices"
 	"time"
 
@@ -19,6 +18,16 @@ import (
 // plus the engine's stored records with their pre-rendered blocking
 // keys, all captured at LSN — the state is exactly the fold of WAL
 // records 1..LSN, so recovery is "restore snapshot, replay the suffix".
+//
+// The capture comes in two interchangeable representations. The
+// string-level deep copy (Stream + Engine) is what decoding always
+// produces and what tests build by hand. The compact form (Cut +
+// EngineSrc), when set, takes precedence on encode: it holds columnar
+// IDs and immutable dictionary table views captured in O(memcpy) under
+// the write lock, and the encoder renders the strings lazily — that is
+// what lets engine.Snapshot release its write lock before serialization
+// starts. Both representations encode to identical bytes
+// (TestSnapshotEncodeFromCutIdentical pins this).
 //
 // Deliberately absent, and why:
 //
@@ -40,6 +49,12 @@ type Snapshot struct {
 	LSN    uint64
 	Stream *stream.State
 	Engine []EngineRec
+	// Cut, when non-nil, is the compact stream-state capture the
+	// encoder reads instead of Stream.
+	Cut *stream.Cut
+	// EngineSrc, when non-nil, is the lazy engine-record source the
+	// encoder reads instead of Engine.
+	EngineSrc EngineSource
 }
 
 // EngineRec is one indexed engine record. Values carries the columns
@@ -52,13 +67,24 @@ type EngineRec struct {
 	Keys   []string
 }
 
+// EngineSource yields engine records one at a time in their
+// deterministic serialization order (ascending ID), so the encoder
+// never needs them all materialized at once. Rec overwrites out,
+// reusing its slices when capacities allow.
+type EngineSource interface {
+	Len() int
+	Rec(i int, out *EngineRec)
+}
+
 // The snapshot body is four independent sections in fixed order:
 // dictionaries, rows, clusters+stats, engine records. Each section
 // encoder writes one section into its own buffer, so a multi-core
 // writer can render the sections concurrently and concatenate — the
 // bytes are identical to a serial encode by construction (each section
 // is a pure function of the snapshot, and the order of concatenation
-// is the serial order).
+// is the serial order). The streaming writer runs the same encoders
+// serially with a chunk sink attached; mark() calls between items are
+// where the stream may flush.
 var snapSections = [...]func(*enc, *Snapshot){
 	encodeSnapDicts,
 	encodeSnapRows,
@@ -66,31 +92,88 @@ var snapSections = [...]func(*enc, *Snapshot){
 	encodeSnapEngine,
 }
 
+// deltaStr writes v as (length of the byte prefix shared with prev,
+// suffix). Dictionary tables are the bulk of a snapshot's string data
+// and are heavily prefix-clustered after resolution, so the delta form
+// shrinks them substantially; decode is a pure concatenation, so the
+// encoding stays order-exact.
+func (e *enc) deltaStr(prev, v string) {
+	p := 0
+	for p < len(prev) && p < len(v) && prev[p] == v[p] {
+		p++
+	}
+	e.uvarint(uint64(p))
+	e.str(v[p:])
+}
+
 func encodeSnapDicts(e *enc, s *Snapshot) {
+	if c := s.Cut; c != nil {
+		e.uvarint(uint64(len(c.Dicts)))
+		for _, d := range c.Dicts {
+			e.uvarint(uint64(d.Col))
+			n := d.Values.Len()
+			e.uvarint(uint64(n))
+			prev := ""
+			for i := 0; i < n; i++ {
+				v := d.Values.Value(i)
+				e.deltaStr(prev, v)
+				prev = v
+				e.mark()
+			}
+		}
+		return
+	}
 	e.uvarint(uint64(len(s.Stream.Dicts)))
 	for _, d := range s.Stream.Dicts {
 		e.uvarint(uint64(d.Col))
-		e.strs(d.Values)
+		e.uvarint(uint64(len(d.Values)))
+		prev := ""
+		for _, v := range d.Values {
+			e.deltaStr(prev, v)
+			prev = v
+			e.mark()
+		}
 	}
 }
 
 func encodeSnapRows(e *enc, s *Snapshot) {
+	if c := s.Cut; c != nil {
+		arity := len(c.Cols)
+		e.uvarint(uint64(len(c.RowIDs)))
+		for r, id := range c.RowIDs {
+			e.varint(int64(id))
+			e.uvarint(uint64(arity))
+			for col := 0; col < arity; col++ {
+				e.str(c.ColTabs[col].Value(int(c.Cols[col][r])))
+			}
+			e.mark()
+		}
+		return
+	}
 	e.uvarint(uint64(len(s.Stream.Rows)))
 	for _, r := range s.Stream.Rows {
 		e.varint(int64(r.ID))
 		e.strs(r.Values)
+		e.mark()
 	}
 }
 
 func encodeSnapClusters(e *enc, s *Snapshot) {
-	e.uvarint(uint64(len(s.Stream.Clusters)))
-	for _, cl := range s.Stream.Clusters {
+	var clusters [][]int
+	var st stream.Stats
+	if c := s.Cut; c != nil {
+		clusters, st = c.Clusters, c.Stats
+	} else {
+		clusters, st = s.Stream.Clusters, s.Stream.Stats
+	}
+	e.uvarint(uint64(len(clusters)))
+	for _, cl := range clusters {
 		e.uvarint(uint64(len(cl)))
 		for _, id := range cl {
 			e.varint(int64(id))
 		}
+		e.mark()
 	}
-	st := s.Stream.Stats
 	e.varint(int64(st.Inserts))
 	e.varint(int64(st.Batches))
 	e.varint(int64(st.Applications))
@@ -101,11 +184,25 @@ func encodeSnapClusters(e *enc, s *Snapshot) {
 }
 
 func encodeSnapEngine(e *enc, s *Snapshot) {
+	if src := s.EngineSrc; src != nil {
+		n := src.Len()
+		e.uvarint(uint64(n))
+		var rec EngineRec
+		for i := 0; i < n; i++ {
+			src.Rec(i, &rec)
+			e.varint(int64(rec.ID))
+			e.strs(rec.Values)
+			e.strs(rec.Keys)
+			e.mark()
+		}
+		return
+	}
 	e.uvarint(uint64(len(s.Engine)))
 	for _, r := range s.Engine {
 		e.varint(int64(r.ID))
 		e.strs(r.Values)
 		e.strs(r.Keys)
+		e.mark()
 	}
 }
 
@@ -118,10 +215,12 @@ func encodeSnapshot(e *enc, s *Snapshot) {
 	}
 }
 
-// encodeSnapshotBody renders the body with the sections encoded in
-// parallel and concatenated in serial order. Byte-identical to
-// encodeSnapshot at any worker count (pinned by
-// TestSnapshotEncodeParallelIdentical); workers <= 1 runs inline.
+// encodeSnapshotBody renders the body in memory with the sections
+// encoded in parallel and concatenated in serial order. Byte-identical
+// to encodeSnapshot at any worker count (pinned by
+// TestSnapshotEncodeParallelIdentical); workers <= 1 runs inline. The
+// durable write path streams instead (streamSnapshotFile); this is the
+// reference encoder the equivalence tests compare against.
 func encodeSnapshotBody(s *Snapshot, workers int) []byte {
 	var bufs [len(snapSections)]enc
 	par.For(len(snapSections), workers, func(i int) {
@@ -134,16 +233,35 @@ func encodeSnapshotBody(s *Snapshot, workers int) []byte {
 	return out
 }
 
-// decodeSnapshot parses a snapshot body. Like decodePayload it never
-// panics and validates every count against the remaining buffer before
-// allocating from it.
-func decodeSnapshot(b []byte) (*Snapshot, error) {
-	d := &dec{b: b}
+// decodeSnapshotStream parses a snapshot body from a chunk stream. Like
+// decodePayload it never panics and never sizes an allocation by an
+// unverified length. The result always uses the string-level
+// representation (Stream + Engine).
+func decodeSnapshotStream(d *sdec) (*Snapshot, error) {
 	s := &Snapshot{Stream: &stream.State{}}
 	nd := d.count()
 	for i := uint64(0); i < nd && d.err == nil; i++ {
 		ds := stream.DictState{Col: int(d.uvarint())}
-		ds.Values = d.strs()
+		nv := d.count()
+		if d.err != nil {
+			break
+		}
+		ds.Values = make([]string, 0, preallocHint(nv))
+		prev := ""
+		for j := uint64(0); j < nv && d.err == nil; j++ {
+			p := d.uvarint()
+			suf := d.str()
+			if d.err != nil {
+				break
+			}
+			if p > uint64(len(prev)) {
+				d.fail(errMalformed)
+				break
+			}
+			v := prev[:p] + suf
+			ds.Values = append(ds.Values, v)
+			prev = v
+		}
 		s.Stream.Dicts = append(s.Stream.Dicts, ds)
 	}
 	nr := d.count()
@@ -184,46 +302,77 @@ func decodeSnapshot(b []byte) (*Snapshot, error) {
 	return s, nil
 }
 
-// WriteSnapshot persists one state capture durably: the body is written
-// to a temporary file, fsynced, and renamed into place, so a crash
-// mid-write can never damage an existing snapshot. On success the WAL
-// rotates to a fresh segment and garbage collection drops snapshots
-// beyond the retention count plus every segment fully behind the oldest
-// kept snapshot. A capture at LSN 0 (empty history) is a no-op, and a
-// capture at or behind the newest snapshot is skipped.
+// decodeSnapshot parses an already-materialized snapshot body (tests,
+// fuzzing, and the property suite; the recovery path streams).
+func decodeSnapshot(b []byte) (*Snapshot, error) {
+	return decodeSnapshotStream(&sdec{c: memBody(b)})
+}
+
+// snapshotTracker is an optional Observer extension: an observer that
+// also implements it is told when a snapshot write begins (+1) and ends
+// (-1), success or failure, so a gauge can expose in-flight snapshot
+// writes overlapping live traffic (mdmatch_snapshot_inflight).
+type snapshotTracker interface{ SnapshotInflight(delta int) }
+
+// WriteSnapshot persists one state capture durably: the body streams
+// chunk-by-chunk into a temporary file, is fsynced, and renamed into
+// place, so a crash mid-write can never damage an existing snapshot.
+// On success the WAL rotates to a fresh segment and garbage collection
+// drops snapshots beyond the retention count plus every segment fully
+// behind the oldest kept snapshot. A capture at LSN 0 (empty history)
+// is a no-op, and a capture at or behind the newest snapshot is
+// skipped.
+//
+// Concurrency: snapMu admits one snapshot writer at a time, but the
+// store lock is held only for validation and publication — appends
+// proceed while the body (potentially gigabytes) streams to disk. That
+// is safe because the capture is a consistent cut at snap.LSN and the
+// log it supersedes is immutable: records appended during the write
+// land after snap.LSN and stay replayable (GC only drops segments
+// behind the OLDEST kept snapshot, which is at most snap.LSN).
 func (s *Store) WriteSnapshot(snap *Snapshot) error {
 	if snap.LSN == 0 {
 		return nil // nothing logged yet: recovery replays from LSN 1 anyway
 	}
-	// Encode before taking the store lock (and with the sections fanned
-	// out over cores): a large state renders while appends continue.
-	bodyBytes := encodeSnapshotBody(snap, runtime.GOMAXPROCS(0))
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("store: closed")
+	}
+	if snap.LSN > s.lsn {
+		lsn := s.lsn
+		s.mu.Unlock()
+		return fmt.Errorf("store: snapshot LSN %d is ahead of the log (at %d)", snap.LSN, lsn)
+	}
+	if snap.LSN <= s.snapLSN {
+		s.mu.Unlock()
+		return nil // an equal or newer snapshot already exists
+	}
+	obs := s.obs
+	s.mu.Unlock()
+
+	var start time.Time
+	if obs != nil {
+		start = time.Now()
+		if tr, ok := obs.(snapshotTracker); ok {
+			tr.SnapshotInflight(1)
+			defer tr.SnapshotInflight(-1)
+		}
+	}
+	final := filepath.Join(s.dir, snapshotName(snap.LSN))
+	tmp := final + ".tmp"
+	size, err := streamSnapshotFile(s.fs, tmp, s.fp, snap)
+	if err != nil {
+		return err
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return fmt.Errorf("store: closed")
-	}
-	if snap.LSN > s.lsn {
-		return fmt.Errorf("store: snapshot LSN %d is ahead of the log (at %d)", snap.LSN, s.lsn)
-	}
-	if snap.LSN <= s.snapLSN {
-		return nil // an equal or newer snapshot already exists
-	}
-	var start time.Time
-	if s.obs != nil {
-		start = time.Now()
-	}
-
-	f := &enc{}
-	f.b = append(f.b, fileHeader(snapMagic, s.fp, snap.LSN)...)
-	f.u64(uint64(len(bodyBytes)))
-	f.u32(crc32.Checksum(bodyBytes, crcTable))
-	f.b = append(f.b, bodyBytes...)
-	final := filepath.Join(s.dir, snapshotName(snap.LSN))
-	tmp := final + ".tmp"
-	if err := writeFileSync(s.fs, tmp, f.b); err != nil {
-		return err
 	}
 	if err := s.fs.Rename(tmp, final); err != nil {
 		return err
@@ -234,9 +383,9 @@ func (s *Store) WriteSnapshot(snap *Snapshot) error {
 	s.snapLSN = snap.LSN
 	s.snaps = append(s.snaps, snap.LSN)
 	s.snapTime = time.Now()
-	s.snapSize = int64(len(f.b))
-	if s.obs != nil {
-		s.obs.SnapshotObserved(time.Since(start).Seconds(), len(f.b))
+	s.snapSize = size
+	if obs != nil {
+		obs.SnapshotObserved(time.Since(start).Seconds(), int(size))
 	}
 
 	// Rotate so the segments holding only superseded records can age
@@ -259,6 +408,38 @@ func (s *Store) WriteSnapshot(snap *Snapshot) error {
 		}
 	}
 	return s.gcLocked()
+}
+
+// streamSnapshotFile renders snap into path as header + chunked body,
+// fsyncs, and returns the file size. The encoder's buffer flushes into
+// the chunk writer at every mark() point, so peak memory is one chunk,
+// not the body.
+func streamSnapshotFile(fsys FS, path string, fp Fingerprint, snap *Snapshot) (int64, error) {
+	f, err := fsys.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	hdr := fileHeader(snapMagic, fp, snap.LSN)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return 0, err
+	}
+	w := &chunkWriter{f: f}
+	e := &enc{b: make([]byte, 0, snapChunkBytes+preallocCap), sink: w.chunk}
+	encodeSnapshot(e, snap)
+	e.flush()
+	if err := w.finish(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+	return int64(len(hdr)) + w.total, nil
 }
 
 // gcLocked removes snapshots beyond the retention count and WAL
@@ -326,6 +507,21 @@ func (s *Store) LoadSnapshot() (*Snapshot, error) {
 	return nil, nil
 }
 
+// SnapshotLSNs returns the LSNs of the currently retained snapshots,
+// ascending (the torture tests recover from EVERY retained snapshot,
+// not just the newest).
+func (s *Store) SnapshotLSNs() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return slices.Clone(s.snaps)
+}
+
+// LoadSnapshotAt decodes the retained snapshot captured at exactly lsn,
+// with no fallback.
+func (s *Store) LoadSnapshotAt(lsn uint64) (*Snapshot, error) {
+	return readSnapshot(s.fs, filepath.Join(s.dir, snapshotName(lsn)), s.fp, lsn)
+}
+
 // errSnapshotBody marks body-level snapshot damage (truncation, bad
 // checksum, undecodable payload) as opposed to a foreign fingerprint or
 // I/O failure: Open skips such snapshots instead of refusing the
@@ -333,75 +529,66 @@ func (s *Store) LoadSnapshot() (*Snapshot, error) {
 // fallback.
 var errSnapshotBody = errors.New("store: unreadable snapshot body")
 
-// checkSnapshotBytes validates a snapshot file's header and body and
-// returns the checksummed payload.
-func checkSnapshotBytes(b []byte, path string, fp Fingerprint, want uint64) ([]byte, error) {
-	lsn, err := parseHeader(b, snapMagic, fp, path)
+// openSnapshotStream opens a snapshot file, validates the fixed header,
+// and positions a chunk reader at the body. Header-level damage (short
+// file, bad magic, foreign fingerprint, name/LSN mismatch) stays a hard
+// error: rename-into-place means a published snapshot always has a
+// complete header, so damage there is not the designed older-snapshot
+// fallback.
+func openSnapshotStream(fsys FS, path string, fp Fingerprint, want uint64) (ReaderFile, *chunkReader, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	hdr := make([]byte, headerLen)
+	if n, err := io.ReadFull(f, hdr); err != nil {
+		f.Close()
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, nil, fmt.Errorf("store: %s: short header (%d bytes)", path, n)
+		}
+		return nil, nil, err
+	}
+	lsn, err := parseHeader(hdr, snapMagic, fp, path)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
 	}
 	if lsn != want {
-		return nil, fmt.Errorf("store: %s: header LSN %d does not match name", path, lsn)
+		f.Close()
+		return nil, nil, fmt.Errorf("store: %s: header LSN %d does not match name", path, lsn)
 	}
-	rest := b[headerLen:]
-	if len(rest) < 12 {
-		return nil, fmt.Errorf("store: %s: truncated: %w", path, errSnapshotBody)
-	}
-	d := &dec{b: rest}
-	plen := d.u64()
-	crc := le32(d.b)
-	d.b = d.b[4:]
-	if plen != uint64(len(d.b)) {
-		return nil, fmt.Errorf("store: %s: body is %d bytes, header says %d: %w", path, len(d.b), plen, errSnapshotBody)
-	}
-	if crc32.Checksum(d.b, crcTable) != crc {
-		return nil, fmt.Errorf("store: %s: checksum mismatch: %w", path, errSnapshotBody)
-	}
-	return d.b, nil
+	return f, &chunkReader{r: f, path: path}, nil
 }
 
-// verifySnapshotFile checks a snapshot's header and body checksum
-// without decoding the state.
+// verifySnapshotFile checks a snapshot's header and every body checksum
+// without decoding (or materializing) the state.
 func verifySnapshotFile(fsys FS, path string, fp Fingerprint, want uint64) error {
-	b, err := fsys.ReadFile(path)
+	f, cr, err := openSnapshotStream(fsys, path, fp, want)
 	if err != nil {
 		return err
 	}
-	_, err = checkSnapshotBytes(b, path, fp, want)
-	return err
+	defer f.Close()
+	return cr.drain()
 }
 
-// readSnapshot loads and validates one snapshot file.
+// readSnapshot loads and validates one snapshot file, decoding the body
+// one chunk at a time.
 func readSnapshot(fsys FS, path string, fp Fingerprint, want uint64) (*Snapshot, error) {
-	b, err := fsys.ReadFile(path)
+	f, cr, err := openSnapshotStream(fsys, path, fp, want)
 	if err != nil {
 		return nil, err
 	}
-	body, err := checkSnapshotBytes(b, path, fp, want)
+	defer f.Close()
+	snap, err := decodeSnapshotStream(&sdec{c: cr})
 	if err != nil {
-		return nil, err
-	}
-	snap, err := decodeSnapshot(body)
-	if err != nil {
-		return nil, fmt.Errorf("store: %s: %w (%w)", path, errSnapshotBody, err)
+		if errors.Is(err, errSnapshotBody) {
+			return nil, err // chunk-level damage, already carries the path
+		}
+		if errors.Is(err, errMalformed) {
+			return nil, fmt.Errorf("store: %s: %w (%w)", path, errSnapshotBody, err)
+		}
+		return nil, err // I/O failure: hard error, no fallback
 	}
 	snap.LSN = want
 	return snap, nil
-}
-
-// writeFileSync writes b to path and fsyncs it before returning.
-func writeFileSync(fsys FS, path string, b []byte) error {
-	f, err := fsys.Create(path)
-	if err != nil {
-		return err
-	}
-	if _, err := f.Write(b); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }

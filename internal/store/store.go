@@ -123,6 +123,11 @@ type Store struct {
 	// under maxRecordBytes; lowered only by tests).
 	batchChunk int64
 
+	// snapMu admits one WriteSnapshot at a time. It is ordered strictly
+	// before mu (snapshot writers take snapMu, then mu in short
+	// windows); nothing takes snapMu while holding mu.
+	snapMu sync.Mutex
+
 	mu        sync.Mutex
 	f         File      // active segment, opened for append
 	segs      []segment // all live segments, ascending; last is active

@@ -1,0 +1,310 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"mdmatch/internal/stream"
+	"mdmatch/internal/values"
+)
+
+// randSnapshot builds a randomized string-level snapshot: dictionaries
+// with prefix-clustered values (the shape delta encoding targets), rows
+// over them, clusters, counters and engine records. Sizes scale with n.
+func randSnapshot(rng *rand.Rand, n int) *Snapshot {
+	st := &stream.State{}
+	prefixes := []string{"", "smith", "smithson", "908-555-", "EH4 ", "\x00\xff"}
+	word := func() string {
+		p := prefixes[rng.Intn(len(prefixes))]
+		return fmt.Sprintf("%s%c%d", p, 'a'+rune(rng.Intn(26)), rng.Intn(n*4))
+	}
+	dictA := []string{}
+	seen := map[string]bool{}
+	for len(dictA) < n {
+		if v := word(); !seen[v] {
+			seen[v] = true
+			dictA = append(dictA, v)
+		}
+	}
+	dictB := []string{"", "x"}
+	st.Dicts = []stream.DictState{{Col: 0, Values: dictA}, {Col: 2, Values: dictB}}
+	for i := 0; i < n; i++ {
+		st.Rows = append(st.Rows, stream.RowState{
+			ID:     i*3 + 1,
+			Values: []string{dictA[rng.Intn(len(dictA))], dictA[rng.Intn(len(dictA))], dictB[rng.Intn(2)]},
+		})
+	}
+	for i := 0; i < n/5; i++ {
+		cl := []int{}
+		for j := 0; j <= rng.Intn(4); j++ {
+			cl = append(cl, rng.Intn(3*n))
+		}
+		st.Clusters = append(st.Clusters, cl)
+	}
+	st.Stats.Inserts = n
+	st.Stats.Chase.PairsExamined = int64(rng.Intn(1 << 20))
+	st.Stats.Chase.LHSEvaluations = int64(rng.Intn(1 << 16))
+	snap := &Snapshot{LSN: uint64(n), Stream: st}
+	for i := 0; i < n; i++ {
+		snap.Engine = append(snap.Engine, EngineRec{
+			ID:     i*3 + 1,
+			Values: []string{dictA[rng.Intn(len(dictA))], "", dictB[rng.Intn(2)]},
+			Keys:   []string{word(), word()},
+		})
+	}
+	return snap
+}
+
+// unframeChunks walks a chunk stream (everything after the file
+// header), verifying the framing by hand — independently of
+// chunkReader — and returns the concatenated payloads.
+func unframeChunks(t *testing.T, b []byte) []byte {
+	t.Helper()
+	var body []byte
+	sum := uint32(0)
+	for {
+		if len(b) < 8 {
+			t.Fatalf("truncated chunk header (%d bytes left)", len(b))
+		}
+		plen := binary.LittleEndian.Uint32(b[:4])
+		crc := binary.LittleEndian.Uint32(b[4:8])
+		b = b[8:]
+		if plen == 0 {
+			if crc != sum {
+				t.Fatalf("trailer body CRC %08x != running %08x", crc, sum)
+			}
+			if len(b) != 8 {
+				t.Fatalf("trailer tail is %d bytes, want 8", len(b))
+			}
+			if got := binary.LittleEndian.Uint64(b); got != uint64(len(body)) {
+				t.Fatalf("trailer says %d body bytes, framed %d", got, len(body))
+			}
+			return body
+		}
+		if uint64(len(b)) < uint64(plen) {
+			t.Fatalf("chunk of %d bytes runs past the file", plen)
+		}
+		payload := b[:plen]
+		if crc32.Checksum(payload, crcTable) != crc {
+			t.Fatal("chunk CRC mismatch")
+		}
+		sum = crc32.Update(sum, crcTable, payload)
+		body = append(body, payload...)
+		b = b[plen:]
+	}
+}
+
+// TestSnapshotStreamIdentical is the core streaming property: at any
+// chunk size, the chunk payloads of a streamed snapshot file
+// concatenate to exactly the bytes the in-memory encoder produces for
+// the same snapshot, and the streaming reader decodes them back to the
+// identical state. Chunk boundaries are pure transport.
+func TestSnapshotStreamIdentical(t *testing.T) {
+	defer func(old int) { snapChunkBytes = old }(snapChunkBytes)
+	fp := FingerprintOf("stream identical")
+	for seed := int64(1); seed <= 4; seed++ {
+		snap := randSnapshot(rand.New(rand.NewSource(seed)), 60)
+		serial := &enc{}
+		encodeSnapshot(serial, snap)
+		want, err := decodeSnapshot(serial.b)
+		if err != nil {
+			t.Fatalf("seed %d: canonical body does not decode: %v", seed, err)
+		}
+		want.LSN = snap.LSN // readSnapshot stamps the LSN; decodeSnapshot cannot
+		for _, chunk := range []int{1, 7, 64, 1 << 10, 256 << 10} {
+			snapChunkBytes = chunk
+			path := filepath.Join(t.TempDir(), snapshotName(snap.LSN))
+			size, err := streamSnapshotFile(OSFS{}, path, fp, snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int64(len(raw)) != size {
+				t.Fatalf("seed %d chunk %d: reported size %d, file is %d", seed, chunk, size, len(raw))
+			}
+			if lsn, err := parseHeader(raw, snapMagic, fp, path); err != nil || lsn != snap.LSN {
+				t.Fatalf("seed %d chunk %d: header: lsn=%d err=%v", seed, chunk, lsn, err)
+			}
+			if body := unframeChunks(t, raw[headerLen:]); !bytes.Equal(body, serial.b) {
+				t.Fatalf("seed %d chunk %d: streamed body differs from in-memory encode (%d vs %d bytes)",
+					seed, chunk, len(body), len(serial.b))
+			}
+			got, err := readSnapshot(OSFS{}, path, fp, snap.LSN)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d chunk %d: streamed decode differs from in-memory decode", seed, chunk)
+			}
+			if err := verifySnapshotFile(OSFS{}, path, fp, snap.LSN); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// sliceSrc adapts a materialized record slice to EngineSource, the way
+// tests drive the lazy engine encoder.
+type sliceSrc []EngineRec
+
+func (s sliceSrc) Len() int { return len(s) }
+func (s sliceSrc) Rec(i int, out *EngineRec) {
+	out.ID = s[i].ID
+	out.Values = append(out.Values[:0], s[i].Values...)
+	out.Keys = s[i].Keys
+}
+
+// TestSnapshotEncodeFromCutIdentical pins the two snapshot
+// representations to identical bytes: a compact Cut (dictionary table
+// views + columnar IDs) and a lazy EngineSource must encode exactly as
+// the string-level deep copy of the same state does, at every worker
+// count — the recovery path decodes one format, whichever was written.
+func TestSnapshotEncodeFromCutIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	// Two column groups: columns 0 and 1 share a dictionary (leader 0),
+	// column 2 has its own.
+	dA, dB := values.NewDict(), values.NewDict()
+	for i := 0; i < 40; i++ {
+		dA.Intern(fmt.Sprintf("smith-%02d", rng.Intn(80)))
+		dB.Intern(fmt.Sprintf("zip-%d", rng.Intn(10)))
+	}
+	tabA, tabB := dA.Snapshot(), dB.Snapshot()
+	cut := &stream.Cut{
+		Dicts:   []stream.DictCut{{Col: 0, Values: tabA}, {Col: 2, Values: tabB}},
+		ColTabs: []values.Table{tabA, tabA, tabB},
+	}
+	const rows = 25
+	cut.Cols = make([][]values.ID, 3)
+	for col := range cut.Cols {
+		cut.Cols[col] = make([]values.ID, rows)
+	}
+	for r := 0; r < rows; r++ {
+		cut.RowIDs = append(cut.RowIDs, r*7)
+		cut.Cols[0][r] = values.ID(rng.Intn(tabA.Len()))
+		cut.Cols[1][r] = values.ID(rng.Intn(tabA.Len()))
+		cut.Cols[2][r] = values.ID(rng.Intn(tabB.Len()))
+	}
+	cut.Clusters = [][]int{{0, 7, 14}, {21, 28}}
+	cut.Stats.Inserts = rows
+	cut.Stats.Chase.RuleFirings = 123
+
+	// The string-level rendering of the same state.
+	st := cut.State()
+
+	recs := make([]EngineRec, 0, rows)
+	for r := 0; r < rows; r++ {
+		recs = append(recs, EngineRec{
+			ID:     r * 7,
+			Values: []string{tabA.Value(int(cut.Cols[0][r])), "", tabB.Value(int(cut.Cols[2][r]))},
+			Keys:   []string{fmt.Sprintf("k|%d", r%5)},
+		})
+	}
+
+	deep := &Snapshot{LSN: rows, Stream: st, Engine: recs}
+	compact := &Snapshot{LSN: rows, Cut: cut, EngineSrc: sliceSrc(recs)}
+	want := encodeSnapshotBody(deep, 1)
+	if len(want) == 0 {
+		t.Fatal("empty encode")
+	}
+	for _, workers := range []int{1, 4} {
+		if got := encodeSnapshotBody(compact, workers); !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d: cut encode differs from deep-copy encode (%d vs %d bytes)",
+				workers, len(got), len(want))
+		}
+	}
+
+	// And the streamed file of the compact form decodes to the deep form.
+	defer func(old int) { snapChunkBytes = old }(snapChunkBytes)
+	snapChunkBytes = 32
+	fp := FingerprintOf("cut identical")
+	path := filepath.Join(t.TempDir(), snapshotName(uint64(rows)))
+	if _, err := streamSnapshotFile(OSFS{}, path, fp, compact); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readSnapshot(OSFS{}, path, fp, uint64(rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSnap, err := decodeSnapshot(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSnap.LSN = rows
+	if !reflect.DeepEqual(got, wantSnap) {
+		t.Fatal("streamed cut decode differs from deep-copy decode")
+	}
+}
+
+// TestSnapshotFileCorruption proves every byte of a snapshot file is
+// covered by some check: truncation at EVERY boundary between the
+// header and the end, and a single-byte flip at every offset, must make
+// the streaming reader fail (body damage with errSnapshotBody so Open
+// falls back to an older snapshot; header damage as a hard error) —
+// never panic, never return a wrong state.
+func TestSnapshotFileCorruption(t *testing.T) {
+	defer func(old int) { snapChunkBytes = old }(snapChunkBytes)
+	snapChunkBytes = 48 // many small chunks: truncations land on and between frames
+	fp := FingerprintOf("corruption")
+	snap := randSnapshot(rand.New(rand.NewSource(5)), 25)
+	dir := t.TempDir()
+	path := filepath.Join(dir, snapshotName(snap.LSN))
+	if _, err := streamSnapshotFile(OSFS{}, path, fp, snap); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readSnapshot(OSFS{}, path, fp, snap.LSN); err != nil {
+		t.Fatalf("pristine file unreadable: %v", err)
+	}
+
+	damaged := filepath.Join(dir, snapshotName(snap.LSN+1))
+	check := func(label string, b []byte, wantBody bool) {
+		t.Helper()
+		if err := os.WriteFile(damaged, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := readSnapshot(OSFS{}, damaged, fp, snap.LSN)
+		if err == nil {
+			t.Fatalf("%s: damaged snapshot read back successfully", label)
+		}
+		if wantBody && !errors.Is(err, errSnapshotBody) {
+			t.Fatalf("%s: want errSnapshotBody (fallback to older snapshot), got %v", label, err)
+		}
+		if verr := verifySnapshotFile(OSFS{}, damaged, fp, snap.LSN); verr == nil {
+			t.Fatalf("%s: verify accepted damage that read rejected (%v)", label, err)
+		}
+	}
+	// The name encodes snap.LSN+1 while the header says snap.LSN, so
+	// even an undamaged copy must be rejected — and that mismatch, not
+	// the damage, must not mask body checks: use the right `want`.
+	if err := os.WriteFile(damaged, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readSnapshot(OSFS{}, damaged, fp, snap.LSN+1); err == nil {
+		t.Fatal("LSN/name mismatch accepted")
+	}
+
+	for cut := 0; cut < len(raw); cut += 1 + cut/20 {
+		check(fmt.Sprintf("truncate@%d", cut), raw[:cut], cut >= headerLen)
+	}
+	for off := 0; off < len(raw); off++ {
+		b := bytes.Clone(raw)
+		b[off] ^= 0x40
+		check(fmt.Sprintf("flip@%d", off), b, off >= headerLen)
+	}
+	// Trailing garbage after the trailer is damage too.
+	check("trailing-garbage", append(bytes.Clone(raw), 0xAA), true)
+}

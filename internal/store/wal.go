@@ -19,11 +19,15 @@ import (
 //
 // LSNs are implicit: the i-th record of a segment has LSN
 // firstLSN + i. A snapshot file is the same header shape (its LSN
-// field is the LSN the state was captured at) followed by one
-// checksummed body. All multi-byte header fields are little-endian.
+// field is the LSN the state was captured at) followed by a CHUNKED
+// body stream (see snapio.go): the "02" snapshot magic marks the
+// streaming format, which replaced the materialize-whole-body "01"
+// layout — a directory holding "01" snapshots refuses to open with a
+// bad-magic error, the same guard a foreign fingerprint trips. All
+// multi-byte header fields are little-endian.
 const (
 	segMagic  = "mdmwal01"
-	snapMagic = "mdmsnp01"
+	snapMagic = "mdmsnp02"
 
 	headerLen    = 8 + fingerprintLen + 8
 	recHeaderLen = 8

@@ -2,6 +2,9 @@ package store
 
 import (
 	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -518,21 +521,110 @@ func FuzzWALDecode(f *testing.F) {
 	})
 }
 
-// FuzzSnapshotDecode fuzzes the snapshot-body decoder the same way.
-func FuzzSnapshotDecode(f *testing.F) {
-	e := &enc{}
-	encodeSnapshot(e, &Snapshot{
-		Stream: &stream.State{
-			Dicts:    []stream.DictState{{Col: 0, Values: []string{"a"}}},
-			Rows:     []stream.RowState{{ID: 1, Values: []string{"a"}}},
-			Clusters: [][]int{{1, 2}},
-		},
+// fuzzSnapshotCorpus builds realistic snapshot bodies for the fuzz
+// seeds: a minimal state, and a larger prefix-clustered one whose
+// shape matches what the production path writes (10k records when big
+// is set — the soak scale, exercising the delta dictionary encoding
+// and multi-chunk strings for real).
+func fuzzSnapshotCorpus(big bool) []byte {
+	st := &stream.State{
+		Dicts:    []stream.DictState{{Col: 0, Values: []string{"a"}}},
+		Rows:     []stream.RowState{{ID: 1, Values: []string{"a"}}},
+		Clusters: [][]int{{1, 2}},
+	}
+	snap := &Snapshot{
+		Stream: st,
 		Engine: []EngineRec{{ID: 1, Values: []string{"a"}, Keys: []string{"k"}}},
-	})
-	f.Add(e.b)
+	}
+	if big {
+		n := 10000
+		st.Dicts[0].Values = st.Dicts[0].Values[:0]
+		for i := 0; i < n; i++ {
+			st.Dicts[0].Values = append(st.Dicts[0].Values, fmt.Sprintf("smith-%05d", i))
+		}
+		st.Rows = st.Rows[:0]
+		snap.Engine = snap.Engine[:0]
+		for i := 0; i < n; i++ {
+			v := st.Dicts[0].Values[i]
+			st.Rows = append(st.Rows, stream.RowState{ID: i, Values: []string{v}})
+			snap.Engine = append(snap.Engine, EngineRec{ID: i, Values: []string{v}, Keys: []string{"S530|" + v}})
+		}
+		st.Clusters = [][]int{{0, 1, 2}, {9998, 9999}}
+		st.Stats.Inserts = n
+	}
+	e := &enc{}
+	encodeSnapshot(e, snap)
+	return e.b
+}
+
+// FuzzSnapshotDecode fuzzes the snapshot-body decoder the same way.
+// Seeds include a real 10k-record body, so the fuzzer mutates from the
+// production shape, not just a toy.
+func FuzzSnapshotDecode(f *testing.F) {
+	f.Add(fuzzSnapshotCorpus(false))
+	f.Add(fuzzSnapshotCorpus(true))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, b []byte) {
 		snap, err := decodeSnapshot(b)
+		if err != nil {
+			return
+		}
+		e := &enc{}
+		encodeSnapshot(e, snap)
+		if _, err := decodeSnapshot(e.b); err != nil {
+			t.Fatalf("re-decoding canonical encoding failed: %v", err)
+		}
+	})
+}
+
+// frameFuzzChunks frames a body into the chunked stream format by hand
+// (independent of chunkWriter, so a writer bug cannot hide in the
+// seeds).
+func frameFuzzChunks(body []byte, size int) []byte {
+	var out []byte
+	sum := uint32(0)
+	for off := 0; off < len(body); off += size {
+		end := off + size
+		if end > len(body) {
+			end = len(body)
+		}
+		p := body[off:end]
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(p)))
+		out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(p, crcTable))
+		out = append(out, p...)
+		sum = crc32.Update(sum, crcTable, p)
+	}
+	out = binary.LittleEndian.AppendUint32(out, 0)
+	out = binary.LittleEndian.AppendUint32(out, sum)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(body)))
+	return out
+}
+
+// FuzzSnapshotChunkStream fuzzes the streaming layer itself: arbitrary
+// bytes treated as a post-header chunk stream must never panic or
+// over-allocate, and every accepted stream must decode to a state whose
+// canonical re-encoding decodes back. Seeds cover chunk-boundary
+// truncations and per-chunk CRC corruption of well-formed streams —
+// the damage classes recovery falls back on.
+func FuzzSnapshotChunkStream(f *testing.F) {
+	body := fuzzSnapshotCorpus(false)
+	for _, size := range []int{1, 5, 64} {
+		framed := frameFuzzChunks(body, size)
+		f.Add(framed)
+		// Truncations at a chunk boundary, mid-chunk-header, and
+		// mid-payload.
+		f.Add(framed[:len(framed)-16]) // trailer gone
+		f.Add(framed[:8+size])         // exactly one chunk
+		f.Add(framed[:3])              // torn chunk header
+		f.Add(framed[:8+size/2])       // torn payload
+		corrupt := bytes.Clone(framed) // flip one payload byte:
+		corrupt[8+size/2] ^= 0xff      // per-chunk CRC must catch it
+		f.Add(corrupt)
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		d := &sdec{c: &chunkReader{r: bytes.NewReader(b), path: "fuzz"}}
+		snap, err := decodeSnapshotStream(d)
 		if err != nil {
 			return
 		}

@@ -108,11 +108,116 @@ func (e *Enforcer) State() *State {
 // caller-supplied cursor (typically the journal's last sequence
 // number), both read under the insertion lock — no insertion can fall
 // between the state and the cursor, so "state@cursor + journal suffix
-// after cursor" is exact.
+// after cursor" is exact. The capture is a full string-level deep copy;
+// the snapshot write path uses SnapshotCut instead, which captures the
+// same cut in O(columns) memcpys and renders strings outside the lock.
 func (e *Enforcer) SnapshotState(cursor func() uint64) (*State, uint64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.stateLocked(), cursor()
+}
+
+// Cut is a consistent point-in-time capture of the enforcer's
+// persistent state in its compact columnar form: immutable dictionary
+// table views, one ID-array copy per column, row ids, cluster
+// memberships and counters, all read at one instant under the insertion
+// lock. Capturing a Cut costs memcpys of 4-byte IDs (plus O(1) table
+// views — see values.Table), not string clones, so the insertion lock
+// is held for milliseconds even at millions of rows; rendering the
+// strings (Cut encoding, or State()) happens outside every lock.
+//
+// Why the capture is sound against concurrent insertions after the
+// lock is released:
+//
+//   - dictionary tables are append-only prefixes (values.Table);
+//   - the per-column ID arrays and row ids are copies (cells ARE
+//     rewritten in place by later chases, so they cannot be shared);
+//   - cluster member slices are copies (unions append in place);
+//   - every captured cell ID is below its column's captured table
+//     length, because both were read at the same instant.
+type Cut struct {
+	// Dicts holds each column group's dictionary table view, keyed by
+	// the group's leader column, ascending (same order as State.Dicts).
+	Dicts []DictCut
+	// ColTabs[c] is column c's dictionary table view (columns sharing a
+	// dictionary share the identical view).
+	ColTabs []values.Table
+	// RowIDs holds the record ids in insertion (row) order.
+	RowIDs []int
+	// Cols[c][r] is the interned ID of row r's resolved value in column
+	// c (render via ColTabs[c].Value).
+	Cols [][]values.ID
+	// Clusters lists the non-singleton clusters exactly as State does.
+	Clusters [][]int
+	// Stats carries the cumulative counters.
+	Stats Stats
+}
+
+// SnapshotCut captures the compact consistent cut together with a
+// caller-supplied cursor read under the same insertion lock, so "cut @
+// cursor + journal suffix after cursor" is exact. This is the snapshot
+// write path: unlike SnapshotState it does not clone a single string
+// while holding the lock.
+func (e *Enforcer) SnapshotCut(cursor func() uint64) (*Cut, uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c := &Cut{Stats: e.stats}
+	c.Stats.Records = e.inst.Len()
+	c.Stats.Clusters = e.clusters.count
+	for _, col := range e.leaderCols() {
+		c.Dicts = append(c.Dicts, DictCut{Col: col, Values: e.cols.Dict(col).Snapshot()})
+	}
+	arity := e.cols.Arity()
+	c.ColTabs = make([]values.Table, arity)
+	for col := 0; col < arity; col++ {
+		c.ColTabs[col] = e.cols.Dict(col).Snapshot()
+	}
+	rows := e.inst.Len()
+	c.RowIDs = make([]int, rows)
+	for r, t := range e.inst.Tuples {
+		c.RowIDs[r] = t.ID
+	}
+	// One slab for all columns: arity memcpys, one allocation.
+	slab := make([]values.ID, arity*rows)
+	c.Cols = make([][]values.ID, arity)
+	for col := 0; col < arity; col++ {
+		c.Cols[col] = slab[col*rows : (col+1)*rows : (col+1)*rows]
+		copy(c.Cols[col], e.cols.Column(col))
+	}
+	for _, cl := range e.clusters.all() {
+		if len(cl.Members) > 1 {
+			c.Clusters = append(c.Clusters, slices.Clone(cl.Members))
+		}
+	}
+	return c, cursor()
+}
+
+// DictCut is one column group's dictionary table view.
+type DictCut struct {
+	Col    int // the group's leader column
+	Values values.Table
+}
+
+// State renders the cut into the string-level State form (used by
+// equivalence tests; the snapshot encoder consumes the cut directly).
+func (c *Cut) State() *State {
+	st := &State{Clusters: c.Clusters, Stats: c.Stats}
+	for _, d := range c.Dicts {
+		vals := make([]string, d.Values.Len())
+		for i := range vals {
+			vals[i] = d.Values.Value(i)
+		}
+		st.Dicts = append(st.Dicts, DictState{Col: d.Col, Values: vals})
+	}
+	st.Rows = make([]RowState, len(c.RowIDs))
+	for r := range c.RowIDs {
+		vals := make([]string, len(c.Cols))
+		for col := range c.Cols {
+			vals[col] = c.ColTabs[col].Value(int(c.Cols[col][r]))
+		}
+		st.Rows[r] = RowState{ID: c.RowIDs[r], Values: vals}
+	}
+	return st
 }
 
 func (e *Enforcer) stateLocked() *State {

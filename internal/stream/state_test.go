@@ -1,0 +1,52 @@
+package stream
+
+import (
+	"reflect"
+	"testing"
+
+	"mdmatch/internal/gen"
+	"mdmatch/internal/schema"
+)
+
+// TestSnapshotCutMatchesState pins the contract of the compact snapshot
+// cut: rendered back to string level, a Cut captured at any point of an
+// insertion history is identical — dictionaries, rows with resolved
+// values, clusters, stats — to the deep-copying SnapshotState taken at
+// the same point. The snapshot write path encodes the cut directly, so
+// this equality is what makes the streamed snapshot bytes equal to the
+// old in-memory capture's bytes.
+func TestSnapshotCutMatchesState(t *testing.T) {
+	cfg := gen.DefaultConfig(30)
+	cfg.Seed = 7
+	ds, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := schema.MustPair(ds.Credit.Rel, ds.Credit.Rel)
+	e, err := New(ctx, gen.DedupMDs(ctx), ClusterRules(gen.DedupClusterRules()...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cursor := uint64(0)
+	check := func(step int) {
+		t.Helper()
+		cut, cutLSN := e.SnapshotCut(func() uint64 { return cursor })
+		st, stLSN := e.SnapshotState(func() uint64 { return cursor })
+		if cutLSN != stLSN {
+			t.Fatalf("step %d: cut cursor %d != state cursor %d", step, cutLSN, stLSN)
+		}
+		if got := cut.State(); !reflect.DeepEqual(got, st) {
+			t.Fatalf("step %d: rendered cut differs from deep-copied state:\ncut:   %+v\nstate: %+v", step, got, st)
+		}
+	}
+	check(-1)
+	for i, tup := range ds.Credit.Tuples {
+		if _, err := e.Insert(tup.ID, tup.Values); err != nil {
+			t.Fatal(err)
+		}
+		cursor++
+		if i%7 == 0 || i == len(ds.Credit.Tuples)-1 {
+			check(i)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package values
+
+// RowSlab hands out fixed-arity ID rows carved from large shared
+// blocks, so capturing (or storing) n resolved rows costs n/rowsPerBlock
+// allocations instead of n. It is grow-only: rows are never returned to
+// the slab (a caller that drops a row simply stops referencing it, and
+// the block is freed when every row in it is), which keeps the type
+// trivially correct — there is no free list to corrupt. Not safe for
+// concurrent use; callers serialize on their own locks.
+type RowSlab struct {
+	arity int
+	block []ID // current block, carved front to back
+}
+
+// rowSlabBlock is how many rows one block holds.
+const rowSlabBlock = 4096
+
+// NewRowSlab returns a slab handing out rows of the given arity.
+func NewRowSlab(arity int) *RowSlab {
+	if arity <= 0 {
+		panic("values: row slab arity must be positive")
+	}
+	return &RowSlab{arity: arity}
+}
+
+// Arity returns the row width.
+func (s *RowSlab) Arity() int { return s.arity }
+
+// Row returns a zero-length, arity-capacity ID slice carved from the
+// current block (append fills it without reallocating). The returned
+// slice's capacity is clipped, so appending past arity can never bleed
+// into a neighboring row.
+func (s *RowSlab) Row() []ID {
+	if len(s.block) < s.arity {
+		s.block = make([]ID, rowSlabBlock*s.arity)
+	}
+	row := s.block[:0:s.arity]
+	s.block = s.block[s.arity:]
+	return row
+}
