@@ -58,7 +58,10 @@ bench-store:
 # two hot paths — engine.MatchBatch and the per-insert incremental chase
 # — by running each with a nil observer (hooks compiled out at the call
 # site, structurally zero cost) and again with the full obs stack
-# attached. Recorded in BENCH_obs.json; the test fails if enabled-hook
+# attached, plus a traced-vs-untraced pass over the same paths (one
+# request root span per op against the no-root-span baseline, where
+# every trace.StartSpan is a single context lookup). Recorded in
+# BENCH_obs.json; the test fails if enabled-hook or enabled-trace
 # overhead exceeds 3% (BENCH_OBS_MAX_OVERHEAD overrides the gate,
 # BENCH_OBS_K the corpus scale, default 2000 holders).
 bench-obs:

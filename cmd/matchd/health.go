@@ -23,11 +23,13 @@ package main
 // costs a counter increment, not a decode and a chase.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
 
 	"mdmatch/internal/stream"
+	"mdmatch/internal/trace"
 )
 
 // healthState is the serving health state machine. Transitions: ok →
@@ -58,10 +60,13 @@ func (s *server) healthState() healthState { return healthState(s.health.Load())
 // enterDegraded flips ok → degraded-readonly once. Later causes are
 // ignored: the first latched failure already disabled mutations, and
 // the transition counter should count transitions, not failed retries.
-func (s *server) enterDegraded(cause error) {
+// The context carries the request id of the request whose mutation
+// latched the failure (the background snapshotter passes none), so the
+// transition log line joins the request's trail across the layers.
+func (s *server) enterDegraded(ctx context.Context, cause error) {
 	if s.health.CompareAndSwap(int32(healthOK), int32(healthDegraded)) {
 		s.log.Error("degraded-readonly: WAL append failed; mutations disabled until restart",
-			"err", cause)
+			"request_id", trace.RequestID(ctx), "err", cause)
 		if s.hm != nil {
 			s.hm.DegradedTransitions.Inc()
 		}
@@ -140,12 +145,12 @@ func (s *server) mutating(h http.HandlerFunc) http.HandlerFunc {
 // degradeOnJournalFailure inspects a mutation error: a journal failure
 // means the store latched and the daemon is now read-only. It reports
 // whether the error was handled (response written).
-func (s *server) degradeOnJournalFailure(w http.ResponseWriter, err error) bool {
+func (s *server) degradeOnJournalFailure(ctx context.Context, w http.ResponseWriter, err error) bool {
 	var je *stream.JournalError
 	if !errors.As(err, &je) {
 		return false
 	}
-	s.enterDegraded(err)
+	s.enterDegraded(ctx, err)
 	// The record was valid but could not be made durable — the server's
 	// fault, and retrying the same payload against a recovered (or
 	// replacement) process is reasonable.

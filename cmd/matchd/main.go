@@ -79,6 +79,7 @@ import (
 	"mdmatch/internal/schema"
 	"mdmatch/internal/store"
 	"mdmatch/internal/stream"
+	"mdmatch/internal/trace"
 )
 
 func main() {
@@ -98,6 +99,10 @@ func main() {
 	flag.StringVar(&logFormat, "log-format", "text", "log output format: text or json")
 	flag.StringVar(&logLevel, "log-level", "info", "minimum log level: debug, info, warn or error")
 	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "side listener for net/http/pprof (empty = disabled)")
+	flag.IntVar(&cfg.slowTraceMS, "slow-trace-ms", 50, "slow-trace retention threshold in milliseconds; every request at least this slow is kept for GET /debug/traces (0 = none)")
+	flag.IntVar(&cfg.traceSample, "trace-sample", 1000, "additionally keep a deterministic 1-in-N sample of fast request traces (0 = none)")
+	flag.IntVar(&cfg.traceCapacity, "trace-capacity", 256, "retained completed traces across the ring")
+	flag.BoolVar(&cfg.exemplars, "exemplars", false, "attach OpenMetrics trace_id exemplars to the HTTP latency histogram buckets")
 	flag.IntVar(&cfg.maxInflight, "max-inflight", 0, "admitted /match + /records requests in flight before new ones get 429 (0 = unlimited)")
 	flag.IntVar(&cfg.queueHighWatermark, "queue-high-watermark", 0, "engine+stream queue depth at which new data requests get 503 (0 = disabled)")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "bound on the SIGTERM drain; on expiry (or a second signal) the final snapshot is aborted and the process exits 1")
@@ -135,6 +140,9 @@ func main() {
 	srv := newServer(cfg)
 	mux := srv.routes()
 	httpm := obs.NewHTTPMetrics(cfg.reg, "matchd")
+	if srv.tracer != nil {
+		httpm.WithTracer(srv.tracer, cfg.exemplars)
+	}
 	routeOf := func(r *http.Request) string { _, pattern := mux.Handler(r); return pattern }
 	hs := &http.Server{
 		Addr:              cfg.addr,
@@ -274,6 +282,16 @@ type config struct {
 	noSync       bool
 	debugAddr    string
 
+	// Tracing: slowTraceMS is the tail-retention threshold for completed
+	// request traces, traceSample keeps a deterministic 1-in-N sample of
+	// the fast ones, traceCapacity bounds the ring, and exemplars links
+	// the latency histogram's buckets to trace ids on /metrics. A tracer
+	// is built only when reg is set (tracing rides the obs middleware).
+	slowTraceMS   int
+	traceSample   int
+	traceCapacity int
+	exemplars     bool
+
 	// Admission control: maxInflight bounds admitted /match + /records
 	// requests (0 = unlimited; beyond it 429 + Retry-After), and
 	// queueHighWatermark sheds new data requests with 503 while the
@@ -321,6 +339,13 @@ func newServer(cfg config) *server {
 	if cfg.reg != nil {
 		s.hm = obs.NewHealthMetrics(cfg.reg, func() float64 { return float64(s.health.Load()) })
 		obs.AttachRuntime(cfg.reg)
+		if cfg.slowTraceMS > 0 || cfg.traceSample > 0 {
+			s.tracer = trace.New(trace.Options{
+				Slow:     time.Duration(cfg.slowTraceMS) * time.Millisecond,
+				SampleN:  cfg.traceSample,
+				Capacity: cfg.traceCapacity,
+			})
+		}
 	}
 	return s
 }
@@ -365,6 +390,7 @@ func (s *server) build() error {
 	streamOpts := []stream.Option{
 		stream.ClusterRules(gen.DedupClusterRules()...),
 		stream.WithWorkers(cfg.chaseWorkers),
+		stream.WithLogger(s.log),
 	}
 	if cfg.reg != nil {
 		streamOpts = append(streamOpts, stream.WithObserver(obs.NewStreamObserver(cfg.reg)))
@@ -381,7 +407,7 @@ func (s *server) build() error {
 	}
 	var st *store.Store
 	if cfg.dataDir != "" {
-		var sopts []store.Option
+		sopts := []store.Option{store.WithLogger(s.log)}
 		if cfg.noSync {
 			sopts = append(sopts, store.WithNoSync())
 		}
@@ -470,6 +496,10 @@ type server struct {
 	inflightReqs atomic.Int64
 	hm           *obs.HealthMetrics
 
+	// tracer collects completed request traces for /debug/traces (nil
+	// when tracing is off or the server is uninstrumented).
+	tracer *trace.Tracer
+
 	maxBody   int64
 	snapBytes int64
 	stopSnap  chan struct{}
@@ -503,7 +533,7 @@ func (s *server) snapshotLoop() {
 			// WAL failure latched outside the request path (segment
 			// rotation during a snapshot) still flips serving read-only.
 			if err := st.Failed(); err != nil {
-				s.enterDegraded(err)
+				s.enterDegraded(context.Background(), err)
 			}
 			if st.BytesSinceSnapshot() < s.snapBytes {
 				continue
@@ -566,7 +596,39 @@ func (s *server) routes() *http.ServeMux {
 	if s.cfg.reg != nil {
 		mux.Handle("GET /metrics", s.cfg.reg.Handler())
 	}
+	if s.tracer != nil {
+		mux.HandleFunc("GET /debug/traces", s.handleTraces)
+		mux.HandleFunc("GET /debug/traces/{id}", s.handleTrace)
+	}
 	return mux
+}
+
+// handleTraces lists the retained completed traces, newest first:
+// slow traces (at least -slow-trace-ms) plus the deterministic 1-in-N
+// sample, as frozen span trees.
+func (s *server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"traces": s.tracer.Traces()})
+}
+
+// handleTrace fetches one retained trace by trace id (the id the
+// response traceparent header and the metrics exemplars carry).
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tr, ok := s.tracer.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no retained trace %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, tr)
+}
+
+// wantExplain reports whether the request asked for provenance
+// (?explain=1 or ?explain=true).
+func wantExplain(r *http.Request) bool {
+	switch r.URL.Query().Get("explain") {
+	case "1", "true":
+		return true
+	}
+	return false
 }
 
 // whenReady gates a data handler on startup completion: 503 (with
@@ -695,7 +757,12 @@ func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &p) {
 		return
 	}
+	explain := wantExplain(r)
 	if p.Batch != nil {
+		if explain {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("explain supports a single record, not a batch"))
+			return
+		}
 		if p.Values != nil || p.Record != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("give either batch or a single record, not both"))
 			return
@@ -732,6 +799,18 @@ func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if explain {
+		ex, err := s.eng.MatchExplainCtx(r.Context(), vals)
+		if err != nil {
+			if r.Context().Err() != nil {
+				return // client gone; nobody to answer
+			}
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, ex)
+		return
+	}
 	res, err := s.eng.MatchOneCtx(r.Context(), vals)
 	if err != nil {
 		if r.Context().Err() != nil {
@@ -766,13 +845,19 @@ func (s *server) handleAddRecord(w http.ResponseWriter, r *http.Request) {
 	} else {
 		id = int(s.nextID.Add(1))
 	}
-	res, err := s.eng.AddClusteredCtx(r.Context(), id, vals)
+	ctx := r.Context()
+	var ex *stream.Explain
+	if wantExplain(r) {
+		ex = stream.NewExplain(len(s.eng.Stream().Sigma()))
+		ctx = stream.WithTraceSink(ctx, ex)
+	}
+	res, err := s.eng.AddClusteredCtx(ctx, id, vals)
 	if err != nil {
 		// A journal failure flips the daemon to read-only serving: the
 		// record was valid but could not be made durable, and the store
 		// refuses every later append anyway — reads keep answering, the
 		// client gets 503 + Retry-After against a recovered process.
-		if s.degradeOnJournalFailure(w, err) {
+		if s.degradeOnJournalFailure(ctx, w, err) {
 			return
 		}
 		if r.Context().Err() != nil {
@@ -791,26 +876,34 @@ func (s *server) handleAddRecord(w http.ResponseWriter, r *http.Request) {
 		AppliedMDs:   applied,
 		Applications: res.Applications,
 		Passes:       res.Passes,
+		Explain:      ex,
 	})
 }
 
 // addResponse reports an ingested record: its id, the dedup cluster
-// enforcement put it in, and the chase work its arrival caused.
+// enforcement put it in, and the chase work its arrival caused. With
+// ?explain=1, Explain carries the full chase provenance — the per-rule
+// candidate funnel and the firing sequence with cell-level before/after
+// values, in commit order (identical at any -chase-workers count).
 type addResponse struct {
-	ID           int   `json:"id"`
-	Cluster      int   `json:"cluster"`
-	AppliedMDs   []int `json:"applied_mds"`
-	Applications int   `json:"applications"`
-	Passes       int   `json:"passes"`
+	ID           int             `json:"id"`
+	Cluster      int             `json:"cluster"`
+	AppliedMDs   []int           `json:"applied_mds"`
+	Applications int             `json:"applications"`
+	Passes       int             `json:"passes"`
+	Explain      *stream.Explain `json:"explain,omitempty"`
 }
 
 // clusterResponse reports a record's cluster and its current (resolved)
-// values: enforcement may have grown them since ingestion.
+// values: enforcement may have grown them since ingestion. With
+// ?explain=1, Trail lists the committed identity-rule links that built
+// the cluster, in commit order (rule -1 = restored from a snapshot).
 type clusterResponse struct {
-	Cluster int               `json:"cluster"`
-	Size    int               `json:"size"`
-	Members []int             `json:"members"`
-	Record  map[string]string `json:"record"`
+	Cluster int                `json:"cluster"`
+	Size    int                `json:"size"`
+	Members []int              `json:"members"`
+	Record  map[string]string  `json:"record"`
+	Trail   []stream.LinkEvent `json:"trail,omitempty"`
 }
 
 func (s *server) handleCluster(w http.ResponseWriter, r *http.Request) {
@@ -830,9 +923,13 @@ func (s *server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	for i, name := range enf.Relation().AttrNames() {
 		rec[name] = vals[i]
 	}
-	writeJSON(w, http.StatusOK, clusterResponse{
+	resp := clusterResponse{
 		Cluster: cl.ID, Size: len(cl.Members), Members: cl.Members, Record: rec,
-	})
+	}
+	if wantExplain(r) {
+		resp.Trail, _ = enf.ClusterTrail(id)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *server) handleDeleteRecord(w http.ResponseWriter, r *http.Request) {
@@ -845,7 +942,7 @@ func (s *server) handleDeleteRecord(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// A failed removal journal is the same latched WAL failure as a
 		// failed insert journal: flip read-only and say so.
-		s.enterDegraded(err)
+		s.enterDegraded(r.Context(), err)
 		w.Header().Set("Retry-After", "30")
 		writeError(w, http.StatusServiceUnavailable,
 			fmt.Errorf("durability failed; serving read-only: journaling removal: %v", err))
@@ -865,13 +962,13 @@ type snapshotResponse struct {
 	WALBytesLeft int64  `json:"wal_bytes_since_snapshot"`
 }
 
-func (s *server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	st := s.store()
 	if st == nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("no data directory configured (-data-dir)"))
 		return
 	}
-	lsn, err := s.eng.Snapshot()
+	lsn, err := s.eng.SnapshotCtx(r.Context())
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return

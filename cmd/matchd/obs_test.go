@@ -113,6 +113,25 @@ func TestMetricsConformance(t *testing.T) {
 	if got := sample("mdmatch_runtime_heap_alloc_bytes"); got <= 0 {
 		t.Fatalf("runtime heap alloc = %v", got)
 	}
+	// Identity families: build_info is a constant-1 gauge whose labels
+	// carry the toolchain and VCS revision; process start time anchors
+	// uptime math in dashboards.
+	bi, ok := byName["mdmatch_build_info"]
+	if !ok || len(bi.Samples) == 0 {
+		t.Fatal("mdmatch_build_info missing from the exposition")
+	}
+	if bi.Samples[0].Value != 1 {
+		t.Fatalf("build_info value = %v, want 1", bi.Samples[0].Value)
+	}
+	if bi.Samples[0].Labels["go_version"] == "" {
+		t.Fatalf("build_info lacks go_version: %+v", bi.Samples[0].Labels)
+	}
+	if _, ok := bi.Samples[0].Labels["revision"]; !ok {
+		t.Fatalf("build_info lacks revision: %+v", bi.Samples[0].Labels)
+	}
+	if got := sample("mdmatch_process_start_time_seconds"); got <= 0 {
+		t.Fatalf("process start time = %v", got)
+	}
 	if got := sample("mdmatch_engine_indexed_records"); got < 150 {
 		t.Fatalf("indexed records = %v (corpus is k=150)", got)
 	}

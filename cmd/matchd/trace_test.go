@@ -1,0 +1,339 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mdmatch/internal/obs"
+	"mdmatch/internal/trace"
+)
+
+// tracedServer builds an instrumented durable matchd with tracing and
+// exemplars on — every completed request trace is retained (1-in-1
+// sample) — wrapped in the production middleware chain.
+func tracedServer(t *testing.T, logBuf *bytes.Buffer, level slog.Level) (*server, *httptest.Server) {
+	t.Helper()
+	cfg := testConfig()
+	cfg.dataDir = t.TempDir()
+	cfg.reg = obs.NewRegistry()
+	cfg.slowTraceMS = 50
+	cfg.traceSample = 1
+	cfg.traceCapacity = 64
+	cfg.exemplars = true
+	if logBuf != nil {
+		cfg.logger = slog.New(slog.NewJSONHandler(logBuf, &slog.HandlerOptions{Level: level}))
+	}
+	srv, err := buildServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.close)
+	if srv.tracer == nil {
+		t.Fatal("instrumented server built without a tracer")
+	}
+	mux := srv.routes()
+	httpm := obs.NewHTTPMetrics(cfg.reg, "matchd").WithTracer(srv.tracer, cfg.exemplars)
+	routeOf := func(r *http.Request) string { _, p := mux.Handler(r); return p }
+	ts := httptest.NewServer(httpm.Middleware(cfg.logger, routeOf, mux))
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// creditRecord returns a full credit-side record; mutate fields per test.
+func creditRecord() map[string]string {
+	return map[string]string{
+		"cno": "4000123412341234", "ssn": "123-45-6789",
+		"fn": "Augusta", "ln": "Byron", "street": "12 St James Square",
+		"city": "London", "county": "Westminster", "zip": "SW1Y",
+		"tel": "555-0100", "email": "ada@example.org",
+		"gender": "F", "dob": "1815-12-10", "type": "visa",
+	}
+}
+
+// TestTraceExplainE2E drives the full tracing + provenance surface over
+// HTTP: ?explain=1 on ingest returns the chase funnel and firings, on
+// /clusters the link trail, on /match the per-rule verdict breakdown;
+// every response carries a traceparent whose trace is fetchable from
+// /debug/traces; and the latency histogram carries trace_id exemplars.
+func TestTraceExplainE2E(t *testing.T) {
+	_, ts := tracedServer(t, nil, slog.LevelInfo)
+
+	// Ingest a record, then a near-duplicate: the dedup MDs must fire on
+	// the second insert and merge the pair into one cluster.
+	status, out := doJSON(t, ts, http.MethodPost, "/records?explain=1", map[string]any{"record": creditRecord()})
+	if status != http.StatusOK {
+		t.Fatalf("POST /records?explain=1 #1 = %d (%s)", status, out["error"])
+	}
+	var id1 int
+	if err := json.Unmarshal(out["id"], &id1); err != nil {
+		t.Fatal(err)
+	}
+	var ex1 struct {
+		Funnel []map[string]int64 `json:"funnel"`
+	}
+	if err := json.Unmarshal(out["explain"], &ex1); err != nil {
+		t.Fatalf("first insert returned no explain payload: %v", err)
+	}
+	if len(ex1.Funnel) == 0 {
+		t.Fatal("explain funnel is empty: want one row per dedup rule")
+	}
+
+	dup := creditRecord()
+	dup["email"] = "" // resolvable difference: the chase restores it
+	status, out = doJSON(t, ts, http.MethodPost, "/records?explain=1", map[string]any{"record": dup})
+	if status != http.StatusOK {
+		t.Fatalf("POST /records?explain=1 #2 = %d (%s)", status, out["error"])
+	}
+	var id2, cluster2 int
+	if err := json.Unmarshal(out["id"], &id2); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(out["cluster"], &cluster2); err != nil {
+		t.Fatal(err)
+	}
+	var ex2 struct {
+		Firings []struct {
+			Seq   int `json:"seq"`
+			Rule  int `json:"rule"`
+			Cells []struct {
+				LeftBefore  string `json:"left_before"`
+				RightBefore string `json:"right_before"`
+				After       string `json:"after"`
+			} `json:"cells"`
+		} `json:"firings"`
+		Links []struct {
+			Rule  int `json:"rule"`
+			Left  int `json:"left"`
+			Right int `json:"right"`
+		} `json:"links"`
+	}
+	if err := json.Unmarshal(out["explain"], &ex2); err != nil {
+		t.Fatal(err)
+	}
+	if len(ex2.Firings) == 0 {
+		t.Fatal("duplicate insert fired no rules; explain should show the dedup chase")
+	}
+	if ex2.Firings[0].Seq != 1 {
+		t.Fatalf("firing sequence starts at %d, want 1", ex2.Firings[0].Seq)
+	}
+	restored := false
+	for _, f := range ex2.Firings {
+		for _, c := range f.Cells {
+			if c.After == "ada@example.org" && (c.LeftBefore == "" || c.RightBefore == "") {
+				restored = true
+			}
+		}
+	}
+	if !restored {
+		t.Fatalf("no firing shows the blanked email resolved back: %+v", ex2.Firings)
+	}
+	if len(ex2.Links) == 0 {
+		t.Fatal("duplicate insert produced no link events")
+	}
+
+	// The cluster trail replays the links that built the pair's cluster.
+	status, out = doJSON(t, ts, http.MethodGet, "/clusters/"+itoa(id2)+"?explain=1", nil)
+	if status != http.StatusOK {
+		t.Fatalf("GET /clusters?explain=1 = %d (%s)", status, out["error"])
+	}
+	var trail []struct {
+		Rule  int `json:"rule"`
+		Left  int `json:"left"`
+		Right int `json:"right"`
+	}
+	if err := json.Unmarshal(out["trail"], &trail); err != nil {
+		t.Fatalf("cluster response has no trail: %v", err)
+	}
+	found := false
+	for _, ev := range trail {
+		if (ev.Left == id1 && ev.Right == id2) || (ev.Left == id2 && ev.Right == id1) {
+			found = true
+		}
+		if ev.Rule < 0 {
+			t.Fatalf("live trail carries a restored marker: %+v", ev)
+		}
+	}
+	if !found {
+		t.Fatalf("trail %+v does not link %d and %d", trail, id1, id2)
+	}
+
+	// Match explain: the per-candidate verdict breakdown must agree with
+	// the fast path's match set.
+	query := map[string]string{
+		"cno": "4000123412341234", "fn": "Augusta", "ln": "Byron",
+		"street": "12 St James Square", "city": "London",
+		"county": "Westminster", "zip": "SW1Y", "phn": "555-0100",
+		"email": "ada@example.org", "gender": "F", "dob": "1815-12-10",
+	}
+	status, out = doJSON(t, ts, http.MethodPost, "/match", map[string]any{"record": query})
+	if status != http.StatusOK {
+		t.Fatalf("POST /match = %d", status)
+	}
+	var fastMatches []int
+	if err := json.Unmarshal(out["matches"], &fastMatches); err != nil {
+		t.Fatal(err)
+	}
+	status, out = doJSON(t, ts, http.MethodPost, "/match?explain=1", map[string]any{"record": query})
+	if status != http.StatusOK {
+		t.Fatalf("POST /match?explain=1 = %d (%s)", status, out["error"])
+	}
+	var keys []string
+	if err := json.Unmarshal(out["keys"], &keys); err != nil || len(keys) == 0 {
+		t.Fatalf("explain keys = %v (%v)", keys, err)
+	}
+	var results []struct {
+		ID      int      `json:"id"`
+		Values  []string `json:"values"`
+		Rules   []int    `json:"rules"`
+		Matched bool     `json:"matched"`
+	}
+	if err := json.Unmarshal(out["results"], &results); err != nil {
+		t.Fatal(err)
+	}
+	explained := make([]int, 0, len(results))
+	for _, r := range results {
+		if r.Matched {
+			if len(r.Rules) == 0 {
+				t.Fatalf("candidate %d matched with no satisfied rule", r.ID)
+			}
+			explained = append(explained, r.ID)
+		}
+		if len(r.Values) == 0 {
+			t.Fatalf("candidate %d has no values", r.ID)
+		}
+	}
+	if len(explained) != len(fastMatches) {
+		t.Fatalf("explain matched %v, fast path matched %v", explained, fastMatches)
+	}
+	for i := range explained {
+		if explained[i] != fastMatches[i] {
+			t.Fatalf("explain matched %v, fast path matched %v", explained, fastMatches)
+		}
+	}
+
+	// Batch explain is rejected.
+	status, _ = doJSON(t, ts, http.MethodPost, "/match?explain=1",
+		map[string]any{"batch": []any{map[string]any{"record": query}}})
+	if status != http.StatusBadRequest {
+		t.Fatalf("batch explain = %d, want 400", status)
+	}
+
+	// Every response above carried a traceparent; the newest one must be
+	// fetchable from the debug surface.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/stats", nil)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	tp := resp.Header.Get("traceparent")
+	tid, _, ok := trace.ParseTraceparent(tp)
+	if !ok {
+		t.Fatalf("response traceparent %q does not parse", tp)
+	}
+	status, out = doJSON(t, ts, http.MethodGet, "/debug/traces/"+tid, nil)
+	if status != http.StatusOK {
+		t.Fatalf("GET /debug/traces/%s = %d (%s)", tid, status, out["error"])
+	}
+	var root struct {
+		Name string `json:"name"`
+	}
+	if err := json.Unmarshal(out["root"], &root); err != nil {
+		t.Fatal(err)
+	}
+	if root.Name != "http GET /stats" {
+		t.Fatalf("fetched trace root = %q", root.Name)
+	}
+	status, out = doJSON(t, ts, http.MethodGet, "/debug/traces", nil)
+	if status != http.StatusOK {
+		t.Fatalf("GET /debug/traces = %d", status)
+	}
+	var traces []json.RawMessage
+	if err := json.Unmarshal(out["traces"], &traces); err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) < 5 {
+		t.Fatalf("retained traces = %d, want every request (>= 5)", len(traces))
+	}
+	if status, _ := doJSON(t, ts, http.MethodGet, "/debug/traces/ffffffffffffffffffffffffffffffff", nil); status != http.StatusNotFound {
+		t.Fatalf("unknown trace id = %d, want 404", status)
+	}
+
+	// The scrape carries trace_id exemplars on the latency histogram.
+	mresp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(body), `# {trace_id="`) {
+		t.Fatal("no trace_id exemplar in the exposition")
+	}
+	if _, err := obs.ParseText(bytes.NewReader(body)); err != nil {
+		t.Fatalf("conformance parse with exemplars: %v", err)
+	}
+}
+
+func itoa(v int) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}
+
+// TestRequestIDAcrossLayers is the cross-layer correlation regression:
+// ONE ingest request with a caller-supplied X-Request-Id must produce
+// the middleware's "request" line, the enforcer's "stream insert" line
+// and the store's "wal append" line, all carrying that id.
+func TestRequestIDAcrossLayers(t *testing.T) {
+	var logBuf bytes.Buffer
+	_, ts := tracedServer(t, &logBuf, slog.LevelDebug)
+
+	const rid = "rid-cross-layer-1"
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(map[string]any{"record": creditRecord()}); err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/records", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(obs.RequestIDHeader, rid)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /records = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(obs.RequestIDHeader); got != rid {
+		t.Fatalf("response echoes request id %q, want %q", got, rid)
+	}
+
+	want := map[string]bool{"request": false, "stream insert": false, "wal append": false}
+	for _, line := range strings.Split(strings.TrimSpace(logBuf.String()), "\n") {
+		var entry map[string]any
+		if err := json.Unmarshal([]byte(line), &entry); err != nil {
+			continue
+		}
+		msg, _ := entry["msg"].(string)
+		if _, tracked := want[msg]; !tracked {
+			continue
+		}
+		if entry["request_id"] == rid {
+			want[msg] = true
+		}
+	}
+	for msg, seen := range want {
+		if !seen {
+			t.Errorf("no %q log line carries request_id %q\nlog:\n%s", msg, rid, logBuf.String())
+		}
+	}
+}

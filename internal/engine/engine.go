@@ -15,6 +15,7 @@ import (
 	"mdmatch/internal/record"
 	"mdmatch/internal/store"
 	"mdmatch/internal/stream"
+	"mdmatch/internal/trace"
 	"mdmatch/internal/values"
 )
 
@@ -266,6 +267,8 @@ func (e *Engine) AddClusteredCtx(ctx context.Context, id int, values []string) (
 		return stream.InsertResult{}, fmt.Errorf("engine: %s expects %d values, got %d",
 			e.plan.ctx.Left.Name(), want, got)
 	}
+	ctx, sp := trace.StartSpan(ctx, "engine.insert")
+	defer sp.End()
 	if e.durable != nil {
 		e.writeMu.Lock()
 		defer e.writeMu.Unlock()
@@ -390,9 +393,16 @@ func (e *Engine) MatchOneCtx(ctx context.Context, values []string) (Result, erro
 			return Result{}, err
 		}
 	}
+	_, sp := trace.StartSpan(ctx, "engine.match")
 	sc := e.scratchPool.Get().(*matchScratch)
 	res := e.matchValues(values, sc)
 	e.scratchPool.Put(sc)
+	if sp != nil {
+		sp.AttrInt("candidates", int64(res.Candidates))
+		sp.AttrInt("compared", int64(res.Compared))
+		sp.AttrInt("matches", int64(len(res.Matches)))
+		sp.End()
+	}
 	return res, nil
 }
 
@@ -478,6 +488,9 @@ func (e *Engine) MatchBatchCtx(ctx context.Context, batch [][]string) ([]Result,
 			return nil, fmt.Errorf("engine: batch[%d]: %s expects %d values, got %d", i, e.plan.ctx.Right.Name(), want, len(values))
 		}
 	}
+	_, sp := trace.StartSpan(ctx, "engine.match_batch")
+	sp.AttrInt("size", int64(len(batch)))
+	defer sp.End()
 	var start time.Time
 	if e.obs != nil {
 		start = time.Now()

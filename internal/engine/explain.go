@@ -1,0 +1,135 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"mdmatch/internal/trace"
+	"mdmatch/internal/values"
+)
+
+// MatchExplain is the provenance of one match query: the blocking keys
+// the query rendered, the candidate funnel, and a per-candidate verdict
+// breakdown — which rule LHSs held and which negative rules vetoed.
+// It is the serving-side answer to "why did (or didn't) this record
+// match": the fast path reports only ids, the explain path reports the
+// evidence.
+type MatchExplain struct {
+	// Keys are the blocking keys rendered from the query values, in
+	// blocker order — the index lookups that produced the candidates.
+	Keys []string `json:"keys"`
+	// Candidates is the raw posting count retrieved from the index
+	// (before deduplication), Compared the distinct candidates evaluated.
+	Candidates int `json:"candidates"`
+	Compared   int `json:"compared"`
+	// Results holds one entry per distinct candidate, in ascending id
+	// order — including non-matches, which is the point of explain.
+	Results []CandidateExplain `json:"results"`
+}
+
+// CandidateExplain is the verdict breakdown for one candidate record.
+type CandidateExplain struct {
+	ID int `json:"id"`
+	// Values is the candidate's indexed row as the caller supplied it
+	// (matching is byte-faithful to the original values, not the
+	// enforcer's resolved view).
+	Values []string `json:"values"`
+	// Rules lists the indices of the plan's keys whose LHS held for
+	// this pair — every one, not just the first: the fast path
+	// short-circuits on the first satisfied rule, explain enumerates.
+	Rules []int `json:"rules"`
+	// Vetoes lists the negative rules whose LHS held, each of which
+	// vetoes the match regardless of Rules.
+	Vetoes []int `json:"vetoes,omitempty"`
+	// Matched is the fast path's verdict: at least one rule held and
+	// no negative rule vetoed. Explain and MatchOne agree by
+	// construction — both evaluate the same compiled conjuncts
+	// (TestMatchExplainAgrees pins it).
+	Matched bool `json:"matched"`
+}
+
+// MatchExplainCtx matches one right-side record like MatchOneCtx but
+// returns the full per-rule evidence instead of just the match set. It
+// evaluates every rule and every negative rule for every candidate (no
+// short-circuiting), so it is strictly slower than MatchOneCtx — it is
+// a debugging endpoint, not a serving path — but its Matched verdicts
+// are identical, and it updates the same engine counters and observer
+// hooks so explained queries are not invisible to metrics.
+func (e *Engine) MatchExplainCtx(ctx context.Context, vals []string) (*MatchExplain, error) {
+	if got, want := len(vals), e.plan.ctx.Right.Arity(); got != want {
+		return nil, fmt.Errorf("engine: %s expects %d values, got %d", e.plan.ctx.Right.Name(), want, got)
+	}
+	if ctx.Done() != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	_, sp := trace.StartSpan(ctx, "engine.match")
+	defer sp.End()
+	sp.AttrInt("explain", 1)
+	var start time.Time
+	if e.obs != nil {
+		start = time.Now()
+	}
+	ex := &MatchExplain{Keys: e.plan.rightKeys(vals, nil)}
+	var ids []int
+	for _, k := range ex.Keys {
+		ids = e.index.AppendTo(k, ids)
+	}
+	ex.Candidates = len(ids)
+	sort.Ints(ids)
+	numRules := e.plan.prog.NumRules()
+	numNeg := e.plan.prog.NumNegative()
+	var rids []values.ID
+	interned := false
+	matched := 0
+	prev := -1
+	for _, id := range ids {
+		if id == prev {
+			continue
+		}
+		prev = id
+		left, ok := e.store.get(id)
+		if !ok {
+			continue // removed between index lookup and store fetch
+		}
+		if !interned {
+			rids = e.interner.InternRight(vals, nil)
+			interned = true
+		}
+		ex.Compared++
+		ce := CandidateExplain{
+			ID:     id,
+			Values: e.interner.LeftStrings(left.ids, nil),
+		}
+		for r := 0; r < numRules; r++ {
+			if e.interner.EvalRuleIDs(r, left.ids, rids) {
+				ce.Rules = append(ce.Rules, r)
+			}
+		}
+		for n := 0; n < numNeg; n++ {
+			if e.interner.EvalNegativeIDs(n, left.ids, rids) {
+				ce.Vetoes = append(ce.Vetoes, n)
+			}
+		}
+		ce.Matched = len(ce.Rules) > 0 && len(ce.Vetoes) == 0
+		if ce.Matched {
+			matched++
+		}
+		ex.Results = append(ex.Results, ce)
+	}
+	e.queries.Add(1)
+	e.candidates.Add(uint64(ex.Candidates))
+	e.compared.Add(uint64(ex.Compared))
+	e.matched.Add(uint64(matched))
+	e.searchSpace.Add(uint64(e.store.len()))
+	if e.obs != nil {
+		e.obs.MatchObserved(time.Since(start).Seconds(), ex.Candidates, ex.Compared, matched)
+	}
+	sp.AttrInt("candidates", int64(ex.Candidates))
+	sp.AttrInt("compared", int64(ex.Compared))
+	sp.AttrInt("matches", int64(matched))
+	return ex, nil
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"strings"
@@ -8,6 +9,7 @@ import (
 	"mdmatch/internal/record"
 	"mdmatch/internal/store"
 	"mdmatch/internal/stream"
+	"mdmatch/internal/trace"
 	"mdmatch/internal/values"
 )
 
@@ -63,9 +65,18 @@ func (e *Engine) Store() *store.Store { return e.durable }
 // recovery, where it is idempotent). Superseded snapshots and WAL
 // segments are garbage collected.
 func (e *Engine) Snapshot() (uint64, error) {
+	return e.SnapshotCtx(context.Background())
+}
+
+// SnapshotCtx is Snapshot with the caller's context: the capture and
+// write record themselves as an "engine.snapshot" trace span (with the
+// store's "store.snapshot" child) under the context's active trace.
+func (e *Engine) SnapshotCtx(ctx context.Context) (uint64, error) {
 	if e.durable == nil {
 		return 0, fmt.Errorf("engine: no store attached")
 	}
+	ctx, sp := trace.StartSpan(ctx, "engine.snapshot")
+	defer sp.End()
 	e.writeMu.Lock()
 	// Cut and LSN are read under the enforcer's insertion lock, so the
 	// pair is exact even against inserts that bypass this engine; the
@@ -75,9 +86,10 @@ func (e *Engine) Snapshot() (uint64, error) {
 	recs := e.captureRecs()
 	e.writeMu.Unlock()
 	snap := &store.Snapshot{LSN: lsn, Cut: cut, EngineSrc: recs}
-	if err := e.durable.WriteSnapshot(snap); err != nil {
+	if err := e.durable.WriteSnapshotCtx(ctx, snap); err != nil {
 		return 0, err
 	}
+	sp.AttrInt("lsn", int64(lsn))
 	return lsn, nil
 }
 

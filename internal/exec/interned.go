@@ -341,6 +341,32 @@ func (it *Interner) EvalPairIDs(lids, rids []values.ID) bool {
 	return verdict
 }
 
+// EvalRuleIDs decides positive rule i alone on an interned row pair,
+// resolving verdict-cache misses as needed. It is the explain layer's
+// per-rule probe: EvalPairIDs short-circuits on the first holding rule,
+// while an explanation needs every rule's individual verdict. Verdicts
+// are pure functions of the value pair, so the outcomes agree with
+// EvalPairIDs' decision exactly.
+func (it *Interner) EvalRuleIDs(i int, lids, rids []values.ID) bool {
+	return it.evalRuleResolved(it.prog.rules[i], lids, rids)
+}
+
+// EvalNegativeIDs decides negative rule i alone on an interned row
+// pair, resolving misses as needed (see EvalRuleIDs).
+func (it *Interner) EvalNegativeIDs(i int, lids, rids []values.ID) bool {
+	return it.evalRuleResolved(it.prog.negRules[i], lids, rids)
+}
+
+func (it *Interner) evalRuleResolved(idx []uint16, lids, rids []values.ID) bool {
+	for _, ci := range idx {
+		ok, _ := it.evalConjunct(ci, lids, rids, true)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
 // PairEvals returns the cumulative EvalPairIDs call count and the
 // subset that fell off the warm (fully cached) path into a resolving
 // pass. total - resolved is the number of pair decisions answered

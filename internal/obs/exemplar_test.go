@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mdmatch/internal/trace"
+)
+
+// TestExemplarRoundTrip renders a histogram carrying exemplars and
+// re-parses the exposition: the exemplar must land on the bucket its
+// observation fell into, survive the strict parser, and leave every
+// un-exemplared line untouched.
+func TestExemplarRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)                      // plain observation, no exemplar
+	h.ObserveExemplar(0.05, "trace-slow") // lands in le="0.1"
+	h.ObserveExemplar(50, "trace-inf")    // above the last bound: +Inf
+	h.ObserveExemplar(0.02, "")           // empty trace id: plain observe
+
+	text := render(t, r)
+	if !strings.Contains(text, `lat_seconds_bucket{le="0.1"} 3 # {trace_id="trace-slow"} 0.05`) {
+		t.Fatalf("exemplar wire format missing:\n%s", text)
+	}
+	fams := famMap(t, text)
+	lat := fams["lat_seconds"]
+	byLe := map[string]*Exemplar{}
+	for _, s := range lat.Samples {
+		if s.Name == "lat_seconds_bucket" {
+			byLe[s.Labels["le"]] = s.Exemplar
+		} else if s.Exemplar != nil {
+			t.Fatalf("exemplar leaked onto %s", s.Name)
+		}
+	}
+	if byLe["0.01"] != nil || byLe["1"] != nil {
+		t.Fatalf("exemplar on un-exemplared bucket: %+v", byLe)
+	}
+	ex := byLe["0.1"]
+	if ex == nil || ex.Labels["trace_id"] != "trace-slow" || ex.Value != 0.05 {
+		t.Fatalf("le=0.1 exemplar = %+v", ex)
+	}
+	if ex := byLe["+Inf"]; ex == nil || ex.Labels["trace_id"] != "trace-inf" || ex.Value != 50 {
+		t.Fatalf("+Inf exemplar = %+v", ex)
+	}
+
+	// The newest exemplar wins its bucket.
+	h.ObserveExemplar(0.04, "trace-newer")
+	fams = famMap(t, render(t, r))
+	for _, s := range fams["lat_seconds"].Samples {
+		if s.Labels["le"] == "0.1" && s.Exemplar.Labels["trace_id"] != "trace-newer" {
+			t.Fatalf("exemplar not replaced: %+v", s.Exemplar)
+		}
+	}
+}
+
+// TestMiddlewareTracing drives the middleware with a tracer attached:
+// the response carries a traceparent, an incoming traceparent is
+// honored, the request context carries the request id and a live span,
+// and with exemplars enabled the latency histogram exposes the trace
+// id — the "curl a trace id out of a latency bucket" path end to end.
+func TestMiddlewareTracing(t *testing.T) {
+	reg := NewRegistry()
+	tr := trace.New(trace.Options{Slow: time.Nanosecond, Capacity: 16, Stripes: 1})
+	m := NewHTTPMetrics(reg, "test").WithTracer(tr, true)
+	var sawRequestID string
+	var sawSpan bool
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /ok", func(w http.ResponseWriter, r *http.Request) {
+		sawRequestID = trace.RequestID(r.Context())
+		_, sp := trace.StartSpan(r.Context(), "inner")
+		sawSpan = sp != nil
+		sp.End()
+		w.Write([]byte("fine"))
+	})
+	routeOf := func(r *http.Request) string { _, p := mux.Handler(r); return p }
+	ts := httptest.NewServer(m.Middleware(nil, routeOf, mux))
+	defer ts.Close()
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/ok", nil)
+	req.Header.Set(RequestIDHeader, "rid-1")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	tid, _, ok := trace.ParseTraceparent(resp.Header.Get(trace.Traceparent))
+	if !ok {
+		t.Fatalf("response traceparent %q", resp.Header.Get(trace.Traceparent))
+	}
+	if sawRequestID != "rid-1" || !sawSpan {
+		t.Fatalf("handler context: request_id=%q span=%v", sawRequestID, sawSpan)
+	}
+
+	// The trace is retained, carries the request id, and holds the
+	// handler's child span.
+	tc, found := tr.Get(tid)
+	if !found || tc.RequestID != "rid-1" {
+		t.Fatalf("trace %s = %+v", tid, tc)
+	}
+	if len(tc.Root.Children) != 1 || tc.Root.Children[0].Name != "inner" {
+		t.Fatalf("span tree = %+v", tc.Root)
+	}
+
+	// An upstream traceparent is honored end to end.
+	up := "00-aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaab-bbbbbbbbbbbbbbbb-01"
+	req2, _ := http.NewRequest(http.MethodGet, ts.URL+"/ok", nil)
+	req2.Header.Set(trace.Traceparent, up)
+	resp2, err := ts.Client().Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if tid2, _, _ := trace.ParseTraceparent(resp2.Header.Get(trace.Traceparent)); tid2 != "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaab" {
+		t.Fatalf("upstream trace id not honored: %q", tid2)
+	}
+
+	// The scrape carries the exemplar, and the strict parser accepts it.
+	fams := famMap(t, render(t, reg))
+	var sawExemplar bool
+	for _, s := range fams["test_http_request_duration_seconds"].Samples {
+		if s.Exemplar != nil {
+			if s.Exemplar.Labels["trace_id"] == "" {
+				t.Fatalf("exemplar without trace_id: %+v", s.Exemplar)
+			}
+			sawExemplar = true
+		}
+	}
+	if !sawExemplar {
+		t.Fatal("no exemplar on the latency histogram")
+	}
+}

@@ -21,7 +21,10 @@ import (
 //   - sample syntax including quoted-label escape sequences;
 //   - histogram shape: every histogram has _bucket/_sum/_count series,
 //     bucket counts are cumulative (non-decreasing in le order), and
-//     the terminal le="+Inf" bucket exists and equals _count.
+//     the terminal le="+Inf" bucket exists and equals _count;
+//   - OpenMetrics exemplars (`# {trace_id="…"} value` after a sample):
+//     syntax, and placement — exemplars are legal ONLY on histogram
+//     _bucket lines; anywhere else is an error.
 //
 // It is intentionally stricter than real scrapers (which tolerate
 // missing HELP, interleaved families, etc.): the registry always emits
@@ -36,6 +39,16 @@ type Sample struct {
 	Labels map[string]string
 	// Value is the sample value.
 	Value float64
+	// Exemplar is the OpenMetrics exemplar attached to the line, if
+	// any. Legal only on histogram _bucket samples.
+	Exemplar *Exemplar
+}
+
+// Exemplar is one parsed OpenMetrics exemplar: the labels inside the
+// `# {…}` block (trace_id for this registry) and the exemplar value.
+type Exemplar struct {
+	Labels map[string]string
+	Value  float64
 }
 
 // Family is one parsed metric family.
@@ -123,6 +136,9 @@ func ParseText(r io.Reader) ([]Family, error) {
 		if !ok {
 			return nil, fmt.Errorf("line %d: sample %s has no preceding TYPE", line, s.Name)
 		}
+		if s.Exemplar != nil && (fams[i].Type != typeHistogram || !strings.HasSuffix(s.Name, "_bucket")) {
+			return nil, fmt.Errorf("line %d: sample %s: exemplar on a non-histogram-bucket line", line, s.Name)
+		}
 		fams[i].Samples = append(fams[i].Samples, s)
 	}
 	if err := sc.Err(); err != nil {
@@ -187,6 +203,15 @@ func parseSample(text string) (Sample, error) {
 		}
 		rest = tail
 	}
+	// An OpenMetrics exemplar suffix (` # {labels} value`) may follow
+	// the sample value; split it off before the trailing-field check.
+	// The label block was already consumed above, so a '#' here can
+	// only start an exemplar.
+	var exText string
+	if j := strings.IndexByte(rest, '#'); j >= 0 {
+		exText = strings.TrimSpace(rest[j+1:])
+		rest = rest[:j]
+	}
 	rest = strings.TrimSpace(rest)
 	// A timestamp after the value is legal in the format; the registry
 	// never emits one, and extra fields are rejected here.
@@ -198,7 +223,45 @@ func parseSample(text string) (Sample, error) {
 		return s, fmt.Errorf("sample %s: bad value %q", s.Name, rest)
 	}
 	s.Value = v
+	if exText != "" {
+		ex, err := parseExemplar(exText)
+		if err != nil {
+			return s, fmt.Errorf("sample %s: %w", s.Name, err)
+		}
+		s.Exemplar = ex
+	}
 	return s, nil
+}
+
+// parseExemplar parses the body of an exemplar suffix (after the '#'):
+// a label block followed by the exemplar value. The registry never
+// emits the optional OpenMetrics timestamp, so trailing fields are
+// rejected like they are on sample lines.
+func parseExemplar(text string) (*Exemplar, error) {
+	if len(text) == 0 || text[0] != '{' {
+		return nil, fmt.Errorf("exemplar without a label block in %q", text)
+	}
+	body, tail, err := cutLabelBlock(text[1:])
+	if err != nil {
+		return nil, fmt.Errorf("exemplar: %w", err)
+	}
+	ex := &Exemplar{Labels: map[string]string{}}
+	if err := parseLabels(body, ex.Labels); err != nil {
+		return nil, fmt.Errorf("exemplar: %w", err)
+	}
+	tail = strings.TrimSpace(tail)
+	if tail == "" {
+		return nil, fmt.Errorf("exemplar without a value")
+	}
+	if strings.ContainsAny(tail, " \t") {
+		return nil, fmt.Errorf("exemplar: unexpected trailing fields in %q", tail)
+	}
+	v, err := parseValue(tail)
+	if err != nil {
+		return nil, fmt.Errorf("exemplar: bad value %q", tail)
+	}
+	ex.Value = v
+	return ex, nil
 }
 
 // cutLabelBlock splits "...}" into the label body and the tail after

@@ -6,6 +6,8 @@ import (
 	"log/slog"
 	"net/http"
 	"time"
+
+	"mdmatch/internal/trace"
 )
 
 // HTTPMetrics is the serving-surface instrument set: per-route request
@@ -18,6 +20,9 @@ type HTTPMetrics struct {
 	inflight  *Gauge
 	reqBytes  *Counter
 	respBytes *Counter
+
+	tracer    *trace.Tracer // nil: no tracing
+	exemplars bool
 }
 
 // NewHTTPMetrics registers the HTTP metric families under the given
@@ -35,6 +40,18 @@ func NewHTTPMetrics(r *Registry, namespace string) *HTTPMetrics {
 		respBytes: r.Counter(namespace+"_http_response_body_bytes_total",
 			"Response body bytes written."),
 	}
+}
+
+// WithTracer attaches a span tracer to the middleware: every request
+// gets a root span (honoring an incoming W3C traceparent header) that
+// the layers below extend via trace.StartSpan, and the response echoes
+// the trace's traceparent so a caller can fetch it from /debug/traces.
+// When exemplars is set, the latency histogram's buckets additionally
+// carry OpenMetrics `# {trace_id="…"}` exemplars. Returns m.
+func (m *HTTPMetrics) WithTracer(t *trace.Tracer, exemplars bool) *HTTPMetrics {
+	m.tracer = t
+	m.exemplars = exemplars
+	return m
 }
 
 // statusWriter captures the status code and body bytes of a response.
@@ -89,11 +106,12 @@ func statusClass(code int) string {
 }
 
 // Middleware wraps next with request instrumentation: a generated (or
-// propagated) X-Request-Id, the HTTPMetrics families labeled by the
-// route pattern routeOf reports, and one structured log line per
-// request on logger. logger may be nil (metrics only); routeOf reports
-// "" for unrouted requests, exposed as route="unmatched" so bad paths
-// cannot explode the label space.
+// propagated) X-Request-Id threaded into the request context for the
+// layers below, the HTTPMetrics families labeled by the route pattern
+// routeOf reports, an optional root span per request (WithTracer), and
+// one structured log line per request on logger. logger may be nil
+// (metrics only); routeOf reports "" for unrouted requests, exposed as
+// route="unmatched" so bad paths cannot explode the label space.
 func (m *HTTPMetrics) Middleware(logger *slog.Logger, routeOf func(*http.Request) string, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -102,6 +120,18 @@ func (m *HTTPMetrics) Middleware(logger *slog.Logger, routeOf func(*http.Request
 			id = newRequestID()
 		}
 		w.Header().Set(RequestIDHeader, id)
+		route := routeOf(r)
+		if route == "" {
+			route = "unmatched"
+		}
+		ctx := trace.WithRequestID(r.Context(), id)
+		var sp *trace.Span
+		if m.tracer != nil {
+			tid, psid, _ := trace.ParseTraceparent(r.Header.Get(trace.Traceparent))
+			ctx, sp = m.tracer.StartRoot(ctx, "http "+route, tid, psid, id)
+			w.Header().Set(trace.Traceparent, trace.FormatTraceparent(sp.TraceID(), sp.SpanID()))
+		}
+		r = r.WithContext(ctx)
 		sw := &statusWriter{ResponseWriter: w}
 		m.inflight.Inc()
 		next.ServeHTTP(sw, r)
@@ -109,17 +139,22 @@ func (m *HTTPMetrics) Middleware(logger *slog.Logger, routeOf func(*http.Request
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
-		route := routeOf(r)
-		if route == "" {
-			route = "unmatched"
-		}
 		elapsed := time.Since(start)
 		m.requests.With(route, statusClass(sw.status)).Inc()
-		m.duration.With(route).Observe(elapsed.Seconds())
+		if m.exemplars && sp != nil {
+			m.duration.With(route).ObserveExemplar(elapsed.Seconds(), sp.TraceID())
+		} else {
+			m.duration.With(route).Observe(elapsed.Seconds())
+		}
 		if r.ContentLength > 0 {
 			m.reqBytes.Add(r.ContentLength)
 		}
 		m.respBytes.Add(sw.bytes)
+		if sp != nil {
+			sp.Attr("method", r.Method)
+			sp.AttrInt("status", int64(sw.status))
+			sp.End()
+		}
 		if logger != nil {
 			logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
 				slog.String("request_id", id),

@@ -89,6 +89,19 @@ type child struct {
 
 	counts  []atomic.Uint64 // histogram: per-bucket (non-cumulative) counts; last is +Inf
 	sumBits atomic.Uint64   // histogram: float64 bits of the running sum
+
+	// exem holds the latest exemplar per bucket (histograms only;
+	// parallel to counts). Entries stay nil until ObserveExemplar runs,
+	// so plain Observe and rendering without exemplars cost nothing
+	// beyond a nil check per bucket line.
+	exem []atomic.Pointer[exemplar]
+}
+
+// exemplar links one observation to the trace that produced it,
+// rendered as the OpenMetrics `# {trace_id="…"} value` bucket suffix.
+type exemplar struct {
+	traceID string
+	value   float64
 }
 
 // validName matches the Prometheus metric/label name charset.
@@ -186,6 +199,7 @@ func (f *family) childFor(labelVals []string) *child {
 	c = &child{labelVals: append([]string(nil), labelVals...)}
 	if f.kind == typeHistogram {
 		c.counts = make([]atomic.Uint64, len(f.buckets)+1)
+		c.exem = make([]atomic.Pointer[exemplar], len(f.buckets)+1)
 	}
 	f.children[key] = c
 	f.order = append(f.order, key)
@@ -307,6 +321,20 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveExemplar records one observation and attaches an exemplar to
+// the bucket it lands in: the latest trace id to hit each latency
+// bucket is rendered as the OpenMetrics `# {trace_id="…"} value`
+// suffix, which is how an operator curls a trace id out of a bucket.
+// An empty traceID degrades to a plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	i := sort.SearchFloat64s(h.f.buckets, v)
+	h.c.exem[i].Store(&exemplar{traceID: traceID, value: v})
+}
+
 // Count returns the total number of observations.
 func (h *Histogram) Count() uint64 {
 	var n uint64
@@ -413,10 +441,10 @@ func (f *family) render(b *strings.Builder) {
 			var cum uint64
 			for i, bound := range f.buckets {
 				cum += c.counts[i].Load()
-				writeSample(b, f.name+"_bucket", f.labels, c.labelVals, "le", formatFloat(bound), strconv.FormatUint(cum, 10))
+				writeSampleEx(b, f.name+"_bucket", f.labels, c.labelVals, "le", formatFloat(bound), strconv.FormatUint(cum, 10), exemplarSuffix(c, i))
 			}
 			cum += c.counts[len(f.buckets)].Load()
-			writeSample(b, f.name+"_bucket", f.labels, c.labelVals, "le", "+Inf", strconv.FormatUint(cum, 10))
+			writeSampleEx(b, f.name+"_bucket", f.labels, c.labelVals, "le", "+Inf", strconv.FormatUint(cum, 10), exemplarSuffix(c, len(f.buckets)))
 			writeSample(b, f.name+"_sum", f.labels, c.labelVals, "", "", formatFloat(math.Float64frombits(c.sumBits.Load())))
 			writeSample(b, f.name+"_count", f.labels, c.labelVals, "", "", strconv.FormatUint(cum, 10))
 		}
@@ -450,9 +478,25 @@ func (f *family) renderCollected(b *strings.Builder) {
 	}
 }
 
+// exemplarSuffix renders the OpenMetrics exemplar suffix for bucket i
+// of c, or "" when the bucket has never seen an exemplar.
+func exemplarSuffix(c *child, i int) string {
+	e := c.exem[i].Load()
+	if e == nil {
+		return ""
+	}
+	return ` # {trace_id="` + escapeLabel(e.traceID) + `"} ` + formatFloat(e.value)
+}
+
 // writeSample writes one exposition line; extraName/extraVal append one
 // more label (the histogram le).
 func writeSample(b *strings.Builder, name string, labels, vals []string, extraName, extraVal, value string) {
+	writeSampleEx(b, name, labels, vals, extraName, extraVal, value, "")
+}
+
+// writeSampleEx is writeSample plus an optional exemplar suffix
+// appended after the value.
+func writeSampleEx(b *strings.Builder, name string, labels, vals []string, extraName, extraVal, value, suffix string) {
 	b.WriteString(name)
 	if len(labels) > 0 || extraName != "" {
 		b.WriteByte('{')
@@ -478,6 +522,7 @@ func writeSample(b *strings.Builder, name string, labels, vals []string, extraNa
 	}
 	b.WriteByte(' ')
 	b.WriteString(value)
+	b.WriteString(suffix)
 	b.WriteByte('\n')
 }
 

@@ -189,6 +189,26 @@ func TestParseTextRejectsMalformed(t *testing.T) {
 			"h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 5\n",
 		"histogram missing sum": "# TYPE h histogram\n" +
 			"h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+		// Exemplars are legal ONLY on histogram _bucket lines, and must
+		// be a label block followed by exactly one value.
+		"exemplar on counter": "# TYPE a counter\n" +
+			"a 1 # {trace_id=\"abc\"} 1\n",
+		"exemplar on gauge": "# TYPE a gauge\n" +
+			"a 1 # {trace_id=\"abc\"} 1\n",
+		"exemplar on histogram sum": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1 # {trace_id=\"abc\"} 1\nh_count 1\n",
+		"exemplar on histogram count": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1 # {trace_id=\"abc\"} 1\n",
+		"exemplar without label block": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1 # 0.5\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
+		"exemplar without value": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1 # {trace_id=\"abc\"}\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
+		"exemplar bad value": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1 # {trace_id=\"abc\"} fast\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
+		"exemplar trailing fields": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1 # {trace_id=\"abc\"} 0.5 1700000000\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
+		"exemplar unterminated labels": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1 # {trace_id=\"abc\n",
 	}
 	for name, input := range cases {
 		if _, err := ParseText(strings.NewReader(input)); err == nil {

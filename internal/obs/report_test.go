@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"runtime"
@@ -14,6 +15,7 @@ import (
 	"mdmatch/internal/gen"
 	"mdmatch/internal/schema"
 	"mdmatch/internal/stream"
+	"mdmatch/internal/trace"
 )
 
 // obsBenchReport is the schema of BENCH_obs.json, the repo's running
@@ -36,6 +38,13 @@ type obsBenchReport struct {
 	GatePct     float64     `json:"gate_overhead_pct"`
 	MatchBatch  pathMeasure `json:"match_batch"`
 	Insert      pathMeasure `json:"stream_insert"`
+	// Traced variants: the same workloads with an active root span on
+	// the request context (the production tracer configuration, default
+	// retention), against the no-root-span baseline where every
+	// trace.StartSpan call is one context lookup. "plain" here is the
+	// untraced side, "instrumented" the traced one.
+	MatchBatchTraced pathMeasure `json:"match_batch_traced"`
+	InsertTraced     pathMeasure `json:"stream_insert_traced"`
 }
 
 type pathMeasure struct {
@@ -185,6 +194,103 @@ func measureInsert(t *testing.T, ds *gen.Dataset, rounds int) (plain, instr floa
 	return best[0], best[1], len(ds.Credit.Tuples)
 }
 
+// benchTracer builds a tracer with the daemon's default retention (50ms
+// slow threshold, 1-in-1000 sample): the realistic per-request span
+// cost, not a retain-everything worst case.
+func benchTracer() *trace.Tracer {
+	return trace.New(trace.Options{Slow: 50 * time.Millisecond, SampleN: 1000})
+}
+
+// measureTracedMatch times MatchBatch with and without an active root
+// span on the context — the tracing analogue of measureMatch. One root
+// span per batch call, as the HTTP middleware produces; the per-query
+// inner loop stays span-free, so this measures the end-to-end serving
+// delta of turning tracing on.
+func measureTracedMatch(t *testing.T, plan *engine.Plan, ds *gen.Dataset, rounds int) (plain, traced float64, ops int) {
+	t.Helper()
+	eng, err := engine.New(plan, engine.WithWorkers(runtime.GOMAXPROCS(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Load(ds.Credit); err != nil {
+		t.Fatal(err)
+	}
+	batch := make([][]string, len(ds.Billing.Tuples))
+	for i, tup := range ds.Billing.Tuples {
+		batch[i] = tup.Values
+	}
+	tr := benchTracer()
+	pass := func(withSpan bool, iters int) float64 {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			ctx := context.Background()
+			var sp *trace.Span
+			if withSpan {
+				ctx, sp = tr.StartRoot(ctx, "bench match", "", "", "")
+			}
+			if _, err := eng.MatchBatchCtx(ctx, batch); err != nil {
+				t.Fatal(err)
+			}
+			sp.End()
+		}
+		return time.Since(start).Seconds() / float64(iters)
+	}
+	est := pass(false, 1)
+	_ = pass(true, 1)
+	iters := int(0.5/est) + 1
+	best := []float64{0, 0}
+	for r := 0; r < rounds; r++ {
+		for side, withSpan := range []bool{false, true} {
+			got := pass(withSpan, iters)
+			if r == 0 || got < best[side] {
+				best[side] = got
+			}
+		}
+	}
+	return best[0], best[1], len(batch)
+}
+
+// measureTracedInsert times the incremental chase with one root span
+// per insert (as POST /records produces) against the untraced baseline.
+func measureTracedInsert(t *testing.T, ds *gen.Dataset, rounds int) (plain, traced float64, ops int) {
+	t.Helper()
+	dedupCtx, err := schema.NewPair(ds.Credit.Rel, ds.Credit.Rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := benchTracer()
+	pass := func(withSpan bool) float64 {
+		enf, err := stream.New(dedupCtx, gen.DedupMDs(dedupCtx),
+			stream.ClusterRules(gen.DedupClusterRules()...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		for _, tup := range ds.Credit.Tuples {
+			ctx := context.Background()
+			var sp *trace.Span
+			if withSpan {
+				ctx, sp = tr.StartRoot(ctx, "bench insert", "", "", "")
+			}
+			if _, err := enf.InsertCtx(ctx, tup.ID, tup.Values); err != nil {
+				t.Fatal(err)
+			}
+			sp.End()
+		}
+		return time.Since(start).Seconds()
+	}
+	best := []float64{0, 0}
+	for r := 0; r < rounds; r++ {
+		for side, withSpan := range []bool{false, true} {
+			got := pass(withSpan)
+			if r == 0 || got < best[side] {
+				best[side] = got
+			}
+		}
+	}
+	return best[0], best[1], len(ds.Credit.Tuples)
+}
+
 // TestWriteObsBenchReport measures the hot-path cost of enabling the
 // observability hooks: MatchBatch and stream.Insert with a nil observer
 // versus the same workload with the full obs stack attached. It is
@@ -243,6 +349,12 @@ func TestWriteObsBenchReport(t *testing.T) {
 	plain, instr, ops = measureInsert(t, insertDS, rounds)
 	report.Insert = newPathMeasure(insertK, ops, plain, instr)
 
+	plain, instr, ops = measureTracedMatch(t, obsBenchPlan(t, matchDS), matchDS, rounds)
+	report.MatchBatchTraced = newPathMeasure(matchK, ops, plain, instr)
+
+	plain, instr, ops = measureTracedInsert(t, insertDS, rounds)
+	report.InsertTraced = newPathMeasure(insertK, ops, plain, instr)
+
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -252,6 +364,7 @@ func TestWriteObsBenchReport(t *testing.T) {
 	}
 	for name, m := range map[string]pathMeasure{
 		"match_batch": report.MatchBatch, "stream_insert": report.Insert,
+		"match_batch_traced": report.MatchBatchTraced, "stream_insert_traced": report.InsertTraced,
 	} {
 		t.Logf("%s: plain %.4fs, instrumented %.4fs (%.2f%%, hook %.0f ns/op)",
 			name, m.PlainSeconds, m.InstrumentedSeconds, m.OverheadPct, m.HookNsPerOp)

@@ -2,9 +2,35 @@ package obs
 
 import (
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 )
+
+// processStart pins the process start for
+// mdmatch_process_start_time_seconds: package initialization runs once,
+// early, which is as close to exec as pure Go can observe.
+var processStart = time.Now()
+
+// buildInfo reads the go version and VCS revision baked into the
+// binary. Both fall back to "unknown" (a test binary has no VCS
+// stamp).
+func buildInfo() (goVersion, revision string) {
+	goVersion, revision = "unknown", "unknown"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return
+	}
+	if bi.GoVersion != "" {
+		goVersion = bi.GoVersion
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && s.Value != "" {
+			revision = s.Value
+		}
+	}
+	return
+}
 
 // AttachRuntime registers process-level memory and scheduler gauges.
 // The 1M-record scale contract is a bounded memory ceiling, so the
@@ -43,4 +69,12 @@ func AttachRuntime(reg *Registry) {
 	reg.CollectGauge("mdmatch_runtime_goroutines",
 		"Live goroutines.", nil,
 		func(emit Emit) { emit(float64(runtime.NumGoroutine())) })
+	goVersion, revision := buildInfo()
+	reg.CollectGauge("mdmatch_build_info",
+		"Build metadata as labels; the value is always 1.",
+		[]string{"go_version", "revision"},
+		func(emit Emit) { emit(1, goVersion, revision) })
+	reg.CollectGauge("mdmatch_process_start_time_seconds",
+		"Unix time the process started, in seconds.", nil,
+		func(emit Emit) { emit(float64(processStart.UnixNano()) / 1e9) })
 }

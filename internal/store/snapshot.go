@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -11,6 +12,7 @@ import (
 
 	"mdmatch/internal/par"
 	"mdmatch/internal/stream"
+	"mdmatch/internal/trace"
 )
 
 // Snapshot is one serialized state capture: the stream enforcer's
@@ -331,9 +333,19 @@ type snapshotTracker interface{ SnapshotInflight(delta int) }
 // land after snap.LSN and stay replayable (GC only drops segments
 // behind the OLDEST kept snapshot, which is at most snap.LSN).
 func (s *Store) WriteSnapshot(snap *Snapshot) error {
+	return s.WriteSnapshotCtx(context.Background(), snap)
+}
+
+// WriteSnapshotCtx is WriteSnapshot with the caller's context: the
+// write records itself as a "store.snapshot" trace span (with the
+// encoded size in bytes) under the context's active trace, if any.
+func (s *Store) WriteSnapshotCtx(ctx context.Context, snap *Snapshot) error {
 	if snap.LSN == 0 {
 		return nil // nothing logged yet: recovery replays from LSN 1 anyway
 	}
+	_, sp := trace.StartSpan(ctx, "store.snapshot")
+	defer sp.End()
+	sp.AttrInt("lsn", int64(snap.LSN))
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
 
@@ -368,6 +380,7 @@ func (s *Store) WriteSnapshot(snap *Snapshot) error {
 	if err != nil {
 		return err
 	}
+	sp.AttrInt("bytes", size)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()

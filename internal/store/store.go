@@ -48,16 +48,19 @@
 package store
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"log/slog"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"mdmatch/internal/record"
+	"mdmatch/internal/trace"
 )
 
 // Observer receives per-operation measurements from the durability
@@ -78,6 +81,13 @@ type Observer interface {
 
 // WithObserver attaches an instrumentation observer; nil disables.
 func WithObserver(o Observer) Option { return func(s *Store) { s.obs = o } }
+
+// WithLogger attaches a structured logger; nil (the default) disables.
+// The store logs every append failure at error level — tagged with the
+// request id of the mutation that hit it (trace.RequestID) so the
+// failing request can be found in the access log — and, when debug
+// logging is enabled, one line per WAL append.
+func WithLogger(l *slog.Logger) Option { return func(s *Store) { s.logger = l } }
 
 // Option configures a Store.
 type Option func(*Store)
@@ -140,7 +150,8 @@ type Store struct {
 	failed    error     // latched append failure: the log may have a torn tail
 	closed    bool
 
-	obs Observer // nil when not instrumented
+	obs    Observer     // nil when not instrumented
+	logger *slog.Logger // nil when not logging
 
 	// Replay progress, maintained atomically so a /readyz handler can
 	// report recovery progress while Replay is still running.
@@ -271,8 +282,25 @@ func (s *Store) startSegment(first uint64) error {
 	return nil
 }
 
-// append assigns the next LSN and writes one record durably.
-func (s *Store) append(op Op, row Row, rows []Row, off uint64) error {
+// append assigns the next LSN and writes one record durably. The
+// context carries the mutation's trace span (the write and fsync are
+// recorded as "wal.append"/"wal.fsync" child spans) and request id; a
+// bare context.Background() costs two nil span checks.
+func (s *Store) append(ctx context.Context, op Op, row Row, rows []Row, off uint64) (err error) {
+	ctx, sp := trace.StartSpan(ctx, "wal.append")
+	defer func() {
+		if err != nil {
+			sp.Attr("error", err.Error())
+			if s.logger != nil {
+				s.logger.LogAttrs(ctx, slog.LevelError, "wal append failed",
+					slog.String("request_id", trace.RequestID(ctx)),
+					slog.String("op", op.String()),
+					slog.String("error", err.Error()),
+				)
+			}
+		}
+		sp.End()
+	}()
 	e := &enc{}
 	encodePayload(e, op, row, rows, off)
 	if int64(len(e.b)) > maxRecordBytes {
@@ -287,6 +315,7 @@ func (s *Store) append(op Op, row Row, rows []Row, off uint64) error {
 	h.u32(uint32(len(e.b)))
 	h.u32(crc32.Checksum(e.b, crcTable))
 	h.b = append(h.b, e.b...)
+	sp.AttrInt("bytes", int64(len(h.b)))
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -315,7 +344,10 @@ func (s *Store) append(op Op, row Row, rows []Row, off uint64) error {
 		return err
 	}
 	if s.fsync {
-		if err := s.f.Sync(); err != nil {
+		_, fsp := trace.StartSpan(ctx, "wal.fsync")
+		err := s.f.Sync()
+		fsp.End()
+		if err != nil {
 			// The record hit the OS cache but durability is unknown — and
 			// the caller will be told the append FAILED, so it must not
 			// resurrect on restart. Best-effort truncate the segment back
@@ -336,6 +368,14 @@ func (s *Store) append(op Op, row Row, rows []Row, off uint64) error {
 	if s.obs != nil {
 		s.obs.AppendObserved(time.Since(start).Seconds(), len(h.b))
 	}
+	if s.logger != nil && s.logger.Enabled(ctx, slog.LevelDebug) {
+		s.logger.LogAttrs(ctx, slog.LevelDebug, "wal append",
+			slog.String("request_id", trace.RequestID(ctx)),
+			slog.String("op", op.String()),
+			slog.Uint64("lsn", s.lsn),
+			slog.Int("bytes", len(h.b)),
+		)
+	}
 	return nil
 }
 
@@ -344,7 +384,14 @@ func (s *Store) append(op Op, row Row, rows []Row, off uint64) error {
 // before any state mutates, so the WAL holds exactly the successful
 // insertions in enforcement order.
 func (s *Store) LogInsert(id int, vals []string) error {
-	return s.append(OpInsert, Row{ID: id, Values: vals}, nil, 0)
+	return s.LogInsertCtx(context.Background(), id, vals)
+}
+
+// LogInsertCtx is LogInsert with the mutation's context (implements
+// stream.CtxJournal): the WAL append records itself under the context's
+// trace span and tags its log lines with the request id.
+func (s *Store) LogInsertCtx(ctx context.Context, id int, vals []string) error {
+	return s.append(ctx, OpInsert, Row{ID: id, Values: vals}, nil, 0)
 }
 
 // LogBatch journals one batch insertion (a single chase over all rows).
@@ -355,6 +402,12 @@ func (s *Store) LogInsert(id int, vals []string) error {
 // mid-batch failure leaves dangling fragments with no closing record;
 // reassembly discards them, matching the un-applied mutation.
 func (s *Store) LogBatch(in *record.Instance) error {
+	return s.LogBatchCtx(context.Background(), in)
+}
+
+// LogBatchCtx is LogBatch with the mutation's context (implements
+// stream.CtxJournal; see LogInsertCtx).
+func (s *Store) LogBatchCtx(ctx context.Context, in *record.Instance) error {
 	var (
 		rows []Row
 		size int64 // conservative encoded-size estimate of rows
@@ -366,7 +419,7 @@ func (s *Store) LogBatch(in *record.Instance) error {
 			rb += int64(len(v)) + binary.MaxVarintLen64
 		}
 		if len(rows) > 0 && size+rb > s.batchChunk {
-			if err := s.append(OpBatchPart, Row{}, rows, off); err != nil {
+			if err := s.append(ctx, OpBatchPart, Row{}, rows, off); err != nil {
 				return err
 			}
 			off += uint64(len(rows))
@@ -375,12 +428,12 @@ func (s *Store) LogBatch(in *record.Instance) error {
 		rows = append(rows, Row{ID: t.ID, Values: t.Values})
 		size += rb
 	}
-	return s.append(OpBatch, Row{}, rows, off)
+	return s.append(ctx, OpBatch, Row{}, rows, off)
 }
 
 // LogRemove journals the un-indexing of one record.
 func (s *Store) LogRemove(id int) error {
-	return s.append(OpRemove, Row{ID: id}, nil, 0)
+	return s.append(context.Background(), OpRemove, Row{ID: id}, nil, 0)
 }
 
 // LSN returns the last assigned log sequence number (0 = empty log).

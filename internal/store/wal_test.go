@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -420,13 +421,13 @@ func TestWALFragmentedBatch(t *testing.T) {
 	// Simulate a crash mid-batch: append fragments with no closing
 	// record, plus an interleaved remove (journaled under a different
 	// lock, so it may legally land between fragments).
-	if err := s.append(OpBatchPart, Row{}, []Row{{ID: 100, Values: []string{"x", "y"}}}, 0); err != nil {
+	if err := s.append(context.Background(), OpBatchPart, Row{}, []Row{{ID: 100, Values: []string{"x", "y"}}}, 0); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.LogRemove(3); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.append(OpBatchPart, Row{}, []Row{{ID: 101, Values: []string{"x", "y"}}}, 1); err != nil {
+	if err := s.append(context.Background(), OpBatchPart, Row{}, []Row{{ID: 101, Values: []string{"x", "y"}}}, 1); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Close(); err != nil {

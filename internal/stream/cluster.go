@@ -43,11 +43,12 @@ func (cs *clusterStore) find(x int32) int32 {
 	return x
 }
 
-// union merges the clusters of two rows.
-func (cs *clusterStore) union(i1, i2 int) {
+// union merges the clusters of two rows, reporting whether a merge
+// actually happened (false: already one cluster).
+func (cs *clusterStore) union(i1, i2 int) bool {
 	ra, rb := cs.find(int32(i1)), cs.find(int32(i2))
 	if ra == rb {
-		return
+		return false
 	}
 	if len(cs.rows[ra]) < len(cs.rows[rb]) {
 		ra, rb = rb, ra
@@ -59,6 +60,7 @@ func (cs *clusterStore) union(i1, i2 int) {
 		cs.minRow[ra] = cs.minRow[rb]
 	}
 	cs.count--
+	return true
 }
 
 // clusterID returns the cluster id (smallest member record id) of a row.

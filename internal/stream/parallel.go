@@ -26,9 +26,13 @@ import (
 //     column re-evaluates serially (per-tuple stamps vs the chunk
 //     epoch); a valid speculation commits from its verdict.
 //
-// The stream chase has two effects the batch chase lacks, both applied
-// at commit and therefore in serial order: cluster linking on any LHS
-// match (not just value-changing firings), and per-rule telemetry.
+// The stream chase has effects the batch chase lacks, all applied at
+// commit and therefore in serial order: cluster linking on any LHS
+// match (not just value-changing firings), per-rule telemetry, and the
+// provenance hooks of provenance.go (TraceSink, the cluster link
+// trail). Speculation records NO provenance — a speculative verdict is
+// provisional until its commit — so the provenance stream is
+// bit-identical at any worker count.
 // The firing sequence — and with it the instance, clusters, applied
 // rules, Applications, Passes, PairsExamined, RuleFirings and the
 // per-rule counters — is bit-identical to the serial Enforcer at any
@@ -230,25 +234,16 @@ func (e *Enforcer) commitPair(r *ruleState, i1, i2 int, v uint8, epoch int64) bo
 	if v == specNone || sp.stampL[i1] >= epoch || sp.stampR[i2] >= epoch {
 		return e.visit(r, i1, i2)
 	}
-	e.stats.Chase.PairsExamined++
-	r.examined++
+	e.noteExamined(r)
 	if v == specNoMatch {
 		return false
 	}
-	r.matched++
-	if r.link && i1 != i2 {
-		e.clusters.union(i1, i2)
-	}
+	e.noteMatched(r, i1, i2)
+	e.linkPair(r, i1, i2)
 	if v != specFire {
 		return false
 	}
-	for _, p := range r.rhsCols {
-		e.ch.union(e.ch.cell(i1, p[0]), e.ch.cell(i2, p[1]))
-	}
-	e.applied = append(e.applied, r.idx)
-	e.stats.Applications++
-	e.stats.Chase.RuleFirings++
-	r.fired++
+	e.fire(r, i1, i2)
 	return true
 }
 

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"fmt"
 	"slices"
 
@@ -21,6 +22,20 @@ type Journal interface {
 	LogInsert(id int, vals []string) error
 	// LogBatch records one InsertBatch (all rows, in instance order).
 	LogBatch(in *record.Instance) error
+}
+
+// CtxJournal is the optional context-aware extension of Journal. A
+// journal implementing it receives the insertion's context, carrying
+// the request's trace span and request id (internal/trace), so a WAL
+// append can record itself as a child span and tag its log lines. The
+// enforcer prefers these methods when present; the base Journal
+// interface is unchanged, so existing implementations keep working.
+type CtxJournal interface {
+	Journal
+	// LogInsertCtx is LogInsert with the insertion's context.
+	LogInsertCtx(ctx context.Context, id int, vals []string) error
+	// LogBatchCtx is LogBatch with the insertion's context.
+	LogBatchCtx(ctx context.Context, in *record.Instance) error
 }
 
 // SetJournal attaches a mutation journal. Recovery wires it AFTER
@@ -311,7 +326,11 @@ func (e *Enforcer) RestoreState(st *State) error {
 			if !ok {
 				return fmt.Errorf("stream: cluster member %d is not a restored record", id)
 			}
-			e.clusters.union(first, row)
+			if e.clusters.union(first, row) {
+				// The snapshot records membership, not rule history: the
+				// trail marks restored links with rule -1 (see LinkEvent).
+				e.linkRestored(members[0], id)
+			}
 		}
 	}
 	e.stats = st.Stats

@@ -69,6 +69,7 @@ import (
 	"container/heap"
 	"context"
 	"fmt"
+	"log/slog"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -79,6 +80,7 @@ import (
 	"mdmatch/internal/par"
 	"mdmatch/internal/record"
 	"mdmatch/internal/schema"
+	"mdmatch/internal/trace"
 	"mdmatch/internal/values"
 )
 
@@ -172,6 +174,18 @@ func WithObserver(o Observer) Option {
 	}
 }
 
+// WithLogger attaches a structured logger; nil (the default) disables.
+// The enforcer emits one debug-level line per insertion carrying the
+// request id threaded through the context (trace.WithRequestID), so an
+// id can be followed from the HTTP layer through enforcement into the
+// journal. At levels above debug the cost is one Enabled check.
+func WithLogger(l *slog.Logger) Option {
+	return func(e *Enforcer) error {
+		e.logger = l
+		return nil
+	}
+}
+
 // Enforcer is the incremental enforcement engine. All methods are safe
 // for concurrent use; insertions serialize on an internal lock, and the
 // enforcement outcome is the left-fold of per-insert chases in that
@@ -191,8 +205,11 @@ type Enforcer struct {
 	clusters *clusterStore
 	rules    []*ruleState
 	rowByID  map[int]int
-	journal  Journal  // nil when the enforcer is not durable
-	obs      Observer // nil when not instrumented
+	journal  Journal      // nil when the enforcer is not durable
+	obs      Observer     // nil when not instrumented
+	logger   *slog.Logger // nil when not logging
+	sink     TraceSink    // the current insertion's provenance sink (usually nil)
+	links    []LinkEvent  // committed cluster-merge provenance, in commit order
 
 	// scan-local state of the rule currently being scanned (the
 	// sorted-base + overflow-heap frontier of the worklist chase).
@@ -327,6 +344,8 @@ func (e *Enforcer) InsertCtx(ctx context.Context, id int, vals []string) (Insert
 	if e.obs != nil {
 		start = time.Now() // before the lock: queueing is part of latency
 	}
+	ctx, sp := trace.StartSpan(ctx, "stream.insert")
+	defer sp.End()
 	cancellable := ctx.Done() != nil
 	if cancellable {
 		if err := ctx.Err(); err != nil {
@@ -354,7 +373,7 @@ func (e *Enforcer) InsertCtx(ctx context.Context, id int, vals []string) (Insert
 		return InsertResult{}, fmt.Errorf("stream: duplicate record id %d", id)
 	}
 	if e.journal != nil {
-		if err := e.journal.LogInsert(id, vals); err != nil {
+		if err := e.logInsert(ctx, id, vals); err != nil {
 			return InsertResult{}, &JournalError{Err: fmt.Errorf("insert %d: %w", id, err)}
 		}
 	}
@@ -362,6 +381,8 @@ func (e *Enforcer) InsertCtx(ctx context.Context, id int, vals []string) (Insert
 	if err != nil {
 		return InsertResult{}, err // unreachable: validated above
 	}
+	e.sink = sinkFrom(ctx)
+	defer func() { e.sink = nil }()
 	e.seedRow(row)
 	e.ch.reset()
 	pairsBefore := e.stats.Chase.PairsExamined
@@ -374,6 +395,16 @@ func (e *Enforcer) InsertCtx(ctx context.Context, id int, vals []string) (Insert
 		e.obs.InsertObserved(time.Since(start).Seconds(), passes, apps,
 			e.stats.Chase.PairsExamined-pairsBefore)
 	}
+	sp.AttrInt("passes", int64(passes))
+	sp.AttrInt("applications", int64(apps))
+	if e.logger != nil && e.logger.Enabled(ctx, slog.LevelDebug) {
+		e.logger.LogAttrs(ctx, slog.LevelDebug, "stream insert",
+			slog.String("request_id", trace.RequestID(ctx)),
+			slog.Int("id", id),
+			slog.Int("applications", apps),
+			slog.Int("passes", passes),
+		)
+	}
 	return InsertResult{
 		ID:           id,
 		Cluster:      e.clusters.clusterID(row),
@@ -381,6 +412,24 @@ func (e *Enforcer) InsertCtx(ctx context.Context, id int, vals []string) (Insert
 		Applications: apps,
 		Passes:       passes,
 	}, nil
+}
+
+// logInsert journals one insert, preferring the context-aware journal
+// (store.CtxJournal) so the WAL append inherits the request's trace
+// span and request id.
+func (e *Enforcer) logInsert(ctx context.Context, id int, vals []string) error {
+	if cj, ok := e.journal.(CtxJournal); ok {
+		return cj.LogInsertCtx(ctx, id, vals)
+	}
+	return e.journal.LogInsert(id, vals)
+}
+
+// logBatch is logInsert for batches.
+func (e *Enforcer) logBatch(ctx context.Context, in *record.Instance) error {
+	if cj, ok := e.journal.(CtxJournal); ok {
+		return cj.LogBatchCtx(ctx, in)
+	}
+	return e.journal.LogBatch(in)
 }
 
 // InsertTuple is Insert for a record.Tuple.
@@ -410,6 +459,8 @@ func (e *Enforcer) InsertBatchCtx(ctx context.Context, in *record.Instance) (Bat
 	if e.obs != nil {
 		start = time.Now()
 	}
+	ctx, sp := trace.StartSpan(ctx, "stream.insert_batch")
+	defer sp.End()
 	cancellable := ctx.Done() != nil
 	if cancellable {
 		if err := ctx.Err(); err != nil {
@@ -445,10 +496,12 @@ func (e *Enforcer) InsertBatchCtx(ctx context.Context, in *record.Instance) (Bat
 		batchIDs[t.ID] = struct{}{}
 	}
 	if e.journal != nil {
-		if err := e.journal.LogBatch(in); err != nil {
+		if err := e.logBatch(ctx, in); err != nil {
 			return BatchResult{}, &JournalError{Err: fmt.Errorf("batch of %d: %w", in.Len(), err)}
 		}
 	}
+	e.sink = sinkFrom(ctx)
+	defer func() { e.sink = nil }()
 	res := BatchResult{IDs: make([]int, 0, in.Len())}
 	firstRow := e.inst.Len()
 	for _, t := range in.Tuples {
@@ -471,6 +524,17 @@ func (e *Enforcer) InsertBatchCtx(ctx context.Context, in *record.Instance) (Bat
 	res.Passes = passes
 	if e.obs != nil {
 		e.obs.BatchObserved(time.Since(start).Seconds(), in.Len(), passes, apps)
+	}
+	sp.AttrInt("rows", int64(in.Len()))
+	sp.AttrInt("passes", int64(passes))
+	sp.AttrInt("applications", int64(apps))
+	if e.logger != nil && e.logger.Enabled(ctx, slog.LevelDebug) {
+		e.logger.LogAttrs(ctx, slog.LevelDebug, "stream insert batch",
+			slog.String("request_id", trace.RequestID(ctx)),
+			slog.Int("rows", in.Len()),
+			slog.Int("applications", apps),
+			slog.Int("passes", passes),
+		)
 	}
 	return res, nil
 }
@@ -820,6 +884,9 @@ func (e *Enforcer) scanRule(r *ruleState) bool {
 	}
 	slices.Sort(base)
 	base = slices.Compact(base) // left and right probes can overlap
+	if e.sink != nil {
+		e.sink.Candidates(r.idx, len(base))
+	}
 	var over pairHeap
 	e.scanning = r
 	e.base, e.baseIdx = base, 0
@@ -911,10 +978,12 @@ func (e *Enforcer) scanDenseSweep(r *ruleState, n int) bool {
 
 // visit evaluates one candidate (rule, pair) and fires on a violation.
 // The whole decision runs on interned ids; strings are only read on a
-// verdict-cache miss.
+// verdict-cache miss. The effects — counters, cluster links, RHS
+// identifications, provenance — are applied through the commit-point
+// helpers in provenance.go, shared with the parallel chase's
+// commitPair so both paths observe identical sequences.
 func (e *Enforcer) visit(r *ruleState, i1, i2 int) bool {
-	e.stats.Chase.PairsExamined++
-	r.examined++
+	e.noteExamined(r)
 	for ci := range r.lhs {
 		c := &r.lhs[ci]
 		switch c.kind {
@@ -936,10 +1005,8 @@ func (e *Enforcer) visit(r *ruleState, i1, i2 int) bool {
 	// identity, the records are rule-matched (clusters link on matches,
 	// not only on value-changing firings — an exact duplicate matches
 	// every rule trivially yet fires none).
-	r.matched++
-	if r.link && i1 != i2 {
-		e.clusters.union(i1, i2)
-	}
+	e.noteMatched(r, i1, i2)
+	e.linkPair(r, i1, i2)
 	rhsEqual := true
 	for ri := range r.rhs {
 		if r.rhs[ri].lids[i1] != r.rhs[ri].rids[i2] {
@@ -950,12 +1017,6 @@ func (e *Enforcer) visit(r *ruleState, i1, i2 int) bool {
 	if rhsEqual {
 		return false
 	}
-	for _, p := range r.rhsCols {
-		e.ch.union(e.ch.cell(i1, p[0]), e.ch.cell(i2, p[1]))
-	}
-	e.applied = append(e.applied, r.idx)
-	e.stats.Applications++
-	e.stats.Chase.RuleFirings++
-	r.fired++
+	e.fire(r, i1, i2)
 	return true
 }

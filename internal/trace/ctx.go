@@ -1,0 +1,52 @@
+package trace
+
+import "context"
+
+// Context keys. Unexported types so no other package can collide.
+type spanKeyType struct{}
+type ridKeyType struct{}
+
+var (
+	spanKey spanKeyType
+	ridKey  ridKeyType
+)
+
+// ContextWithSpan returns ctx carrying s as the current span.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanKey, s)
+}
+
+// SpanFromContext returns the current span, or nil. All Span methods
+// accept nil, so callers never need the second return of a comma-ok.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey).(*Span)
+	return s
+}
+
+// StartSpan opens a child span under the context's current span and
+// returns ctx with the child installed. With no span in ctx (tracing
+// off, or an untraced caller) it returns ctx unchanged and a nil span
+// — the instrumented code path is identical either way, which is what
+// keeps the disabled cost at one context lookup.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	c := parent.child(name)
+	return ContextWithSpan(ctx, c), c
+}
+
+// WithRequestID returns ctx carrying the request id the HTTP
+// middleware assigned (or honored) for this request.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ridKey, id)
+}
+
+// RequestID returns the request id in ctx, or "". Lower layers put it
+// on their log lines so one id threads matchd → engine → stream →
+// store.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(ridKey).(string)
+	return id
+}

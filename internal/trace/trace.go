@@ -1,0 +1,403 @@
+// Package trace is the request-tracing half of the observability
+// stack: zero-dependency spans in the style of internal/obs, carried
+// through the serving layers by context.Context.
+//
+// A Tracer owns a lock-striped in-memory ring of COMPLETED traces.
+// The HTTP middleware starts one root span per request (honoring an
+// incoming W3C traceparent header, w3c.go); the layers below open
+// child spans with StartSpan, which is nil-safe end to end — with no
+// tracer installed the only cost on a hot path is one context lookup,
+// and every Span method accepts a nil receiver. Layers therefore never
+// branch on "is tracing on".
+//
+// Retention is TAIL-BASED: when the root span ends, the trace is kept
+// if it ran at least as long as the slow threshold, or if it falls on
+// the deterministic 1-in-N sample grid (a counter, not a coin flip, so
+// replaying the same traffic keeps the same traces). Within a full
+// stripe the oldest FAST trace is evicted first; a slow trace is only
+// displaced by slow traces, never by the sample stream.
+//
+// The package sits below every other internal package (stdlib-only
+// imports), so engine, stream and store can use it without creating an
+// import cycle with internal/obs.
+package trace
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures a Tracer.
+type Options struct {
+	// Slow is the tail-retention threshold: every trace at least this
+	// slow is kept (capacity permitting; slow traces only displace slow
+	// traces). <= 0 disables slow-keeping.
+	Slow time.Duration
+	// SampleN keeps a deterministic 1-in-N sample of the remaining
+	// (fast) traces: the k-th completed root is kept when k ≡ 1 (mod
+	// N). 0 disables sampling.
+	SampleN int
+	// Capacity bounds retained traces across all stripes (default 256).
+	Capacity int
+	// Stripes sets the lock striping of the ring (default 8). Tests pin
+	// it to 1 to make eviction order fully observable.
+	Stripes int
+}
+
+// Tracer collects completed traces into a lock-striped ring buffer.
+type Tracer struct {
+	slow    time.Duration
+	sampleN uint64
+	seq     atomic.Uint64 // completed roots, for deterministic sampling
+	stripes []stripe
+	perCap  int
+}
+
+type stripe struct {
+	mu   sync.Mutex
+	ents []*Trace
+}
+
+// New builds a Tracer. The zero Options value retains nothing (no slow
+// threshold, no sample); callers always set at least one of them.
+func New(o Options) *Tracer {
+	if o.Capacity <= 0 {
+		o.Capacity = 256
+	}
+	if o.Stripes <= 0 {
+		o.Stripes = 8
+	}
+	if o.Stripes > o.Capacity {
+		o.Stripes = o.Capacity
+	}
+	per := (o.Capacity + o.Stripes - 1) / o.Stripes
+	t := &Tracer{slow: o.Slow, stripes: make([]stripe, o.Stripes), perCap: per}
+	if o.SampleN > 0 {
+		t.sampleN = uint64(o.SampleN)
+	}
+	return t
+}
+
+// Trace is one completed request trace: the frozen span tree plus the
+// retention verdict. Frozen traces are immutable — /debug/traces reads
+// them with only the stripe lock held.
+type Trace struct {
+	TraceID         string    `json:"trace_id"`
+	ParentSpanID    string    `json:"parent_span_id,omitempty"`
+	RequestID       string    `json:"request_id,omitempty"`
+	Start           time.Time `json:"start"`
+	DurationSeconds float64   `json:"duration_seconds"`
+	Slow            bool      `json:"slow"`
+	Sampled         bool      `json:"sampled"`
+	Seq             uint64    `json:"seq"`
+	Root            SpanData  `json:"root"`
+}
+
+// SpanData is one frozen span: offsets are relative to the trace
+// start, so a rendered trace is self-contained.
+type SpanData struct {
+	Name               string     `json:"name"`
+	SpanID             string     `json:"span_id"`
+	StartOffsetSeconds float64    `json:"start_offset_seconds"`
+	DurationSeconds    float64    `json:"duration_seconds"`
+	Unfinished         bool       `json:"unfinished,omitempty"`
+	Attrs              []Attr     `json:"attrs,omitempty"`
+	Children           []SpanData `json:"children,omitempty"`
+}
+
+// Attr is one span attribute. Values are strings: the set of things a
+// span records (routes, counts, ids) all render cheaply, and a single
+// type keeps the JSON stable.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one live span. All methods are safe on a nil receiver, so
+// instrumented code never branches on whether tracing is enabled.
+type Span struct {
+	name   string
+	spanID string
+	start  time.Time
+
+	mu       sync.Mutex
+	dur      time.Duration
+	ended    bool
+	attrs    []Attr
+	children []*Span
+
+	root *rootState
+}
+
+// rootState is the per-trace state shared by every span in the tree.
+type rootState struct {
+	tracer       *Tracer
+	traceID      string
+	parentSpanID string
+	requestID    string
+	span         *Span
+}
+
+// StartRoot begins a new trace rooted at name and returns ctx with the
+// root span installed. traceID and parentSpanID come from an incoming
+// traceparent header ("" generates a fresh trace id); requestID links
+// the trace to the request log line. A nil Tracer returns ctx
+// unchanged and a nil span.
+func (t *Tracer) StartRoot(ctx context.Context, name, traceID, parentSpanID, requestID string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	if traceID == "" {
+		traceID = randHex(16)
+	}
+	s := &Span{name: name, spanID: randHex(8), start: time.Now()}
+	s.root = &rootState{tracer: t, traceID: traceID, parentSpanID: parentSpanID, requestID: requestID, span: s}
+	return ContextWithSpan(ctx, s), s
+}
+
+// TraceID returns the trace id this span belongs to ("" on nil).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.root.traceID
+}
+
+// SpanID returns this span's id ("" on nil).
+func (s *Span) SpanID() string {
+	if s == nil {
+		return ""
+	}
+	return s.spanID
+}
+
+// Attr records a string attribute. No-op on nil.
+func (s *Span) Attr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// AttrInt records an integer attribute. No-op on nil.
+func (s *Span) AttrInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.Attr(key, itoa(v))
+}
+
+// child starts a sub-span under s. Returns nil when s is nil.
+func (s *Span) child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, spanID: randHex(8), start: time.Now(), root: s.root}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End finishes the span. Ending the ROOT span completes the trace:
+// the tree is frozen into immutable SpanData and offered to the
+// tracer's retention ring. Double End and nil End are no-ops.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.dur = time.Since(s.start)
+	dur := s.dur
+	s.mu.Unlock()
+	if s.root.span == s {
+		s.root.tracer.finish(s, dur)
+	}
+}
+
+// finish applies tail-based retention to a completed root span.
+func (t *Tracer) finish(root *Span, dur time.Duration) {
+	seq := t.seq.Add(1)
+	slow := t.slow > 0 && dur >= t.slow
+	sampled := false
+	if !slow {
+		if t.sampleN == 0 || (seq-1)%t.sampleN != 0 {
+			return
+		}
+		sampled = true
+	}
+	tr := &Trace{
+		TraceID:         root.root.traceID,
+		ParentSpanID:    root.root.parentSpanID,
+		RequestID:       root.root.requestID,
+		Start:           root.start,
+		DurationSeconds: dur.Seconds(),
+		Slow:            slow,
+		Sampled:         sampled,
+		Seq:             seq,
+		Root:            root.freeze(root.start),
+	}
+	st := &t.stripes[seq%uint64(len(t.stripes))]
+	st.mu.Lock()
+	if len(st.ents) >= t.perCap {
+		// Evict the oldest FAST trace. When the stripe holds only slow
+		// traces, a slow arrival displaces the oldest slow one, but a
+		// fast sample is DROPPED: the sample stream never costs a trace
+		// the tail policy promised to keep.
+		victim := -1
+		for i, e := range st.ents {
+			if !e.Slow {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			if !slow {
+				st.mu.Unlock()
+				return
+			}
+			victim = 0
+		}
+		st.ents = append(st.ents[:victim], st.ents[victim+1:]...)
+	}
+	st.ents = append(st.ents, tr)
+	st.mu.Unlock()
+}
+
+// freeze renders the span tree into immutable SpanData. Spans still
+// running (a child outliving its parent) are flagged Unfinished with
+// the duration they had reached.
+func (s *Span) freeze(origin time.Time) SpanData {
+	s.mu.Lock()
+	d := SpanData{
+		Name:               s.name,
+		SpanID:             s.spanID,
+		StartOffsetSeconds: s.start.Sub(origin).Seconds(),
+		DurationSeconds:    s.dur.Seconds(),
+		Unfinished:         !s.ended,
+	}
+	if !s.ended {
+		d.DurationSeconds = time.Since(s.start).Seconds()
+	}
+	if len(s.attrs) > 0 {
+		d.Attrs = append([]Attr(nil), s.attrs...)
+	}
+	kids := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range kids {
+		d.Children = append(d.Children, c.freeze(origin))
+	}
+	return d
+}
+
+// Traces returns every retained trace, oldest first by completion
+// sequence. The result shares the immutable *Trace values.
+func (t *Tracer) Traces() []*Trace {
+	if t == nil {
+		return nil
+	}
+	var out []*Trace
+	for i := range t.stripes {
+		st := &t.stripes[i]
+		st.mu.Lock()
+		out = append(out, st.ents...)
+		st.mu.Unlock()
+	}
+	sortTraces(out)
+	return out
+}
+
+// Get returns the retained trace with the given id.
+func (t *Tracer) Get(traceID string) (*Trace, bool) {
+	if t == nil {
+		return nil, false
+	}
+	for i := range t.stripes {
+		st := &t.stripes[i]
+		st.mu.Lock()
+		for _, e := range st.ents {
+			if e.TraceID == traceID {
+				st.mu.Unlock()
+				return e, true
+			}
+		}
+		st.mu.Unlock()
+	}
+	return nil, false
+}
+
+// Len reports the number of retained traces.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	n := 0
+	for i := range t.stripes {
+		st := &t.stripes[i]
+		st.mu.Lock()
+		n += len(st.ents)
+		st.mu.Unlock()
+	}
+	return n
+}
+
+// sortTraces orders by completion sequence (insertion sort: the ring
+// is small and stripes are already ordered runs).
+func sortTraces(ts []*Trace) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j-1].Seq > ts[j].Seq; j-- {
+			ts[j-1], ts[j] = ts[j], ts[j-1]
+		}
+	}
+}
+
+// randHex returns n random bytes hex-encoded (2n characters).
+func randHex(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		// crypto/rand failing means the platform entropy source is
+		// broken; ids only need uniqueness, so fall back to a counter.
+		c := fallback.Add(1)
+		for i := 0; i < n && i < 8; i++ {
+			b[n-1-i] = byte(c >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b)
+}
+
+var fallback atomic.Uint64
+
+// itoa renders v without importing strconv into the hot path's
+// dependency closure — a micro-nicety; spans are off the fast path.
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,224 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// endAfter ends the root span with a synthetic duration by backdating
+// its start: retention decisions read time.Since(start).
+func endAfter(s *Span, d time.Duration) {
+	s.start = time.Now().Add(-d)
+	s.End()
+}
+
+func TestSpanTreeFreezesOnRootEnd(t *testing.T) {
+	tr := New(Options{Slow: time.Nanosecond, Capacity: 8, Stripes: 1})
+	ctx, root := tr.StartRoot(context.Background(), "http POST /records", "", "", "req-1")
+	if root == nil {
+		t.Fatal("nil root from a live tracer")
+	}
+	root.Attr("route", "POST /records")
+	cctx, child := StartSpan(ctx, "engine.insert")
+	child.AttrInt("id", 42)
+	_, grand := StartSpan(cctx, "wal.append")
+	grand.End()
+	child.End()
+	endAfter(root, time.Millisecond)
+
+	got := tr.Traces()
+	if len(got) != 1 {
+		t.Fatalf("retained %d traces, want 1", len(got))
+	}
+	tc := got[0]
+	if tc.RequestID != "req-1" || !tc.Slow || tc.Sampled {
+		t.Fatalf("trace header = %+v", tc)
+	}
+	if len(tc.TraceID) != 32 {
+		t.Fatalf("trace id %q", tc.TraceID)
+	}
+	r := tc.Root
+	if r.Name != "http POST /records" || len(r.Children) != 1 {
+		t.Fatalf("root = %+v", r)
+	}
+	if r.Children[0].Name != "engine.insert" || len(r.Children[0].Children) != 1 {
+		t.Fatalf("child = %+v", r.Children[0])
+	}
+	if r.Children[0].Children[0].Name != "wal.append" {
+		t.Fatalf("grandchild = %+v", r.Children[0].Children[0])
+	}
+	if r.Children[0].Attrs[0] != (Attr{Key: "id", Value: "42"}) {
+		t.Fatalf("attrs = %+v", r.Children[0].Attrs)
+	}
+	if got2, ok := tr.Get(tc.TraceID); !ok || got2 != tc {
+		t.Fatal("Get did not return the retained trace")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	ctx, sp := tr.StartRoot(context.Background(), "x", "", "", "")
+	if sp != nil {
+		t.Fatal("nil tracer produced a span")
+	}
+	ctx2, sp2 := StartSpan(ctx, "child")
+	if sp2 != nil || ctx2 != ctx {
+		t.Fatal("StartSpan without a span in ctx must be a no-op")
+	}
+	// Every method tolerates nil.
+	sp2.Attr("k", "v")
+	sp2.AttrInt("k", 1)
+	sp2.End()
+	if sp2.TraceID() != "" || sp2.SpanID() != "" {
+		t.Fatal("nil span ids")
+	}
+	if tr.Traces() != nil || tr.Len() != 0 {
+		t.Fatal("nil tracer holds traces")
+	}
+	if _, ok := tr.Get("x"); ok {
+		t.Fatal("nil tracer Get")
+	}
+}
+
+func TestDeterministicSampling(t *testing.T) {
+	tr := New(Options{Slow: time.Hour, SampleN: 10, Capacity: 100, Stripes: 1})
+	for i := 0; i < 40; i++ {
+		_, root := tr.StartRoot(context.Background(), "op", "", "", "")
+		endAfter(root, time.Microsecond) // fast: only the sample keeps it
+	}
+	got := tr.Traces()
+	if len(got) != 4 {
+		t.Fatalf("sampled %d of 40 at 1-in-10, want 4", len(got))
+	}
+	for i, tc := range got {
+		if !tc.Sampled || tc.Slow {
+			t.Fatalf("trace %d = %+v", i, tc)
+		}
+		if want := uint64(1 + 10*i); tc.Seq != want {
+			t.Fatalf("sample grid: trace %d has seq %d, want %d", i, tc.Seq, want)
+		}
+	}
+}
+
+// TestTailRetentionProperty is the retention property test: a trace at
+// or above the slow threshold is NEVER evicted while the stripe still
+// holds a fast (sampled) trace — only slow traces displace slow
+// traces. Randomized mixes of slow and fast completions, seeded.
+func TestTailRetentionProperty(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cap := 4 + rng.Intn(8)
+		tr := New(Options{Slow: time.Second, SampleN: 1, Capacity: cap, Stripes: 1})
+		var slowIDs []string
+		for i := 0; i < 10*cap; i++ {
+			_, root := tr.StartRoot(context.Background(), "op", "", "", "")
+			if rng.Intn(3) == 0 { // slow
+				slowIDs = append(slowIDs, root.TraceID())
+				endAfter(root, 2*time.Second)
+			} else {
+				endAfter(root, time.Millisecond)
+			}
+
+			kept := tr.Traces()
+			if len(kept) > cap {
+				t.Fatalf("seed %d: %d traces retained over capacity %d", seed, len(kept), cap)
+			}
+			keptSlow := map[string]bool{}
+			fast := 0
+			for _, tc := range kept {
+				if tc.Slow {
+					keptSlow[tc.TraceID] = true
+				} else {
+					fast++
+				}
+			}
+			// The invariant: of the most recent cap slow traces, every one
+			// must still be present unless the ring is slow-saturated.
+			recent := slowIDs
+			if len(recent) > cap {
+				recent = recent[len(recent)-cap:]
+			}
+			for _, id := range recent {
+				if !keptSlow[id] && fast > 0 {
+					t.Fatalf("seed %d step %d: slow trace %s evicted while %d fast traces remain", seed, i, id, fast)
+				}
+			}
+		}
+	}
+}
+
+// TestRingHammer is the contention test: concurrent root finishes,
+// /debug/traces-style reads, and retention evictions (implicit in
+// finish at capacity), under -race.
+func TestRingHammer(t *testing.T) {
+	tr := New(Options{Slow: time.Nanosecond, SampleN: 2, Capacity: 32, Stripes: 4})
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 500; i++ {
+				ctx, root := tr.StartRoot(context.Background(), fmt.Sprintf("op-%d", w), "", "", "")
+				_, c := StartSpan(ctx, "inner")
+				c.AttrInt("i", int64(i))
+				c.End()
+				root.End()
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, tc := range tr.Traces() {
+					if tc.Root.Name == "" {
+						t.Error("frozen trace with empty root")
+						return
+					}
+					tr.Get(tc.TraceID)
+				}
+			}
+		}()
+	}
+	// A writer ending children concurrently with freezes: root ends
+	// while a child is still running (Unfinished path).
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		for i := 0; i < 200; i++ {
+			ctx, root := tr.StartRoot(context.Background(), "late-child", "", "", "")
+			_, c := StartSpan(ctx, "slowpoke")
+			done := make(chan struct{})
+			go func() { time.Sleep(time.Microsecond); c.End(); close(done) }()
+			root.End()
+			<-done
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if tr.Len() == 0 || tr.Len() > 32 {
+		t.Fatalf("retained %d traces, want 1..32", tr.Len())
+	}
+}
+
+func TestRequestIDContext(t *testing.T) {
+	ctx := WithRequestID(context.Background(), "abc123")
+	if got := RequestID(ctx); got != "abc123" {
+		t.Fatalf("RequestID = %q", got)
+	}
+	if got := RequestID(context.Background()); got != "" {
+		t.Fatalf("empty ctx RequestID = %q", got)
+	}
+}

@@ -1,0 +1,60 @@
+package trace
+
+// W3C Trace Context (traceparent) extraction and injection. Only the
+// version-00 format is spoken:
+//
+//	traceparent: 00-<32 lowercase hex>-<16 lowercase hex>-<2 hex flags>
+//
+// Unknown versions and malformed values are ignored (the middleware
+// starts a fresh trace), never an error: a bad upstream header must
+// not fail a request.
+
+// Traceparent is the header name.
+const Traceparent = "traceparent"
+
+// ParseTraceparent extracts the trace id and parent span id from a
+// traceparent header value. ok is false for anything malformed: wrong
+// length or separators, non-hex digits, an unknown version, or the
+// all-zero trace/span ids the spec declares invalid.
+func ParseTraceparent(h string) (traceID, parentSpanID string, ok bool) {
+	// 2 + 1 + 32 + 1 + 16 + 1 + 2
+	if len(h) != 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return "", "", false
+	}
+	if h[0] != '0' || h[1] != '0' {
+		return "", "", false // only version 00
+	}
+	tid, sid, flags := h[3:35], h[36:52], h[53:55]
+	if !isLowerHex(tid) || !isLowerHex(sid) || !isLowerHex(flags) {
+		return "", "", false
+	}
+	if allZero(tid) || allZero(sid) {
+		return "", "", false
+	}
+	return tid, sid, true
+}
+
+// FormatTraceparent renders a version-00 traceparent value with the
+// sampled flag set (a trace the server started is one it records).
+func FormatTraceparent(traceID, spanID string) string {
+	return "00-" + traceID + "-" + spanID + "-01"
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}

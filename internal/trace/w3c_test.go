@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func ctxBG() context.Context { return context.Background() }
+
+func TestParseTraceparent(t *testing.T) {
+	tid := "4bf92f3577b34da6a3ce929d0e0e4736"
+	sid := "00f067aa0ba902b7"
+	good := "00-" + tid + "-" + sid + "-01"
+
+	gotT, gotS, ok := ParseTraceparent(good)
+	if !ok || gotT != tid || gotS != sid {
+		t.Fatalf("ParseTraceparent(%q) = %q, %q, %v", good, gotT, gotS, ok)
+	}
+
+	bad := map[string]string{
+		"empty":            "",
+		"short":            "00-" + tid,
+		"long":             good + "-extra",
+		"version 01":       "01-" + tid + "-" + sid + "-01",
+		"version ff":       "ff-" + tid + "-" + sid + "-01",
+		"uppercase hex":    "00-" + strings.ToUpper(tid) + "-" + sid + "-01",
+		"non-hex trace id": "00-" + strings.Repeat("g", 32) + "-" + sid + "-01",
+		"zero trace id":    "00-" + strings.Repeat("0", 32) + "-" + sid + "-01",
+		"zero span id":     "00-" + tid + "-" + strings.Repeat("0", 16) + "-01",
+		"bad separator":    "00_" + tid + "-" + sid + "-01",
+	}
+	for name, h := range bad {
+		if _, _, ok := ParseTraceparent(h); ok {
+			t.Errorf("%s: ParseTraceparent(%q) accepted", name, h)
+		}
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	tr := New(Options{Slow: time.Nanosecond, Capacity: 4, Stripes: 1})
+	_, root := tr.StartRoot(ctxBG(), "op", "", "", "")
+	h := FormatTraceparent(root.TraceID(), root.SpanID())
+	gotT, gotS, ok := ParseTraceparent(h)
+	if !ok || gotT != root.TraceID() || gotS != root.SpanID() {
+		t.Fatalf("round trip %q → %q, %q, %v", h, gotT, gotS, ok)
+	}
+	root.End()
+
+	// An incoming traceparent is honored: the trace keeps the caller's
+	// trace id and records the caller's span as parent. (A fresh tracer:
+	// the id deliberately collides with the trace retained above.)
+	tr2 := New(Options{Slow: time.Nanosecond, Capacity: 4, Stripes: 1})
+	_, root2 := tr2.StartRoot(ctxBG(), "op", gotT, gotS, "")
+	if root2.TraceID() != gotT {
+		t.Fatalf("trace id not honored: %q", root2.TraceID())
+	}
+	endAfter(root2, time.Millisecond)
+	tc, ok := tr2.Get(gotT)
+	if !ok || tc.ParentSpanID != gotS {
+		t.Fatalf("parent span id = %+v", tc)
+	}
+}
